@@ -1,0 +1,27 @@
+"""Figure 6: SPECint IPC with the gshare predictor.
+
+Paper series: Baseline, CPR, 8/16/32/64/128-SP, ideal MSP — plus the
+16-SP stall cycles from the registers contributing most.
+
+Paper headline: 16-SP+Arb improves average IPC by 14% over CPR with
+gshare; 8-SP by ~5%; 128-SP is indistinguishable from the ideal MSP.
+"""
+
+from conftest import run_once
+
+from repro.sim import experiments
+
+
+def test_fig6_specint_gshare(benchmark):
+    result = run_once(benchmark, experiments.figure6)
+    print()
+    print(result.to_table())
+    for machine in result.machines:
+        if machine != "CPR-192":
+            ratio = result.speedup_over(machine, "CPR-192")
+            print(f"{machine:>12s} vs CPR: {100 * (ratio - 1):+5.1f}%")
+    stalls = experiments.bank_stalls(predictor="gshare")
+    print("16-SP bank-stall cycles (top registers):")
+    for bench, rows in stalls.items():
+        print(f"  {bench:10s} {rows}")
+    assert result.mean_ipc("ideal-MSP") >= result.mean_ipc("8-SP+Arb")

@@ -1,0 +1,24 @@
+"""Figure 7: SPECint IPC with the TAGE predictor.
+
+Paper headline: with the aggressive predictor CPR closes most of the
+gap — 8-SP averages ~10% below CPR and 16-SP+Arb ~1% above.
+"""
+
+from conftest import run_once
+
+from repro.sim import experiments
+
+
+def test_fig7_specint_tage(benchmark):
+    result = run_once(benchmark, experiments.figure7)
+    print()
+    print(result.to_table())
+    for machine in result.machines:
+        if machine != "CPR-192":
+            ratio = result.speedup_over(machine, "CPR-192")
+            print(f"{machine:>12s} vs CPR: {100 * (ratio - 1):+5.1f}%")
+    stalls = experiments.bank_stalls(predictor="tage")
+    print("16-SP bank-stall cycles (top registers):")
+    for bench, rows in stalls.items():
+        print(f"  {bench:10s} {rows}")
+    assert result.mean_ipc("ideal-MSP") >= result.mean_ipc("16-SP+Arb")

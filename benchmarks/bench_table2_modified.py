@@ -1,0 +1,32 @@
+"""Table II: IPC for hand-modified benchmarks with the TAGE predictor.
+
+The paper unrolled/re-register-allocated 1-3 hot loops in bzip2, twolf,
+swim, mgrid and equake; the modified versions recover most of the n-SP
+bank-stall losses while CPR and the ideal MSP barely move.
+"""
+
+from conftest import run_once
+
+from repro.sim import experiments
+
+
+def test_table2_modified_kernels(benchmark):
+    rows = run_once(benchmark, experiments.table2)
+    print()
+    header = f"{'kernel/version':38s} {'unrl':>4s} {'%t':>3s} " \
+             f"{'CPR-192':>8s} {'8-SP+Arb':>9s} {'16-SP+Arb':>10s} " \
+             f"{'ideal-MSP':>10s}"
+    print(header)
+    for key, row in rows.items():
+        print(f"{key:38s} {row['loops_unrolled']:4d} "
+              f"{row['exec_time_pct']:3d} {row['CPR-192']:8.3f} "
+              f"{row['8-SP+Arb']:9.3f} {row['16-SP+Arb']:10.3f} "
+              f"{row['ideal-MSP']:10.3f}")
+    # The paper's direction: modification helps the n-SP machines.
+    gains = []
+    for base in ("bzip2.generateMTFValues", "swim.calc3", "mgrid.resid",
+                 "equake.smvp", "twolf.new_dbox_a"):
+        original = rows[f"{base}/original"]["16-SP+Arb"]
+        modified = rows[f"{base}/modified"]["16-SP+Arb"]
+        gains.append(modified / original if original else 1.0)
+    assert sum(gains) / len(gains) > 1.0

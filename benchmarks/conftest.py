@@ -1,0 +1,21 @@
+"""Benchmark-harness helpers.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the same rows/series the paper reports. Each experiment is run
+once per session (``pedantic(rounds=1)``): the measured quantity is the
+experiment's wall time; the scientific output is the printed report.
+
+Environment knobs:
+
+* ``REPRO_INSTRUCTIONS`` — committed instructions per simulation
+  (default 3000).
+* ``REPRO_BENCHSET=quick`` — trim benchmark lists and the n-SP sweep.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

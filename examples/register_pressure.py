@@ -1,0 +1,48 @@
+"""Register pressure and the Sec. 4.3 compiler fix.
+
+The n-SP renames each logical register within its own fixed bank, so a
+tight loop reusing one register stalls after n renamings in flight.
+This example shows (1) the per-register stall attribution the right
+bars of Figs. 6-8 report, and (2) Table II's remedy: unrolling the hot
+loop with rotated destination registers.
+
+Usage::
+
+    python examples/register_pressure.py
+"""
+
+from repro.isa import reg_name
+from repro.sim import SimConfig, build_core
+from repro.workloads import get_program
+
+BUDGET = 4000
+
+
+def run(name, config):
+    core = build_core(get_program(name), config)
+    return core.run(max_instructions=BUDGET)
+
+
+def main():
+    print("swim's calc3 stencil (one fp accumulator + one fp temp), TAGE")
+    print(f"{'machine':>12s} {'original':>9s} {'modified':>9s}")
+    for config in (SimConfig.cpr(predictor="tage"),
+                   SimConfig.msp(8, predictor="tage"),
+                   SimConfig.msp(16, predictor="tage"),
+                   SimConfig.msp(64, predictor="tage"),
+                   SimConfig.msp_ideal(predictor="tage")):
+        original = run("swim", config).ipc
+        modified = run("swim_mod", config).ipc
+        print(f"{config.label:>12s} {original:9.3f} {modified:9.3f}")
+
+    stats = run("swim", SimConfig.msp(16, predictor="tage"))
+    print("\n16-SP stall attribution on the original kernel:")
+    for reg, cycles in stats.top_bank_stalls(3):
+        print(f"  {reg_name(reg):>4s}: {cycles} stall cycles")
+    print("\nUnrolling with rotated registers (the paper's hand "
+          "modification) spreads renamings\nacross four banks and "
+          "recovers most of the lost IPC — without helping CPR much.")
+
+
+if __name__ == "__main__":
+    main()

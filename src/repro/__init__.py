@@ -1,0 +1,28 @@
+"""repro: reproduction of the Multi-State Processor (MICRO 2008).
+
+"A Distributed Processor State Management Architecture for Large-Window
+Processors" — González, Galluzzi, Veidenbaum, Ramírez, Cristal, Valero.
+
+Quick start::
+
+    from repro.sim import SimConfig, simulate
+
+    stats = simulate("bzip2", SimConfig.msp(bank_size=16,
+                                            predictor="tage"),
+                     max_instructions=10_000)
+    print(stats.ipc)
+
+Packages:
+
+* :mod:`repro.isa` — the simulator's RISC ISA, programs, emulator
+* :mod:`repro.workloads` — synthetic SPEC CPU2000-like kernels
+* :mod:`repro.branch` — gshare, TAGE, BTB, JRS confidence
+* :mod:`repro.memory`, :mod:`repro.storequeue` — caches, store queues
+* :mod:`repro.pipeline` — the shared out-of-order engine
+* :mod:`repro.baseline`, :mod:`repro.cpr`, :mod:`repro.core` — the
+  three machines (core = the MSP, the paper's contribution)
+* :mod:`repro.power` — register-file power/area/timing models (Sec. 5)
+* :mod:`repro.sim` — configs, runner, per-figure experiments
+"""
+
+__version__ = "1.0.0"

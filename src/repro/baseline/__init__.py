@@ -1,0 +1,5 @@
+"""Baseline ROB-based out-of-order processor (Table I column 1)."""
+
+from repro.baseline.processor import BaselineProcessor
+
+__all__ = ["BaselineProcessor"]

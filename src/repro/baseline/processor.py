@@ -1,0 +1,135 @@
+"""Baseline out-of-order processor.
+
+Table I column 1: a "reasonably standard out-of-order, single-thread,
+superscalar processor" — 128-entry ROB, 48-entry IQ, 96 int + 96 fp
+physical registers managed with a RAT and a free list, retire width 3,
+single-level store queue. Branch recovery restores a RAT snapshot taken
+when the branch dispatched; exceptions recover precisely from the
+architectural RAT at the ROB head.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.isa.registers import NUM_INT_REGS, NUM_LOGICAL_REGS, is_int_reg
+from repro.pipeline.core_base import FAULT_NONE, OutOfOrderCore
+from repro.pipeline.dyninst import DynInst
+
+
+class BaselineProcessor(OutOfOrderCore):
+    """ROB-based precise out-of-order core."""
+
+    def __init__(self, program, config) -> None:
+        super().__init__(program, config)
+        num_phys = config.phys_int + config.phys_fp
+        self.num_phys = num_phys
+        self.phys_value: List = [0] * num_phys
+        self.phys_ready: List[bool] = [True] * num_phys
+
+        # Identity initial mapping: logical int i -> phys i, logical fp j
+        # -> phys_int + j.
+        self.rat: List[int] = [0] * NUM_LOGICAL_REGS
+        for lr in range(NUM_LOGICAL_REGS):
+            if is_int_reg(lr):
+                self.rat[lr] = lr
+            else:
+                self.rat[lr] = config.phys_int + (lr - NUM_INT_REGS)
+                self.phys_value[self.rat[lr]] = 0.0
+        self.arch_rat: List[int] = list(self.rat)
+
+        self.int_free: List[int] = list(
+            range(NUM_INT_REGS, config.phys_int))
+        self.fp_free: List[int] = list(
+            range(config.phys_int + NUM_INT_REGS, num_phys))
+
+    # ------------------------------------------------------------------ #
+    # Registers.
+    # ------------------------------------------------------------------ #
+
+    def handle_ready(self, handle: int) -> bool:
+        return self.phys_ready[handle]
+
+    def read_operand(self, handle: int):
+        return self.phys_value[handle]
+
+    def peek_operand(self, handle: int):
+        return self.phys_value[handle]
+
+    def write_result(self, di: DynInst) -> None:
+        self.phys_value[di.dest_handle] = di.result
+        self.phys_ready[di.dest_handle] = True
+
+    def _free_list_for(self, logical: int) -> List[int]:
+        return self.int_free if is_int_reg(logical) else self.fp_free
+
+    # ------------------------------------------------------------------ #
+    # Dispatch.
+    # ------------------------------------------------------------------ #
+
+    def dispatch_blocked(self, di: DynInst, moved: int) -> Optional[str]:
+        if len(self.in_flight) >= self.config.rob_size:
+            return "rob_full"
+        inst = di.inst
+        if inst.writes_reg and not self._free_list_for(inst.dest):
+            return "registers_full"
+        return None
+
+    def rename(self, di: DynInst) -> None:
+        inst = di.inst
+        di.src_handles = [self.rat[src] for src in inst.srcs]
+        if inst.writes_reg:
+            new = self._free_list_for(inst.dest).pop()
+            self.phys_ready[new] = False
+            di.dest_handle = new
+            self.rat[inst.dest] = new
+        if inst.is_control:
+            # Snapshot for precise branch recovery.
+            di.tag = list(self.rat)
+
+    # ------------------------------------------------------------------ #
+    # Commit: in order from the ROB head, up to retire_width per cycle.
+    # ------------------------------------------------------------------ #
+
+    def commit_stage(self, now: int) -> None:
+        retired = 0
+        while (retired < self.config.retire_width and self.in_flight
+               and self.in_flight[0].completed):
+            di = self.in_flight[0]
+            if not self.commit_one(di, now):
+                return  # exception recovery took over
+            self.in_flight.popleft()
+            inst = di.inst
+            if inst.writes_reg:
+                previous = self.arch_rat[inst.dest]
+                self.arch_rat[inst.dest] = di.dest_handle
+                self._free_list_for(inst.dest).append(previous)
+            elif inst.is_store:
+                self.sq.commit_up_to(di.seq, self.commit_store_write)
+            retired += 1
+            if self.done:
+                return
+
+    # ------------------------------------------------------------------ #
+    # Recovery.
+    # ------------------------------------------------------------------ #
+
+    def _release_squashed(self, squashed: List[DynInst]) -> None:
+        for di in squashed:
+            if di.inst.writes_reg:
+                self._free_list_for(di.inst.dest).append(di.dest_handle)
+
+    def recover_from_branch(self, di: DynInst, now: int) -> None:
+        squashed = self.squash_after(di.seq, di.seq)
+        self._release_squashed(squashed)
+        self.rat = list(di.tag)
+        self.fetch.redirect(di.actual_target, now)
+
+    def take_exception(self, di: DynInst, now: int) -> None:
+        # ``di`` is the ROB head: everything older has committed, so the
+        # architectural RAT is exactly the precise recovery state.
+        squashed = self.squash_after(di.seq - 1, FAULT_NONE)
+        self._release_squashed(squashed)
+        self.rat = list(self.arch_rat)
+        self.repair_history_at(di)
+        self.fetch.redirect(di.pc, now)

@@ -1,0 +1,37 @@
+"""Branch prediction: gshare, TAGE, bimodal, BTB, JRS confidence."""
+
+from repro.branch.base import BranchPredictor, Prediction
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.confidence import ConfidenceEstimator
+from repro.branch.gshare import GsharePredictor
+from repro.branch.simple import BimodalPredictor, OraclePredictor, StaticPredictor
+from repro.branch.tage import TagePredictor
+
+
+def make_predictor(name: str, **kwargs) -> BranchPredictor:
+    """Factory used by :class:`repro.sim.config.SimConfig`."""
+    factories = {
+        "gshare": GsharePredictor,
+        "tage": TagePredictor,
+        "bimodal": BimodalPredictor,
+        "static": StaticPredictor,
+        "oracle": OraclePredictor,
+    }
+    if name not in factories:
+        raise ValueError(f"unknown branch predictor {name!r}; "
+                         f"choose from {sorted(factories)}")
+    return factories[name](**kwargs)
+
+
+__all__ = [
+    "BimodalPredictor",
+    "BranchPredictor",
+    "BranchTargetBuffer",
+    "ConfidenceEstimator",
+    "GsharePredictor",
+    "OraclePredictor",
+    "Prediction",
+    "StaticPredictor",
+    "TagePredictor",
+    "make_predictor",
+]

@@ -1,0 +1,89 @@
+"""Branch-predictor interface shared by all direction predictors.
+
+Predictors are *speculatively updated* the way the paper's machines use
+them: history is updated at predict time (so back-to-back branches see each
+other), and corrected on a misprediction by restoring the history snapshot
+the predictor handed out with the prediction. Counter tables are updated
+non-speculatively at branch resolution.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+
+class BranchPredictor(ABC):
+    """Direction predictor for conditional branches."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.predictions = 0
+        self.mispredictions = 0
+
+    @abstractmethod
+    def predict(self, pc: int) -> "Prediction":
+        """Predict the direction of the branch at ``pc``.
+
+        Also speculatively updates any global history; the returned
+        :class:`Prediction` carries the snapshot needed to undo that on a
+        squash.
+        """
+
+    @abstractmethod
+    def update(self, prediction: "Prediction", taken: bool) -> None:
+        """Train tables with the resolved outcome (at branch execution)."""
+
+    @abstractmethod
+    def restore(self, prediction: "Prediction") -> None:
+        """Roll speculative history back to just *after* this prediction
+        was corrected — called on a misprediction squash, with the
+        now-known outcome stored in the prediction."""
+
+    def record_outcome(self, prediction: "Prediction", taken: bool) -> None:
+        """Bookkeeping shared by all predictors."""
+        self.predictions += 1
+        if prediction.taken != taken:
+            self.mispredictions += 1
+
+    # ------------------------------------------------------------------ #
+    # Global-history checkpointing (used by CPR checkpoints and by
+    # exception/indirect-jump recovery to repair speculative history).
+    # ------------------------------------------------------------------ #
+
+    def get_history(self):
+        """Snapshot of the speculative global history (None if the
+        predictor keeps no history)."""
+        return None
+
+    def set_history(self, snapshot) -> None:
+        """Restore a snapshot taken by :meth:`get_history`."""
+
+    def set_history_appended(self, snapshot, taken: bool) -> None:
+        """Restore ``snapshot`` with one branch outcome appended —
+        the state just after predicting/resolving that branch."""
+
+    @property
+    def accuracy(self) -> float:
+        if self.predictions == 0:
+            return 1.0
+        return 1.0 - self.mispredictions / self.predictions
+
+
+class Prediction:
+    """One direction prediction plus undo/training context.
+
+    ``meta`` is predictor-private (history snapshots, provider component,
+    etc.). ``taken`` may be corrected in place once the branch resolves.
+    """
+
+    __slots__ = ("pc", "taken", "meta")
+
+    def __init__(self, pc: int, taken: bool, meta: Any = None) -> None:
+        self.pc = pc
+        self.taken = taken
+        self.meta = meta
+
+    def __repr__(self) -> str:
+        return f"Prediction(pc={self.pc}, taken={self.taken})"

@@ -1,0 +1,51 @@
+"""Branch target buffer.
+
+Direction predictors only give taken/not-taken; the front end also needs
+targets. Direct branches/jumps carry their target in the instruction, so
+the BTB is only consulted for indirect jumps (``JR``), where it predicts
+the last observed target per PC (set-associative, LRU).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+
+class BranchTargetBuffer:
+    """Set-associative last-target predictor for indirect jumps."""
+
+    def __init__(self, sets: int = 512, ways: int = 4) -> None:
+        if sets & (sets - 1):
+            raise ValueError("sets must be a power of two")
+        self.sets = sets
+        self.ways = ways
+        self.mask = sets - 1
+        self._tag_shift = sets.bit_length() - 1
+        # One LRU-ordered dict of {tag: target} per set.
+        self._table = [OrderedDict() for _ in range(sets)]
+        self.lookups = 0
+        self.hits = 0
+        self.mispredicted_targets = 0
+
+    def predict(self, pc: int) -> Optional[int]:
+        """Predicted target for the indirect jump at ``pc`` (None on miss)."""
+        self.lookups += 1
+        entry_set = self._table[pc & self.mask]
+        tag = pc >> self._tag_shift
+        target = entry_set.get(tag)
+        if target is not None:
+            entry_set.move_to_end(tag)
+            self.hits += 1
+        return target
+
+    def update(self, pc: int, target: int, correct: bool) -> None:
+        """Record the resolved target of the indirect jump at ``pc``."""
+        if not correct:
+            self.mispredicted_targets += 1
+        entry_set = self._table[pc & self.mask]
+        tag = pc >> self._tag_shift
+        entry_set[tag] = target
+        entry_set.move_to_end(tag)
+        while len(entry_set) > self.ways:
+            entry_set.popitem(last=False)

@@ -1,0 +1,58 @@
+"""JRS confidence estimator (Jacobsen, Rotenberg & Smith, MICRO-29).
+
+CPR uses it to decide where to place checkpoints: "a new check-point is
+created if the estimator gives low confidence for the current prediction".
+Table I sizes it at 64K entries of 4 bits.
+
+Each entry is a resetting counter ("miss distance counter"): incremented,
+saturating, on a correct prediction; reset to zero on a misprediction.
+A prediction is *high confidence* when the counter is at or above a
+threshold.
+"""
+
+from __future__ import annotations
+
+
+class ConfidenceEstimator:
+    """Resetting-counter confidence table indexed by PC XOR history."""
+
+    def __init__(self, entries: int = 64 * 1024, counter_bits: int = 4,
+                 threshold: int = 3, history_bits: int = 8) -> None:
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.mask = entries - 1
+        self.max_value = (1 << counter_bits) - 1
+        self.threshold = threshold
+        self.history_bits = history_bits
+        self.history_mask = (1 << history_bits) - 1
+        self.table = [0] * entries
+        self.ghr = 0
+        self.queries = 0
+        self.low_confidence = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self.ghr) & self.mask
+
+    def is_confident(self, pc: int) -> bool:
+        """True when the branch at ``pc`` is predicted with high confidence."""
+        self.queries += 1
+        confident = self.table[self._index(pc)] >= self.threshold
+        if not confident:
+            self.low_confidence += 1
+        return confident
+
+    def update(self, pc: int, correct: bool, taken: bool) -> None:
+        """Train with the resolved prediction correctness."""
+        index = self._index(pc)
+        if correct:
+            if self.table[index] < self.max_value:
+                self.table[index] += 1
+        else:
+            self.table[index] = 0
+        self.ghr = ((self.ghr << 1) | (1 if taken else 0)) & self.history_mask
+
+    @property
+    def low_confidence_rate(self) -> float:
+        if self.queries == 0:
+            return 0.0
+        return self.low_confidence / self.queries

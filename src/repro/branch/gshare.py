@@ -1,0 +1,65 @@
+"""gshare direction predictor (McFarling).
+
+The paper's "fast and simple" predictor: a 64K-entry pattern history table
+of 2-bit saturating counters indexed by PC XOR global history (Table I:
+"PHT size: 64k").
+"""
+
+from __future__ import annotations
+
+from repro.branch.base import BranchPredictor, Prediction
+
+
+class GsharePredictor(BranchPredictor):
+    """Global-history XOR-indexed PHT of 2-bit counters."""
+
+    name = "gshare"
+
+    def __init__(self, pht_entries: int = 64 * 1024,
+                 history_bits: int = 16) -> None:
+        super().__init__()
+        if pht_entries & (pht_entries - 1):
+            raise ValueError("pht_entries must be a power of two")
+        self.pht_entries = pht_entries
+        self.index_mask = pht_entries - 1
+        self.history_bits = history_bits
+        self.history_mask = (1 << history_bits) - 1
+        self.pht = [2] * pht_entries  # weakly taken
+        self.ghr = 0
+
+    def _index(self, pc: int, history: int) -> int:
+        return (pc ^ history) & self.index_mask
+
+    def predict(self, pc: int) -> Prediction:
+        history = self.ghr
+        index = self._index(pc, history)
+        taken = self.pht[index] >= 2
+        # Speculative history update; snapshot lets restore() undo it.
+        self.ghr = ((history << 1) | (1 if taken else 0)) & self.history_mask
+        return Prediction(pc, taken, meta=(history, index))
+
+    def update(self, prediction: Prediction, taken: bool) -> None:
+        self.record_outcome(prediction, taken)
+        _, index = prediction.meta
+        counter = self.pht[index]
+        if taken:
+            if counter < 3:
+                self.pht[index] = counter + 1
+        else:
+            if counter > 0:
+                self.pht[index] = counter - 1
+
+    def restore(self, prediction: Prediction) -> None:
+        history, _ = prediction.meta
+        self.ghr = ((history << 1)
+                    | (1 if prediction.taken else 0)) & self.history_mask
+
+    def get_history(self) -> int:
+        return self.ghr
+
+    def set_history(self, snapshot: int) -> None:
+        self.ghr = snapshot & self.history_mask
+
+    def set_history_appended(self, snapshot: int, taken: bool) -> None:
+        self.ghr = ((snapshot << 1) | (1 if taken else 0)) \
+            & self.history_mask

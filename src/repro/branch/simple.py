@@ -1,0 +1,82 @@
+"""Trivial direction predictors, used mainly by tests.
+
+``BimodalPredictor`` is also the base component style used inside TAGE;
+having it standalone lets tests and examples isolate history effects.
+"""
+
+from __future__ import annotations
+
+from repro.branch.base import BranchPredictor, Prediction
+
+
+class StaticPredictor(BranchPredictor):
+    """Always predicts the same direction (default: not taken)."""
+
+    name = "static"
+
+    def __init__(self, taken: bool = False) -> None:
+        super().__init__()
+        self._taken = taken
+
+    def predict(self, pc: int) -> Prediction:
+        return Prediction(pc, self._taken)
+
+    def update(self, prediction: Prediction, taken: bool) -> None:
+        self.record_outcome(prediction, taken)
+
+    def restore(self, prediction: Prediction) -> None:
+        pass
+
+
+class OraclePredictor(BranchPredictor):
+    """Test-only predictor fed the true outcome before each prediction.
+
+    The pipeline tests use it to run with zero mispredictions; the core
+    asks for a prediction after the fetch stage has already consulted the
+    functional front end, so the oracle simply echoes it back.
+    """
+
+    name = "oracle"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.next_outcome = False
+
+    def predict(self, pc: int) -> Prediction:
+        return Prediction(pc, self.next_outcome)
+
+    def update(self, prediction: Prediction, taken: bool) -> None:
+        self.record_outcome(prediction, taken)
+
+    def restore(self, prediction: Prediction) -> None:
+        pass
+
+
+class BimodalPredictor(BranchPredictor):
+    """PC-indexed table of 2-bit saturating counters, no history."""
+
+    name = "bimodal"
+
+    def __init__(self, entries: int = 4096) -> None:
+        super().__init__()
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.mask = entries - 1
+        self.table = [2] * entries
+
+    def predict(self, pc: int) -> Prediction:
+        index = pc & self.mask
+        return Prediction(pc, self.table[index] >= 2, meta=index)
+
+    def update(self, prediction: Prediction, taken: bool) -> None:
+        self.record_outcome(prediction, taken)
+        index = prediction.meta
+        counter = self.table[index]
+        if taken:
+            if counter < 3:
+                self.table[index] = counter + 1
+        elif counter > 0:
+            self.table[index] = counter - 1
+
+    def restore(self, prediction: Prediction) -> None:
+        pass

@@ -1,0 +1,237 @@
+"""TAGE direction predictor (Seznec & Michaud, "A case for (partially)
+tagged geometric history length branch prediction").
+
+The paper's "very aggressive" predictor: Table I specifies a TAGE with
+8 components, which we realise as a bimodal base predictor plus 7
+partially-tagged components with geometric history lengths.
+
+This is a faithful, if compact, TAGE:
+
+* longest-matching tagged component provides the prediction, the next
+  match (or the base) is the alternate;
+* 3-bit signed counters, 2-bit useful counters, periodic useful decay;
+* ``use_alt_on_newly_allocated`` heuristic (4-bit);
+* on misprediction, allocate into a longer component whose entry has
+  ``u == 0``, else decrement ``u`` along the way.
+
+Global history is updated speculatively at predict time and repaired on a
+squash via the snapshot carried in the prediction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.branch.base import BranchPredictor, Prediction
+
+
+class _TaggedEntry:
+    __slots__ = ("tag", "ctr", "useful")
+
+    def __init__(self) -> None:
+        self.tag = 0
+        self.ctr = 0          # signed, -4..3; >= 0 predicts taken
+        self.useful = 0       # 0..3
+
+
+def _fold(value: int, length: int, bits: int) -> int:
+    """XOR-fold the low ``length`` bits of ``value`` down to ``bits`` bits."""
+    value &= (1 << length) - 1
+    mask = (1 << bits) - 1
+    folded = 0
+    while value:
+        folded ^= value & mask
+        value >>= bits
+    return folded
+
+
+class TagePredictor(BranchPredictor):
+    """Bimodal base + 7 tagged geometric-history components."""
+
+    name = "tage"
+
+    def __init__(
+        self,
+        num_tagged: int = 7,
+        min_history: int = 5,
+        max_history: int = 256,
+        table_bits: int = 12,
+        tag_bits: int = 10,
+        base_bits: int = 13,
+        useful_reset_period: int = 256 * 1024,
+    ) -> None:
+        super().__init__()
+        self.num_tagged = num_tagged
+        self.table_bits = table_bits
+        self.table_size = 1 << table_bits
+        self.tag_bits = tag_bits
+        self.tag_mask = (1 << tag_bits) - 1
+        self.base_size = 1 << base_bits
+        self.base_mask = self.base_size - 1
+
+        # Geometric history lengths between min_history and max_history.
+        ratio = (max_history / min_history) ** (1.0 / max(1, num_tagged - 1))
+        self.history_lengths: List[int] = []
+        length = float(min_history)
+        for _ in range(num_tagged):
+            rounded = int(round(length))
+            while self.history_lengths and rounded <= self.history_lengths[-1]:
+                rounded += 1
+            self.history_lengths.append(rounded)
+            length *= ratio
+        self.max_history = self.history_lengths[-1]
+        self.history_mask = (1 << self.max_history) - 1
+
+        self.base = [2] * self.base_size  # 2-bit, weakly taken
+        self.tables: List[List[_TaggedEntry]] = [
+            [_TaggedEntry() for _ in range(self.table_size)]
+            for _ in range(num_tagged)
+        ]
+        self.ghr = 0
+        self.use_alt = 8       # 0..15; >= 8 -> trust alt for weak new entries
+        self._branch_count = 0
+        self._useful_reset_period = useful_reset_period
+
+    # ------------------------------------------------------------------ #
+
+    def _index(self, pc: int, comp: int, history: int) -> int:
+        length = self.history_lengths[comp]
+        folded = _fold(history, length, self.table_bits)
+        return (pc ^ (pc >> (comp + 1)) ^ folded) & (self.table_size - 1)
+
+    def _tag(self, pc: int, comp: int, history: int) -> int:
+        length = self.history_lengths[comp]
+        folded = _fold(history, length, self.tag_bits)
+        folded2 = _fold(history, length, self.tag_bits - 1) << 1
+        return (pc ^ folded ^ folded2) & self.tag_mask
+
+    def _base_predict(self, pc: int) -> bool:
+        return self.base[pc & self.base_mask] >= 2
+
+    def _base_update(self, pc: int, taken: bool) -> None:
+        index = pc & self.base_mask
+        counter = self.base[index]
+        if taken:
+            if counter < 3:
+                self.base[index] = counter + 1
+        elif counter > 0:
+            self.base[index] = counter - 1
+
+    # ------------------------------------------------------------------ #
+
+    def predict(self, pc: int) -> Prediction:
+        history = self.ghr
+        provider: Optional[int] = None
+        alt: Optional[int] = None
+        indices = [0] * self.num_tagged
+        tags = [0] * self.num_tagged
+        for comp in range(self.num_tagged - 1, -1, -1):
+            indices[comp] = self._index(pc, comp, history)
+            tags[comp] = self._tag(pc, comp, history)
+        for comp in range(self.num_tagged - 1, -1, -1):
+            if self.tables[comp][indices[comp]].tag == tags[comp]:
+                if provider is None:
+                    provider = comp
+                else:
+                    alt = comp
+                    break
+
+        base_pred = self._base_predict(pc)
+        if provider is not None:
+            entry = self.tables[provider][indices[provider]]
+            provider_pred = entry.ctr >= 0
+            alt_pred = (self.tables[alt][indices[alt]].ctr >= 0
+                        if alt is not None else base_pred)
+            weak_new = entry.useful == 0 and entry.ctr in (-1, 0)
+            taken = alt_pred if (weak_new and self.use_alt >= 8) \
+                else provider_pred
+        else:
+            provider_pred = base_pred
+            alt_pred = base_pred
+            taken = base_pred
+
+        self.ghr = ((history << 1)
+                    | (1 if taken else 0)) & self.history_mask
+        meta = (history, provider, alt, tuple(indices), tuple(tags),
+                provider_pred, alt_pred)
+        return Prediction(pc, taken, meta=meta)
+
+    # ------------------------------------------------------------------ #
+
+    def update(self, prediction: Prediction, taken: bool) -> None:
+        self.record_outcome(prediction, taken)
+        (history, provider, alt, indices, tags,
+         provider_pred, alt_pred) = prediction.meta
+        mispredicted = prediction.taken != taken
+
+        self._branch_count += 1
+        if self._branch_count % self._useful_reset_period == 0:
+            self._decay_useful()
+
+        if provider is not None:
+            entry = self.tables[provider][indices[provider]]
+            # use_alt heuristic training on weak new entries.
+            weak_new = entry.useful == 0 and entry.ctr in (-1, 0)
+            if weak_new and provider_pred != alt_pred:
+                if alt_pred == taken:
+                    if self.use_alt < 15:
+                        self.use_alt += 1
+                elif self.use_alt > 0:
+                    self.use_alt -= 1
+            # Update provider counter.
+            if taken:
+                if entry.ctr < 3:
+                    entry.ctr += 1
+            elif entry.ctr > -4:
+                entry.ctr -= 1
+            # Useful counter: provider differed from alternate.
+            if provider_pred != alt_pred:
+                if provider_pred == taken:
+                    if entry.useful < 3:
+                        entry.useful += 1
+                elif entry.useful > 0:
+                    entry.useful -= 1
+            if alt is None and provider_pred != taken:
+                self._base_update(prediction.pc, taken)
+        else:
+            self._base_update(prediction.pc, taken)
+
+        if mispredicted:
+            self._allocate(provider, indices, tags, taken)
+
+    def _allocate(self, provider: Optional[int],
+                  indices: Tuple[int, ...], tags: Tuple[int, ...],
+                  taken: bool) -> None:
+        start = 0 if provider is None else provider + 1
+        for comp in range(start, self.num_tagged):
+            entry = self.tables[comp][indices[comp]]
+            if entry.useful == 0:
+                entry.tag = tags[comp]
+                entry.ctr = 0 if taken else -1
+                entry.useful = 0
+                return
+        for comp in range(start, self.num_tagged):
+            entry = self.tables[comp][indices[comp]]
+            if entry.useful > 0:
+                entry.useful -= 1
+
+    def _decay_useful(self) -> None:
+        for table in self.tables:
+            for entry in table:
+                if entry.useful > 0:
+                    entry.useful -= 1
+
+    def restore(self, prediction: Prediction) -> None:
+        history = prediction.meta[0]
+        self.ghr = ((history << 1)
+                    | (1 if prediction.taken else 0)) & self.history_mask
+
+    def get_history(self) -> int:
+        return self.ghr
+
+    def set_history(self, snapshot: int) -> None:
+        self.ghr = snapshot & self.history_mask
+
+    def set_history_appended(self, snapshot: int, taken: bool) -> None:
+        self.ghr = ((snapshot << 1) | (1 if taken else 0)) \
+            & self.history_mask

@@ -1,0 +1,219 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run``
+    Simulate one workload on one machine and print the statistics.
+``compare``
+    Run a workload across the standard machine grid.
+``experiment``
+    Regenerate one of the paper's figures/tables by name.
+``list``
+    List workloads, machines and experiments.
+``listing``
+    Print a workload's assembly listing.
+
+Examples::
+
+    python -m repro run bzip2 --arch msp --banks 16 --predictor tage
+    python -m repro compare mcf -n 5000
+    python -m repro experiment figure8
+    python -m repro listing gzip | head -40
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.sim import SimConfig, build_core
+from repro.sim import experiments as exp
+from repro.workloads import SPECFP, SPECINT, all_workloads, get_program
+
+EXPERIMENTS = {
+    "figure6": lambda n: exp.figure6(n).to_table(),
+    "figure7": lambda n: exp.figure7(n).to_table(),
+    "figure8": lambda n: exp.figure8(n).to_table(),
+    "table2": lambda n: _format_table2(exp.table2(n)),
+    "figure9": lambda n: _format_figure9(exp.figure9(n)),
+    "table3": lambda n: _format_table3(),
+    "lcs": lambda n: exp.ablation_lcs_delay(instructions=n).to_table(),
+    "rename": lambda n: exp.ablation_rename_width(
+        instructions=n).to_table(),
+    "cpr-registers": lambda n: exp.ablation_cpr_registers(
+        instructions=n).to_table(),
+}
+
+
+def _format_table2(rows) -> str:
+    lines = ["== Table II: original vs modified kernels (TAGE)"]
+    for key, row in rows.items():
+        cells = {k: v for k, v in row.items()
+                 if k not in ("loops_unrolled", "exec_time_pct")}
+        body = "  ".join(f"{k}={v:.3f}" for k, v in cells.items())
+        lines.append(f"{key:40s} {body}")
+    return "\n".join(lines)
+
+
+def _format_figure9(data) -> str:
+    lines = ["== Figure 9: executed-instruction breakdown"]
+    for bench, cells in data.items():
+        lines.append(bench)
+        for machine, row in cells.items():
+            lines.append(
+                f"  {machine:18s} correct={row['correct_path']:7d} "
+                f"reexec={row['correct_path_reexecuted']:6d} "
+                f"wrong={row['wrong_path']:6d}")
+    summary = exp.figure9_summary(data)
+    for predictor, reduction in summary.items():
+        lines.append(f"16-SP executes {100 * reduction:.1f}% fewer "
+                     f"instructions than CPR ({predictor})")
+    return "\n".join(lines)
+
+
+def _format_table3() -> str:
+    from repro.power import section51_area, table3
+    lines = ["== Table III: register-file access power (mW | FO4)"]
+    for tech, rows in table3().items():
+        lines.append(tech)
+        for config, row in rows.items():
+            lines.append(f"  {config:34s} "
+                         f"W {row['write_power_mw']:5.2f}|"
+                         f"{row['write_time_fo4']:4.2f}  "
+                         f"R {row['read_power_mw']:5.2f}|"
+                         f"{row['read_time_fo4']:4.2f}")
+    area = section51_area()
+    lines.append(f"Sec 5.1 area (45nm): MSP "
+                 f"{area['msp_512_banked_mm2']:.3f} mm^2, CPR "
+                 f"{area['cpr_256_fullport_mm2']:.3f} mm^2")
+    return "\n".join(lines)
+
+
+def _config_from_args(args) -> SimConfig:
+    if args.arch == "baseline":
+        return SimConfig.baseline(predictor=args.predictor)
+    if args.arch == "cpr":
+        return SimConfig.cpr(predictor=args.predictor,
+                             registers=args.registers)
+    if args.arch == "msp":
+        return SimConfig.msp(args.banks, predictor=args.predictor,
+                             arbitration=not args.no_arbitration)
+    if args.arch == "ideal":
+        return SimConfig.msp_ideal(predictor=args.predictor)
+    raise SystemExit(f"unknown architecture {args.arch!r}")
+
+
+def _standard_grid(predictor: str) -> List[SimConfig]:
+    return [SimConfig.baseline(predictor=predictor),
+            SimConfig.cpr(predictor=predictor),
+            SimConfig.msp(8, predictor=predictor),
+            SimConfig.msp(16, predictor=predictor),
+            SimConfig.msp_ideal(predictor=predictor)]
+
+
+def cmd_run(args) -> int:
+    config = _config_from_args(args)
+    core = build_core(get_program(args.workload), config)
+    stats = core.run(max_instructions=args.instructions)
+    print(f"{args.workload} on {config.label} "
+          f"({args.instructions} instructions)")
+    for key, value in stats.summary().items():
+        print(f"  {key:24s} {value}")
+    if stats.bank_stall_cycles:
+        from repro.isa import reg_name
+        top = ", ".join(f"{reg_name(r)}={c}"
+                        for r, c in stats.top_bank_stalls(3))
+        print(f"  {'top_bank_stalls':24s} {top}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    print(f"{'machine':>12s} {'IPC':>7s} {'mispred':>8s} "
+          f"{'reexec':>7s} {'wrong':>7s}")
+    for config in _standard_grid(args.predictor):
+        core = build_core(get_program(args.workload), config)
+        stats = core.run(max_instructions=args.instructions)
+        print(f"{config.label:>12s} {stats.ipc:7.3f} "
+              f"{stats.misprediction_rate:8.3f} "
+              f"{stats.correct_path_reexecuted:7d} "
+              f"{stats.wrong_path_executed:7d}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    if args.name not in EXPERIMENTS:
+        print(f"unknown experiment {args.name!r}; "
+              f"choose from {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    print(EXPERIMENTS[args.name](args.instructions))
+    return 0
+
+
+def cmd_list(args) -> int:
+    print("workloads (specint):", " ".join(SPECINT))
+    print("workloads (specfp): ", " ".join(SPECFP))
+    modified = [w for w in all_workloads() if w.endswith("_mod")]
+    print("modified (Table II):", " ".join(modified))
+    print("architectures: baseline cpr msp ideal")
+    print("experiments:", " ".join(sorted(EXPERIMENTS)))
+    return 0
+
+
+def cmd_listing(args) -> int:
+    print(get_program(args.workload).listing())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-State Processor reproduction (MICRO 2008)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, with_arch=True):
+        p.add_argument("workload", help="workload name (see `list`)")
+        p.add_argument("-n", "--instructions", type=int, default=3000,
+                       help="committed-instruction budget")
+        p.add_argument("--predictor", default="tage",
+                       choices=["gshare", "tage", "bimodal"])
+        if with_arch:
+            p.add_argument("--arch", default="msp",
+                           choices=["baseline", "cpr", "msp", "ideal"])
+            p.add_argument("--banks", type=int, default=16,
+                           help="MSP registers per logical-register bank")
+            p.add_argument("--registers", type=int, default=192,
+                           help="CPR physical registers per class")
+            p.add_argument("--no-arbitration", action="store_true",
+                           help="drop the MSP arbitration stage")
+
+    p_run = sub.add_parser("run", help="simulate one workload")
+    add_common(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="run the machine grid")
+    add_common(p_cmp, with_arch=False)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a figure/table")
+    p_exp.add_argument("name", help="e.g. figure6, table3")
+    p_exp.add_argument("-n", "--instructions", type=int, default=3000)
+    p_exp.set_defaults(func=cmd_experiment)
+
+    p_list = sub.add_parser("list", help="list workloads and experiments")
+    p_list.set_defaults(func=cmd_list)
+
+    p_lst = sub.add_parser("listing", help="print a workload's assembly")
+    p_lst.add_argument("workload")
+    p_lst.set_defaults(func=cmd_listing)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,23 @@
+"""The Multi-State Processor: StateIds, SCTs, LCS, RelIQ, the core."""
+
+from repro.core.lcs import LCSUnit
+from repro.core.processor import MSPProcessor
+from repro.core.reliq import RelIQMatrix
+from repro.core.sct import RegisterBank
+from repro.core.stateid import (
+    SaturatingStateIdSpace,
+    StateIdAllocator,
+    lcs_tree_depth,
+    required_bits,
+)
+
+__all__ = [
+    "LCSUnit",
+    "MSPProcessor",
+    "RegisterBank",
+    "RelIQMatrix",
+    "SaturatingStateIdSpace",
+    "StateIdAllocator",
+    "lcs_tree_depth",
+    "required_bits",
+]

@@ -1,0 +1,49 @@
+"""Last Committed StateId (LCS) unit (Sec. 3.2.2).
+
+Every cycle the global control computes ``LCS = min over banks of
+StateId[RelP]`` (banks whose RelP entry is quiescent are excluded; if all
+banks are quiescent the whole window is committable). The hardware is a
+binary tree of comparators — five levels for 32 SCTs — and the paper
+notes the computation can be pipelined: "even a 4-cycle LCS computation
+degrades performance by less than 1%". ``LCSUnit`` models that
+propagation delay with a shift pipe; the n-SP uses 1 cycle and the ideal
+MSP 0 (Table I).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, Optional
+
+
+class LCSUnit:
+    """Pipelined min-reduction over the banks' RelP StateIds."""
+
+    def __init__(self, delay: int = 1) -> None:
+        if delay < 0:
+            raise ValueError("delay must be >= 0")
+        self.delay = delay
+        self._pipe: Deque[int] = deque([0] * delay)
+
+    def step(self, candidates: Iterable[Optional[int]],
+             all_quiescent_value: int) -> int:
+        """Feed this cycle's bank candidates; return the *effective* LCS
+        (the value that entered the pipe ``delay`` cycles ago).
+
+        ``all_quiescent_value`` is used when every bank is excluded: the
+        current SC + 1, meaning every state in flight is committable.
+        """
+        lcs: Optional[int] = None
+        for candidate in candidates:
+            if candidate is not None and (lcs is None or candidate < lcs):
+                lcs = candidate
+        if lcs is None:
+            lcs = all_quiescent_value
+        if self.delay == 0:
+            return lcs
+        self._pipe.append(lcs)
+        return self._pipe.popleft()
+
+    def flush(self, value: int = 0) -> None:
+        """Refill the pipe after a recovery (conservative restart)."""
+        self._pipe = deque([value] * self.delay)

@@ -1,0 +1,281 @@
+"""The Multi-State Processor (Sec. 3) — the paper's contribution.
+
+No ROB, no checkpoints, no RAT, no global free list. Instead:
+
+* every register-writing instruction allocates a new **state** (StateId
+  from the global State Counter);
+* each logical register owns a :class:`~repro.core.sct.RegisterBank`
+  (SCT + in-order circular allocation) — renaming is just advancing that
+  bank's RenP, source lookup is reading it;
+* commit is the global **LCS** min-reduction over bank RelP StateIds
+  (with the Table I propagation delay), bulk-committing every older
+  state each cycle;
+* recovery is **precise**: broadcast the Recovery StateId, squash every
+  younger instruction, roll every bank back past entries with a younger
+  Lower StateId (Sec. 3.5) — no correct-path work is ever discarded;
+* the register file is banked 1R/1W (Sec. 5.1): an extra arbitration
+  pipeline stage, at most one (slot) read and one write per bank per
+  cycle — the ideal MSP drops all of this;
+* renaming bandwidth follows Sec. 3.3: up to 4 destinations per cycle,
+  at most 2 of them in the same bank (both limits configurable for the
+  ablation benches).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.lcs import LCSUnit
+from repro.core.sct import RegisterBank
+from repro.core.stateid import StateIdAllocator
+from repro.isa.registers import NUM_LOGICAL_REGS, is_fp_reg, reg_name
+from repro.pipeline.core_base import FAULT_NONE, OutOfOrderCore
+from repro.pipeline.dyninst import DynInst
+
+Handle = Tuple[int, int]   # (logical register, bank allocation counter)
+
+
+class MSPProcessor(OutOfOrderCore):
+    """Multi-State Processor core."""
+
+    def __init__(self, program, config) -> None:
+        super().__init__(program, config)
+        self.extra_dispatch_delay = 1 if config.arbitration else 0
+
+        self.banks: List[RegisterBank] = [
+            RegisterBank(lr, config.bank_size,
+                         initial_value=0.0 if is_fp_reg(lr) else 0)
+            for lr in range(NUM_LOGICAL_REGS)
+        ]
+        self.sc = StateIdAllocator()
+        self.lcs = LCSUnit(delay=config.lcs_delay)
+        #: outstanding same-state instructions that do not assign a
+        #: register (the pipelined-instruction tracking of Fig. 3).
+        self.state_outstanding: Dict[int, int] = {}
+        self._committed_stateid = 0
+        self._last_committed_seq = -1
+
+        # Per-cycle rename and port-arbitration state. Read ports are
+        # arbitrated in the dispatch-side arbitration stage (Fig. 3):
+        # operands that are ready at rename read their bank there; the
+        # rest capture from the result bypass at wakeup, so issue needs
+        # no register-file access.
+        self._renames_this_cycle = 0
+        self._bank_renames: Counter = Counter()
+        self._dispatch_read_ports: Dict[int, int] = {}
+        self._last_bank_blocked: Optional[int] = None
+
+        self.read_port_conflicts = 0
+        self.write_port_conflicts = 0
+
+    # ------------------------------------------------------------------ #
+    # Registers.
+    # ------------------------------------------------------------------ #
+
+    def handle_ready(self, handle: Handle) -> bool:
+        logical, mono = handle
+        return self.banks[logical].is_ready(mono)
+
+    def read_operand(self, handle: Handle):
+        logical, mono = handle
+        bank = self.banks[logical]
+        bank.consume(mono)
+        return bank.read(mono)
+
+    def peek_operand(self, handle: Handle):
+        logical, mono = handle
+        return self.banks[logical].read(mono)
+
+    def write_result(self, di: DynInst) -> None:
+        logical, mono = di.dest_handle
+        self.banks[logical].write(mono, di.result)
+
+    def on_complete(self, di: DynInst) -> None:
+        if not di.inst.writes_reg:
+            self._dec_outstanding(di.stateid)
+
+    def _dec_outstanding(self, stateid: int) -> None:
+        count = self.state_outstanding.get(stateid, 0) - 1
+        if count < 0:
+            raise AssertionError(f"state {stateid} outstanding underflow")
+        if count:
+            self.state_outstanding[stateid] = count
+        else:
+            self.state_outstanding.pop(stateid, None)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch / distributed renaming (Secs. 3.2.1, 3.3).
+    # ------------------------------------------------------------------ #
+
+    def begin_dispatch_cycle(self) -> None:
+        self._renames_this_cycle = 0
+        self._bank_renames.clear()
+        self._dispatch_read_ports.clear()
+
+    def dispatch_blocked(self, di: DynInst, moved: int) -> Optional[str]:
+        inst = di.inst
+        if inst.writes_reg:
+            dest = inst.dest
+            if self.banks[dest].is_full():
+                self._last_bank_blocked = dest
+                return "bank_full"
+            if (self._renames_this_cycle
+                    >= self.config.max_renames_per_cycle):
+                return "rename_ports"
+            if self._bank_renames[dest] >= self.config.max_same_reg_renames:
+                return "sct_write_ports"
+        if self.config.arbitration and not self._claimable_read_ports(inst):
+            self.read_port_conflicts += 1
+            return "read_port_conflict"
+        return None
+
+    def _claimable_read_ports(self, inst) -> bool:
+        """Can this instruction's ready operands all get their bank read
+        port this cycle? Reads of the *same* entry share a port."""
+        group: Dict[int, int] = {}
+        for src in inst.srcs:
+            bank = self.banks[src]
+            mono = bank.current_mono()
+            if not bank.is_ready(mono):
+                continue  # captured from the bypass at wakeup
+            previous = self._dispatch_read_ports.get(src, group.get(src))
+            if previous is not None and previous != mono:
+                return False
+            group[src] = mono
+        return True
+
+    def on_dispatch_stall(self, reason: str) -> None:
+        if reason == "bank_full" and self._last_bank_blocked is not None:
+            self.stats.bank_stall_cycles[self._last_bank_blocked] += 1
+
+    def rename(self, di: DynInst) -> None:
+        inst = di.inst
+        # Source lookup: each source is the latest renaming in its bank
+        # (RenP); the use bit is set in the bank's RelIQ sub-matrix.
+        # Sequential processing within the cycle resolves same-cycle RAW
+        # dependences, like the pointer-increment chain of Fig. 5.
+        handles: List[Handle] = []
+        for src in inst.srcs:
+            bank = self.banks[src]
+            mono = bank.current_mono()
+            bank.add_use(mono)
+            handles.append((src, mono))
+        di.src_handles = handles
+        if self.config.arbitration:
+            for src, mono in handles:
+                if self.banks[src].is_ready(mono):
+                    self._dispatch_read_ports[src] = mono
+
+        if inst.writes_reg:
+            stateid = self.sc.next()
+            di.stateid = stateid
+            mono = self.banks[inst.dest].allocate(stateid)
+            di.dest_handle = (inst.dest, mono)
+            self._renames_this_cycle += 1
+            self._bank_renames[inst.dest] += 1
+        else:
+            # Branches, stores and jumps belong to the current state.
+            di.stateid = self.sc.current
+            self.state_outstanding[di.stateid] = (
+                self.state_outstanding.get(di.stateid, 0) + 1)
+
+    def assign_state_tag(self, di: DynInst) -> None:
+        # NOP/HALT never execute; they carry the current state and commit
+        # with it, but do not gate its completion.
+        di.stateid = self.sc.current
+
+    # ------------------------------------------------------------------ #
+    # Port arbitration (Sec. 5.1): 1R/1W per bank.
+    # ------------------------------------------------------------------ #
+
+    def filter_writebacks(self, completed: List[DynInst], now: int):
+        if not self.config.arbitration:
+            return completed, []
+        written: Dict[int, int] = {}
+        accepted: List[DynInst] = []
+        deferred: List[DynInst] = []
+        for di in completed:
+            if di.inst.writes_reg:
+                logical, mono = di.dest_handle
+                if logical in written and written[logical] != mono:
+                    self.write_port_conflicts += 1
+                    deferred.append(di)
+                    continue
+                written[logical] = mono
+            accepted.append(di)
+        return accepted, deferred
+
+    # ------------------------------------------------------------------ #
+    # Commit: LCS-driven bulk commit (Sec. 3.2.2).
+    # ------------------------------------------------------------------ #
+
+    def commit_stage(self, now: int) -> None:
+        outstanding = self.state_outstanding
+        for bank in self.banks:
+            bank.advance_rel(outstanding)
+        effective_lcs = self.lcs.step(
+            (bank.lcs_candidate(outstanding) for bank in self.banks),
+            all_quiescent_value=self.sc.current + 1)
+
+        committed_any = False
+        while self.in_flight:
+            di = self.in_flight[0]
+            if not di.completed or di.stateid >= effective_lcs:
+                break
+            if not self.commit_one(di, now):
+                return  # exception recovery took over
+            self.in_flight.popleft()
+            committed_any = True
+            if di.stateid > self._committed_stateid:
+                self._committed_stateid = di.stateid
+            self._last_committed_seq = di.seq
+            if self.done:
+                break
+        if committed_any:
+            self.sq.commit_up_to(self._last_committed_seq,
+                                 self.commit_store_write)
+            for bank in self.banks:
+                bank.free_up_to(self._committed_stateid)
+
+    # ------------------------------------------------------------------ #
+    # Precise recovery (Sec. 3.5).
+    # ------------------------------------------------------------------ #
+
+    def recover_from_branch(self, di: DynInst, now: int) -> None:
+        self._recover(boundary_seq=di.seq, fault_seq=di.seq,
+                      recovery_stateid=di.stateid,
+                      resume_pc=di.actual_target, now=now)
+
+    def take_exception(self, di: DynInst, now: int) -> None:
+        # Recovery StateId is the excepting instruction's state, or the
+        # previous one if it produced a new state (Sec. 3.5): the
+        # instruction itself is squashed and re-fetched.
+        recovery = di.stateid - 1 if di.inst.writes_reg else di.stateid
+        self.repair_history_at(di)
+        self._recover(boundary_seq=di.seq - 1, fault_seq=FAULT_NONE,
+                      recovery_stateid=recovery, resume_pc=di.pc, now=now)
+
+    def _recover(self, boundary_seq: int, fault_seq: int,
+                 recovery_stateid: int, resume_pc: int, now: int) -> None:
+        squashed = self.squash_after(boundary_seq, fault_seq)
+        for dead in squashed:
+            if not dead.issued and not dead.completed:
+                # Clear the cancelled instruction's RelIQ column.
+                for logical, mono in dead.src_handles:
+                    self.banks[logical].consume(mono)
+            if not dead.inst.writes_reg and not dead.completed:
+                # NOP/HALT complete at dispatch and are never counted.
+                self._dec_outstanding(dead.stateid)
+        # Broadcast the Recovery StateId: release younger entries.
+        for bank in self.banks:
+            bank.rollback(recovery_stateid)
+        self.sc.reset_to(recovery_stateid)
+        self.fetch.redirect(resume_pc, now)
+
+    # ------------------------------------------------------------------ #
+
+    def bank_occupancy(self) -> Dict[str, int]:
+        """Live entries per logical register (debug/diagnostics)."""
+        return {reg_name(bank.logical): bank.live_entries
+                for bank in self.banks if bank.live_entries > 1}

@@ -1,0 +1,81 @@
+"""RelIQ use-tracking matrix (Secs. 3.4, 5.1) — reference model.
+
+The hardware tracks register consumption with a bit matrix: one bit of
+storage per physical register per instruction-queue entry, 3 write ports,
+no read ports — each bit's output is permanently wired into the OR gate
+that generates the per-register ``RelIQ`` signal. Renaming a source sets
+the dependent's bit; issuing the dependent clears it; a recovery clears
+whole columns for the cancelled instructions.
+
+The simulator's hot path keeps the OR-reduction as a per-entry *counter*
+(:meth:`repro.core.sct.RegisterBank.add_use` / ``consume``). This module
+implements the actual bit matrix so tests can prove the counter is
+exactly the population count of a RelIQ row (see
+``tests/core/test_reliq.py``), and so the structure's port/area costs can
+be reasoned about in :mod:`repro.power`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+
+class RelIQMatrix:
+    """Explicit use-bit matrix for one bank (sub-matrix per SCT)."""
+
+    def __init__(self, iq_size: int) -> None:
+        self.iq_size = iq_size
+        # row per physical-register entry: set of IQ slots with bit set.
+        self._rows: Dict[int, Set[int]] = {}
+
+    def set_use(self, entry: int, iq_slot: int) -> None:
+        """Renaming wrote a source mapping: dependent ``iq_slot`` will
+        consume physical-register ``entry``."""
+        if not 0 <= iq_slot < self.iq_size:
+            raise ValueError(f"IQ slot out of range: {iq_slot}")
+        self._rows.setdefault(entry, set()).add(iq_slot)
+
+    def clear_use(self, entry: int, iq_slot: int) -> None:
+        """The dependent issued and read its operand."""
+        row = self._rows.get(entry)
+        if not row or iq_slot not in row:
+            raise AssertionError(
+                f"clearing unset use bit ({entry}, {iq_slot})")
+        row.discard(iq_slot)
+        if not row:
+            del self._rows[entry]
+
+    def clear_column(self, iq_slot: int) -> int:
+        """Recovery: clear the cancelled instruction's bits in every row
+        (Sec. 3.4: "on branch misprediction or exception recovery all
+        bits in a column ... are reset"). Returns bits cleared."""
+        cleared = 0
+        empty = []
+        for entry, row in self._rows.items():
+            if iq_slot in row:
+                row.discard(iq_slot)
+                cleared += 1
+                if not row:
+                    empty.append(entry)
+        for entry in empty:
+            del self._rows[entry]
+        return cleared
+
+    def reliq(self, entry: int) -> bool:
+        """The OR output: does ``entry`` still have outstanding uses?"""
+        return bool(self._rows.get(entry))
+
+    def use_count(self, entry: int) -> int:
+        """Population count of the row — what the hot path's counter
+        tracks."""
+        return len(self._rows.get(entry, ()))
+
+    def release_entry(self, entry: int) -> None:
+        """The physical register was released; drop its row."""
+        self._rows.pop(entry, None)
+
+    @property
+    def storage_bits(self) -> int:
+        """Architected storage: one bit per (entry, IQ slot) pair is the
+        hardware cost; live set size is the simulation cost."""
+        return sum(len(row) for row in self._rows.values())

@@ -1,0 +1,219 @@
+"""State Control Table: per-logical-register bank management (Sec. 3.2.1).
+
+Each logical register owns a fixed bank of ``n`` physical registers,
+allocated and released strictly in order — the two constraints (a) and
+(b) of Sec. 3.1 that make MSP register management distributed. The bank
+couples the SCT (one descriptor per physical register, holding the Lower
+StateId; the Upper StateId is implicit in the next entry) with the value
+storage and the use tracking that in hardware lives in the RelIQ matrix.
+
+Pointers are kept as *monotonic* allocation counters (``slot index =
+counter % n``), which makes the circular one-hot shift registers of the
+paper trivially correct to model:
+
+* ``alloc`` — one past the last allocated entry; ``alloc - 1`` is RenP,
+  the current renaming;
+* ``rel``   — RelP, the first entry that cannot yet be released (value
+  not produced, uses outstanding, or same-state instructions pending);
+* ``freed`` — one past the last entry actually reclaimed on commit.
+
+Invariant: ``freed <= rel < alloc`` and ``alloc - freed <= n``.
+
+A handle for a physical register in this bank is the pair
+``(logical, mono)`` where ``mono`` is the allocation counter value — it
+is unique for the lifetime of the simulation, so stale wakeup lists can
+never alias a recycled slot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class RegisterBank:
+    """One logical register's bank: SCT entries + values + use tracking."""
+
+    def __init__(self, logical: int, capacity: Optional[int],
+                 initial_value=0) -> None:
+        self.logical = logical
+        self.capacity = capacity          # None = unbounded (ideal MSP)
+        size = capacity if capacity is not None else 16
+        self._stateid = [0] * size
+        self._value = [initial_value] * size
+        self._ready = [False] * size
+        self._uses = [0] * size
+
+        # Slot 0 holds the initial architectural value at state 0.
+        self._value[0] = initial_value
+        self._ready[0] = True
+        self.alloc = 1
+        self.rel = 0
+        self.freed = 0
+
+        self.allocations = 0
+        self.releases = 0
+
+    # ------------------------------------------------------------------ #
+    # Indexing.
+    # ------------------------------------------------------------------ #
+
+    def _idx(self, mono: int) -> int:
+        if self.capacity is None:
+            return mono
+        return mono % self.capacity
+
+    def _grow_to(self, mono: int) -> None:
+        while mono >= len(self._stateid):
+            self._stateid.append(0)
+            self._value.append(0)
+            self._ready.append(False)
+            self._uses.append(0)
+
+    # ------------------------------------------------------------------ #
+    # Allocation / renaming.
+    # ------------------------------------------------------------------ #
+
+    @property
+    def live_entries(self) -> int:
+        return self.alloc - self.freed
+
+    def is_full(self) -> bool:
+        return (self.capacity is not None
+                and self.live_entries >= self.capacity)
+
+    def current_mono(self) -> int:
+        """RenP: the most recent renaming of this logical register."""
+        return self.alloc - 1
+
+    def allocate(self, stateid: int) -> int:
+        """Allocate the next physical register for a new renaming."""
+        if self.is_full():
+            raise RuntimeError(f"bank r{self.logical} full; "
+                               "check is_full() first")
+        mono = self.alloc
+        if self.capacity is None:
+            self._grow_to(mono)
+        idx = self._idx(mono)
+        self._stateid[idx] = stateid
+        self._ready[idx] = False
+        self._uses[idx] = 0
+        self._value[idx] = None
+        self.alloc = mono + 1
+        self.allocations += 1
+        return mono
+
+    # ------------------------------------------------------------------ #
+    # Value / use tracking.
+    # ------------------------------------------------------------------ #
+
+    def is_ready(self, mono: int) -> bool:
+        return self._ready[self._idx(mono)]
+
+    def read(self, mono: int):
+        return self._value[self._idx(mono)]
+
+    def write(self, mono: int, value) -> None:
+        idx = self._idx(mono)
+        self._value[idx] = value
+        self._ready[idx] = True
+
+    def add_use(self, mono: int) -> None:
+        """A dependent instruction dispatched (sets its RelIQ use bit)."""
+        self._uses[self._idx(mono)] += 1
+
+    def consume(self, mono: int) -> None:
+        """A dependent read the value (clears its use bit)."""
+        idx = self._idx(mono)
+        if self._uses[idx] <= 0:
+            raise AssertionError(
+                f"use-count underflow on r{self.logical}.{mono}")
+        self._uses[idx] -= 1
+
+    def stateid_of(self, mono: int) -> int:
+        return self._stateid[self._idx(mono)]
+
+    # ------------------------------------------------------------------ #
+    # RelP advance and the LCS contribution (Sec. 3.2.2).
+    # ------------------------------------------------------------------ #
+
+    def _releasable(self, mono: int, outstanding: Dict[int, int]) -> bool:
+        idx = self._idx(mono)
+        if not self._ready[idx] or self._uses[idx]:
+            return False
+        return outstanding.get(self._stateid[idx], 0) == 0
+
+    def advance_rel(self, outstanding: Dict[int, int]) -> None:
+        """Move RelP to the first entry that cannot be released."""
+        while (self.rel < self.alloc - 1
+               and self._releasable(self.rel, outstanding)):
+            self.rel += 1
+
+    def lcs_candidate(self, outstanding: Dict[int, int]) -> Optional[int]:
+        """This bank's input to the LCS min-tree.
+
+        The special condition of Sec. 3.2.2: when RenP == RelP the bank
+        is excluded from the LCS computation once the entry's value has
+        been produced and every same-state instruction has executed — an
+        idle logical register must not hold back commit.
+
+        Interpretation note: the paper states the condition as
+        "RelIQ[RenP] = 0", which literally would also wait for all
+        *readers* of the current mapping to issue. Pending reads of the
+        last renaming impose no release hazard (the last entry is never
+        released while current), and including them makes any
+        loop-invariant register — a base pointer or threshold read by
+        every iteration — gate the LCS at its ancient allocation state,
+        throttling commit to rare all-readers-issued windows. We
+        therefore gate the exclusion only on the signals that protect the
+        entry's own state: value produced and same-state instructions
+        complete.
+        """
+        if self.rel == self.alloc - 1:
+            idx = self._idx(self.rel)
+            if (self._ready[idx]
+                    and outstanding.get(self._stateid[idx], 0) == 0):
+                return None
+        return self._stateid[self._idx(self.rel)]
+
+    # ------------------------------------------------------------------ #
+    # Commit-time release and recovery (Secs. 3.2.1, 3.5).
+    # ------------------------------------------------------------------ #
+
+    def free_up_to(self, committed_stateid: int) -> int:
+        """Reclaim entries whose successor's state has committed.
+
+        An entry is dead once the *next* renaming's state is committed:
+        its StateId range then lies entirely in committed history, so no
+        recovery can ever make it the current mapping again. This is the
+        "release if StateId < LCS unless it is the last such register"
+        rule, stated in terms of the implicit Upper StateId.
+        """
+        reclaimed = 0
+        while (self.freed < self.rel
+               and self._stateid[self._idx(self.freed + 1)]
+               <= committed_stateid):
+            self.freed += 1
+            reclaimed += 1
+        self.releases += reclaimed
+        return reclaimed
+
+    def rollback(self, recovery_stateid: int) -> int:
+        """Release every entry with Lower StateId > the Recovery StateId
+        (Sec. 3.5) and restore RenP to the surviving mapping."""
+        dropped = 0
+        while (self.alloc - self.freed > 0
+               and self._stateid[self._idx(self.alloc - 1)]
+               > recovery_stateid):
+            self.alloc -= 1
+            dropped += 1
+        if self.alloc == self.freed:
+            raise AssertionError(
+                f"bank r{self.logical} emptied by rollback to state "
+                f"{recovery_stateid}; release rule violated")
+        if self.rel > self.alloc - 1:
+            self.rel = self.alloc - 1
+        return dropped
+
+    def __repr__(self) -> str:
+        return (f"RegisterBank(r{self.logical}, live={self.live_entries}, "
+                f"alloc={self.alloc}, rel={self.rel}, freed={self.freed})")

@@ -1,0 +1,137 @@
+"""StateIds and the saturation-bit overflow scheme (Sec. 3.6).
+
+A StateId names a processor state: a new one is created by every
+instruction that assigns a destination register. The hardware stores
+StateIds in ``m = log2(M)`` bits (M = register-file size) plus a
+saturation bit ``Sb``:
+
+* the State Counter (SC) increments from 0; when it reaches the all-ones
+  value, every in-flight state must already have ``Sb = 1`` (there are at
+  most M states in flight), so all stored ``Sb`` bits are flash-cleared
+  and the SC is set to ``M + 1`` (``Sb = 1``, low bits 0);
+* comparisons then stay correct because any two in-flight ids are within
+  M of each other.
+
+The simulator's hot path uses unbounded Python ints for StateIds (exactly
+equivalent while the in-flight window is at most M — the property tests
+in ``tests/core/test_stateid.py`` verify this), and this module provides
+the faithful hardware encoding used by those tests and by anyone wanting
+to study the overflow machinery itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class SaturatingStateIdSpace:
+    """The m+1-bit encoded StateId space with explicit renormalisation.
+
+    Tracks the set of *live* encoded ids (the SCT contents) so the
+    saturation event can flash-clear their ``Sb`` bits, exactly as the
+    paper describes.
+
+    Lifetime constraint (implicit in the paper's "all current states
+    must now have the saturation bit set"): in-flight states form a
+    contiguous window of *fewer than M* ids at each saturation event —
+    which the MSP guarantees because states are created and committed in
+    order and every bank pins one entry as the architectural copy. A
+    live id that survives a renormalisation without its ``Sb`` set
+    violates that window and raises.
+    """
+
+    def __init__(self, m_bits: int) -> None:
+        if m_bits < 1:
+            raise ValueError("need at least 1 bit")
+        self.m_bits = m_bits
+        self.capacity = 1 << m_bits          # M: max states in flight
+        self.sb_mask = 1 << m_bits           # the saturation bit
+        self.max_counter = (1 << (m_bits + 1)) - 1   # all ones
+        self.counter = 0                     # the SC, m+1 bits
+        # live encoded ids, keyed by an owner token (e.g. a bank slot).
+        self.live: Dict[object, int] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def allocate(self, owner: object) -> int:
+        """Advance the SC and register the new id as live for ``owner``."""
+        if len(self.live) >= self.capacity:
+            raise OverflowError(
+                f"more than M={self.capacity} states in flight")
+        if self.counter == self.max_counter:
+            self._renormalise()
+        self.counter += 1
+        encoded = self.counter
+        self.live[owner] = encoded
+        return encoded
+
+    def release(self, owner: object) -> None:
+        """A state committed or was squashed; its id is no longer live."""
+        del self.live[owner]
+
+    def encoded(self, owner: object) -> int:
+        """Current encoding of a live owner's id. Holders must re-read
+        after a renormalisation (the hardware flash-clears in place)."""
+        return self.live[owner]
+
+    def _renormalise(self) -> None:
+        # SC saturated: every live id must have Sb set (at most M states
+        # in flight means they all fall in the upper half). Clear all Sb
+        # bits and restart the SC at M + 1 (Sb=1, low bits 0).
+        for owner, encoded in self.live.items():
+            if not encoded & self.sb_mask:
+                raise AssertionError(
+                    "live StateId without saturation bit at renormalise; "
+                    "window invariant violated")
+            self.live[owner] = encoded & ~self.sb_mask
+        self.counter = self.sb_mask
+
+    # ------------------------------------------------------------------ #
+
+    def compare(self, a: int, b: int) -> int:
+        """Order two live encoded ids: negative if a older, 0, positive.
+
+        Valid whenever both ids are live (within M of each other), which
+        is the only situation the hardware compares them in.
+        """
+        return a - b
+
+    def is_older(self, a: int, b: int) -> bool:
+        return self.compare(a, b) < 0
+
+
+class StateIdAllocator:
+    """Unbounded StateId allocator used by the MSP core's hot path.
+
+    Mirrors :class:`SaturatingStateIdSpace` behaviour (the tests prove the
+    orderings agree) without the encoding cost. Also supports the
+    recovery reset: "After the recovery is complete, the SC is set to the
+    Recovery StateId".
+    """
+
+    def __init__(self) -> None:
+        self.current = 0
+
+    def next(self) -> int:
+        self.current += 1
+        return self.current
+
+    def reset_to(self, stateid: int) -> None:
+        self.current = stateid
+
+
+def required_bits(register_file_size: int) -> int:
+    """StateId width for a register file of the given size (Sec. 3.6):
+    ``log2(M)`` plus the saturation bit."""
+    if register_file_size < 2:
+        raise ValueError("register file too small")
+    m = (register_file_size - 1).bit_length()
+    return m + 1
+
+
+def lcs_tree_depth(num_logical_regs: int) -> int:
+    """Depth of the binary comparator tree computing the LCS
+    (Sec. 3.2.2: 32 SCTs -> a five-level tree)."""
+    if num_logical_regs < 1:
+        raise ValueError("need at least one logical register")
+    return max(1, (num_logical_regs - 1).bit_length())

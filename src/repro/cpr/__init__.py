@@ -1,0 +1,6 @@
+"""CPR: checkpoint processing and recovery (the paper's comparator)."""
+
+from repro.cpr.checkpoint import Checkpoint
+from repro.cpr.processor import CPRProcessor
+
+__all__ = ["Checkpoint", "CPRProcessor"]

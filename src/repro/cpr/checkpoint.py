@@ -1,0 +1,54 @@
+"""CPR checkpoints.
+
+A checkpoint is "a hardware structure containing the information necessary
+to recover a processor's state": here, the RAT snapshot, the sequence
+number it covers up to, and the PC fetch resumes at after a rollback.
+
+Two creation flavours (both snapshot the RAT at creation time):
+
+* **at a low-confidence branch** — covers the branch itself
+  (``seq = branch.seq``); rollback caused by the branch redirects to its
+  resolved target, rollback caused by a younger fault redirects to the
+  branch's predicted target (the path that was being fetched);
+* **interval guard** — placed *before* an instruction when too many
+  instructions accumulated since the last checkpoint
+  (``seq = inst.seq - 1``, resume at ``inst.pc``).
+
+``outstanding`` counts the checkpoint interval's dispatched-but-not-yet-
+executed instructions; the interval can bulk-commit when it reaches zero
+and the checkpoint is the oldest.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class Checkpoint:
+    """One CPR checkpoint and its instruction interval.
+
+    ``history_base`` snapshots the branch predictor's global history at
+    the creating instruction's fetch; ``branch_di`` is the creating
+    branch when the checkpoint sits at one, so a rollback can append its
+    (predicted or resolved) outcome when restoring history.
+    """
+
+    __slots__ = ("seq", "resume_pc", "rat_snapshot", "outstanding", "alive",
+                 "at_branch", "history_base", "branch_di")
+
+    def __init__(self, seq: int, resume_pc: int,
+                 rat_snapshot: List[int], at_branch: bool = False,
+                 history_base=None, branch_di=None) -> None:
+        self.seq = seq
+        self.resume_pc = resume_pc
+        self.rat_snapshot = rat_snapshot
+        self.outstanding = 0
+        self.alive = True
+        self.at_branch = at_branch
+        self.history_base = history_base
+        self.branch_di = branch_di
+
+    def __repr__(self) -> str:
+        kind = "branch" if self.at_branch else "guard"
+        return (f"Checkpoint(seq={self.seq}, resume={self.resume_pc}, "
+                f"{kind}, outstanding={self.outstanding})")

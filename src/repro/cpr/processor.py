@@ -1,0 +1,391 @@
+"""CPR: Checkpoint Processing and Recovery (Akkary, Rajwar, Srinivasan).
+
+The paper's main comparator (Table I column 2): a ROB-free machine with
+
+* up to 8 checkpoints allocated at low-confidence branches (JRS
+  estimator) plus an interval guard,
+* 192 + 192 physical registers released aggressively through reference
+  counters (a register frees as soon as it has been superseded, its value
+  consumed by every reader, and its writer has completed — possibly long
+  before the writer commits),
+* bulk commit of whole checkpoint intervals (no retire-width limit),
+* **imprecise recovery**: a mispredicted branch or exception rolls back
+  to the youngest checkpoint at or before the faulting instruction,
+  squashing and later re-executing any correct-path instructions between
+  the checkpoint and the fault — the cost MSP eliminates,
+* the hierarchical store queue, whose L2 must be scanned on rollback
+  (modelled as an extra redirect delay when the L2 holds squashed
+  entries).
+
+Reference-count holds on a physical register P:
+
+1. mapping hold — the RAT currently maps some logical register to P;
+2. checkpoint holds — one per live checkpoint whose snapshot maps P;
+3. reader holds — one per dispatched, not-yet-issued reader of P;
+4. writer hold — P's producer has dispatched but not completed.
+
+Rollback rebuilds all counts from those rules over the surviving state,
+which keeps recovery correct without shadow free-list machinery.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.branch.confidence import ConfidenceEstimator
+from repro.cpr.checkpoint import Checkpoint
+from repro.isa.opcodes import Op
+from repro.isa.registers import NUM_INT_REGS, NUM_LOGICAL_REGS, is_int_reg
+from repro.pipeline.core_base import FAULT_NONE, OutOfOrderCore
+from repro.pipeline.dyninst import DynInst
+
+
+class CPRProcessor(OutOfOrderCore):
+    """Checkpoint Processing and Recovery machine."""
+
+    def __init__(self, program, config) -> None:
+        super().__init__(program, config)
+        num_phys = config.phys_int + config.phys_fp
+        self.num_phys = num_phys
+        self.phys_value: List = [0] * num_phys
+        self.phys_ready: List[bool] = [True] * num_phys
+        self.refcount: List[int] = [0] * num_phys
+
+        self.rat: List[int] = [0] * NUM_LOGICAL_REGS
+        for lr in range(NUM_LOGICAL_REGS):
+            if is_int_reg(lr):
+                self.rat[lr] = lr
+            else:
+                self.rat[lr] = config.phys_int + (lr - NUM_INT_REGS)
+                self.phys_value[self.rat[lr]] = 0.0
+            self.refcount[self.rat[lr]] += 1  # mapping hold
+
+        self.int_free: List[int] = list(
+            range(NUM_INT_REGS, config.phys_int))
+        self.fp_free: List[int] = list(
+            range(config.phys_int + NUM_INT_REGS, num_phys))
+
+        self.confidence = ConfidenceEstimator(
+            threshold=config.confidence_threshold)
+
+        # Initial checkpoint covers the start of the program.
+        initial = Checkpoint(seq=-1, resume_pc=program.entry,
+                             rat_snapshot=list(self.rat))
+        self._hold_snapshot(initial.rat_snapshot)
+        self.checkpoints: List[Checkpoint] = [initial]
+        self._since_checkpoint = 0
+        #: low-confidence branches left uncovered because all checkpoints
+        #: were in use.
+        self.checkpoints_missed = 0
+
+    # ------------------------------------------------------------------ #
+    # Reference counting.
+    # ------------------------------------------------------------------ #
+
+    def _hold_snapshot(self, snapshot: List[int]) -> None:
+        for handle in snapshot:
+            self.refcount[handle] += 1
+
+    def _release(self, handle: int) -> None:
+        count = self.refcount[handle] - 1
+        if count < 0:
+            raise AssertionError(f"refcount underflow on phys {handle}")
+        self.refcount[handle] = count
+        if count == 0:
+            self._free_list_for_handle(handle).append(handle)
+
+    def _free_list_for_handle(self, handle: int) -> List[int]:
+        return (self.int_free if handle < self.config.phys_int
+                else self.fp_free)
+
+    def _free_list_for_logical(self, logical: int) -> List[int]:
+        return self.int_free if is_int_reg(logical) else self.fp_free
+
+    # ------------------------------------------------------------------ #
+    # Registers.
+    # ------------------------------------------------------------------ #
+
+    def handle_ready(self, handle: int) -> bool:
+        return self.phys_ready[handle]
+
+    def read_operand(self, handle: int):
+        value = self.phys_value[handle]
+        self._release(handle)  # reader hold consumed at issue
+        return value
+
+    def peek_operand(self, handle: int):
+        return self.phys_value[handle]
+
+    def write_result(self, di: DynInst) -> None:
+        self.phys_value[di.dest_handle] = di.result
+        self.phys_ready[di.dest_handle] = True
+
+    def on_complete(self, di: DynInst) -> None:
+        if di.inst.writes_reg:
+            self._release(di.dest_handle)  # writer hold
+        owner = di.tag
+        if isinstance(owner, Checkpoint) and owner.alive:
+            owner.outstanding -= 1
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint placement.
+    # ------------------------------------------------------------------ #
+
+    def _needs_checkpoint(self, di: DynInst) -> bool:
+        inst = di.inst
+        if inst.is_branch or inst.op is Op.JR:
+            return not self.confidence.is_confident(di.pc)
+        return self._since_checkpoint >= self.config.checkpoint_max_interval
+
+    def on_branch_resolved(self, di: DynInst, mispredicted: bool) -> None:
+        self.confidence.update(di.pc, correct=not mispredicted,
+                               taken=di.actual_taken)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch.
+    # ------------------------------------------------------------------ #
+
+    def dispatch_blocked(self, di: DynInst, moved: int) -> Optional[str]:
+        inst = di.inst
+        # Memoise the checkpoint decision across stalled retries so the
+        # confidence estimator is queried once per dynamic branch.
+        if di.tag is None:
+            di.tag = ("decision", self._needs_checkpoint(di))
+        if inst.writes_reg and not self._free_list_for_logical(inst.dest):
+            return "registers_full"
+        return None
+
+    def rename(self, di: DynInst) -> None:
+        inst = di.inst
+        needs_checkpoint = di.tag[1]
+        self._since_checkpoint += 1
+        if needs_checkpoint:
+            # Best effort: with all 8 checkpoints live the instruction
+            # proceeds uncovered and a misprediction simply rolls back
+            # further (CPR's fundamental imprecision).
+            if len(self.checkpoints) < self.config.checkpoints:
+                self._create_checkpoint(di)
+            else:
+                self.checkpoints_missed += 1
+
+        owner = self._owner_checkpoint(di.seq)
+        di.tag = owner
+        owner.outstanding += 1
+
+        di.src_handles = [self.rat[src] for src in inst.srcs]
+        for handle in di.src_handles:
+            self.refcount[handle] += 1  # reader hold
+        if inst.writes_reg:
+            new = self._free_list_for_logical(inst.dest).pop()
+            self.phys_ready[new] = False
+            self.refcount[new] = 2      # mapping + writer holds
+            old = self.rat[inst.dest]
+            self.rat[inst.dest] = new
+            di.dest_handle = new
+            self._release(old)          # superseded mapping
+
+    def _create_checkpoint(self, di: DynInst) -> None:
+        inst = di.inst
+        if inst.is_control:
+            checkpoint = Checkpoint(seq=di.seq,
+                                    resume_pc=di.predicted_target,
+                                    rat_snapshot=list(self.rat),
+                                    at_branch=True,
+                                    history_base=di.ghr_at_fetch,
+                                    branch_di=di if inst.is_branch else None)
+        else:
+            checkpoint = Checkpoint(seq=di.seq - 1, resume_pc=di.pc,
+                                    rat_snapshot=list(self.rat),
+                                    history_base=di.ghr_at_fetch)
+        self._hold_snapshot(checkpoint.rat_snapshot)
+        self.checkpoints.append(checkpoint)
+        self.stats.checkpoints_created += 1
+        self._since_checkpoint = 0
+
+    def _owner_checkpoint(self, seq: int) -> Checkpoint:
+        for checkpoint in reversed(self.checkpoints):
+            if checkpoint.seq < seq:
+                return checkpoint
+        raise AssertionError("no covering checkpoint")
+
+    def on_dispatch_stall(self, reason: str) -> None:
+        """Forward-progress guard: if dispatch is blocked on a full
+        resource while the open interval (past the youngest checkpoint)
+        holds everything in flight, nothing can ever commit — close the
+        interval with a checkpoint at the stall point."""
+        if len(self.checkpoints) >= self.config.checkpoints:
+            return
+        if not self.fetch.buffer:
+            return
+        head = self.fetch.buffer[0]
+        youngest = self.checkpoints[-1]
+        if youngest.seq >= head.seq - 1:
+            return  # interval already closed here
+        checkpoint = Checkpoint(seq=head.seq - 1, resume_pc=head.pc,
+                                rat_snapshot=list(self.rat),
+                                history_base=head.ghr_at_fetch)
+        self._hold_snapshot(checkpoint.rat_snapshot)
+        self.checkpoints.append(checkpoint)
+        self.stats.checkpoints_created += 1
+        self._since_checkpoint = 0
+
+    def assign_state_tag(self, di: DynInst) -> None:
+        # NOP/HALT never execute, so they do not join an outstanding
+        # count; they bulk-commit with whatever interval contains them.
+        di.tag = None
+
+    # ------------------------------------------------------------------ #
+    # Commit: bulk, one whole checkpoint interval at a time.
+    # ------------------------------------------------------------------ #
+
+    def commit_stage(self, now: int) -> None:
+        while len(self.checkpoints) >= 2:
+            oldest, closing = self.checkpoints[0], self.checkpoints[1]
+            if oldest.outstanding != 0:
+                return
+            if not self._commit_interval(closing.seq, now):
+                return
+            # Release the oldest checkpoint.
+            self.checkpoints.pop(0)
+            oldest.alive = False
+            for handle in oldest.rat_snapshot:
+                self._release(handle)
+        self._drain_if_halted(now)
+
+    def _commit_interval(self, seq_bound: int, now: int) -> bool:
+        """Commit every in-flight instruction with seq <= seq_bound.
+
+        Pre-scans for planned exceptions: CPR takes an exception only via
+        rollback to the preceding checkpoint, so nothing in the interval
+        may commit if it contains one.
+        """
+        count = 0
+        for di in self.in_flight:
+            if di.seq > seq_bound:
+                break
+            count += 1
+        offset = self.pending_exception_offset(count)
+        if offset is not None:
+            victim = self.in_flight[offset]
+            ordinal = self.commit_ordinal + offset
+            self._exceptions_taken.add(ordinal)
+            self.stats.exceptions_taken += 1
+            self.stats.recoveries += 1
+            self.take_exception(victim, now)
+            return False
+        for _ in range(count):
+            di = self.in_flight.popleft()
+            self.commit_one(di, now)
+            if self.done:
+                break
+        self.sq.commit_up_to(seq_bound, self.commit_store_write)
+        return not self.done
+
+    def _drain_if_halted(self, now: int) -> None:
+        """Commit the open interval past the youngest checkpoint once the
+        program has halted and everything in flight has executed."""
+        if not (self.fetch.halted and not self.fetch.buffer
+                and self.in_flight):
+            return
+        if any(not di.completed for di in self.in_flight):
+            return
+        last_seq = self.in_flight[-1].seq
+        if self._commit_interval(last_seq, now):
+            while len(self.checkpoints) > 1:
+                stale = self.checkpoints.pop(0)
+                stale.alive = False
+                for handle in stale.rat_snapshot:
+                    self._release(handle)
+
+    # ------------------------------------------------------------------ #
+    # Recovery: roll back to a checkpoint (imprecise).
+    # ------------------------------------------------------------------ #
+
+    def recover_from_branch(self, di: DynInst, now: int) -> None:
+        target = self._youngest_checkpoint_at_or_before(di.seq)
+        if target.seq == di.seq:
+            # Checkpoint at this very branch: resume at the resolved
+            # target, and make that the checkpoint's resume PC — the
+            # branch itself survives the rollback, so any later rollback
+            # to this checkpoint must follow the now-architectural
+            # outcome, not the disproven prediction.
+            resume_pc = di.actual_target
+            target.resume_pc = di.actual_target
+        else:
+            resume_pc = target.resume_pc
+        self._rollback(target, fault_seq=di.seq, resume_pc=resume_pc,
+                       now=now)
+
+    def take_exception(self, di: DynInst, now: int) -> None:
+        target = self._youngest_checkpoint_strictly_before(di.seq)
+        self._rollback(target, fault_seq=FAULT_NONE,
+                       resume_pc=target.resume_pc, now=now)
+
+    def _youngest_checkpoint_at_or_before(self, seq: int) -> Checkpoint:
+        for checkpoint in reversed(self.checkpoints):
+            if checkpoint.seq <= seq:
+                return checkpoint
+        raise AssertionError("no covering checkpoint")
+
+    def _youngest_checkpoint_strictly_before(self, seq: int) -> Checkpoint:
+        for checkpoint in reversed(self.checkpoints):
+            if checkpoint.seq < seq:
+                return checkpoint
+        raise AssertionError("no covering checkpoint")
+
+    def _rollback(self, target: Checkpoint, fault_seq: int,
+                  resume_pc: int, now: int) -> None:
+        # The L2 store-queue scan cost: squashing while stores overflowed
+        # into the second level delays the redirect.
+        l2_occupied = (self.sq.l1_capacity is not None
+                       and len(self.sq) > self.sq.l1_capacity)
+        penalty = self.config.l2sq_squash_penalty if l2_occupied else 0
+
+        while self.checkpoints and self.checkpoints[-1].seq > target.seq:
+            dead = self.checkpoints.pop()
+            dead.alive = False
+
+        squashed = self.squash_after(target.seq, fault_seq)
+        for di in squashed:
+            owner = di.tag
+            if (isinstance(owner, Checkpoint) and owner.alive
+                    and not di.completed):
+                owner.outstanding -= 1
+
+        self.rat = list(target.rat_snapshot)
+        self._rebuild_refcounts()
+        self._restore_history(target)
+        self.fetch.redirect(resume_pc, now + penalty)
+
+    def _restore_history(self, target: Checkpoint) -> None:
+        """Restore predictor global history to the rollback point."""
+        if target.history_base is None:
+            return
+        branch = target.branch_di
+        if branch is not None:
+            taken = (branch.actual_taken if branch.completed
+                     else branch.predicted_taken)
+            self.predictor.set_history_appended(target.history_base, taken)
+        else:
+            self.predictor.set_history(target.history_base)
+
+    def _rebuild_refcounts(self) -> None:
+        """Recompute every hold from rules 1-4 over surviving state."""
+        counts = [0] * self.num_phys
+        for handle in self.rat:
+            counts[handle] += 1
+        for checkpoint in self.checkpoints:
+            for handle in checkpoint.rat_snapshot:
+                counts[handle] += 1
+        for di in self.in_flight:
+            inst = di.inst
+            if not di.issued:
+                for handle in di.src_handles:
+                    counts[handle] += 1
+            if inst.writes_reg and not di.completed:
+                counts[di.dest_handle] += 1
+        self.refcount = counts
+        self.int_free = [h for h in range(self.config.phys_int)
+                         if counts[h] == 0]
+        self.fp_free = [h for h in range(self.config.phys_int, self.num_phys)
+                        if counts[h] == 0]

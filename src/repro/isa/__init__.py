@@ -1,0 +1,41 @@
+"""The repro ISA: registers, opcodes, instructions, programs, emulator."""
+
+from repro.isa.emulator import Emulator, EmulatorResult, run_program
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import FUType, Op
+from repro.isa.program import Program, ProgramBuilder
+from repro.isa.registers import (
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    NUM_LOGICAL_REGS,
+    RegClass,
+    fp_reg,
+    int_reg,
+    is_fp_reg,
+    is_int_reg,
+    parse_reg,
+    reg_class,
+    reg_name,
+)
+
+__all__ = [
+    "Emulator",
+    "EmulatorResult",
+    "FUType",
+    "Instruction",
+    "NUM_FP_REGS",
+    "NUM_INT_REGS",
+    "NUM_LOGICAL_REGS",
+    "Op",
+    "Program",
+    "ProgramBuilder",
+    "RegClass",
+    "fp_reg",
+    "int_reg",
+    "is_fp_reg",
+    "is_int_reg",
+    "parse_reg",
+    "reg_class",
+    "reg_name",
+    "run_program",
+]

@@ -1,0 +1,115 @@
+"""Architectural reference emulator.
+
+Executes a :class:`~repro.isa.program.Program` functionally, one
+instruction at a time, with no timing. The three timing cores (baseline,
+CPR, MSP) must all commit exactly this instruction stream — the integration
+tests use the emulator as the oracle for that cross-check, and the workload
+generators use it to sanity-check that kernels terminate and touch the
+memory they claim to.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.isa.program import Program
+from repro.isa.registers import NUM_LOGICAL_REGS, is_fp_reg
+from repro.isa.semantics import branch_taken, effective_address, evaluate
+from repro.isa.opcodes import Op
+
+
+class EmulatorResult:
+    """Outcome of an emulation run."""
+
+    def __init__(self) -> None:
+        self.retired = 0
+        self.halted = False
+        self.fell_off = False
+        self.pc_trace: List[int] = []
+        self.branch_outcomes: List[Tuple[int, bool]] = []
+
+    @property
+    def terminated(self) -> bool:
+        return self.halted or self.fell_off
+
+
+class Emulator:
+    """In-order architectural interpreter for the repro ISA."""
+
+    def __init__(self, program: Program,
+                 trace_pcs: bool = False,
+                 trace_branches: bool = False) -> None:
+        self.program = program
+        self.pc = program.entry
+        self.regs: List[float] = [0] * NUM_LOGICAL_REGS
+        for r in range(NUM_LOGICAL_REGS):
+            if is_fp_reg(r):
+                self.regs[r] = 0.0
+        self.memory: Dict[int, float] = dict(program.initial_memory)
+        self._trace_pcs = trace_pcs
+        self._trace_branches = trace_branches
+        #: Optional hook called on every retired instruction, for tests.
+        self.retire_hook: Optional[Callable[[int], None]] = None
+
+    def read_reg(self, reg: int):
+        return self.regs[reg]
+
+    def read_mem(self, addr: int):
+        return self.memory.get(addr, 0)
+
+    def step(self, result: EmulatorResult) -> bool:
+        """Execute one instruction; return False when the run terminated."""
+        inst = self.program.fetch(self.pc)
+        if inst is None:
+            result.fell_off = True
+            return False
+        if inst.op is Op.HALT:
+            result.halted = True
+            return False
+
+        if self._trace_pcs:
+            result.pc_trace.append(self.pc)
+        next_pc = self.pc + 1
+
+        if inst.is_branch:
+            values = [self.regs[s] for s in inst.srcs]
+            taken = branch_taken(inst.op, values)
+            if self._trace_branches:
+                result.branch_outcomes.append((self.pc, taken))
+            if taken:
+                next_pc = inst.target
+        elif inst.op is Op.JMP:
+            next_pc = inst.target
+        elif inst.op is Op.JR:
+            next_pc = int(self.regs[inst.srcs[0]])
+        elif inst.is_load:
+            addr = effective_address(self.regs[inst.srcs[0]], inst.imm)
+            value = self.memory.get(addr, 0)
+            self.regs[inst.dest] = float(value) if inst.op is Op.FLD else value
+        elif inst.is_store:
+            addr = effective_address(self.regs[inst.srcs[1]], inst.imm)
+            self.memory[addr] = self.regs[inst.srcs[0]]
+        elif inst.writes_reg:
+            values = [self.regs[s] for s in inst.srcs]
+            self.regs[inst.dest] = evaluate(inst.op, values, inst.imm)
+        # NOP: nothing.
+
+        self.pc = next_pc
+        result.retired += 1
+        if self.retire_hook is not None:
+            self.retire_hook(result.retired)
+        return True
+
+    def run(self, max_instructions: int = 1_000_000) -> EmulatorResult:
+        """Run until HALT, PC fall-off, or the instruction budget."""
+        result = EmulatorResult()
+        while result.retired < max_instructions:
+            if not self.step(result):
+                break
+        return result
+
+
+def run_program(program: Program, max_instructions: int = 1_000_000,
+                **kwargs) -> EmulatorResult:
+    """Convenience one-shot emulation of ``program``."""
+    return Emulator(program, **kwargs).run(max_instructions)

@@ -1,0 +1,100 @@
+"""Static (decoded) instruction representation.
+
+An :class:`Instruction` is one *static* instruction in a program's
+instruction memory. Dynamic, per-execution state (renamed operands, issue
+time, speculation colour, ...) lives in the pipeline's in-flight record, so
+one ``Instruction`` object is shared by every dynamic instance of it.
+
+All per-opcode metadata is pre-resolved in ``__init__`` so the simulator's
+inner loops read plain attributes instead of consulting opcode tables.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.isa.opcodes import (
+    LOAD_OPS,
+    STORE_OPS,
+    Op,
+    op_fu_type,
+    op_is_branch,
+    op_is_control,
+    op_latency,
+    op_writes_reg,
+)
+from repro.isa.registers import reg_name
+
+
+class Instruction:
+    """One static instruction.
+
+    Parameters
+    ----------
+    op:
+        The opcode.
+    dest:
+        Flat destination register id, or ``None`` for ops that do not
+        assign a register (branches, stores, jumps, NOP/HALT).
+    srcs:
+        Flat source register ids, in operand order. For stores, ``srcs[0]``
+        is the value register and ``srcs[1]`` the address base register.
+    imm:
+        Immediate operand (ALU immediate or address offset).
+    target:
+        Absolute instruction-memory PC for direct branches/jumps.
+    """
+
+    __slots__ = (
+        "op", "dest", "srcs", "imm", "target",
+        "is_branch", "is_control", "is_jump", "is_indirect",
+        "is_load", "is_store", "is_mem", "writes_reg",
+        "fu_type", "latency",
+    )
+
+    def __init__(
+        self,
+        op: Op,
+        dest: Optional[int] = None,
+        srcs: Tuple[int, ...] = (),
+        imm: int = 0,
+        target: Optional[int] = None,
+    ) -> None:
+        self.op = op
+        self.dest = dest
+        self.srcs = tuple(srcs)
+        self.imm = imm
+        self.target = target
+
+        self.is_branch = op_is_branch(op)
+        self.is_control = op_is_control(op)
+        self.is_jump = op in (Op.JMP, Op.JR)
+        self.is_indirect = op is Op.JR
+        self.is_load = op in LOAD_OPS
+        self.is_store = op in STORE_OPS
+        self.is_mem = self.is_load or self.is_store
+        self.writes_reg = op_writes_reg(op)
+        self.fu_type = op_fu_type(op)
+        self.latency = op_latency(op)
+
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.writes_reg and self.dest is None:
+            raise ValueError(f"{self.op.name} requires a destination register")
+        if not self.writes_reg and self.dest is not None:
+            raise ValueError(f"{self.op.name} must not name a destination")
+        if self.is_control and not self.is_indirect and self.op is not Op.HALT:
+            if self.target is None:
+                raise ValueError(f"{self.op.name} requires a resolved target")
+
+    def __repr__(self) -> str:
+        parts = [self.op.name.lower()]
+        if self.dest is not None:
+            parts.append(reg_name(self.dest))
+        parts.extend(reg_name(s) for s in self.srcs)
+        if self.imm:
+            parts.append(f"#{self.imm}")
+        if self.target is not None:
+            parts.append(f"@{self.target}")
+        return " ".join(parts)

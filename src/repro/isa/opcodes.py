@@ -1,0 +1,132 @@
+"""Opcode definitions and static per-opcode metadata.
+
+The ISA is a small load/store RISC machine, rich enough to express the
+synthetic SPEC-like workloads: integer ALU ops (with multi-cycle multiply
+and divide), floating point arithmetic, loads/stores for both classes,
+conditional branches, direct and indirect jumps.
+
+Metadata is kept in flat dicts keyed by :class:`Op` so the simulator's hot
+paths are single dict lookups (pre-resolved onto each ``Instruction`` at
+build time anyway).
+"""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+
+
+class Op(Enum):
+    """Every opcode in the repro ISA."""
+
+    # Integer ALU.
+    ADD = auto()
+    SUB = auto()
+    MUL = auto()
+    DIV = auto()
+    AND = auto()
+    OR = auto()
+    XOR = auto()
+    SHL = auto()
+    SHR = auto()
+    SLT = auto()          # set-if-less-than -> 0/1
+    ADDI = auto()         # dest = src + imm
+    LI = auto()           # dest = imm
+    MOV = auto()          # dest = src
+
+    # Floating point.
+    FADD = auto()
+    FSUB = auto()
+    FMUL = auto()
+    FDIV = auto()
+    FMOV = auto()
+    FCVT = auto()         # int -> fp convert
+    FCMPLT = auto()       # fp compare, writes an *int* register (0/1)
+
+    # Memory. Addresses are word-granular: address = src0 + imm.
+    LD = auto()           # int load
+    ST = auto()           # int store: mem[src1 + imm] = src0
+    FLD = auto()          # fp load
+    FST = auto()          # fp store
+
+    # Control.
+    BEQ = auto()          # branch if src0 == src1
+    BNE = auto()
+    BLT = auto()
+    BGE = auto()
+    BEQZ = auto()         # branch if src0 == 0
+    BNEZ = auto()
+    JMP = auto()          # unconditional direct jump
+    JR = auto()           # indirect jump: target = value(src0)
+
+    # Misc.
+    NOP = auto()
+    HALT = auto()
+
+
+class FUType(Enum):
+    """Functional-unit class an op executes on (Table I: 4 Int, 4 Fp, 2 LdSt)."""
+
+    INT = "int"
+    FP = "fp"
+    LDST = "ldst"
+    NONE = "none"         # NOP/HALT consume no functional unit
+
+
+_INT_ALU = {Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.SHL, Op.SHR,
+            Op.SLT, Op.ADDI, Op.LI, Op.MOV}
+_FP_ARITH = {Op.FADD, Op.FSUB, Op.FMUL, Op.FMOV, Op.FCVT, Op.FCMPLT}
+
+BRANCH_OPS = {Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BEQZ, Op.BNEZ}
+JUMP_OPS = {Op.JMP, Op.JR}
+CONTROL_OPS = BRANCH_OPS | JUMP_OPS
+LOAD_OPS = {Op.LD, Op.FLD}
+STORE_OPS = {Op.ST, Op.FST}
+MEM_OPS = LOAD_OPS | STORE_OPS
+
+#: Ops whose destination register is a *write* (these create a new MSP state).
+WRITES_REG = _INT_ALU | _FP_ARITH | {Op.FDIV, Op.MUL, Op.DIV} | LOAD_OPS
+
+#: Execution latency in cycles, excluding memory-hierarchy time for loads.
+LATENCY = {
+    Op.MUL: 3,
+    Op.DIV: 12,
+    Op.FADD: 4,
+    Op.FSUB: 4,
+    Op.FMUL: 4,
+    Op.FDIV: 12,
+    Op.FCVT: 2,
+    Op.FCMPLT: 2,
+}
+DEFAULT_LATENCY = 1
+
+
+def op_latency(op: Op) -> int:
+    """Fixed execute latency of ``op`` (loads add memory access time)."""
+    return LATENCY.get(op, DEFAULT_LATENCY)
+
+
+def op_fu_type(op: Op) -> FUType:
+    """Functional-unit class ``op`` issues to."""
+    if op in MEM_OPS:
+        return FUType.LDST
+    if op in _FP_ARITH or op is Op.FDIV:
+        return FUType.FP
+    if op in (Op.NOP, Op.HALT):
+        return FUType.NONE
+    # Integer ALU ops, MUL/DIV, branches and jumps run on the int units.
+    return FUType.INT
+
+
+def op_writes_reg(op: Op) -> bool:
+    """True if ``op`` assigns a destination register (creates an MSP state)."""
+    return op in WRITES_REG
+
+
+def op_is_branch(op: Op) -> bool:
+    """True for conditional branches."""
+    return op in BRANCH_OPS
+
+
+def op_is_control(op: Op) -> bool:
+    """True for any control transfer (conditional or jump)."""
+    return op in CONTROL_OPS

@@ -1,0 +1,77 @@
+"""Logical (architectural) register definitions.
+
+The repro ISA has 32 integer and 32 floating-point logical registers, the
+typical count the paper assumes ("The number of SCTs is equal to the number
+of logical registers, typically 32").
+
+To keep the simulator's hot paths cheap, a logical register is a plain
+``int`` in a single flat namespace:
+
+* ``0 .. 31``  -> integer registers  ``r0 .. r31``
+* ``32 .. 63`` -> floating-point registers ``f0 .. f31``
+
+Helpers here convert between indices, names and register classes.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_LOGICAL_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+
+class RegClass(Enum):
+    """Architectural register file class."""
+
+    INT = "int"
+    FP = "fp"
+
+
+def int_reg(index: int) -> int:
+    """Return the flat register id of integer register ``r{index}``."""
+    if not 0 <= index < NUM_INT_REGS:
+        raise ValueError(f"integer register index out of range: {index}")
+    return index
+
+
+def fp_reg(index: int) -> int:
+    """Return the flat register id of floating-point register ``f{index}``."""
+    if not 0 <= index < NUM_FP_REGS:
+        raise ValueError(f"fp register index out of range: {index}")
+    return NUM_INT_REGS + index
+
+
+def reg_class(reg: int) -> RegClass:
+    """Return the :class:`RegClass` of a flat register id."""
+    if not 0 <= reg < NUM_LOGICAL_REGS:
+        raise ValueError(f"register id out of range: {reg}")
+    return RegClass.INT if reg < NUM_INT_REGS else RegClass.FP
+
+
+def is_int_reg(reg: int) -> bool:
+    """True if ``reg`` names an integer register."""
+    return 0 <= reg < NUM_INT_REGS
+
+
+def is_fp_reg(reg: int) -> bool:
+    """True if ``reg`` names a floating-point register."""
+    return NUM_INT_REGS <= reg < NUM_LOGICAL_REGS
+
+
+def reg_name(reg: int) -> str:
+    """Human-readable name (``r7`` / ``f3``) of a flat register id."""
+    if is_int_reg(reg):
+        return f"r{reg}"
+    if is_fp_reg(reg):
+        return f"f{reg - NUM_INT_REGS}"
+    raise ValueError(f"register id out of range: {reg}")
+
+
+def parse_reg(name: str) -> int:
+    """Parse ``r<N>`` / ``f<N>`` back into a flat register id."""
+    if len(name) < 2 or name[0] not in ("r", "f"):
+        raise ValueError(f"not a register name: {name!r}")
+    index = int(name[1:])
+    return int_reg(index) if name[0] == "r" else fp_reg(index)

@@ -1,0 +1,110 @@
+"""Functional semantics of the repro ISA.
+
+The timing cores are *execution driven*: they really compute instruction
+results from physical-register values, including down mispredicted paths,
+which is what lets the simulator measure wrong-path and re-executed
+instruction counts (Fig. 9 of the paper).
+
+Integer values are wrapped to signed 64-bit two's complement so behaviour
+is deterministic and platform independent. Division by zero is defined to
+produce 0 (the workloads are synthetic; we want totality, not traps, except
+where the exception-injection hook is used).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Union
+
+from repro.isa.opcodes import Op
+
+Value = Union[int, float]
+
+_MASK = (1 << 64) - 1
+_SIGN = 1 << 63
+
+
+def wrap_int(value: int) -> int:
+    """Wrap a Python int to signed 64-bit two's complement."""
+    value &= _MASK
+    return value - (1 << 64) if value & _SIGN else value
+
+
+def _shift_amount(value: int) -> int:
+    return value & 63
+
+
+def evaluate(op: Op, srcs: Sequence[Value], imm: int = 0) -> Value:
+    """Compute the result value of a register-writing ``op``.
+
+    ``srcs`` holds the source operand values in operand order.
+    """
+    if op is Op.ADD:
+        return wrap_int(srcs[0] + srcs[1])
+    if op is Op.SUB:
+        return wrap_int(srcs[0] - srcs[1])
+    if op is Op.MUL:
+        return wrap_int(srcs[0] * srcs[1])
+    if op is Op.DIV:
+        if srcs[1] == 0:
+            return 0
+        return wrap_int(int(srcs[0] / srcs[1]))
+    if op is Op.AND:
+        return wrap_int(srcs[0] & srcs[1])
+    if op is Op.OR:
+        return wrap_int(srcs[0] | srcs[1])
+    if op is Op.XOR:
+        return wrap_int(srcs[0] ^ srcs[1])
+    if op is Op.SHL:
+        return wrap_int(srcs[0] << _shift_amount(srcs[1]))
+    if op is Op.SHR:
+        return wrap_int(srcs[0] >> _shift_amount(srcs[1]))
+    if op is Op.SLT:
+        return 1 if srcs[0] < srcs[1] else 0
+    if op is Op.ADDI:
+        return wrap_int(srcs[0] + imm)
+    if op is Op.LI:
+        return wrap_int(imm)
+    if op is Op.MOV:
+        return wrap_int(srcs[0])
+    if op is Op.FADD:
+        return srcs[0] + srcs[1]
+    if op is Op.FSUB:
+        return srcs[0] - srcs[1]
+    if op is Op.FMUL:
+        return srcs[0] * srcs[1]
+    if op is Op.FDIV:
+        if srcs[1] == 0.0:
+            return 0.0
+        return srcs[0] / srcs[1]
+    if op is Op.FMOV:
+        return float(srcs[0])
+    if op is Op.FCVT:
+        return float(srcs[0])
+    if op is Op.FCMPLT:
+        return 1 if srcs[0] < srcs[1] else 0
+    raise ValueError(f"{op.name} has no ALU semantics")
+
+
+def branch_taken(op: Op, srcs: Sequence[Value]) -> bool:
+    """Resolve a conditional branch's direction from its operand values."""
+    if op is Op.BEQ:
+        return srcs[0] == srcs[1]
+    if op is Op.BNE:
+        return srcs[0] != srcs[1]
+    if op is Op.BLT:
+        return srcs[0] < srcs[1]
+    if op is Op.BGE:
+        return srcs[0] >= srcs[1]
+    if op is Op.BEQZ:
+        return srcs[0] == 0
+    if op is Op.BNEZ:
+        return srcs[0] != 0
+    raise ValueError(f"{op.name} is not a conditional branch")
+
+
+def effective_address(base: Value, imm: int) -> int:
+    """Word-granular effective address of a memory op."""
+    if isinstance(base, float):
+        base = int(base) if math.isfinite(base) else 0
+    return wrap_int(base + imm) & _MASK

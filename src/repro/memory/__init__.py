@@ -1,0 +1,5 @@
+"""Memory hierarchy: set-associative caches and Table I timing."""
+
+from repro.memory.cache import WORD_BYTES, Cache, MemoryHierarchy
+
+__all__ = ["Cache", "MemoryHierarchy", "WORD_BYTES"]

@@ -1,0 +1,149 @@
+"""Set-associative, write-back, write-allocate cache with LRU replacement.
+
+Addresses are word-granular in the ISA (one word = 8 bytes); the cache
+converts to byte addresses internally so the configured line size (64 B,
+Table I) maps to 8 words per line.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+WORD_BYTES = 8
+
+
+class Cache:
+    """One level of cache. Tracks hits/misses; timing lives in the hierarchy."""
+
+    def __init__(self, name: str, size_bytes: int, assoc: int,
+                 line_bytes: int = 64) -> None:
+        if size_bytes % (assoc * line_bytes):
+            raise ValueError(f"{name}: size not divisible by assoc*line")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"{name}: number of sets must be a power of two")
+        self.set_mask = self.num_sets - 1
+        self._line_shift = line_bytes.bit_length() - 1
+        # Per-set LRU-ordered {tag: dirty} maps.
+        self._sets = [OrderedDict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def _locate(self, word_addr: int):
+        line = (word_addr * WORD_BYTES) >> self._line_shift
+        return line & self.set_mask, line >> (self.num_sets.bit_length() - 1)
+
+    def access(self, word_addr: int, write: bool = False) -> bool:
+        """Access the cache; allocate on miss. Returns True on hit."""
+        set_index, tag = self._locate(word_addr)
+        lines = self._sets[set_index]
+        if tag in lines:
+            self.hits += 1
+            lines.move_to_end(tag)
+            if write:
+                lines[tag] = True
+            return True
+        self.misses += 1
+        lines[tag] = write
+        lines.move_to_end(tag)
+        if len(lines) > self.assoc:
+            _, dirty = lines.popitem(last=False)
+            if dirty:
+                self.writebacks += 1
+        return False
+
+    def probe(self, word_addr: int) -> bool:
+        """Non-allocating lookup (no LRU update, no stats)."""
+        set_index, tag = self._locate(word_addr)
+        return tag in self._sets[set_index]
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+
+class MemoryHierarchy:
+    """Table I memory subsystem.
+
+    * I-cache: 64 KB, 4-way, 1-cycle hit
+    * D-cache: 64 KB, 4-way, 4-cycle hit
+    * L2: 1 MB, 8-way, 16-cycle hit (unified; instruction misses also go
+      through it)
+    * main memory: 380 cycles
+    """
+
+    def __init__(
+        self,
+        icache_size: int = 64 * 1024,
+        icache_assoc: int = 4,
+        icache_hit: int = 1,
+        dcache_size: int = 64 * 1024,
+        dcache_assoc: int = 4,
+        dcache_hit: int = 4,
+        l2_size: int = 1024 * 1024,
+        l2_assoc: int = 8,
+        l2_hit: int = 16,
+        line_bytes: int = 64,
+        memory_latency: int = 380,
+    ) -> None:
+        self.icache = Cache("L1I", icache_size, icache_assoc, line_bytes)
+        self.dcache = Cache("L1D", dcache_size, dcache_assoc, line_bytes)
+        self.l2 = Cache("L2", l2_size, l2_assoc, line_bytes)
+        self.icache_hit = icache_hit
+        self.dcache_hit = dcache_hit
+        self.l2_hit = l2_hit
+        self.memory_latency = memory_latency
+
+    def instruction_latency(self, pc: int) -> int:
+        """Cycles to fetch the line holding instruction ``pc``.
+
+        Instructions live in their own address space; offset them away
+        from data so the shared L2 sees distinct lines.
+        """
+        word_addr = (1 << 40) + pc
+        if self.icache.access(word_addr):
+            return self.icache_hit
+        if self.l2.access(word_addr):
+            return self.l2_hit
+        return self.memory_latency
+
+    def load_latency(self, word_addr: int) -> int:
+        """Cycles for a demand load of ``word_addr``."""
+        if self.dcache.access(word_addr):
+            return self.dcache_hit
+        if self.l2.access(word_addr):
+            return self.l2_hit
+        return self.memory_latency
+
+    def store_commit(self, word_addr: int) -> None:
+        """A committed store drains to the D-cache (no pipeline stall)."""
+        if not self.dcache.access(word_addr, write=True):
+            self.l2.access(word_addr, write=True)
+
+    def warm(self, instruction_pcs, data_addrs) -> None:
+        """Pre-warm the hierarchy, emulating the state a long-running
+        SimPoint would start from: all instruction lines in L1I/L2, data
+        streamed through L2 and L1D (LRU keeps the most recent working
+        set). Statistics are reset afterwards so warming does not count.
+        """
+        for pc in instruction_pcs:
+            word_addr = (1 << 40) + pc
+            self.icache.access(word_addr)
+            self.l2.access(word_addr)
+        for addr in data_addrs:
+            self.l2.access(addr)
+            self.dcache.access(addr)
+        for cache in (self.icache, self.dcache, self.l2):
+            cache.hits = 0
+            cache.misses = 0
+            cache.writebacks = 0

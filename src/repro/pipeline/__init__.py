@@ -1,0 +1,17 @@
+"""Shared pipeline machinery: fetch, dyninst, resources, core engine."""
+
+from repro.pipeline.core_base import FAULT_NONE, OutOfOrderCore
+from repro.pipeline.dyninst import DynInst
+from repro.pipeline.fetch import FetchEngine
+from repro.pipeline.resources import FunctionalUnitPool, LoadBuffer
+from repro.pipeline.stats import SimStats
+
+__all__ = [
+    "DynInst",
+    "FAULT_NONE",
+    "FetchEngine",
+    "FunctionalUnitPool",
+    "LoadBuffer",
+    "OutOfOrderCore",
+    "SimStats",
+]

@@ -1,0 +1,494 @@
+"""Shared out-of-order core engine.
+
+The three machines (baseline ROB, CPR, MSP) share this cycle-level engine:
+fetch, dispatch, operand wakeup, issue with functional-unit limits,
+execution with real data values (execution-driven, including wrong paths),
+store-queue forwarding and squash bookkeeping. Subclasses plug in exactly
+the parts the paper says differ:
+
+* renaming / resource allocation (``rename`` / ``dispatch_blocked``),
+* commit (``commit_stage``),
+* recovery (``recover_from_branch`` / ``take_exception``),
+* physical-register storage (``handle_ready`` / ``read_operand`` /
+  ``write_result``),
+* port arbitration (``acquire_read_ports`` / ``filter_writebacks``).
+
+Stage evaluation order within a cycle is commit -> writeback -> issue ->
+dispatch -> fetch, so results written back in cycle *t* can wake a
+consumer that issues in *t* (standard back-to-back scheduling) while
+newly dispatched instructions first become issue-eligible in *t+1*
+(*t+2* with the MSP arbitration stage).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from heapq import heappush, heappop
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.branch import BranchTargetBuffer, make_predictor
+from repro.isa.opcodes import Op
+from repro.isa.program import Program
+from repro.isa.semantics import branch_taken, effective_address, evaluate
+from repro.memory.cache import MemoryHierarchy
+from repro.pipeline.dyninst import DynInst
+from repro.pipeline.fetch import FetchEngine
+from repro.pipeline.resources import FunctionalUnitPool, LoadBuffer
+from repro.pipeline.stats import SimStats
+from repro.storequeue.queue import StoreQueue
+
+#: fault_seq sentinel for exceptions: every squashed executed instruction
+#: is on the correct path (will be re-fetched identically).
+FAULT_NONE = 1 << 62
+
+
+class OutOfOrderCore(ABC):
+    """Cycle-level execution-driven out-of-order core."""
+
+    #: Extra pipe stages between rename and first issue eligibility
+    #: (the MSP arbitration stage sets this to 1).
+    extra_dispatch_delay = 0
+
+    def __init__(self, program: Program, config) -> None:
+        self.program = program
+        self.config = config
+        self.stats = SimStats()
+
+        self.hierarchy = MemoryHierarchy(
+            icache_size=config.icache_size, icache_assoc=config.icache_assoc,
+            dcache_size=config.dcache_size, dcache_assoc=config.dcache_assoc,
+            dcache_hit=config.dcache_hit,
+            l2_size=config.l2_size, l2_assoc=config.l2_assoc,
+            l2_hit=config.l2_hit, line_bytes=config.line_bytes,
+            memory_latency=config.memory_latency,
+        )
+        if config.warm_caches:
+            self.hierarchy.warm(range(len(program)),
+                                program.memory_line_addrs)
+        self.predictor = make_predictor(config.predictor,
+                                        **config.predictor_kwargs)
+        self.btb = BranchTargetBuffer()
+        self.fetch = FetchEngine(program, self.hierarchy, self.predictor,
+                                 self.btb, width=config.fetch_width)
+        self.fus = FunctionalUnitPool(config.int_units, config.fp_units,
+                                      config.ldst_units, config.issue_width)
+        self.load_buffer = LoadBuffer(config.load_buffer)
+        self.sq = StoreQueue(config.sq_l1, config.sq_l2,
+                             config.l2_forward_penalty)
+
+        #: Committed architectural memory state.
+        self.memory: Dict[int, Any] = dict(program.initial_memory)
+
+        self.now = 0
+        self.done = False
+        self.in_flight: Deque[DynInst] = deque()
+        self.iq_count = 0
+        self._ready: List = []                     # heap of (seq, DynInst)
+        self._waiting: Dict[Any, List[DynInst]] = {}
+        self._completions: Dict[int, List[DynInst]] = {}
+        # Stores waiting for their address operand (early AGU).
+        self._addr_watch: Dict[Any, List[DynInst]] = {}
+
+        self.commit_ordinal = 0
+        self.exception_plan = set(config.exception_ordinals)
+        self._exceptions_taken: set = set()
+        #: PCs of committed instructions, in order (when record_commits).
+        self.commit_trace: Optional[List[int]] = (
+            [] if config.record_commits else None)
+
+    # ------------------------------------------------------------------ #
+    # Top level.
+    # ------------------------------------------------------------------ #
+
+    def run(self, max_instructions: int = 50_000,
+            max_cycles: Optional[int] = None) -> SimStats:
+        """Simulate until ``max_instructions`` commit, HALT, or cycle cap."""
+        cycle_cap = max_cycles if max_cycles is not None \
+            else max_instructions * 200 + 100_000
+        while (not self.done and self.stats.committed < max_instructions
+               and self.stats.cycles < cycle_cap):
+            self.cycle()
+        return self.stats
+
+    def cycle(self) -> None:
+        now = self.now
+        self.stats.cycles += 1
+        self.commit_stage(now)
+        if not self.done:
+            self.writeback_stage(now)
+            self.issue_stage(now)
+            self.dispatch_stage(now)
+            self.fetch.cycle(now)
+        self.now = now + 1
+
+    # ------------------------------------------------------------------ #
+    # Writeback / completion.
+    # ------------------------------------------------------------------ #
+
+    def writeback_stage(self, now: int) -> None:
+        completed = self._completions.pop(now, None)
+        if not completed:
+            return
+        live = [di for di in completed if not di.squashed]
+        accepted, deferred = self.filter_writebacks(live, now)
+        for di in deferred:
+            self._completions.setdefault(now + 1, []).append(di)
+        for di in accepted:
+            if di.squashed:
+                continue  # an earlier completion this cycle recovered
+            self._complete(di, now)
+
+    def _complete(self, di: DynInst, now: int) -> None:
+        di.completed = True
+        inst = di.inst
+        if inst.writes_reg:
+            self.write_result(di)
+            waiters = self._waiting.pop(di.dest_handle, None)
+            if waiters:
+                for waiter in waiters:
+                    if waiter.squashed:
+                        continue
+                    waiter.wait_count -= 1
+                    if waiter.wait_count == 0:
+                        heappush(self._ready, (waiter.seq, waiter))
+            watchers = self._addr_watch.pop(di.dest_handle, None)
+            if watchers:
+                for store in watchers:
+                    if not store.squashed:
+                        addr = effective_address(di.result, store.inst.imm)
+                        self.sq.set_address(store.store_entry, addr)
+        elif inst.is_store:
+            self.sq.execute(di.store_entry, di.mem_addr, di.src_values[0])
+        self.on_complete(di)
+        if inst.is_control:
+            self._resolve_control(di, now)
+
+    def _resolve_control(self, di: DynInst, now: int) -> None:
+        inst = di.inst
+        mispredicted = False
+        if inst.is_branch:
+            self.stats.branches += 1
+            taken = di.actual_taken
+            self.predictor.update(di.prediction, taken)
+            self.on_branch_resolved(di, taken != di.predicted_taken)
+            if taken != di.predicted_taken:
+                mispredicted = True
+                self.stats.branch_mispredictions += 1
+                # Repair speculative global history with the real outcome.
+                di.prediction.taken = taken
+                self.predictor.restore(di.prediction)
+        elif inst.op is Op.JR:
+            correct = di.actual_target == di.predicted_target
+            self.btb.update(di.pc, di.actual_target, correct)
+            self.on_branch_resolved(di, not correct)
+            mispredicted = not correct
+            if mispredicted and di.ghr_at_fetch is not None:
+                # Wipe squashed younger branches' speculative history
+                # (an indirect jump shifts no direction history itself).
+                self.predictor.set_history(di.ghr_at_fetch)
+        if mispredicted:
+            di.mispredicted = True
+            self.stats.recoveries += 1
+            self.recover_from_branch(di, now)
+
+    # ------------------------------------------------------------------ #
+    # Issue / execute.
+    # ------------------------------------------------------------------ #
+
+    def issue_stage(self, now: int) -> None:
+        self.fus.new_cycle()
+        self.begin_issue_cycle()
+        deferred: List[DynInst] = []
+        scanned = 0
+        while (self._ready and self.fus.slots_left > 0
+               and scanned < self.config.max_issue_scan):
+            _, di = heappop(self._ready)
+            scanned += 1
+            if di.squashed or di.issued:
+                continue
+            if di.earliest_issue_cycle > now:
+                deferred.append(di)
+                continue
+            inst = di.inst
+            if inst.is_load:
+                addr = effective_address(
+                    self.peek_operand(di.src_handles[0]), inst.imm)
+                if self.sq.load_blocked(addr, di.seq):
+                    deferred.append(di)   # unresolved/conflicting store
+                    continue
+            if not self.fus.can_issue(inst.fu_type):
+                deferred.append(di)
+                continue
+            if not self.acquire_read_ports(di):
+                deferred.append(di)       # MSP bank read-port conflict
+                continue
+            self._issue(di, now)
+        for di in deferred:
+            heappush(self._ready, (di.seq, di))
+
+    def _issue(self, di: DynInst, now: int) -> None:
+        di.issued = True
+        self.stats.issued += 1
+        self.fus.issue(di.inst.fu_type)
+        self.iq_count -= 1
+        di.src_values = [self.read_operand(handle)
+                         for handle in di.src_handles]
+        latency = self._execute(di)
+        self._completions.setdefault(now + latency, []).append(di)
+
+    def _execute(self, di: DynInst) -> int:
+        """Functional execution; returns result latency in cycles."""
+        inst = di.inst
+        values = di.src_values
+        if inst.is_branch:
+            di.actual_taken = branch_taken(inst.op, values)
+            di.actual_target = inst.target if di.actual_taken else di.pc + 1
+            return inst.latency
+        if inst.op is Op.JMP:
+            di.actual_taken = True
+            di.actual_target = inst.target
+            return inst.latency
+        if inst.op is Op.JR:
+            di.actual_taken = True
+            di.actual_target = int(values[0])
+            return inst.latency
+        if inst.is_load:
+            addr = effective_address(values[0], inst.imm)
+            di.mem_addr = addr
+            forwarded, penalty = self.sq.forward(addr, di.seq)
+            if forwarded is not None:
+                di.result = (float(forwarded) if inst.op is Op.FLD
+                             else forwarded)
+                return 1 + penalty
+            value = self.memory.get(addr, 0)
+            di.result = float(value) if inst.op is Op.FLD else value
+            return self.hierarchy.load_latency(addr)
+        if inst.is_store:
+            di.mem_addr = effective_address(values[1], inst.imm)
+            return 1
+        # Plain register-writing op.
+        di.result = evaluate(inst.op, values, inst.imm)
+        return inst.latency
+
+    # ------------------------------------------------------------------ #
+    # Dispatch (rename + allocate).
+    # ------------------------------------------------------------------ #
+
+    def dispatch_stage(self, now: int) -> None:
+        self.begin_dispatch_cycle()
+        moved = 0
+        stall_reason: Optional[str] = None
+        while moved < self.config.rename_width and self.fetch.buffer:
+            di = self.fetch.buffer[0]
+            inst = di.inst
+            if inst.op in (Op.NOP, Op.HALT):
+                self.fetch.buffer.pop(0)
+                di.completed = True
+                self.assign_state_tag(di)
+                self.in_flight.append(di)
+                self.stats.dispatched += 1
+                moved += 1
+                continue
+
+            if self.iq_count >= self.config.iq_size:
+                stall_reason = "iq_full"
+                break
+            if inst.is_load and self.load_buffer.is_full():
+                stall_reason = "load_buffer_full"
+                break
+            if inst.is_store and self.sq.is_full():
+                stall_reason = "store_queue_full"
+                break
+            stall_reason = self.dispatch_blocked(di, moved)
+            if stall_reason is not None:
+                break
+
+            self.fetch.buffer.pop(0)
+            self.rename(di)
+            self._wire_dependencies(di, now)
+            moved += 1
+
+        if moved == 0 and stall_reason is not None:
+            self.stats.dispatch_stall_cycles[stall_reason] += 1
+            self.on_dispatch_stall(stall_reason)
+
+    def _wire_dependencies(self, di: DynInst, now: int) -> None:
+        for handle in di.src_handles:
+            if not self.handle_ready(handle):
+                di.wait_count += 1
+                self._waiting.setdefault(handle, []).append(di)
+        di.dispatch_cycle = now
+        di.earliest_issue_cycle = now + 1 + self.extra_dispatch_delay
+        inst = di.inst
+        if inst.is_store:
+            di.store_entry = self.sq.allocate(di.seq)
+            # Early AGU: resolve the address as soon as the base operand
+            # is available, possibly long before the store issues.
+            base = di.src_handles[1]
+            if self.handle_ready(base):
+                addr = effective_address(self.peek_operand(base), inst.imm)
+                self.sq.set_address(di.store_entry, addr)
+            else:
+                self._addr_watch.setdefault(base, []).append(di)
+        if inst.is_load:
+            self.load_buffer.allocate()
+        self.in_flight.append(di)
+        self.iq_count += 1
+        self.stats.dispatched += 1
+        if di.wait_count == 0:
+            heappush(self._ready, (di.seq, di))
+
+    # ------------------------------------------------------------------ #
+    # Commit helpers.
+    # ------------------------------------------------------------------ #
+
+    def commit_one(self, di: DynInst, now: int) -> bool:
+        """Commit the in-flight head; False if an exception interrupted."""
+        ordinal = self.commit_ordinal
+        if (ordinal in self.exception_plan
+                and ordinal not in self._exceptions_taken):
+            self._exceptions_taken.add(ordinal)
+            self.stats.exceptions_taken += 1
+            self.stats.recoveries += 1
+            self.take_exception(di, now)
+            return False
+        self.commit_ordinal += 1
+        di.committed = True
+        self.stats.committed += 1
+        if self.commit_trace is not None:
+            self.commit_trace.append(di.pc)
+        if di.inst.is_load:
+            self.load_buffer.release()
+        if di.inst.op is Op.HALT:
+            self.done = True
+        return True
+
+    def pending_exception_offset(self, count: int) -> Optional[int]:
+        """Offset (< count) of the first planned exception among the next
+        ``count`` commit ordinals, or None. Used by CPR's bulk commit to
+        pre-scan an interval before committing any of it."""
+        if not self.exception_plan:
+            return None
+        for offset in range(count):
+            ordinal = self.commit_ordinal + offset
+            if (ordinal in self.exception_plan
+                    and ordinal not in self._exceptions_taken):
+                return offset
+        return None
+
+    def commit_store_write(self, addr: int, value) -> None:
+        self.memory[addr] = value
+        self.hierarchy.store_commit(addr)
+
+    def repair_history_at(self, di: DynInst) -> None:
+        """Restore predictor history to the point just before ``di`` was
+        fetched (exception recovery re-fetches from ``di.pc``)."""
+        if di.ghr_at_fetch is not None:
+            self.predictor.set_history(di.ghr_at_fetch)
+
+    # ------------------------------------------------------------------ #
+    # Squash.
+    # ------------------------------------------------------------------ #
+
+    def squash_after(self, boundary_seq: int,
+                     fault_seq: int) -> List[DynInst]:
+        """Remove every in-flight instruction with ``seq > boundary_seq``.
+
+        ``fault_seq`` classifies the Fig. 9 accounting: squashed *issued*
+        instructions with ``seq > fault_seq`` were wrong-path; the rest
+        were correct-path work that will be re-executed (CPR rollback past
+        a checkpoint, or an exception replay).
+
+        Returns the squashed instructions, youngest first, so the
+        architecture can undo its own state for them.
+        """
+        squashed: List[DynInst] = []
+        while self.in_flight and self.in_flight[-1].seq > boundary_seq:
+            di = self.in_flight.pop()
+            di.squashed = True
+            squashed.append(di)
+            self.stats.squashed += 1
+            if di.issued:
+                if di.seq > fault_seq:
+                    self.stats.wrong_path_executed += 1
+                else:
+                    self.stats.correct_path_reexecuted += 1
+                if not di.completed and di.inst.is_load:
+                    pass  # completion event will be dropped via flag
+            elif not di.completed:
+                self.iq_count -= 1
+            if di.inst.is_load:
+                self.load_buffer.release()
+        self.sq.squash_after(boundary_seq)
+        self.fetch.squash_after(boundary_seq)
+        return squashed
+
+    # ------------------------------------------------------------------ #
+    # Architecture hooks.
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def commit_stage(self, now: int) -> None:
+        """Retire completed instructions per the machine's commit rules."""
+
+    @abstractmethod
+    def dispatch_blocked(self, di: DynInst, moved: int) -> Optional[str]:
+        """Stall reason preventing ``di`` from dispatching, or None."""
+
+    @abstractmethod
+    def rename(self, di: DynInst) -> None:
+        """Rename sources, allocate the destination, tag ``di``."""
+
+    @abstractmethod
+    def recover_from_branch(self, di: DynInst, now: int) -> None:
+        """Squash and restore state for the mispredicted ``di``."""
+
+    @abstractmethod
+    def take_exception(self, di: DynInst, now: int) -> None:
+        """Recover for an exception raised by committable ``di``."""
+
+    @abstractmethod
+    def handle_ready(self, handle: Any) -> bool:
+        """Is the physical register behind ``handle`` ready to read?"""
+
+    @abstractmethod
+    def read_operand(self, handle: Any):
+        """Read a (ready) physical register value."""
+
+    @abstractmethod
+    def peek_operand(self, handle: Any):
+        """Read a ready value with *no* side effects (no use-bit clear,
+        no reference-count release) — used by the early AGU and the
+        load disambiguation check."""
+
+    @abstractmethod
+    def write_result(self, di: DynInst) -> None:
+        """Write ``di.result`` to its destination register, mark ready."""
+
+    def assign_state_tag(self, di: DynInst) -> None:
+        """Tag NOP/HALT with the current state (MSP overrides)."""
+
+    def begin_dispatch_cycle(self) -> None:
+        """Per-cycle dispatch-group state reset (MSP rename limits)."""
+
+    def begin_issue_cycle(self) -> None:
+        """Per-cycle issue-port state reset (MSP read-port arbitration)."""
+
+    def acquire_read_ports(self, di: DynInst) -> bool:
+        """Try to claim register-file read ports for ``di`` (MSP)."""
+        return True
+
+    def filter_writebacks(self, completed: List[DynInst], now: int):
+        """Split completions into (accepted, deferred) per write ports."""
+        return completed, []
+
+    def on_complete(self, di: DynInst) -> None:
+        """Architecture bookkeeping when ``di`` finishes execution."""
+
+    def on_branch_resolved(self, di: DynInst, mispredicted: bool) -> None:
+        """CPR trains its confidence estimator here."""
+
+    def on_dispatch_stall(self, reason: str) -> None:
+        """Called when a whole dispatch cycle stalled (MSP attributes
+        bank-full stalls to the blocking logical register here)."""

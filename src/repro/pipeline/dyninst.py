@@ -1,0 +1,85 @@
+"""Dynamic (in-flight) instruction record.
+
+One :class:`DynInst` is created per *fetched* instruction instance —
+including wrong-path instances — and carries everything the backend needs:
+renamed operands, execution status, branch prediction context and the
+architecture-specific tags (ROB slot / checkpoint id / StateId).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.branch.base import Prediction
+from repro.isa.instructions import Instruction
+
+
+class DynInst:
+    """One dynamic instance of a static instruction."""
+
+    __slots__ = (
+        "seq", "pc", "inst",
+        "src_handles", "src_values", "wait_count",
+        "dest_handle",
+        "dispatch_cycle", "earliest_issue_cycle",
+        "issued", "completed", "squashed", "committed",
+        "result",
+        "prediction", "predicted_taken", "predicted_target",
+        "actual_taken", "actual_target", "mispredicted",
+        "mem_addr", "store_entry",
+        "stateid", "tag", "ghr_at_fetch",
+    )
+
+    def __init__(self, seq: int, pc: int, inst: Instruction) -> None:
+        self.seq = seq
+        self.pc = pc
+        self.inst = inst
+
+        # Renamed sources: architecture-specific operand handles.
+        self.src_handles: List[Any] = []
+        self.src_values: List[Any] = []
+        self.wait_count = 0
+        self.dest_handle: Any = None
+
+        self.dispatch_cycle = -1
+        self.earliest_issue_cycle = 0
+        self.issued = False
+        self.completed = False
+        self.squashed = False
+        self.committed = False
+        self.result: Any = None
+
+        # Control-flow context.
+        self.prediction: Optional[Prediction] = None
+        self.predicted_taken = False
+        self.predicted_target: Optional[int] = None
+        self.actual_taken = False
+        self.actual_target: Optional[int] = None
+        self.mispredicted = False
+
+        # Memory context.
+        self.mem_addr: Optional[int] = None
+        self.store_entry: Any = None
+
+        # Architecture-specific tags: MSP StateId; ROB index or checkpoint
+        # id live in ``tag``.
+        self.stateid = 0
+        self.tag: Any = None
+        #: predictor global history at fetch, before this instruction's
+        #: own prediction (for history repair on recovery).
+        self.ghr_at_fetch: Any = None
+
+    @property
+    def next_pc(self) -> int:
+        """Architecturally correct next PC (valid once executed)."""
+        if self.actual_target is not None:
+            return self.actual_target
+        return self.pc + 1
+
+    def __repr__(self) -> str:
+        flags = "".join((
+            "I" if self.issued else "-",
+            "C" if self.completed else "-",
+            "X" if self.squashed else "-",
+        ))
+        return f"DynInst(#{self.seq} pc={self.pc} {self.inst!r} {flags})"

@@ -1,0 +1,133 @@
+"""Front end: fetch, branch prediction, fetch-buffer decoupling.
+
+All four machines share this front end (fetch width 3, Table I). Each
+cycle it fetches up to ``width`` sequential instructions from the I-cache,
+predicting conditional branches (direction predictor) and indirect jumps
+(BTB), and stops the group at the first predicted-taken control transfer.
+Fetched instructions wait in a small decoupling buffer until the dispatch
+stage pulls them.
+
+On an I-cache miss the front end stalls for the miss latency. On a
+misprediction the core calls :meth:`redirect`, which also discards the
+buffer (those are wrong-path instructions by definition).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.branch.base import BranchPredictor
+from repro.branch.btb import BranchTargetBuffer
+from repro.isa.opcodes import Op
+from repro.isa.program import Program
+from repro.memory.cache import MemoryHierarchy
+from repro.pipeline.dyninst import DynInst
+
+
+class FetchEngine:
+    """Decoupled front end shared by all cores."""
+
+    def __init__(
+        self,
+        program: Program,
+        hierarchy: MemoryHierarchy,
+        predictor: BranchPredictor,
+        btb: Optional[BranchTargetBuffer] = None,
+        width: int = 3,
+        buffer_capacity: int = 16,
+    ) -> None:
+        self.program = program
+        self.hierarchy = hierarchy
+        self.predictor = predictor
+        self.btb = btb or BranchTargetBuffer()
+        self.width = width
+        self.buffer_capacity = buffer_capacity
+
+        self.pc = program.entry
+        self.buffer: List[DynInst] = []
+        self.next_seq = 0
+        self.halted = False          # saw HALT; wait for redirect
+        self._stalled_until = 0      # I-cache miss in progress
+        self.fetched = 0
+        self.icache_stall_cycles = 0
+
+    # ------------------------------------------------------------------ #
+
+    def redirect(self, target: int, now: int) -> None:
+        """Recovery: discard the buffer and restart fetch at ``target``."""
+        self.buffer.clear()
+        self.pc = target
+        self.halted = False
+        # The redirected fetch starts next cycle.
+        self._stalled_until = now + 1
+
+    def squash_after(self, seq: int) -> None:
+        """Drop buffered instructions younger than ``seq``."""
+        self.buffer[:] = [di for di in self.buffer if di.seq <= seq]
+
+    # ------------------------------------------------------------------ #
+
+    def cycle(self, now: int) -> None:
+        """Fetch up to ``width`` instructions into the buffer."""
+        if self.halted:
+            return
+        if now < self._stalled_until:
+            self.icache_stall_cycles += 1
+            return
+        if len(self.buffer) >= self.buffer_capacity:
+            return
+
+        latency = self.hierarchy.instruction_latency(self.pc)
+        if latency > 1:
+            self._stalled_until = now + latency
+            self.icache_stall_cycles += 1
+            return
+
+        for _ in range(self.width):
+            if len(self.buffer) >= self.buffer_capacity:
+                break
+            inst = self.program.fetch(self.pc)
+            if inst is None:
+                # Wrong-path PC fell off the program: nothing to fetch
+                # until a recovery redirects us.
+                self.halted = True
+                break
+
+            di = DynInst(self.next_seq, self.pc, inst)
+            di.ghr_at_fetch = self.predictor.get_history()
+            self.next_seq += 1
+            self.fetched += 1
+            self.buffer.append(di)
+
+            if inst.op is Op.HALT:
+                self.halted = True
+                break
+
+            next_pc = self.pc + 1
+            stop_group = False
+            if inst.is_branch:
+                prediction = self.predictor.predict(self.pc)
+                di.prediction = prediction
+                di.predicted_taken = prediction.taken
+                di.predicted_target = (inst.target if prediction.taken
+                                       else self.pc + 1)
+                if prediction.taken:
+                    next_pc = inst.target
+                    stop_group = True
+            elif inst.op is Op.JMP:
+                di.predicted_taken = True
+                di.predicted_target = inst.target
+                next_pc = inst.target
+                stop_group = True
+            elif inst.op is Op.JR:
+                di.predicted_taken = True
+                predicted = self.btb.predict(self.pc)
+                # On a BTB miss, fall through (will mispredict and recover).
+                di.predicted_target = (predicted if predicted is not None
+                                       else self.pc + 1)
+                next_pc = di.predicted_target
+                stop_group = True
+
+            self.pc = next_pc
+            if stop_group:
+                break

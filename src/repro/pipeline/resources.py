@@ -1,0 +1,72 @@
+"""Issue-bandwidth resources: functional-unit pool and load buffer.
+
+Table I gives all four machines the same execution resources: 4 integer
+units, 4 floating-point units, 2 load/store units, and an issue width
+of 5. Units are fully pipelined, so the pool is a per-cycle issue-slot
+counter per class plus the global issue-width cap.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import FUType
+
+
+class FunctionalUnitPool:
+    """Per-cycle issue slots: N units of each class, fully pipelined."""
+
+    def __init__(self, int_units: int = 4, fp_units: int = 4,
+                 ldst_units: int = 2, issue_width: int = 5) -> None:
+        self.limits = {
+            FUType.INT: int_units,
+            FUType.FP: fp_units,
+            FUType.LDST: ldst_units,
+        }
+        self.issue_width = issue_width
+        self._used = {FUType.INT: 0, FUType.FP: 0, FUType.LDST: 0}
+        self._issued_total = 0
+
+    def new_cycle(self) -> None:
+        self._used[FUType.INT] = 0
+        self._used[FUType.FP] = 0
+        self._used[FUType.LDST] = 0
+        self._issued_total = 0
+
+    def can_issue(self, fu_type: FUType) -> bool:
+        if self._issued_total >= self.issue_width:
+            return False
+        if fu_type is FUType.NONE:
+            return True
+        return self._used[fu_type] < self.limits[fu_type]
+
+    def issue(self, fu_type: FUType) -> None:
+        self._issued_total += 1
+        if fu_type is not FUType.NONE:
+            self._used[fu_type] += 1
+
+    @property
+    def slots_left(self) -> int:
+        return self.issue_width - self._issued_total
+
+
+class LoadBuffer:
+    """Bounds the number of in-flight loads (Table I: 48 entries).
+
+    Occupied from dispatch to commit/squash.
+    """
+
+    def __init__(self, capacity: int = 48) -> None:
+        self.capacity = capacity
+        self.occupied = 0
+
+    def is_full(self) -> bool:
+        return self.occupied >= self.capacity
+
+    def allocate(self) -> None:
+        if self.is_full():
+            raise RuntimeError("load buffer overflow; check is_full() first")
+        self.occupied += 1
+
+    def release(self) -> None:
+        if self.occupied <= 0:
+            raise RuntimeError("load buffer underflow")
+        self.occupied -= 1

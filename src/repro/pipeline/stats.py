@@ -1,0 +1,91 @@
+"""Simulation statistics.
+
+The counters mirror what the paper reports:
+
+* IPC (Figs. 6-8) = committed correct-path instructions / cycles;
+* the executed-instruction breakdown of Fig. 9: correct-path executed
+  (committed), correct-path re-executed (squashed past a checkpoint and
+  executed again — CPR's imprecision cost) and wrong-path executed;
+* dispatch-stall accounting, including the per-logical-register bank
+  stalls the right-hand bars of Figs. 6-8 show for the 16-SP.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+
+class SimStats:
+    """Counter bundle for one simulation run."""
+
+    def __init__(self) -> None:
+        self.cycles = 0
+        self.committed = 0
+        self.fetched = 0
+        self.dispatched = 0
+        self.issued = 0
+
+        # Fig. 9 breakdown. "Executed" means the instruction was issued to
+        # a functional unit; committed instructions are counted once in
+        # ``committed`` even if earlier instances were squashed.
+        self.wrong_path_executed = 0
+        self.correct_path_reexecuted = 0
+
+        self.branches = 0
+        self.branch_mispredictions = 0
+        self.recoveries = 0
+        self.exceptions_taken = 0
+
+        self.squashed = 0
+        self.checkpoints_created = 0
+
+        # Dispatch stall accounting: cause -> cycles. A cycle counts as
+        # stalled for a cause when dispatch could not move any instruction
+        # and the head was blocked by that cause.
+        self.dispatch_stall_cycles: Counter = Counter()
+        # MSP: logical register -> stall cycles from its bank being full.
+        self.bank_stall_cycles: Counter = Counter()
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def total_executed(self) -> int:
+        """Every trip through a functional unit (Fig. 9 bar height)."""
+        return (self.committed + self.wrong_path_executed
+                + self.correct_path_reexecuted)
+
+    @property
+    def misprediction_rate(self) -> float:
+        if self.branches == 0:
+            return 0.0
+        return self.branch_mispredictions / self.branches
+
+    def top_bank_stalls(self, count: int = 3) -> List[Tuple[int, int]]:
+        """The ``count`` logical registers with most bank-full stall cycles."""
+        return self.bank_stall_cycles.most_common(count)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of the headline numbers, for reports and tests."""
+        return {
+            "cycles": self.cycles,
+            "committed": self.committed,
+            "ipc": self.ipc,
+            "total_executed": self.total_executed,
+            "wrong_path_executed": self.wrong_path_executed,
+            "correct_path_reexecuted": self.correct_path_reexecuted,
+            "branches": self.branches,
+            "branch_mispredictions": self.branch_mispredictions,
+            "misprediction_rate": self.misprediction_rate,
+            "recoveries": self.recoveries,
+            "exceptions_taken": self.exceptions_taken,
+            "checkpoints_created": self.checkpoints_created,
+        }
+
+    def __repr__(self) -> str:
+        return (f"SimStats(cycles={self.cycles}, committed={self.committed}, "
+                f"ipc={self.ipc:.3f})")

@@ -1,0 +1,37 @@
+"""Register-file power/timing/area models (Sec. 5, Table III)."""
+
+from repro.power.regfile import (
+    CPR_256_FLAT,
+    CPR_4BANK,
+    CPR_8BANK,
+    MSP_16SP,
+    MSP_512_BANKED,
+    RegFileConfig,
+    RegFileModel,
+    section51_area,
+    table3,
+)
+from repro.power.sram import (
+    BankGeometry,
+    SRAMBankModel,
+    TECH_45NM,
+    TECH_65NM,
+    Technology,
+)
+
+__all__ = [
+    "BankGeometry",
+    "CPR_256_FLAT",
+    "CPR_4BANK",
+    "CPR_8BANK",
+    "MSP_16SP",
+    "MSP_512_BANKED",
+    "RegFileConfig",
+    "RegFileModel",
+    "SRAMBankModel",
+    "TECH_45NM",
+    "TECH_65NM",
+    "Technology",
+    "section51_area",
+    "table3",
+]

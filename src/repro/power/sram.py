@@ -1,0 +1,157 @@
+"""Analytical SRAM bank energy/delay model (Sec. 5 substrate).
+
+The paper laid out register-file banks and ran SPICE on 65 nm / 45 nm
+predictive technology models (and CACTI 4.2 for area). Neither tool is
+available offline, so this module implements a first-order analytical
+model with the standard scaling behaviours those tools capture:
+
+* a multiported SRAM cell grows linearly per port in each dimension
+  (one wordline per port adds height, one bitline pair adds width);
+* bitline capacitance scales with entries x cell height, so dynamic
+  access energy scales with bank depth and porting;
+* access time = decoder depth + bitline/wordline RC + sense amp, in
+  FO4; wire delay worsens relative to FO4 at smaller nodes;
+* idle banks still leak: total access power of an N-bank file is
+  ``Acc_power + (N-1) x Idle_power`` (the paper's equation).
+
+The free constants were least-squares fitted to the paper's published
+Table III cells (``tests/power/test_calibration.py`` pins the fit); the
+*orderings* — the 512-entry 1R/1W 32-bank MSP file beating the
+192-entry 8R/4W CPR file on both power and delay — fall out of the
+scaling alone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Process node parameters (first-order, FO4-normalised)."""
+
+    name: str
+    feature_nm: float
+    voltage: float
+    #: switched capacitance of one minimum cell access point (fF).
+    cell_cap_ff: float
+    #: leakage power per storage cell (nW).
+    cell_leak_nw: float
+    #: clock frequency the power numbers assume (GHz).
+    frequency_ghz: float
+    #: wire delay penalty relative to FO4 (grows at smaller nodes).
+    wire_fo4_factor: float
+
+
+TECH_65NM = Technology("65nm", 65.0, 1.1, cell_cap_ff=0.95,
+                       cell_leak_nw=50.0, frequency_ghz=3.0,
+                       wire_fo4_factor=1.0)
+TECH_45NM = Technology("45nm", 45.0, 1.0, cell_cap_ff=0.72,
+                       cell_leak_nw=45.0, frequency_ghz=3.4,
+                       wire_fo4_factor=1.2)
+
+# Fitted constants (see module docstring).
+_BITLINE_ENERGY_FACTOR_READ = 0.15
+_BITLINE_ENERGY_FACTOR_WRITE = 0.155
+_CELL_DIM_GROWTH_POWER = 0.15   # per extra port, for capacitance
+_CELL_DIM_GROWTH_AREA = 0.10    # per extra port, for layout area
+_READ_DECODER_FO4 = 0.5
+_READ_SENSE_FO4 = 2.3
+_READ_BITLINE_FO4 = 0.08 / 16.0
+_WRITE_DECODER_FO4 = 0.105
+_WRITE_DRIVE_FO4 = 0.43
+_AREA_CELL_UM2_FACTOR = 1230.0  # x feature^2 (um^2)
+_AREA_PERIPHERY = 1.22
+
+
+@dataclass(frozen=True)
+class BankGeometry:
+    """One SRAM bank: entries x bits with separate read/write ports."""
+
+    entries: int
+    bits: int
+    read_ports: int
+    write_ports: int
+
+    @property
+    def ports(self) -> int:
+        return self.read_ports + self.write_ports
+
+    def cell_dim(self, growth: float) -> float:
+        """Relative cell dimension for a given per-port growth rate."""
+        extra = max(0, self.ports - 2)
+        return 1.0 + growth * extra
+
+    @property
+    def storage_cells(self) -> int:
+        return self.entries * self.bits
+
+
+class SRAMBankModel:
+    """Energy, delay and area of one bank in a given technology."""
+
+    def __init__(self, geometry: BankGeometry, tech: Technology) -> None:
+        self.geometry = geometry
+        self.tech = tech
+
+    # -- energy / power -------------------------------------------------- #
+
+    def _bitline_cap_ff(self) -> float:
+        g = self.geometry
+        return (g.entries * g.cell_dim(_CELL_DIM_GROWTH_POWER)
+                * self.tech.cell_cap_ff)
+
+    def _access_energy_fj(self, factor: float) -> float:
+        v2 = self.tech.voltage ** 2
+        return self.geometry.bits * self._bitline_cap_ff() * factor * v2
+
+    def read_energy_fj(self) -> float:
+        """Dynamic energy of one read access (fJ)."""
+        return self._access_energy_fj(_BITLINE_ENERGY_FACTOR_READ)
+
+    def write_energy_fj(self) -> float:
+        """Dynamic energy of one write access (fJ)."""
+        return self._access_energy_fj(_BITLINE_ENERGY_FACTOR_WRITE)
+
+    def leakage_mw(self) -> float:
+        """Static power of the whole bank (mW)."""
+        return self.geometry.storage_cells * self.tech.cell_leak_nw * 1e-6
+
+    def access_power_mw(self, write: bool, activity: float = 1.0) -> float:
+        """Average power of a bank accessed every cycle (mW)."""
+        energy_fj = (self.write_energy_fj() if write
+                     else self.read_energy_fj())
+        dynamic_mw = energy_fj * 1e-15 * self.tech.frequency_ghz * 1e9 * 1e3
+        return dynamic_mw * activity + self.leakage_mw()
+
+    # -- timing ----------------------------------------------------------- #
+
+    def _decoder_levels(self) -> int:
+        return max(1, math.ceil(math.log2(max(2, self.geometry.entries))))
+
+    def read_access_fo4(self) -> float:
+        """Read access time in FO4: decode + bitline + sense."""
+        g = self.geometry
+        bitline = (_READ_BITLINE_FO4 * g.entries
+                   * g.cell_dim(_CELL_DIM_GROWTH_POWER))
+        raw = (_READ_DECODER_FO4 * self._decoder_levels()
+               + bitline + _READ_SENSE_FO4)
+        return raw * self.tech.wire_fo4_factor
+
+    def write_access_fo4(self) -> float:
+        """Write access time in FO4: decode + write drive (no sense)."""
+        raw = (_WRITE_DECODER_FO4 * self._decoder_levels()
+               + _WRITE_DRIVE_FO4)
+        return raw * self.tech.wire_fo4_factor
+
+    # -- area -------------------------------------------------------------- #
+
+    def area_mm2(self) -> float:
+        """Bank area in mm² (cell-array dominated, CACTI-style)."""
+        g = self.geometry
+        cell_um2 = ((self.tech.feature_nm / 1000.0) ** 2
+                    * _AREA_CELL_UM2_FACTOR)
+        array_um2 = (g.storage_cells * g.cell_dim(_CELL_DIM_GROWTH_AREA) ** 2
+                     * cell_um2)
+        return array_um2 * _AREA_PERIPHERY * 1e-6

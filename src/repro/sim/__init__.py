@@ -1,0 +1,8 @@
+"""Simulation layer: configuration, runner, statistics, experiments,
+report writers."""
+
+from repro.pipeline.stats import SimStats
+from repro.sim.config import SimConfig
+from repro.sim.runner import build_core, simulate
+
+__all__ = ["SimConfig", "SimStats", "build_core", "simulate"]

@@ -1,0 +1,61 @@
+"""Result export: CSV and Markdown writers for experiment grids.
+
+Downstream users typically want the figure data as files, not stdout;
+these helpers serialise an :class:`~repro.sim.experiments.ExperimentResult`
+(or any benchmark -> machine -> value grid) for plotting elsewhere.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Mapping, Sequence
+
+from repro.sim.experiments import ExperimentResult
+
+
+def result_to_rows(result: ExperimentResult) -> Dict[str, Dict[str, float]]:
+    """Flatten an experiment grid into {benchmark: {machine: ipc}}."""
+    return {benchmark: {machine: cells[machine].ipc
+                        for machine in result.machines}
+            for benchmark, cells in result.stats.items()}
+
+
+def grid_to_csv(rows: Mapping[str, Mapping[str, float]],
+                machines: Sequence[str],
+                value_format: str = "{:.4f}") -> str:
+    """Render a benchmark x machine grid as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["benchmark", *machines])
+    for benchmark, cells in rows.items():
+        writer.writerow([benchmark] + [value_format.format(cells[m])
+                                       for m in machines])
+    return buffer.getvalue()
+
+
+def grid_to_markdown(rows: Mapping[str, Mapping[str, float]],
+                     machines: Sequence[str],
+                     value_format: str = "{:.3f}") -> str:
+    """Render a benchmark x machine grid as a Markdown table."""
+    lines = ["| benchmark | " + " | ".join(machines) + " |",
+             "|---" * (len(machines) + 1) + "|"]
+    for benchmark, cells in rows.items():
+        values = " | ".join(value_format.format(cells[m])
+                            for m in machines)
+        lines.append(f"| {benchmark} | {values} |")
+    return "\n".join(lines)
+
+
+def write_result(result: ExperimentResult, path: str,
+                 fmt: str = "csv") -> None:
+    """Write an experiment grid to ``path`` as ``csv`` or ``md``."""
+    rows = result_to_rows(result)
+    if fmt == "csv":
+        text = grid_to_csv(rows, result.machines)
+    elif fmt == "md":
+        text = grid_to_markdown(rows, result.machines)
+    else:
+        raise ValueError(f"unknown format {fmt!r}; use 'csv' or 'md'")
+    with open(path, "w") as handle:
+        handle.write(text)

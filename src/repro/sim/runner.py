@@ -1,0 +1,40 @@
+"""Simulation entry points: build a core for a config and run it."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.baseline import BaselineProcessor
+from repro.core import MSPProcessor
+from repro.cpr import CPRProcessor
+from repro.isa.program import Program
+from repro.pipeline.core_base import OutOfOrderCore
+from repro.pipeline.stats import SimStats
+from repro.sim.config import SimConfig
+
+_CORES = {
+    "baseline": BaselineProcessor,
+    "cpr": CPRProcessor,
+    "msp": MSPProcessor,
+}
+
+
+def build_core(program: Program, config: SimConfig) -> OutOfOrderCore:
+    """Instantiate the processor model named by ``config.arch``."""
+    if config.arch not in _CORES:
+        raise ValueError(f"unknown architecture {config.arch!r}; "
+                         f"choose from {sorted(_CORES)}")
+    return _CORES[config.arch](program, config)
+
+
+def simulate(program: Union[Program, str], config: SimConfig,
+             max_instructions: int = 50_000,
+             max_cycles: Optional[int] = None) -> SimStats:
+    """Run ``program`` (a Program or a registered workload name) on the
+    machine described by ``config`` and return its statistics."""
+    if isinstance(program, str):
+        from repro.workloads import get_program
+        program = get_program(program)
+    core = build_core(program, config)
+    return core.run(max_instructions=max_instructions,
+                    max_cycles=max_cycles)

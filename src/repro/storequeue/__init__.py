@@ -1,0 +1,5 @@
+"""Store queues: single-level (baseline) and hierarchical (CPR/MSP)."""
+
+from repro.storequeue.queue import StoreEntry, StoreQueue
+
+__all__ = ["StoreEntry", "StoreQueue"]

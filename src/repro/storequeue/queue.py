@@ -1,0 +1,212 @@
+"""Store queues.
+
+Two organisations, per Table I:
+
+* the **baseline** uses a single-level store queue (24 entries);
+* **CPR and MSP** use the hierarchical two-level store queue of [2]:
+  a small, fast L1 SQ holding the *youngest* stores plus a large L2 SQ
+  that the oldest entries overflow into. Forwarding from the L2 requires
+  scanning the large structure, which costs extra cycles — the delay the
+  paper calls out in its introduction.
+
+Entries are ordered by the dynamic sequence number the dispatch stage
+assigns to every instruction. All three machines squash by sequence
+number (MSP's StateId order is consistent with it; the release tag —
+StateId or checkpoint interval — is translated to a sequence bound by
+the core).
+
+Memory disambiguation (identical across machines, so comparisons are
+fair): store *addresses* resolve as soon as the address operand is
+available — before the store itself issues — modelling an early AGU.
+A load may issue once every older store's address is known and none of
+the known addresses conflict; a conflicting older store blocks the load
+until its data arrives, then forwards it (with the L2-scan penalty when
+the entry has overflowed to the second level).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.isa.semantics import Value
+
+
+class StoreEntry:
+    """One in-flight store."""
+
+    __slots__ = ("seq", "addr", "value", "executed")
+
+    def __init__(self, seq: int) -> None:
+        self.seq = seq
+        self.addr: Optional[int] = None   # known once the AGU resolves it
+        self.value: Optional[Value] = None
+        self.executed = False             # data present
+
+
+class StoreQueue:
+    """Ordered store queue, optionally hierarchical.
+
+    Parameters
+    ----------
+    l1_capacity:
+        Entries in the fast level (``None`` = unbounded, the ideal MSP).
+    l2_capacity:
+        Entries in the slow overflow level (0 = single-level).
+    l2_forward_penalty:
+        Extra cycles to forward from an L2 entry.
+    """
+
+    def __init__(self, l1_capacity: Optional[int] = 24,
+                 l2_capacity: int = 0,
+                 l2_forward_penalty: int = 8) -> None:
+        self.l1_capacity = l1_capacity
+        self.l2_capacity = l2_capacity
+        self.l2_forward_penalty = l2_forward_penalty
+        self._entries: List[StoreEntry] = []     # oldest first
+        self._unknown_addr: Dict[int, StoreEntry] = {}   # seq -> entry
+        # addr -> entries with that address still lacking data.
+        self._pending_data: Dict[int, List[StoreEntry]] = {}
+        self.forwards = 0
+        self.l2_forwards = 0
+        self.committed_stores = 0
+        self.squashed_stores = 0
+
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def capacity(self) -> Optional[int]:
+        if self.l1_capacity is None:
+            return None
+        return self.l1_capacity + self.l2_capacity
+
+    def is_full(self) -> bool:
+        capacity = self.capacity
+        return capacity is not None and len(self._entries) >= capacity
+
+    def allocate(self, seq: int) -> StoreEntry:
+        """Allocate an entry at dispatch (address/value still unknown)."""
+        if self.is_full():
+            raise RuntimeError("store queue overflow; check is_full() first")
+        if self._entries and self._entries[-1].seq >= seq:
+            raise ValueError("stores must be allocated in sequence order")
+        entry = StoreEntry(seq)
+        self._entries.append(entry)
+        self._unknown_addr[seq] = entry
+        return entry
+
+    def set_address(self, entry: StoreEntry, addr: int) -> None:
+        """Early AGU: the store's address operand became available."""
+        if entry.addr is not None:
+            return
+        entry.addr = addr
+        self._unknown_addr.pop(entry.seq, None)
+        if not entry.executed:
+            self._pending_data.setdefault(addr, []).append(entry)
+
+    def execute(self, entry: StoreEntry, addr: int, value: Value) -> None:
+        """The store issued: data (and, if not already known, address)."""
+        self.set_address(entry, addr)
+        entry.value = value
+        entry.executed = True
+        pending = self._pending_data.get(addr)
+        if pending is not None:
+            pending[:] = [e for e in pending if e is not entry]
+            if not pending:
+                del self._pending_data[addr]
+
+    # ------------------------------------------------------------------ #
+    # Disambiguation and forwarding.
+    # ------------------------------------------------------------------ #
+
+    def load_blocked(self, addr: int, load_seq: int) -> bool:
+        """May the load at ``load_seq`` to ``addr`` issue?
+
+        Blocked while any older store's address is unknown, or an older
+        store to the same address still lacks its data.
+        """
+        for seq in self._unknown_addr:
+            if seq < load_seq:
+                return True
+        for entry in self._pending_data.get(addr, ()):
+            if entry.seq < load_seq:
+                return True
+        return False
+
+    def _level_of(self, index: int) -> int:
+        """1 if the entry at ``index`` sits in the fast level, else 2."""
+        if self.l1_capacity is None:
+            return 1
+        from_young = len(self._entries) - 1 - index
+        return 1 if from_young < self.l1_capacity else 2
+
+    def forward(self, addr: int, load_seq: int) -> Tuple[Optional[Value], int]:
+        """Store-to-load forwarding for an issuing load.
+
+        Returns ``(value, extra_latency)``; value is ``None`` when no
+        older store to ``addr`` has data (the load goes to the cache).
+        """
+        for index in range(len(self._entries) - 1, -1, -1):
+            entry = self._entries[index]
+            if entry.seq >= load_seq:
+                continue
+            if entry.executed and entry.addr == addr:
+                self.forwards += 1
+                if self._level_of(index) == 2:
+                    self.l2_forwards += 1
+                    return entry.value, self.l2_forward_penalty
+                return entry.value, 0
+        return None, 0
+
+    # ------------------------------------------------------------------ #
+    # Commit / squash.
+    # ------------------------------------------------------------------ #
+
+    def commit_up_to(self, seq_bound: int,
+                     write: Callable[[int, Value], None],
+                     limit: Optional[int] = None) -> int:
+        """Drain executed stores with ``seq <= seq_bound`` to memory.
+
+        Stores drain strictly in order; an unexecuted store at the head
+        blocks the drain. Returns the number of stores drained.
+        """
+        drained = 0
+        while self._entries and self._entries[0].seq <= seq_bound:
+            head = self._entries[0]
+            if not head.executed:
+                break
+            if limit is not None and drained >= limit:
+                break
+            write(head.addr, head.value)
+            self._entries.pop(0)
+            drained += 1
+            self.committed_stores += 1
+        return drained
+
+    def squash_after(self, seq_bound: int) -> int:
+        """Drop entries with ``seq > seq_bound`` (recovery)."""
+        kept = len(self._entries)
+        while self._entries and self._entries[-1].seq > seq_bound:
+            entry = self._entries.pop()
+            self._unknown_addr.pop(entry.seq, None)
+            if entry.addr is not None and not entry.executed:
+                pending = self._pending_data.get(entry.addr)
+                if pending is not None:
+                    pending[:] = [e for e in pending if e is not entry]
+                    if not pending:
+                        del self._pending_data[entry.addr]
+        squashed = kept - len(self._entries)
+        self.squashed_stores += squashed
+        return squashed
+
+    def oldest_seq(self) -> Optional[int]:
+        return self._entries[0].seq if self._entries else None
+
+    def oldest_unexecuted_seq(self) -> Optional[int]:
+        """Sequence number of the oldest store still lacking data."""
+        for entry in self._entries:
+            if not entry.executed:
+                return entry.seq
+        return None

@@ -1,0 +1,27 @@
+"""Synthetic SPEC CPU2000-like workloads and their registry."""
+
+from repro.workloads.building_blocks import DEFAULT_SEED
+from repro.workloads.modified import TABLE2_ENTRIES, Table2Entry
+from repro.workloads.registry import (
+    BUILDERS,
+    SPECFP,
+    SPECINT,
+    all_workloads,
+    get_program,
+    get_traits,
+)
+from repro.workloads.traits import TRAITS, WorkloadTraits
+
+__all__ = [
+    "BUILDERS",
+    "DEFAULT_SEED",
+    "SPECFP",
+    "SPECINT",
+    "TABLE2_ENTRIES",
+    "TRAITS",
+    "Table2Entry",
+    "WorkloadTraits",
+    "all_workloads",
+    "get_program",
+    "get_traits",
+]

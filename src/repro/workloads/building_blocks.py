@@ -1,0 +1,69 @@
+"""Shared ingredients for the synthetic SPEC-like kernels.
+
+Everything is seeded, so programs (and therefore simulations) are fully
+deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.isa.program import ProgramBuilder
+
+DEFAULT_SEED = 20080612   # MICRO-41 submission season
+
+
+def rng_for(name: str, seed: int = DEFAULT_SEED) -> random.Random:
+    """Per-workload RNG: independent streams per benchmark name."""
+    return random.Random(f"{name}:{seed}")
+
+
+def random_words(rng: random.Random, count: int,
+                 lo: int = 0, hi: int = 1 << 16) -> List[int]:
+    """Uniform random word values."""
+    return [rng.randrange(lo, hi) for _ in range(count)]
+
+
+def biased_bits(rng: random.Random, count: int, taken_bias: float) -> List[int]:
+    """0/1 stream where 1 appears with probability ``taken_bias``.
+
+    Branching on these is as predictable as the bias: 0.5 defeats every
+    predictor, 0.9 trains quickly.
+    """
+    return [1 if rng.random() < taken_bias else 0 for _ in range(count)]
+
+
+def long_pattern_bits(rng: random.Random, count: int,
+                      period: int) -> List[int]:
+    """A repeating random pattern of the given period.
+
+    Periods well beyond gshare's 16-bit history (e.g. 48-96) are exactly
+    what TAGE's long geometric histories capture and gshare cannot —
+    the differentiation between Figs. 6 and 7.
+    """
+    pattern = [rng.randrange(2) for _ in range(period)]
+    return [pattern[i % period] for i in range(count)]
+
+
+def shuffled_cycle(rng: random.Random, nodes: int, stride: int = 1) -> List[int]:
+    """Next-pointer array forming one random Hamiltonian cycle.
+
+    ``result[i]`` is the index of the node after ``i``; chasing it visits
+    every node before repeating, defeating both caches (for large
+    regions) and any stride prefetch intuition.
+    """
+    order = list(range(nodes))
+    rng.shuffle(order)
+    nxt = [0] * nodes
+    for position, node in enumerate(order):
+        nxt[node] = order[(position + 1) % nodes]
+    return [n * stride for n in nxt]
+
+
+def emit_outer_loop_reset(builder: ProgramBuilder, counter_reg: int,
+                          top_label: str) -> None:
+    """Standard tail: reset and jump back so programs run forever (the
+    instruction budget, not HALT, ends measurement runs)."""
+    builder.li(counter_reg, 0)
+    builder.jmp(top_label)

@@ -1,0 +1,55 @@
+"""Workload registry: names -> builders, suites, and a program cache.
+
+Programs are deterministic for a given (name, seed); the cache avoids
+rebuilding the larger data regions (mcf's 1.5 MB cycle) for every
+simulation in a sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.isa.program import Program
+from repro.workloads.building_blocks import DEFAULT_SEED
+from repro.workloads.modified import MODIFIED_BUILDERS, TABLE2_ENTRIES
+from repro.workloads.specfp import SPECFP_BUILDERS
+from repro.workloads.specint import SPECINT_BUILDERS
+from repro.workloads.traits import TRAITS, WorkloadTraits
+
+BUILDERS: Dict[str, Callable[..., Program]] = {}
+BUILDERS.update(SPECINT_BUILDERS)
+BUILDERS.update(SPECFP_BUILDERS)
+BUILDERS.update(MODIFIED_BUILDERS)
+
+#: Benchmark order as in the paper's figures.
+SPECINT: List[str] = ["gzip", "vpr", "gcc", "mcf", "crafty", "parser",
+                      "eon", "perlbmk", "gap", "vortex", "bzip2", "twolf"]
+SPECFP: List[str] = ["wupwise", "swim", "mgrid", "applu", "mesa", "art",
+                     "equake", "ammp", "lucas", "fma3d"]
+
+_cache: Dict[Tuple[str, int], Program] = {}
+
+
+def get_program(name: str, seed: int = DEFAULT_SEED) -> Program:
+    """Build (or fetch from cache) the workload called ``name``."""
+    if name not in BUILDERS:
+        raise ValueError(f"unknown workload {name!r}; "
+                         f"choose from {sorted(BUILDERS)}")
+    key = (name, seed)
+    if key not in _cache:
+        _cache[key] = BUILDERS[name](seed=seed)
+    return _cache[key]
+
+
+def get_traits(name: str) -> WorkloadTraits:
+    """Trait sheet for ``name`` (modified variants share the base's)."""
+    base = name[:-4] if name.endswith("_mod") else name
+    return TRAITS[base]
+
+
+def all_workloads() -> List[str]:
+    return sorted(BUILDERS)
+
+
+__all__ = ["BUILDERS", "SPECFP", "SPECINT", "TABLE2_ENTRIES",
+           "all_workloads", "get_program", "get_traits"]

@@ -1,0 +1,486 @@
+"""Synthetic SPECfp CPU2000-like workloads.
+
+The fp suite is where the paper's Sec. 4.2 effect lives: compilers
+minimise register usage in tight loops, so hot fp kernels reuse the same
+few destination registers and the n-SP stalls waiting for bank entries
+(Fig. 8). ``swim``, ``mgrid`` and ``equake`` are built tight on purpose
+(they are the Table II kernels); ``fma3d`` rotates destinations across
+many registers and is the published low-stall counter-example.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.isa.registers import fp_reg, int_reg
+from repro.workloads.building_blocks import (
+    DEFAULT_SEED,
+    random_words,
+    rng_for,
+)
+
+R = int_reg
+F = fp_reg
+
+
+def _fp_array(builder: ProgramBuilder, rng, count: int,
+              lo: float = 0.0, hi: float = 1.0) -> int:
+    return builder.data_region(
+        [lo + rng.random() * (hi - lo) for _ in range(count)])
+
+
+def build_wupwise(seed: int = DEFAULT_SEED) -> Program:
+    """Complex matrix-vector arithmetic, unrolled x4 with destination
+    registers rotated across f8..f23 — generous register use."""
+    rng = rng_for("wupwise", seed)
+    b = ProgramBuilder("wupwise")
+    size = 32768
+    re_a = _fp_array(b, rng, size)
+    im_a = _fp_array(b, rng, size)
+
+    r_i, r_n, r_ra, r_ia = R(1), R(2), R(3), R(4)
+    b.li(r_ra, re_a)
+    b.li(r_ia, im_a)
+    b.li(r_n, size)
+    b.li(r_i, 0)
+    b.label("cmul")
+    for u in range(4):
+        f_re, f_im = F(8 + u), F(12 + u)
+        f_pr, f_pi = F(16 + u), F(20 + u)
+        r_t1, r_t2 = R(6 + u), R(10 + u)
+        b.add(r_t1, r_ra, r_i)
+        b.fld(f_re, r_t1, u)
+        b.add(r_t2, r_ia, r_i)
+        b.fld(f_im, r_t2, u)
+        b.fmul(f_pr, f_re, f_re)
+        b.fmul(f_pi, f_im, f_im)
+        b.fsub(f_pr, f_pr, f_pi)
+        b.fadd(F(24 + u), F(24 + u), f_pr)
+    b.addi(r_i, r_i, 4)
+    b.blt(r_i, r_n, "cmul")
+    b.li(r_i, 0)
+    b.jmp("cmul")
+    return b.build()
+
+
+def build_swim(seed: int = DEFAULT_SEED, modified: bool = False) -> Program:
+    """Shallow-water stencil — the ``calc3`` loop of Table II.
+
+    Original: every term accumulates through ONE accumulator (f2) with
+    ONE temp (f1), so successive renamings pile into two fp banks.
+    Modified: the paper's fix — four independent accumulators/temps
+    rotated per unrolled iteration, summed at the end of each pass.
+    """
+    rng = rng_for("swim", seed)
+    b = ProgramBuilder("swim" + ("_mod" if modified else ""))
+    n = 98304                         # 4 x 96K words = 3 MB: streams past L2
+    u_arr = _fp_array(b, rng, n)
+    v_arr = _fp_array(b, rng, n)
+    p_arr = _fp_array(b, rng, n)
+    out = b.reserve(n)
+
+    r_i, r_n, r_u, r_v, r_p, r_o, r_t = (R(k) for k in range(1, 8))
+    b.li(r_u, u_arr)
+    b.li(r_v, v_arr)
+    b.li(r_p, p_arr)
+    b.li(r_o, out)
+    b.li(r_n, n - 4)
+    b.li(r_i, 1)
+    b.label("calc3")
+    if not modified:
+        # Distinct address registers per array (as a compiler would),
+        # but ONE accumulator and ONE fp temp — the calc3 tightness.
+        f_acc, f_t = F(2), F(1)
+        r_au, r_ap, r_av, r_ao = R(8), R(9), R(10), R(11)
+        b.add(r_au, r_u, r_i)
+        b.fld(f_t, r_au, 0)
+        b.fmov(f_acc, f_t)
+        b.add(r_ap, r_p, r_i)
+        b.fld(f_t, r_ap, 1)            # p[i+1]
+        b.fadd(f_acc, f_acc, f_t)
+        b.fld(f_t, r_ap, -1)           # p[i-1]
+        b.fsub(f_acc, f_acc, f_t)
+        b.add(r_av, r_v, r_i)
+        b.fld(f_t, r_av, 0)
+        b.fmul(f_t, f_t, f_t)
+        b.fadd(f_acc, f_acc, f_t)
+        b.add(r_ao, r_o, r_i)
+        b.fst(f_acc, r_ao, 0)
+        b.addi(r_i, r_i, 1)
+    else:
+        for k in range(4):
+            f_acc, f_t = F(2 + k), F(8 + k)
+            r_au, r_ap = R(8 + k), R(12 + k)
+            r_av, r_ao = R(16 + k), R(20 + k)
+            b.add(r_au, r_u, r_i)
+            b.fld(f_t, r_au, k)
+            b.fmov(f_acc, f_t)
+            b.add(r_ap, r_p, r_i)
+            b.fld(f_t, r_ap, k + 1)
+            b.fadd(f_acc, f_acc, f_t)
+            b.fld(f_t, r_ap, k - 1)
+            b.fsub(f_acc, f_acc, f_t)
+            b.add(r_av, r_v, r_i)
+            b.fld(f_t, r_av, k)
+            b.fmul(f_t, f_t, f_t)
+            b.fadd(f_acc, f_acc, f_t)
+            b.add(r_ao, r_o, r_i)
+            b.fst(f_acc, r_ao, k)
+        b.addi(r_i, r_i, 4)
+    b.blt(r_i, r_n, "calc3")
+    b.li(r_i, 1)
+    b.jmp("calc3")
+    return b.build()
+
+
+def build_mgrid(seed: int = DEFAULT_SEED, modified: bool = False) -> Program:
+    """Multigrid residual — the ``resid`` kernel of Table II: a weighted
+    neighbour sum folded through one accumulator (original) or four
+    rotated ones (modified)."""
+    rng = rng_for("mgrid", seed)
+    b = ProgramBuilder("mgrid" + ("_mod" if modified else ""))
+    n = 131072
+    grid = _fp_array(b, rng, n)
+    out = b.reserve(n)
+
+    r_i, r_n, r_g, r_o, r_t = R(1), R(2), R(3), R(4), R(5)
+    b.li(r_g, grid)
+    b.li(r_o, out)
+    b.li(r_n, n - 8)
+    b.li(r_i, 2)
+    # Stencil weights in f20..f22 (built once from integer conversions).
+    b.li(r_t, 2)
+    b.fcvt(F(20), r_t)
+    b.li(r_t, 1)
+    b.fcvt(F(21), r_t)
+    b.li(r_t, 3)
+    b.fcvt(F(22), r_t)
+    b.label("resid")
+    if not modified:
+        # Separate grid/output address registers; ONE accumulator and
+        # ONE fp temp folded through the whole stencil — resid's shape.
+        f_acc, f_t = F(2), F(1)
+        r_ag, r_ao = R(6), R(7)
+        b.add(r_ag, r_g, r_i)
+        b.fld(f_t, r_ag, 0)
+        b.fmul(f_acc, f_t, F(20))
+        for off in (-2, -1, 1, 2):
+            b.fld(f_t, r_ag, off)
+            b.fmul(f_t, f_t, F(21))
+            b.fadd(f_acc, f_acc, f_t)      # single accumulator chain
+        b.fdiv(f_acc, f_acc, F(22))
+        b.add(r_ao, r_o, r_i)
+        b.fst(f_acc, r_ao, 0)
+        b.addi(r_i, r_i, 1)
+    else:
+        for k in range(4):
+            f_acc, f_t = F(2 + k), F(8 + k)
+            r_ag, r_ao = R(6 + k), R(10 + k)
+            b.add(r_ag, r_g, r_i)
+            b.fld(f_t, r_ag, k)
+            b.fmul(f_acc, f_t, F(20))
+            for off in (-2, -1, 1, 2):
+                b.fld(f_t, r_ag, k + off)
+                b.fmul(f_t, f_t, F(21))
+                b.fadd(f_acc, f_acc, f_t)
+            b.fdiv(f_acc, f_acc, F(22))
+            b.add(r_ao, r_o, r_i)
+            b.fst(f_acc, r_ao, k)
+        b.addi(r_i, r_i, 4)
+    b.blt(r_i, r_n, "resid")
+    b.li(r_i, 2)
+    b.jmp("resid")
+    return b.build()
+
+
+def build_applu(seed: int = DEFAULT_SEED) -> Program:
+    """Blocked SSOR-style sweeps: two streams, moderate rotation over
+    f4..f11, predictable control."""
+    rng = rng_for("applu", seed)
+    b = ProgramBuilder("applu")
+    n = 131072
+    a = _fp_array(b, rng, n)
+    c = _fp_array(b, rng, n, 0.5, 1.5)
+    out = b.reserve(n)
+
+    r_i, r_n, r_a, r_c, r_o = (R(k) for k in range(1, 6))
+    b.li(r_a, a)
+    b.li(r_c, c)
+    b.li(r_o, out)
+    b.li(r_n, n - 2)
+    b.li(r_i, 0)
+    b.label("sweep")
+    for u in range(2):
+        f_x, f_y, f_z = F(4 + u * 3), F(5 + u * 3), F(6 + u * 3)
+        r_t1, r_t2, r_t3 = R(6 + u * 3), R(7 + u * 3), R(8 + u * 3)
+        b.add(r_t1, r_a, r_i)
+        b.fld(f_x, r_t1, u)
+        b.add(r_t2, r_c, r_i)
+        b.fld(f_y, r_t2, u)
+        b.fmul(f_z, f_x, f_y)
+        b.fsub(f_z, f_z, f_x)
+        b.fadd(f_z, f_z, f_y)
+        b.add(r_t3, r_o, r_i)
+        b.fst(f_z, r_t3, u)
+    b.addi(r_i, r_i, 2)
+    b.blt(r_i, r_n, "sweep")
+    b.li(r_i, 0)
+    b.jmp("sweep")
+    return b.build()
+
+
+def build_mesa(seed: int = DEFAULT_SEED) -> Program:
+    """Span rasterisation: per-pixel fp interpolation with a ~90% biased
+    coverage branch and an int edge counter."""
+    rng = rng_for("mesa", seed)
+    b = ProgramBuilder("mesa")
+    n = 4096
+    cover = b.data_region([1 if rng.random() < 0.9 else 0
+                           for _ in range(n)])
+    depth = _fp_array(b, rng, n)
+
+    r_i, r_n, r_cv, r_dp = (R(k) for k in range(1, 5))
+    f_dz = F(0)
+    b.li(r_cv, cover)
+    b.li(r_dp, depth)
+    b.li(r_n, n)
+    b.li(R(5), 1)
+    b.fcvt(f_dz, R(5))
+    b.li(r_i, 0)
+    b.label("pixel")
+    # Four pixels per pass: coverage bits, depth values, accumulators
+    # all rotated (span code is unrolled by real rasterisers too).
+    for u in range(4):
+        r_t, r_u2, r_bit = R(6 + u), R(10 + u), R(14 + u)
+        f_z, f_acc = F(1 + u), F(8 + u)
+        b.add(r_t, r_cv, r_i)
+        b.ld(r_bit, r_t, u)
+        b.add(r_u2, r_dp, r_i)
+        b.fld(f_z, r_u2, u)
+        b.fadd(f_z, f_z, f_dz)              # interpolate
+        b.beqz(r_bit, f"clipped{u}")        # ~90% taken-through
+        b.fadd(f_acc, f_acc, f_z)
+        b.label(f"clipped{u}")
+    b.addi(r_i, r_i, 4)
+    b.blt(r_i, r_n, "pixel")
+    b.li(r_i, 0)
+    b.jmp("pixel")
+    return b.build()
+
+
+def build_art(seed: int = DEFAULT_SEED) -> Program:
+    """Adaptive-resonance scan: streaming dot products over ~1 MB of
+    weights (at the L2 boundary), four rotated accumulators."""
+    rng = rng_for("art", seed)
+    b = ProgramBuilder("art")
+    n = 131072                              # 2 x 128K words = 2 MB
+    weights = _fp_array(b, rng, n)
+    inputs = _fp_array(b, rng, n)
+
+    r_i, r_n, r_w, r_x = (R(k) for k in range(1, 5))
+    b.li(r_w, weights)
+    b.li(r_x, inputs)
+    b.li(r_n, n)
+    b.li(r_i, 0)
+    b.label("dot")
+    for u in range(4):
+        f_w, f_x, f_acc = F(4 + u), F(8 + u), F(12 + u)
+        r_t1, r_t2 = R(6 + u), R(10 + u)
+        b.add(r_t1, r_w, r_i)
+        b.fld(f_w, r_t1, u)
+        b.add(r_t2, r_x, r_i)
+        b.fld(f_x, r_t2, u)
+        b.fmul(f_w, f_w, f_x)
+        b.fadd(f_acc, f_acc, f_w)
+    b.addi(r_i, r_i, 4)
+    b.blt(r_i, r_n, "dot")
+    b.li(r_i, 0)
+    b.jmp("dot")
+    return b.build()
+
+
+def build_equake(seed: int = DEFAULT_SEED, modified: bool = False) -> Program:
+    """Sparse matrix-vector product — the ``smvp`` kernel of Table II.
+
+    Gather loads through a column-index array into ONE accumulator with
+    ONE value temp (original), or unrolled x4 with rotated registers
+    (modified). The gather also produces irregular D-cache behaviour."""
+    rng = rng_for("equake", seed)
+    b = ProgramBuilder("equake" + ("_mod" if modified else ""))
+    rows = 8192
+    nnz_per_row = 8
+    vec_n = 32768
+    nnz = rows * nnz_per_row
+    cols = b.data_region([rng.randrange(vec_n) for _ in range(nnz)])
+    vals = _fp_array(b, rng, nnz)
+    vec = _fp_array(b, rng, vec_n)
+    out = b.reserve(rows)
+
+    r_row, r_rows, r_k, r_kn = R(1), R(2), R(3), R(4)
+    r_cb, r_vb, r_xb, r_ob = R(5), R(6), R(7), R(8)
+    r_c, r_t, r_base = R(9), R(10), R(11)
+    b.li(r_cb, cols)
+    b.li(r_vb, vals)
+    b.li(r_xb, vec)
+    b.li(r_ob, out)
+    b.li(r_rows, rows)
+    b.li(r_kn, nnz_per_row)
+    b.li(r_row, 0)
+    b.label("row")
+    b.mul(r_base, r_row, r_kn)
+    b.li(r_k, 0)
+    b.label("elem")
+    if not modified:
+        # Rotating address registers (compiler-normal), but ONE fp
+        # accumulator, value and gather temp — smvp's tightness.
+        f_acc, f_v, f_x = F(2), F(1), F(3)
+        r_off, r_ac, r_av, r_ax = R(12), R(13), R(14), R(15)
+        b.add(r_off, r_base, r_k)
+        b.add(r_ac, r_cb, r_off)
+        b.ld(r_c, r_ac, 0)                  # column index
+        b.add(r_av, r_vb, r_off)
+        b.fld(f_v, r_av, 0)                 # matrix value
+        b.add(r_ax, r_xb, r_c)
+        b.fld(f_x, r_ax, 0)                 # gathered x[col]
+        b.fmul(f_v, f_v, f_x)
+        b.fadd(f_acc, f_acc, f_v)           # single accumulator
+        b.addi(r_k, r_k, 1)
+    else:
+        for u in range(4):
+            f_acc, f_v, f_x = F(2 + u), F(8 + u), F(12 + u)
+            r_cu = R(12 + u)
+            r_off, r_ac = R(16 + u), R(20 + u)
+            r_av, r_ax = R(24 + u), R(28 + u)
+            b.add(r_off, r_base, r_k)
+            b.add(r_ac, r_cb, r_off)
+            b.ld(r_cu, r_ac, u)
+            b.add(r_av, r_vb, r_off)
+            b.fld(f_v, r_av, u)
+            b.add(r_ax, r_xb, r_cu)
+            b.fld(f_x, r_ax, 0)
+            b.fmul(f_v, f_v, f_x)
+            b.fadd(f_acc, f_acc, f_v)
+        b.addi(r_k, r_k, 4)
+    b.blt(r_k, r_kn, "elem")
+    b.add(r_t, r_ob, r_row)
+    b.fst(F(2), r_t, 0)
+    b.addi(r_row, r_row, 1)
+    b.blt(r_row, r_rows, "row")
+    b.li(r_row, 0)
+    b.jmp("row")
+    return b.build()
+
+
+def build_ammp(seed: int = DEFAULT_SEED) -> Program:
+    """Molecular-dynamics force term: an fp divide per interaction
+    (12-cycle chains), generous register rotation."""
+    rng = rng_for("ammp", seed)
+    b = ProgramBuilder("ammp")
+    n = 98304
+    dist = _fp_array(b, rng, n, 0.5, 2.0)
+    charge = _fp_array(b, rng, n, 0.1, 1.0)
+
+    r_i, r_n, r_d, r_q = (R(k) for k in range(1, 5))
+    b.li(r_d, dist)
+    b.li(r_q, charge)
+    b.li(r_n, n)
+    b.li(r_i, 0)
+    b.label("pair")
+    for u in range(2):
+        f_r, f_c, f_f = F(4 + u), F(8 + u), F(12 + u)
+        r_t1, r_t2 = R(6 + u), R(8 + u)
+        b.add(r_t1, r_d, r_i)
+        b.fld(f_r, r_t1, u)
+        b.add(r_t2, r_q, r_i)
+        b.fld(f_c, r_t2, u)
+        b.fmul(f_r, f_r, f_r)               # r^2
+        b.fdiv(f_f, f_c, f_r)               # coulomb term
+        b.fadd(F(16 + u), F(16 + u), f_f)
+    b.addi(r_i, r_i, 2)
+    b.blt(r_i, r_n, "pair")
+    b.li(r_i, 0)
+    b.jmp("pair")
+    return b.build()
+
+
+def build_lucas(seed: int = DEFAULT_SEED) -> Program:
+    """FFT-style butterflies with a 64-word stride (one access per cache
+    line) and rotated register pairs."""
+    rng = rng_for("lucas", seed)
+    b = ProgramBuilder("lucas")
+    n = 196608
+    data = _fp_array(b, rng, n)
+    stride = 64
+
+    r_i, r_n, r_b, r_s = (R(k) for k in range(1, 5))
+    b.li(r_b, data)
+    b.li(r_n, n - stride)
+    b.li(r_s, stride)
+    b.li(r_i, 0)
+    b.label("bfly")
+    for u in range(2):
+        f_a, f_b2, f_s, f_d = F(8 + u), F(10 + u), F(12 + u), F(14 + u)
+        r_lo, r_hi = R(6 + u), R(8 + u)
+        b.add(r_lo, r_b, r_i)
+        b.fld(f_a, r_lo, u)
+        b.add(r_hi, r_lo, r_s)
+        b.fld(f_b2, r_hi, u)
+        b.fadd(f_s, f_a, f_b2)
+        b.fsub(f_d, f_a, f_b2)
+        b.fst(f_s, r_hi, u)
+        b.fadd(F(16 + u), F(16 + u), f_d)
+    b.addi(r_i, r_i, 2)
+    b.blt(r_i, r_n, "bfly")
+    b.li(r_i, 0)
+    b.jmp("bfly")
+    return b.build()
+
+
+def build_fma3d(seed: int = DEFAULT_SEED) -> Program:
+    """Finite-element update with destinations fully rotated across
+    f4..f27 — the published low-stall fp benchmark (Sec. 4.2: "in
+    programs with very low stall cycles, such as fma3d, the 8-SP
+    performance is better than that of CPR")."""
+    rng = rng_for("fma3d", seed)
+    b = ProgramBuilder("fma3d")
+    n = 32768
+    strain = _fp_array(b, rng, n)
+    stress = _fp_array(b, rng, n)
+    out = b.reserve(n)
+
+    r_i, r_n, r_a, r_s, r_o = (R(k) for k in range(1, 6))
+    b.li(r_a, strain)
+    b.li(r_s, stress)
+    b.li(r_o, out)
+    b.li(r_n, n - 8)
+    b.li(r_i, 0)
+    b.label("elem")
+    for u in range(8):
+        f_e, f_s, f_r = F(4 + u), F(12 + u), F(20 + u)
+        r_t1, r_t2, r_t3 = R(6 + u), R(14 + u), R(22 + u)
+        b.add(r_t1, r_a, r_i)
+        b.fld(f_e, r_t1, u)
+        b.add(r_t2, r_s, r_i)
+        b.fld(f_s, r_t2, u)
+        b.fmul(f_r, f_e, f_s)
+        b.fadd(f_r, f_r, f_e)
+        b.add(r_t3, r_o, r_i)
+        b.fst(f_r, r_t3, u)
+    b.addi(r_i, r_i, 8)
+    b.blt(r_i, r_n, "elem")
+    b.li(r_i, 0)
+    b.jmp("elem")
+    return b.build()
+
+
+SPECFP_BUILDERS = {
+    "wupwise": build_wupwise,
+    "swim": build_swim,
+    "mgrid": build_mgrid,
+    "applu": build_applu,
+    "mesa": build_mesa,
+    "art": build_art,
+    "equake": build_equake,
+    "ammp": build_ammp,
+    "lucas": build_lucas,
+    "fma3d": build_fma3d,
+}

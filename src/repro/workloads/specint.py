@@ -1,0 +1,698 @@
+"""Synthetic SPECint CPU2000-like workloads.
+
+Each builder returns an infinite (budget-terminated) :class:`Program`
+written in the repro ISA, calibrated per its trait sheet in
+:mod:`repro.workloads.traits`. The two Table II benchmarks (bzip2's
+``generateMTFValues`` and twolf's ``new_dbox_a``) take a ``modified``
+flag that applies the paper's hand optimisation — unrolling the hot loop
+and rotating destination registers so consecutive renamings land in
+different banks (Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.isa.registers import fp_reg, int_reg
+from repro.workloads.building_blocks import (
+    DEFAULT_SEED,
+    biased_bits,
+    long_pattern_bits,
+    random_words,
+    rng_for,
+    shuffled_cycle,
+)
+
+R = int_reg
+F = fp_reg
+
+
+def build_gzip(seed: int = DEFAULT_SEED) -> Program:
+    """LZ-style match-length scanning over an L1-resident window.
+
+    The window is a copy of itself with ~25% mutations, so the
+    equal-bytes branch is taken with ~75% bias — predictable but not
+    free, like gzip's match loops.
+    """
+    rng = rng_for("gzip", seed)
+    b = ProgramBuilder("gzip")
+    size = 8192
+    window = random_words(rng, size, 0, 256)
+    # Mutations follow a long repeating pattern (~75% match): TAGE's
+    # geometric histories learn the match/mismatch sequence, gshare's
+    # 16-bit history cannot.
+    mutate = long_pattern_bits(rng, size, period=80)
+    lookahead = [rng.randrange(256) if mutate[i] and rng.random() < 0.75
+                 else v for i, v in enumerate(window)]
+    win = b.data_region(window)
+    ahead = b.data_region(lookahead)
+    hist = b.reserve(256)
+
+    r_i, r_n = R(1), R(2)
+    r_win, r_ahead, r_hist = R(3), R(4), R(5)
+    r_a, r_b, r_len, r_best = R(6), R(7), R(8), R(9)
+    r_t1, r_t2, r_one = R(10), R(11), R(12)
+    r_ha, r_hv = R(13), R(14)
+
+    b.li(r_win, win)
+    b.li(r_ahead, ahead)
+    b.li(r_hist, hist)
+    b.li(r_n, size)
+    b.li(r_one, 1)
+    b.li(r_i, 0)
+    b.li(r_best, 0)
+    b.label("scan")
+    b.add(r_t1, r_win, r_i)
+    b.ld(r_a, r_t1, 0)                      # window byte
+    b.add(r_t2, r_ahead, r_i)
+    b.ld(r_b, r_t2, 0)                      # lookahead byte
+    b.bne(r_a, r_b, "mismatch")             # ~75% not taken
+    b.addi(r_len, r_len, 1)                 # extend the match
+    b.blt(r_len, r_best, "count")
+    b.mov(r_best, r_len)
+    b.jmp("count")
+    b.label("mismatch")
+    b.li(r_len, 0)
+    b.label("count")
+    b.add(r_ha, r_hist, r_a)                # histogram update
+    b.ld(r_hv, r_ha, 0)
+    b.add(r_hv, r_hv, r_one)
+    b.st(r_hv, r_ha, 0)
+    b.addi(r_i, r_i, 1)
+    b.blt(r_i, r_n, "scan")
+    b.li(r_i, 0)
+    b.li(r_best, 0)
+    b.jmp("scan")
+    return b.build()
+
+
+def build_vpr(seed: int = DEFAULT_SEED) -> Program:
+    """Placement random walk: a near-50/50 move-accept branch on random
+    data, with a small fp cost accumulation."""
+    rng = rng_for("vpr", seed)
+    b = ProgramBuilder("vpr")
+    size = 16384
+    accept = b.data_region(biased_bits(rng, size, 0.5))
+    costs = b.data_region([rng.random() for _ in range(size)])
+
+    r_i, r_n, r_acc, r_cst = R(1), R(2), R(3), R(4)
+    r_bit, r_pos, r_t, r_u = R(5), R(6), R(7), R(8)
+    f_cost, f_delta = F(1), F(2)
+
+    b.li(r_acc, accept)
+    b.li(r_cst, costs)
+    b.li(r_n, size)
+    b.li(r_i, 0)
+    b.li(r_pos, 0)
+    b.label("walk")
+    b.add(r_t, r_acc, r_i)
+    b.ld(r_bit, r_t, 0)
+    b.add(r_u, r_cst, r_i)
+    b.fld(f_delta, r_u, 0)
+    b.bnez(r_bit, "accepted")               # ~50/50: hard for everyone
+    b.addi(r_pos, r_pos, -1)                # reject path
+    b.fsub(f_cost, f_cost, f_delta)
+    b.jmp("next")
+    b.label("accepted")
+    b.addi(r_pos, r_pos, 1)
+    b.fadd(f_cost, f_cost, f_delta)
+    b.label("next")
+    b.addi(r_i, r_i, 1)
+    b.blt(r_i, r_n, "walk")
+    b.li(r_i, 0)
+    b.jmp("walk")
+    return b.build()
+
+
+def build_gcc(seed: int = DEFAULT_SEED) -> Program:
+    """Compiler-ish control soup: an 8-way indirect dispatch plus mixed
+    predictable/biased branches over a larger static footprint."""
+    rng = rng_for("gcc", seed)
+    b = ProgramBuilder("gcc")
+    b.jmp("start")
+
+    # Eight "pass" handlers, each a small ALU block.
+    handler_pcs = []
+    for h in range(8):
+        b.label(f"h{h}")
+        handler_pcs.append(b.pc)
+        r_x, r_y = R(20 + h % 4), R(24 + h % 4)
+        b.addi(r_x, r_x, h + 1)
+        b.xor(r_y, r_y, r_x)
+        b.shl(r_x, r_x, R(12))
+        b.add(r_y, r_y, r_x)
+        b.jmp("after_dispatch")
+
+    size = 2048
+    # Node kinds biased toward a handful of common ones (like RTL codes).
+    kinds = [min(7, int(rng.expovariate(0.55))) for _ in range(size)]
+    kind_arr = b.data_region(kinds)
+    flag_arr = b.data_region(biased_bits(rng, size, 0.85))
+    table = b.data_region(handler_pcs)
+
+    r_i, r_n, r_kinds, r_flags, r_table = R(1), R(2), R(3), R(4), R(5)
+    r_k, r_f, r_sum = R(6), R(7), R(9)
+    r_t1, r_t2, r_t3, r_t4 = R(8), R(10), R(11), R(13)
+
+    b.label("start")
+    b.li(r_kinds, kind_arr)
+    b.li(r_flags, flag_arr)
+    b.li(r_table, table)
+    b.li(r_n, size)
+    b.li(R(12), 1)
+    b.li(r_i, 0)
+    b.label("node")
+    b.add(r_t1, r_kinds, r_i)
+    b.ld(r_k, r_t1, 0)
+    b.add(r_t2, r_table, r_k)
+    b.ld(r_t3, r_t2, 0)                     # handler PC
+    b.jr(r_t3)                              # indirect dispatch
+    b.label("after_dispatch")
+    b.add(r_t4, r_flags, r_i)
+    b.ld(r_f, r_t4, 0)
+    b.beqz(r_f, "cold")                     # ~85% taken-through
+    b.addi(r_sum, r_sum, 3)
+    b.jmp("advance")
+    b.label("cold")
+    b.sub(r_sum, r_sum, R(12))
+    b.label("advance")
+    b.addi(r_i, r_i, 1)
+    b.blt(r_i, r_n, "node")
+    b.li(r_i, 0)
+    b.jmp("node")
+    return b.build()
+
+
+def build_mcf(seed: int = DEFAULT_SEED) -> Program:
+    """Network-simplex arc scan over ~1.5 MB (beyond the 1 MB L2).
+
+    The hot loop streams arc records one cache line apart — every load
+    is a fresh miss, and a large window overlaps many of them — with an
+    ~88%-biased suitability branch on the loaded cost and a pointer hop
+    through a shuffled node cycle every 128 arcs (the serial component).
+    """
+    rng = rng_for("mcf", seed)
+    b = ProgramBuilder("mcf")
+    arcs = 192 * 1024                       # 1.5 MB of arc costs
+    threshold = 1 << 16
+    # ~88% of arcs are "profitable" (cost below threshold).
+    costs = [rng.randrange(threshold) if rng.random() < 0.88
+             else threshold + rng.randrange(threshold)
+             for _ in range(arcs)]
+    arc_base = b.data_region(costs)
+    nodes = 4096
+    node_base = b.data_region(shuffled_cycle(rng, nodes))
+
+    r_i, r_n, r_ab, r_nb = R(1), R(2), R(3), R(4)
+    r_thr, r_u, r_p = R(5), R(6), R(7)
+    r_hop, r_mask = R(8), R(9)
+
+    b.li(r_ab, arc_base)
+    b.li(r_nb, node_base)
+    b.li(r_n, arcs)
+    b.li(r_thr, threshold)
+    b.li(r_mask, 127)
+    b.li(r_i, 0)
+    b.li(r_p, 0)
+    b.label("arc")
+    # Four arcs per pass with rotated temporaries, as the compiled arc
+    # loop's many live temporaries would look.
+    for u in range(4):
+        r_t, r_v = R(10 + u), R(14 + u)
+        r_pos, r_neg = R(18 + u), R(22 + u)
+        b.add(r_t, r_ab, r_i)
+        b.ld(r_v, r_t, 8 * u)               # fresh line: misses L2
+        b.bge(r_v, r_thr, f"unprofit{u}")   # ~88% not taken
+        b.add(r_pos, r_pos, r_v)
+        b.jmp(f"advance{u}")
+        b.label(f"unprofit{u}")
+        b.addi(r_neg, r_neg, 1)
+        b.label(f"advance{u}")
+    b.and_(r_hop, r_i, r_mask)
+    b.bnez(r_hop, "next")                   # periodic pointer hop
+    b.add(r_u, r_nb, r_p)
+    b.ld(r_p, r_u, 0)                       # dependent node chase
+    b.label("next")
+    b.addi(r_i, r_i, 32)                    # four arcs, one line each
+    b.blt(r_i, r_n, "arc")
+    b.li(r_i, 0)
+    b.jmp("arc")
+    return b.build()
+
+
+def build_crafty(seed: int = DEFAULT_SEED) -> Program:
+    """Bitboard manipulation: shift/mask/xor chains, a popcount-style
+    inner loop with predictable trip counts, all L1-resident."""
+    rng = rng_for("crafty", seed)
+    b = ProgramBuilder("crafty")
+    size = 512
+    boards = b.data_region(random_words(rng, size, 0, 1 << 62))
+
+    r_i, r_n, r_base = R(1), R(2), R(3)
+    r_one, r_eight = R(4), R(5)
+    accumulators = (R(6), R(7), R(30), R(31))
+
+    b.li(r_base, boards)
+    b.li(r_n, size)
+    b.li(r_one, 1)
+    b.li(r_eight, 8)
+    b.li(r_i, 0)
+    b.label("board")
+    # Two independent boards per iteration, fully unrolled popcount
+    # with rotated temporaries — bitboard code is straight-line ILP.
+    for u in range(2):
+        r_a, r_b0, r_m1 = R(8 + u), R(10 + u), R(12 + u)
+        r_b1, r_m2, r_b2 = R(14 + u), R(16 + u), R(18 + u)
+        b.add(r_a, r_base, r_i)
+        b.ld(r_b0, r_a, u)
+        b.shl(r_m1, r_b0, r_one)            # attack-spread idiom
+        b.xor(r_b1, r_b0, r_m1)
+        b.shr(r_m2, r_b1, r_eight)
+        b.or_(r_b2, r_b1, r_m2)
+        current = r_b2
+        for step in range(4):               # nibble-sum, rotated regs
+            r_t = R(20 + u)                 # one AND temp per board
+            r_next = R(22 + 4 * u + step)
+            b.and_(r_t, current, r_one)
+            b.shr(r_next, current, r_eight)
+            acc = accumulators[step]
+            b.add(acc, acc, r_t)
+            current = r_next
+    b.addi(r_i, r_i, 2)
+    b.blt(r_i, r_n, "board")
+    b.li(r_i, 0)
+    b.jmp("board")
+    return b.build()
+
+
+def build_parser(seed: int = DEFAULT_SEED) -> Program:
+    """Dictionary hash probing: open addressing with short chains; the
+    hit/miss branch follows the ~70% load factor."""
+    rng = rng_for("parser", seed)
+    b = ProgramBuilder("parser")
+    table_size = 65536
+    keys_n = 8192
+    table = [0] * table_size
+    stored = random_words(rng, int(table_size * 0.7), 1, 1 << 20)
+    for key in stored:
+        h = key % table_size
+        while table[h]:
+            h = (h + 1) % table_size
+        table[h] = key
+    # Query stream: hit/miss pattern repeats with a long period (64),
+    # learnable by TAGE but beyond gshare's history reach.
+    hit_pattern = long_pattern_bits(rng, keys_n, period=64)
+    queries = [rng.choice(stored) if hit_pattern[k]
+               else rng.randrange(1, 1 << 20) for k in range(keys_n)]
+    t_base = b.data_region(table)
+    q_base = b.data_region(queries)
+
+    r_i, r_n, r_tb, r_qb = R(1), R(2), R(3), R(4)
+    r_key, r_h, r_e, r_mask = R(5), R(6), R(7), R(8)
+    r_hits, r_t, r_u = R(9), R(10), R(11)
+
+    b.li(r_tb, t_base)
+    b.li(r_qb, q_base)
+    b.li(r_n, keys_n)
+    b.li(r_mask, table_size - 1)
+    b.li(r_i, 0)
+    b.label("query")
+    b.add(r_t, r_qb, r_i)
+    b.ld(r_key, r_t, 0)
+    b.and_(r_h, r_key, r_mask)
+    b.label("probe")
+    b.add(r_u, r_tb, r_h)
+    b.ld(r_e, r_u, 0)
+    b.beqz(r_e, "miss")                     # empty slot ends the chain
+    b.beq(r_e, r_key, "hit")
+    b.addi(r_h, r_h, 1)
+    b.and_(r_h, r_h, r_mask)
+    b.jmp("probe")
+    b.label("hit")
+    b.addi(r_hits, r_hits, 1)
+    b.label("miss")
+    b.addi(r_i, r_i, 1)
+    b.blt(r_i, r_n, "query")
+    b.li(r_i, 0)
+    b.jmp("query")
+    return b.build()
+
+
+def build_eon(seed: int = DEFAULT_SEED) -> Program:
+    """Ray-shading style int benchmark: fp dot products plus a 4-way
+    indirect method dispatch biased toward one common material."""
+    rng = rng_for("eon", seed)
+    b = ProgramBuilder("eon")
+    b.jmp("start")
+
+    handler_pcs = []
+    for h in range(4):
+        b.label(f"mat{h}")
+        handler_pcs.append(b.pc)
+        f_a, f_b = F(8 + h), F(12 + h)
+        b.fmul(f_a, f_a, F(2))
+        b.fadd(f_b, f_b, f_a)
+        b.jmp("shaded")
+
+    size = 8192
+    mats = [0 if rng.random() < 0.7 else rng.randrange(1, 4)
+            for _ in range(size)]
+    norm = [rng.random() for _ in range(size)]
+    light = [rng.random() for _ in range(size)]
+    m_base = b.data_region(mats)
+    n_base = b.data_region(norm)
+    l_base = b.data_region(light)
+    table = b.data_region(handler_pcs)
+
+    r_i, r_n, r_m, r_nb, r_lb, r_tab = R(1), R(2), R(3), R(4), R(5), R(6)
+    r_k, r_t1, r_t2, r_t3, r_t4, r_t5 = R(7), R(8), R(9), R(10), R(11), R(12)
+    r_lit = R(13)
+    f_n, f_l, f_dot, f_half = F(1), F(2), F(3), F(4)
+
+    b.label("start")
+    b.li(r_m, m_base)
+    b.li(r_nb, n_base)
+    b.li(r_lb, l_base)
+    b.li(r_tab, table)
+    b.li(r_n, size)
+    b.li(r_t1, 1)
+    b.fcvt(f_half, r_t1)                    # 1.0 threshold
+    b.li(r_i, 0)
+    b.label("ray")
+    b.add(r_t1, r_nb, r_i)
+    b.fld(f_n, r_t1, 0)
+    b.add(r_t2, r_lb, r_i)
+    b.fld(f_l, r_t2, 0)
+    b.fmul(f_dot, f_n, f_l)
+    b.fadd(f_dot, f_dot, f_n)
+    b.fcmplt(r_lit, f_dot, f_half)          # ~biased lighting test
+    b.bnez(r_lit, "lit")
+    b.fadd(F(5), F(5), f_dot)
+    b.label("lit")
+    b.add(r_t3, r_m, r_i)
+    b.ld(r_k, r_t3, 0)
+    b.add(r_t4, r_tab, r_k)
+    b.ld(r_t5, r_t4, 0)
+    b.jr(r_t5)                              # material dispatch
+    b.label("shaded")
+    b.addi(r_i, r_i, 1)
+    b.blt(r_i, r_n, "ray")
+    b.li(r_i, 0)
+    b.jmp("ray")
+    return b.build()
+
+
+def build_perlbmk(seed: int = DEFAULT_SEED) -> Program:
+    """Bytecode interpreter: the classic 16-way indirect dispatch with a
+    skewed opcode mix; the BTB's last-target guess is wrong whenever the
+    opcode changes."""
+    rng = rng_for("perlbmk", seed)
+    b = ProgramBuilder("perlbmk")
+    b.jmp("start")
+
+    handler_pcs = []
+    for h in range(16):
+        b.label(f"op{h}")
+        handler_pcs.append(b.pc)
+        r_x = R(16 + h % 8)
+        b.addi(r_x, r_x, h)
+        b.xor(R(24), R(24), r_x)
+        b.jmp("fetch_next")
+
+    size = 16384
+    # Skewed opcode histogram: a few hot ops, a long tail.
+    ops = [min(15, int(rng.expovariate(0.35))) for _ in range(size)]
+    code = b.data_region(ops)
+    table = b.data_region(handler_pcs)
+
+    r_ip, r_n, r_code, r_tab = R(1), R(2), R(3), R(4)
+    r_op, r_t1, r_t2, r_t3 = R(5), R(6), R(7), R(8)
+
+    b.label("start")
+    b.li(r_code, code)
+    b.li(r_tab, table)
+    b.li(r_n, size)
+    b.li(r_ip, 0)
+    b.label("fetch")
+    b.add(r_t1, r_code, r_ip)
+    b.ld(r_op, r_t1, 0)
+    b.add(r_t2, r_tab, r_op)
+    b.ld(r_t3, r_t2, 0)
+    b.jr(r_t3)                              # opcode dispatch
+    b.label("fetch_next")
+    b.addi(r_ip, r_ip, 1)
+    b.blt(r_ip, r_n, "fetch")
+    b.li(r_ip, 0)
+    b.jmp("fetch")
+    return b.build()
+
+
+def build_gap(seed: int = DEFAULT_SEED) -> Program:
+    """Computer-algebra arithmetic: multiply/divide mix driven by a
+    long-period (64) branch pattern — TAGE's geometric histories learn
+    it, gshare's 16-bit history cannot."""
+    rng = rng_for("gap", seed)
+    b = ProgramBuilder("gap")
+    size = 32768
+    pattern = b.data_region(long_pattern_bits(rng, size, period=64))
+    operands = b.data_region(random_words(rng, size, 1, 1 << 12))
+
+    r_i, r_n, r_pat, r_opnd = R(1), R(2), R(3), R(4)
+    r_bit, r_x, r_acc, r_t, r_u = R(5), R(6), R(7), R(8), R(9)
+
+    b.li(r_pat, pattern)
+    b.li(r_opnd, operands)
+    b.li(r_n, size)
+    b.li(r_acc, 1)
+    b.li(r_i, 0)
+    b.label("term")
+    b.add(r_t, r_pat, r_i)
+    b.ld(r_bit, r_t, 0)
+    b.add(r_u, r_opnd, r_i)
+    b.ld(r_x, r_u, 0)
+    b.beqz(r_bit, "reduce")                 # period-64 pattern
+    b.mul(r_acc, r_acc, r_x)
+    b.jmp("next")
+    b.label("reduce")
+    b.div(r_acc, r_acc, r_x)
+    b.addi(r_acc, r_acc, 7)
+    b.label("next")
+    b.addi(r_i, r_i, 1)
+    b.blt(r_i, r_n, "term")
+    b.li(r_i, 0)
+    b.li(r_acc, 1)
+    b.jmp("term")
+    return b.build()
+
+
+def build_vortex(seed: int = DEFAULT_SEED) -> Program:
+    """Object-database update: 16-word record copy with field edits —
+    store-heavy, fully predictable control."""
+    rng = rng_for("vortex", seed)
+    b = ProgramBuilder("vortex")
+    records = 4096
+    rec_words = 16
+    src = b.data_region(random_words(rng, records * rec_words))
+    dst = b.reserve(records * rec_words)
+
+    r_r, r_n, r_src, r_dst = R(1), R(2), R(3), R(4)
+    r_f, r_rw, r_one = R(5), R(6), R(7)
+    r_sbase, r_dbase, r_off = R(8), R(9), R(10)
+
+    b.li(r_src, src)
+    b.li(r_dst, dst)
+    b.li(r_n, records)
+    b.li(r_rw, rec_words)
+    b.li(r_one, 1)
+    b.li(r_r, 0)
+    b.label("record")
+    b.mul(r_off, r_r, r_rw)
+    b.add(r_sbase, r_src, r_off)
+    b.add(r_dbase, r_dst, r_off)
+    b.li(r_f, 0)
+    b.label("field")
+    # Four fields per pass, values and address temps rotated.
+    for u in range(4):
+        r_a, r_v, r_d = R(12 + u), R(16 + u), R(20 + u)
+        b.add(r_a, r_sbase, r_f)
+        b.ld(r_v, r_a, u)
+        b.add(r_v, r_v, r_one)              # touch the field
+        b.add(r_d, r_dbase, r_f)
+        b.st(r_v, r_d, u)
+    b.addi(r_f, r_f, 4)
+    b.blt(r_f, r_rw, "field")
+    b.addi(r_r, r_r, 1)
+    b.blt(r_r, r_n, "record")
+    b.li(r_r, 0)
+    b.jmp("record")
+    return b.build()
+
+
+def build_bzip2(seed: int = DEFAULT_SEED,
+                modified: bool = False) -> Program:
+    """Move-to-front coding — the ``generateMTFValues`` hot loop of
+    Table II.
+
+    The scan for a symbol's current list position has geometric trip
+    counts (locality-skewed input) with a hard-to-time exit branch. The
+    original emits the scan with ONE address register and ONE value
+    register reused every iteration — at most ``n`` scan steps can be in
+    flight on an n-SP. The ``modified`` version applies the paper's
+    optimisation: unroll by 4 with rotated destination registers.
+    """
+    rng = rng_for("bzip2", seed)
+    b = ProgramBuilder("bzip2" + ("_mod" if modified else ""))
+    alphabet = 64
+    stream_n = 16384
+    # Locality-skewed symbol stream repeating with a long period, so
+    # the scan-exit branches are learnable by long-history predictors.
+    base_syms = [min(alphabet - 1, int(rng.expovariate(0.25)))
+                 for _ in range(48)]
+    symbols = [base_syms[k % 48] for k in range(stream_n)]
+    mtf_init = list(range(alphabet))
+    s_base = b.data_region(symbols)
+    l_base = b.data_region(mtf_init)
+
+    r_i, r_n, r_sb, r_lb = R(1), R(2), R(3), R(4)
+    r_sym, r_j, r_alpha = R(5), R(6), R(7)
+    # The tight kernel registers: address temp + loaded value.
+    r_t, r_v = R(8), R(9)
+    r_prev, r_k = R(10), R(11)
+
+    b.li(r_sb, s_base)
+    b.li(r_lb, l_base)
+    b.li(r_n, stream_n)
+    b.li(r_alpha, alphabet)
+    b.li(r_i, 0)
+    b.label("symbol")
+    b.add(r_t, r_sb, r_i)
+    b.ld(r_sym, r_t, 0)
+    b.li(r_j, 0)
+    b.label("scan")
+    if not modified:
+        # Original: one address register, one value register, reused.
+        b.add(r_t, r_lb, r_j)
+        b.ld(r_v, r_t, 0)
+        b.beq(r_v, r_sym, "found")
+        b.addi(r_j, r_j, 1)
+        b.jmp("scan")
+    else:
+        # Modified (Sec. 4.3): unrolled x4, destinations rotated over
+        # four address and four value registers.
+        for u in range(4):
+            r_tu, r_vu = R(8 + u), R(16 + u)
+            b.add(r_tu, r_lb, r_j)
+            if u:
+                b.addi(r_tu, r_tu, u)
+            b.ld(r_vu, r_tu, 0)
+            b.beq(r_vu, r_sym, f"found_{u}")
+        b.addi(r_j, r_j, 4)
+        b.jmp("scan")
+        for u in range(4):
+            b.label(f"found_{u}")
+            if u:
+                b.addi(r_j, r_j, u)
+            if u != 3:
+                b.jmp("found")
+    b.label("found")
+    # Move-to-front shuffle: shift list[0..j-1] up by one.
+    b.li(r_k, 0)
+    b.mov(r_prev, r_sym)
+    b.label("shift")
+    b.bge(r_k, r_j, "placed")
+    b.add(r_t, r_lb, r_k)
+    b.ld(r_v, r_t, 0)
+    b.st(r_prev, r_t, 0)
+    b.mov(r_prev, r_v)
+    b.addi(r_k, r_k, 1)
+    b.jmp("shift")
+    b.label("placed")
+    b.add(r_t, r_lb, r_j)
+    b.st(r_prev, r_t, 0)
+    b.addi(r_i, r_i, 1)
+    b.blt(r_i, r_n, "symbol")
+    b.li(r_i, 0)
+    b.jmp("symbol")
+    return b.build()
+
+
+def build_twolf(seed: int = DEFAULT_SEED,
+                modified: bool = False) -> Program:
+    """Cell placement cost — the ``new_dbox_a`` kernel of Table II.
+
+    Per net terminal: load both coordinates, branch on the (data-random)
+    sign of the deltas, accumulate |dx| + |dy|. The original reuses one
+    coordinate register and one delta register; the modified version
+    unrolls by 2 and rotates them (the paper changed 3 loops by hand).
+    """
+    rng = rng_for("twolf", seed)
+    b = ProgramBuilder("twolf" + ("_mod" if modified else ""))
+    terms = 32768
+    xs = b.data_region(random_words(rng, terms, 0, 1024))
+    ys = b.data_region(random_words(rng, terms, 0, 1024))
+
+    r_i, r_n, r_xb, r_yb = R(1), R(2), R(3), R(4)
+    r_cx, r_cy, r_cost = R(5), R(6), R(7)
+    r_c, r_d, r_t = R(8), R(9), R(10)       # the tight kernel registers
+
+    b.li(r_xb, xs)
+    b.li(r_yb, ys)
+    b.li(r_n, terms)
+    b.li(r_cx, 512)
+    b.li(r_cy, 512)
+    b.li(r_i, 0)
+    b.label("term")
+
+    def emit_axis(base_reg: int, centre_reg: int, r_coord: int,
+                  r_delta: int, tag: str) -> None:
+        b.add(r_t, base_reg, r_i)
+        b.ld(r_coord, r_t, 0)
+        b.sub(r_delta, r_coord, centre_reg)
+        b.bge(r_delta, R(0), f"abs_{tag}")  # sign of random data
+        b.sub(r_delta, R(0), r_delta)
+        b.label(f"abs_{tag}")
+        b.add(r_cost, r_cost, r_delta)
+
+    if not modified:
+        emit_axis(r_xb, r_cx, r_c, r_d, "x")
+        emit_axis(r_yb, r_cy, r_c, r_d, "y")
+        b.addi(r_i, r_i, 1)
+    else:
+        # Unrolled x2 with rotated coordinate/delta registers.
+        for u in range(2):
+            rc, rd = R(8 + u * 2), R(9 + u * 2)
+            b.add(r_t, r_xb, r_i)
+            b.ld(rc, r_t, u)
+            b.sub(rd, rc, r_cx)
+            b.bge(rd, R(0), f"ax{u}")
+            b.sub(rd, R(0), rd)
+            b.label(f"ax{u}")
+            b.add(r_cost, r_cost, rd)
+            rc2, rd2 = R(12 + u * 2), R(13 + u * 2)
+            b.add(r_t, r_yb, r_i)
+            b.ld(rc2, r_t, u)
+            b.sub(rd2, rc2, r_cy)
+            b.bge(rd2, R(0), f"ay{u}")
+            b.sub(rd2, R(0), rd2)
+            b.label(f"ay{u}")
+            b.add(r_cost, r_cost, rd2)
+        b.addi(r_i, r_i, 2)
+    b.blt(r_i, r_n, "term")
+    b.li(r_i, 0)
+    b.jmp("term")
+    return b.build()
+
+
+SPECINT_BUILDERS = {
+    "gzip": build_gzip,
+    "vpr": build_vpr,
+    "gcc": build_gcc,
+    "mcf": build_mcf,
+    "crafty": build_crafty,
+    "parser": build_parser,
+    "eon": build_eon,
+    "perlbmk": build_perlbmk,
+    "gap": build_gap,
+    "vortex": build_vortex,
+    "bzip2": build_bzip2,
+    "twolf": build_twolf,
+}

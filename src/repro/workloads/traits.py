@@ -1,0 +1,198 @@
+"""Workload trait sheets.
+
+Each synthetic benchmark is calibrated to the published characteristics
+of its SPEC CPU2000 namesake that *drive the paper's effects*:
+
+* branch profile — what fraction of branches are data-dependent (hard
+  for any predictor), long-pattern (TAGE learns them, gshare partly),
+  or loop-structured (easy);
+* memory profile — working-set size relative to the 64 KB L1 / 1 MB L2;
+* register pressure — whether hot loops reuse a few logical registers
+  (the n-SP bank-stall driver of Sec. 4.3) or rotate across many.
+
+Tests assert the measured behaviour lands in the declared bucket, so the
+workloads cannot silently drift away from their calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class WorkloadTraits:
+    """Qualitative calibration targets for one workload."""
+
+    name: str
+    suite: str                      # "specint" | "specfp"
+    description: str
+    #: expected TAGE misprediction-rate band (fraction of resolutions).
+    mispredict_band: Tuple[float, float]
+    #: expected L1D miss-rate band.
+    l1d_miss_band: Tuple[float, float]
+    #: "tight" hot loops reuse few logical registers (high n-SP stalls),
+    #: "generous" rotates destinations (low stalls).
+    register_pressure: str
+    #: has a Table II hand-modified kernel variant.
+    table2_kernel: str = ""
+
+
+TRAITS: Dict[str, WorkloadTraits] = {}
+
+
+def _register(traits: WorkloadTraits) -> None:
+    TRAITS[traits.name] = traits
+
+
+# --------------------------------------------------------------------- #
+# SPECint-like.
+# --------------------------------------------------------------------- #
+
+_register(WorkloadTraits(
+    "gzip", "specint",
+    "LZ-style byte matching: biased data-dependent branches over an "
+    "L1-resident window",
+    mispredict_band=(0.01, 0.20), l1d_miss_band=(0.0, 0.08),
+    register_pressure="generous"))
+
+_register(WorkloadTraits(
+    "vpr", "specint",
+    "placement random-walk: near-50/50 data branches, small fp mix",
+    mispredict_band=(0.08, 0.40), l1d_miss_band=(0.0, 0.12),
+    register_pressure="generous"))
+
+_register(WorkloadTraits(
+    "gcc", "specint",
+    "many basic blocks, an indirect dispatch over 8 targets, mixed "
+    "branch predictability, larger I-footprint",
+    mispredict_band=(0.01, 0.25), l1d_miss_band=(0.0, 0.10),
+    register_pressure="generous"))
+
+_register(WorkloadTraits(
+    "mcf", "specint",
+    "pointer chasing over a >L2 region with 50/50 branches on loaded "
+    "data: the long-latency, large-window showcase",
+    mispredict_band=(0.10, 0.45), l1d_miss_band=(0.10, 0.90),
+    register_pressure="generous"))
+
+_register(WorkloadTraits(
+    "crafty", "specint",
+    "bitboard shifts/masks, highly predictable control, L1-resident",
+    mispredict_band=(0.0, 0.08), l1d_miss_band=(0.0, 0.05),
+    register_pressure="generous"))
+
+_register(WorkloadTraits(
+    "parser", "specint",
+    "hash-table probing with chained compares of loaded keys",
+    mispredict_band=(0.03, 0.30), l1d_miss_band=(0.0, 0.25),
+    register_pressure="generous"))
+
+_register(WorkloadTraits(
+    "eon", "specint",
+    "int benchmark with fp shading arithmetic and a 4-way indirect "
+    "method dispatch",
+    mispredict_band=(0.0, 0.20), l1d_miss_band=(0.0, 0.08),
+    register_pressure="generous"))
+
+_register(WorkloadTraits(
+    "perlbmk", "specint",
+    "bytecode interpreter: 16-way indirect dispatch dominates "
+    "(mispredicts are BTB-target misses, not direction misses)",
+    mispredict_band=(0.0, 0.35), l1d_miss_band=(0.0, 0.08),
+    register_pressure="generous"))
+
+_register(WorkloadTraits(
+    "gap", "specint",
+    "arithmetic over medium arrays with long-period pattern branches "
+    "(TAGE learns them; gshare only partly)",
+    mispredict_band=(0.0, 0.25), l1d_miss_band=(0.0, 0.10),
+    register_pressure="generous"))
+
+_register(WorkloadTraits(
+    "vortex", "specint",
+    "object copy/update: store-heavy, predictable control",
+    mispredict_band=(0.0, 0.10), l1d_miss_band=(0.0, 0.15),
+    register_pressure="generous"))
+
+_register(WorkloadTraits(
+    "bzip2", "specint",
+    "move-to-front coding: early-exit scan loops with geometric trip "
+    "counts; hot loop reuses few registers",
+    mispredict_band=(0.03, 0.30), l1d_miss_band=(0.0, 0.10),
+    register_pressure="tight", table2_kernel="generateMTFValues"))
+
+_register(WorkloadTraits(
+    "twolf", "specint",
+    "cell-placement cost evaluation: data-dependent branches plus a "
+    "tight few-register distance kernel",
+    mispredict_band=(0.05, 0.40), l1d_miss_band=(0.0, 0.20),
+    register_pressure="tight", table2_kernel="new_dbox_a"))
+
+# --------------------------------------------------------------------- #
+# SPECfp-like.
+# --------------------------------------------------------------------- #
+
+_register(WorkloadTraits(
+    "wupwise", "specfp",
+    "dense complex arithmetic, unrolled with rotated fp registers",
+    mispredict_band=(0.0, 0.06), l1d_miss_band=(0.0, 0.20),
+    register_pressure="generous"))
+
+_register(WorkloadTraits(
+    "swim", "specfp",
+    "shallow-water stencil (calc3): tight fp accumulator reuse drives "
+    "n-SP bank stalls",
+    mispredict_band=(0.0, 0.06), l1d_miss_band=(0.0, 0.35),
+    register_pressure="tight", table2_kernel="calc3"))
+
+_register(WorkloadTraits(
+    "mgrid", "specfp",
+    "multigrid residual (resid): 27-point stencil accumulating into "
+    "one fp register",
+    mispredict_band=(0.0, 0.06), l1d_miss_band=(0.0, 0.35),
+    register_pressure="tight", table2_kernel="resid"))
+
+_register(WorkloadTraits(
+    "applu", "specfp",
+    "blocked SSOR sweeps, moderate register rotation",
+    mispredict_band=(0.0, 0.08), l1d_miss_band=(0.0, 0.30),
+    register_pressure="generous"))
+
+_register(WorkloadTraits(
+    "mesa", "specfp",
+    "rasterisation-style int/fp mix, predictable spans",
+    mispredict_band=(0.0, 0.16), l1d_miss_band=(0.0, 0.15),
+    register_pressure="generous"))
+
+_register(WorkloadTraits(
+    "art", "specfp",
+    "neural-net scan: streaming fp over >L1 arrays, accumulate chains",
+    mispredict_band=(0.0, 0.10), l1d_miss_band=(0.05, 0.60),
+    register_pressure="generous"))
+
+_register(WorkloadTraits(
+    "equake", "specfp",
+    "sparse matrix-vector (smvp): gather loads through an index array "
+    "into one tight fp accumulator",
+    mispredict_band=(0.0, 0.12), l1d_miss_band=(0.02, 0.50),
+    register_pressure="tight", table2_kernel="smvp"))
+
+_register(WorkloadTraits(
+    "ammp", "specfp",
+    "molecular dynamics: fp divides, generous register use",
+    mispredict_band=(0.0, 0.08), l1d_miss_band=(0.0, 0.30),
+    register_pressure="generous"))
+
+_register(WorkloadTraits(
+    "lucas", "specfp",
+    "FFT-style strided passes, rotated fp registers",
+    mispredict_band=(0.0, 0.08), l1d_miss_band=(0.0, 0.40),
+    register_pressure="generous"))
+
+_register(WorkloadTraits(
+    "fma3d", "specfp",
+    "finite-element elements with fully rotated registers: the low-"
+    "stall fp benchmark where even 8-SP beats CPR",
+    mispredict_band=(0.0, 0.08), l1d_miss_band=(0.0, 0.25),
+    register_pressure="generous"))

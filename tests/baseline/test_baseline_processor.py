@@ -1,0 +1,60 @@
+"""Baseline ROB processor tests."""
+
+from repro.isa import Emulator
+from repro.sim import SimConfig, build_core
+
+
+def run_baseline(program, budget=600, **overrides):
+    config = SimConfig.baseline().with_(record_commits=True, **overrides)
+    core = build_core(program, config)
+    stats = core.run(max_instructions=budget)
+    return core, stats
+
+
+def test_commit_trace_matches_emulator(branchy_program):
+    core, stats = run_baseline(branchy_program)
+    emulator = Emulator(branchy_program, trace_pcs=True)
+    reference = emulator.run(max_instructions=stats.committed)
+    assert core.commit_trace == reference.pc_trace
+
+
+def test_precise_branch_recovery(branchy_program):
+    _, stats = run_baseline(branchy_program)
+    assert stats.branch_mispredictions > 0
+    assert stats.correct_path_reexecuted == 0
+
+
+def test_retire_width_limits_commit(sum_loop_program):
+    narrow = run_baseline(sum_loop_program, retire_width=1)[1]
+    wide = run_baseline(sum_loop_program, retire_width=3)[1]
+    assert wide.ipc >= narrow.ipc
+
+
+def test_rob_bounds_window(fp_chain_program):
+    small = run_baseline(fp_chain_program, rob_size=16)[1]
+    large = run_baseline(fp_chain_program, rob_size=128)[1]
+    assert large.ipc >= small.ipc
+
+
+def test_free_list_conservation(sum_loop_program):
+    core, _ = run_baseline(sum_loop_program)
+    referenced = set(core.rat) | set(core.arch_rat)
+    referenced.update(di.dest_handle for di in core.in_flight
+                      if di.inst.writes_reg)
+    free = set(core.int_free) | set(core.fp_free)
+    total = core.config.phys_int + core.config.phys_fp
+    # Free and referenced partition the physical register file.
+    assert not (free & referenced)
+    assert len(free) + len(referenced) == total
+
+
+def test_halting_program(halting_program):
+    core, stats = run_baseline(halting_program, budget=100)
+    assert core.done
+    assert core.memory[halting_program.out_addr] == 42
+
+
+def test_register_pressure_stalls_dispatch(fp_chain_program):
+    core, stats = run_baseline(fp_chain_program, phys_int=40, phys_fp=40,
+                               budget=400)
+    assert stats.dispatch_stall_cycles.get("registers_full", 0) > 0

@@ -1,0 +1,73 @@
+"""JRS confidence estimator and BTB tests."""
+
+import pytest
+
+from repro.branch import BranchTargetBuffer, ConfidenceEstimator
+
+
+def test_confidence_rises_with_correct_streak():
+    est = ConfidenceEstimator(threshold=3, history_bits=0)
+    pc = 40
+    assert not est.is_confident(pc)
+    for _ in range(3):
+        est.update(pc, correct=True, taken=True)
+    assert est.is_confident(pc)
+
+
+def test_confidence_resets_on_mispredict():
+    est = ConfidenceEstimator(threshold=3, history_bits=0)
+    pc = 40
+    for _ in range(5):
+        est.update(pc, correct=True, taken=True)
+    assert est.is_confident(pc)
+    est.update(pc, correct=False, taken=False)
+    assert not est.is_confident(pc)
+
+
+def test_confidence_counter_saturates():
+    est = ConfidenceEstimator(counter_bits=4, threshold=3, history_bits=0)
+    for _ in range(100):
+        est.update(7, correct=True, taken=True)
+    assert est.table[est._index(7)] == 15
+
+
+def test_low_confidence_rate_statistic():
+    est = ConfidenceEstimator(threshold=3, history_bits=0)
+    est.is_confident(1)
+    est.is_confident(2)
+    assert est.low_confidence_rate == 1.0
+
+
+def test_confidence_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        ConfidenceEstimator(entries=1000)
+
+
+def test_btb_learns_last_target():
+    btb = BranchTargetBuffer()
+    assert btb.predict(10) is None
+    btb.update(10, 500, correct=False)
+    assert btb.predict(10) == 500
+    btb.update(10, 900, correct=False)
+    assert btb.predict(10) == 900
+    assert btb.mispredicted_targets == 2
+
+
+def test_btb_lru_eviction_within_set():
+    btb = BranchTargetBuffer(sets=2, ways=2)
+    # Three pcs that collide in set 0 (pc & 1 == 0).
+    btb.update(0, 11, True)
+    btb.update(4, 22, True)
+    btb.update(8, 33, True)      # evicts pc 0
+    assert btb.predict(0) is None
+    assert btb.predict(4) == 22
+    assert btb.predict(8) == 33
+
+
+def test_btb_hit_statistics():
+    btb = BranchTargetBuffer()
+    btb.predict(3)
+    btb.update(3, 77, True)
+    btb.predict(3)
+    assert btb.lookups == 2
+    assert btb.hits == 1

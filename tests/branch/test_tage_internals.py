@@ -1,0 +1,76 @@
+"""TAGE internal-mechanism tests: allocation, provider selection,
+useful counters, the use_alt heuristic and history folding."""
+
+from repro.branch.tage import TagePredictor, _fold
+
+
+def test_fold_reduces_to_requested_bits():
+    assert _fold(0, 64, 8) == 0
+    value = (1 << 40) | (1 << 20) | 3
+    folded = _fold(value, 64, 8)
+    assert 0 <= folded < 256
+
+
+def test_fold_masks_history_length():
+    # Bits beyond the history length must not affect the fold.
+    base = 0b1010
+    assert _fold(base, 4, 4) == _fold(base | (1 << 10), 4, 4)
+
+
+def test_allocation_on_misprediction():
+    predictor = TagePredictor(table_bits=6, tag_bits=6)
+    pc = 33
+    # Base predictor starts weakly-taken: a not-taken branch
+    # mispredicts and must allocate a tagged entry.
+    prediction = predictor.predict(pc)
+    assert prediction.taken
+    predictor.update(prediction, False)
+    allocated = sum(1 for table in predictor.tables
+                    for entry in table if entry.tag)
+    assert allocated >= 1
+
+
+def test_provider_overrides_base_after_training():
+    predictor = TagePredictor(table_bits=6, tag_bits=6)
+    pc = 12
+    # Train an alternating pattern the 2-bit base can never capture.
+    correct_late = 0
+    for i in range(400):
+        prediction = predictor.predict(pc)
+        actual = i % 2 == 0
+        if i > 300 and prediction.taken == actual:
+            correct_late += 1
+        predictor.update(prediction, actual)
+        if prediction.taken != actual:
+            prediction.taken = actual
+            predictor.restore(prediction)
+    assert correct_late > 80
+
+
+def test_useful_counter_decay():
+    predictor = TagePredictor(useful_reset_period=8)
+    entry = predictor.tables[0][0]
+    entry.useful = 3
+    for i in range(8):
+        prediction = predictor.predict(i * 64)
+        predictor.update(prediction, True)
+    assert entry.useful <= 2
+
+
+def test_use_alt_counter_bounded():
+    predictor = TagePredictor()
+    for i in range(2000):
+        prediction = predictor.predict(i % 7)
+        predictor.update(prediction, (i * 2654435761) % 3 == 0)
+        if prediction.taken != ((i * 2654435761) % 3 == 0):
+            prediction.taken = not prediction.taken
+            predictor.restore(prediction)
+    assert 0 <= predictor.use_alt <= 15
+
+
+def test_history_mask_applied():
+    predictor = TagePredictor()
+    for i in range(predictor.max_history + 50):
+        prediction = predictor.predict(5)
+        predictor.update(prediction, True)
+    assert predictor.ghr <= predictor.history_mask

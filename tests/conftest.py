@@ -1,0 +1,98 @@
+"""Shared fixtures: small deterministic programs for core tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import ProgramBuilder, fp_reg, int_reg
+
+
+@pytest.fixture
+def sum_loop_program():
+    """Array-sum loop with a store and a re-entrant outer loop."""
+    b = ProgramBuilder("sum_loop")
+    arr = b.data_region([(i * 7) % 13 for i in range(64)])
+    out = b.reserve(4)
+    r_i, r_n, r_base, r_sum, r_t, r_a, r_out = (int_reg(k)
+                                                for k in range(1, 8))
+    b.li(r_i, 0)
+    b.li(r_n, 64)
+    b.li(r_base, arr)
+    b.li(r_out, out)
+    b.li(r_sum, 0)
+    b.label("loop")
+    b.add(r_t, r_base, r_i)
+    b.ld(r_a, r_t, 0)
+    b.add(r_sum, r_sum, r_a)
+    b.addi(r_i, r_i, 1)
+    b.blt(r_i, r_n, "loop")
+    b.st(r_sum, r_out, 0)
+    b.li(r_i, 0)
+    b.li(r_sum, 0)
+    b.jmp("loop")
+    return b.build()
+
+
+@pytest.fixture
+def branchy_program():
+    """Data-dependent branches over pseudo-random values (mispredicts)."""
+    b = ProgramBuilder("branchy")
+    bits = b.data_region([(i * 37 + 11) % 2 for i in range(128)])
+    r_i, r_n, r_base, r_bit, r_t, r_x, r_y = (int_reg(k)
+                                              for k in range(1, 8))
+    b.li(r_i, 0)
+    b.li(r_n, 128)
+    b.li(r_base, bits)
+    b.label("loop")
+    b.add(r_t, r_base, r_i)
+    b.ld(r_bit, r_t, 0)
+    b.beqz(r_bit, "zero")
+    b.addi(r_x, r_x, 1)
+    b.jmp("next")
+    b.label("zero")
+    b.addi(r_y, r_y, 1)
+    b.label("next")
+    b.addi(r_i, r_i, 1)
+    b.blt(r_i, r_n, "loop")
+    b.li(r_i, 0)
+    b.jmp("loop")
+    return b.build()
+
+
+@pytest.fixture
+def fp_chain_program():
+    """FP accumulation with loads — exercises fp banks and latencies."""
+    b = ProgramBuilder("fp_chain")
+    data = b.data_region([0.5 + 0.25 * (i % 4) for i in range(32)])
+    r_i, r_n, r_base, r_t = (int_reg(k) for k in range(1, 5))
+    f_acc, f_v = fp_reg(1), fp_reg(2)
+    b.li(r_i, 0)
+    b.li(r_n, 32)
+    b.li(r_base, data)
+    b.label("loop")
+    b.add(r_t, r_base, r_i)
+    b.fld(f_v, r_t, 0)
+    b.fmul(f_v, f_v, f_v)
+    b.fadd(f_acc, f_acc, f_v)
+    b.addi(r_i, r_i, 1)
+    b.blt(r_i, r_n, "loop")
+    b.li(r_i, 0)
+    b.jmp("loop")
+    return b.build()
+
+
+@pytest.fixture
+def halting_program():
+    """Short program that HALTs, for end-of-program commit tests."""
+    b = ProgramBuilder("halting")
+    out = b.reserve(1)
+    r_a, r_b, r_out = int_reg(1), int_reg(2), int_reg(3)
+    b.li(r_a, 21)
+    b.li(r_b, 2)
+    b.mul(r_a, r_a, r_b)
+    b.li(r_out, out)
+    b.st(r_a, r_out, 0)
+    b.halt()
+    program = b.build()
+    program.out_addr = out  # convenience for assertions
+    return program

@@ -1,0 +1,195 @@
+"""RegisterBank (SCT) tests: allocation, RelP, release, rollback."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import RegisterBank
+
+
+def make_bank(capacity=4):
+    return RegisterBank(logical=1, capacity=capacity, initial_value=0)
+
+
+def test_initial_state_is_architectural_copy():
+    bank = make_bank()
+    assert bank.live_entries == 1
+    assert bank.current_mono() == 0
+    assert bank.is_ready(0)
+    assert bank.read(0) == 0
+
+
+def test_allocate_advances_renp():
+    bank = make_bank()
+    mono = bank.allocate(stateid=1)
+    assert mono == 1
+    assert bank.current_mono() == 1
+    assert not bank.is_ready(mono)
+    bank.write(mono, 42)
+    assert bank.is_ready(mono)
+    assert bank.read(mono) == 42
+
+
+def test_full_bank_rejects_allocation():
+    bank = make_bank(capacity=2)
+    bank.allocate(1)
+    assert bank.is_full()
+    with pytest.raises(RuntimeError):
+        bank.allocate(2)
+
+
+def test_use_tracking_and_underflow_guard():
+    bank = make_bank()
+    mono = bank.allocate(1)
+    bank.add_use(mono)
+    bank.add_use(mono)
+    bank.consume(mono)
+    bank.consume(mono)
+    with pytest.raises(AssertionError):
+        bank.consume(mono)
+
+
+def test_relp_stops_at_unconsumed_entry():
+    bank = make_bank(capacity=4)
+    m1 = bank.allocate(1)
+    bank.allocate(2)
+    bank.write(m1, 5)
+    bank.add_use(m1)
+    bank.advance_rel({})
+    # Entry 0 (initial, quiescent) releasable; m1 has a pending use.
+    assert bank.rel == m1
+    bank.consume(m1)
+    bank.advance_rel({})
+    assert bank.rel == 2  # stops at RenP
+
+
+def test_relp_stops_on_outstanding_state_instructions():
+    bank = make_bank(capacity=4)
+    m1 = bank.allocate(1)
+    bank.allocate(2)
+    bank.write(m1, 5)
+    bank.advance_rel({1: 1})      # a branch/store of state 1 in flight
+    assert bank.rel == m1
+    bank.advance_rel({})
+    assert bank.rel == 2
+
+
+def test_lcs_candidate_excludes_quiescent_bank():
+    bank = make_bank()
+    assert bank.lcs_candidate({}) is None          # idle initial bank
+    mono = bank.allocate(7)
+    assert bank.lcs_candidate({}) == 0             # rel still at entry 0
+    bank.advance_rel({})
+    assert bank.lcs_candidate({}) == 7             # value unproduced
+    bank.write(mono, 1)
+    assert bank.lcs_candidate({}) is None          # produced + complete
+    assert bank.lcs_candidate({7: 2}) == 7         # same-state pending
+
+
+def test_lcs_candidate_ignores_reader_uses_on_last_entry():
+    # The loop-invariant case: pending reads of the current mapping must
+    # not gate the LCS (interpretation note in lcs_candidate).
+    bank = make_bank()
+    mono = bank.allocate(3)
+    bank.write(mono, 9)
+    bank.advance_rel({})
+    bank.add_use(mono)
+    assert bank.lcs_candidate({}) is None
+
+
+def test_free_up_to_respects_successor_commit():
+    bank = make_bank(capacity=4)
+    m1 = bank.allocate(1)
+    m2 = bank.allocate(2)
+    bank.write(m1, 1)
+    bank.write(m2, 2)
+    bank.advance_rel({})
+    # Entry 0's successor (state 1) not committed yet: nothing frees.
+    assert bank.free_up_to(0) == 0
+    assert bank.free_up_to(1) == 1          # frees initial entry
+    assert bank.live_entries == 2
+    # m1 frees only once state 2 commits.
+    assert bank.free_up_to(2) == 1
+    assert bank.live_entries == 1
+
+
+def test_last_renaming_never_freed():
+    bank = make_bank(capacity=4)
+    mono = bank.allocate(1)
+    bank.write(mono, 3)
+    bank.advance_rel({})
+    bank.free_up_to(100)
+    assert bank.live_entries >= 1
+    assert bank.current_mono() == mono
+
+
+def test_rollback_releases_younger_entries():
+    bank = make_bank(capacity=8)
+    m1 = bank.allocate(1)
+    m2 = bank.allocate(5)
+    m3 = bank.allocate(9)
+    assert bank.rollback(recovery_stateid=5) == 1
+    assert bank.current_mono() == m2
+    assert bank.rollback(recovery_stateid=0) == 2
+    assert bank.current_mono() == 0
+    del m1, m3
+
+
+def test_rollback_clamps_relp():
+    bank = make_bank(capacity=8)
+    m1 = bank.allocate(1)
+    bank.write(m1, 1)
+    m2 = bank.allocate(2)
+    bank.write(m2, 2)
+    bank.allocate(3)
+    bank.advance_rel({})
+    assert bank.rel == 3  # reached RenP
+    bank.rollback(recovery_stateid=1)
+    assert bank.rel <= bank.current_mono()
+
+
+def test_slot_reuse_after_free():
+    bank = make_bank(capacity=2)
+    m1 = bank.allocate(1)
+    bank.write(m1, 10)
+    bank.advance_rel({})
+    bank.free_up_to(1)
+    m2 = bank.allocate(2)     # reuses the initial entry's slot
+    assert m2 == 2
+    bank.write(m2, 20)
+    assert bank.read(m1) == 10
+    assert bank.read(m2) == 20
+
+
+def test_unbounded_bank_grows():
+    bank = RegisterBank(logical=0, capacity=None)
+    for stateid in range(1, 100):
+        mono = bank.allocate(stateid)
+        bank.write(mono, stateid)
+    assert not bank.is_full()
+    assert bank.read(50) == 50
+
+
+@settings(max_examples=60)
+@given(st.lists(st.sampled_from(["alloc", "complete", "commit"]),
+                min_size=1, max_size=120),
+       st.integers(min_value=2, max_value=8))
+def test_bank_invariants_under_random_traffic(ops, capacity):
+    """Property: freed <= rel < alloc and live count within capacity,
+    under any interleaving of allocation, completion and commit."""
+    bank = RegisterBank(logical=2, capacity=capacity)
+    next_state = 0
+    committed = 0
+    pending = []
+    for op in ops:
+        if op == "alloc" and not bank.is_full():
+            next_state += 1
+            pending.append((bank.allocate(next_state), next_state))
+        elif op == "complete" and pending:
+            mono, _ = pending.pop(0)
+            bank.write(mono, mono)
+        elif op == "commit":
+            committed = next_state - 1 if next_state else 0
+            bank.advance_rel({})
+            bank.free_up_to(committed)
+        assert bank.freed <= bank.rel < bank.alloc
+        assert 1 <= bank.live_entries <= capacity

@@ -1,0 +1,100 @@
+"""StateId allocation and the saturation-bit overflow scheme (Sec 3.6)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    SaturatingStateIdSpace,
+    StateIdAllocator,
+    lcs_tree_depth,
+    required_bits,
+)
+
+
+def test_allocator_monotonic():
+    allocator = StateIdAllocator()
+    ids = [allocator.next() for _ in range(10)]
+    assert ids == list(range(1, 11))
+
+
+def test_allocator_recovery_reset():
+    allocator = StateIdAllocator()
+    for _ in range(5):
+        allocator.next()
+    allocator.reset_to(2)
+    assert allocator.next() == 3
+
+
+def test_required_bits_matches_paper():
+    # "the StateId is 9 bits for a 256-entry physical register file
+    # (8 plus an overflow bit)"
+    assert required_bits(256) == 9
+    assert required_bits(512) == 10
+
+
+def test_lcs_tree_depth_matches_paper():
+    # "the hardware needed to compute the LCS is a five-level binary
+    # tree" for 32 logical registers.
+    assert lcs_tree_depth(32) == 5
+    assert lcs_tree_depth(64) == 6
+    assert lcs_tree_depth(2) == 1
+
+
+def test_saturating_space_wraps_without_ambiguity():
+    space = SaturatingStateIdSpace(m_bits=3)   # M = 8 states in flight
+    owners = []
+    # Run far past the 4-bit counter range with a sliding window of 4.
+    # Encodings are re-read through the space: the hardware flash-clears
+    # stored ids in place at renormalisation.
+    for step in range(200):
+        owner = object()
+        space.allocate(owner)
+        owners.append(owner)
+        if len(owners) > 4:
+            space.release(owners.pop(0))
+        # Every live pair must order by allocation age.
+        for i, older in enumerate(owners):
+            for younger in owners[i + 1:]:
+                assert space.is_older(space.encoded(older),
+                                      space.encoded(younger))
+
+
+def test_saturating_space_rejects_over_capacity():
+    space = SaturatingStateIdSpace(m_bits=2)
+    for k in range(4):
+        space.allocate(k)
+    with pytest.raises(OverflowError):
+        space.allocate("extra")
+
+
+@settings(max_examples=50)
+@given(st.integers(min_value=2, max_value=6),
+       st.lists(st.integers(min_value=0, max_value=3), min_size=10,
+                max_size=300))
+def test_saturating_encoding_equivalent_to_unbounded(m_bits, releases):
+    """Property: while at most M states are live, the encoded comparison
+    agrees with unbounded integer ordering — the invariant that lets the
+    simulator use plain ints."""
+    space = SaturatingStateIdSpace(m_bits=m_bits)
+    # One register per bank is always the architectural copy, so the
+    # in-flight *state* window is strictly below M (see the class
+    # docstring's lifetime constraint).
+    capacity = space.capacity - 1
+    live = []  # (unbounded, owner, encoded)
+    counter = 0
+    for burst in releases:
+        # Allocate as many as fit, then release `burst` oldest.
+        while len(live) < capacity:
+            counter += 1
+            owner = counter
+            encoded = space.allocate(owner)
+            live.append((counter, owner, encoded))
+        for _ in range(min(burst + 1, len(live) - 1)):
+            unbounded, owner, _ = live.pop(0)
+            space.release(owner)
+        for i in range(len(live)):
+            for j in range(i + 1, len(live)):
+                u1, o1, _ = live[i]
+                u2, o2, _ = live[j]
+                assert (u1 < u2) == space.is_older(space.encoded(o1),
+                                                   space.encoded(o2))

@@ -1,0 +1,97 @@
+"""CPR processor behaviour tests (checkpoints, refcounts, rollback)."""
+
+from repro.isa import Emulator
+from repro.sim import SimConfig, build_core
+
+
+def run_cpr(program, budget=600, **overrides):
+    config = SimConfig.cpr(predictor="gshare").with_(
+        record_commits=True, **overrides)
+    core = build_core(program, config)
+    stats = core.run(max_instructions=budget)
+    return core, stats
+
+
+def test_commit_trace_matches_emulator(branchy_program):
+    core, stats = run_cpr(branchy_program)
+    emulator = Emulator(branchy_program, trace_pcs=True)
+    reference = emulator.run(max_instructions=stats.committed)
+    assert core.commit_trace == reference.pc_trace
+
+
+def test_imprecise_recovery_reexecutes_correct_path(branchy_program):
+    """The cost MSP removes: with few checkpoints, CPR re-executes
+    correct-path instructions after rollback."""
+    core, stats = run_cpr(branchy_program, confidence_threshold=0)
+    assert stats.branch_mispredictions > 0
+    assert stats.correct_path_reexecuted > 0
+
+
+def test_checkpoint_count_respects_limit(branchy_program):
+    core, stats = run_cpr(branchy_program, checkpoints=4)
+    assert len(core.checkpoints) <= 4
+    assert stats.checkpoints_created > 0
+
+
+def test_more_checkpoints_reduce_reexecution(branchy_program):
+    few = run_cpr(branchy_program, checkpoints=2,
+                  confidence_threshold=0)[1]
+    many = run_cpr(branchy_program, checkpoints=16,
+                   confidence_threshold=15)[1]
+    assert many.correct_path_reexecuted <= few.correct_path_reexecuted
+
+
+def test_refcounts_consistent_after_run(sum_loop_program):
+    core, _ = run_cpr(sum_loop_program)
+    # Recompute holds from first principles and compare.
+    counts = [0] * core.num_phys
+    for handle in core.rat:
+        counts[handle] += 1
+    for checkpoint in core.checkpoints:
+        for handle in checkpoint.rat_snapshot:
+            counts[handle] += 1
+    for di in core.in_flight:
+        if not di.issued:
+            for handle in di.src_handles:
+                counts[handle] += 1
+        if di.inst.writes_reg and not di.completed:
+            counts[di.dest_handle] += 1
+    assert counts == core.refcount
+
+
+def test_free_list_disjoint_from_live(sum_loop_program):
+    core, _ = run_cpr(sum_loop_program)
+    live = set(core.rat)
+    for checkpoint in core.checkpoints:
+        live.update(checkpoint.rat_snapshot)
+    free = set(core.int_free) | set(core.fp_free)
+    assert not (free & live)
+
+
+def test_aggressive_release_beats_commit_time_release(sum_loop_program):
+    """CPR frees registers pre-commit: with only 72 free regs beyond the
+    architectural 64+64, a 128-deep window still flows."""
+    core, stats = run_cpr(sum_loop_program, budget=400)
+    assert stats.committed >= 400  # bulk commit may overshoot the budget
+
+
+def test_bulk_commit_is_interval_grained(branchy_program):
+    core, stats = run_cpr(branchy_program, budget=500)
+    assert stats.committed >= 500
+    # Oldest checkpoint always covers the in-flight window.
+    if core.in_flight:
+        assert core.checkpoints[0].seq < core.in_flight[0].seq
+
+
+def test_halting_program_drains(halting_program):
+    core, stats = run_cpr(halting_program, budget=100)
+    assert core.done
+    assert stats.committed == 6  # includes HALT
+    assert core.memory[halting_program.out_addr] == 42
+
+
+def test_rollback_restores_predictor_history(branchy_program):
+    core, stats = run_cpr(branchy_program, budget=500)
+    assert stats.recoveries > 0
+    # History must stay within the predictor's mask after rollbacks.
+    assert core.predictor.get_history() <= core.predictor.history_mask

@@ -1,0 +1,167 @@
+"""Cross-cutting engine behaviour: determinism, forwarding, indirect
+jumps, store-queue hierarchy and fetch effects inside full cores."""
+
+import pytest
+
+from repro.isa import Emulator, Op, ProgramBuilder, int_reg
+from repro.sim import SimConfig, build_core
+from repro.workloads import get_program
+
+
+def test_simulations_are_deterministic():
+    """Same program + config => bit-identical statistics."""
+    for config in (SimConfig.baseline(), SimConfig.cpr(),
+                   SimConfig.msp(16)):
+        a = build_core(get_program("twolf"), config).run(800).summary()
+        b = build_core(get_program("twolf"), config).run(800).summary()
+        assert a == b
+
+
+def test_store_to_load_forwarding_used():
+    """A load immediately after a store to the same address forwards
+    from the store queue rather than waiting for commit."""
+    b = ProgramBuilder("fwd")
+    scratch = b.reserve(8)
+    r_v, r_b, r_x, r_i = (int_reg(k) for k in range(1, 5))
+    b.li(r_b, scratch)
+    b.li(r_i, 0)
+    b.label("loop")
+    b.addi(r_v, r_v, 3)
+    b.st(r_v, r_b, 0)
+    b.ld(r_x, r_b, 0)       # forwards the just-stored value
+    b.addi(r_i, r_i, 1)
+    b.jmp("loop")
+    core = build_core(b.build(), SimConfig.msp(16))
+    core.run(max_instructions=400)
+    assert core.sq.forwards > 0
+
+
+def test_l2_store_queue_overflow_forwarding():
+    """CPR/MSP spill old stores to the L2 SQ; forwarding from there
+    carries the scan penalty but stays correct."""
+    b = ProgramBuilder("spill")
+    scratch = b.reserve(512)
+    r_v, r_b, r_i, r_t, r_x = (int_reg(k) for k in range(1, 6))
+    b.li(r_b, scratch)
+    b.li(r_i, 0)
+    b.label("loop")
+    b.add(r_t, r_b, r_i)
+    b.st(r_i, r_t, 0)
+    b.addi(r_i, r_i, 1)
+    b.bnez(r_i, "loop")
+    program = b.build()
+    config = SimConfig.msp(64).with_(sq_l1=4, sq_l2=64,
+                                     record_commits=True)
+    core = build_core(program, config)
+    stats = core.run(max_instructions=600)
+    emulator = Emulator(program, trace_pcs=True)
+    reference = emulator.run(max_instructions=stats.committed)
+    assert core.commit_trace == reference.pc_trace
+
+
+def test_indirect_jump_recovery_all_machines():
+    """A JR alternating between two targets defeats the last-target BTB
+    about half the time; every machine must recover correctly."""
+    b = ProgramBuilder("jrflip")
+    b.jmp("start")
+    b.label("t0")
+    t0 = b.pc
+    b.addi(int_reg(5), int_reg(5), 1)
+    b.jmp("join")
+    b.label("t1")
+    t1 = b.pc
+    b.addi(int_reg(6), int_reg(6), 1)
+    b.label("join")
+    b.addi(int_reg(1), int_reg(1), 1)
+    b.and_(int_reg(2), int_reg(1), int_reg(7))   # r7 = 1
+    b.mul(int_reg(3), int_reg(2), int_reg(8))    # r8 = t1 - t0
+    b.addi(int_reg(3), int_reg(3), 0)
+    b.add(int_reg(4), int_reg(3), int_reg(9))    # r9 = t0
+    b.jr(int_reg(4))
+    b.label("start")
+    b.li(int_reg(7), 1)
+    b.li(int_reg(8), t1 - t0)
+    b.li(int_reg(9), t0)
+    b.jmp("join")
+    program = b.build()
+
+    for config in (SimConfig.baseline(), SimConfig.cpr(),
+                   SimConfig.msp(16)):
+        core = build_core(program, config.with_(record_commits=True))
+        stats = core.run(max_instructions=500)
+        emulator = Emulator(program, trace_pcs=True)
+        reference = emulator.run(max_instructions=stats.committed)
+        assert core.commit_trace == reference.pc_trace
+        assert stats.recoveries > 0     # BTB misses happened
+        assert core.btb.mispredicted_targets > 0
+
+
+def test_icache_pressure_costs_cycles():
+    """A program larger than the I-cache with cold caches stalls fetch."""
+    b = ProgramBuilder("icache")
+    for k in range(64):
+        b.addi(int_reg(1 + k % 8), int_reg(1 + k % 8), 1)
+    b.jmp(0)
+    warm = build_core(b.build(), SimConfig.baseline()).run(300)
+    cold = build_core(b.build(),
+                      SimConfig.baseline().with_(warm_caches=False))
+    cold_stats = cold.run(300)
+    assert cold_stats.cycles > warm.cycles
+    assert cold.fetch.icache_stall_cycles > 0
+
+
+def test_issue_respects_fu_limits():
+    """With one LdSt unit, back-to-back loads serialise."""
+    program = get_program("vortex")
+    two = build_core(program, SimConfig.msp(64)).run(600)
+    one = build_core(program, SimConfig.msp(64, ldst_units=1)).run(600)
+    assert one.cycles >= two.cycles
+
+
+def test_iq_size_bounds_window():
+    program = get_program("mcf")
+    small = build_core(program, SimConfig.cpr().with_(iq_size=16)).run(800)
+    large = build_core(program, SimConfig.cpr()).run(800)
+    assert large.ipc >= small.ipc
+
+
+def test_msp_stateid_counter_grows_unbounded():
+    core = build_core(get_program("crafty"), SimConfig.msp(8))
+    core.run(max_instructions=2000)
+    # Far beyond any encoded width: the simulator uses unbounded ids
+    # (equivalence with the saturating encoding is proven separately).
+    assert core.sc.current > 1000
+
+
+def test_wrong_path_never_commits(branchy_program):
+    for config in (SimConfig.baseline(), SimConfig.cpr(),
+                   SimConfig.msp(16)):
+        core = build_core(branchy_program,
+                          config.with_(record_commits=True))
+        stats = core.run(max_instructions=600)
+        emulator = Emulator(branchy_program, trace_pcs=True)
+        reference = emulator.run(max_instructions=stats.committed)
+        assert core.commit_trace == reference.pc_trace
+
+
+def test_nops_flow_through():
+    b = ProgramBuilder("nops")
+    b.li(int_reg(1), 1)
+    for _ in range(5):
+        b.nop()
+    b.addi(int_reg(1), int_reg(1), 1)
+    b.halt()
+    for config in (SimConfig.baseline(), SimConfig.cpr(),
+                   SimConfig.msp(16)):
+        core = build_core(b.build(), config)
+        stats = core.run(max_instructions=50)
+        assert core.done
+        assert stats.committed == 8
+
+
+def test_branch_op_metadata_consistency():
+    # Guard against opcode-table drift: every control op must resolve.
+    from repro.isa.opcodes import CONTROL_OPS, op_is_control
+    for op in CONTROL_OPS:
+        assert op_is_control(op)
+    assert not op_is_control(Op.ADD)

@@ -1,0 +1,70 @@
+"""Exception-injection (failure-injection) tests.
+
+The paper treats exceptions like branch recovery: precise in the MSP and
+baseline, rollback-to-checkpoint (with correct-path re-execution) in
+CPR. Exceptions are injected by architectural commit ordinal, so the
+same fault hits the same instruction on every machine.
+"""
+
+import pytest
+
+from repro.isa import Emulator
+from repro.sim import SimConfig, build_core
+
+ORDINALS = frozenset({50, 51, 200, 333})
+
+
+def run_with_exceptions(program, config, budget=600):
+    cfg = config.with_(exception_ordinals=ORDINALS, record_commits=True)
+    core = build_core(program, cfg)
+    stats = core.run(max_instructions=budget)
+    return core, stats
+
+
+@pytest.mark.parametrize("config", [
+    pytest.param(SimConfig.baseline(), id="baseline"),
+    pytest.param(SimConfig.cpr(), id="cpr"),
+    pytest.param(SimConfig.msp(16), id="msp16"),
+])
+def test_exceptions_taken_once_and_stream_intact(config, branchy_program):
+    core, stats = run_with_exceptions(branchy_program, config)
+    assert stats.exceptions_taken == len(ORDINALS)
+    emulator = Emulator(branchy_program, trace_pcs=True)
+    reference = emulator.run(max_instructions=stats.committed)
+    assert core.commit_trace == reference.pc_trace
+
+
+def test_msp_exception_recovery_no_worse_than_cpr(branchy_program):
+    """Precise exception recovery squashes only the excepting
+    instruction and *younger* work; CPR additionally re-executes the
+    older window back to its checkpoint."""
+    _, msp = run_with_exceptions(branchy_program, SimConfig.msp(16))
+    _, cpr = run_with_exceptions(
+        branchy_program, SimConfig.cpr(confidence_threshold=0))
+    assert msp.correct_path_reexecuted <= cpr.correct_path_reexecuted
+
+
+def test_cpr_exception_recovery_is_imprecise(branchy_program):
+    core, stats = run_with_exceptions(
+        branchy_program, SimConfig.cpr(confidence_threshold=0))
+    # Rolling back to the preceding checkpoint re-executes a window of
+    # correct-path instructions per exception.
+    assert stats.correct_path_reexecuted > stats.exceptions_taken
+
+
+def test_exceptions_cost_cycles(branchy_program):
+    clean = build_core(branchy_program,
+                       SimConfig.msp(16)).run(max_instructions=600)
+    _, faulted = run_with_exceptions(branchy_program, SimConfig.msp(16))
+    assert faulted.cycles > clean.cycles
+
+
+def test_exception_on_store_keeps_memory_consistent(sum_loop_program):
+    config = SimConfig.msp(16).with_(
+        exception_ordinals=frozenset(range(60, 75)), record_commits=True)
+    core = build_core(sum_loop_program, config)
+    stats = core.run(max_instructions=400)
+    emulator = Emulator(sum_loop_program)
+    emulator.run(max_instructions=stats.committed)
+    for addr in set(core.memory) | set(emulator.memory):
+        assert core.memory.get(addr, 0) == emulator.memory.get(addr, 0)

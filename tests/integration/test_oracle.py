@@ -1,0 +1,52 @@
+"""Oracle cross-check: every core's committed instruction stream and
+memory state must exactly match the architectural emulator, on every
+workload. This is the system-level correctness contract that makes all
+IPC comparisons meaningful.
+"""
+
+import pytest
+
+from repro.isa import Emulator
+from repro.sim import SimConfig, build_core
+from repro.workloads import SPECFP, SPECINT, get_program
+
+CONFIGS = [
+    pytest.param(SimConfig.baseline(), id="baseline"),
+    pytest.param(SimConfig.cpr(), id="cpr"),
+    pytest.param(SimConfig.msp(8), id="msp8"),
+    pytest.param(SimConfig.msp(16), id="msp16"),
+    pytest.param(SimConfig.msp_ideal(), id="msp-ideal"),
+]
+
+# A representative slice: branchy int, indirect-heavy, memory-bound,
+# store-heavy, and the tight Table II kernels (plus modified variants).
+WORKLOADS = ["gzip", "mcf", "perlbmk", "vortex", "bzip2", "twolf",
+             "swim", "equake", "bzip2_mod", "swim_mod"]
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_commit_stream_and_memory_match_oracle(workload, config):
+    program = get_program(workload)
+    core = build_core(program, config.with_(record_commits=True))
+    stats = core.run(max_instructions=1200)
+    assert stats.committed >= 1200
+
+    emulator = Emulator(program, trace_pcs=True)
+    reference = emulator.run(max_instructions=stats.committed)
+    assert core.commit_trace == reference.pc_trace
+
+    touched = set(core.memory) | set(emulator.memory)
+    for addr in touched:
+        assert core.memory.get(addr, 0) == emulator.memory.get(addr, 0), \
+            f"memory divergence at {addr}"
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_full_suite_smoke(config):
+    """Every workload runs (briefly) on every machine without errors."""
+    for workload in SPECINT + SPECFP:
+        stats = build_core(get_program(workload),
+                           config).run(max_instructions=150)
+        assert stats.committed >= 150
+        assert stats.ipc > 0

@@ -1,0 +1,91 @@
+"""Reference-emulator tests."""
+
+from repro.isa import Emulator, ProgramBuilder, int_reg, fp_reg, run_program
+
+
+def test_halting_program_memory_effect(halting_program):
+    emulator = Emulator(halting_program)
+    result = emulator.run()
+    assert result.halted and not result.fell_off
+    assert emulator.memory[halting_program.out_addr] == 42
+
+
+def test_fall_off_end_detected():
+    b = ProgramBuilder("falloff")
+    b.li(int_reg(1), 1)
+    program = b.build()
+    result = run_program(program)
+    assert result.fell_off and not result.halted
+    assert result.retired == 1
+
+
+def test_budget_stops_infinite_loop():
+    b = ProgramBuilder("spin")
+    b.label("top")
+    b.jmp("top")
+    result = run_program(b.build(), max_instructions=50)
+    assert result.retired == 50
+    assert not result.terminated
+
+
+def test_branch_trace_records_outcomes(branchy_program):
+    emulator = Emulator(branchy_program, trace_branches=True)
+    result = emulator.run(max_instructions=200)
+    assert result.branch_outcomes
+    taken = sum(1 for _, t in result.branch_outcomes if t)
+    assert 0 < taken < len(result.branch_outcomes)
+
+
+def test_pc_trace_matches_retired(sum_loop_program):
+    emulator = Emulator(sum_loop_program, trace_pcs=True)
+    result = emulator.run(max_instructions=300)
+    assert len(result.pc_trace) == result.retired == 300
+
+
+def test_loads_default_to_zero():
+    b = ProgramBuilder("zeroload")
+    r = int_reg(1)
+    b.li(r, 12345)
+    b.ld(r, r, 0)          # uninitialised address
+    b.halt()
+    emulator = Emulator(b.build())
+    emulator.run()
+    assert emulator.regs[r] == 0
+
+
+def test_fld_returns_float():
+    b = ProgramBuilder("fload")
+    data = b.data_region([3])
+    b.li(int_reg(1), data)
+    b.fld(fp_reg(0), int_reg(1), 0)
+    b.halt()
+    emulator = Emulator(b.build())
+    emulator.run()
+    value = emulator.regs[fp_reg(0)]
+    assert value == 3.0 and isinstance(value, float)
+
+
+def test_indirect_jump_follows_register():
+    b = ProgramBuilder("jr")
+    b.li(int_reg(1), 3)
+    b.jr(int_reg(1))
+    b.li(int_reg(2), 99)   # skipped
+    b.halt()               # pc 3
+    emulator = Emulator(b.build())
+    result = emulator.run()
+    assert result.halted
+    assert emulator.regs[int_reg(2)] == 0
+
+
+def test_store_then_load_round_trip():
+    b = ProgramBuilder("stld")
+    scratch = b.reserve(2)
+    r_v, r_b, r_out = int_reg(1), int_reg(2), int_reg(3)
+    b.li(r_v, 777)
+    b.li(r_b, scratch)
+    b.st(r_v, r_b, 1)
+    b.ld(r_out, r_b, 1)
+    b.halt()
+    emulator = Emulator(b.build())
+    emulator.run()
+    assert emulator.regs[r_out] == 777

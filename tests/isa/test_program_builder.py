@@ -1,0 +1,109 @@
+"""ProgramBuilder and Instruction validation tests."""
+
+import pytest
+
+from repro.isa import Instruction, Op, ProgramBuilder, int_reg, run_program
+
+
+def test_forward_label_resolution():
+    b = ProgramBuilder("fwd")
+    b.beq(int_reg(1), int_reg(2), "later")
+    b.li(int_reg(3), 1)
+    b.label("later")
+    b.halt()
+    program = b.build()
+    assert program.instructions[0].target == 2
+
+
+def test_undefined_label_raises():
+    b = ProgramBuilder("bad")
+    b.jmp("nowhere")
+    with pytest.raises(ValueError, match="nowhere"):
+        b.build()
+
+
+def test_duplicate_label_raises():
+    b = ProgramBuilder("dup")
+    b.label("x")
+    with pytest.raises(ValueError, match="duplicate"):
+        b.label("x")
+
+
+def test_data_regions_do_not_overlap():
+    b = ProgramBuilder("data")
+    first = b.data_region([1, 2, 3])
+    second = b.data_region([4, 5])
+    assert second >= first + 3
+    program = b.build()
+    assert program.initial_memory[first + 2] == 3
+    assert program.initial_memory[second + 1] == 5
+
+
+def test_data_region_alignment():
+    b = ProgramBuilder("align")
+    b.data_region([1])
+    aligned = b.data_region([2], align=64)
+    assert aligned % 64 == 0
+
+
+def test_reserve_fills_default():
+    b = ProgramBuilder("reserve")
+    base = b.reserve(4)
+    program = b.build()
+    assert all(program.initial_memory[base + i] == 0 for i in range(4))
+
+
+def test_instruction_requires_dest_consistency():
+    with pytest.raises(ValueError):
+        Instruction(Op.ADD, dest=None, srcs=(1, 2))
+    with pytest.raises(ValueError):
+        Instruction(Op.ST, dest=3, srcs=(1, 2))
+    with pytest.raises(ValueError):
+        Instruction(Op.BEQ, srcs=(1, 2), target=None)
+
+
+def test_instruction_metadata_flags():
+    load = Instruction(Op.LD, dest=1, srcs=(2,))
+    assert load.is_load and load.is_mem and load.writes_reg
+    store = Instruction(Op.ST, srcs=(1, 2))
+    assert store.is_store and not store.writes_reg
+    branch = Instruction(Op.BNE, srcs=(1, 2), target=0)
+    assert branch.is_branch and branch.is_control
+    jump = Instruction(Op.JR, srcs=(1,))
+    assert jump.is_indirect and jump.is_control and not jump.is_branch
+
+
+def test_fetch_out_of_range_returns_none():
+    b = ProgramBuilder("tiny")
+    b.halt()
+    program = b.build()
+    assert program.fetch(0) is not None
+    assert program.fetch(1) is None
+    assert program.fetch(-1) is None
+
+
+def test_listing_contains_labels():
+    b = ProgramBuilder("listing")
+    b.label("start")
+    b.li(int_reg(1), 5)
+    b.jmp("start")
+    text = b.build().listing()
+    assert "start:" in text
+    assert "li" in text
+
+
+def test_memory_line_addrs_cached_and_line_granular():
+    b = ProgramBuilder("lines")
+    b.data_region(list(range(20)))
+    program = b.build()
+    lines = program.memory_line_addrs
+    assert lines == program.memory_line_addrs  # cached
+    assert all(addr % 8 == 0 for addr in lines)
+    # 20 words starting at a 0x1000-aligned base span 3 lines.
+    assert len(lines) == 3
+
+
+def test_builder_program_executes(halting_program):
+    result = run_program(halting_program)
+    assert result.halted
+    assert result.retired == 5

@@ -1,0 +1,77 @@
+"""Register namespace tests."""
+
+import pytest
+
+from repro.isa import registers as regs_mod
+from repro.isa import (
+    NUM_INT_REGS,
+    NUM_LOGICAL_REGS,
+    RegClass,
+    fp_reg,
+    int_reg,
+    is_fp_reg,
+    is_int_reg,
+    parse_reg,
+    reg_class,
+    reg_name,
+)
+
+
+def test_int_reg_maps_identity():
+    assert int_reg(0) == 0
+    assert int_reg(31) == 31
+
+
+def test_fp_reg_offsets_past_int_space():
+    assert fp_reg(0) == NUM_INT_REGS
+    assert fp_reg(31) == NUM_LOGICAL_REGS - 1
+
+
+@pytest.mark.parametrize("index", [-1, 32, 100])
+def test_out_of_range_indices_rejected(index):
+    with pytest.raises(ValueError):
+        int_reg(index)
+    with pytest.raises(ValueError):
+        fp_reg(index)
+
+
+def test_reg_class_partition():
+    for reg in range(NUM_LOGICAL_REGS):
+        if reg < NUM_INT_REGS:
+            assert reg_class(reg) is RegClass.INT
+            assert is_int_reg(reg) and not is_fp_reg(reg)
+        else:
+            assert reg_class(reg) is RegClass.FP
+            assert is_fp_reg(reg) and not is_int_reg(reg)
+
+
+def test_reg_class_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        reg_class(NUM_LOGICAL_REGS)
+
+
+def test_names_round_trip():
+    for reg in range(NUM_LOGICAL_REGS):
+        assert parse_reg(reg_name(reg)) == reg
+
+
+def test_name_formats():
+    assert reg_name(int_reg(7)) == "r7"
+    assert reg_name(fp_reg(3)) == "f3"
+
+
+def test_parse_rejects_garbage():
+    for bad in ("x3", "r", "", "q12"):
+        with pytest.raises(ValueError):
+            parse_reg(bad)
+
+
+def test_reg_name_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        reg_name(NUM_LOGICAL_REGS)
+
+
+def test_namespace_sizes():
+    assert regs_mod.NUM_INT_REGS == 32
+    assert regs_mod.NUM_FP_REGS == 32
+    assert regs_mod.NUM_LOGICAL_REGS == 64

@@ -1,0 +1,98 @@
+"""Functional-semantics tests, including hypothesis properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.opcodes import Op
+from repro.isa.semantics import branch_taken, effective_address, evaluate, wrap_int
+
+int64 = st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1)
+
+
+@given(int64, int64)
+def test_add_matches_two_complement(a, b):
+    assert evaluate(Op.ADD, (a, b)) == wrap_int(a + b)
+
+
+@given(int64, int64)
+def test_sub_then_add_round_trips(a, b):
+    diff = evaluate(Op.SUB, (a, b))
+    assert evaluate(Op.ADD, (diff, b)) == wrap_int(a)
+
+
+@given(int64)
+def test_xor_self_is_zero(a):
+    assert evaluate(Op.XOR, (a, a)) == 0
+
+
+@given(int64, st.integers(min_value=0, max_value=63))
+def test_shift_left_then_right_masks(a, s):
+    shifted = evaluate(Op.SHL, (a, s))
+    assert shifted == wrap_int(a << s)
+
+
+@given(int64)
+def test_wrap_int_idempotent(a):
+    assert wrap_int(wrap_int(a)) == wrap_int(a)
+
+
+def test_div_by_zero_defined():
+    assert evaluate(Op.DIV, (42, 0)) == 0
+    assert evaluate(Op.FDIV, (1.5, 0.0)) == 0.0
+
+
+def test_div_truncates_toward_zero():
+    assert evaluate(Op.DIV, (7, 2)) == 3
+    assert evaluate(Op.DIV, (-7, 2)) == -3
+
+
+def test_slt_and_fcmplt():
+    assert evaluate(Op.SLT, (1, 2)) == 1
+    assert evaluate(Op.SLT, (2, 1)) == 0
+    assert evaluate(Op.FCMPLT, (0.5, 1.0)) == 1
+    assert evaluate(Op.FCMPLT, (1.5, 1.0)) == 0
+
+
+def test_immediate_ops():
+    assert evaluate(Op.LI, (), imm=77) == 77
+    assert evaluate(Op.ADDI, (5,), imm=-3) == 2
+    assert evaluate(Op.MOV, (9,)) == 9
+
+
+def test_fcvt_converts_int_to_float():
+    assert evaluate(Op.FCVT, (3,)) == 3.0
+    assert isinstance(evaluate(Op.FCVT, (3,)), float)
+
+
+@given(int64, int64)
+def test_branch_semantics_consistent(a, b):
+    assert branch_taken(Op.BEQ, (a, b)) == (a == b)
+    assert branch_taken(Op.BNE, (a, b)) == (a != b)
+    assert branch_taken(Op.BLT, (a, b)) == (a < b)
+    assert branch_taken(Op.BGE, (a, b)) == (a >= b)
+
+
+@given(int64)
+def test_zero_branches(a):
+    assert branch_taken(Op.BEQZ, (a,)) == (a == 0)
+    assert branch_taken(Op.BNEZ, (a,)) == (a != 0)
+
+
+def test_branch_taken_rejects_non_branch():
+    with pytest.raises(ValueError):
+        branch_taken(Op.ADD, (1, 2))
+
+
+def test_evaluate_rejects_control_ops():
+    with pytest.raises(ValueError):
+        evaluate(Op.BEQ, (1, 2))
+
+
+@given(st.integers(min_value=0, max_value=2 ** 40),
+       st.integers(min_value=-64, max_value=64))
+def test_effective_address_non_negative(base, imm):
+    assert effective_address(base, imm) >= 0
+
+
+def test_effective_address_handles_float_base():
+    assert effective_address(10.7, 2) == 12

@@ -1,0 +1,85 @@
+"""Cache and memory-hierarchy tests."""
+
+import pytest
+
+from repro.memory import Cache, MemoryHierarchy
+
+
+def test_miss_then_hit_same_line():
+    cache = Cache("t", 1024, 2, 64)
+    assert not cache.access(0)
+    assert cache.access(0)
+    assert cache.access(7)        # same 8-word line
+    assert not cache.access(8)    # next line
+    assert cache.hits == 2
+    assert cache.misses == 2
+
+
+def test_lru_eviction():
+    # 2-way, 1 set: 128 bytes total, 64-byte lines.
+    cache = Cache("t", 128, 2, 64)
+    cache.access(0)
+    cache.access(8)
+    cache.access(0)       # refresh line 0
+    cache.access(16)      # evicts line 1 (LRU)
+    assert cache.probe(0)
+    assert not cache.probe(8)
+    assert cache.probe(16)
+
+
+def test_dirty_eviction_counts_writeback():
+    cache = Cache("t", 128, 2, 64)
+    cache.access(0, write=True)
+    cache.access(8)
+    cache.access(16)      # evicts dirty line 0
+    assert cache.writebacks == 1
+
+
+def test_miss_rate_statistic():
+    cache = Cache("t", 1024, 2, 64)
+    cache.access(0)
+    cache.access(0)
+    assert cache.miss_rate == 0.5
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        Cache("bad", 1000, 3, 64)
+
+
+def test_hierarchy_latencies_follow_table1():
+    h = MemoryHierarchy()
+    # Cold data access goes to memory; second hits L1D.
+    assert h.load_latency(100) == 380
+    assert h.load_latency(100) == 4
+    # Cold instruction fetch; second hits L1I.
+    assert h.instruction_latency(0) == 380
+    assert h.instruction_latency(0) == 1
+
+
+def test_l2_backs_l1_eviction():
+    h = MemoryHierarchy(dcache_size=128, dcache_assoc=2)
+    h.load_latency(0)          # memory; now in tiny L1D and L2
+    h.load_latency(8)
+    h.load_latency(16)         # evicts line 0 from L1D, still in L2
+    assert h.load_latency(0) == 16
+
+
+def test_instructions_and_data_do_not_alias():
+    h = MemoryHierarchy()
+    h.load_latency(0)
+    assert h.instruction_latency(0) == 380  # distinct address space
+
+
+def test_warm_resets_stats_and_preloads():
+    h = MemoryHierarchy()
+    h.warm(range(64), [0, 8, 16])
+    assert h.icache.misses == 0 and h.dcache.misses == 0
+    assert h.instruction_latency(0) == 1
+    assert h.load_latency(8) == 4
+
+
+def test_store_commit_updates_caches():
+    h = MemoryHierarchy()
+    h.store_commit(40)
+    assert h.load_latency(40) == 4

@@ -1,0 +1,134 @@
+"""Pipeline component tests: FU pool, load buffer, fetch engine, stats."""
+
+import pytest
+
+from repro.branch import GsharePredictor
+from repro.isa import FUType, Op, ProgramBuilder, int_reg
+from repro.memory import MemoryHierarchy
+from repro.pipeline import FetchEngine, FunctionalUnitPool, LoadBuffer, SimStats
+
+
+def test_fu_pool_per_class_limits():
+    pool = FunctionalUnitPool(int_units=2, fp_units=1, ldst_units=1,
+                              issue_width=5)
+    pool.new_cycle()
+    assert pool.can_issue(FUType.INT)
+    pool.issue(FUType.INT)
+    pool.issue(FUType.INT)
+    assert not pool.can_issue(FUType.INT)
+    assert pool.can_issue(FUType.FP)
+
+
+def test_fu_pool_global_issue_width():
+    pool = FunctionalUnitPool(int_units=4, fp_units=4, ldst_units=2,
+                              issue_width=3)
+    pool.new_cycle()
+    for _ in range(3):
+        pool.issue(FUType.INT)
+    assert pool.slots_left == 0
+    assert not pool.can_issue(FUType.FP)
+    pool.new_cycle()
+    assert pool.can_issue(FUType.FP)
+
+
+def test_load_buffer_bounds():
+    buffer = LoadBuffer(capacity=2)
+    buffer.allocate()
+    buffer.allocate()
+    assert buffer.is_full()
+    with pytest.raises(RuntimeError):
+        buffer.allocate()
+    buffer.release()
+    assert not buffer.is_full()
+    buffer.release()
+    with pytest.raises(RuntimeError):
+        buffer.release()
+
+
+def _fetch_engine(program, width=3):
+    hierarchy = MemoryHierarchy()
+    hierarchy.warm(range(len(program)), [])
+    return FetchEngine(program, hierarchy, GsharePredictor(), width=width)
+
+
+def test_fetch_stops_group_at_taken_control():
+    b = ProgramBuilder("jmي")
+    b.li(int_reg(1), 1)
+    b.jmp("target")
+    b.li(int_reg(2), 2)     # not fetched in the first group
+    b.label("target")
+    b.li(int_reg(3), 3)
+    program = b.build()
+
+    fetch = _fetch_engine(program)
+    fetch.cycle(0)
+    pcs = [di.pc for di in fetch.buffer]
+    assert pcs == [0, 1]
+    assert fetch.pc == program.labels["target"]
+
+
+def test_fetch_width_limits_group():
+    b = ProgramBuilder("straight")
+    for k in range(8):
+        b.li(int_reg(k + 1), k)
+    b.jmp(0)
+    fetch = _fetch_engine(b.build(), width=3)
+    fetch.cycle(0)
+    assert len(fetch.buffer) == 3
+
+
+def test_fetch_halts_at_halt_until_redirect():
+    b = ProgramBuilder("halty")
+    b.halt()
+    fetch = _fetch_engine(b.build())
+    fetch.cycle(0)
+    assert fetch.halted
+    assert fetch.buffer[0].inst.op is Op.HALT
+    fetch.redirect(0, 0)
+    assert not fetch.halted
+    assert not fetch.buffer          # redirect discards the buffer
+
+
+def test_fetch_records_ghr_snapshot():
+    b = ProgramBuilder("snap")
+    b.li(int_reg(1), 0)
+    b.bnez(int_reg(1), "skip")
+    b.label("skip")
+    b.jmp(0)
+    fetch = _fetch_engine(b.build())
+    fetch.cycle(0)
+    assert all(di.ghr_at_fetch is not None for di in fetch.buffer)
+
+
+def test_fetch_squash_after_drops_young():
+    b = ProgramBuilder("sq")
+    for k in range(6):
+        b.li(int_reg(k + 1), k)
+    b.jmp(0)
+    fetch = _fetch_engine(b.build(), width=3)
+    fetch.cycle(0)
+    boundary = fetch.buffer[0].seq
+    fetch.squash_after(boundary)
+    assert [di.seq for di in fetch.buffer] == [boundary]
+
+
+def test_stats_summary_and_breakdown():
+    stats = SimStats()
+    stats.cycles = 100
+    stats.committed = 150
+    stats.wrong_path_executed = 30
+    stats.correct_path_reexecuted = 20
+    stats.branches = 40
+    stats.branch_mispredictions = 4
+    assert stats.ipc == 1.5
+    assert stats.total_executed == 200
+    assert stats.misprediction_rate == 0.1
+    summary = stats.summary()
+    assert summary["ipc"] == 1.5
+    assert summary["total_executed"] == 200
+
+
+def test_stats_bank_stall_ranking():
+    stats = SimStats()
+    stats.bank_stall_cycles.update({3: 10, 7: 50, 1: 5})
+    assert stats.top_bank_stalls(2) == [(7, 50), (3, 10)]

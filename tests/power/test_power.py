@@ -1,0 +1,92 @@
+"""Register-file power/timing/area model tests (Sec. 5, Table III)."""
+
+import pytest
+
+from repro.power import (
+    BankGeometry,
+    CPR_4BANK,
+    CPR_8BANK,
+    MSP_16SP,
+    RegFileModel,
+    SRAMBankModel,
+    TECH_45NM,
+    TECH_65NM,
+    section51_area,
+    table3,
+)
+
+PAPER_TABLE3 = {
+    ("65nm", "CPR 192x64b 4 banks 8R/4W"): (4.75, 1.06, 4.50, 5.51),
+    ("65nm", "CPR 192x64b 8 banks 8R/4W"): (2.75, 1.06, 2.65, 5.51),
+    ("65nm", "16-SP 512x64b 32 banks 1R/1W"): (2.05, 0.85, 2.10, 4.44),
+    ("45nm", "CPR 192x64b 4 banks 8R/4W"): (3.30, 1.29, 2.60, 6.11),
+    ("45nm", "CPR 192x64b 8 banks 8R/4W"): (2.10, 1.29, 2.10, 6.11),
+    ("45nm", "16-SP 512x64b 32 banks 1R/1W"): (2.00, 1.11, 1.65, 5.92),
+}
+
+
+def test_table3_orderings_msp_wins_everywhere():
+    for tech, rows in table3().items():
+        msp = rows["16-SP 512x64b 32 banks 1R/1W"]
+        cpr4 = rows["CPR 192x64b 4 banks 8R/4W"]
+        cpr8 = rows["CPR 192x64b 8 banks 8R/4W"]
+        for key in msp:
+            assert msp[key] < cpr4[key]
+            assert msp[key] < cpr8[key]
+        assert cpr8["read_power_mw"] < cpr4["read_power_mw"]
+
+
+def test_table3_calibration_within_tolerance():
+    """Absolute cells land within 35% of the paper's SPICE numbers
+    (the fitted model; EXPERIMENTS.md records both)."""
+    result = table3()
+    for (tech, config), paper in PAPER_TABLE3.items():
+        row = result[tech][config]
+        measured = (row["write_power_mw"], row["write_time_fo4"],
+                    row["read_power_mw"], row["read_time_fo4"])
+        for got, want in zip(measured, paper):
+            assert abs(got - want) / want < 0.35, \
+                f"{tech}/{config}: {got:.2f} vs paper {want}"
+
+
+def test_more_ports_cost_energy_and_time():
+    small = SRAMBankModel(BankGeometry(16, 64, 1, 1), TECH_65NM)
+    big = SRAMBankModel(BankGeometry(16, 64, 8, 4), TECH_65NM)
+    assert big.read_energy_fj() > small.read_energy_fj()
+    assert big.read_access_fo4() > small.read_access_fo4()
+    assert big.area_mm2() > small.area_mm2()
+
+
+def test_more_entries_cost_energy_and_time():
+    small = SRAMBankModel(BankGeometry(16, 64, 1, 1), TECH_65NM)
+    deep = SRAMBankModel(BankGeometry(256, 64, 1, 1), TECH_65NM)
+    assert deep.read_energy_fj() > small.read_energy_fj()
+    assert deep.read_access_fo4() > small.read_access_fo4()
+
+
+def test_smaller_node_lower_dynamic_power():
+    geo = BankGeometry(48, 64, 8, 4)
+    assert (SRAMBankModel(geo, TECH_45NM).read_energy_fj()
+            < SRAMBankModel(geo, TECH_65NM).read_energy_fj())
+
+
+def test_total_power_uses_paper_equation():
+    model = RegFileModel(MSP_16SP, TECH_65NM)
+    bank = model.bank
+    expected = (bank.access_power_mw(write=False)
+                + (MSP_16SP.num_banks - 1) * bank.leakage_mw())
+    assert model.total_access_power_mw(write=False) == pytest.approx(expected)
+
+
+def test_write_faster_than_read():
+    for config in (CPR_4BANK, CPR_8BANK, MSP_16SP):
+        model = RegFileModel(config, TECH_65NM)
+        assert model.access_time_fo4(write=True) < \
+            model.access_time_fo4(write=False)
+
+
+def test_section51_area_matches_paper_direction():
+    area = section51_area()
+    assert area["msp_512_banked_mm2"] == pytest.approx(0.1, rel=0.3)
+    assert area["cpr_256_fullport_mm2"] == pytest.approx(0.21, rel=0.3)
+    assert area["msp_512_banked_mm2"] < area["cpr_256_fullport_mm2"]

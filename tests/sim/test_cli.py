@@ -1,0 +1,60 @@
+"""CLI tests (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "gzip" in out and "fma3d" in out and "figure6" in out
+
+
+def test_run_command_msp(capsys):
+    assert main(["run", "crafty", "--arch", "msp", "--banks", "8",
+                 "-n", "300"]) == 0
+    out = capsys.readouterr().out
+    assert "8-SP+Arb" in out and "ipc" in out
+
+
+def test_run_command_all_arches(capsys):
+    for arch in ("baseline", "cpr", "ideal"):
+        assert main(["run", "crafty", "--arch", arch, "-n", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "Baseline" in out and "CPR-192" in out and "ideal-MSP" in out
+
+
+def test_compare_command(capsys):
+    assert main(["compare", "crafty", "-n", "200",
+                 "--predictor", "gshare"]) == 0
+    out = capsys.readouterr().out
+    for label in ("Baseline", "CPR-192", "8-SP+Arb", "ideal-MSP"):
+        assert label in out
+
+
+def test_experiment_table3(capsys):
+    assert main(["experiment", "table3"]) == 0
+    out = capsys.readouterr().out
+    assert "65nm" in out and "Sec 5.1" in out
+
+
+def test_experiment_unknown_rejected(capsys):
+    assert main(["experiment", "figure99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_listing_command(capsys):
+    assert main(["listing", "gzip"]) == 0
+    out = capsys.readouterr().out
+    assert "scan:" in out and "ld" in out
+
+
+def test_run_unknown_workload_raises():
+    with pytest.raises(ValueError):
+        main(["run", "nonesuch", "-n", "100"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

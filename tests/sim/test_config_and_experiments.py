@@ -1,0 +1,94 @@
+"""SimConfig presets, runner, and experiment harness tests."""
+
+import pytest
+
+from repro.baseline import BaselineProcessor
+from repro.core import MSPProcessor
+from repro.cpr import CPRProcessor
+from repro.sim import SimConfig, build_core, simulate
+from repro.sim import experiments
+
+
+def test_presets_match_table1():
+    base = SimConfig.baseline()
+    assert (base.rob_size, base.iq_size, base.phys_int) == (128, 48, 96)
+    assert base.sq_l1 == 24 and base.sq_l2 == 0
+
+    cpr = SimConfig.cpr()
+    assert cpr.iq_size == 128 and cpr.phys_int == 192
+    assert cpr.checkpoints == 8
+    assert (cpr.sq_l1, cpr.sq_l2) == (48, 256)
+
+    msp = SimConfig.msp(16)
+    assert msp.bank_size == 16 and msp.arbitration and msp.lcs_delay == 1
+
+    ideal = SimConfig.msp_ideal()
+    assert ideal.bank_size is None and not ideal.arbitration
+    assert ideal.lcs_delay == 0 and ideal.sq_l1 is None
+
+
+def test_labels():
+    assert SimConfig.baseline().label == "Baseline"
+    assert SimConfig.cpr().label == "CPR-192"
+    assert SimConfig.cpr(registers=512).label == "CPR-512"
+    assert SimConfig.msp(8).label == "8-SP+Arb"
+    assert SimConfig.msp(8, arbitration=False).label == "8-SP"
+    assert SimConfig.msp_ideal().label == "ideal-MSP"
+    assert SimConfig.msp(8, label_override="X").label == "X"
+
+
+def test_with_copies_and_overrides():
+    config = SimConfig.msp(16)
+    other = config.with_(lcs_delay=4)
+    assert other.lcs_delay == 4 and config.lcs_delay == 1
+
+
+def test_build_core_dispatch():
+    program_cfgs = [
+        (SimConfig.baseline(), BaselineProcessor),
+        (SimConfig.cpr(), CPRProcessor),
+        (SimConfig.msp(8), MSPProcessor),
+    ]
+    from repro.workloads import get_program
+    program = get_program("crafty")
+    for config, cls in program_cfgs:
+        assert isinstance(build_core(program, config), cls)
+    with pytest.raises(ValueError):
+        build_core(program, SimConfig(arch="vliw"))
+
+
+def test_simulate_accepts_workload_name():
+    stats = simulate("crafty", SimConfig.baseline(), max_instructions=200)
+    assert stats.committed >= 200
+
+
+def test_experiment_grid_structure(monkeypatch):
+    monkeypatch.setenv("REPRO_INSTRUCTIONS", "300")
+    result = experiments.figure6(banks=[8])
+    assert result.machines == ["Baseline", "CPR-192", "8-SP+Arb",
+                               "ideal-MSP"]
+    assert len(result.stats) == 12
+    table = result.to_table()
+    assert "hmean" in table and "Baseline" in table
+    assert result.speedup_over("ideal-MSP", "CPR-192") > 0
+
+
+def test_figure9_summary_shape(monkeypatch):
+    monkeypatch.setenv("REPRO_INSTRUCTIONS", "300")
+    monkeypatch.setenv("REPRO_BENCHSET", "quick")
+    data = experiments.figure9()
+    summary = experiments.figure9_summary(data)
+    assert set(summary) == {"gshare", "tage"}
+    for cells in data.values():
+        for row in cells.values():
+            assert row["total"] == (row["correct_path"]
+                                    + row["correct_path_reexecuted"]
+                                    + row["wrong_path"])
+
+
+def test_quick_mode_trims(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCHSET", "quick")
+    assert len(experiments._benchmarks(["a"] * 12)) == 4
+    assert experiments._bank_sweep() == [8, 16]
+    monkeypatch.delenv("REPRO_BENCHSET")
+    assert experiments._bank_sweep() == [8, 16, 32, 64, 128]

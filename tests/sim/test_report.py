@@ -1,0 +1,68 @@
+"""Report-writer tests."""
+
+import pytest
+
+from repro.sim import SimConfig
+from repro.sim.experiments import ExperimentResult
+from repro.sim.report import (
+    grid_to_csv,
+    grid_to_markdown,
+    result_to_rows,
+    write_result,
+)
+from repro.pipeline.stats import SimStats
+
+
+def _fake_result():
+    result = ExperimentResult("test", ["A", "B"])
+    for bench, (a, b) in (("x", (100, 200)), ("y", (300, 150))):
+        sa, sb = SimStats(), SimStats()
+        sa.cycles = 100
+        sa.committed = a
+        sb.cycles = 100
+        sb.committed = b
+        result.stats[bench] = {"A": sa, "B": sb}
+    return result
+
+
+def test_result_to_rows():
+    rows = result_to_rows(_fake_result())
+    assert rows == {"x": {"A": 1.0, "B": 2.0},
+                    "y": {"A": 3.0, "B": 1.5}}
+
+
+def test_csv_round_trip():
+    text = grid_to_csv(result_to_rows(_fake_result()), ["A", "B"])
+    lines = text.strip().splitlines()
+    assert lines[0] == "benchmark,A,B"
+    assert lines[1] == "x,1.0000,2.0000"
+
+
+def test_markdown_table_shape():
+    text = grid_to_markdown(result_to_rows(_fake_result()), ["A", "B"])
+    lines = text.splitlines()
+    assert lines[0].startswith("| benchmark |")
+    assert len(lines) == 4
+
+
+def test_write_result_formats(tmp_path):
+    result = _fake_result()
+    csv_path = tmp_path / "out.csv"
+    md_path = tmp_path / "out.md"
+    write_result(result, str(csv_path), fmt="csv")
+    write_result(result, str(md_path), fmt="md")
+    assert "benchmark,A,B" in csv_path.read_text()
+    assert "| benchmark |" in md_path.read_text()
+    with pytest.raises(ValueError):
+        write_result(result, str(csv_path), fmt="xml")
+
+
+def test_end_to_end_with_real_run(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_INSTRUCTIONS", "200")
+    from repro.sim import experiments
+    result = experiments._run_grid(
+        "mini", ["crafty"], [SimConfig.baseline(), SimConfig.msp(8)])
+    path = tmp_path / "mini.csv"
+    write_result(result, str(path))
+    content = path.read_text()
+    assert "crafty" in content and "Baseline" in content

@@ -1,0 +1,132 @@
+"""Store-queue tests: forwarding, disambiguation, hierarchy, squash."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.storequeue import StoreQueue
+
+
+def test_allocate_orders_by_seq():
+    sq = StoreQueue()
+    sq.allocate(1)
+    with pytest.raises(ValueError):
+        sq.allocate(1)
+
+
+def test_capacity_and_overflow():
+    sq = StoreQueue(l1_capacity=2, l2_capacity=0)
+    sq.allocate(1)
+    sq.allocate(2)
+    assert sq.is_full()
+    with pytest.raises(RuntimeError):
+        sq.allocate(3)
+
+
+def test_unbounded_queue_never_full():
+    sq = StoreQueue(l1_capacity=None)
+    for seq in range(1000):
+        sq.allocate(seq)
+    assert not sq.is_full()
+
+
+def test_forward_from_youngest_matching_store():
+    sq = StoreQueue()
+    e1 = sq.allocate(1)
+    e2 = sq.allocate(2)
+    sq.execute(e1, addr=100, value=11)
+    sq.execute(e2, addr=100, value=22)
+    value, penalty = sq.forward(100, load_seq=5)
+    assert value == 22 and penalty == 0
+
+
+def test_forward_ignores_younger_stores():
+    sq = StoreQueue()
+    e1 = sq.allocate(1)
+    sq.execute(e1, 100, 11)
+    e2 = sq.allocate(9)
+    sq.execute(e2, 100, 99)
+    value, _ = sq.forward(100, load_seq=5)
+    assert value == 11
+
+
+def test_l2_forward_penalty():
+    sq = StoreQueue(l1_capacity=1, l2_capacity=4, l2_forward_penalty=8)
+    old = sq.allocate(1)
+    sq.execute(old, 100, 11)
+    for seq in range(2, 4):
+        entry = sq.allocate(seq)
+        sq.execute(entry, 200 + seq, seq)
+    # Entry 1 has overflowed past the 1-entry L1 level.
+    value, penalty = sq.forward(100, load_seq=10)
+    assert value == 11 and penalty == 8
+
+
+def test_load_blocked_by_unknown_address():
+    sq = StoreQueue()
+    sq.allocate(1)
+    assert sq.load_blocked(500, load_seq=5)
+    assert not sq.load_blocked(500, load_seq=1)  # store not older
+
+
+def test_load_blocked_by_pending_data_conflict():
+    sq = StoreQueue()
+    entry = sq.allocate(1)
+    sq.set_address(entry, 500)
+    assert sq.load_blocked(500, load_seq=5)      # same addr, no data
+    assert not sq.load_blocked(501, load_seq=5)  # different addr
+    sq.execute(entry, 500, 7)
+    assert not sq.load_blocked(500, load_seq=5)  # data ready: forwards
+
+
+def test_commit_in_order_blocks_on_unexecuted_head():
+    written = []
+    sq = StoreQueue()
+    e1 = sq.allocate(1)
+    e2 = sq.allocate(2)
+    sq.execute(e2, 200, 22)
+    assert sq.commit_up_to(10, lambda a, v: written.append((a, v))) == 0
+    sq.execute(e1, 100, 11)
+    assert sq.commit_up_to(10, lambda a, v: written.append((a, v))) == 2
+    assert written == [(100, 11), (200, 22)]
+
+
+def test_commit_respects_seq_bound_and_limit():
+    written = []
+    sq = StoreQueue()
+    for seq in range(1, 5):
+        sq.execute(sq.allocate(seq), seq * 10, seq)
+    assert sq.commit_up_to(2, lambda a, v: written.append(a)) == 2
+    assert sq.commit_up_to(10, lambda a, v: written.append(a), limit=1) == 1
+    assert len(sq) == 1
+
+
+def test_squash_drops_young_entries_and_pending_state():
+    sq = StoreQueue()
+    e1 = sq.allocate(1)
+    sq.set_address(e1, 100)
+    e2 = sq.allocate(2)
+    sq.set_address(e2, 100)
+    assert sq.squash_after(1) == 1
+    assert len(sq) == 1
+    # e2's pending-data record must be gone.
+    sq.execute(e1, 100, 5)
+    assert not sq.load_blocked(100, load_seq=9)
+
+
+@given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 1000)),
+                min_size=1, max_size=40))
+def test_forward_always_returns_youngest_older_match(pairs):
+    """Property: forwarding returns the value of the youngest executed
+    store older than the load, per address."""
+    sq = StoreQueue(l1_capacity=None)
+    model = {}
+    seq = 0
+    for addr, value in pairs:
+        seq += 1
+        entry = sq.allocate(seq)
+        sq.execute(entry, addr, value)
+        model[addr] = value
+    load_seq = seq + 1
+    for addr in {a for a, _ in pairs}:
+        value, _ = sq.forward(addr, load_seq)
+        assert value == model[addr]

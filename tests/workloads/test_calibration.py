@@ -1,0 +1,62 @@
+"""Trait calibration: measured behaviour must stay in each workload's
+declared band, so the synthetic benchmarks cannot silently drift away
+from the characteristics that drive the paper's effects."""
+
+import pytest
+
+from repro.sim import SimConfig, build_core
+from repro.workloads import SPECFP, SPECINT, get_program, get_traits
+
+BUDGET = 2500
+
+
+@pytest.fixture(scope="module")
+def measured():
+    out = {}
+    for name in SPECINT + SPECFP:
+        core = build_core(get_program(name),
+                          SimConfig.msp(16, predictor="tage"))
+        stats = core.run(max_instructions=BUDGET)
+        out[name] = (core, stats)
+    return out
+
+
+@pytest.mark.parametrize("name", SPECINT + SPECFP)
+def test_misprediction_rate_in_band(measured, name):
+    core, stats = measured[name]
+    low, high = get_traits(name).mispredict_band
+    assert low <= stats.misprediction_rate <= high, \
+        f"{name}: {stats.misprediction_rate:.3f} outside [{low}, {high}]"
+
+
+@pytest.mark.parametrize("name", SPECINT + SPECFP)
+def test_l1d_miss_rate_in_band(measured, name):
+    core, _ = measured[name]
+    low, high = get_traits(name).l1d_miss_band
+    rate = core.hierarchy.dcache.miss_rate
+    assert low <= rate <= high, \
+        f"{name}: L1D miss rate {rate:.3f} outside [{low}, {high}]"
+
+
+def test_tight_workloads_stall_more_than_generous(measured):
+    """Register-pressure calibration: the declared-tight workloads must
+    show materially more 16-SP bank stalls than the generous ones."""
+    def stall_fraction(name):
+        core, stats = measured[name]
+        return (sum(stats.bank_stall_cycles.values())
+                / max(1, stats.cycles))
+
+    tight = [n for n in SPECINT + SPECFP
+             if get_traits(n).register_pressure == "tight"]
+    generous = [n for n in SPECINT + SPECFP
+                if get_traits(n).register_pressure == "generous"]
+    tight_mean = sum(map(stall_fraction, tight)) / len(tight)
+    generous_mean = sum(map(stall_fraction, generous)) / len(generous)
+    assert tight_mean > generous_mean
+
+
+def test_memory_bound_set_misses_to_memory(measured):
+    """mcf/swim/mgrid-class workloads must actually reach main memory."""
+    for name in ("mcf", "swim", "mgrid", "art"):
+        core, _ = measured[name]
+        assert core.hierarchy.l2.misses > 0, f"{name} never missed L2"

@@ -1,0 +1,89 @@
+"""Workload registry and calibration tests."""
+
+import pytest
+
+from repro.isa import run_program
+from repro.workloads import (
+    BUILDERS,
+    SPECFP,
+    SPECINT,
+    TABLE2_ENTRIES,
+    all_workloads,
+    get_program,
+    get_traits,
+)
+
+
+def test_suites_cover_papers_benchmarks():
+    assert len(SPECINT) == 12
+    assert len(SPECFP) == 10
+    assert "mcf" in SPECINT and "swim" in SPECFP
+
+
+def test_every_workload_registered_with_traits():
+    for name in SPECINT + SPECFP:
+        assert name in BUILDERS
+        traits = get_traits(name)
+        assert traits.suite in ("specint", "specfp")
+
+
+def test_table2_entries_match_paper_rows():
+    kernels = {(e.benchmark, e.function) for e in TABLE2_ENTRIES}
+    assert kernels == {
+        ("bzip2", "generateMTFValues"),
+        ("twolf", "new_dbox_a"),
+        ("swim", "calc3"),
+        ("mgrid", "resid"),
+        ("equake", "smvp"),
+    }
+
+
+def test_modified_variants_registered():
+    for entry in TABLE2_ENTRIES:
+        name = f"{entry.benchmark}_mod"
+        assert name in BUILDERS
+        assert get_traits(name) is get_traits(entry.benchmark)
+
+
+def test_programs_cached_and_deterministic():
+    first = get_program("gzip")
+    second = get_program("gzip")
+    assert first is second
+    rebuilt = BUILDERS["gzip"]()
+    assert rebuilt.initial_memory == first.initial_memory
+    assert len(rebuilt) == len(first)
+
+
+def test_different_seeds_differ():
+    base = BUILDERS["vpr"](seed=1)
+    other = BUILDERS["vpr"](seed=2)
+    assert base.initial_memory != other.initial_memory
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ValueError):
+        get_program("spice")
+
+
+@pytest.mark.parametrize("name", SPECINT + SPECFP)
+def test_workload_runs_forever_functionally(name):
+    result = run_program(get_program(name), max_instructions=2000)
+    assert result.retired == 2000
+    assert not result.terminated
+
+
+@pytest.mark.parametrize("entry", TABLE2_ENTRIES,
+                         ids=lambda e: e.benchmark)
+def test_modified_variant_architecturally_plausible(entry):
+    """Modified kernels run and have larger static bodies (unrolled)."""
+    original = get_program(entry.benchmark)
+    modified = get_program(f"{entry.benchmark}_mod")
+    assert len(modified) > len(original)
+    result = run_program(modified, max_instructions=1500)
+    assert result.retired == 1500
+
+
+def test_all_workloads_sorted_listing():
+    names = all_workloads()
+    assert names == sorted(names)
+    assert len(names) == 27  # 12 int + 10 fp + 5 modified
