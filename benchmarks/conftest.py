@@ -10,9 +10,22 @@ Environment knobs:
 * ``REPRO_INSTRUCTIONS`` — committed instructions per simulation
   (default 3000).
 * ``REPRO_BENCHSET=quick`` — trim benchmark lists and the n-SP sweep.
+* ``REPRO_JOBS`` — campaign worker processes (the experiment harnesses
+  shard their grids through :mod:`repro.sim.campaign`).
+
+The persistent result cache is disabled here: a cache hit would time
+the store lookup instead of the simulator, which is the quantity these
+benchmarks exist to measure.
 """
 
 from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _no_result_cache(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
 
 
 def run_once(benchmark, fn, *args, **kwargs):

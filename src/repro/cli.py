@@ -8,7 +8,13 @@ Commands
 ``compare``
     Run a workload across the standard machine grid.
 ``experiment``
-    Regenerate one of the paper's figures/tables by name.
+    Regenerate one of the paper's figures/tables by name. ``--jobs``
+    shards the grid across processes; results are cached on disk
+    (``--no-cache`` / ``--cache-dir`` to control).
+``campaign``
+    Batch engine: ``campaign run`` simulates an ad-hoc workload x
+    machine grid; ``campaign status`` / ``campaign clear`` inspect and
+    drop the persistent result cache.
 ``list``
     List workloads, machines and experiments.
 ``listing``
@@ -18,7 +24,9 @@ Examples::
 
     python -m repro run bzip2 --arch msp --banks 16 --predictor tage
     python -m repro compare mcf -n 5000
-    python -m repro experiment figure8
+    python -m repro experiment figure8 --jobs 4
+    python -m repro campaign run --suite specint --machines baseline,msp:16
+    python -m repro campaign status
     python -m repro listing gzip | head -40
 """
 
@@ -30,20 +38,22 @@ from typing import List, Optional
 
 from repro.sim import SimConfig, build_core
 from repro.sim import experiments as exp
+from repro.sim.campaign import CampaignError, ResultStore
 from repro.workloads import SPECFP, SPECINT, all_workloads, get_program
 
 EXPERIMENTS = {
-    "figure6": lambda n: exp.figure6(n).to_table(),
-    "figure7": lambda n: exp.figure7(n).to_table(),
-    "figure8": lambda n: exp.figure8(n).to_table(),
-    "table2": lambda n: _format_table2(exp.table2(n)),
-    "figure9": lambda n: _format_figure9(exp.figure9(n)),
-    "table3": lambda n: _format_table3(),
-    "lcs": lambda n: exp.ablation_lcs_delay(instructions=n).to_table(),
-    "rename": lambda n: exp.ablation_rename_width(
-        instructions=n).to_table(),
-    "cpr-registers": lambda n: exp.ablation_cpr_registers(
-        instructions=n).to_table(),
+    "figure6": lambda n, **kw: exp.figure6(n, **kw).to_table(),
+    "figure7": lambda n, **kw: exp.figure7(n, **kw).to_table(),
+    "figure8": lambda n, **kw: exp.figure8(n, **kw).to_table(),
+    "table2": lambda n, **kw: _format_table2(exp.table2(n, **kw)),
+    "figure9": lambda n, **kw: _format_figure9(exp.figure9(n, **kw)),
+    "table3": lambda n, **kw: _format_table3(),
+    "lcs": lambda n, **kw: exp.ablation_lcs_delay(
+        instructions=n, **kw).to_table(),
+    "rename": lambda n, **kw: exp.ablation_rename_width(
+        instructions=n, **kw).to_table(),
+    "cpr-registers": lambda n, **kw: exp.ablation_cpr_registers(
+        instructions=n, **kw).to_table(),
 }
 
 
@@ -113,9 +123,19 @@ def _standard_grid(predictor: str) -> List[SimConfig]:
             SimConfig.msp_ideal(predictor=predictor)]
 
 
+def _get_program_or_exit(name: str):
+    """Friendly lookup: unknown names print one line, not a traceback."""
+    try:
+        return get_program(name)
+    except ValueError:
+        print(f"unknown workload {name!r}; choose from "
+              f"{' '.join(all_workloads())}", file=sys.stderr)
+        raise SystemExit(2)
+
+
 def cmd_run(args) -> int:
     config = _config_from_args(args)
-    core = build_core(get_program(args.workload), config)
+    core = build_core(_get_program_or_exit(args.workload), config)
     stats = core.run(max_instructions=args.instructions)
     print(f"{args.workload} on {config.label} "
           f"({args.instructions} instructions)")
@@ -130,10 +150,11 @@ def cmd_run(args) -> int:
 
 
 def cmd_compare(args) -> int:
+    program = _get_program_or_exit(args.workload)
     print(f"{'machine':>12s} {'IPC':>7s} {'mispred':>8s} "
           f"{'reexec':>7s} {'wrong':>7s}")
     for config in _standard_grid(args.predictor):
-        core = build_core(get_program(args.workload), config)
+        core = build_core(program, config)
         stats = core.run(max_instructions=args.instructions)
         print(f"{config.label:>12s} {stats.ipc:7.3f} "
               f"{stats.misprediction_rate:8.3f} "
@@ -142,12 +163,45 @@ def cmd_compare(args) -> int:
     return 0
 
 
+#: Experiments that bypass the campaign engine (analytic models only).
+NON_CAMPAIGN_EXPERIMENTS = {"table3"}
+
+
+def _campaign_kwargs(args) -> dict:
+    """Shared --jobs/--no-cache/--cache-dir/--timeout plumbing."""
+    return dict(jobs=args.jobs, cache_dir=args.cache_dir,
+                use_cache=False if args.no_cache else None,
+                timeout=args.timeout)
+
+
 def cmd_experiment(args) -> int:
     if args.name not in EXPERIMENTS:
         print(f"unknown experiment {args.name!r}; "
-              f"choose from {sorted(EXPERIMENTS)}", file=sys.stderr)
+              f"choose from {' '.join(sorted(EXPERIMENTS))}",
+              file=sys.stderr)
         return 2
-    print(EXPERIMENTS[args.name](args.instructions))
+    campaign = _campaign_kwargs(args)
+    simulated = 0
+
+    def _progress(line: str) -> None:
+        nonlocal simulated
+        simulated += 1
+        if args.verbose:
+            print(line, file=sys.stderr)
+
+    campaign["progress"] = _progress
+    try:
+        text = EXPERIMENTS[args.name](args.instructions, **campaign)
+    except CampaignError as exc:
+        print(f"campaign failed: {exc}", file=sys.stderr)
+        return 1
+    if (args.name not in NON_CAMPAIGN_EXPERIMENTS
+            and not args.no_cache and simulated == 0):
+        # Make it visible that nothing was simulated, so stale-looking
+        # numbers are traceable to the cache rather than the simulator.
+        print("cache: all cells served from the result cache "
+              "(--no-cache to resimulate)", file=sys.stderr)
+    print(text)
     return 0
 
 
@@ -162,7 +216,80 @@ def cmd_list(args) -> int:
 
 
 def cmd_listing(args) -> int:
-    print(get_program(args.workload).listing())
+    print(_get_program_or_exit(args.workload).listing())
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# campaign: batch engine + persistent result cache.
+# --------------------------------------------------------------------- #
+
+_SUITES = {"specint": SPECINT, "specfp": SPECFP}
+
+
+def _machine_from_token(token: str, predictor: str) -> SimConfig:
+    """Parse a --machines token: baseline | cpr[:regs] | msp:n | ideal."""
+    try:
+        if token == "baseline":
+            return SimConfig.baseline(predictor=predictor)
+        if token == "cpr":
+            return SimConfig.cpr(predictor=predictor)
+        if token.startswith("cpr:"):
+            return SimConfig.cpr(predictor=predictor,
+                                 registers=int(token[4:]))
+        if token == "ideal":
+            return SimConfig.msp_ideal(predictor=predictor)
+        if token.startswith("msp:"):
+            return SimConfig.msp(int(token[4:]), predictor=predictor)
+    except ValueError:
+        pass
+    print(f"unknown machine {token!r}; choose from "
+          f"baseline cpr cpr:<registers> msp:<banks> ideal",
+          file=sys.stderr)
+    raise SystemExit(2)
+
+
+def cmd_campaign_run(args) -> int:
+    if args.workloads:
+        benchmarks = args.workloads.split(",")
+        for name in benchmarks:
+            _get_program_or_exit(name)
+    else:
+        benchmarks = []
+        for suite in (_SUITES if args.suite == "all"
+                      else [args.suite]):
+            benchmarks += _SUITES[suite]
+    configs = [_machine_from_token(token, args.predictor)
+               for token in args.machines.split(",")]
+    campaign = _campaign_kwargs(args)
+    if args.verbose:
+        campaign["progress"] = (
+            lambda line: print(line, file=sys.stderr))
+    try:
+        result = exp.run_grid(
+            "campaign", benchmarks, configs, args.instructions,
+            **campaign)
+    except CampaignError as exc:
+        print(f"campaign failed: {exc}", file=sys.stderr)
+        return 1
+    if result.cache_hits:
+        print(f"cache: {result.cache_hits} hit(s), "
+              f"{result.simulated} simulated", file=sys.stderr)
+    print(result.to_table())
+    return 0
+
+
+def cmd_campaign_status(args) -> int:
+    status = ResultStore(args.cache_dir).status()
+    print(f"cache   {status['path']}")
+    print(f"entries {status['entries']}")
+    print(f"bytes   {status['bytes']}")
+    return 0
+
+
+def cmd_campaign_clear(args) -> int:
+    dropped = ResultStore(args.cache_dir).clear()
+    print(f"cleared {dropped} cached result(s)")
     return 0
 
 
@@ -196,10 +323,54 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p_cmp, with_arch=False)
     p_cmp.set_defaults(func=cmd_compare)
 
+    def add_campaign_flags(p):
+        p.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: REPRO_JOBS or 1)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="skip the persistent result cache")
+        p.add_argument("--cache-dir", default=None,
+                       help="result-cache directory "
+                            "(default: REPRO_CACHE_DIR or ~/.cache/repro)")
+        p.add_argument("--timeout", type=float, default=None,
+                       help="per-job timeout in seconds")
+
     p_exp = sub.add_parser("experiment", help="regenerate a figure/table")
     p_exp.add_argument("name", help="e.g. figure6, table3")
     p_exp.add_argument("-n", "--instructions", type=int, default=3000)
+    p_exp.add_argument("-v", "--verbose", action="store_true",
+                       help="print per-simulation progress to stderr")
+    add_campaign_flags(p_exp)
     p_exp.set_defaults(func=cmd_experiment)
+
+    p_camp = sub.add_parser(
+        "campaign", help="batch simulation engine and result cache")
+    camp_sub = p_camp.add_subparsers(dest="campaign_command",
+                                     required=True)
+
+    p_crun = camp_sub.add_parser(
+        "run", help="simulate a workload x machine grid")
+    p_crun.add_argument("--suite", default="specint",
+                        choices=["specint", "specfp", "all"])
+    p_crun.add_argument("--workloads", default=None,
+                        help="comma-separated list (overrides --suite)")
+    p_crun.add_argument("--machines", default="baseline,cpr,msp:16,ideal",
+                        help="comma-separated: baseline cpr cpr:<regs> "
+                             "msp:<banks> ideal")
+    p_crun.add_argument("--predictor", default="tage",
+                        choices=["gshare", "tage", "bimodal"])
+    p_crun.add_argument("-n", "--instructions", type=int, default=3000)
+    p_crun.add_argument("-v", "--verbose", action="store_true",
+                        help="print per-cell progress to stderr")
+    add_campaign_flags(p_crun)
+    p_crun.set_defaults(func=cmd_campaign_run)
+
+    p_cstat = camp_sub.add_parser("status", help="show the result cache")
+    p_cstat.add_argument("--cache-dir", default=None)
+    p_cstat.set_defaults(func=cmd_campaign_status)
+
+    p_cclear = camp_sub.add_parser("clear", help="drop cached results")
+    p_cclear.add_argument("--cache-dir", default=None)
+    p_cclear.set_defaults(func=cmd_campaign_clear)
 
     p_list = sub.add_parser("list", help="list workloads and experiments")
     p_list.set_defaults(func=cmd_list)
@@ -212,7 +383,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Piping into `head` is an advertised pattern (module docstring).
+        # Point both standard streams at devnull so the shutdown flush
+        # stays quiet, and exit with the conventional SIGPIPE status —
+        # never 0, since the command may have been mid-error.
+        import os
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        os.dup2(devnull, sys.stderr.fileno())
+        return 141
 
 
 if __name__ == "__main__":

@@ -69,6 +69,36 @@ class SimStats:
         """The ``count`` logical registers with most bank-full stall cycles."""
         return self.bank_stall_cycles.most_common(count)
 
+    # ------------------------------------------------------------------ #
+    # Serialization: the campaign executor ships statistics across
+    # process boundaries and persists them in the result cache, so the
+    # round-trip must be exact (including Counter key types: ints for
+    # ``bank_stall_cycles`` logical registers, strings for
+    # ``dispatch_stall_cycles`` causes).
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable snapshot of every counter."""
+        out: Dict = {}
+        for key, value in vars(self).items():
+            if isinstance(value, Counter):
+                out[key] = sorted(value.items())
+            else:
+                out[key] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SimStats":
+        """Rebuild a :class:`SimStats` from :meth:`to_dict` output."""
+        stats = cls()
+        for key, value in data.items():
+            if isinstance(getattr(stats, key, None), Counter):
+                setattr(stats, key,
+                        Counter({k: v for k, v in value}))
+            else:
+                setattr(stats, key, value)
+        return stats
+
     def summary(self) -> Dict[str, float]:
         """Flat dict of the headline numbers, for reports and tests."""
         return {

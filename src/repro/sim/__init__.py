@@ -1,8 +1,15 @@
 """Simulation layer: configuration, runner, statistics, experiments,
-report writers."""
+campaign engine, report writers."""
 
 from repro.pipeline.stats import SimStats
+from repro.sim.campaign import (
+    CampaignSpec,
+    Job,
+    ResultStore,
+    run_jobs,
+)
 from repro.sim.config import SimConfig
 from repro.sim.runner import build_core, simulate
 
-__all__ = ["SimConfig", "SimStats", "build_core", "simulate"]
+__all__ = ["CampaignSpec", "Job", "ResultStore", "SimConfig",
+           "SimStats", "build_core", "run_jobs", "simulate"]

@@ -1,0 +1,38 @@
+"""Parallel simulation campaigns with a persistent result cache.
+
+A *campaign* is a batch of independent simulations (a figure's
+workload x machine grid, an ablation sweep, a fuzz batch). This
+subsystem gives every experiment harness three things:
+
+* a :class:`~repro.sim.campaign.job.Job` model — one deterministic
+  ``(workload, SimConfig, budget)`` cell with a stable content-hash key;
+* a :class:`~repro.sim.campaign.store.ResultStore` — statistics
+  persisted on disk by job key, so reruns skip already-simulated cells;
+* an executor — :func:`~repro.sim.campaign.executor.run_jobs` shards
+  pending jobs across a process pool (``REPRO_JOBS`` / ``--jobs``).
+
+Grids are expressed declaratively with
+:class:`~repro.sim.campaign.spec.CampaignSpec`.
+"""
+
+from repro.sim.campaign.executor import (
+    CampaignError,
+    CampaignReport,
+    default_workers,
+    run_jobs,
+)
+from repro.sim.campaign.job import CACHE_VERSION, Job
+from repro.sim.campaign.spec import CampaignSpec
+from repro.sim.campaign.store import ResultStore, default_cache_dir
+
+__all__ = [
+    "CACHE_VERSION",
+    "CampaignError",
+    "CampaignReport",
+    "CampaignSpec",
+    "Job",
+    "ResultStore",
+    "default_cache_dir",
+    "default_workers",
+    "run_jobs",
+]

@@ -1,0 +1,205 @@
+"""Campaign executor: run jobs across a process pool, memoized on disk.
+
+``run_jobs`` is the single entry point every harness routes through:
+
+1. look each job up in the :class:`ResultStore` (cache hit = no sim);
+2. shard the misses across ``workers`` processes (``REPRO_JOBS`` env,
+   ``--jobs`` flag; 1 = serial in-process, which parallel runs must
+   match bit-for-bit because every simulation is deterministic);
+3. persist each fresh result before reporting it.
+
+Workers transport statistics as ``SimStats.to_dict()`` payloads, the
+same representation the store persists. A per-job timeout (SIGALRM in
+the worker, so a wedged simulation cannot hang the campaign) marks the
+job failed instead of killing the whole run.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import signal
+import sys
+import threading
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import multiprocessing
+
+from repro.pipeline.stats import SimStats
+from repro.sim.campaign.job import Job
+from repro.sim.campaign.store import ResultStore
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_JOBS`` (default 1 = serial)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def cache_enabled_by_default() -> bool:
+    """The result cache is on unless ``REPRO_NO_CACHE`` is truthy
+    (any value except the usual falsy spellings disables it)."""
+    return os.environ.get("REPRO_NO_CACHE", "").lower() in (
+        "", "0", "false", "no", "off")
+
+
+class CampaignError(RuntimeError):
+    """At least one job failed (or timed out)."""
+
+
+class JobTimeout(Exception):
+    """Raised inside a worker when the per-job SIGALRM fires."""
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one ``run_jobs`` call."""
+
+    results: Dict[str, SimStats] = field(default_factory=dict)
+    hits: int = 0                      # cells served from the store
+    simulated: int = 0                 # cells actually simulated
+    failures: Dict[str, str] = field(default_factory=dict)
+
+    def stats_for(self, job: Job) -> SimStats:
+        key = job.cache_key()
+        if key not in self.results:
+            raise CampaignError(
+                f"no result for {job.label}: "
+                f"{self.failures.get(job.label, 'job was not run')}")
+        return self.results[key]
+
+
+def _alarm_usable() -> bool:
+    """SIGALRM timeouts need a Unix main thread (always true in the
+    pool's worker processes; best-effort on the serial in-process path)."""
+    return (hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread())
+
+
+def _execute_job(job: Job, timeout: Optional[float]) -> dict:
+    """Worker body: simulate one job, return serialized statistics."""
+    from repro.sim.runner import build_core
+    from repro.workloads import get_program
+
+    use_alarm = bool(timeout) and _alarm_usable()
+    if use_alarm:
+        armed = max(1, math.ceil(timeout))
+
+        def _on_alarm(signum, frame):
+            raise JobTimeout(f"{job.label} exceeded {armed}s")
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.alarm(armed)
+    try:
+        core = build_core(get_program(job.workload, job.seed), job.config)
+        stats = core.run(max_instructions=job.instructions)
+        return stats.to_dict()
+    finally:
+        if use_alarm:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
+
+
+def _worker(payload: Tuple[Job, Optional[float]]) -> Tuple[str, dict]:
+    job, timeout = payload
+    return job.cache_key(), _execute_job(job, timeout)
+
+
+def run_jobs(jobs: Sequence[Job], *,
+             workers: Optional[int] = None,
+             use_cache: Optional[bool] = None,
+             cache_dir: Optional[os.PathLike] = None,
+             timeout: Optional[float] = None,
+             progress: Optional[Callable[[str], None]] = None,
+             raise_on_error: bool = True) -> CampaignReport:
+    """Run ``jobs``, sharded across processes, memoized on disk.
+
+    ``workers=None`` reads ``REPRO_JOBS``; ``use_cache=None`` reads
+    ``REPRO_NO_CACHE``. Returns a :class:`CampaignReport` whose
+    ``results`` maps every distinct job cache key to its statistics.
+    """
+    workers = workers if workers is not None else default_workers()
+    if use_cache is None:
+        use_cache = cache_enabled_by_default()
+    store = ResultStore(cache_dir)
+    report = CampaignReport()
+
+    pending: Dict[str, Job] = {}
+    for job in jobs:
+        key = job.cache_key()
+        if key in report.results or key in pending:
+            continue                       # duplicate cell in the grid
+        cached = store.get(key) if use_cache else None
+        if cached is not None:
+            report.results[key] = cached
+            report.hits += 1
+        else:
+            pending[key] = job
+
+    total = len(pending)
+    done = 0
+
+    def _finish(key: str, stats_dict: dict) -> None:
+        nonlocal done, progress
+        job = pending[key]
+        stats = SimStats.from_dict(stats_dict)
+        report.results[key] = stats
+        report.simulated += 1
+        if use_cache:
+            store.put(key, stats, meta=job.to_dict())
+        done += 1
+        if progress is not None:
+            try:
+                progress(f"[{done}/{total}] {job.label}")
+            except BrokenPipeError:
+                # The listener hung up (e.g. stderr piped into a pager
+                # that exited); a dead progress feed must not be
+                # recorded as a job failure.
+                progress = None
+
+    if workers <= 1:
+        for key, job in pending.items():
+            try:
+                _finish(key, _execute_job(job, timeout))
+            except Exception as exc:            # noqa: BLE001
+                report.failures[job.label] = repr(exc)
+                done += 1
+    elif pending:
+        # On Linux, fork shares the parent's warm program cache with the
+        # workers. Elsewhere use the platform default (spawn): macOS
+        # lists fork as available but fork-without-exec is unsafe there.
+        context = (multiprocessing.get_context("fork")
+                   if sys.platform == "linux"
+                   else multiprocessing.get_context())
+        with ProcessPoolExecutor(max_workers=min(workers, total),
+                                 mp_context=context) as pool:
+            futures = {pool.submit(_worker, (job, timeout)): key
+                       for key, job in pending.items()}
+            for future in as_completed(futures):
+                key = futures[future]
+                try:
+                    result_key, stats_dict = future.result()
+                    _finish(result_key, stats_dict)
+                except Exception as exc:        # noqa: BLE001
+                    report.failures[pending[key].label] = repr(exc)
+                    done += 1
+
+    if report.failures and raise_on_error:
+        detail = "; ".join(f"{label}: {err}"
+                           for label, err in report.failures.items())
+        raise CampaignError(f"{len(report.failures)} job(s) failed: "
+                            f"{detail}")
+    return report
+
+
+def run_job(job: Job, **kwargs) -> SimStats:
+    """Convenience wrapper: run a single job through the campaign path."""
+    return run_jobs([job], **kwargs).stats_for(job)
+
+
+__all__ = ["CampaignError", "CampaignReport", "JobTimeout",
+           "cache_enabled_by_default", "default_workers", "run_job",
+           "run_jobs"]

@@ -1,0 +1,80 @@
+"""The campaign job model.
+
+A :class:`Job` is one simulation cell: a workload name, a complete
+:class:`~repro.sim.config.SimConfig`, a committed-instruction budget and
+the workload build seed. Simulations are deterministic functions of
+exactly these four values, so their content hash is a sound cache key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+
+import repro
+from repro.sim.config import SimConfig
+from repro.workloads import DEFAULT_SEED
+
+#: Bump to invalidate every cached result manually; the package version
+#: and a fingerprint of the simulator source participate in the key
+#: too, so code changes invalidate stale results automatically.
+CACHE_VERSION = 1
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Content hash of every .py file in the ``repro`` package, so a
+    simulator edit can never serve stale cached figures."""
+    root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+@dataclass
+class Job:
+    """One deterministic simulation: ``workload`` on ``config`` for
+    ``instructions`` committed instructions."""
+
+    workload: str
+    config: SimConfig
+    instructions: int
+    seed: int = DEFAULT_SEED
+
+    def cache_key(self) -> str:
+        """Stable content hash over everything the result depends on.
+        Delegates the config part to ``SimConfig.cache_key`` so its
+        exclusions (presentation-only fields) apply here too."""
+        payload = {
+            "version": (f"{repro.__version__}/{CACHE_VERSION}/"
+                        f"{code_fingerprint()}"),
+            "workload": self.workload,
+            "seed": self.seed,
+            "instructions": self.instructions,
+            "config": self.config.cache_key(),
+        }
+        blob = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":"), default=str)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    @property
+    def label(self) -> str:
+        """Human-readable cell name for progress lines and errors."""
+        return f"{self.workload}/{self.config.label}@{self.instructions}"
+
+    def to_dict(self) -> dict:
+        return {"workload": self.workload, "seed": self.seed,
+                "instructions": self.instructions,
+                "config": self.config.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Job":
+        return cls(workload=data["workload"],
+                   config=SimConfig.from_dict(data["config"]),
+                   instructions=data["instructions"],
+                   seed=data.get("seed", DEFAULT_SEED))

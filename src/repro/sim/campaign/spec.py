@@ -1,0 +1,54 @@
+"""Declarative campaign specs: grids and sweeps as data.
+
+A :class:`CampaignSpec` is the cross product of a benchmark list and a
+machine-config list at one instruction budget — exactly the shape of
+every figure harness. Sweeps compose by concatenating specs' jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.pipeline.stats import SimStats
+from repro.sim.campaign.executor import CampaignReport
+from repro.sim.campaign.job import Job
+from repro.sim.config import SimConfig
+from repro.workloads import DEFAULT_SEED
+
+
+@dataclass
+class CampaignSpec:
+    """benchmarks x configs grid at a fixed instruction budget."""
+
+    name: str
+    benchmarks: Sequence[str]
+    configs: Sequence[SimConfig]
+    instructions: int
+    seed: int = DEFAULT_SEED
+
+    def jobs(self) -> List[Job]:
+        """Row-major job list (benchmark outer, machine inner)."""
+        return [Job(benchmark, config, self.instructions, self.seed)
+                for benchmark in self.benchmarks
+                for config in self.configs]
+
+    def cell_key(self, benchmark: str, config: SimConfig) -> str:
+        return Job(benchmark, config, self.instructions,
+                   self.seed).cache_key()
+
+    def grid(self, report: CampaignReport
+             ) -> Dict[str, Dict[str, SimStats]]:
+        """Reassemble a report into {benchmark: {machine label: stats}}.
+        Raises :class:`CampaignError` naming any missing cell (a failed
+        job under ``raise_on_error=False``) instead of a bare hash key."""
+        out: Dict[str, Dict[str, SimStats]] = {}
+        for benchmark in self.benchmarks:
+            out[benchmark] = {
+                config.label: report.stats_for(
+                    Job(benchmark, config, self.instructions, self.seed))
+                for config in self.configs}
+        return out
+
+
+__all__ = ["CampaignSpec"]

@@ -1,0 +1,149 @@
+"""Persistent result store: job key -> serialized SimStats.
+
+The store is a JSON-lines file (one ``{"key": ..., "stats": ...,
+"meta": ...}`` record per line) under ``~/.cache/repro`` by default,
+overridable with ``REPRO_CACHE_DIR`` or a ``--cache-dir`` flag. JSONL is
+append-only — a crashed campaign loses at most its in-flight record —
+and needs no schema migration; rewrites happen only on :meth:`compact`.
+
+Records are loaded lazily on first access. Later records for the same
+key win, so re-putting a key supersedes without rewriting the file.
+Writes (append, compact, clear) take an exclusive ``flock`` on a
+sidecar lock file so concurrent campaigns sharing one cache directory
+cannot lose each other's results; compact re-reads the file under the
+lock rather than trusting its in-memory snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+try:
+    import fcntl
+except ImportError:                       # non-Unix: best-effort, no lock
+    fcntl = None
+
+from repro.pipeline.stats import SimStats
+
+
+def default_cache_dir() -> Path:
+    """``REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+class ResultStore:
+    """Disk-backed map from job cache key to :class:`SimStats`."""
+
+    #: Auto-compact when at least this many dead lines (superseded
+    #: duplicates, torn writes) accumulate beyond the live records.
+    _COMPACT_SLACK = 64
+
+    def __init__(self, cache_dir: Optional[os.PathLike] = None) -> None:
+        self.cache_dir = (Path(cache_dir).expanduser() if cache_dir
+                          else default_cache_dir())
+        self.path = self.cache_dir / "results.jsonl"
+        self._records: Optional[Dict[str, dict]] = None
+
+    # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def _locked(self):
+        """Exclusive inter-process lock for writes to the store."""
+        if fcntl is None:
+            yield
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        with (self.cache_dir / ".lock").open("w") as fh:
+            fcntl.flock(fh, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh, fcntl.LOCK_UN)
+
+    def _parse_file(self) -> Tuple[Dict[str, dict], int]:
+        """Parse the JSONL file: {key: record} plus raw line count."""
+        records: Dict[str, dict] = {}
+        lines = 0
+        if self.path.exists():
+            with self.path.open("r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    lines += 1
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue              # torn tail write: skip
+                    records[record["key"]] = record
+        return records, lines
+
+    def _load(self) -> Dict[str, dict]:
+        if self._records is None:
+            self._records, lines = self._parse_file()
+            dead = lines - len(self._records)
+            if dead >= self._COMPACT_SLACK and dead > len(self._records):
+                self.compact()
+        return self._records
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._load()
+
+    def __len__(self) -> int:
+        return len(self._load())
+
+    def get(self, key: str) -> Optional[SimStats]:
+        record = self._load().get(key)
+        if record is None:
+            return None
+        return SimStats.from_dict(record["stats"])
+
+    def put(self, key: str, stats: SimStats,
+            meta: Optional[dict] = None) -> None:
+        record = {"key": key, "stats": stats.to_dict(),
+                  "meta": meta or {}}
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        with self._locked():
+            with self.path.open("a", encoding="utf-8") as fh:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._load()[key] = record
+
+    # ------------------------------------------------------------------ #
+
+    def clear(self) -> int:
+        """Delete every cached result; returns how many were dropped."""
+        count = len(self)
+        with self._locked():
+            if self.path.exists():
+                self.path.unlink()
+        self._records = {}
+        return count
+
+    def compact(self) -> None:
+        """Rewrite the file with one record per key. Runs automatically
+        from :meth:`_load` once enough dead lines (superseded puts, torn
+        writes) accumulate. Re-reads the file under the write lock so
+        records appended by concurrent campaigns are preserved."""
+        with self._locked():
+            records, _ = self._parse_file()
+            if not self.path.exists():
+                return
+            tmp = self.path.with_suffix(".jsonl.tmp")
+            with tmp.open("w", encoding="utf-8") as fh:
+                for record in records.values():
+                    fh.write(json.dumps(record, sort_keys=True) + "\n")
+            tmp.replace(self.path)
+        self._records = records
+
+    def status(self) -> dict:
+        """Summary for ``campaign status``: path, entries, bytes."""
+        size = self.path.stat().st_size if self.path.exists() else 0
+        return {"path": str(self.path), "entries": len(self),
+                "bytes": size}

@@ -18,7 +18,9 @@ Everything is a plain field so ablation benches can tweak single knobs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Dict, FrozenSet, Optional
 
 
@@ -101,6 +103,39 @@ class SimConfig:
     def with_(self, **kwargs) -> "SimConfig":
         """Copy with overrides (ablation helper)."""
         return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Serialization and identity. ``cache_key`` is the stable content
+    # hash the campaign result cache keys on: any field change must
+    # perturb it, and two equal configs must collide.
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict:
+        """Canonical JSON-serializable form (frozensets become sorted
+        lists so the representation is order-independent)."""
+        out = asdict(self)
+        out["exception_ordinals"] = sorted(self.exception_ordinals)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SimConfig":
+        """Inverse of :meth:`to_dict`; ignores unknown keys so caches
+        written by newer versions still load."""
+        known = {f.name for f in fields(cls)}
+        payload = {k: v for k, v in data.items() if k in known}
+        payload["exception_ordinals"] = frozenset(
+            payload.get("exception_ordinals", ()))
+        return cls(**payload)
+
+    def cache_key(self) -> str:
+        """Stable content hash of the configuration. ``label_override``
+        is presentation-only, so it is excluded: the same machine run
+        under different display labels shares cache entries."""
+        payload = self.to_dict()
+        payload.pop("label_override", None)
+        blob = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":"), default=str)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     @classmethod
     def baseline(cls, predictor: str = "gshare", **kwargs) -> "SimConfig":

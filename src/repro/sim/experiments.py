@@ -10,6 +10,11 @@ cycle-level model cannot. The default per-run budget comes from the
 instructions — the workloads are steady-state loop nests, so short
 windows are representative). ``REPRO_BENCHSET=quick`` trims the
 benchmark lists and the n-SP sweep for fast smoke runs.
+
+Every harness routes its grid through the campaign engine
+(:mod:`repro.sim.campaign`): ``jobs`` shards cells across processes
+(``REPRO_JOBS`` default), and results are memoized in the persistent
+store unless ``use_cache=False`` (``REPRO_NO_CACHE`` default).
 """
 
 from __future__ import annotations
@@ -20,9 +25,9 @@ from statistics import harmonic_mean
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.pipeline.stats import SimStats
+from repro.sim.campaign import CampaignSpec, run_jobs
 from repro.sim.config import SimConfig
-from repro.sim.runner import build_core
-from repro.workloads import SPECFP, SPECINT, TABLE2_ENTRIES, get_program
+from repro.workloads import SPECFP, SPECINT, TABLE2_ENTRIES
 
 
 def default_instructions() -> int:
@@ -52,6 +57,10 @@ class ExperimentResult:
     name: str
     machines: List[str]
     stats: Dict[str, Dict[str, SimStats]] = field(default_factory=dict)
+    # Campaign accounting: cells served from the result cache vs
+    # actually simulated (stale-cache debugging, CLI reporting).
+    cache_hits: int = 0
+    simulated: int = 0
 
     def ipc(self, benchmark: str, machine: str) -> float:
         return self.stats[benchmark][machine].ipc
@@ -79,23 +88,29 @@ class ExperimentResult:
         return "\n".join(lines)
 
 
-def _run_grid(name: str, benchmarks: Sequence[str],
-              configs: Sequence[SimConfig],
-              instructions: Optional[int] = None,
-              progress: Optional[Callable[[str], None]] = None,
-              ) -> ExperimentResult:
+def run_grid(name: str, benchmarks: Sequence[str],
+             configs: Sequence[SimConfig],
+             instructions: Optional[int] = None,
+             progress: Optional[Callable[[str], None]] = None,
+             jobs: Optional[int] = None,
+             use_cache: Optional[bool] = None,
+             cache_dir=None,
+             timeout: Optional[float] = None) -> ExperimentResult:
+    """Run a benchmarks x configs grid through the campaign engine."""
     budget = instructions or default_instructions()
-    result = ExperimentResult(name, [c.label for c in configs])
-    for benchmark in benchmarks:
-        program = get_program(benchmark)
-        cells: Dict[str, SimStats] = {}
-        for config in configs:
-            core = build_core(program, config)
-            cells[config.label] = core.run(max_instructions=budget)
-            if progress is not None:
-                progress(f"{benchmark}/{config.label}")
-        result.stats[benchmark] = cells
+    spec = CampaignSpec(name, list(benchmarks), list(configs), budget)
+    report = run_jobs(spec.jobs(), workers=jobs, use_cache=use_cache,
+                      cache_dir=cache_dir, timeout=timeout,
+                      progress=progress)
+    result = ExperimentResult(name, [c.label for c in configs],
+                              cache_hits=report.hits,
+                              simulated=report.simulated)
+    result.stats = spec.grid(report)
     return result
+
+
+#: Backwards-compatible private alias (pre-campaign name).
+_run_grid = run_grid
 
 
 def _machine_grid(predictor: str,
@@ -113,41 +128,49 @@ def _machine_grid(predictor: str,
 # --------------------------------------------------------------------- #
 
 def figure6(instructions: Optional[int] = None,
-            banks: Optional[Sequence[int]] = None) -> ExperimentResult:
+            banks: Optional[Sequence[int]] = None,
+            **campaign) -> ExperimentResult:
     """Fig. 6: SPECint IPC with the gshare predictor."""
-    return _run_grid("Figure 6: SPECint IPC (gshare)",
-                     _benchmarks(SPECINT),
-                     _machine_grid("gshare", banks), instructions)
+    return run_grid("Figure 6: SPECint IPC (gshare)",
+                    _benchmarks(SPECINT),
+                    _machine_grid("gshare", banks), instructions,
+                    **campaign)
 
 
 def figure7(instructions: Optional[int] = None,
-            banks: Optional[Sequence[int]] = None) -> ExperimentResult:
+            banks: Optional[Sequence[int]] = None,
+            **campaign) -> ExperimentResult:
     """Fig. 7: SPECint IPC with the TAGE predictor."""
-    return _run_grid("Figure 7: SPECint IPC (TAGE)",
-                     _benchmarks(SPECINT),
-                     _machine_grid("tage", banks), instructions)
+    return run_grid("Figure 7: SPECint IPC (TAGE)",
+                    _benchmarks(SPECINT),
+                    _machine_grid("tage", banks), instructions,
+                    **campaign)
 
 
 def figure8(instructions: Optional[int] = None,
-            banks: Optional[Sequence[int]] = None) -> ExperimentResult:
+            banks: Optional[Sequence[int]] = None,
+            **campaign) -> ExperimentResult:
     """Fig. 8: SPECfp IPC with the TAGE predictor."""
-    return _run_grid("Figure 8: SPECfp IPC (TAGE)",
-                     _benchmarks(SPECFP),
-                     _machine_grid("tage", banks), instructions)
+    return run_grid("Figure 8: SPECfp IPC (TAGE)",
+                    _benchmarks(SPECFP),
+                    _machine_grid("tage", banks), instructions,
+                    **campaign)
 
 
 def bank_stalls(predictor: str = "tage", bank_size: int = 16,
                 suite: Optional[Sequence[str]] = None,
-                instructions: Optional[int] = None) -> Dict[str, List]:
+                instructions: Optional[int] = None,
+                **campaign) -> Dict[str, List]:
     """The right-hand bars of Figs. 6-8: 16-SP stall cycles from the
     logical registers contributing most."""
     from repro.isa.registers import reg_name
-    budget = instructions or default_instructions()
+    result = run_grid("bank stalls",
+                      _benchmarks(suite or SPECINT),
+                      [SimConfig.msp(bank_size, predictor=predictor)],
+                      instructions, **campaign)
     out: Dict[str, List] = {}
-    for benchmark in _benchmarks(suite or SPECINT):
-        core = build_core(get_program(benchmark),
-                          SimConfig.msp(bank_size, predictor=predictor))
-        stats = core.run(max_instructions=budget)
+    for benchmark, cells in result.stats.items():
+        stats = next(iter(cells.values()))
         out[benchmark] = [(reg_name(reg), cycles)
                           for reg, cycles in stats.top_bank_stalls(3)]
     return out
@@ -157,23 +180,23 @@ def bank_stalls(predictor: str = "tage", bank_size: int = 16,
 # Table II: original vs modified kernels.
 # --------------------------------------------------------------------- #
 
-def table2(instructions: Optional[int] = None) -> Dict[str, Dict]:
+def table2(instructions: Optional[int] = None,
+           **campaign) -> Dict[str, Dict]:
     """Table II: IPC of original vs hand-modified kernels (TAGE)."""
-    budget = instructions or default_instructions()
     configs = [SimConfig.cpr(predictor="tage"),
                SimConfig.msp(8, predictor="tage"),
                SimConfig.msp(16, predictor="tage"),
                SimConfig.msp_ideal(predictor="tage")]
+    workloads = [name for entry in TABLE2_ENTRIES
+                 for name in (entry.benchmark, f"{entry.benchmark}_mod")]
+    result = run_grid("Table II", workloads, configs, instructions,
+                      **campaign)
     rows: Dict[str, Dict] = {}
     for entry in TABLE2_ENTRIES:
         for version, name in (("original", entry.benchmark),
                               ("modified", f"{entry.benchmark}_mod")):
-            program = get_program(name)
-            cells = {}
-            for config in configs:
-                core = build_core(program, config)
-                cells[config.label] = core.run(
-                    max_instructions=budget).ipc
+            cells = {label: stats.ipc
+                     for label, stats in result.stats[name].items()}
             rows[f"{entry.benchmark}.{entry.function}/{version}"] = {
                 "loops_unrolled": entry.loops_unrolled,
                 "exec_time_pct": entry.exec_time_pct,
@@ -186,27 +209,30 @@ def table2(instructions: Optional[int] = None) -> Dict[str, Dict]:
 # Figure 9: executed-instruction breakdown.
 # --------------------------------------------------------------------- #
 
-def figure9(instructions: Optional[int] = None) -> Dict[str, Dict[str, Dict[str, int]]]:
+def figure9(instructions: Optional[int] = None,
+            **campaign) -> Dict[str, Dict[str, Dict[str, int]]]:
     """Fig. 9: total executed instructions (correct-path, correct-path
     re-executed, wrong-path) for CPR and 16-SP under both predictors."""
-    budget = instructions or default_instructions()
+    configs = []
+    for predictor in ("gshare", "tage"):
+        for config in (SimConfig.cpr(predictor=predictor),
+                       SimConfig.msp(16, predictor=predictor)):
+            configs.append(config.with_(
+                label_override=f"{config.label} {predictor}"))
+    result = run_grid("Figure 9", _benchmarks(SPECINT), configs,
+                      instructions, **campaign)
     out: Dict[str, Dict[str, Dict[str, int]]] = {}
-    for benchmark in _benchmarks(SPECINT):
-        cells = {}
-        for predictor in ("gshare", "tage"):
-            for config in (SimConfig.cpr(predictor=predictor),
-                           SimConfig.msp(16, predictor=predictor)):
-                label = f"{config.label} {predictor}"
-                stats = build_core(get_program(benchmark),
-                                   config).run(max_instructions=budget)
-                cells[label] = {
-                    "correct_path": stats.committed,
-                    "correct_path_reexecuted":
-                        stats.correct_path_reexecuted,
-                    "wrong_path": stats.wrong_path_executed,
-                    "total": stats.total_executed,
-                }
-        out[benchmark] = cells
+    for benchmark, machine_cells in result.stats.items():
+        out[benchmark] = {
+            label: {
+                "correct_path": stats.committed,
+                "correct_path_reexecuted":
+                    stats.correct_path_reexecuted,
+                "wrong_path": stats.wrong_path_executed,
+                "total": stats.total_executed,
+            }
+            for label, stats in machine_cells.items()
+        }
     return out
 
 
@@ -232,35 +258,35 @@ def figure9_summary(data: Dict) -> Dict[str, float]:
 def ablation_lcs_delay(delays: Sequence[int] = (0, 1, 4),
                        instructions: Optional[int] = None,
                        benchmarks: Optional[Sequence[str]] = None,
-                       ) -> ExperimentResult:
+                       **campaign) -> ExperimentResult:
     """Sec. 3.2.2: even a 4-cycle LCS costs < 1% IPC vs 1-cycle."""
     configs = [SimConfig.msp(16, predictor="tage", lcs_delay=d,
                              label_override=f"lcs={d}")
                for d in delays]
-    return _run_grid(
+    return run_grid(
         "Ablation: LCS propagation delay",
         _benchmarks(benchmarks or SPECINT[:6]),
-        configs, instructions)
+        configs, instructions, **campaign)
 
 
 def ablation_rename_width(widths: Sequence[int] = (1, 2, 3),
                           instructions: Optional[int] = None,
                           benchmarks: Optional[Sequence[str]] = None,
-                          ) -> ExperimentResult:
+                          **campaign) -> ExperimentResult:
     """Sec. 3.3: one same-register rename per cycle costs ~5% IPC;
     allowing three adds nothing over two."""
     configs = [SimConfig.msp(16, predictor="tage", max_same_reg_renames=w,
                              label_override=f"renames={w}")
                for w in widths]
-    return _run_grid(
+    return run_grid(
         "Ablation: same-logical-register renames per cycle",
         _benchmarks(benchmarks or SPECINT[:6]),
-        configs, instructions)
+        configs, instructions, **campaign)
 
 
 def ablation_arbitration(instructions: Optional[int] = None,
                          benchmarks: Optional[Sequence[str]] = None,
-                         ) -> ExperimentResult:
+                         **campaign) -> ExperimentResult:
     """Sec. 5.1: the 1R/1W banked register file needs an arbitration
     stage; this quantifies its cost against a fully-ported 16-SP."""
     configs = [
@@ -269,21 +295,21 @@ def ablation_arbitration(instructions: Optional[int] = None,
         SimConfig.msp(16, predictor="tage", arbitration=False,
                       label_override="16-SP-fullport"),
     ]
-    return _run_grid(
+    return run_grid(
         "Ablation: banked 1R/1W + arbitration vs full porting",
         _benchmarks(benchmarks or SPECINT[:6]),
-        configs, instructions)
+        configs, instructions, **campaign)
 
 
 def ablation_cpr_registers(register_counts: Sequence[int] = (192, 256, 512),
                            instructions: Optional[int] = None,
                            benchmarks: Optional[Sequence[str]] = None,
-                           ) -> ExperimentResult:
+                           **campaign) -> ExperimentResult:
     """Sec. 4.3: CPR with 256/512 registers gains only ~1-1.3%, so the
     MSP's advantage is not its larger register file."""
     configs = [SimConfig.cpr(predictor="tage", registers=n)
                for n in register_counts]
-    return _run_grid(
+    return run_grid(
         "Ablation: CPR register-file size",
         _benchmarks(benchmarks or SPECINT[:6]),
-        configs, instructions)
+        configs, instructions, **campaign)

@@ -7,6 +7,19 @@ import pytest
 from repro.isa import ProgramBuilder, fp_reg, int_reg
 
 
+@pytest.fixture(scope="session")
+def _campaign_cache_root(tmp_path_factory):
+    return tmp_path_factory.mktemp("repro-cache")
+
+
+@pytest.fixture(autouse=True)
+def _isolated_campaign_cache(_campaign_cache_root, monkeypatch):
+    """Keep the campaign result cache away from ~/.cache during tests
+    (simulations are deterministic, so sharing it across tests in one
+    session is sound — and speeds repeated grids up)."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(_campaign_cache_root))
+
+
 @pytest.fixture
 def sum_loop_program():
     """Array-sum loop with a store and a re-entrant outer loop."""

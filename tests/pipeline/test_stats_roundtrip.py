@@ -1,0 +1,60 @@
+"""SimStats to_dict/from_dict round-trip (campaign transport format)."""
+
+import json
+from collections import Counter
+
+from repro.pipeline.stats import SimStats
+from repro.sim import SimConfig, simulate
+
+
+def _populated_stats() -> SimStats:
+    stats = SimStats()
+    stats.cycles = 1234
+    stats.committed = 987
+    stats.fetched = 2000
+    stats.dispatched = 1500
+    stats.issued = 1400
+    stats.wrong_path_executed = 55
+    stats.correct_path_reexecuted = 21
+    stats.branches = 300
+    stats.branch_mispredictions = 17
+    stats.recoveries = 17
+    stats.exceptions_taken = 2
+    stats.squashed = 80
+    stats.checkpoints_created = 9
+    stats.dispatch_stall_cycles = Counter(
+        {"iq_full": 40, "bank_full": 12, "sq_full": 3})
+    stats.bank_stall_cycles = Counter({1: 10, 7: 4, 30: 1})
+    return stats
+
+
+def test_roundtrip_preserves_every_counter():
+    stats = _populated_stats()
+    clone = SimStats.from_dict(stats.to_dict())
+    assert vars(clone) == vars(stats)
+    assert clone.ipc == stats.ipc
+    assert clone.total_executed == stats.total_executed
+
+
+def test_roundtrip_survives_json():
+    """The store persists JSON, so key types must survive the trip:
+    int keys for bank_stall_cycles, str keys for dispatch causes."""
+    stats = _populated_stats()
+    clone = SimStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+    assert clone.bank_stall_cycles == stats.bank_stall_cycles
+    assert all(isinstance(k, int) for k in clone.bank_stall_cycles)
+    assert clone.dispatch_stall_cycles == stats.dispatch_stall_cycles
+    assert all(isinstance(k, str) for k in clone.dispatch_stall_cycles)
+    assert clone.top_bank_stalls(2) == stats.top_bank_stalls(2)
+
+
+def test_roundtrip_of_real_simulation():
+    stats = simulate("crafty", SimConfig.msp(8), max_instructions=300)
+    clone = SimStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+    assert vars(clone) == vars(stats)
+
+
+def test_empty_stats_roundtrip():
+    clone = SimStats.from_dict(SimStats().to_dict())
+    assert clone.cycles == 0 and clone.ipc == 0.0
+    assert clone.bank_stall_cycles == Counter()

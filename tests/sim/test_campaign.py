@@ -1,0 +1,263 @@
+"""Campaign subsystem: job keys, store, executor, cache semantics."""
+
+import pytest
+
+from repro.sim import SimConfig, simulate
+from repro.sim.campaign import (
+    CampaignError,
+    CampaignSpec,
+    Job,
+    ResultStore,
+    run_jobs,
+)
+from repro.sim.campaign.executor import run_job
+from repro.sim import experiments
+
+
+# --------------------------------------------------------------------- #
+# Job model.
+# --------------------------------------------------------------------- #
+
+def test_job_key_stable_and_sensitive():
+    job = Job("gzip", SimConfig.msp(16), 300)
+    assert job.cache_key() == Job("gzip", SimConfig.msp(16),
+                                  300).cache_key()
+    assert job.cache_key() != Job("mcf", SimConfig.msp(16),
+                                  300).cache_key()
+    assert job.cache_key() != Job("gzip", SimConfig.msp(8),
+                                  300).cache_key()
+    assert job.cache_key() != Job("gzip", SimConfig.msp(16),
+                                  301).cache_key()
+    assert job.cache_key() != Job("gzip", SimConfig.msp(16), 300,
+                                  seed=1).cache_key()
+
+
+def test_job_key_ignores_display_label():
+    """The same machine under a different display label shares cache
+    entries (figure9 relabels figure7's machines)."""
+    plain = Job("gzip", SimConfig.cpr(predictor="tage"), 300)
+    labeled = Job("gzip", SimConfig.cpr(predictor="tage").with_(
+        label_override="CPR-192 tage"), 300)
+    assert plain.cache_key() == labeled.cache_key()
+
+
+def test_job_key_includes_package_version(monkeypatch):
+    """A release that changes simulator semantics must not serve stale
+    cached figures."""
+    import repro
+    job = Job("gzip", SimConfig.msp(16), 300)
+    before = job.cache_key()
+    monkeypatch.setattr(repro, "__version__", "999.0.0")
+    assert job.cache_key() != before
+
+
+def test_no_cache_env_tokens(monkeypatch):
+    from repro.sim.campaign.executor import cache_enabled_by_default
+    for value in ("1", "true", "yes", "on", "2", "y"):
+        monkeypatch.setenv("REPRO_NO_CACHE", value)
+        assert not cache_enabled_by_default()
+    for value in ("", "0", "false", "no", "off"):
+        monkeypatch.setenv("REPRO_NO_CACHE", value)
+        assert cache_enabled_by_default()
+
+
+def test_job_roundtrip():
+    job = Job("mcf", SimConfig.cpr(), 500, seed=7)
+    clone = Job.from_dict(job.to_dict())
+    assert clone == job and clone.cache_key() == job.cache_key()
+
+
+def test_spec_expands_row_major():
+    spec = CampaignSpec("s", ["gzip", "mcf"],
+                        [SimConfig.baseline(), SimConfig.msp(8)], 300)
+    jobs = spec.jobs()
+    assert [(j.workload, j.config.label) for j in jobs] == [
+        ("gzip", "Baseline"), ("gzip", "8-SP+Arb"),
+        ("mcf", "Baseline"), ("mcf", "8-SP+Arb")]
+
+
+# --------------------------------------------------------------------- #
+# Result store.
+# --------------------------------------------------------------------- #
+
+def test_store_roundtrip_and_clear(tmp_path):
+    store = ResultStore(tmp_path)
+    stats = simulate("crafty", SimConfig.baseline(),
+                     max_instructions=200)
+    store.put("k1", stats, meta={"why": "test"})
+    assert "k1" in store and len(store) == 1
+
+    fresh = ResultStore(tmp_path)          # re-read from disk
+    loaded = fresh.get("k1")
+    assert loaded is not None and vars(loaded) == vars(stats)
+    assert fresh.get("absent") is None
+    assert fresh.clear() == 1
+    assert len(ResultStore(tmp_path)) == 0
+
+
+def test_store_last_record_wins_and_compact(tmp_path):
+    store = ResultStore(tmp_path)
+    a = simulate("crafty", SimConfig.baseline(), max_instructions=200)
+    b = simulate("crafty", SimConfig.msp(8), max_instructions=200)
+    store.put("k", a)
+    store.put("k", b)
+    assert vars(ResultStore(tmp_path).get("k")) == vars(b)
+    store.compact()
+    assert len(store.path.read_text().splitlines()) == 1
+    assert vars(ResultStore(tmp_path).get("k")) == vars(b)
+
+
+def test_store_auto_compacts_on_load(tmp_path):
+    store = ResultStore(tmp_path)
+    stats = simulate("crafty", SimConfig.baseline(),
+                     max_instructions=200)
+    for _ in range(ResultStore._COMPACT_SLACK + 2):
+        store.put("k", stats)
+    assert len(store.path.read_text().splitlines()) > 64
+    fresh = ResultStore(tmp_path)
+    assert len(fresh) == 1                  # triggers the auto-compact
+    assert len(store.path.read_text().splitlines()) == 1
+    assert vars(fresh.get("k")) == vars(stats)
+
+
+def test_compact_preserves_concurrent_appends(tmp_path):
+    """compact() must re-read the file, not trust its stale snapshot."""
+    import json
+    store = ResultStore(tmp_path)
+    stats = simulate("crafty", SimConfig.baseline(),
+                     max_instructions=200)
+    store.put("mine", stats)
+    # Another process appends after our snapshot was loaded.
+    other = {"key": "theirs", "stats": stats.to_dict(), "meta": {}}
+    with store.path.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(other) + "\n")
+    store.compact()
+    fresh = ResultStore(tmp_path)
+    assert "mine" in fresh and "theirs" in fresh
+
+
+def test_store_skips_torn_tail_line(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put("k1", simulate("crafty", SimConfig.baseline(),
+                             max_instructions=200))
+    with store.path.open("a") as fh:
+        fh.write('{"key": "k2", "stats"')    # crash mid-write
+    fresh = ResultStore(tmp_path)
+    assert len(fresh) == 1 and fresh.get("k1") is not None
+
+
+# --------------------------------------------------------------------- #
+# Executor: serial == parallel, caching, failures, timeout.
+# --------------------------------------------------------------------- #
+
+def _grid_jobs(budget=300):
+    spec = CampaignSpec("g", ["gzip", "crafty"],
+                        [SimConfig.baseline(), SimConfig.msp(8)], budget)
+    return spec.jobs()
+
+
+def test_parallel_matches_serial_exactly(tmp_path):
+    jobs = _grid_jobs()
+    serial = run_jobs(jobs, workers=1, use_cache=False)
+    parallel = run_jobs(jobs, workers=4, use_cache=False)
+    assert serial.simulated == parallel.simulated == 4
+    assert set(serial.results) == set(parallel.results)
+    for key, stats in serial.results.items():
+        assert vars(parallel.results[key]) == vars(stats)
+
+
+def test_warm_cache_performs_zero_simulations(tmp_path):
+    jobs = _grid_jobs()
+    cold = run_jobs(jobs, workers=2, cache_dir=tmp_path)
+    assert (cold.hits, cold.simulated) == (0, 4)
+    warm = run_jobs(jobs, workers=2, cache_dir=tmp_path)
+    assert (warm.hits, warm.simulated) == (4, 0)
+    for key in cold.results:
+        assert vars(warm.results[key]) == vars(cold.results[key])
+
+
+def test_no_cache_bypasses_store(tmp_path):
+    jobs = _grid_jobs()
+    run_jobs(jobs, workers=1, cache_dir=tmp_path)
+    again = run_jobs(jobs, workers=1, cache_dir=tmp_path,
+                     use_cache=False)
+    assert again.hits == 0 and again.simulated == 4
+
+
+def test_duplicate_cells_simulated_once(tmp_path):
+    job = Job("gzip", SimConfig.baseline(), 300)
+    report = run_jobs([job, job, job], workers=1, cache_dir=tmp_path)
+    assert report.simulated == 1 and len(report.results) == 1
+
+
+def test_failed_job_raises_campaign_error(tmp_path):
+    bad = Job("gzip", SimConfig(arch="vliw"), 100)
+    with pytest.raises(CampaignError, match="vliw"):
+        run_jobs([bad], workers=1, cache_dir=tmp_path)
+    report = run_jobs([bad], workers=1, cache_dir=tmp_path,
+                      raise_on_error=False)
+    assert report.failures and not report.results
+
+
+def test_failed_job_raises_in_parallel_mode(tmp_path):
+    bad = Job("gzip", SimConfig(arch="vliw"), 100)
+    good = Job("gzip", SimConfig.baseline(), 300)
+    report = run_jobs([bad, good], workers=2, cache_dir=tmp_path,
+                      raise_on_error=False)
+    assert len(report.failures) == 1
+    assert vars(report.stats_for(good))
+    # Missing cells are named, not raised as a bare sha256 KeyError.
+    with pytest.raises(CampaignError, match="no result for gzip/"):
+        report.stats_for(bad)
+
+
+def test_grid_names_missing_cells(tmp_path):
+    spec = CampaignSpec("s", ["gzip"], [SimConfig(arch="vliw")], 100)
+    report = run_jobs(spec.jobs(), workers=1, cache_dir=tmp_path,
+                      raise_on_error=False)
+    with pytest.raises(CampaignError, match="gzip"):
+        spec.grid(report)
+
+
+def test_cache_key_includes_code_fingerprint():
+    from repro.sim.campaign.job import code_fingerprint
+    fingerprint = code_fingerprint()
+    assert fingerprint == code_fingerprint() and len(fingerprint) == 16
+    job = Job("gzip", SimConfig.msp(16), 300)
+    assert job.cache_key() == job.cache_key()
+
+
+def test_progress_callback_reports_each_cell(tmp_path):
+    lines = []
+    run_jobs(_grid_jobs(), workers=1, cache_dir=tmp_path,
+             progress=lines.append)
+    assert len(lines) == 4
+    assert any("gzip/Baseline@300" in line for line in lines)
+    assert lines[-1].startswith("[4/4]")
+
+
+def test_run_job_single(tmp_path):
+    job = Job("crafty", SimConfig.baseline(), 250)
+    stats = run_job(job, workers=1, cache_dir=tmp_path)
+    assert stats.committed >= 250
+
+
+# --------------------------------------------------------------------- #
+# Experiment harness integration (the acceptance criterion).
+# --------------------------------------------------------------------- #
+
+def test_experiment_parallel_table_identical_and_cached(
+        tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_INSTRUCTIONS", "300")
+    monkeypatch.setenv("REPRO_BENCHSET", "quick")
+    serial = experiments.figure7(banks=[8], use_cache=False)
+    parallel = experiments.figure7(banks=[8], jobs=4,
+                                   cache_dir=tmp_path)
+    assert parallel.to_table() == serial.to_table()
+
+    # Second warm invocation: zero new simulations.
+    lines = []
+    warm = experiments.figure7(banks=[8], jobs=4, cache_dir=tmp_path,
+                               progress=lines.append)
+    assert lines == []                     # progress fires per sim only
+    assert warm.to_table() == serial.to_table()

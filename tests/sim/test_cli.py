@@ -50,9 +50,13 @@ def test_listing_command(capsys):
     assert "scan:" in out and "ld" in out
 
 
-def test_run_unknown_workload_raises():
-    with pytest.raises(ValueError):
+def test_run_unknown_workload_exits_with_one_liner(capsys):
+    with pytest.raises(SystemExit) as excinfo:
         main(["run", "nonesuch", "-n", "100"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "unknown workload 'nonesuch'" in err
+    assert "gzip" in err and "Traceback" not in err
 
 
 def test_parser_requires_command():

@@ -1,0 +1,107 @@
+"""CLI coverage for the campaign commands and friendly error paths."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def test_experiment_jobs_flag_matches_serial(tmp_path, capsys,
+                                             monkeypatch):
+    monkeypatch.setenv("REPRO_INSTRUCTIONS", "300")
+    monkeypatch.setenv("REPRO_BENCHSET", "quick")
+    assert main(["experiment", "figure7", "-n", "300",
+                 "--no-cache"]) == 0
+    serial = capsys.readouterr().out
+    assert main(["experiment", "figure7", "-n", "300", "--jobs", "4",
+                 "--cache-dir", str(tmp_path)]) == 0
+    assert capsys.readouterr().out == serial
+    # Warm rerun serves everything from the cache and still matches.
+    assert main(["experiment", "figure7", "-n", "300", "--jobs", "4",
+                 "--cache-dir", str(tmp_path)]) == 0
+    assert capsys.readouterr().out == serial
+
+
+def test_campaign_run_status_clear(tmp_path, capsys):
+    cache = ["--cache-dir", str(tmp_path)]
+    assert main(["campaign", "run", "--workloads", "gzip,crafty",
+                 "--machines", "baseline,msp:8", "-n", "300"]
+                + cache) == 0
+    out = capsys.readouterr().out
+    assert "Baseline" in out and "8-SP+Arb" in out and "hmean" in out
+
+    assert main(["campaign", "status"] + cache) == 0
+    out = capsys.readouterr().out
+    assert "entries 4" in out and str(tmp_path) in out
+
+    assert main(["campaign", "clear"] + cache) == 0
+    assert "cleared 4" in capsys.readouterr().out
+    assert main(["campaign", "status"] + cache) == 0
+    assert "entries 0" in capsys.readouterr().out
+
+
+def test_campaign_run_suite_quick(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCHSET", "quick")
+    assert main(["campaign", "run", "--suite", "specfp",
+                 "--workloads", "swim", "--machines", "cpr:256",
+                 "-n", "200", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "swim" in out and "CPR-256" in out
+
+
+def test_campaign_unknown_workload_exits_2(tmp_path, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["campaign", "run", "--workloads", "warp",
+              "--machines", "baseline", "--cache-dir", str(tmp_path)])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "unknown workload 'warp'" in err and "gzip" in err
+
+
+def test_campaign_timeout_prints_one_line_error(tmp_path, capsys):
+    assert main(["campaign", "run", "--workloads", "mcf",
+                 "--machines", "cpr", "-n", "200000",
+                 "--timeout", "1", "--no-cache",
+                 "--cache-dir", str(tmp_path)]) == 1
+    err = capsys.readouterr().err
+    assert "campaign failed" in err and "exceeded 1s" in err
+    assert "Traceback" not in err
+
+
+def test_campaign_unknown_machine_exits(tmp_path, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["campaign", "run", "--workloads", "gzip",
+              "--machines", "warp9", "--cache-dir", str(tmp_path)])
+    assert excinfo.value.code == 2
+    assert "unknown machine 'warp9'" in capsys.readouterr().err
+
+
+def test_module_invocation_unknown_workload_no_traceback():
+    """Regression: ``python -m repro`` exits 2 with a one-line error."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (REPO_SRC + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else REPO_SRC)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "run", "nonesuch", "-n", "10"],
+        capture_output=True, text=True, env=env, timeout=120)
+    assert proc.returncode == 2
+    assert "unknown workload 'nonesuch'" in proc.stderr
+    assert "Traceback" not in proc.stderr
+    assert proc.stderr.count("\n") == 1
+
+
+def test_module_invocation_unknown_experiment_no_traceback():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (REPO_SRC + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else REPO_SRC)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "experiment", "figure99"],
+        capture_output=True, text=True, env=env, timeout=120)
+    assert proc.returncode == 2
+    assert "unknown experiment 'figure99'" in proc.stderr
+    assert "Traceback" not in proc.stderr

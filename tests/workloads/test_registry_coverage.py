@@ -1,0 +1,22 @@
+"""Every registered workload builds and commits on the baseline core."""
+
+import pytest
+
+from repro.isa.program import Program
+from repro.sim import SimConfig, build_core
+from repro.workloads import SPECFP, SPECINT, all_workloads, get_program
+
+
+def test_suites_are_subsets_of_registry():
+    names = set(all_workloads())
+    assert set(SPECINT) <= names and set(SPECFP) <= names
+
+
+@pytest.mark.parametrize("name", all_workloads())
+def test_workload_builds_and_commits(name):
+    program = get_program(name)
+    assert isinstance(program, Program) and len(program) > 0
+    stats = build_core(program, SimConfig.baseline()).run(
+        max_instructions=200)
+    assert stats.committed >= 200
+    assert stats.cycles > 0
