@@ -1,0 +1,106 @@
+"""Simulator throughput: committed instructions per wall-clock second.
+
+Not a paper figure — this tracks the *performance trajectory* of the
+simulator itself across PRs (the ``BENCH_*.json`` the driver records).
+Four modes are measured on the same workload/machine:
+
+* ``emulator``   — the functional reference interpreter (the sampled
+  engine's fast-forward ceiling);
+* ``ff+warmup``  — the emulator with the warm-up observer attached
+  (what fast-forward actually costs);
+* ``detailed``   — the cycle-level core (full-detail cost);
+* ``sampled``    — the complete sampled engine, reported as
+  *represented* instructions per second (its whole point is that this
+  exceeds the detailed rate).
+
+Each rate lands in pytest-benchmark's ``extra_info`` so the JSON
+artifact carries instructions/second per machine, not just seconds.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.isa import Emulator
+from repro.sim import SimConfig, simulate
+from repro.sim.sampling import WarmupEngine
+from repro.workloads import get_program
+
+WORKLOAD = "gzip"
+EMULATE_N = 200_000
+DETAIL_N = 20_000
+SAMPLED_N = 200_000
+
+
+def _rate(instructions, seconds):
+    return instructions / seconds if seconds else 0.0
+
+
+def test_throughput_emulator(benchmark):
+    program = get_program(WORKLOAD)
+
+    def run():
+        t0 = time.perf_counter()
+        result = Emulator(program).run(max_instructions=EMULATE_N)
+        return result.retired, time.perf_counter() - t0
+
+    retired, elapsed = run_once(benchmark, run)
+    rate = _rate(retired, elapsed)
+    benchmark.extra_info["instructions_per_second"] = rate
+    print(f"\nemulator: {rate:,.0f} inst/s")
+    assert retired == EMULATE_N
+
+
+def test_throughput_fastforward_with_warmup(benchmark):
+    program = get_program(WORKLOAD)
+    config = SimConfig.baseline(predictor="tage")
+
+    def run():
+        emulator = Emulator(program)
+        emulator.observer = WarmupEngine(config, program)
+        t0 = time.perf_counter()
+        result = emulator.run(max_instructions=EMULATE_N)
+        return result.retired, time.perf_counter() - t0
+
+    retired, elapsed = run_once(benchmark, run)
+    rate = _rate(retired, elapsed)
+    benchmark.extra_info["instructions_per_second"] = rate
+    print(f"\nff+warmup: {rate:,.0f} inst/s")
+
+
+def test_throughput_detailed(benchmark):
+    program = get_program(WORKLOAD)
+
+    def run():
+        t0 = time.perf_counter()
+        stats = simulate(program, SimConfig.baseline(predictor="tage"),
+                         max_instructions=DETAIL_N)
+        return stats.committed, time.perf_counter() - t0
+
+    committed, elapsed = run_once(benchmark, run)
+    rate = _rate(committed, elapsed)
+    benchmark.extra_info["instructions_per_second"] = rate
+    print(f"\ndetailed: {rate:,.0f} inst/s")
+
+
+def test_throughput_sampled(benchmark):
+    program = get_program(WORKLOAD)
+
+    def run():
+        t0 = time.perf_counter()
+        stats = simulate(program, SimConfig.baseline(predictor="tage"),
+                         max_instructions=SAMPLED_N, sampling=True)
+        return stats, time.perf_counter() - t0
+
+    stats, elapsed = run_once(benchmark, run)
+    represented = _rate(stats.committed, elapsed)
+    benchmark.extra_info["represented_instructions_per_second"] = \
+        represented
+    benchmark.extra_info["detail_instructions"] = \
+        stats.detail_instructions
+    print(f"\nsampled: {represented:,.0f} represented inst/s "
+          f"({stats.detail_instructions:,d} detailed of "
+          f"{stats.committed:,d} represented)")
+    # The reason this subsystem exists: a sampled run must cycle-
+    # simulate several times fewer instructions than it represents.
+    assert stats.detail_instructions * 5 <= stats.committed

@@ -50,6 +50,11 @@ class BaselineProcessor(OutOfOrderCore):
     def handle_ready(self, handle: int) -> bool:
         return self.phys_ready[handle]
 
+    def seed_register(self, logical: int, value) -> None:
+        # Identity initial mapping: the checkpointed architectural value
+        # lands directly in the currently mapped physical register.
+        self.phys_value[self.rat[logical]] = value
+
     def read_operand(self, handle: int):
         return self.phys_value[handle]
 

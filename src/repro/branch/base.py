@@ -47,6 +47,14 @@ class BranchPredictor(ABC):
         if prediction.taken != taken:
             self.mispredictions += 1
 
+    def clone(self) -> "BranchPredictor":
+        """Independent deep copy (tables and history). The sampled
+        engine clones the functionally-warmed predictor into each
+        measurement window; predictors with large table state override
+        this with a structure-aware copy."""
+        import pickle
+        return pickle.loads(pickle.dumps(self, pickle.HIGHEST_PROTOCOL))
+
     # ------------------------------------------------------------------ #
     # Global-history checkpointing (used by CPR checkpoints and by
     # exception/indirect-jump recovery to repair speculative history).

@@ -16,6 +16,12 @@ This is a faithful, if compact, TAGE:
 
 Global history is updated speculatively at predict time and repaired on a
 squash via the snapshot carried in the prediction.
+
+Tagged components are stored as parallel integer arrays (``tag_table``
+/ ``ctr_table`` / ``useful_table``, one flat list per component) rather
+than entry objects: plain-list state makes :meth:`TagePredictor.clone`
+a handful of C-speed list copies, which the sampled-simulation engine
+performs once per measurement window.
 """
 
 from __future__ import annotations
@@ -23,15 +29,6 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.branch.base import BranchPredictor, Prediction
-
-
-class _TaggedEntry:
-    __slots__ = ("tag", "ctr", "useful")
-
-    def __init__(self) -> None:
-        self.tag = 0
-        self.ctr = 0          # signed, -4..3; >= 0 predicts taken
-        self.useful = 0       # 0..3
 
 
 def _fold(value: int, length: int, bits: int) -> int:
@@ -83,10 +80,14 @@ class TagePredictor(BranchPredictor):
         self.history_mask = (1 << self.max_history) - 1
 
         self.base = [2] * self.base_size  # 2-bit, weakly taken
-        self.tables: List[List[_TaggedEntry]] = [
-            [_TaggedEntry() for _ in range(self.table_size)]
-            for _ in range(num_tagged)
-        ]
+        # Per-component parallel arrays (tag, signed -4..3 counter with
+        # >= 0 predicting taken, 0..3 useful counter).
+        self.tag_table: List[List[int]] = [
+            [0] * self.table_size for _ in range(num_tagged)]
+        self.ctr_table: List[List[int]] = [
+            [0] * self.table_size for _ in range(num_tagged)]
+        self.useful_table: List[List[int]] = [
+            [0] * self.table_size for _ in range(num_tagged)]
         self.ghr = 0
         self.use_alt = 8       # 0..15; >= 8 -> trust alt for weak new entries
         self._branch_count = 0
@@ -129,7 +130,7 @@ class TagePredictor(BranchPredictor):
             indices[comp] = self._index(pc, comp, history)
             tags[comp] = self._tag(pc, comp, history)
         for comp in range(self.num_tagged - 1, -1, -1):
-            if self.tables[comp][indices[comp]].tag == tags[comp]:
+            if self.tag_table[comp][indices[comp]] == tags[comp]:
                 if provider is None:
                     provider = comp
                 else:
@@ -138,11 +139,13 @@ class TagePredictor(BranchPredictor):
 
         base_pred = self._base_predict(pc)
         if provider is not None:
-            entry = self.tables[provider][indices[provider]]
-            provider_pred = entry.ctr >= 0
-            alt_pred = (self.tables[alt][indices[alt]].ctr >= 0
+            index = indices[provider]
+            ctr = self.ctr_table[provider][index]
+            provider_pred = ctr >= 0
+            alt_pred = (self.ctr_table[alt][indices[alt]] >= 0
                         if alt is not None else base_pred)
-            weak_new = entry.useful == 0 and entry.ctr in (-1, 0)
+            weak_new = (self.useful_table[provider][index] == 0
+                        and ctr in (-1, 0))
             taken = alt_pred if (weak_new and self.use_alt >= 8) \
                 else provider_pred
         else:
@@ -169,9 +172,11 @@ class TagePredictor(BranchPredictor):
             self._decay_useful()
 
         if provider is not None:
-            entry = self.tables[provider][indices[provider]]
+            index = indices[provider]
+            ctrs = self.ctr_table[provider]
+            useful = self.useful_table[provider]
             # use_alt heuristic training on weak new entries.
-            weak_new = entry.useful == 0 and entry.ctr in (-1, 0)
+            weak_new = useful[index] == 0 and ctrs[index] in (-1, 0)
             if weak_new and provider_pred != alt_pred:
                 if alt_pred == taken:
                     if self.use_alt < 15:
@@ -180,17 +185,17 @@ class TagePredictor(BranchPredictor):
                     self.use_alt -= 1
             # Update provider counter.
             if taken:
-                if entry.ctr < 3:
-                    entry.ctr += 1
-            elif entry.ctr > -4:
-                entry.ctr -= 1
+                if ctrs[index] < 3:
+                    ctrs[index] += 1
+            elif ctrs[index] > -4:
+                ctrs[index] -= 1
             # Useful counter: provider differed from alternate.
             if provider_pred != alt_pred:
                 if provider_pred == taken:
-                    if entry.useful < 3:
-                        entry.useful += 1
-                elif entry.useful > 0:
-                    entry.useful -= 1
+                    if useful[index] < 3:
+                        useful[index] += 1
+                elif useful[index] > 0:
+                    useful[index] -= 1
             if alt is None and provider_pred != taken:
                 self._base_update(prediction.pc, taken)
         else:
@@ -204,22 +209,33 @@ class TagePredictor(BranchPredictor):
                   taken: bool) -> None:
         start = 0 if provider is None else provider + 1
         for comp in range(start, self.num_tagged):
-            entry = self.tables[comp][indices[comp]]
-            if entry.useful == 0:
-                entry.tag = tags[comp]
-                entry.ctr = 0 if taken else -1
-                entry.useful = 0
+            index = indices[comp]
+            if self.useful_table[comp][index] == 0:
+                self.tag_table[comp][index] = tags[comp]
+                self.ctr_table[comp][index] = 0 if taken else -1
                 return
         for comp in range(start, self.num_tagged):
-            entry = self.tables[comp][indices[comp]]
-            if entry.useful > 0:
-                entry.useful -= 1
+            index = indices[comp]
+            if self.useful_table[comp][index] > 0:
+                self.useful_table[comp][index] -= 1
 
     def _decay_useful(self) -> None:
-        for table in self.tables:
-            for entry in table:
-                if entry.useful > 0:
-                    entry.useful -= 1
+        for table in self.useful_table:
+            for index, value in enumerate(table):
+                if value > 0:
+                    table[index] = value - 1
+
+    def clone(self) -> "TagePredictor":
+        """Fast deep copy: shared immutable configuration, private
+        counter arrays (a few C-speed list copies — the sampled engine
+        clones the warm predictor once per measurement window)."""
+        new = self.__class__.__new__(self.__class__)
+        new.__dict__.update(self.__dict__)
+        new.base = self.base[:]
+        new.tag_table = [table[:] for table in self.tag_table]
+        new.ctr_table = [table[:] for table in self.ctr_table]
+        new.useful_table = [table[:] for table in self.useful_table]
+        return new
 
     def restore(self, prediction: Prediction) -> None:
         history = prediction.meta[0]

@@ -20,11 +20,18 @@ Commands
 ``listing``
     Print a workload's assembly listing.
 
+``run``, ``compare``, ``experiment`` and ``campaign run`` all accept
+the sampling flags ``--sample`` (periodic measurement windows over a
+fast functional fast-forward), ``--ff N`` (fixed-offset window),
+``--interval K`` and ``--period P`` — see :mod:`repro.sim.sampling`.
+
 Examples::
 
     python -m repro run bzip2 --arch msp --banks 16 --predictor tage
+    python -m repro run bzip2 --arch msp --sample -n 100000
     python -m repro compare mcf -n 5000
     python -m repro experiment figure8 --jobs 4
+    python -m repro experiment figure7 --sample
     python -m repro campaign run --suite specint --machines baseline,msp:16
     python -m repro campaign status
     python -m repro listing gzip | head -40
@@ -36,9 +43,12 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.sim import SimConfig, build_core
+from repro.defaults import EnvConfigError, default_instructions, \
+    default_sample_instructions
+from repro.sim import SimConfig, simulate
 from repro.sim import experiments as exp
 from repro.sim.campaign import CampaignError, ResultStore
+from repro.sim.sampling import SamplingError, SamplingParams
 from repro.workloads import SPECFP, SPECINT, all_workloads, get_program
 
 EXPERIMENTS = {
@@ -133,12 +143,42 @@ def _get_program_or_exit(name: str):
         raise SystemExit(2)
 
 
+def _sampling_from_args(args) -> "SamplingParams":
+    """--sample/--ff/--interval/--period combined with REPRO_SAMPLE*.
+    Invalid schedules print one line (no traceback) and exit 2."""
+    try:
+        return SamplingParams.from_cli(
+            sample=getattr(args, "sample", False),
+            ff=getattr(args, "ff", None),
+            interval=getattr(args, "interval", None),
+            period=getattr(args, "period", None))
+    except SamplingError as exc:
+        print(f"bad sampling parameters: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _budget(args, sampling) -> int:
+    """-n/--instructions, or the shared defaults (sampled runs default
+    to a ~30x larger represented budget)."""
+    if args.instructions is not None:
+        return args.instructions
+    return (default_sample_instructions() if sampling
+            else default_instructions())
+
+
 def cmd_run(args) -> int:
     config = _config_from_args(args)
-    core = build_core(_get_program_or_exit(args.workload), config)
-    stats = core.run(max_instructions=args.instructions)
+    sampling = _sampling_from_args(args)
+    budget = _budget(args, sampling)
+    try:
+        stats = simulate(_get_program_or_exit(args.workload), config,
+                         max_instructions=budget, sampling=sampling)
+    except SamplingError as exc:
+        print(f"bad sampling parameters: {exc}", file=sys.stderr)
+        return 2
     print(f"{args.workload} on {config.label} "
-          f"({args.instructions} instructions)")
+          f"({budget} instructions"
+          f"{', sampled ' + sampling.mode if sampling else ''})")
     for key, value in stats.summary().items():
         print(f"  {key:24s} {value}")
     if stats.bank_stall_cycles:
@@ -151,11 +191,17 @@ def cmd_run(args) -> int:
 
 def cmd_compare(args) -> int:
     program = _get_program_or_exit(args.workload)
+    sampling = _sampling_from_args(args)
+    budget = _budget(args, sampling)
     print(f"{'machine':>12s} {'IPC':>7s} {'mispred':>8s} "
           f"{'reexec':>7s} {'wrong':>7s}")
     for config in _standard_grid(args.predictor):
-        core = build_core(program, config)
-        stats = core.run(max_instructions=args.instructions)
+        try:
+            stats = simulate(program, config, max_instructions=budget,
+                             sampling=sampling)
+        except SamplingError as exc:
+            print(f"bad sampling parameters: {exc}", file=sys.stderr)
+            return 2
         print(f"{config.label:>12s} {stats.ipc:7.3f} "
               f"{stats.misprediction_rate:8.3f} "
               f"{stats.correct_path_reexecuted:7d} "
@@ -168,10 +214,12 @@ NON_CAMPAIGN_EXPERIMENTS = {"table3"}
 
 
 def _campaign_kwargs(args) -> dict:
-    """Shared --jobs/--no-cache/--cache-dir/--timeout plumbing."""
+    """Shared --jobs/--no-cache/--cache-dir/--timeout/--sample
+    plumbing."""
     return dict(jobs=args.jobs, cache_dir=args.cache_dir,
                 use_cache=False if args.no_cache else None,
-                timeout=args.timeout)
+                timeout=args.timeout,
+                sampling=_sampling_from_args(args))
 
 
 def cmd_experiment(args) -> int:
@@ -192,6 +240,9 @@ def cmd_experiment(args) -> int:
     campaign["progress"] = _progress
     try:
         text = EXPERIMENTS[args.name](args.instructions, **campaign)
+    except SamplingError as exc:
+        print(f"bad sampling parameters: {exc}", file=sys.stderr)
+        return 2
     except CampaignError as exc:
         print(f"campaign failed: {exc}", file=sys.stderr)
         return 1
@@ -269,6 +320,9 @@ def cmd_campaign_run(args) -> int:
         result = exp.run_grid(
             "campaign", benchmarks, configs, args.instructions,
             **campaign)
+    except SamplingError as exc:
+        print(f"bad sampling parameters: {exc}", file=sys.stderr)
+        return 2
     except CampaignError as exc:
         print(f"campaign failed: {exc}", file=sys.stderr)
         return 1
@@ -299,12 +353,31 @@ def build_parser() -> argparse.ArgumentParser:
         description="Multi-State Processor reproduction (MICRO 2008)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_sampling_flags(p):
+        p.add_argument("--sample", action="store_true",
+                       help="sampled simulation: periodic detailed "
+                            "windows over a fast functional "
+                            "fast-forward (SMARTS-style)")
+        p.add_argument("--ff", type=int, default=None, metavar="N",
+                       help="fast-forward N instructions functionally "
+                            "before measuring (alone: one fixed-offset "
+                            "window; with --sample: initial skip)")
+        p.add_argument("--interval", type=int, default=None, metavar="K",
+                       help="detailed instructions per measurement "
+                            "window (implies sampling)")
+        p.add_argument("--period", type=int, default=None, metavar="P",
+                       help="one window per P committed instructions "
+                            "(implies sampling)")
+
     def add_common(p, with_arch=True):
         p.add_argument("workload", help="workload name (see `list`)")
-        p.add_argument("-n", "--instructions", type=int, default=3000,
-                       help="committed-instruction budget")
+        p.add_argument("-n", "--instructions", type=int, default=None,
+                       help="committed-instruction budget (default: "
+                            "REPRO_INSTRUCTIONS or 3000; ~30x that "
+                            "for sampled runs)")
         p.add_argument("--predictor", default="tage",
                        choices=["gshare", "tage", "bimodal"])
+        add_sampling_flags(p)
         if with_arch:
             p.add_argument("--arch", default="msp",
                            choices=["baseline", "cpr", "msp", "ideal"])
@@ -333,10 +406,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: REPRO_CACHE_DIR or ~/.cache/repro)")
         p.add_argument("--timeout", type=float, default=None,
                        help="per-job timeout in seconds")
+        add_sampling_flags(p)
 
     p_exp = sub.add_parser("experiment", help="regenerate a figure/table")
     p_exp.add_argument("name", help="e.g. figure6, table3")
-    p_exp.add_argument("-n", "--instructions", type=int, default=3000)
+    p_exp.add_argument("-n", "--instructions", type=int, default=None)
     p_exp.add_argument("-v", "--verbose", action="store_true",
                        help="print per-simulation progress to stderr")
     add_campaign_flags(p_exp)
@@ -358,7 +432,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "msp:<banks> ideal")
     p_crun.add_argument("--predictor", default="tage",
                         choices=["gshare", "tage", "bimodal"])
-    p_crun.add_argument("-n", "--instructions", type=int, default=3000)
+    p_crun.add_argument("-n", "--instructions", type=int, default=None)
     p_crun.add_argument("-v", "--verbose", action="store_true",
                         help="print per-cell progress to stderr")
     add_campaign_flags(p_crun)
@@ -385,6 +459,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except (SamplingError, EnvConfigError) as exc:
+        # Malformed configuration that surfaced past the per-command
+        # handlers (e.g. a non-integer REPRO_* knob): one line, no
+        # traceback, same convention as every other input error.
+        # Internal simulator ValueErrors are NOT caught here — an
+        # invariant violation must keep its traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Piping into `head` is an advertised pattern (module docstring).
         # Point both standard streams at devnull so the shutdown flush

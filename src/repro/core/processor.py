@@ -77,6 +77,11 @@ class MSPProcessor(OutOfOrderCore):
         logical, mono = handle
         return self.banks[logical].is_ready(mono)
 
+    def seed_register(self, logical: int, value) -> None:
+        # Slot 0 of each bank holds the initial architectural value at
+        # state 0 (already marked ready at construction).
+        self.banks[logical].write(0, value)
+
     def read_operand(self, handle: Handle):
         logical, mono = handle
         bank = self.banks[logical]

@@ -108,6 +108,23 @@ class CPRProcessor(OutOfOrderCore):
     def handle_ready(self, handle: int) -> bool:
         return self.phys_ready[handle]
 
+    def seed_register(self, logical: int, value) -> None:
+        # Identity initial mapping (refcounts unaffected: the mapping
+        # and initial-checkpoint holds were taken at construction).
+        self.phys_value[self.rat[logical]] = value
+
+    def on_seeded(self, pc: int) -> None:
+        # The initial checkpoint must resume at the checkpointed PC,
+        # not the program entry, if a rollback reaches it.
+        self.checkpoints[0].resume_pc = pc
+
+    def install_warm_state(self, predictor=None, btb=None,
+                           hierarchy=None, confidence=None) -> None:
+        super().install_warm_state(predictor, btb, hierarchy)
+        if confidence is not None:
+            confidence.threshold = self.config.confidence_threshold
+            self.confidence = confidence
+
     def read_operand(self, handle: int):
         value = self.phys_value[handle]
         self._release(handle)  # reader hold consumed at issue

@@ -1,0 +1,70 @@
+"""Shared runtime defaults (single source of truth).
+
+Historically ``repro.sim.runner.simulate`` hardcoded a 50k-instruction
+budget while the experiment harnesses read ``REPRO_INSTRUCTIONS``
+(default 3000) — two different answers to "how long is a simulation by
+default". Everything now routes through :func:`default_instructions`.
+
+This module sits below both the pipeline and sim layers (it imports
+nothing from repro), so any layer may use it without cycles.
+
+Environment knobs
+-----------------
+
+``REPRO_INSTRUCTIONS``
+    Committed-instruction budget per full-detail simulation
+    (default 3000).
+``REPRO_SAMPLE_INSTRUCTIONS``
+    Budget for *sampled* runs (default ``30 x REPRO_INSTRUCTIONS``:
+    fast-forwarding makes a far larger represented budget affordable
+    at comparable wall-clock).
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Fallback when ``REPRO_INSTRUCTIONS`` is unset.
+BASE_INSTRUCTIONS = 3000
+
+#: Sampled runs default to this multiple of the full-detail budget.
+SAMPLE_BUDGET_FACTOR = 30
+
+
+class EnvConfigError(ValueError):
+    """A ``REPRO_*`` environment variable is set to a malformed value.
+
+    A dedicated type so the CLI can report it as a one-line input
+    error without also swallowing internal simulator ``ValueError``
+    invariants."""
+
+
+def env_int(name: str, fallback: int) -> int:
+    """Integer environment variable with a fallback (shared by every
+    layer that reads ``REPRO_*`` numeric knobs). A set-but-malformed
+    value raises instead of silently reverting to the default — the
+    run would otherwise complete (and cache) under a schedule the user
+    never configured."""
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return fallback
+    try:
+        return int(raw)
+    except ValueError:
+        raise EnvConfigError(f"{name} must be an integer, got {raw!r}")
+
+
+def default_instructions() -> int:
+    """Committed-instruction budget for one full-detail simulation."""
+    return env_int("REPRO_INSTRUCTIONS", BASE_INSTRUCTIONS)
+
+
+def default_sample_instructions() -> int:
+    """Represented-instruction budget for one sampled simulation."""
+    return env_int("REPRO_SAMPLE_INSTRUCTIONS",
+                   SAMPLE_BUDGET_FACTOR * default_instructions())
+
+
+__all__ = ["BASE_INSTRUCTIONS", "EnvConfigError",
+           "SAMPLE_BUDGET_FACTOR", "default_instructions",
+           "default_sample_instructions", "env_int"]

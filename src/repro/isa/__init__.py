@@ -1,6 +1,11 @@
 """The repro ISA: registers, opcodes, instructions, programs, emulator."""
 
-from repro.isa.emulator import Emulator, EmulatorResult, run_program
+from repro.isa.emulator import (
+    Emulator,
+    EmulatorResult,
+    EmulatorState,
+    run_program,
+)
 from repro.isa.instructions import Instruction
 from repro.isa.opcodes import FUType, Op
 from repro.isa.program import Program, ProgramBuilder
@@ -21,6 +26,7 @@ from repro.isa.registers import (
 __all__ = [
     "Emulator",
     "EmulatorResult",
+    "EmulatorState",
     "FUType",
     "Instruction",
     "NUM_FP_REGS",

@@ -6,6 +6,18 @@ CPR, MSP) must all commit exactly this instruction stream — the integration
 tests use the emulator as the oracle for that cross-check, and the workload
 generators use it to sanity-check that kernels terminate and touch the
 memory they claim to.
+
+Two facilities support the sampled-simulation engine
+(:mod:`repro.sim.sampling`):
+
+* :meth:`Emulator.snapshot` / :meth:`Emulator.restore` capture and
+  reinstate the complete architectural state (PC, registers, memory) as
+  an :class:`EmulatorState` — the checkpoint a detailed timing core can
+  be seeded from;
+* an optional :attr:`Emulator.observer` is called once per retired
+  instruction with the PC, branch outcome, memory address and next PC,
+  so a fast-forward phase can warm branch predictors and caches from
+  the functional stream without re-implementing the ISA semantics.
 """
 
 from __future__ import annotations
@@ -16,6 +28,37 @@ from repro.isa.program import Program
 from repro.isa.registers import NUM_LOGICAL_REGS, is_fp_reg
 from repro.isa.semantics import branch_taken, effective_address, evaluate
 from repro.isa.opcodes import Op
+
+#: Signature of :attr:`Emulator.observer`:
+#: ``observer(pc, inst, taken, mem_addr, next_pc)`` where ``taken`` is
+#: None for non-conditional-branch instructions and ``mem_addr`` is
+#: None for non-memory instructions.
+Observer = Callable[[int, object, Optional[bool], Optional[int], int],
+                    None]
+
+
+class EmulatorState:
+    """Exact architectural checkpoint: (pc, registers, memory).
+
+    ``regs`` and ``memory`` are private copies — restoring or seeding a
+    core from the same state twice yields identical runs even if one of
+    them mutates its own architectural state afterwards.
+    """
+
+    __slots__ = ("pc", "regs", "memory", "retired")
+
+    def __init__(self, pc: int, regs: List, memory: Dict[int, float],
+                 retired: int = 0) -> None:
+        self.pc = pc
+        self.regs = regs
+        self.memory = memory
+        #: Committed instructions before this checkpoint (bookkeeping
+        #: only; not needed to resume).
+        self.retired = retired
+
+    def __repr__(self) -> str:
+        return (f"EmulatorState(pc={self.pc}, retired={self.retired}, "
+                f"mem_words={len(self.memory)})")
 
 
 class EmulatorResult:
@@ -50,12 +93,37 @@ class Emulator:
         self._trace_branches = trace_branches
         #: Optional hook called on every retired instruction, for tests.
         self.retire_hook: Optional[Callable[[int], None]] = None
+        #: Optional per-instruction stream observer (see module doc);
+        #: the sampling warm-up engine trains predictors/caches here.
+        self.observer: Optional[Observer] = None
+        #: Total instructions retired across every :meth:`run` call.
+        self.retired_total = 0
 
     def read_reg(self, reg: int):
         return self.regs[reg]
 
     def read_mem(self, addr: int):
         return self.memory.get(addr, 0)
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing (exact architectural snapshot/restore).
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> EmulatorState:
+        """Capture the complete architectural state as a checkpoint."""
+        return EmulatorState(self.pc, list(self.regs), dict(self.memory),
+                             retired=self.retired_total)
+
+    def restore(self, state: EmulatorState) -> None:
+        """Reinstate a checkpoint taken by :meth:`snapshot`. Resuming
+        must produce the exact instruction stream a straight-through run
+        would have (the checkpoint-determinism tests enforce this)."""
+        self.pc = state.pc
+        self.regs = list(state.regs)
+        self.memory = dict(state.memory)
+        self.retired_total = state.retired
+
+    # ------------------------------------------------------------------ #
 
     def step(self, result: EmulatorResult) -> bool:
         """Execute one instruction; return False when the run terminated."""
@@ -70,6 +138,8 @@ class Emulator:
         if self._trace_pcs:
             result.pc_trace.append(self.pc)
         next_pc = self.pc + 1
+        taken: Optional[bool] = None
+        mem_addr: Optional[int] = None
 
         if inst.is_branch:
             values = [self.regs[s] for s in inst.srcs]
@@ -83,19 +153,23 @@ class Emulator:
         elif inst.op is Op.JR:
             next_pc = int(self.regs[inst.srcs[0]])
         elif inst.is_load:
-            addr = effective_address(self.regs[inst.srcs[0]], inst.imm)
-            value = self.memory.get(addr, 0)
-            self.regs[inst.dest] = float(value) if inst.op is Op.FLD else value
+            mem_addr = effective_address(self.regs[inst.srcs[0]], inst.imm)
+            value = self.memory.get(mem_addr, 0)
+            self.regs[inst.dest] = (float(value) if inst.op is Op.FLD
+                                    else value)
         elif inst.is_store:
-            addr = effective_address(self.regs[inst.srcs[1]], inst.imm)
-            self.memory[addr] = self.regs[inst.srcs[0]]
+            mem_addr = effective_address(self.regs[inst.srcs[1]], inst.imm)
+            self.memory[mem_addr] = self.regs[inst.srcs[0]]
         elif inst.writes_reg:
             values = [self.regs[s] for s in inst.srcs]
             self.regs[inst.dest] = evaluate(inst.op, values, inst.imm)
         # NOP: nothing.
 
+        if self.observer is not None:
+            self.observer(self.pc, inst, taken, mem_addr, next_pc)
         self.pc = next_pc
         result.retired += 1
+        self.retired_total += 1
         if self.retire_hook is not None:
             self.retire_hook(result.retired)
         return True

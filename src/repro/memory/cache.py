@@ -104,6 +104,23 @@ class MemoryHierarchy:
         self.l2_hit = l2_hit
         self.memory_latency = memory_latency
 
+    @classmethod
+    def from_config(cls, config) -> "MemoryHierarchy":
+        """Build the hierarchy a :class:`~repro.sim.config.SimConfig`
+        describes — the single mapping from config fields to cache
+        geometry, shared by the timing cores and the sampled engine's
+        warm-up so the two can never drift apart."""
+        return cls(
+            icache_size=config.icache_size,
+            icache_assoc=config.icache_assoc,
+            dcache_size=config.dcache_size,
+            dcache_assoc=config.dcache_assoc,
+            dcache_hit=config.dcache_hit,
+            l2_size=config.l2_size, l2_assoc=config.l2_assoc,
+            l2_hit=config.l2_hit, line_bytes=config.line_bytes,
+            memory_latency=config.memory_latency,
+        )
+
     def instruction_latency(self, pc: int) -> int:
         """Cycles to fetch the line holding instruction ``pc``.
 

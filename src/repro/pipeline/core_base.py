@@ -55,14 +55,7 @@ class OutOfOrderCore(ABC):
         self.config = config
         self.stats = SimStats()
 
-        self.hierarchy = MemoryHierarchy(
-            icache_size=config.icache_size, icache_assoc=config.icache_assoc,
-            dcache_size=config.dcache_size, dcache_assoc=config.dcache_assoc,
-            dcache_hit=config.dcache_hit,
-            l2_size=config.l2_size, l2_assoc=config.l2_assoc,
-            l2_hit=config.l2_hit, line_bytes=config.line_bytes,
-            memory_latency=config.memory_latency,
-        )
+        self.hierarchy = MemoryHierarchy.from_config(config)
         if config.warm_caches:
             self.hierarchy.warm(range(len(program)),
                                 program.memory_line_addrs)
@@ -96,6 +89,51 @@ class OutOfOrderCore(ABC):
         #: PCs of committed instructions, in order (when record_commits).
         self.commit_trace: Optional[List[int]] = (
             [] if config.record_commits else None)
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint seeding and warm-state injection (sampled simulation).
+    # ------------------------------------------------------------------ #
+
+    def seed_architectural_state(self, state) -> None:
+        """Start this (fresh) core from an architectural checkpoint
+        (:class:`~repro.isa.emulator.EmulatorState`) instead of the
+        program entry: PC, committed memory and every logical register
+        take the checkpoint's values. Must be called before the first
+        cycle — the identity rename mappings set up at construction are
+        what make per-logical-register seeding sufficient."""
+        if self.now or self.stats.cycles or self.fetch.fetched:
+            raise RuntimeError("seed_architectural_state requires a "
+                               "fresh core (no cycles simulated yet)")
+        self.fetch.pc = state.pc
+        self.memory = dict(state.memory)
+        for logical, value in enumerate(state.regs):
+            self.seed_register(logical, value)
+        self.on_seeded(state.pc)
+
+    def seed_register(self, logical: int, value) -> None:
+        """Set the initial architectural value of ``logical`` (each
+        machine stores it in its own register organisation)."""
+        raise NotImplementedError
+
+    def on_seeded(self, pc: int) -> None:
+        """Architecture hook after checkpoint seeding (CPR re-anchors
+        its initial checkpoint here)."""
+
+    def install_warm_state(self, predictor=None, btb=None,
+                           hierarchy=None, confidence=None) -> None:
+        """Replace branch predictor / BTB / cache hierarchy with
+        pre-warmed instances (the sampling engine's functional warm-up
+        trains them on the fast-forwarded stream). ``confidence`` is
+        accepted for CPR's estimator and ignored elsewhere."""
+        if predictor is not None:
+            self.predictor = predictor
+            self.fetch.predictor = predictor
+        if btb is not None:
+            self.btb = btb
+            self.fetch.btb = btb
+        if hierarchy is not None:
+            self.hierarchy = hierarchy
+            self.fetch.hierarchy = hierarchy
 
     # ------------------------------------------------------------------ #
     # Top level.

@@ -47,6 +47,20 @@ class SimStats:
         # MSP: logical register -> stall cycles from its bank being full.
         self.bank_stall_cycles: Counter = Counter()
 
+        # Sampled simulation (repro.sim.sampling). A stitched SimStats
+        # extrapolates detailed measurement windows over the whole run:
+        # ``committed``/``cycles`` then describe the *represented* run,
+        # while ``detail_instructions`` counts what was actually
+        # cycle-simulated and ``ff_instructions`` what was functionally
+        # fast-forwarded.
+        self.sampled = False
+        self.sample_intervals = 0
+        self.detail_instructions = 0
+        self.ff_instructions = 0
+        #: Relative 95% confidence half-width of the per-window CPI
+        #: (0.0 when fewer than two windows were measured).
+        self.sampling_error = 0.0
+
     # ------------------------------------------------------------------ #
 
     @property
@@ -101,7 +115,7 @@ class SimStats:
 
     def summary(self) -> Dict[str, float]:
         """Flat dict of the headline numbers, for reports and tests."""
-        return {
+        out = {
             "cycles": self.cycles,
             "committed": self.committed,
             "ipc": self.ipc,
@@ -115,6 +129,14 @@ class SimStats:
             "exceptions_taken": self.exceptions_taken,
             "checkpoints_created": self.checkpoints_created,
         }
+        if self.sampled:
+            out.update({
+                "sample_intervals": self.sample_intervals,
+                "detail_instructions": self.detail_instructions,
+                "ff_instructions": self.ff_instructions,
+                "sampling_error": self.sampling_error,
+            })
+        return out
 
     def __repr__(self) -> str:
         return (f"SimStats(cycles={self.cycles}, committed={self.committed}, "

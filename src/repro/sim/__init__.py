@@ -1,5 +1,5 @@
 """Simulation layer: configuration, runner, statistics, experiments,
-campaign engine, report writers."""
+campaign engine, sampled-simulation engine, report writers."""
 
 from repro.pipeline.stats import SimStats
 from repro.sim.campaign import (
@@ -10,6 +10,8 @@ from repro.sim.campaign import (
 )
 from repro.sim.config import SimConfig
 from repro.sim.runner import build_core, simulate
+from repro.sim.sampling import SamplingParams, simulate_sampled
 
-__all__ = ["CampaignSpec", "Job", "ResultStore", "SimConfig",
-           "SimStats", "build_core", "run_jobs", "simulate"]
+__all__ = ["CampaignSpec", "Job", "ResultStore", "SamplingParams",
+           "SimConfig", "SimStats", "build_core", "run_jobs",
+           "simulate", "simulate_sampled"]

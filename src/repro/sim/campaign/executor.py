@@ -81,8 +81,15 @@ def _alarm_usable() -> bool:
 
 
 def _execute_job(job: Job, timeout: Optional[float]) -> dict:
-    """Worker body: simulate one job, return serialized statistics."""
-    from repro.sim.runner import build_core
+    """Worker body: simulate one job, return serialized statistics.
+
+    Routed through :func:`repro.sim.runner.simulate` so configs with a
+    recorded sampling schedule (``sample_mode != "full"``) run sampled
+    in the worker — sampled cells shard across processes and cache
+    exactly like full-detail ones (their cache keys differ because the
+    sampling fields perturb ``SimConfig.cache_key``).
+    """
+    from repro.sim.runner import simulate
     from repro.workloads import get_program
 
     use_alarm = bool(timeout) and _alarm_usable()
@@ -94,8 +101,8 @@ def _execute_job(job: Job, timeout: Optional[float]) -> dict:
         previous = signal.signal(signal.SIGALRM, _on_alarm)
         signal.alarm(armed)
     try:
-        core = build_core(get_program(job.workload, job.seed), job.config)
-        stats = core.run(max_instructions=job.instructions)
+        stats = simulate(get_program(job.workload, job.seed), job.config,
+                         max_instructions=job.instructions)
         return stats.to_dict()
     finally:
         if use_alarm:

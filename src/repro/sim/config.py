@@ -98,6 +98,27 @@ class SimConfig:
     # paper fast-forwards into 300M-instruction regions).
     warm_caches: bool = True
 
+    # Sampled simulation (repro.sim.sampling). ``sample_mode`` selects
+    # full-detail ("full"), SMARTS-style periodic windows ("periodic":
+    # a `sample_interval`-instruction detailed window at the end of
+    # every `sample_period` committed instructions) or a single
+    # fixed-offset window ("offset": fast-forward `sample_ff`, measure
+    # `sample_interval`). ``sample_warmup`` trains predictor/BTB/caches
+    # from the functional stream during fast-forward (replacing the
+    # all-lines ``warm_caches`` approximation).
+    # ``sample_detail_warmup`` cycle-simulates (but does not measure)
+    # that many instructions at each window's head, so pipeline / store
+    # queue / CPR-checkpoint state reaches steady state first. All six
+    # are ordinary dataclass fields, so they perturb :meth:`cache_key`
+    # — sampled and full-detail results can never collide in the
+    # campaign result cache.
+    sample_mode: str = "full"
+    sample_ff: int = 0
+    sample_interval: int = 1000
+    sample_period: int = 10_000
+    sample_warmup: bool = True
+    sample_detail_warmup: int = 500
+
     # ------------------------------------------------------------------ #
 
     def with_(self, **kwargs) -> "SimConfig":
@@ -130,7 +151,9 @@ class SimConfig:
     def cache_key(self) -> str:
         """Stable content hash of the configuration. ``label_override``
         is presentation-only, so it is excluded: the same machine run
-        under different display labels shares cache entries."""
+        under different display labels shares cache entries. Every
+        other field participates — including the ``sample_*`` schedule,
+        so sampled and full-detail results can never collide."""
         payload = self.to_dict()
         payload.pop("label_override", None)
         blob = json.dumps(payload, sort_keys=True,

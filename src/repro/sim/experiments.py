@@ -24,14 +24,15 @@ from dataclasses import dataclass, field
 from statistics import harmonic_mean
 from typing import Callable, Dict, List, Optional, Sequence
 
+# Budget defaults live in repro.defaults (single source of truth shared
+# with the runner); re-exported here for backwards compatibility.
+from repro.defaults import default_instructions, \
+    default_sample_instructions
 from repro.pipeline.stats import SimStats
 from repro.sim.campaign import CampaignSpec, run_jobs
 from repro.sim.config import SimConfig
+from repro.sim.sampling import SamplingError, SamplingParams
 from repro.workloads import SPECFP, SPECINT, TABLE2_ENTRIES
-
-
-def default_instructions() -> int:
-    return int(os.environ.get("REPRO_INSTRUCTIONS", "3000"))
 
 
 def quick_mode() -> bool:
@@ -95,9 +96,34 @@ def run_grid(name: str, benchmarks: Sequence[str],
              jobs: Optional[int] = None,
              use_cache: Optional[bool] = None,
              cache_dir=None,
-             timeout: Optional[float] = None) -> ExperimentResult:
-    """Run a benchmarks x configs grid through the campaign engine."""
-    budget = instructions or default_instructions()
+             timeout: Optional[float] = None,
+             sampling=None) -> ExperimentResult:
+    """Run a benchmarks x configs grid through the campaign engine.
+
+    ``sampling`` (anything ``SamplingParams.coerce`` accepts) stamps a
+    sampling schedule onto every machine config, switching the whole
+    grid to sampled simulation; the default budget then rises to
+    ``default_sample_instructions()`` (~30x) since fast-forwarding makes
+    far larger represented budgets affordable at equal wall-clock.
+    ``sampling=None`` defers to the ``REPRO_SAMPLE*`` environment, so
+    the knob applies to every harness and benchmark, not just the CLI.
+    (The schedule is stamped here — before jobs are created — so
+    sampled cells carry it in their cache keys; workers themselves
+    never consult the environment.)
+    """
+    params = (SamplingParams.coerce(sampling) if sampling is not None
+              else SamplingParams.from_env())
+    if params is not None:
+        configs = [params.apply(config) for config in configs]
+    budget = instructions or (default_sample_instructions()
+                              if params else default_instructions())
+    if params is not None and params.ff >= budget:
+        # Reject before sharding: a worker failure would surface as a
+        # raw CampaignError instead of a parameter error.
+        raise SamplingError(
+            f"sampling ff={params.ff} consumes the whole "
+            f"{budget}-instruction budget; raise the budget or lower "
+            f"--ff")
     spec = CampaignSpec(name, list(benchmarks), list(configs), budget)
     report = run_jobs(spec.jobs(), workers=jobs, use_cache=use_cache,
                       cache_dir=cache_dir, timeout=timeout,

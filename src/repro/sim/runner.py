@@ -1,4 +1,17 @@
-"""Simulation entry points: build a core for a config and run it."""
+"""Simulation entry points: build a core for a config and run it.
+
+``simulate`` is the one function everything above the core layer calls
+(CLI, campaign executor, tests). It routes to full-detail or sampled
+simulation: a config whose ``sample_mode`` is not ``"full"`` — or an
+explicit ``sampling=`` argument — dispatches to
+:func:`repro.sim.sampling.simulate_sampled`.
+
+The default instruction budget comes from
+:func:`repro.defaults.default_instructions` (``REPRO_INSTRUCTIONS``,
+default 3000) — the same source of truth the experiment harnesses use —
+and from :func:`repro.defaults.default_sample_instructions` for sampled
+runs.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +20,8 @@ from typing import Optional, Union
 from repro.baseline import BaselineProcessor
 from repro.core import MSPProcessor
 from repro.cpr import CPRProcessor
+from repro.defaults import default_instructions, \
+    default_sample_instructions
 from repro.isa.program import Program
 from repro.pipeline.core_base import OutOfOrderCore
 from repro.pipeline.stats import SimStats
@@ -28,13 +43,35 @@ def build_core(program: Program, config: SimConfig) -> OutOfOrderCore:
 
 
 def simulate(program: Union[Program, str], config: SimConfig,
-             max_instructions: int = 50_000,
-             max_cycles: Optional[int] = None) -> SimStats:
+             max_instructions: Optional[int] = None,
+             max_cycles: Optional[int] = None,
+             sampling=None) -> SimStats:
     """Run ``program`` (a Program or a registered workload name) on the
-    machine described by ``config`` and return its statistics."""
+    machine described by ``config`` and return its statistics.
+
+    ``sampling`` accepts anything
+    :meth:`~repro.sim.sampling.SamplingParams.coerce` does (True, a
+    mode string, a dict, or a ``SamplingParams``) and overrides the
+    config's recorded ``sample_*`` schedule; ``None`` defers to the
+    config. ``max_instructions=None`` uses the shared defaults.
+    """
+    from repro.sim.sampling import SamplingError, SamplingParams, \
+        simulate_sampled
     if isinstance(program, str):
         from repro.workloads import get_program
         program = get_program(program)
+    params = (SamplingParams.coerce(sampling) if sampling is not None
+              else SamplingParams.from_config(config))
+    if params is not None:
+        if max_cycles is not None:
+            raise SamplingError(
+                "max_cycles is not supported with sampled simulation "
+                "(windows bound cycles per-interval internally)")
+        config = params.apply(config)
+        budget = (max_instructions if max_instructions is not None
+                  else default_sample_instructions())
+        return simulate_sampled(program, config, budget, params=params)
+    budget = (max_instructions if max_instructions is not None
+              else default_instructions())
     core = build_core(program, config)
-    return core.run(max_instructions=max_instructions,
-                    max_cycles=max_cycles)
+    return core.run(max_instructions=budget, max_cycles=max_cycles)

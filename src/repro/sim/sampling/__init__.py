@@ -1,0 +1,38 @@
+"""Sampled simulation: functional fast-forward, architectural
+checkpoints, history-driven warm-up and stitched statistics.
+
+The paper simulates 300M-instruction SimPoints; a pure-Python
+cycle-level model cannot. This package buys back effective instructions
+the way real simulators do (SMARTS/SimPoint): run the cheap functional
+emulator over most of the program — warming predictors and caches from
+the true history — and cycle-simulate only short measurement windows
+seeded from exact architectural checkpoints, then stitch the window
+statistics into whole-run numbers with an error estimate.
+
+Entry points:
+
+* :func:`simulate_sampled` — run one sampled simulation (usually via
+  ``repro.sim.runner.simulate(..., sampling=...)`` or a config with
+  ``sample_mode != "full"``).
+* :class:`SamplingParams` — the window schedule (mode/ff/interval/
+  period/warmup), convertible to/from ``SimConfig`` fields, CLI flags
+  and ``REPRO_SAMPLE*`` environment variables.
+* :class:`WarmupEngine`, :func:`stitch`, :class:`IntervalResult` — the
+  composable pieces.
+"""
+
+from repro.sim.sampling.engine import simulate_sampled
+from repro.sim.sampling.params import SamplingError, SamplingParams
+from repro.sim.sampling.stitch import IntervalResult, sampling_error, \
+    stitch
+from repro.sim.sampling.warmup import WarmupEngine
+
+__all__ = [
+    "IntervalResult",
+    "SamplingError",
+    "SamplingParams",
+    "WarmupEngine",
+    "sampling_error",
+    "simulate_sampled",
+    "stitch",
+]

@@ -1,0 +1,177 @@
+"""The sampled-simulation engine: fast-forward, checkpoint, measure,
+stitch.
+
+``simulate_sampled`` interleaves the fast architectural emulator with
+short detailed measurement windows:
+
+1. **Fast-forward** — the emulator executes the functional stream at a
+   small fraction of detailed-simulation cost while (optionally) the
+   :class:`~repro.sim.sampling.warmup.WarmupEngine` trains the branch
+   predictor, BTB and cache hierarchy from the exact PC / outcome /
+   address history.
+2. **Checkpoint** — at each window boundary the emulator's exact
+   architectural state (PC, registers, memory) is snapshotted.
+3. **Measure** — a fresh timing core (baseline/CPR/MSP, per the config)
+   is seeded from the checkpoint, handed copies of the warm state, and
+   cycle-simulated for the window's instruction budget.
+4. **Stitch** — per-window statistics are weighted by the span each
+   window represents and combined into whole-run statistics with a
+   sampling-error estimate (:mod:`repro.sim.sampling.stitch`).
+
+Determinism: the emulator and the timing cores commit identical
+instruction streams (the oracle tests' contract), so a seeded window
+measures exactly the region the schedule says it does, and the whole
+procedure is a pure function of (program, config, budget) — which keeps
+campaign cache keys sound for sampled cells.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.defaults import default_sample_instructions
+from repro.isa.emulator import Emulator, EmulatorState
+from repro.pipeline.stats import SimStats
+from repro.sim.sampling.params import SamplingError, SamplingParams
+from repro.sim.sampling.stitch import IntervalResult, stats_delta, stitch
+from repro.sim.sampling.warmup import WarmupEngine
+
+
+def _detail_config(config, warmup: bool):
+    """The per-window core config: ``sample_mode="full"`` (which makes
+    every other ``sample_*`` knob inert — the window itself is
+    full-detail) and the all-lines cache pre-warm dropped whenever
+    history-driven warm state will be injected instead."""
+    return config.with_(
+        sample_mode="full",
+        warm_caches=False if warmup else config.warm_caches)
+
+
+def _run_window(program, detail_config, checkpoint: EmulatorState,
+                warm: Optional[WarmupEngine], measure: int,
+                detail_warmup: int) -> Tuple[SimStats, int, bool]:
+    """Seed a fresh timing core from ``checkpoint`` and measure one
+    window.
+
+    The core first cycle-simulates ``detail_warmup`` unmeasured
+    instructions (pipeline / store queue / CPR checkpoint state reach
+    steady state), then ``measure`` measured ones; the warmup prefix is
+    stripped by snapshot subtraction. Returns
+    (measured stats, detailed-instruction cost, program_halted).
+    """
+    from repro.sim.runner import build_core
+    core = build_core(program, detail_config)
+    core.seed_architectural_state(checkpoint)
+    if warm is not None:
+        warm.install(core)
+    baseline = None
+    if detail_warmup:
+        core.run(max_instructions=detail_warmup)
+        baseline = SimStats.from_dict(core.stats.to_dict())
+    core.run(max_instructions=core.stats.committed + measure)
+    cost = core.stats.committed
+    stats = (stats_delta(core.stats, baseline) if baseline is not None
+             else core.stats)
+    return stats, cost, core.done
+
+
+def simulate_sampled(program, config,
+                     max_instructions: Optional[int] = None,
+                     params: Optional[SamplingParams] = None) -> SimStats:
+    """Run ``program`` on ``config``'s machine with sampled simulation
+    and return stitched whole-run statistics."""
+    params = params or SamplingParams.from_config(config) \
+        or SamplingParams()
+    budget = (max_instructions if max_instructions is not None
+              else default_sample_instructions())
+    if params.ff >= budget:
+        raise SamplingError(
+            f"sampling ff={params.ff} consumes the whole "
+            f"{budget}-instruction budget; raise -n/--instructions or "
+            f"lower --ff")
+    detail_config = _detail_config(config, params.warmup)
+
+    emulator = Emulator(program)
+    warm = WarmupEngine(config, program) if params.warmup else None
+    if warm is not None:
+        emulator.observer = warm
+
+    windows = []
+    pos = 0
+    ended = False
+
+    if params.ff:
+        result = emulator.run(max_instructions=params.ff)
+        pos += result.retired
+        ended = result.terminated
+
+    if params.mode == "offset":
+        if not ended and pos < budget:
+            remaining = budget - pos
+            warmup_n = min(params.detail_warmup, max(0, remaining - 1))
+            measure = min(params.interval, remaining - warmup_n)
+            stats, cost, _ = _run_window(
+                program, detail_config, emulator.snapshot(), warm,
+                measure, warmup_n)
+            if stats.committed:
+                # Walk the functional stream over the represented span:
+                # a program that ends before the budget must shrink the
+                # window's weight to the instructions that exist. No
+                # further window will run, so stop paying for warm-up.
+                emulator.observer = None
+                result = emulator.run(max_instructions=remaining)
+                represents = (result.retired if result.terminated
+                              else remaining)
+                windows.append(IntervalResult(pos, represents, stats,
+                                              detail_cost=cost))
+    else:
+        while not ended and pos < budget:
+            period_end = min(pos + params.period, budget)
+            span = period_end - pos
+            # The detailed segment (warmup prefix + measured window)
+            # sits at the end of the period so the functional gap in
+            # front of it provides warm-up history; short tail periods
+            # shrink the warmup prefix before the measured window.
+            segment = min(params.detail_warmup + params.interval, span)
+            warmup_n = max(0, segment - params.interval)
+            measure = segment - warmup_n
+            gap = span - segment
+            if gap:
+                result = emulator.run(max_instructions=gap)
+                pos += result.retired
+                if result.terminated:
+                    break
+            stats, cost, halted = _run_window(
+                program, detail_config, emulator.snapshot(), warm,
+                measure, warmup_n)
+            if stats.committed == 0:
+                break
+            # Walk the functional stream through the detailed segment
+            # so warm-up stays continuous and position stays exact.
+            result = emulator.run(max_instructions=segment)
+            represents = gap + (result.retired if result.terminated
+                                else segment)
+            windows.append(IntervalResult(pos, represents, stats,
+                                          detail_cost=cost))
+            pos += result.retired
+            if halted or result.terminated:
+                break
+
+    if not windows:
+        # The program ended before any window could be measured (or the
+        # budget was smaller than the schedule): fall back to a single
+        # full-detail run of the whole budget — exact, just unsampled.
+        from repro.sim.runner import build_core
+        fallback = config.with_(
+            sample_mode="full", warm_caches=config.warm_caches)
+        stats = build_core(program, fallback).run(
+            max_instructions=budget)
+        stats.sampled = True
+        stats.detail_instructions = stats.committed
+        return stats
+
+    out = stitch(windows, ff_instructions=emulator.retired_total)
+    return out
+
+
+__all__ = ["simulate_sampled"]

@@ -1,0 +1,199 @@
+"""Sampling parameters: how a run is split into fast-forward and
+detailed measurement windows.
+
+Two window schedules are supported (both SMARTS/SimPoint lineage):
+
+* ``periodic`` — the run is divided into back-to-back periods of
+  ``period`` committed instructions; the *last* ``interval``
+  instructions of each period are simulated in detail (so every window
+  has ``period - interval`` instructions of functional warm-up history
+  behind it), and the window's statistics represent the whole period.
+* ``offset`` — fast-forward ``ff`` instructions once, then simulate a
+  single ``interval``-instruction window that represents the rest of
+  the budget (the classic fast-forward-then-measure scheme).
+
+``ff`` also applies to ``periodic`` as an initial skip before the first
+period. ``warmup`` controls whether the functional stream trains the
+branch predictor, BTB and cache hierarchy during fast-forward.
+``detail_warmup`` prepends that many *detailed* (cycle-simulated but
+unmeasured) instructions to every window: the pipeline, store queue and
+— critically for CPR — the live checkpoint set reach steady state
+before measurement begins, which removes the cold-window bias that
+short windows otherwise give imprecise-recovery machines.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.defaults import env_int
+
+MODES = ("periodic", "offset")
+
+#: ``REPRO_SAMPLE`` spellings that enable / disable sampling; anything
+#: else is rejected rather than silently interpreted.
+_TRUTHY = ("1", "true", "yes", "on")
+_FALSY = ("", "0", "false", "no", "off", "full")
+
+
+class SamplingError(ValueError):
+    """An invalid sampling schedule (flags, env, or config fields).
+
+    A dedicated subtype so the CLI's "bad sampling parameters" handler
+    cannot accidentally swallow an internal simulator ``ValueError``
+    raised mid-run and mislabel it as a user input error."""
+
+
+@dataclass(frozen=True)
+class SamplingParams:
+    """Complete description of one sampling schedule."""
+
+    mode: str = "periodic"
+    ff: int = 0
+    interval: int = 1000
+    period: int = 10_000
+    warmup: bool = True
+    detail_warmup: int = 500
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise SamplingError(f"unknown sampling mode {self.mode!r}; "
+                                f"choose from {MODES}")
+        if self.ff < 0:
+            raise SamplingError("sampling ff must be >= 0")
+        if self.interval < 1:
+            raise SamplingError("sampling interval must be >= 1")
+        if self.detail_warmup < 0:
+            raise SamplingError("sampling detail_warmup must be >= 0")
+        if self.mode == "periodic" and self.period < self.interval:
+            raise SamplingError("sampling period must be >= interval")
+
+    # ------------------------------------------------------------------ #
+    # SimConfig round-trip: the sampling schedule lives in the config so
+    # it feeds ``SimConfig.cache_key`` and ships with campaign jobs.
+    # ------------------------------------------------------------------ #
+
+    def apply(self, config):
+        """Copy ``config`` with this schedule recorded in its
+        ``sample_*`` fields (perturbing its cache key)."""
+        return config.with_(sample_mode=self.mode, sample_ff=self.ff,
+                            sample_interval=self.interval,
+                            sample_period=self.period,
+                            sample_warmup=self.warmup,
+                            sample_detail_warmup=self.detail_warmup)
+
+    @classmethod
+    def from_config(cls, config) -> Optional["SamplingParams"]:
+        """The schedule recorded in ``config``, or None for full
+        detail."""
+        if config.sample_mode == "full":
+            return None
+        return cls(mode=config.sample_mode, ff=config.sample_ff,
+                   interval=config.sample_interval,
+                   period=config.sample_period,
+                   warmup=config.sample_warmup,
+                   detail_warmup=config.sample_detail_warmup)
+
+    # ------------------------------------------------------------------ #
+    # Environment / CLI construction.
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_env(cls, assume_enabled: bool = False
+                 ) -> Optional["SamplingParams"]:
+        """Schedule from ``REPRO_SAMPLE`` (+ ``REPRO_SAMPLE_FF`` /
+        ``_INTERVAL`` / ``_PERIOD`` / ``_WARMUP`` /
+        ``_DETAIL_WARMUP``), or None when ``REPRO_SAMPLE`` is
+        unset/falsy. ``assume_enabled`` parses the knob variables even
+        then (for CLI flags that enable sampling themselves — the
+        knobs must not be silent no-ops just because ``REPRO_SAMPLE``
+        is unset). Unrecognised spellings raise rather than silently
+        switching every simulation to sampled mode."""
+        raw = os.environ.get("REPRO_SAMPLE", "").lower()
+        if raw in _FALSY:
+            if not assume_enabled:
+                return None
+            mode = "periodic"
+        elif raw in MODES:
+            mode = raw
+        elif raw in _TRUTHY:
+            mode = "periodic"
+        else:
+            raise SamplingError(
+                f"unrecognised REPRO_SAMPLE value {raw!r}; use one of "
+                f"{_TRUTHY + MODES} (or {_FALSY[1:]} to disable)")
+        raw_warmup = os.environ.get("REPRO_SAMPLE_WARMUP", "1").lower()
+        if raw_warmup in _TRUTHY:
+            warmup = True
+        elif raw_warmup in _FALSY[:-1]:        # "full" makes no sense
+            warmup = False
+        else:
+            raise SamplingError(
+                f"unrecognised REPRO_SAMPLE_WARMUP value "
+                f"{raw_warmup!r}; use one of {_TRUTHY} or "
+                f"{_FALSY[1:-1]}")
+        base = cls()
+        return cls(mode=mode, ff=env_int("REPRO_SAMPLE_FF", base.ff),
+                   interval=env_int("REPRO_SAMPLE_INTERVAL",
+                                    base.interval),
+                   period=env_int("REPRO_SAMPLE_PERIOD", base.period),
+                   warmup=warmup,
+                   detail_warmup=env_int("REPRO_SAMPLE_DETAIL_WARMUP",
+                                         base.detail_warmup))
+
+    @classmethod
+    def from_cli(cls, sample: bool = False, ff: Optional[int] = None,
+                 interval: Optional[int] = None,
+                 period: Optional[int] = None
+                 ) -> Optional["SamplingParams"]:
+        """Combine ``--sample/--ff/--interval/--period`` flags with the
+        ``REPRO_SAMPLE*`` environment. Any flag enables sampling.
+        ``--sample`` always selects periodic windows; ``--ff`` selects
+        the single fixed-offset window only when it is the flag that
+        *enables* sampling — when the environment already configured a
+        schedule, ``--ff`` just overrides the initial skip."""
+        base = cls.from_env()
+        if not (sample or ff is not None or interval is not None
+                or period is not None):
+            return base
+        if base is None:
+            # Sampling enabled by flags alone: the REPRO_SAMPLE_* knob
+            # variables still apply (they only lack the on-switch).
+            base = cls.from_env(assume_enabled=True)
+            if not sample and ff is not None and period is None:
+                # --ff alone means one fixed-offset window; --period
+                # only exists for periodic mode, so its presence keeps
+                # the schedule periodic (with --ff as initial skip).
+                base = replace(base, mode="offset")
+        overrides = {}
+        if sample:
+            overrides["mode"] = "periodic"
+        if ff is not None:
+            overrides["ff"] = ff
+        if interval is not None:
+            overrides["interval"] = interval
+        if period is not None:
+            overrides["period"] = period
+        return replace(base, **overrides)
+
+    @classmethod
+    def coerce(cls, value) -> Optional["SamplingParams"]:
+        """Normalise the ``sampling=`` argument accepted by the runner
+        and harnesses: None/False -> None, True -> defaults, a mode
+        string, a dict of fields, or an existing instance."""
+        if value is None or value is False:
+            return None
+        if value is True:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls(mode=value)
+        if isinstance(value, dict):
+            return cls(**value)
+        raise TypeError(f"cannot interpret sampling={value!r}")
+
+
+__all__ = ["MODES", "SamplingError", "SamplingParams"]

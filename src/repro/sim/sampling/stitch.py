@@ -1,0 +1,143 @@
+"""Stitch per-window statistics into whole-run statistics.
+
+Each measurement window simulated ``measured`` committed instructions
+in detail but *represents* a longer span of the run (its whole sampling
+period). Stitching extrapolates every counter by the window's weight
+``represents / measured`` and sums across windows — the standard
+instruction-weighted-CPI estimator of sampled simulation:
+
+    cycles_est = sum_i represents_i * (cycles_i / measured_i)
+    IPC_est    = sum_i represents_i / cycles_est
+
+A relative sampling-error estimate accompanies the result: the 95%
+confidence half-width of the weighted mean CPI, from the between-window
+variance of per-window CPI (0 when fewer than two windows exist). The
+acceptance benchmarks cross-check this estimate against full-detail
+runs on small budgets.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import List
+
+from repro.pipeline.stats import SimStats
+
+#: Plain integer counters extrapolated by each window's weight.
+_SCALED_COUNTERS = (
+    "fetched", "dispatched", "issued", "wrong_path_executed",
+    "correct_path_reexecuted", "branches", "branch_mispredictions",
+    "recoveries", "exceptions_taken", "squashed", "checkpoints_created",
+)
+
+
+def stats_delta(after: SimStats, before: SimStats) -> SimStats:
+    """Counter-wise ``after - before``: the statistics of the span
+    simulated between two snapshots of the same core (used to strip a
+    window's detailed-warmup prefix from its measurement)."""
+    out = SimStats()
+    for key, value in vars(after).items():
+        base = getattr(before, key, 0)
+        if isinstance(value, Counter):
+            delta = Counter(value)
+            delta.subtract(base)
+            setattr(out, key, +delta)       # drop zero/negative entries
+        elif isinstance(value, (int, float)) and not isinstance(value,
+                                                                bool):
+            setattr(out, key, value - base)
+    return out
+
+
+@dataclass
+class IntervalResult:
+    """One detailed measurement window."""
+
+    start: int          # committed-instruction position of window start
+    represents: int     # span of the run this window stands for
+    stats: SimStats     # measured statistics (detail-warmup stripped)
+    detail_cost: int = 0   # committed incl. warmup prefix (cost basis)
+
+    def __post_init__(self) -> None:
+        if not self.detail_cost:
+            self.detail_cost = self.stats.committed
+
+    @property
+    def measured(self) -> int:
+        return self.stats.committed
+
+    @property
+    def weight(self) -> float:
+        return self.represents / self.measured if self.measured else 0.0
+
+    @property
+    def cpi(self) -> float:
+        return (self.stats.cycles / self.stats.committed
+                if self.stats.committed else 0.0)
+
+
+def sampling_error(windows: List[IntervalResult]) -> float:
+    """Relative 95% confidence half-width of the weighted mean CPI.
+
+    Weighted by each window's represented span — the same weights the
+    stitched IPC uses — with Bessel's correction via the effective
+    sample size ``(sum w)^2 / sum w^2`` (reduces to the classic
+    unweighted standard error when every window represents an equal
+    span; a truncated tail window correspondingly counts for less).
+    """
+    live = [w for w in windows if w.measured]
+    if len(live) < 2:
+        return 0.0
+    total = sum(w.represents for w in live)
+    if not total:
+        return 0.0
+    weights = [w.represents / total for w in live]
+    mean = sum(weight * w.cpi for weight, w in zip(weights, live))
+    if mean == 0.0:
+        return 0.0
+    sum_sq = sum(weight * weight for weight in weights)
+    n_eff = 1.0 / sum_sq
+    if n_eff <= 1.0:
+        return 0.0
+    variance = (sum(weight * (w.cpi - mean) ** 2
+                    for weight, w in zip(weights, live))
+                * n_eff / (n_eff - 1.0))
+    stderr = math.sqrt(variance / n_eff)
+    return 1.96 * stderr / mean
+
+
+def stitch(windows: List[IntervalResult],
+           ff_instructions: int = 0) -> SimStats:
+    """Combine measurement windows into one whole-run ``SimStats``."""
+    out = SimStats()
+    out.sampled = True
+    out.ff_instructions = ff_instructions
+    live = [w for w in windows if w.measured]
+    out.sample_intervals = len(live)
+    if not live:
+        return out
+
+    cycles = 0.0
+    scaled = {name: 0.0 for name in _SCALED_COUNTERS}
+    for window in live:
+        weight = window.weight
+        stats = window.stats
+        out.committed += window.represents
+        out.detail_instructions += window.detail_cost
+        cycles += stats.cycles * weight
+        for name in _SCALED_COUNTERS:
+            scaled[name] += getattr(stats, name) * weight
+        for cause, stall in stats.dispatch_stall_cycles.items():
+            out.dispatch_stall_cycles[cause] += round(stall * weight)
+        for reg, stall in stats.bank_stall_cycles.items():
+            out.bank_stall_cycles[reg] += round(stall * weight)
+
+    out.cycles = max(1, round(cycles))
+    for name, value in scaled.items():
+        setattr(out, name, round(value))
+    out.sampling_error = sampling_error(live)
+    return out
+
+
+__all__ = ["IntervalResult", "sampling_error", "stats_delta", "stitch"]

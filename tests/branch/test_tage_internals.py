@@ -25,8 +25,8 @@ def test_allocation_on_misprediction():
     prediction = predictor.predict(pc)
     assert prediction.taken
     predictor.update(prediction, False)
-    allocated = sum(1 for table in predictor.tables
-                    for entry in table if entry.tag)
+    allocated = sum(1 for table in predictor.tag_table
+                    for tag in table if tag)
     assert allocated >= 1
 
 
@@ -49,12 +49,29 @@ def test_provider_overrides_base_after_training():
 
 def test_useful_counter_decay():
     predictor = TagePredictor(useful_reset_period=8)
-    entry = predictor.tables[0][0]
-    entry.useful = 3
+    predictor.useful_table[0][0] = 3
     for i in range(8):
         prediction = predictor.predict(i * 64)
         predictor.update(prediction, True)
-    assert entry.useful <= 2
+    assert predictor.useful_table[0][0] <= 2
+
+
+def test_clone_is_independent_and_identical():
+    predictor = TagePredictor(table_bits=6, tag_bits=6)
+    for i in range(300):
+        prediction = predictor.predict(i % 11)
+        predictor.update(prediction, (i * 2654435761) % 3 == 0)
+    twin = predictor.clone()
+    assert twin.ctr_table == predictor.ctr_table
+    assert twin.ghr == predictor.ghr
+    # Identical futures from identical state...
+    assert twin.predict(5).taken == predictor.predict(5).taken
+    # ...and training the clone must not touch the original.
+    before = [table[:] for table in predictor.ctr_table]
+    for i in range(300):
+        prediction = twin.predict(i % 11)
+        twin.update(prediction, i % 2 == 0)
+    assert predictor.ctr_table == before
 
 
 def test_use_alt_counter_bounded():

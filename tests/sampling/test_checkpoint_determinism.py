@@ -1,0 +1,93 @@
+"""Checkpoint determinism: snapshot -> restore -> resume must commit an
+instruction stream identical to a straight-through run, both on the
+emulator itself and on every timing core seeded from a checkpoint
+(cross-checked against the same oracle contract the integration tests
+enforce from the program entry).
+"""
+
+import pytest
+
+from repro.isa import Emulator
+from repro.sim import SimConfig, build_core
+from repro.workloads import get_program
+
+CONFIGS = [
+    pytest.param(SimConfig.baseline(), id="baseline"),
+    pytest.param(SimConfig.cpr(), id="cpr"),
+    pytest.param(SimConfig.msp(8), id="msp8"),
+    pytest.param(SimConfig.msp(16), id="msp16"),
+    pytest.param(SimConfig.msp_ideal(), id="msp-ideal"),
+]
+
+WORKLOADS = ["gzip", "mcf", "perlbmk", "vortex", "swim"]
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_emulator_snapshot_restore_resume_identical(workload):
+    program = get_program(workload)
+
+    straight = Emulator(program, trace_pcs=True)
+    reference = straight.run(max_instructions=2000)
+
+    resumed = Emulator(program, trace_pcs=True)
+    resumed.run(max_instructions=800)
+    state = resumed.snapshot()
+    assert state.retired == 800
+
+    fresh = Emulator(program, trace_pcs=True)
+    fresh.restore(state)
+    tail = fresh.run(max_instructions=1200)
+
+    assert tail.retired == 1200
+    assert tail.pc_trace == reference.pc_trace[800:]
+    assert fresh.regs == straight.regs
+    assert fresh.memory == straight.memory
+
+
+def test_snapshot_is_isolated_from_further_execution():
+    program = get_program("gzip")
+    emulator = Emulator(program)
+    emulator.run(max_instructions=500)
+    state = emulator.snapshot()
+    frozen_regs = list(state.regs)
+    frozen_mem = dict(state.memory)
+    emulator.run(max_instructions=500)      # keep running past the
+    assert state.regs == frozen_regs        # snapshot: it must not move
+    assert state.memory == frozen_mem
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+@pytest.mark.parametrize("workload", ["gzip", "mcf", "vortex"])
+def test_seeded_core_matches_oracle_from_checkpoint(workload, config):
+    """A timing core seeded from an architectural checkpoint commits
+    exactly the emulator's instruction stream from that point."""
+    program = get_program(workload)
+    emulator = Emulator(program)
+    emulator.run(max_instructions=700)
+    state = emulator.snapshot()
+
+    core = build_core(program, config.with_(record_commits=True,
+                                            warm_caches=False))
+    core.seed_architectural_state(state)
+    stats = core.run(max_instructions=600)
+    assert stats.committed >= 600
+
+    oracle = Emulator(program, trace_pcs=True)
+    oracle.restore(state)
+    reference = oracle.run(max_instructions=stats.committed)
+    assert core.commit_trace == reference.pc_trace
+
+    touched = set(core.memory) | set(oracle.memory)
+    for addr in touched:
+        assert core.memory.get(addr, 0) == oracle.memory.get(addr, 0), \
+            f"memory divergence at {addr}"
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_seed_requires_fresh_core(config):
+    program = get_program("gzip")
+    state = Emulator(program).snapshot()
+    core = build_core(program, config)
+    core.run(max_instructions=50)
+    with pytest.raises(RuntimeError):
+        core.seed_architectural_state(state)

@@ -1,0 +1,73 @@
+"""CLI coverage for the sampling flags on run/compare/experiment/
+campaign run."""
+
+from repro.cli import main
+
+
+def test_run_with_sample_flag(capsys):
+    assert main(["run", "gzip", "--arch", "baseline", "--sample",
+                 "-n", "12000"]) == 0
+    out = capsys.readouterr().out
+    assert "sampled periodic" in out
+    assert "sample_intervals" in out
+    assert "detail_instructions" in out
+
+
+def test_run_with_ff_is_offset_mode(capsys):
+    assert main(["run", "gzip", "--arch", "cpr", "--ff", "3000",
+                 "--interval", "800", "-n", "9000"]) == 0
+    out = capsys.readouterr().out
+    assert "sampled offset" in out
+    assert "sample_intervals         1" in out
+
+
+def test_compare_with_sampling(capsys):
+    assert main(["compare", "gzip", "--sample", "--interval", "300",
+                 "--period", "1500", "-n", "6000"]) == 0
+    out = capsys.readouterr().out
+    for label in ("Baseline", "CPR-192", "ideal-MSP"):
+        assert label in out
+
+
+def test_experiment_with_sampling(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCHSET", "quick")
+    assert main(["experiment", "figure6", "-n", "4000", "--sample",
+                 "--interval", "300", "--period", "2000",
+                 "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 6" in out and "hmean" in out
+
+
+def test_bad_sampling_params_one_line_error(capsys):
+    import pytest
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "gzip", "--sample", "--interval", "500",
+              "--period", "100", "-n", "2000"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "bad sampling parameters" in err and "Traceback" not in err
+
+
+def test_campaign_run_with_sampling(tmp_path, capsys):
+    assert main(["campaign", "run", "--workloads", "gzip",
+                 "--machines", "baseline,msp:16", "-n", "5000",
+                 "--sample", "--interval", "300", "--period", "1000",
+                 "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "gzip" in out and "16-SP+Arb" in out
+
+
+def test_sampled_and_full_results_do_not_collide(tmp_path, capsys):
+    """Same grid with and without --sample: the second run must not be
+    served from the first run's cache entries."""
+    base = ["campaign", "run", "--workloads", "gzip",
+            "--machines", "baseline", "-n", "4000",
+            "--cache-dir", str(tmp_path), "-v"]
+    assert main(base + ["--sample", "--interval", "300",
+                        "--period", "1000"]) == 0
+    err_sampled = capsys.readouterr().err
+    assert "simulated" not in err_sampled or "1 hit" not in err_sampled
+    assert main(base) == 0
+    err_full = capsys.readouterr().err
+    # The full-detail run found no reusable (sampled) entry.
+    assert "[1/1]" in err_full

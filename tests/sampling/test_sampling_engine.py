@@ -1,0 +1,411 @@
+"""The sampled-simulation engine: schedules, warm-up, stitching,
+accuracy against full detail, and campaign-cache identity."""
+
+import pytest
+
+from repro.defaults import default_instructions, \
+    default_sample_instructions
+from repro.pipeline.stats import SimStats
+from repro.sim import SimConfig, simulate
+from repro.sim.campaign import Job, run_jobs
+from repro.sim.sampling import (
+    IntervalResult,
+    SamplingParams,
+    WarmupEngine,
+    sampling_error,
+    stitch,
+)
+from repro.sim.sampling.stitch import stats_delta
+from repro.workloads import get_program
+
+
+# --------------------------------------------------------------------- #
+# SamplingParams.
+# --------------------------------------------------------------------- #
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        SamplingParams(mode="bogus")
+    with pytest.raises(ValueError):
+        SamplingParams(ff=-1)
+    with pytest.raises(ValueError):
+        SamplingParams(interval=0)
+    with pytest.raises(ValueError):
+        SamplingParams(interval=100, period=50)
+    with pytest.raises(ValueError):
+        SamplingParams(detail_warmup=-5)
+
+
+def test_params_coerce_forms():
+    assert SamplingParams.coerce(None) is None
+    assert SamplingParams.coerce(False) is None
+    assert SamplingParams.coerce(True) == SamplingParams()
+    assert SamplingParams.coerce("offset").mode == "offset"
+    assert SamplingParams.coerce({"interval": 50,
+                                  "period": 100}).interval == 50
+    params = SamplingParams(ff=7)
+    assert SamplingParams.coerce(params) is params
+    with pytest.raises(TypeError):
+        SamplingParams.coerce(3.14)
+
+
+def test_params_config_roundtrip():
+    params = SamplingParams(mode="offset", ff=123, interval=77,
+                            period=999, warmup=False, detail_warmup=11)
+    config = params.apply(SimConfig.msp(16))
+    assert config.sample_mode == "offset"
+    assert SamplingParams.from_config(config) == params
+    assert SamplingParams.from_config(SimConfig.msp(16)) is None
+
+
+def test_params_from_env(monkeypatch):
+    monkeypatch.delenv("REPRO_SAMPLE", raising=False)
+    assert SamplingParams.from_env() is None
+    monkeypatch.setenv("REPRO_SAMPLE", "1")
+    monkeypatch.setenv("REPRO_SAMPLE_FF", "42")
+    monkeypatch.setenv("REPRO_SAMPLE_INTERVAL", "100")
+    monkeypatch.setenv("REPRO_SAMPLE_PERIOD", "400")
+    params = SamplingParams.from_env()
+    assert params == SamplingParams(mode="periodic", ff=42,
+                                    interval=100, period=400)
+    monkeypatch.setenv("REPRO_SAMPLE", "offset")
+    assert SamplingParams.from_env().mode == "offset"
+
+
+def test_params_from_env_rejects_garbage(monkeypatch):
+    monkeypatch.setenv("REPRO_SAMPLE", "flase")   # typo must not
+    with pytest.raises(ValueError):               # silently enable
+        SamplingParams.from_env()
+
+
+def test_ff_must_leave_room_in_budget():
+    params = SamplingParams(mode="offset", ff=50_000)
+    with pytest.raises(ValueError):
+        simulate("gzip", SimConfig.baseline(), max_instructions=10_000,
+                 sampling=params)
+
+
+def test_max_cycles_rejected_with_sampling():
+    with pytest.raises(ValueError):
+        simulate("gzip", SimConfig.baseline(), max_instructions=10_000,
+                 max_cycles=500, sampling=True)
+
+
+def test_params_from_cli(monkeypatch):
+    monkeypatch.delenv("REPRO_SAMPLE", raising=False)
+    assert SamplingParams.from_cli() is None
+    assert SamplingParams.from_cli(sample=True).mode == "periodic"
+    offset = SamplingParams.from_cli(ff=5000)
+    assert offset.mode == "offset" and offset.ff == 5000
+    both = SamplingParams.from_cli(sample=True, ff=5000, interval=200)
+    assert both.mode == "periodic" and both.ff == 5000
+    assert both.interval == 200
+    assert SamplingParams.from_cli(period=2000).period == 2000
+    # With a schedule already configured by the environment, --ff only
+    # overrides the initial skip — it must not flip the mode.
+    monkeypatch.setenv("REPRO_SAMPLE", "periodic")
+    env_ff = SamplingParams.from_cli(ff=5000)
+    assert env_ff.mode == "periodic" and env_ff.ff == 5000
+
+
+def test_env_knobs_apply_when_flags_enable_sampling(monkeypatch):
+    """REPRO_SAMPLE_* knobs must not be silent no-ops just because the
+    on-switch came from --sample instead of REPRO_SAMPLE."""
+    monkeypatch.delenv("REPRO_SAMPLE", raising=False)
+    monkeypatch.setenv("REPRO_SAMPLE_DETAIL_WARMUP", "0")
+    monkeypatch.setenv("REPRO_SAMPLE_PERIOD", "7000")
+    params = SamplingParams.from_cli(sample=True)
+    assert params.detail_warmup == 0 and params.period == 7000
+    offset = SamplingParams.from_cli(ff=100)
+    assert offset.mode == "offset" and offset.detail_warmup == 0
+    # --period implies periodic windows even alongside --ff.
+    periodic = SamplingParams.from_cli(ff=100, period=9000)
+    assert periodic.mode == "periodic" and periodic.period == 9000
+    monkeypatch.setenv("REPRO_SAMPLE_WARMUP", "flase")
+    with pytest.raises(ValueError):
+        SamplingParams.from_cli(sample=True)
+
+
+# --------------------------------------------------------------------- #
+# Stitching arithmetic.
+# --------------------------------------------------------------------- #
+
+def _window(committed, cycles, represents, branches=0):
+    stats = SimStats()
+    stats.committed = committed
+    stats.cycles = cycles
+    stats.branches = branches
+    return IntervalResult(0, represents, stats)
+
+
+def test_stitch_weighted_cpi():
+    # Two windows at CPI 2.0 and 1.0, each representing 1000 insts:
+    # 1000*2 + 1000*1 = 3000 cycles over 2000 instructions.
+    out = stitch([_window(100, 200, 1000, branches=10),
+                  _window(100, 100, 1000, branches=30)])
+    assert out.sampled and out.sample_intervals == 2
+    assert out.committed == 2000
+    assert out.cycles == 3000
+    assert out.ipc == pytest.approx(2000 / 3000)
+    assert out.branches == 400          # (10 + 30) scaled by 10x
+    assert out.detail_instructions == 200
+
+
+def test_stitch_empty_and_error_estimate():
+    empty = stitch([])
+    assert empty.sampled and empty.sample_intervals == 0
+    assert sampling_error([_window(100, 150, 100)]) == 0.0
+    # Identical windows: zero between-window variance.
+    assert sampling_error([_window(100, 150, 100)] * 3) == 0.0
+    spread = sampling_error([_window(100, 100, 100),
+                             _window(100, 300, 100)])
+    assert spread > 0.0
+    # Represents-weighted: unequal spans shrink the effective sample
+    # size toward 1, so the confidence interval widens relative to the
+    # equal-weight case even though the small window counts for less
+    # in the mean.
+    downweighted = sampling_error([_window(100, 100, 100),
+                                   _window(100, 300, 10)])
+    assert downweighted > spread
+
+
+def test_stats_delta_strips_prefix():
+    before, after = SimStats(), SimStats()
+    before.cycles, after.cycles = 100, 300
+    before.committed, after.committed = 50, 200
+    before.dispatch_stall_cycles["iq_full"] = 5
+    after.dispatch_stall_cycles["iq_full"] = 12
+    delta = stats_delta(after, before)
+    assert delta.cycles == 200
+    assert delta.committed == 150
+    assert delta.dispatch_stall_cycles == {"iq_full": 7}
+
+
+# --------------------------------------------------------------------- #
+# Engine behaviour.
+# --------------------------------------------------------------------- #
+
+def test_sampled_run_reports_sampling_fields():
+    stats = simulate("gzip", SimConfig.baseline(),
+                     max_instructions=25_000, sampling=True)
+    assert stats.sampled
+    assert stats.sample_intervals >= 2
+    assert stats.committed == 25_000
+    assert 0 < stats.detail_instructions < 25_000 // 4
+    assert stats.ff_instructions >= 25_000
+
+
+def test_offset_mode_single_window():
+    params = SamplingParams(mode="offset", ff=5000, interval=1000)
+    stats = simulate("gzip", SimConfig.baseline(),
+                     max_instructions=20_000, sampling=params)
+    assert stats.sampled and stats.sample_intervals == 1
+    # The window represents everything after the fast-forward.
+    assert stats.committed == 15_000
+
+
+def test_offset_mode_clamps_to_program_end():
+    """An offset window must represent only the instructions that
+    exist: a program that halts before the budget cannot be
+    extrapolated over the whole remaining budget."""
+    from repro.isa import Emulator, ProgramBuilder, int_reg
+    b = ProgramBuilder("bounded")
+    r_i, r_n = int_reg(1), int_reg(2)
+    b.li(r_i, 0)
+    b.li(r_n, 2000)
+    b.label("loop")
+    b.addi(r_i, r_i, 1)
+    b.blt(r_i, r_n, "loop")
+    b.halt()
+    program = b.build()
+    total = Emulator(program).run(max_instructions=100_000).retired
+
+    params = SamplingParams(mode="offset", ff=1000, interval=500,
+                            detail_warmup=0)
+    stats = simulate(program, SimConfig.baseline(warm_caches=False),
+                     max_instructions=80_000, sampling=params)
+    assert stats.sampled and stats.sample_intervals == 1
+    # Represented span = program end - fast-forward, not budget - ff.
+    assert abs(stats.committed - (total - 1000)) <= 2
+    assert stats.committed < 10_000
+
+
+def test_sampling_via_config_fields():
+    config = SamplingParams(interval=500,
+                            period=2000).apply(SimConfig.baseline())
+    stats = simulate("gzip", config, max_instructions=10_000)
+    assert stats.sampled and stats.sample_intervals == 5
+
+
+def test_halting_program_falls_back(halting_program):
+    """A program that ends before the first window still yields exact
+    (full-detail) statistics."""
+    stats = simulate(halting_program, SimConfig.baseline(),
+                     max_instructions=10_000, sampling=True)
+    assert stats.sampled
+    assert stats.sample_intervals == 0
+    assert stats.committed == 6        # the whole program, HALT included
+
+
+def test_sampled_matches_full_detail_ipc():
+    """Acceptance: sampled IPC within 5% of full detail while
+    cycle-simulating >= 5x fewer instructions (budget-scaled-down
+    version of the 100k quick-grid check; see EXPERIMENTS.md for the
+    full calibration)."""
+    budget = 30_000
+    diffs = []
+    for config in (SimConfig.baseline(predictor="tage"),
+                   SimConfig.cpr(predictor="tage"),
+                   SimConfig.msp(16, predictor="tage")):
+        full = simulate("gzip", config, max_instructions=budget)
+        samp = simulate("gzip", config, max_instructions=budget,
+                        sampling=True)
+        assert samp.detail_instructions * 5 <= budget
+        diffs.append(abs(samp.ipc - full.ipc) / full.ipc)
+    assert max(diffs) < 0.05
+
+
+def test_warmup_engine_trains_structures():
+    program = get_program("gzip")
+    config = SimConfig.baseline(predictor="tage")
+    from repro.isa import Emulator
+    emulator = Emulator(program)
+    warm = WarmupEngine(config, program)
+    emulator.observer = warm
+    emulator.run(max_instructions=3000)
+    assert warm.instructions == 3000
+    assert warm.predictor.predictions > 0
+    # History-driven accuracy on a loopy workload beats coin flips.
+    assert warm.predictor.accuracy > 0.7
+    assert warm.hierarchy.icache.accesses > 0
+
+
+def test_warm_install_gives_private_copies():
+    program = get_program("gzip")
+    config = SimConfig.baseline()
+    from repro.isa import Emulator
+    from repro.sim.runner import build_core
+    emulator = Emulator(program)
+    warm = WarmupEngine(config, program)
+    emulator.observer = warm
+    emulator.run(max_instructions=1000)
+    golden = warm.predictor.get_history()
+    core = build_core(program, config.with_(warm_caches=False))
+    core.seed_architectural_state(emulator.snapshot())
+    warm.install(core)
+    assert core.predictor is not warm.predictor
+    assert core.fetch.predictor is core.predictor
+    core.run(max_instructions=500)
+    assert warm.predictor.get_history() == golden
+
+
+# --------------------------------------------------------------------- #
+# Identity: sampled cells can never collide with full-detail cells.
+# --------------------------------------------------------------------- #
+
+def test_sampling_perturbs_cache_key():
+    base = SimConfig.msp(16)
+    sampled = SamplingParams().apply(base)
+    assert sampled.cache_key() != base.cache_key()
+    other = SamplingParams(interval=123).apply(base)
+    assert other.cache_key() != sampled.cache_key()
+    assert Job("gzip", sampled, 300).cache_key() != \
+        Job("gzip", base, 300).cache_key()
+
+
+def test_sampled_config_roundtrips():
+    sampled = SamplingParams(mode="offset", ff=9).apply(
+        SimConfig.cpr())
+    clone = SimConfig.from_dict(sampled.to_dict())
+    assert clone == sampled
+    assert clone.cache_key() == sampled.cache_key()
+
+
+def test_sampled_stats_roundtrip():
+    stats = simulate("gzip", SimConfig.baseline(),
+                     max_instructions=12_000, sampling=True)
+    clone = SimStats.from_dict(stats.to_dict())
+    assert clone.sampled and clone.ipc == stats.ipc
+    assert clone.sampling_error == stats.sampling_error
+    assert clone.detail_instructions == stats.detail_instructions
+
+
+# --------------------------------------------------------------------- #
+# Campaign integration: sampled cells shard and cache.
+# --------------------------------------------------------------------- #
+
+def test_sampled_jobs_cache_and_shard(tmp_path):
+    config = SamplingParams(interval=300,
+                            period=1500).apply(SimConfig.baseline())
+    jobs = [Job("gzip", config, 6000), Job("mcf", config, 6000)]
+    first = run_jobs(jobs, workers=2, cache_dir=tmp_path)
+    assert first.simulated == 2 and first.hits == 0
+    serial = run_jobs(jobs, workers=1, cache_dir=tmp_path)
+    assert serial.hits == 2 and serial.simulated == 0
+    for job in jobs:
+        a = first.stats_for(job)
+        b = serial.stats_for(job)
+        assert a.sampled and a.to_dict() == b.to_dict()
+
+
+def test_sampled_parallel_matches_serial(tmp_path):
+    config = SamplingParams(interval=300,
+                            period=1500).apply(SimConfig.msp(16))
+    job = Job("twolf", config, 5000)
+    parallel = run_jobs([job], workers=2,
+                        cache_dir=tmp_path / "a").stats_for(job)
+    serial = run_jobs([job], workers=1,
+                      cache_dir=tmp_path / "b").stats_for(job)
+    assert parallel.to_dict() == serial.to_dict()
+
+
+# --------------------------------------------------------------------- #
+# Unified budget defaults.
+# --------------------------------------------------------------------- #
+
+def test_default_budget_single_source(monkeypatch):
+    monkeypatch.setenv("REPRO_INSTRUCTIONS", "700")
+    assert default_instructions() == 700
+    assert default_sample_instructions() == 21_000
+    monkeypatch.setenv("REPRO_SAMPLE_INSTRUCTIONS", "4000")
+    assert default_sample_instructions() == 4000
+    from repro.sim import experiments
+    assert experiments.default_instructions() == 700
+
+
+def test_env_enables_sampling_for_harnesses(monkeypatch):
+    """REPRO_SAMPLE=1 switches every harness grid to sampled mode —
+    not just the CLI — with the schedule stamped into the cell configs
+    (and therefore into their cache keys)."""
+    from repro.sim.experiments import run_grid
+    monkeypatch.setenv("REPRO_SAMPLE", "1")
+    monkeypatch.setenv("REPRO_SAMPLE_INTERVAL", "300")
+    monkeypatch.setenv("REPRO_SAMPLE_PERIOD", "1500")
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    result = run_grid("env-sampled", ["gzip"], [SimConfig.baseline()],
+                      instructions=6000)
+    stats = result.stats["gzip"]["Baseline"]
+    assert stats.sampled and stats.sample_intervals == 4
+
+
+def test_malformed_env_knob_raises(monkeypatch):
+    monkeypatch.setenv("REPRO_SAMPLE", "1")
+    monkeypatch.setenv("REPRO_SAMPLE_INTERVAL", "1e4")
+    with pytest.raises(ValueError):
+        SamplingParams.from_env()
+
+
+def test_run_grid_rejects_ff_exceeding_budget(monkeypatch):
+    from repro.sim.experiments import run_grid
+    monkeypatch.delenv("REPRO_SAMPLE", raising=False)
+    with pytest.raises(ValueError):
+        run_grid("bad-ff", ["gzip"], [SimConfig.baseline()],
+                 instructions=3000,
+                 sampling=SamplingParams(mode="offset", ff=99_999))
+
+
+def test_runner_honors_default_budget(monkeypatch):
+    monkeypatch.setenv("REPRO_INSTRUCTIONS", "250")
+    stats = simulate("gzip", SimConfig.baseline())
+    # Commit groups may overshoot the budget by < one retire width.
+    assert 250 <= stats.committed < 250 + SimConfig.baseline().retire_width
