@@ -47,6 +47,24 @@ class BranchPredictor(ABC):
         if prediction.taken != taken:
             self.mispredictions += 1
 
+    def train(self, pc: int, taken: bool) -> bool:
+        """Predict the branch at ``pc``, train with the known outcome
+        and leave history as if the prediction had been resolved (and,
+        on a misprediction, repaired) — the discipline the functional
+        warm-up stream follows, where every branch resolves immediately.
+
+        Returns True when the prediction was correct.  This default is
+        a convenience wrapper over ``predict``/``update``/``restore``;
+        predictors with a cheaper fused path (TAGE) override it.
+        """
+        prediction = self.predict(pc)
+        correct = prediction.taken == taken
+        self.update(prediction, taken)
+        if not correct:
+            prediction.taken = taken
+            self.restore(prediction)
+        return correct
+
     def clone(self) -> "BranchPredictor":
         """Independent deep copy (tables and history). The sampled
         engine clones the functionally-warmed predictor into each

@@ -22,11 +22,29 @@ Tagged components are stored as parallel integer arrays (``tag_table``
 than entry objects: plain-list state makes :meth:`TagePredictor.clone`
 a handful of C-speed list copies, which the sampled-simulation engine
 performs once per measurement window.
+
+Folding is *incremental* (Seznec's circular shifted registers): instead
+of re-folding up to ``max_history`` bits of global history on every
+prediction, each tagged component maintains one index register and two
+tag registers, updated in O(1) per branch — rotate within the fold
+width, XOR in the new outcome bit, XOR out the bit that just aged past
+the component's history length.  The seven registers of each fold
+width are packed side by side into a single integer (one padding bit
+between fields so the rotate's carry can be masked off), so one shift
+of history costs three wide rotates plus a handful of per-component
+evict XORs rather than 21 separate register updates.  ``_fold`` (and
+the ``_index`` / ``_tag`` methods that recompute from an explicit
+history) remain as the reference implementation the property tests
+check the packed registers against.  :meth:`train` is the lean
+fast-forward path: one fused predict+update with no
+``Prediction``/meta allocation, used by the sampled engine's warm-up
+where every branch resolves immediately.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from types import FunctionType, MethodType
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.branch.base import BranchPredictor, Prediction
 
@@ -40,6 +58,265 @@ def _fold(value: int, length: int, bits: int) -> int:
         folded ^= value & mask
         value >>= bits
     return folded
+
+
+# --------------------------------------------------------------------- #
+# Specialised train() codegen.
+#
+# The warm-up stream calls train() once per branch — at fast-forward
+# rates that is the single hottest function in the whole simulator.  A
+# generic implementation spends most of its time on Python loop
+# machinery: tuple unpacking per component, attribute reloads across
+# the predict/update/shift helper calls, scratch-list stores on the
+# 85%+ of branches that never allocate.  Since the table geometry is
+# fixed per predictor configuration, we instead generate one flat
+# function per geometry with every mask/shift/stride baked in as a
+# literal and the seven components unrolled.  ``train_reference`` (the
+# generic predict/update/restore composition) and the folded-register
+# property tests pin the generated code to the reference semantics bit
+# for bit.
+# --------------------------------------------------------------------- #
+
+_TRAIN_CACHE: Dict[tuple, object] = {}
+
+
+class _FoldLayout:
+    """The packed fold-register layout for one table geometry — the
+    single source of truth consumed both by the predictor's live
+    geometry (``_init_fold_geometry``) and by the train codegen
+    (``_build_train_source``), so the two can never drift apart.
+
+    Groups 0/1 (index fold of width ``table_bits``, first tag fold of
+    width ``tag_bits``) put component c's register at bit ``stride*c``;
+    group 2 (the second tag fold, width ``tag_bits - 1``, only ever
+    consumed as ``f2 << 1``) stores it pre-shifted at ``stride*c + 1``
+    with bit ``stride*c`` held zero, so the match extraction reads
+    ``f2 << 1`` directly with no per-component shift.  One spare bit
+    per field absorbs the rotate's carry until the group mask clears
+    it.
+    """
+
+    __slots__ = ("widths", "offsets", "strides", "group", "top",
+                 "insert", "evict")
+
+    def __init__(self, num_tagged: int, table_bits: int, tag_bits: int,
+                 history_lengths: Sequence[int]) -> None:
+        self.widths = (table_bits, tag_bits, tag_bits - 1)
+        self.offsets = (0, 0, 1)
+        self.strides = tuple(width + 1 + offset for width, offset
+                             in zip(self.widths, self.offsets))
+        group = [0, 0, 0]
+        top = [0, 0, 0]
+        insert = [0, 0, 0]
+        for g in range(3):
+            for comp in range(num_tagged):
+                base_bit = self.strides[g] * comp + self.offsets[g]
+                group[g] |= ((1 << self.widths[g]) - 1) << base_bit
+                top[g] |= 1 << (base_bit + self.widths[g] - 1)
+                insert[g] |= 1 << base_bit
+        self.group = tuple(group)
+        self.top = tuple(top)
+        self.insert = tuple(insert)
+        #: Per component: (ghr bit position of the aged-out history
+        #: bit, XOR mask for each of the three group registers).
+        self.evict = tuple(
+            (hist_len - 1,
+             tuple(1 << (self.strides[g] * comp + self.offsets[g]
+                         + hist_len % self.widths[g])
+                   for g in range(3)))
+            for comp, hist_len in enumerate(history_lengths))
+
+
+def _build_train_source(num_tagged: int, table_bits: int, tag_bits: int,
+                        history_lengths: Sequence[int], base_mask: int,
+                        history_mask: int, useful_reset_period: int) -> str:
+    idx_mask = (1 << table_bits) - 1
+    tag_mask = (1 << tag_bits) - 1
+    layout = _FoldLayout(num_tagged, table_bits, tag_bits,
+                         history_lengths)
+    strides = layout.strides
+    widths = layout.widths
+    group = layout.group
+    top = layout.top
+    insert = layout.insert
+
+    lines: List[str] = []
+    emit = lines.append
+    # The trailing parameters are never passed at call sites: they are
+    # *defaults* rebound per instance (``_bind_train``), which loads
+    # the table objects from the code object's constants instead of
+    # per-call attribute lookups.
+    emit("def _train(self, pc, taken, tag_table=None, ctr_table=None,"
+         " useful_table=None, base=None, idxs=None, tags=None):")
+    emit("    p_idx = self._p_idx")
+    emit("    p_tag1 = self._p_tag1")
+    emit("    p_tag2 = self._p_tag2")
+    emit("    provider = alt = -1")
+    emit("    p_index = a_index = 0")
+    # Match scan, longest component first (provider = first match,
+    # alt = second).
+    for comp in range(num_tagged - 1, -1, -1):
+        o_idx = strides[0] * comp
+        o_tag1 = strides[1] * comp
+        o_tag2 = strides[2] * comp
+        fi = f"(p_idx >> {o_idx})" if o_idx else "p_idx"
+        f1 = f"(p_tag1 >> {o_tag1})" if o_tag1 else "p_tag1"
+        f2 = f"(p_tag2 >> {o_tag2})" if o_tag2 else "p_tag2"
+        emit(f"    i{comp} = (pc ^ (pc >> {comp + 1}) ^ {fi}) & {idx_mask}")
+        emit(f"    t{comp} = (pc ^ {f1} ^ {f2}) & {tag_mask}")
+        emit(f"    if tag_table[{comp}][i{comp}] == t{comp}:")
+        emit("        if provider < 0:")
+        emit(f"            provider = {comp}")
+        emit(f"            p_index = i{comp}")
+        emit("        elif alt < 0:")
+        emit(f"            alt = {comp}")
+        emit(f"            a_index = i{comp}")
+    # Prediction (mirrors predict(); the bimodal base is only read on
+    # the paths that actually consult it).
+    emit("    if provider >= 0:")
+    emit("        ctrs = ctr_table[provider]")
+    emit("        ctr = ctrs[p_index]")
+    emit("        provider_pred = ctr >= 0")
+    emit("        useful = useful_table[provider]")
+    emit("        u = useful[p_index]")
+    emit("        weak_new = u == 0 and -1 <= ctr <= 0")
+    emit("        if alt >= 0:")
+    emit("            alt_pred = ctr_table[alt][a_index] >= 0")
+    emit("        else:")
+    emit(f"            alt_pred = base[pc & {base_mask}] >= 2")
+    emit("        chosen = (alt_pred if weak_new and self.use_alt >= 8"
+         " else provider_pred)")
+    emit("    else:")
+    emit(f"        provider_pred = alt_pred = chosen = "
+         f"base[pc & {base_mask}] >= 2")
+    emit("    correct = chosen == taken")
+    # Resolution-time training (mirrors _train_tables()).  The branch
+    # counter driving useful-decay IS the predictions counter: both
+    # increment exactly once per resolved branch on every path.
+    emit("    bc = self.predictions + 1")
+    emit("    self.predictions = bc")
+    if useful_reset_period & (useful_reset_period - 1) == 0:
+        emit(f"    if bc & {useful_reset_period - 1} == 0:")
+    else:
+        emit(f"    if bc % {useful_reset_period} == 0:")
+    emit("        self._decay_useful()")
+    emit("        if provider >= 0:")
+    emit("            u = useful[p_index]")
+    emit("            weak_new = u == 0 and -1 <= ctr <= 0")
+    base_update = [
+        f"base_index = pc & {base_mask}",
+        "base_ctr = base[base_index]",
+        "if taken:",
+        "    if base_ctr < 3:",
+        "        base[base_index] = base_ctr + 1",
+        "elif base_ctr > 0:",
+        "    base[base_index] = base_ctr - 1",
+    ]
+    emit("    if provider >= 0:")
+    emit("        if weak_new and provider_pred != alt_pred:")
+    emit("            use_alt = self.use_alt")
+    emit("            if alt_pred == taken:")
+    emit("                if use_alt < 15:")
+    emit("                    self.use_alt = use_alt + 1")
+    emit("            elif use_alt > 0:")
+    emit("                self.use_alt = use_alt - 1")
+    emit("        if taken:")
+    emit("            if ctr < 3:")
+    emit("                ctrs[p_index] = ctr + 1")
+    emit("        elif ctr > -4:")
+    emit("            ctrs[p_index] = ctr - 1")
+    emit("        if provider_pred != alt_pred:")
+    emit("            if provider_pred == taken:")
+    emit("                if u < 3:")
+    emit("                    useful[p_index] = u + 1")
+    emit("            elif u > 0:")
+    emit("                useful[p_index] = u - 1")
+    emit("        if alt < 0 and provider_pred != taken:")
+    for line in base_update:
+        emit("            " + line)
+    emit("    else:")
+    for line in base_update:
+        emit("        " + line)
+    # Allocation on misprediction (rare: fill the scratch arrays only
+    # here).
+    emit("    if not correct:")
+    emit("        self.mispredictions += 1")
+    for comp in range(num_tagged):
+        emit(f"        idxs[{comp}] = i{comp}")
+        emit(f"        tags[{comp}] = t{comp}")
+    emit("        self._allocate(provider if provider >= 0 else None,"
+         " idxs, tags, taken)")
+    # History shift (mirrors _shift_history()).  self.ghr is stored
+    # unmasked and re-masked every 64 branches: high stray bits are
+    # invisible to the fold/evict arithmetic (which only reads bits
+    # below max_history), and get_history() masks on read.
+    emit("    ghr = self.ghr")
+    emit(f"    p_idx = ((p_idx << 1) | ((p_idx & {top[0]})"
+         f" >> {widths[0] - 1})) & {group[0]}")
+    emit(f"    p_tag1 = ((p_tag1 << 1) | ((p_tag1 & {top[1]})"
+         f" >> {widths[1] - 1})) & {group[1]}")
+    emit(f"    p_tag2 = ((p_tag2 << 1) | ((p_tag2 & {top[2]})"
+         f" >> {widths[2] - 1})) & {group[2]}")
+    emit("    if taken:")
+    emit(f"        p_idx ^= {insert[0]}")
+    emit(f"        p_tag1 ^= {insert[1]}")
+    emit(f"        p_tag2 ^= {insert[2]}")
+    emit("        new_ghr = (ghr << 1) | 1")
+    emit("    else:")
+    emit("        new_ghr = ghr << 1")
+    emit("    if bc & 63 == 0:")
+    emit(f"        new_ghr &= {history_mask}")
+    emit("    self.ghr = new_ghr")
+    max_pos = max(pos for pos, _masks in layout.evict)
+    for pos, masks in layout.evict:
+        # Test the evicted bit in whichever form keeps the intermediate
+        # small: AND against a one-hot mask scans min(len(ghr),
+        # len(mask)) digits, a shift allocates len(ghr) - pos digits —
+        # pick per position.
+        if pos <= max_pos - pos:
+            emit(f"    if ghr & {1 << pos}:")
+        else:
+            emit(f"    if (ghr >> {pos}) & 1:")
+        emit(f"        p_idx ^= {masks[0]}")
+        emit(f"        p_tag1 ^= {masks[1]}")
+        emit(f"        p_tag2 ^= {masks[2]}")
+    emit("    self._p_idx = p_idx")
+    emit("    self._p_tag1 = p_tag1")
+    emit("    self._p_tag2 = p_tag2")
+    emit("    return correct")
+    return "\n".join(lines)
+
+
+def _specialized_train(predictor: "TagePredictor"):
+    """The geometry-specialised train function for ``predictor``
+    (exec'd once per distinct geometry, then cached)."""
+    key = (predictor.num_tagged, predictor.table_bits, predictor.tag_bits,
+           tuple(predictor.history_lengths), predictor.base_mask,
+           predictor.history_mask, predictor._useful_reset_period)
+    impl = _TRAIN_CACHE.get(key)
+    if impl is None:
+        source = _build_train_source(*key)
+        namespace: dict = {}
+        exec(compile(source, "<tage-specialized-train>", "exec"), namespace)
+        impl = namespace["_train"]
+        impl.__doc__ = ("Geometry-specialised TAGE train "
+                        "(generated by _build_train_source):\n\n" + source)
+        _TRAIN_CACHE[key] = impl
+    return impl
+
+
+def _bind_train(predictor: "TagePredictor") -> MethodType:
+    """Bind the cached specialised function to ``predictor``, baking
+    its table objects in as argument defaults (they are mutated in
+    place, never reassigned, so the binding stays valid; clone() and
+    __setstate__ re-bind because they create fresh lists)."""
+    impl = _specialized_train(predictor)
+    bound = FunctionType(
+        impl.__code__, impl.__globals__, impl.__name__,
+        (predictor.tag_table, predictor.ctr_table,
+         predictor.useful_table, predictor.base,
+         predictor._scratch_idx, predictor._scratch_tag))
+    return MethodType(bound, predictor)
 
 
 class TagePredictor(BranchPredictor):
@@ -90,9 +367,49 @@ class TagePredictor(BranchPredictor):
             [0] * self.table_size for _ in range(num_tagged)]
         self.ghr = 0
         self.use_alt = 8       # 0..15; >= 8 -> trust alt for weak new entries
-        self._branch_count = 0
         self._useful_reset_period = useful_reset_period
 
+        self._init_fold_geometry()
+        # The packed fold registers: component ``c``'s register lives at
+        # bit offset ``stride * c`` of its group integer, maintained
+        # equal to ``_fold(ghr, history_lengths[c], width)``.
+        self._p_idx = 0
+        self._p_tag1 = 0
+        self._p_tag2 = 0
+        # Scratch index/tag arrays reused by train() (no per-branch
+        # allocation on the fast-forward path).
+        self._scratch_idx: List[int] = [0] * num_tagged
+        self._scratch_tag: List[int] = [0] * num_tagged
+        # Bind the geometry-specialised train (shadows the class-level
+        # delegating method; rebound by clone()/__setstate__).
+        self.train = _bind_train(self)
+
+    def _init_fold_geometry(self) -> None:
+        """Adopt the shared packed-register layout (see
+        :class:`_FoldLayout` — the same instance of truth the train
+        codegen consumes) in the access patterns the generic methods
+        use."""
+        layout = _FoldLayout(self.num_tagged, self.table_bits,
+                             self.tag_bits, self.history_lengths)
+        strides = layout.strides
+        self._strides = strides
+        self._group_masks = layout.group
+        self._top_masks = layout.top
+        self._insert_masks = layout.insert
+        # Per-component eviction data: (ghr bit position of the
+        # aged-out history bit, XOR mask per group register).
+        self._evict_geom: List[Tuple[int, int, int, int]] = [
+            (pos, masks[0], masks[1], masks[2])
+            for pos, masks in layout.evict]
+        # Match-loop geometry, longest component first:
+        # (comp, pc shift, field offset per group).
+        self._match_geom: List[Tuple[int, int, int, int, int]] = [
+            (comp, comp + 1, strides[0] * comp, strides[1] * comp,
+             strides[2] * comp)
+            for comp in range(self.num_tagged - 1, -1, -1)]
+
+    # ------------------------------------------------------------------ #
+    # Reference folding (property-test oracle; not on the hot path).
     # ------------------------------------------------------------------ #
 
     def _index(self, pc: int, comp: int, history: int) -> int:
@@ -105,6 +422,71 @@ class TagePredictor(BranchPredictor):
         folded = _fold(history, length, self.tag_bits)
         folded2 = _fold(history, length, self.tag_bits - 1) << 1
         return (pc ^ folded ^ folded2) & self.tag_mask
+
+    def _folded(self, comp: int) -> Tuple[int, int, int]:
+        """The component's three live fold-register values (tests)."""
+        s_idx, s_tag1, s_tag2 = self._strides
+        return ((self._p_idx >> (s_idx * comp)) & (self.table_size - 1),
+                (self._p_tag1 >> (s_tag1 * comp)) & self.tag_mask,
+                (self._p_tag2 >> (s_tag2 * comp + 1))
+                & ((1 << (self.tag_bits - 1)) - 1))
+
+    # ------------------------------------------------------------------ #
+    # Incremental folded-history maintenance.
+    # ------------------------------------------------------------------ #
+
+    def _shift_history(self, bit: int) -> None:
+        """Append one outcome bit: rotate all three register groups,
+        XOR the new bit into every field's bit 0 and XOR out each
+        component's aged-out history bit — O(1) per branch instead of
+        re-folding the whole history."""
+        ghr = self.ghr
+        width_idx = self.table_bits
+        width_tag1 = self.tag_bits
+        width_tag2 = width_tag1 - 1
+        group_idx, group_tag1, group_tag2 = self._group_masks
+        top_idx, top_tag1, top_tag2 = self._top_masks
+
+        p = self._p_idx
+        p_idx = ((p << 1) | ((p & top_idx) >> (width_idx - 1))) & group_idx
+        p = self._p_tag1
+        p_tag1 = ((p << 1) | ((p & top_tag1) >> (width_tag1 - 1))) \
+            & group_tag1
+        p = self._p_tag2
+        p_tag2 = ((p << 1) | ((p & top_tag2) >> (width_tag2 - 1))) \
+            & group_tag2
+        if bit:
+            ins = self._insert_masks
+            p_idx ^= ins[0]
+            p_tag1 ^= ins[1]
+            p_tag2 ^= ins[2]
+        for evict_shift, e_idx, e_tag1, e_tag2 in self._evict_geom:
+            if (ghr >> evict_shift) & 1:
+                p_idx ^= e_idx
+                p_tag1 ^= e_tag1
+                p_tag2 ^= e_tag2
+        self._p_idx = p_idx
+        self._p_tag1 = p_tag1
+        self._p_tag2 = p_tag2
+        self.ghr = ((ghr << 1) | bit) & self.history_mask
+
+    def _rebuild_folds(self) -> None:
+        """Recompute the packed registers from ``self.ghr`` — only on
+        the rare re-anchoring paths (:meth:`set_history` after a
+        recovery, checkpoint rollback), never per prediction."""
+        ghr = self.ghr
+        s_idx, s_tag1, s_tag2 = self._strides
+        p_idx = p_tag1 = p_tag2 = 0
+        for comp, length in enumerate(self.history_lengths):
+            p_idx |= _fold(ghr, length, self.table_bits) << (s_idx * comp)
+            p_tag1 |= _fold(ghr, length, self.tag_bits) << (s_tag1 * comp)
+            p_tag2 |= _fold(ghr, length, self.tag_bits - 1) \
+                << (s_tag2 * comp + 1)
+        self._p_idx = p_idx
+        self._p_tag1 = p_tag1
+        self._p_tag2 = p_tag2
+
+    # ------------------------------------------------------------------ #
 
     def _base_predict(self, pc: int) -> bool:
         return self.base[pc & self.base_mask] >= 2
@@ -120,22 +502,39 @@ class TagePredictor(BranchPredictor):
 
     # ------------------------------------------------------------------ #
 
-    def predict(self, pc: int) -> Prediction:
-        history = self.ghr
+    def _match(self, pc: int, indices: List[int], tags: List[int]):
+        """Fill ``indices``/``tags`` from the fold registers and return
+        (provider, alt): the longest and second-longest matching
+        components (None where absent)."""
+        p_idx = self._p_idx
+        p_tag1 = self._p_tag1
+        p_tag2 = self._p_tag2
+        idx_mask = self.table_size - 1
+        tag_mask = self.tag_mask
+        tag_table = self.tag_table
         provider: Optional[int] = None
         alt: Optional[int] = None
-        indices = [0] * self.num_tagged
-        tags = [0] * self.num_tagged
-        for comp in range(self.num_tagged - 1, -1, -1):
-            indices[comp] = self._index(pc, comp, history)
-            tags[comp] = self._tag(pc, comp, history)
-        for comp in range(self.num_tagged - 1, -1, -1):
-            if self.tag_table[comp][indices[comp]] == tags[comp]:
+        for comp, pc_shift, o_idx, o_tag1, o_tag2 in self._match_geom:
+            index = (pc ^ (pc >> pc_shift)
+                     ^ (p_idx >> o_idx)) & idx_mask
+            # Stray bits of neighbouring fields all sit above tag_mask
+            # after the shifts, so one final mask suffices; the second
+            # tag group is stored pre-shifted (already ``f2 << 1``).
+            tag = (pc ^ (p_tag1 >> o_tag1)
+                   ^ (p_tag2 >> o_tag2)) & tag_mask
+            indices[comp] = index
+            tags[comp] = tag
+            if tag_table[comp][index] == tag:
                 if provider is None:
                     provider = comp
-                else:
+                elif alt is None:
                     alt = comp
-                    break
+        return provider, alt
+
+    def predict(self, pc: int) -> Prediction:
+        indices = [0] * self.num_tagged
+        tags = [0] * self.num_tagged
+        provider, alt = self._match(pc, indices, tags)
 
         base_pred = self._base_predict(pc)
         if provider is not None:
@@ -153,22 +552,23 @@ class TagePredictor(BranchPredictor):
             alt_pred = base_pred
             taken = base_pred
 
-        self.ghr = ((history << 1)
-                    | (1 if taken else 0)) & self.history_mask
-        meta = (history, provider, alt, tuple(indices), tuple(tags),
+        snapshot = (self.ghr, self._p_idx, self._p_tag1, self._p_tag2)
+        self._shift_history(1 if taken else 0)
+        meta = (snapshot, provider, alt, tuple(indices), tuple(tags),
                 provider_pred, alt_pred)
         return Prediction(pc, taken, meta=meta)
 
     # ------------------------------------------------------------------ #
 
-    def update(self, prediction: Prediction, taken: bool) -> None:
-        self.record_outcome(prediction, taken)
-        (history, provider, alt, indices, tags,
-         provider_pred, alt_pred) = prediction.meta
-        mispredicted = prediction.taken != taken
-
-        self._branch_count += 1
-        if self._branch_count % self._useful_reset_period == 0:
+    def _train_tables(self, pc: int, taken: bool, chosen: bool,
+                      provider: Optional[int], alt: Optional[int],
+                      indices: Sequence[int], tags: Sequence[int],
+                      provider_pred: bool, alt_pred: bool) -> None:
+        """Resolution-time table training shared by :meth:`update` and
+        :meth:`train` (``chosen`` is the direction actually predicted)."""
+        # ``predictions`` (already incremented by record_outcome /
+        # train) is the per-resolved-branch counter driving decay.
+        if self.predictions % self._useful_reset_period == 0:
             self._decay_useful()
 
         if provider is not None:
@@ -197,15 +597,50 @@ class TagePredictor(BranchPredictor):
                 elif useful[index] > 0:
                     useful[index] -= 1
             if alt is None and provider_pred != taken:
-                self._base_update(prediction.pc, taken)
+                self._base_update(pc, taken)
         else:
-            self._base_update(prediction.pc, taken)
+            self._base_update(pc, taken)
 
-        if mispredicted:
+        if chosen != taken:
             self._allocate(provider, indices, tags, taken)
 
+    def update(self, prediction: Prediction, taken: bool) -> None:
+        self.record_outcome(prediction, taken)
+        (_snapshot, provider, alt, indices, tags,
+         provider_pred, alt_pred) = prediction.meta
+        self._train_tables(prediction.pc, taken, prediction.taken,
+                           provider, alt, indices, tags,
+                           provider_pred, alt_pred)
+
+    def train(self, pc: int, taken: bool) -> bool:
+        """Fused predict+update for the functional warm-up stream.
+
+        Equivalent, bit for bit, to ``predict`` / ``update`` /
+        ``restore``-on-mispredict (the discipline the warm-up observer
+        follows), but with no ``Prediction`` object, no meta tuple and
+        no fold snapshot: the outcome is known immediately, so the
+        actual bit goes straight into the history.  Returns True when
+        the prediction was correct.
+
+        ``__init__`` shadows this with the geometry-specialised
+        implementation (see :func:`_specialized_train`); this class
+        method only runs for instances that lost the binding (e.g.
+        restored from an old pickle) and simply re-establishes it.
+        """
+        bound = _bind_train(self)
+        self.train = bound
+        return bound(pc, taken)
+
+    def train_reference(self, pc: int, taken: bool) -> bool:
+        """Reference composition of the public predictor protocol —
+        exactly the generic :meth:`BranchPredictor.train` (which the
+        bound specialised ``train`` shadows on instances, hence the
+        explicit base-class call). Exercised by the property tests as
+        the oracle the generated fast path must match bit for bit."""
+        return BranchPredictor.train(self, pc, taken)
+
     def _allocate(self, provider: Optional[int],
-                  indices: Tuple[int, ...], tags: Tuple[int, ...],
+                  indices: Sequence[int], tags: Sequence[int],
                   taken: bool) -> None:
         start = 0 if provider is None else provider + 1
         for comp in range(start, self.num_tagged):
@@ -220,34 +655,61 @@ class TagePredictor(BranchPredictor):
                 self.useful_table[comp][index] -= 1
 
     def _decay_useful(self) -> None:
+        # Columnar: one C-speed sweep per component, skipping components
+        # with no live useful counters (the common case early on),
+        # instead of a Python-level scan of all 7 x 4096 entries.
         for table in self.useful_table:
-            for index, value in enumerate(table):
-                if value > 0:
-                    table[index] = value - 1
+            if any(table):
+                table[:] = [value and value - 1 for value in table]
 
     def clone(self) -> "TagePredictor":
         """Fast deep copy: shared immutable configuration, private
         counter arrays (a few C-speed list copies — the sampled engine
-        clones the warm predictor once per measurement window)."""
+        clones the warm predictor once per measurement window). The
+        packed fold registers are plain ints, so ``__dict__`` copying
+        already detaches them."""
         new = self.__class__.__new__(self.__class__)
         new.__dict__.update(self.__dict__)
         new.base = self.base[:]
         new.tag_table = [table[:] for table in self.tag_table]
         new.ctr_table = [table[:] for table in self.ctr_table]
         new.useful_table = [table[:] for table in self.useful_table]
+        new._scratch_idx = [0] * self.num_tagged
+        new._scratch_tag = [0] * self.num_tagged
+        # The copied bound method still targets *self* and the old
+        # table objects; rebind against the fresh copies.
+        new.train = _bind_train(new)
         return new
 
     def restore(self, prediction: Prediction) -> None:
-        history = prediction.meta[0]
-        self.ghr = ((history << 1)
-                    | (1 if prediction.taken else 0)) & self.history_mask
+        snapshot = prediction.meta[0]
+        self.ghr = snapshot[0]
+        self._p_idx = snapshot[1]
+        self._p_tag1 = snapshot[2]
+        self._p_tag2 = snapshot[3]
+        self._shift_history(1 if prediction.taken else 0)
+
+    def __getstate__(self):
+        # The bound specialised train doesn't pickle (exec'd function);
+        # __setstate__ / the class-level train() re-establish it.
+        state = self.__dict__.copy()
+        state.pop("train", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self.train = _bind_train(self)
 
     def get_history(self) -> int:
-        return self.ghr
+        # The specialised train() stores ghr unmasked between its
+        # periodic re-masks; normalise on exposure.
+        return self.ghr & self.history_mask
 
     def set_history(self, snapshot: int) -> None:
         self.ghr = snapshot & self.history_mask
+        self._rebuild_folds()
 
     def set_history_appended(self, snapshot: int, taken: bool) -> None:
         self.ghr = ((snapshot << 1) | (1 if taken else 0)) \
             & self.history_mask
+        self._rebuild_folds()

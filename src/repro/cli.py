@@ -15,6 +15,10 @@ Commands
     Batch engine: ``campaign run`` simulates an ad-hoc workload x
     machine grid; ``campaign status`` / ``campaign clear`` inspect and
     drop the persistent result cache.
+``bench``
+    Measure simulator throughput (inst/s per mode), write the
+    ``BENCH_throughput.json`` trajectory artifact, and optionally
+    ``--check`` for regressions against a committed baseline.
 ``list``
     List workloads, machines and experiments.
 ``listing``
@@ -333,6 +337,44 @@ def cmd_campaign_run(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.sim import bench
+    modes = list(bench.MODES)
+    if args.ref:
+        modes += list(bench.REFERENCE_MODES)
+    emulate_n = args.instructions or 200_000
+    record = bench.measure(
+        workload=args.workload, emulate_n=emulate_n,
+        detail_n=max(1000, emulate_n // 10), sampled_n=emulate_n,
+        modes=modes, repeats=args.repeats)
+    print(bench.format_table(record))
+    failure = None
+    if args.check:
+        try:
+            baseline = bench.load_json(args.baseline)
+        except FileNotFoundError:
+            print(f"bench: no baseline at {args.baseline}; "
+                  f"skipping regression check", file=sys.stderr)
+            baseline = None
+        if baseline is not None:
+            failure = bench.check_regression(record, baseline,
+                                             tolerance=args.tolerance)
+    if failure:
+        # Never persist a failing record: the default --output equals
+        # the default --baseline, so writing here would replace the
+        # committed baseline with the regressed rates and make the
+        # regression self-ratifying on the next run.
+        print(f"bench: {failure}", file=sys.stderr)
+        if args.output:
+            print(f"bench: not writing {args.output} "
+                  f"(regression check failed)", file=sys.stderr)
+        return 1
+    if args.output:
+        bench.write_json(args.output, record)
+        print(f"wrote {args.output}")
+    return 0
+
+
 def cmd_campaign_status(args) -> int:
     status = ResultStore(args.cache_dir).status()
     print(f"cache   {status['path']}")
@@ -445,6 +487,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_cclear = camp_sub.add_parser("clear", help="drop cached results")
     p_cclear.add_argument("--cache-dir", default=None)
     p_cclear.set_defaults(func=cmd_campaign_clear)
+
+    p_bench = sub.add_parser(
+        "bench", help="measure simulator throughput (inst/s per mode)")
+    p_bench.add_argument("--workload", default="gzip",
+                         help="workload to time (default gzip)")
+    p_bench.add_argument("-n", "--instructions", type=int, default=None,
+                         help="fast-forward/sampled budget "
+                              "(default 200000; detailed runs 1/10th)")
+    p_bench.add_argument("--repeats", type=int, default=1,
+                         help="runs per mode; best rate wins (default 1)")
+    p_bench.add_argument("--ref", action="store_true",
+                         help="also time the reference step()/observer "
+                              "paths for an in-place speedup comparison")
+    p_bench.add_argument("-o", "--output", default="BENCH_throughput.json",
+                         metavar="PATH",
+                         help="write the JSON record here (empty string "
+                              "to skip; default BENCH_throughput.json)")
+    p_bench.add_argument("--check", action="store_true",
+                         help="fail (exit 1) if ff+warmup inst/s "
+                              "regressed vs --baseline beyond --tolerance")
+    p_bench.add_argument("--baseline", default="BENCH_throughput.json",
+                         help="baseline JSON for --check "
+                              "(default BENCH_throughput.json)")
+    p_bench.add_argument("--tolerance", type=float, default=0.30,
+                         help="allowed fractional regression for --check "
+                              "(default 0.30)")
+    p_bench.set_defaults(func=cmd_bench)
 
     p_list = sub.add_parser("list", help="list workloads and experiments")
     p_list.set_defaults(func=cmd_list)

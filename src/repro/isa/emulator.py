@@ -36,25 +36,95 @@ from repro.isa.opcodes import Op
 Observer = Callable[[int, object, Optional[bool], Optional[int], int],
                     None]
 
+# Opcode values as plain ints for run_fast's dispatch ladder (the
+# decoded ``code`` array stores ``Op.value``).
+_ADD = Op.ADD.value
+_SUB = Op.SUB.value
+_MUL = Op.MUL.value
+_DIV = Op.DIV.value
+_AND = Op.AND.value
+_OR = Op.OR.value
+_XOR = Op.XOR.value
+_SHL = Op.SHL.value
+_SHR = Op.SHR.value
+_SLT = Op.SLT.value
+_ADDI = Op.ADDI.value
+_LI = Op.LI.value
+_MOV = Op.MOV.value
+_FADD = Op.FADD.value
+_LD = Op.LD.value
+_ST = Op.ST.value
+_FLD = Op.FLD.value
+_FST = Op.FST.value
+_BEQ = Op.BEQ.value
+_BNE = Op.BNE.value
+_BLT = Op.BLT.value
+_BGE = Op.BGE.value
+_BEQZ = Op.BEQZ.value
+_BNEZ = Op.BNEZ.value
+_JMP = Op.JMP.value
+_JR = Op.JR.value
+_NOP = Op.NOP.value
+_HALT = Op.HALT.value
+
+# The ladder relies on the enum's layout: integer ALU ops below FADD,
+# FP arithmetic below LD, and a contiguous conditional-branch block.
+assert _FADD == _MOV + 1 and _LD == _FADD + 7
+assert _BNEZ == _BEQ + 5 and _JMP == _BNEZ + 1
+
+_MASK64 = (1 << 64) - 1
+_SIGN64 = 1 << 63
+_TWO64 = 1 << 64
+#: Instruction-address offset (see MemoryHierarchy.instruction_latency).
+_IBASE = 1 << 40
+
 
 class EmulatorState:
     """Exact architectural checkpoint: (pc, registers, memory).
 
-    ``regs`` and ``memory`` are private copies — restoring or seeding a
-    core from the same state twice yields identical runs even if one of
-    them mutates its own architectural state afterwards.
+    By default ``regs`` and ``memory`` are private copies — restoring or
+    seeding a core from the same state twice yields identical runs even
+    if one of them mutates its own architectural state afterwards.
+
+    A checkpoint taken with ``snapshot(share=True)`` instead *shares*
+    the emulator's live memory dict copy-on-write: the emulator copies
+    its dict away before its next mutation, so the checkpoint stays a
+    true point-in-time snapshot while the snapshot itself costs O(regs)
+    instead of O(memory footprint).  Consumers must treat a shared
+    checkpoint's ``memory`` as read-only, and should call
+    :meth:`release` once the checkpoint is dead so the emulator can
+    skip the deferred copy entirely (the sampled engine does this after
+    seeding each measurement window).
     """
 
-    __slots__ = ("pc", "regs", "memory", "retired")
+    __slots__ = ("pc", "regs", "memory", "retired", "_owner")
 
     def __init__(self, pc: int, regs: List, memory: Dict[int, float],
-                 retired: int = 0) -> None:
+                 retired: int = 0, owner: "Optional[Emulator]" = None) -> None:
         self.pc = pc
         self.regs = regs
         self.memory = memory
         #: Committed instructions before this checkpoint (bookkeeping
         #: only; not needed to resume).
         self.retired = retired
+        #: Emulator whose live dict ``memory`` aliases (shared
+        #: checkpoints only).
+        self._owner = owner
+
+    def release(self) -> None:
+        """Declare a shared checkpoint dead: if the owning emulator is
+        still copy-on-write-guarding the dict this checkpoint aliases,
+        drop this checkpoint's claim on it — the guard itself is only
+        lifted once the *last* live shared checkpoint of the dict has
+        released (several may alias it when no execution happened in
+        between).  No-op for private checkpoints; idempotent."""
+        owner = self._owner
+        if owner is not None and owner.memory is self.memory \
+                and owner._mem_cow:
+            owner._mem_shared -= 1
+            if owner._mem_shared <= 0:
+                owner._mem_cow = False
+        self._owner = None
 
     def __repr__(self) -> str:
         return (f"EmulatorState(pc={self.pc}, retired={self.retired}, "
@@ -98,6 +168,12 @@ class Emulator:
         self.observer: Optional[Observer] = None
         #: Total instructions retired across every :meth:`run` call.
         self.retired_total = 0
+        #: True while ``self.memory`` is aliased by a shared snapshot:
+        #: the next execution detaches by copying the dict first.
+        #: ``_mem_shared`` counts the live shared snapshots of the
+        #: current dict so release() only lifts the guard for the last.
+        self._mem_cow = False
+        self._mem_shared = 0
 
     def read_reg(self, reg: int):
         return self.regs[reg]
@@ -109,8 +185,22 @@ class Emulator:
     # Checkpointing (exact architectural snapshot/restore).
     # ------------------------------------------------------------------ #
 
-    def snapshot(self) -> EmulatorState:
-        """Capture the complete architectural state as a checkpoint."""
+    def snapshot(self, share: bool = False) -> EmulatorState:
+        """Capture the complete architectural state as a checkpoint.
+
+        With ``share=True`` the checkpoint aliases the live memory dict
+        copy-on-write instead of copying it (see
+        :class:`EmulatorState`); registers are always copied (small).
+        """
+        if share:
+            if not self._mem_cow:
+                # Fresh aliasing generation for the current dict (any
+                # earlier shared snapshots alias a detached copy).
+                self._mem_shared = 0
+            self._mem_cow = True
+            self._mem_shared += 1
+            return EmulatorState(self.pc, list(self.regs), self.memory,
+                                 retired=self.retired_total, owner=self)
         return EmulatorState(self.pc, list(self.regs), dict(self.memory),
                              retired=self.retired_total)
 
@@ -122,11 +212,17 @@ class Emulator:
         self.regs = list(state.regs)
         self.memory = dict(state.memory)
         self.retired_total = state.retired
+        self._mem_cow = False
 
     # ------------------------------------------------------------------ #
 
     def step(self, result: EmulatorResult) -> bool:
         """Execute one instruction; return False when the run terminated."""
+        if self._mem_cow:
+            # A shared snapshot aliases our memory: detach before any
+            # mutation so the snapshot stays point-in-time.
+            self.memory = dict(self.memory)
+            self._mem_cow = False
         inst = self.program.fetch(self.pc)
         if inst is None:
             result.fell_off = True
@@ -180,6 +276,275 @@ class Emulator:
         while result.retired < max_instructions:
             if not self.step(result):
                 break
+        return result
+
+    def run_fast(self, max_instructions: int = 1_000_000,
+                 warmup=None) -> EmulatorResult:
+        """Fast interpreter loop over the predecoded program.
+
+        Semantically identical to :meth:`run` (the oracle tests enforce
+        bit-exact architectural state), but dispatches on the decoded
+        flat arrays with every per-instruction attribute lookup hoisted
+        to locals.  ``warmup`` optionally fuses the sampled engine's
+        functional warm-up into the loop: it must expose ``predictor``
+        (with ``train``), ``btb``, ``hierarchy``, ``confidence``,
+        ``_line_shift``, ``_last_fetch_line`` and ``instructions`` —
+        the :class:`~repro.sim.sampling.warmup.WarmupEngine` contract —
+        and is driven per predecoded kind instead of re-testing
+        instruction class inside an observer callback.
+
+        Tracing flags, ``retire_hook`` and a generic ``observer`` are
+        reference-path features: when any is set this falls back to
+        :meth:`run` (installing ``warmup`` as the observer) so hooks
+        keep firing.
+        """
+        decoded = self.program.decoded
+        if (self.observer is not None or self.retire_hook is not None
+                or self._trace_pcs or self._trace_branches
+                or decoded.has_wild_targets):
+            if warmup is None:
+                return self.run(max_instructions)
+            if self.observer is not None and self.observer is not warmup:
+                raise ValueError("run_fast: an observer is already "
+                                 "installed; cannot also fuse a warmup "
+                                 "engine")
+            saved = self.observer
+            self.observer = warmup
+            try:
+                return self.run(max_instructions)
+            finally:
+                self.observer = saved
+        if self._mem_cow:
+            self.memory = dict(self.memory)
+            self._mem_cow = False
+
+        result = EmulatorResult()
+        code = decoded.code
+        s0 = decoded.s0
+        s1 = decoded.s1
+        dest = decoded.dest
+        imm = decoded.imm
+        target = decoded.target
+        insts = decoded.insts
+        regs = self.regs
+        mem = self.memory
+        mem_get = mem.get
+        pc = self.pc
+        retired = 0
+
+        warm = warmup is not None
+        if warm:
+            train = warmup.predictor.train
+            confidence = warmup.confidence
+            conf_update = (confidence.update if confidence is not None
+                           else None)
+            btb_predict = warmup.btb.predict
+            btb_update = warmup.btb.update
+            # The cache *hit* paths (the overwhelmingly common case on
+            # a warm hierarchy) are inlined below — same lookup, LRU
+            # touch and dirty marking as Cache.access, with the hit
+            # counters accumulated locally and flushed after the loop.
+            # Misses fall back to Cache.access + the L2 probe, exactly
+            # the MemoryHierarchy composition (latencies are unused
+            # during warm-up).
+            hierarchy = warmup.hierarchy
+            icache = hierarchy.icache
+            dcache = hierarchy.dcache
+            ic_sets = icache._sets
+            ic_set_mask = icache.set_mask
+            ic_set_bits = icache._set_bits
+            ic_alloc = icache.access
+            dc_sets = dcache._sets
+            dc_set_mask = dcache.set_mask
+            dc_set_bits = dcache._set_bits
+            dc_alloc = dcache.access
+            l2_access = hierarchy.l2.access
+            ic_hits = 0
+            dc_hits = 0
+            # One-line D-cache MRU filter: consecutive accesses to the
+            # same line skip the set lookup entirely (the line is
+            # provably present and MRU, so only the hit count — and
+            # the dirty bit, for stores — needs touching).
+            dc_last_line = -1
+            dc_last_set = None
+            dc_last_tag = -1
+            line_shift = warmup._line_shift
+            last_line = warmup._last_fetch_line
+            # Cache-line id of a word address is word >> line_shift
+            # (same line geometry across the hierarchy); instruction
+            # words sit at _IBASE + pc, and _IBASE is line-aligned, so
+            # the fetch-dedup line doubles as the line-id offset.
+            ic_line_base = _IBASE >> line_shift
+
+        if pc < 0 and max_instructions > 0:
+            # Negative PCs would wrap Python's list indexing; static
+            # negative targets divert to the reference path above, JR
+            # guards itself in-loop, leaving only the entry.
+            result.fell_off = True
+            return result
+
+        while retired < max_instructions:
+            try:
+                c = code[pc]
+            except IndexError:
+                result.fell_off = True
+                break
+            if c == _HALT:
+                result.halted = True
+                break
+            if warm:
+                # One fetch probe per cache line (see WarmupEngine).
+                line = pc >> line_shift
+                if line != last_line:
+                    last_line = line
+                    cache_line = ic_line_base + line
+                    lines = ic_sets[cache_line & ic_set_mask]
+                    tag = cache_line >> ic_set_bits
+                    if tag in lines:
+                        ic_hits += 1
+                        lines.move_to_end(tag)
+                    else:
+                        word = _IBASE + pc
+                        ic_alloc(word) or l2_access(word)
+            if c < _FADD:                          # integer ALU
+                if c == _ADD:
+                    value = regs[s0[pc]] + regs[s1[pc]]
+                elif c == _ADDI:
+                    value = regs[s0[pc]] + imm[pc]
+                elif c == _LI:
+                    value = imm[pc]
+                elif c == _SUB:
+                    value = regs[s0[pc]] - regs[s1[pc]]
+                elif c == _SLT:
+                    value = 1 if regs[s0[pc]] < regs[s1[pc]] else 0
+                elif c == _MOV:
+                    value = regs[s0[pc]]
+                elif c == _AND:
+                    value = regs[s0[pc]] & regs[s1[pc]]
+                elif c == _OR:
+                    value = regs[s0[pc]] | regs[s1[pc]]
+                elif c == _XOR:
+                    value = regs[s0[pc]] ^ regs[s1[pc]]
+                elif c == _MUL:
+                    value = regs[s0[pc]] * regs[s1[pc]]
+                elif c == _SHL:
+                    value = regs[s0[pc]] << (regs[s1[pc]] & 63)
+                elif c == _SHR:
+                    value = regs[s0[pc]] >> (regs[s1[pc]] & 63)
+                else:                              # DIV
+                    divisor = regs[s1[pc]]
+                    value = (int(regs[s0[pc]] / divisor) if divisor
+                             else 0)
+                # Inline wrap_int (signed 64-bit two's complement).
+                value &= _MASK64
+                regs[dest[pc]] = (value - _TWO64 if value & _SIGN64
+                                  else value)
+                pc += 1
+            elif c <= _BNEZ and c >= _BEQ:         # conditional branch
+                a = regs[s0[pc]]
+                if c == _BLT:
+                    taken = a < regs[s1[pc]]
+                elif c == _BNE:
+                    taken = a != regs[s1[pc]]
+                elif c == _BEQ:
+                    taken = a == regs[s1[pc]]
+                elif c == _BGE:
+                    taken = a >= regs[s1[pc]]
+                elif c == _BEQZ:
+                    taken = a == 0
+                else:                              # BNEZ
+                    taken = a != 0
+                next_pc = target[pc] if taken else pc + 1
+                if warm:
+                    correct = train(pc, taken)
+                    if conf_update is not None:
+                        conf_update(pc, correct=correct, taken=taken)
+                pc = next_pc
+            elif c == _LD or c == _FLD:
+                base = regs[s0[pc]]
+                if base.__class__ is int:          # inline effective_address
+                    addr = (base + imm[pc]) & _MASK64
+                else:
+                    addr = effective_address(base, imm[pc])
+                value = mem_get(addr, 0)
+                regs[dest[pc]] = float(value) if c == _FLD else value
+                if warm:
+                    cache_line = addr >> line_shift
+                    if cache_line == dc_last_line:
+                        # Same line as the previous D-cache access: it
+                        # is present and already MRU, so the touch is a
+                        # pure hit-count increment.
+                        dc_hits += 1
+                    else:
+                        lines = dc_sets[cache_line & dc_set_mask]
+                        tag = cache_line >> dc_set_bits
+                        if tag in lines:
+                            dc_hits += 1
+                            lines.move_to_end(tag)
+                        else:
+                            dc_alloc(addr) or l2_access(addr)
+                        dc_last_line = cache_line
+                        dc_last_set = lines
+                        dc_last_tag = tag
+                pc += 1
+            elif c == _ST or c == _FST:
+                base = regs[s1[pc]]
+                if base.__class__ is int:
+                    addr = (base + imm[pc]) & _MASK64
+                else:
+                    addr = effective_address(base, imm[pc])
+                mem[addr] = regs[s0[pc]]
+                if warm:
+                    cache_line = addr >> line_shift
+                    if cache_line == dc_last_line:
+                        dc_hits += 1
+                        dc_last_set[dc_last_tag] = True
+                    else:
+                        lines = dc_sets[cache_line & dc_set_mask]
+                        tag = cache_line >> dc_set_bits
+                        if tag in lines:
+                            dc_hits += 1
+                            lines.move_to_end(tag)
+                            lines[tag] = True
+                        else:
+                            dc_alloc(addr, True) or l2_access(addr, True)
+                        dc_last_line = cache_line
+                        dc_last_set = lines
+                        dc_last_tag = tag
+                pc += 1
+            elif c < _LD:                          # FP arithmetic
+                inst = insts[pc]
+                regs[dest[pc]] = evaluate(
+                    inst.op, [regs[s] for s in inst.srcs], imm[pc])
+                pc += 1
+            elif c == _JMP:
+                pc = target[pc]
+            elif c == _JR:
+                next_pc = int(regs[s0[pc]])
+                if warm:
+                    btb_update(pc, next_pc, btb_predict(pc) == next_pc)
+                pc = next_pc
+                if pc < 0:
+                    # A negative target would wrap around the decoded
+                    # arrays (the fetch guard only catches the high
+                    # side); terminate exactly like step() would on the
+                    # next fetch.
+                    retired += 1
+                    if retired < max_instructions:
+                        result.fell_off = True
+                    break
+            else:                                  # NOP
+                pc += 1
+            retired += 1
+
+        self.pc = pc
+        result.retired = retired
+        self.retired_total += retired
+        if warm:
+            warmup._last_fetch_line = last_line
+            warmup.instructions += retired
+            icache.hits += ic_hits
+            dcache.hits += dc_hits
         return result
 
 

@@ -20,8 +20,48 @@ from repro.isa.semantics import Value
 DATA_BASE = 0x1000
 
 
+class DecodedProgram:
+    """Flat parallel-array predecode of a program's instruction memory.
+
+    One list per field (opcode value, sources, destination, immediate,
+    target), indexed by PC.  The emulator's fast interpreter loop
+    dispatches on ``code[pc]`` — a plain int compare — instead of
+    touching ``Instruction`` attributes; unused register fields are 0 so
+    indexed reads never need a None check (the per-opcode dispatch
+    decides which fields are meaningful).  ``insts`` keeps the decoded
+    ``Instruction`` objects for the rare generic-semantics fallback.
+    """
+
+    __slots__ = ("size", "code", "s0", "s1", "dest", "imm", "target",
+                 "insts", "has_wild_targets")
+
+    def __init__(self, instructions: Sequence[Instruction]) -> None:
+        self.insts: List[Instruction] = list(instructions)
+        self.size = len(self.insts)
+        self.code = [inst.op.value for inst in self.insts]
+        self.s0 = [inst.srcs[0] if inst.srcs else 0 for inst in self.insts]
+        self.s1 = [inst.srcs[1] if len(inst.srcs) > 1 else 0
+                   for inst in self.insts]
+        self.dest = [inst.dest if inst.dest is not None else 0
+                     for inst in self.insts]
+        self.imm = [inst.imm for inst in self.insts]
+        self.target = [inst.target if inst.target is not None else 0
+                       for inst in self.insts]
+        #: A negative *static* target would wrap Python's list indexing
+        #: in the fast loop (the reference path treats it as PC
+        #: fall-off); such programs can't come from ProgramBuilder, so
+        #: flag them here and let run_fast take the reference path.
+        self.has_wild_targets = any(
+            inst.target is not None and inst.target < 0
+            for inst in self.insts)
+
+
 class Program:
-    """A complete executable: instruction memory + initial data memory."""
+    """A complete executable: instruction memory + initial data memory.
+
+    Programs are immutable once built: the decoded fast-dispatch arrays
+    (:attr:`decoded`) are computed once and cached.
+    """
 
     def __init__(
         self,
@@ -36,6 +76,16 @@ class Program:
         self.labels: Dict[str, int] = dict(labels or {})
         self.entry = 0
         self._memory_lines: Optional[List[int]] = None
+        self._decoded: Optional[DecodedProgram] = None
+
+    @property
+    def decoded(self) -> DecodedProgram:
+        """Flat predecoded arrays for the emulator's fast loop (cached;
+        built on first use so programs constructed purely for listings
+        or analysis never pay for it)."""
+        if self._decoded is None:
+            self._decoded = DecodedProgram(self.instructions)
+        return self._decoded
 
     @property
     def memory_line_addrs(self) -> List[int]:

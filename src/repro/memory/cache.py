@@ -28,6 +28,7 @@ class Cache:
             raise ValueError(f"{name}: number of sets must be a power of two")
         self.set_mask = self.num_sets - 1
         self._line_shift = line_bytes.bit_length() - 1
+        self._set_bits = self.num_sets.bit_length() - 1
         # Per-set LRU-ordered {tag: dirty} maps.
         self._sets = [OrderedDict() for _ in range(self.num_sets)]
         self.hits = 0
@@ -36,11 +37,17 @@ class Cache:
 
     def _locate(self, word_addr: int):
         line = (word_addr * WORD_BYTES) >> self._line_shift
-        return line & self.set_mask, line >> (self.num_sets.bit_length() - 1)
+        return line & self.set_mask, line >> self._set_bits
 
     def access(self, word_addr: int, write: bool = False) -> bool:
-        """Access the cache; allocate on miss. Returns True on hit."""
-        set_index, tag = self._locate(word_addr)
+        """Access the cache; allocate on miss. Returns True on hit.
+
+        (``_locate`` is inlined here: this is the per-probe hot path of
+        both the timing cores and the fused warm-forward loop.)
+        """
+        line = (word_addr << 3) >> self._line_shift  # * WORD_BYTES
+        set_index = line & self.set_mask
+        tag = line >> self._set_bits
         lines = self._sets[set_index]
         if tag in lines:
             self.hits += 1

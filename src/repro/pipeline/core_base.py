@@ -100,7 +100,12 @@ class OutOfOrderCore(ABC):
         program entry: PC, committed memory and every logical register
         take the checkpoint's values. Must be called before the first
         cycle — the identity rename mappings set up at construction are
-        what make per-logical-register seeding sufficient."""
+        what make per-logical-register seeding sufficient.
+
+        The memory copy below is load-bearing: the sampled engine
+        hands out copy-on-write checkpoints that alias the emulator's
+        live dict (``Emulator.snapshot(share=True)``), so the core must
+        never write through ``state.memory``."""
         if self.now or self.stats.cycles or self.fetch.fetched:
             raise RuntimeError("seed_architectural_state requires a "
                                "fresh core (no cycles simulated yet)")

@@ -1,0 +1,225 @@
+"""Simulator-throughput benchmark: committed instructions per second.
+
+Not a paper figure — this tracks the *performance trajectory* of the
+simulator itself across PRs.  Four modes run the same workload/machine:
+
+* ``emulator``    — the fast interpreter (``Emulator.run_fast``), the
+  sampled engine's fast-forward ceiling;
+* ``ff+warmup``   — ``run_fast`` with the warm-up engine fused in
+  (what fast-forward actually costs);
+* ``detailed``    — the cycle-level core (full-detail cost);
+* ``sampled``     — the complete sampled engine, reported as
+  *represented* instructions per second.
+
+Two reference modes (``--ref``) time the pre-overhaul paths — the
+``step()`` interpreter and the per-retire observer — so the speedup of
+the fused fast path stays measurable in place.
+
+:func:`measure` returns one machine-readable record (inst/s per mode,
+budgets, git SHA); :func:`write_json` lands it in
+``BENCH_throughput.json`` so the trajectory is tracked across PRs, and
+:func:`check_regression` gates CI on it (the ``repro bench`` command
+wires all three together).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from datetime import datetime, timezone
+from typing import Dict, List, Optional
+
+#: The JSON artifact's schema tag (bump on incompatible changes).
+SCHEMA = "repro-bench-throughput/1"
+
+#: Mode names in canonical order.
+MODES = ("emulator", "ff+warmup", "detailed", "sampled")
+REFERENCE_MODES = ("emulator-ref", "ff+warmup-ref")
+
+#: The mode the CI regression gate watches (the PR-over-PR trajectory
+#: this subsystem exists to protect).
+GATED_MODE = "ff+warmup"
+
+
+def git_sha() -> str:
+    """The repository HEAD this measurement describes (``unknown``
+    outside a git checkout)."""
+    try:
+        out = subprocess.run(["git", "rev-parse", "HEAD"],
+                             capture_output=True, text=True, timeout=10)
+        sha = out.stdout.strip()
+        return sha if out.returncode == 0 and sha else "unknown"
+    except OSError:
+        return "unknown"
+
+
+def _tage_config():
+    from repro.sim.config import SimConfig
+    return SimConfig.baseline(predictor="tage")
+
+
+def _rate(instructions: int, seconds: float) -> float:
+    return instructions / seconds if seconds else 0.0
+
+
+def measure_mode(mode: str, workload: str, emulate_n: int, detail_n: int,
+                 sampled_n: int) -> Dict[str, float]:
+    """Time one mode once and return its record (instructions, seconds,
+    instructions_per_second, plus sampled-cost fields where relevant)."""
+    from repro.isa.emulator import Emulator
+    from repro.sim.runner import simulate
+    from repro.sim.sampling.warmup import WarmupEngine
+    from repro.workloads import get_program
+
+    program = get_program(workload)
+    program.decoded          # predecode outside the timed region
+    config = _tage_config()
+
+    if mode == "emulator":
+        emulator = Emulator(program)
+        t0 = time.perf_counter()
+        result = emulator.run_fast(emulate_n)
+        elapsed = time.perf_counter() - t0
+        retired = result.retired
+    elif mode == "emulator-ref":
+        emulator = Emulator(program)
+        t0 = time.perf_counter()
+        result = emulator.run(max_instructions=emulate_n)
+        elapsed = time.perf_counter() - t0
+        retired = result.retired
+    elif mode == "ff+warmup":
+        emulator = Emulator(program)
+        warm = WarmupEngine(config, program)
+        t0 = time.perf_counter()
+        result = emulator.run_fast(emulate_n, warmup=warm)
+        elapsed = time.perf_counter() - t0
+        retired = result.retired
+    elif mode == "ff+warmup-ref":
+        emulator = Emulator(program)
+        emulator.observer = WarmupEngine(config, program)
+        t0 = time.perf_counter()
+        result = emulator.run(max_instructions=emulate_n)
+        elapsed = time.perf_counter() - t0
+        retired = result.retired
+    elif mode == "detailed":
+        t0 = time.perf_counter()
+        stats = simulate(program, config, max_instructions=detail_n)
+        elapsed = time.perf_counter() - t0
+        retired = stats.committed
+    elif mode == "sampled":
+        t0 = time.perf_counter()
+        stats = simulate(program, config, max_instructions=sampled_n,
+                         sampling=True)
+        elapsed = time.perf_counter() - t0
+        record = {
+            "instructions": stats.committed,
+            "seconds": elapsed,
+            "instructions_per_second": _rate(stats.committed, elapsed),
+            "detail_instructions": stats.detail_instructions,
+        }
+        return record
+    else:
+        raise ValueError(f"unknown bench mode {mode!r}; choose from "
+                         f"{MODES + REFERENCE_MODES}")
+    return {"instructions": retired, "seconds": elapsed,
+            "instructions_per_second": _rate(retired, elapsed)}
+
+
+def measure(workload: str = "gzip", emulate_n: int = 200_000,
+            detail_n: int = 20_000, sampled_n: int = 200_000,
+            modes: Optional[List[str]] = None,
+            repeats: int = 1) -> dict:
+    """Measure the requested modes and return the full bench record.
+
+    ``repeats`` > 1 keeps the best (highest inst/s) run per mode —
+    throughput is a property of the code, noise only subtracts.
+    """
+    record = {
+        "schema": SCHEMA,
+        "workload": workload,
+        "git_sha": git_sha(),
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "budgets": {"emulate": emulate_n, "detail": detail_n,
+                    "sampled": sampled_n},
+        "modes": {},
+    }
+    for mode in (modes or MODES):
+        # One small untimed priming run per mode: we report steady-state
+        # throughput, not allocator/codepath cold-start.
+        measure_mode(mode, workload, min(5000, emulate_n),
+                     min(500, detail_n), min(5000, sampled_n))
+        best = None
+        for _ in range(max(1, repeats)):
+            current = measure_mode(mode, workload, emulate_n, detail_n,
+                                   sampled_n)
+            if best is None or (current["instructions_per_second"]
+                                > best["instructions_per_second"]):
+                best = current
+        record["modes"][mode] = best
+    return record
+
+
+def write_json(path: str, record: dict) -> None:
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def load_json(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def check_regression(current: dict, baseline: dict,
+                     tolerance: float = 0.30,
+                     mode: str = GATED_MODE) -> Optional[str]:
+    """Compare ``mode``'s inst/s against a committed baseline record.
+
+    Returns a human-readable failure message when the current rate is
+    more than ``tolerance`` below the baseline, None when within
+    bounds (or when either record lacks the mode — absence is not a
+    regression).  Records measured on different workloads are not
+    comparable and always fail: silently passing would let a
+    ``--workload`` run overwrite the committed baseline with rates the
+    CI gate (which measures the baseline's workload) can't gate on.
+    """
+    current_wl = current.get("workload")
+    baseline_wl = baseline.get("workload")
+    if current_wl and baseline_wl and current_wl != baseline_wl:
+        return (f"baseline measures workload {baseline_wl!r} but this "
+                f"run measured {current_wl!r}; rates are not "
+                f"comparable (re-run with --workload {baseline_wl} or "
+                f"point --baseline at a {current_wl} record)")
+    try:
+        new = current["modes"][mode]["instructions_per_second"]
+        old = baseline["modes"][mode]["instructions_per_second"]
+    except KeyError:
+        return None
+    if old <= 0:
+        return None
+    floor = old * (1.0 - tolerance)
+    if new < floor:
+        return (f"{mode} throughput regressed: {new:,.0f} inst/s vs "
+                f"baseline {old:,.0f} (floor {floor:,.0f} at "
+                f"-{tolerance:.0%}; baseline git {baseline.get('git_sha')})")
+    return None
+
+
+def format_table(record: dict) -> str:
+    """One aligned line per measured mode, for the CLI."""
+    lines = [f"workload {record['workload']}  git {record['git_sha'][:12]}"
+             f"  budgets {record['budgets']}"]
+    for mode, row in record["modes"].items():
+        extra = ""
+        if "detail_instructions" in row:
+            extra = (f"  ({row['detail_instructions']:,d} detailed of "
+                     f"{row['instructions']:,d} represented)")
+        lines.append(f"  {mode:14s} {row['instructions_per_second']:12,.0f}"
+                     f" inst/s{extra}")
+    return "\n".join(lines)
+
+
+__all__ = ["GATED_MODE", "MODES", "REFERENCE_MODES", "SCHEMA",
+           "check_regression", "format_table", "git_sha", "load_json",
+           "measure", "measure_mode", "write_json"]

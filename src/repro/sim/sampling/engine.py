@@ -92,16 +92,19 @@ def simulate_sampled(program, config,
     detail_config = _detail_config(config, params.warmup)
 
     emulator = Emulator(program)
+    # Fast-forward runs through Emulator.run_fast with the warm-up
+    # engine fused into the predecoded dispatch loop (no per-retire
+    # observer callback); checkpoints are taken copy-on-write and
+    # released once the window core has been seeded, so their cost no
+    # longer scales with the memory footprint.
     warm = WarmupEngine(config, program) if params.warmup else None
-    if warm is not None:
-        emulator.observer = warm
 
     windows = []
     pos = 0
     ended = False
 
     if params.ff:
-        result = emulator.run(max_instructions=params.ff)
+        result = emulator.run_fast(params.ff, warmup=warm)
         pos += result.retired
         ended = result.terminated
 
@@ -110,16 +113,17 @@ def simulate_sampled(program, config,
             remaining = budget - pos
             warmup_n = min(params.detail_warmup, max(0, remaining - 1))
             measure = min(params.interval, remaining - warmup_n)
+            checkpoint = emulator.snapshot(share=True)
             stats, cost, _ = _run_window(
-                program, detail_config, emulator.snapshot(), warm,
+                program, detail_config, checkpoint, warm,
                 measure, warmup_n)
+            checkpoint.release()
             if stats.committed:
                 # Walk the functional stream over the represented span:
                 # a program that ends before the budget must shrink the
                 # window's weight to the instructions that exist. No
                 # further window will run, so stop paying for warm-up.
-                emulator.observer = None
-                result = emulator.run(max_instructions=remaining)
+                result = emulator.run_fast(remaining)
                 represents = (result.retired if result.terminated
                               else remaining)
                 windows.append(IntervalResult(pos, represents, stats,
@@ -137,18 +141,20 @@ def simulate_sampled(program, config,
             measure = segment - warmup_n
             gap = span - segment
             if gap:
-                result = emulator.run(max_instructions=gap)
+                result = emulator.run_fast(gap, warmup=warm)
                 pos += result.retired
                 if result.terminated:
                     break
+            checkpoint = emulator.snapshot(share=True)
             stats, cost, halted = _run_window(
-                program, detail_config, emulator.snapshot(), warm,
+                program, detail_config, checkpoint, warm,
                 measure, warmup_n)
+            checkpoint.release()
             if stats.committed == 0:
                 break
             # Walk the functional stream through the detailed segment
             # so warm-up stays continuous and position stays exact.
-            result = emulator.run(max_instructions=segment)
+            result = emulator.run_fast(segment, warmup=warm)
             represents = gap + (result.retired if result.terminated
                                 else segment)
             windows.append(IntervalResult(pos, represents, stats,

@@ -35,7 +35,19 @@ from repro.memory.cache import MemoryHierarchy
 
 class WarmupEngine:
     """Observer that warms predictor/BTB/caches from a functional
-    stream, and injects copies of them into detailed cores."""
+    stream, and injects copies of them into detailed cores.
+
+    Two drive modes, bit-identical by construction (and by the oracle
+    tests):
+
+    * as the emulator's per-retire ``observer`` (this class's
+      ``__call__`` — the readable reference discipline: predict,
+      update, repair-on-mispredict);
+    * fused into ``Emulator.run_fast(budget, warmup=self)``, where the
+      predecoded kind dispatch drives ``predictor.train`` / BTB /
+      cache probes directly with no per-instruction callback — the
+      sampled engine's fast-forward path.
+    """
 
     def __init__(self, config, program=None) -> None:
         self.hierarchy = MemoryHierarchy.from_config(config)
@@ -59,7 +71,24 @@ class WarmupEngine:
         # and an L1I hit never touches the shared L2, so deduping them
         # leaves the cache contents bit-identical while skipping ~7/8
         # of the probes (8 words per 64 B line).
-        words_per_line = max(1, config.line_bytes // 8)
+        #
+        # The dedup granule must mirror Cache._locate's shift-based
+        # line mapping exactly, or probes get grouped across real line
+        # boundaries and the warmed contents silently diverge from the
+        # timing cores'.  Cache effectively rounds a non-power-of-two
+        # line size *down* to a power of two (it shifts byte addresses
+        # by floor(log2(line_bytes))), so round the word count the same
+        # way instead of assuming it is already a power of two; lines
+        # narrower than one 8-byte word cannot be expressed in word-
+        # granular probes at all, so reject them.
+        if config.line_bytes < 8:
+            raise ValueError(
+                f"line_bytes={config.line_bytes} is narrower than one "
+                f"8-byte word; the warm-up fetch dedup (and the "
+                f"word-granular caches) need at least one word per line")
+        words_per_line = config.line_bytes // 8
+        if words_per_line & (words_per_line - 1):
+            words_per_line = 1 << (words_per_line.bit_length() - 1)
         self._line_shift = words_per_line.bit_length() - 1
         self._last_fetch_line = -1
 

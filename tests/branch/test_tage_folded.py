@@ -1,0 +1,180 @@
+"""Bit-exactness oracle tests for the folded-history TAGE fast paths.
+
+The predictor keeps three incrementally-maintained fold registers per
+tagged component (packed into three group integers) and a generated,
+geometry-specialised ``train``.  Everything here pins those fast paths
+to the reference implementations: ``_fold`` re-folding the whole
+history, ``_index``/``_tag`` recomputed from an explicit history, and
+``train_reference`` (the public predict/update/restore composition).
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.branch.tage import TagePredictor, _fold
+
+
+def _drive(predictor, rng, steps, pc_space=4096, bias=0.6):
+    """Drive the reference predict/update/repair discipline."""
+    for _ in range(steps):
+        pc = rng.randrange(pc_space)
+        prediction = predictor.predict(pc)
+        taken = rng.random() < bias
+        predictor.update(prediction, taken)
+        if prediction.taken != taken:
+            prediction.taken = taken
+            predictor.restore(prediction)
+
+
+def _state(predictor):
+    """Comparable architectural state (scratch buffers excluded, ghr
+    normalised — the generated train defers masking)."""
+    state = {key: value for key, value in predictor.__getstate__().items()
+             if not key.startswith("_scratch")}
+    state["ghr"] = state["ghr"] & predictor.history_mask
+    return state
+
+
+def _assert_folds_match_reference(predictor):
+    for comp, length in enumerate(predictor.history_lengths):
+        history = predictor.ghr
+        assert predictor._folded(comp) == (
+            _fold(history, length, predictor.table_bits),
+            _fold(history, length, predictor.tag_bits),
+            _fold(history, length, predictor.tag_bits - 1),
+        ), f"component {comp} fold registers diverged"
+
+
+def test_fold_registers_track_reference_over_random_stream():
+    predictor = TagePredictor()
+    rng = random.Random(7)
+    for step in range(2000):
+        pc = rng.randrange(1 << 14)
+        prediction = predictor.predict(pc)
+        taken = rng.random() < 0.6
+        predictor.update(prediction, taken)
+        if prediction.taken != taken:
+            prediction.taken = taken
+            predictor.restore(prediction)
+        if step % 97 == 0:
+            _assert_folds_match_reference(predictor)
+    _assert_folds_match_reference(predictor)
+
+
+def test_prediction_indices_and_tags_match_fold_reference():
+    predictor = TagePredictor(table_bits=8, tag_bits=7)
+    rng = random.Random(3)
+    for _ in range(1200):
+        pc = rng.randrange(4096)
+        history = predictor.ghr & predictor.history_mask
+        prediction = predictor.predict(pc)
+        _snap, _prov, _alt, indices, tags, _pp, _ap = prediction.meta
+        for comp in range(predictor.num_tagged):
+            assert indices[comp] == predictor._index(pc, comp, history)
+            assert tags[comp] == predictor._tag(pc, comp, history)
+        taken = rng.random() < 0.5
+        predictor.update(prediction, taken)
+        if prediction.taken != taken:
+            prediction.taken = taken
+            predictor.restore(prediction)
+
+
+@pytest.mark.parametrize("table_bits,tag_bits,period",
+                         [(12, 10, 256 * 1024),   # default geometry
+                          (7, 6, 997),            # non-pow2 decay period
+                          (6, 4, 64)])            # tiny, frequent decay
+def test_train_bit_identical_to_reference_flow(table_bits, tag_bits,
+                                               period):
+    reference = TagePredictor(table_bits=table_bits, tag_bits=tag_bits,
+                              useful_reset_period=period)
+    fast = TagePredictor(table_bits=table_bits, tag_bits=tag_bits,
+                         useful_reset_period=period)
+    rng = random.Random(table_bits * 31 + period)
+    for step in range(6000):
+        pc = rng.randrange(4096)
+        taken = rng.random() < 0.55
+        assert reference.train_reference(pc, taken) \
+            == fast.train(pc, taken), f"correctness diverged at {step}"
+    assert _state(reference) == _state(fast)
+
+
+def test_train_interleaves_with_predict_update():
+    """A predictor must survive mixing the two disciplines (the warm
+    predictor is cloned into windows that run predict/update)."""
+    mixed = TagePredictor(table_bits=7, tag_bits=6)
+    reference = TagePredictor(table_bits=7, tag_bits=6)
+    rng = random.Random(11)
+    for step in range(3000):
+        pc = rng.randrange(2048)
+        taken = rng.random() < 0.6
+        reference.train_reference(pc, taken)
+        if step % 3 == 0:
+            prediction = mixed.predict(pc)
+            correct = prediction.taken == taken
+            mixed.update(prediction, taken)
+            if not correct:
+                prediction.taken = taken
+                mixed.restore(prediction)
+        else:
+            mixed.train(pc, taken)
+    assert _state(mixed) == _state(reference)
+
+
+def test_set_history_rebuilds_folds():
+    predictor = TagePredictor()
+    rng = random.Random(5)
+    for _ in range(300):
+        predictor.train(rng.randrange(1024), rng.random() < 0.5)
+    snapshot = rng.getrandbits(predictor.max_history)
+    predictor.set_history(snapshot)
+    assert predictor.get_history() == snapshot & predictor.history_mask
+    _assert_folds_match_reference(predictor)
+    predictor.set_history_appended(snapshot, True)
+    assert predictor.get_history() \
+        == ((snapshot << 1) | 1) & predictor.history_mask
+    _assert_folds_match_reference(predictor)
+
+
+def test_clone_shares_no_fold_or_table_state():
+    predictor = TagePredictor(table_bits=6, tag_bits=5)
+    rng = random.Random(9)
+    for _ in range(500):
+        predictor.train(rng.randrange(512), rng.random() < 0.5)
+    twin = predictor.clone()
+    assert _state(twin) == _state(predictor)
+    frozen = _state(predictor)
+    # Training the clone (fast path) must not leak into the original —
+    # this also catches a stale generated-train binding, which would
+    # mutate the original's tables.
+    for _ in range(500):
+        twin.train(rng.randrange(512), rng.random() < 0.5)
+    assert _state(predictor) == frozen
+    _assert_folds_match_reference(twin)
+
+
+def test_pickle_roundtrip_rebinds_generated_train():
+    predictor = TagePredictor(table_bits=6, tag_bits=5)
+    rng = random.Random(13)
+    for _ in range(200):
+        predictor.train(rng.randrange(512), rng.random() < 0.5)
+    restored = pickle.loads(pickle.dumps(predictor,
+                                         pickle.HIGHEST_PROTOCOL))
+    assert _state(restored) == _state(predictor)
+    # Both must continue identically through the fast path.
+    for _ in range(200):
+        pc = rng.randrange(512)
+        taken = rng.random() < 0.5
+        assert restored.train(pc, taken) == predictor.train(pc, taken)
+    assert _state(restored) == _state(predictor)
+
+
+def test_columnar_decay_matches_dense_semantics():
+    predictor = TagePredictor(table_bits=6, tag_bits=5)
+    predictor.useful_table[0][3] = 3
+    predictor.useful_table[4][10] = 1
+    predictor._decay_useful()
+    assert predictor.useful_table[0][3] == 2
+    assert predictor.useful_table[4][10] == 0
+    assert all(value == 0 for value in predictor.useful_table[1])

@@ -1,0 +1,229 @@
+"""Oracle tests for the predecoded fast interpreter loop.
+
+``Emulator.run_fast`` must be bit-identical to the reference ``step()``
+path — architectural state, result flags and retire counts — both bare
+and with the warm-up engine fused in, and its copy-on-write snapshots
+must behave exactly like eager copies.
+"""
+
+import random
+
+import pytest
+
+from repro.isa.emulator import Emulator
+from repro.sim import SimConfig
+from repro.sim.sampling import WarmupEngine
+from repro.workloads import get_program
+from repro.workloads.fuzz import random_program
+
+
+def _arch_state(emulator):
+    return (emulator.pc, list(emulator.regs), dict(emulator.memory),
+            emulator.retired_total)
+
+
+def _flags(result):
+    return (result.retired, result.halted, result.fell_off)
+
+
+def _warm_state(warm):
+    caches = []
+    for cache in (warm.hierarchy.icache, warm.hierarchy.dcache,
+                  warm.hierarchy.l2):
+        # items() order is the LRU order — it must match exactly, not
+        # just the membership.
+        caches.append((cache.hits, cache.misses, cache.writebacks,
+                       [list(s.items()) for s in cache._sets]))
+    predictor = {key: value
+                 for key, value in warm.predictor.__dict__.items()
+                 if not key.startswith("_scratch")
+                 and key not in ("train",)}
+    if "ghr" in predictor and hasattr(warm.predictor, "history_mask"):
+        predictor["ghr"] = predictor["ghr"] & warm.predictor.history_mask
+    confidence = warm.confidence
+    return (predictor, caches,
+            [list(s.items()) for s in warm.btb._table],
+            None if confidence is None else
+            (confidence.table, confidence.ghr, confidence.queries,
+             confidence.low_confidence),
+            warm.instructions)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_run_fast_matches_step_on_random_programs(seed):
+    program = random_program(seed)
+    reference = Emulator(program)
+    fast = Emulator(program)
+    ref_result = reference.run(max_instructions=6000)
+    fast_result = fast.run_fast(6000)
+    assert _flags(ref_result) == _flags(fast_result)
+    assert _arch_state(reference) == _arch_state(fast)
+
+
+@pytest.mark.parametrize("workload", ["gzip", "mcf", "crafty", "ammp"])
+def test_run_fast_matches_step_on_workloads(workload):
+    program = get_program(workload)
+    reference = Emulator(program)
+    fast = Emulator(program)
+    ref_result = reference.run(max_instructions=20000)
+    fast_result = fast.run_fast(20000)
+    assert _flags(ref_result) == _flags(fast_result)
+    assert _arch_state(reference) == _arch_state(fast)
+
+
+def test_run_fast_chunked_equals_one_shot():
+    program = get_program("gzip")
+    reference = Emulator(program)
+    fast = Emulator(program)
+    reference.run(max_instructions=21000)
+    for _ in range(7):
+        fast.run_fast(3000)
+    assert _arch_state(reference) == _arch_state(fast)
+
+
+def test_negative_static_target_matches_reference_falloff():
+    # Program() accepts instruction lists ProgramBuilder would never
+    # emit; a negative branch target must fall off exactly like the
+    # reference path instead of wrapping Python list indexing.
+    from repro.isa.instructions import Instruction
+    from repro.isa.opcodes import Op
+    from repro.isa.program import Program
+    program = Program("wild", [
+        Instruction(Op.LI, dest=1, imm=0),
+        Instruction(Op.BEQZ, srcs=(1,), target=-3),
+        Instruction(Op.LI, dest=2, imm=9),
+    ])
+    reference = Emulator(program)
+    fast = Emulator(program)
+    ref_result = reference.run(max_instructions=100)
+    fast_result = fast.run_fast(100)
+    assert _flags(ref_result) == _flags(fast_result)
+    assert _arch_state(reference) == _arch_state(fast)
+    assert ref_result.fell_off
+
+
+def test_run_fast_halt_and_falloff_flags():
+    # A program that halts almost immediately.
+    from repro.isa.program import ProgramBuilder
+    builder = ProgramBuilder("tiny")
+    builder.li(1, 7)
+    builder.halt()
+    program = builder.build()
+    result = Emulator(program).run_fast(100)
+    assert result.halted and not result.fell_off and result.retired == 1
+
+    builder = ProgramBuilder("falls-off")
+    builder.li(1, 7)
+    program = builder.build()
+    result = Emulator(program).run_fast(100)
+    assert result.fell_off and result.retired == 1
+
+
+@pytest.mark.parametrize("arch,predictor",
+                         [("baseline", "tage"), ("cpr", "tage"),
+                          ("baseline", "gshare")])
+def test_fused_warm_forward_matches_observer_path(arch, predictor):
+    config = (SimConfig.cpr(predictor=predictor) if arch == "cpr"
+              else SimConfig.baseline(predictor=predictor))
+    for program in (get_program("gzip"), random_program(3)):
+        reference = Emulator(program)
+        ref_warm = WarmupEngine(config, program)
+        reference.observer = ref_warm
+        reference.run(max_instructions=12000)
+
+        fast = Emulator(program)
+        fast_warm = WarmupEngine(config, program)
+        fast.run_fast(12000, warmup=fast_warm)
+
+        assert _arch_state(reference) == _arch_state(fast)
+        assert _warm_state(ref_warm) == _warm_state(fast_warm)
+
+
+def test_run_fast_with_observer_falls_back_to_reference_path():
+    program = get_program("gzip")
+    seen = []
+    emulator = Emulator(program)
+    emulator.observer = lambda pc, inst, taken, mem, nxt: seen.append(pc)
+    result = emulator.run_fast(500)
+    assert result.retired == 500
+    assert len(seen) == 500
+
+
+def test_run_fast_rejects_conflicting_observer_and_warmup():
+    program = get_program("gzip")
+    config = SimConfig.baseline()
+    emulator = Emulator(program)
+    emulator.observer = lambda *args: None
+    with pytest.raises(ValueError):
+        emulator.run_fast(100, warmup=WarmupEngine(config, program))
+
+
+# --------------------------------------------------------------------- #
+# Copy-on-write snapshots.
+# --------------------------------------------------------------------- #
+
+def test_shared_snapshot_is_point_in_time():
+    program = get_program("gzip")
+    emulator = Emulator(program)
+    emulator.run_fast(1000)
+    shared = emulator.snapshot(share=True)
+    eager = emulator.snapshot()
+    emulator.run_fast(5000)  # must copy-on-write away from the snapshot
+    assert shared.pc == eager.pc
+    assert shared.regs == eager.regs
+    assert dict(shared.memory) == dict(eager.memory)
+
+
+def test_shared_snapshot_restore_determinism():
+    program = get_program("gzip")
+    emulator = Emulator(program)
+    emulator.run_fast(1000)
+    shared = emulator.snapshot(share=True)
+    emulator.run_fast(4000)
+
+    resumed = Emulator(program)
+    resumed.restore(shared)
+    resumed.run_fast(4000)
+    straight = Emulator(program)
+    straight.run_fast(5000)
+    assert _arch_state(resumed) == _arch_state(straight)
+
+
+def test_released_snapshot_avoids_the_copy():
+    program = get_program("gzip")
+    emulator = Emulator(program)
+    emulator.run_fast(1000)
+    shared = emulator.snapshot(share=True)
+    live_dict = emulator.memory
+    shared.release()
+    emulator.run_fast(1000)
+    # No copy was made: the emulator still mutates its original dict.
+    assert emulator.memory is live_dict
+
+
+def test_unreleased_snapshot_forces_exactly_one_copy():
+    program = get_program("gzip")
+    emulator = Emulator(program)
+    emulator.run_fast(1000)
+    shared = emulator.snapshot(share=True)
+    live_dict = emulator.memory
+    emulator.run_fast(1000)
+    assert emulator.memory is not live_dict
+    assert shared.memory is live_dict
+
+
+def test_releasing_one_of_two_shared_snapshots_keeps_the_guard():
+    program = get_program("gzip")
+    emulator = Emulator(program)
+    emulator.run_fast(1000)
+    first = emulator.snapshot(share=True)
+    second = emulator.snapshot(share=True)  # same dict, no execution
+    first.release()
+    first.release()  # idempotent: must not double-decrement
+    frozen = dict(second.memory)
+    emulator.run_fast(2000)  # must still copy-on-write for `second`
+    assert dict(second.memory) == frozen
+    second.release()
+    live_dict = emulator.memory
+    emulator.run_fast(1000)
+    assert emulator.memory is live_dict

@@ -1,0 +1,75 @@
+"""WarmupEngine fetch-probe dedup geometry.
+
+The warm-up engine collapses consecutive same-line fetch probes.  Its
+line grouping must mirror ``Cache._locate``'s shift-based mapping
+exactly — including for line sizes whose word count is not a power of
+two, where the cache itself rounds the effective line size down to a
+power of two — or the deduped probe stream would skip probes that the
+per-instruction stream performs, silently diverging the warmed cache
+contents.
+"""
+
+import pytest
+
+from repro.memory.cache import MemoryHierarchy
+from repro.sim import SimConfig
+from repro.sim.sampling import WarmupEngine
+
+
+def _config(line_bytes):
+    # Sizes chosen so every line size keeps sets a power of two
+    # (Cache requires size % (assoc * line) == 0 and pow2 sets).
+    return SimConfig.baseline().with_(
+        line_bytes=line_bytes,
+        icache_size=4 * line_bytes * 512,
+        dcache_size=4 * line_bytes * 512,
+        l2_size=8 * line_bytes * 512,
+        warm_caches=False)
+
+
+@pytest.mark.parametrize("line_bytes", [8, 16, 32, 64, 128,
+                                        24, 48, 40])
+def test_line_shift_mirrors_cache_geometry(line_bytes):
+    config = _config(line_bytes)
+    warm = WarmupEngine(config)
+    cache_shift = warm.hierarchy.icache._line_shift
+    # Cache maps word addresses via (word * 8) >> cache_shift; the
+    # engine dedups on word >> _line_shift.  The two groupings agree
+    # iff the shifts differ by exactly log2(8).
+    assert warm._line_shift == max(0, cache_shift - 3)
+
+
+@pytest.mark.parametrize("line_bytes", [64, 48, 24])
+def test_deduped_probe_stream_leaves_identical_cache_state(line_bytes):
+    config = _config(line_bytes)
+    deduped = WarmupEngine(config)
+    dense = MemoryHierarchy.from_config(config)
+
+    # A fetch stream with loops, line-straddling runs and far jumps.
+    pcs = []
+    for base in (0, 7, 1000, 3, 2048, 11):
+        pcs.extend(range(base, base + 23))
+    pcs = pcs * 3
+
+    last_line = -1
+    for pc in pcs:
+        line = pc >> deduped._line_shift
+        if line != last_line:
+            last_line = line
+            deduped.hierarchy.instruction_latency(pc)
+        dense.instruction_latency(pc)
+
+    for probe_cache, dense_cache in (
+            (deduped.hierarchy.icache, dense.icache),
+            (deduped.hierarchy.l2, dense.l2)):
+        # Identical contents in identical LRU order, and identical
+        # miss counts: a skipped probe is always a same-line re-touch,
+        # which is a pure hit.
+        assert [list(s.items()) for s in probe_cache._sets] \
+            == [list(s.items()) for s in dense_cache._sets]
+        assert probe_cache.misses == dense_cache.misses
+
+
+def test_sub_word_lines_rejected():
+    with pytest.raises(ValueError):
+        WarmupEngine(_config(4))

@@ -1,0 +1,83 @@
+"""The throughput-bench library and the ``repro bench`` command."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.sim import bench
+
+
+def test_measure_produces_all_modes_and_schema():
+    record = bench.measure(workload="gzip", emulate_n=3000,
+                           detail_n=300, sampled_n=3000)
+    assert record["schema"] == bench.SCHEMA
+    assert set(record["modes"]) == set(bench.MODES)
+    for mode, row in record["modes"].items():
+        assert row["instructions"] > 0, mode
+        assert row["instructions_per_second"] > 0, mode
+    assert record["modes"]["sampled"]["detail_instructions"] > 0
+    assert record["budgets"]["emulate"] == 3000
+
+
+def test_json_roundtrip(tmp_path):
+    record = bench.measure(workload="gzip", emulate_n=2000,
+                           detail_n=200, sampled_n=2000,
+                           modes=["emulator"])
+    path = tmp_path / "bench.json"
+    bench.write_json(str(path), record)
+    assert bench.load_json(str(path)) == json.loads(path.read_text())
+
+
+def test_check_regression_flags_only_real_regressions():
+    base = {"git_sha": "abc",
+            "modes": {"ff+warmup": {"instructions_per_second": 1000.0}}}
+    ok = {"modes": {"ff+warmup": {"instructions_per_second": 800.0}}}
+    slow = {"modes": {"ff+warmup": {"instructions_per_second": 600.0}}}
+    assert bench.check_regression(ok, base, tolerance=0.30) is None
+    message = bench.check_regression(slow, base, tolerance=0.30)
+    assert message is not None and "regressed" in message
+    # Missing modes are not a regression (new baselines bootstrap).
+    assert bench.check_regression({"modes": {}}, base) is None
+    assert bench.check_regression(ok, {"modes": {}}) is None
+    # Records for different workloads are never comparable — even a
+    # faster rate must fail rather than silently ratify a baseline the
+    # CI gate can't reproduce.
+    mismatch = bench.check_regression(
+        {"workload": "mcf", "modes": ok["modes"]},
+        {"workload": "gzip", **base})
+    assert mismatch is not None and "not comparable" in mismatch
+
+
+def test_cli_bench_writes_artifact_and_gates(tmp_path, capsys):
+    out = tmp_path / "BENCH_throughput.json"
+    assert main(["bench", "-n", "2000", "-o", str(out)]) == 0
+    record = json.loads(out.read_text())
+    assert set(record["modes"]) == set(bench.MODES)
+    captured = capsys.readouterr()
+    assert "inst/s" in captured.out
+
+    # Same machine, same code: the gate must pass against itself.
+    # Tolerance is deliberately loose — this asserts the check
+    # *plumbing*, and two independent millisecond-scale timings under
+    # a loaded test machine can legitimately differ far more than the
+    # production 30%.
+    assert main(["bench", "-n", "2000", "-o", "", "--check",
+                 "--baseline", str(out), "--tolerance", "0.95"]) == 0
+
+    # An absurdly fast fake baseline must trip the gate — and a failed
+    # check must never overwrite the baseline it compared against (the
+    # regression would self-ratify on the next run).
+    record["modes"]["ff+warmup"]["instructions_per_second"] *= 1000
+    fake = tmp_path / "fake.json"
+    fake.write_text(json.dumps(record))
+    before = fake.read_text()
+    assert main(["bench", "-n", "2000", "-o", str(fake), "--check",
+                 "--baseline", str(fake)]) == 1
+    assert fake.read_text() == before
+
+
+def test_cli_bench_check_without_baseline_skips(tmp_path):
+    missing = tmp_path / "nope.json"
+    assert main(["bench", "-n", "1500", "-o", "", "--check",
+                 "--baseline", str(missing)]) == 0
