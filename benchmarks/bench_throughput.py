@@ -69,10 +69,10 @@ def _emit_bench_json():
         existing = bench.load_json(BENCH_JSON)
     except (OSError, ValueError):
         existing = None
-    failure = (bench.check_regression(record, existing)
-               if existing else None)
-    if failure:
-        print(f"\nnot overwriting {BENCH_JSON}: {failure}")
+    failures = (bench.check_regressions(record, existing)
+                if existing else [])
+    if failures:
+        print(f"\nnot overwriting {BENCH_JSON}: {'; '.join(failures)}")
         return
     bench.write_json(BENCH_JSON, record)
     print(f"\nwrote {BENCH_JSON}")

@@ -10,11 +10,16 @@ architectural RAT at the ROB head.
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import List, Optional
 
+from repro.isa.opcodes import Op
 from repro.isa.registers import NUM_INT_REGS, NUM_LOGICAL_REGS, is_int_reg
-from repro.pipeline.core_base import FAULT_NONE, OutOfOrderCore
+from repro.isa.semantics import effective_address
+from repro.pipeline.core_base import FAULT_NONE, OutOfOrderCore, \
+    _ADDR_MASK, _SEQ
 from repro.pipeline.dyninst import DynInst
+from repro.pipeline.stats import SimStats
 
 
 class BaselineProcessor(OutOfOrderCore):
@@ -42,6 +47,14 @@ class BaselineProcessor(OutOfOrderCore):
             range(NUM_INT_REGS, config.phys_int))
         self.fp_free: List[int] = list(
             range(config.phys_int + NUM_INT_REGS, num_phys))
+
+        if self._sched_event:
+            # Publish the flat register file to the event scheduler's
+            # direct operand paths (handles are plain ints; reads have
+            # no side effects).
+            self._ready_table = self.phys_ready
+            self._value_table = self.phys_value
+            self._read_direct = True
 
     # ------------------------------------------------------------------ #
     # Registers.
@@ -76,44 +89,574 @@ class BaselineProcessor(OutOfOrderCore):
         if len(self.in_flight) >= self.config.rob_size:
             return "rob_full"
         inst = di.inst
-        if inst.writes_reg and not self._free_list_for(inst.dest):
+        if inst.writes_reg and not (self.int_free
+                                    if inst.dest < NUM_INT_REGS
+                                    else self.fp_free):
             return "registers_full"
         return None
 
     def rename(self, di: DynInst) -> None:
         inst = di.inst
-        di.src_handles = [self.rat[src] for src in inst.srcs]
+        rat = self.rat
+        di.src_handles = [rat[src] for src in inst.srcs]
         if inst.writes_reg:
-            new = self._free_list_for(inst.dest).pop()
+            dest = inst.dest
+            free = self.int_free if dest < NUM_INT_REGS else self.fp_free
+            new = free.pop()
             self.phys_ready[new] = False
             di.dest_handle = new
-            self.rat[inst.dest] = new
+            rat[dest] = new
         if inst.is_control:
             # Snapshot for precise branch recovery.
-            di.tag = list(self.rat)
+            di.tag = list(rat)
 
     # ------------------------------------------------------------------ #
     # Commit: in order from the ROB head, up to retire_width per cycle.
     # ------------------------------------------------------------------ #
 
     def commit_stage(self, now: int) -> None:
+        in_flight = self.in_flight
+        if not in_flight or not in_flight[0].completed:
+            return
+        arch_rat = self.arch_rat
         retired = 0
-        while (retired < self.config.retire_width and self.in_flight
-               and self.in_flight[0].completed):
-            di = self.in_flight[0]
+        retire_width = self.config.retire_width
+        while (retired < retire_width and in_flight
+               and in_flight[0].completed):
+            di = in_flight[0]
             if not self.commit_one(di, now):
                 return  # exception recovery took over
-            self.in_flight.popleft()
+            in_flight.popleft()
             inst = di.inst
             if inst.writes_reg:
-                previous = self.arch_rat[inst.dest]
-                self.arch_rat[inst.dest] = di.dest_handle
-                self._free_list_for(inst.dest).append(previous)
+                dest = inst.dest
+                previous = arch_rat[dest]
+                arch_rat[dest] = di.dest_handle
+                if dest < NUM_INT_REGS:
+                    self.int_free.append(previous)
+                else:
+                    self.fp_free.append(previous)
             elif inst.is_store:
                 self.sq.commit_up_to(di.seq, self.commit_store_write)
             retired += 1
             if self.done:
                 return
+
+    # ------------------------------------------------------------------ #
+    # Fused event-scheduler run loop.
+    # ------------------------------------------------------------------ #
+
+    def run(self, max_instructions: int = 50_000,
+            max_cycles: Optional[int] = None) -> SimStats:
+        # The fused loop inlines the common per-cycle path; runs that
+        # need the rare machinery (exception injection, commit tracing)
+        # or the scan oracle take the generic stage-method loop.
+        if (not self._sched_event or self.exception_plan
+                or self.commit_trace is not None):
+            return super().run(max_instructions, max_cycles)
+        return self._run_fused(max_instructions, max_cycles)
+
+    def _run_fused(self, max_instructions: int,
+                   max_cycles: Optional[int]) -> SimStats:
+        """Event-scheduler cycle loop with the baseline machine's stage
+        bodies inlined (commit -> writeback -> issue -> dispatch ->
+        fetch, then the idle skip).
+
+        This is a line-for-line transcription of
+        ``OutOfOrderCore.cycle`` + the baseline ``commit_stage`` /
+        ``rename`` specialised for this machine's flat register file,
+        with the per-instruction virtual calls flattened into local
+        operations — the same fused-hot-loop treatment the emulator's
+        ``run_fast`` got.  Behaviour must stay bit-identical to the
+        generic loop: the scheduler-equivalence tests run this exact
+        path against the scan oracle.
+        """
+        cycle_cap = max_cycles if max_cycles is not None \
+            else max_instructions * 200 + 100_000
+        stats = self.stats
+        fetch = self.fetch
+        buffer = fetch.buffer
+        in_flight = self.in_flight
+        window = self._ready_list
+        completions = self._completions
+        waiting = self._waiting
+        addr_watch = self._addr_watch
+        phys_value = self.phys_value
+        phys_ready = self.phys_ready
+        arch_rat = self.arch_rat
+        int_free = self.int_free
+        fp_free = self.fp_free
+        sq = self.sq
+        sq_entries = sq._entries
+        sq_unknown = sq._unknown_addr
+        sq_pending = sq._pending_data
+        lb = self.load_buffer
+        memory = self.memory
+        load_latency = self.hierarchy.load_latency
+        dcache = self.hierarchy.dcache
+        dc_sets = dcache._sets
+        dc_line_shift = dcache._line_shift
+        dc_set_mask = dcache.set_mask
+        dc_set_bits = dcache._set_bits
+        dcache_hit_cycles = self.hierarchy.dcache_hit
+        fus = self.fus
+        fu_used = fus._used
+        fu_limits = fus._limits
+        issue_width = fus.issue_width
+        config = self.config
+        retire_width = config.retire_width
+        rename_width = config.rename_width
+        iq_size = config.iq_size
+        rob_size = config.rob_size
+        budget = config.max_issue_scan
+        commit_up_to = sq.commit_up_to
+        commit_store_write = self.commit_store_write
+        sq_forward = sq.forward
+        sq_execute = sq.execute
+        sq_allocate = sq.allocate
+        sq_set_address = sq.set_address
+        sq_load_blocked = sq.load_blocked
+        sq_is_full = sq.is_full
+        resolve_control = self._resolve_control
+        predictor = self.predictor
+        predictor_predict = predictor.predict
+        predictor_history = predictor.get_history
+        btb_predict = self.btb.predict
+        program_fetch = self.program.fetch
+        instruction_latency = self.hierarchy.instruction_latency
+        icache = self.hierarchy.icache
+        ic_sets = icache._sets
+        ic_line_shift = icache._line_shift
+        ic_set_mask = icache.set_mask
+        ic_set_bits = icache._set_bits
+        icache_hit_cycles = self.hierarchy.icache_hit
+        fetch_width = fetch.width
+        buffer_capacity = fetch.buffer_capacity
+        FLD = Op.FLD
+        HALT = Op.HALT
+        JMP = Op.JMP
+        JR = Op.JR
+
+        now = self.now
+        while (not self.done and stats.committed < max_instructions
+               and stats.cycles < cycle_cap):
+            stats.cycles += 1
+            recoveries_before = stats.recoveries
+
+            # ---------------- commit (baseline ROB retire) ------------ #
+            commits = 0
+            if in_flight and in_flight[0].completed:
+                ordinal = self.commit_ordinal
+                while commits < retire_width and in_flight:
+                    di = in_flight[0]
+                    if not di.completed:
+                        break
+                    ordinal += 1
+                    di.committed = True
+                    inst = di.inst
+                    if inst.is_load:
+                        lb.occupied -= 1
+                    elif inst.op is HALT:
+                        self.done = True
+                    in_flight.popleft()
+                    if inst.writes_reg:
+                        dest = inst.dest
+                        previous = arch_rat[dest]
+                        arch_rat[dest] = di.dest_handle
+                        if dest < NUM_INT_REGS:
+                            int_free.append(previous)
+                        else:
+                            fp_free.append(previous)
+                    elif inst.is_store:
+                        commit_up_to(di.seq, commit_store_write)
+                    commits += 1
+                    if self.done:
+                        break
+                self.commit_ordinal = ordinal
+                stats.committed += commits
+                if self.done:
+                    now += 1
+                    break
+
+            # ---------------- writeback ------------------------------- #
+            wb_live = False
+            bucket = completions.pop(now, None)
+            if bucket:
+                if len(bucket) > 1:
+                    bucket.sort(key=_SEQ)
+                live = [d for d in bucket if not d.squashed]
+                if live:
+                    wb_live = True
+                    for di in live:
+                        if di.squashed:
+                            continue  # an earlier completion recovered
+                        di.completed = True
+                        inst = di.inst
+                        if inst.writes_reg:
+                            dest = di.dest_handle
+                            phys_value[dest] = di.result
+                            phys_ready[dest] = True
+                            waiters = waiting.pop(dest, None)
+                            if waiters:
+                                for waiter in waiters:
+                                    if waiter.squashed:
+                                        continue
+                                    waiter.wait_count -= 1
+                                    if waiter.wait_count == 0:
+                                        if (not window or
+                                                window[-1].seq < waiter.seq):
+                                            window.append(waiter)
+                                        else:
+                                            insort(window, waiter, key=_SEQ)
+                            watchers = (addr_watch.pop(dest, None)
+                                        if addr_watch else None)
+                            if watchers:
+                                for store in watchers:
+                                    if not store.squashed:
+                                        base = di.result
+                                        if type(base) is int:
+                                            addr = ((base + store.inst.imm)
+                                                    & _ADDR_MASK)
+                                        else:
+                                            addr = effective_address(
+                                                base, store.inst.imm)
+                                        sq_set_address(store.store_entry,
+                                                       addr)
+                        elif inst.is_store:
+                            sq_execute(di.store_entry, di.mem_addr,
+                                       di.src_values[0])
+                        if inst.is_control:
+                            resolve_control(di, now)
+
+            # ---------------- issue (event window walk) --------------- #
+            issued = 0
+            dropped = False
+            next_timed = None
+            n = len(window)
+            if n:
+                fu_used[0] = fu_used[1] = fu_used[2] = fu_used[3] = 0
+                slots = issue_width
+                if budget < n:
+                    n = budget
+                read = 0
+                write = 0
+                while read < n:
+                    di = window[read]
+                    read += 1
+                    if di.squashed or di.issued:
+                        dropped = True
+                        continue
+                    eic = di.earliest_issue_cycle
+                    if eic > now:
+                        if next_timed is None or eic < next_timed:
+                            next_timed = eic
+                        window[write] = di
+                        write += 1
+                        continue
+                    inst = di.inst
+                    kind = inst.kind
+                    handles = di.src_handles
+                    if kind == 4:
+                        base = phys_value[handles[0]]
+                        if type(base) is int:
+                            addr = (base + inst.imm) & _ADDR_MASK
+                        else:
+                            addr = effective_address(base, inst.imm)
+                        if ((sq_unknown or sq_pending)
+                                and sq_load_blocked(addr, di.seq)):
+                            window[write] = di
+                            write += 1
+                            continue
+                    code = inst.fu_code
+                    if fu_used[code] >= fu_limits[code]:
+                        window[write] = di
+                        write += 1
+                        continue
+                    # -------- issue + execute, inline ----------------- #
+                    di.issued = True
+                    issued += 1
+                    fu_used[code] = fu_used[code] + 1
+                    if kind == 0:
+                        di.src_values = values = [phys_value[h]
+                                                  for h in handles]
+                        di.result = inst.eval_fn(values, inst.imm)
+                        latency = inst.latency
+                    elif kind == 1:
+                        di.src_values = values = [phys_value[h]
+                                                  for h in handles]
+                        di.actual_taken = taken = inst.branch_fn(values)
+                        di.actual_target = (inst.target if taken
+                                            else di.pc + 1)
+                        latency = inst.latency
+                    elif kind == 4:
+                        di.src_values = (base,)
+                        di.mem_addr = addr
+                        if sq_entries:
+                            forwarded, penalty = sq_forward(addr, di.seq)
+                        else:
+                            forwarded = None
+                        if forwarded is not None:
+                            di.result = (float(forwarded)
+                                         if inst.op is FLD else forwarded)
+                            latency = 1 + penalty
+                        else:
+                            value = memory.get(addr, 0)
+                            di.result = (float(value) if inst.op is FLD
+                                         else value)
+                            # D-cache hit path, inline (Cache.access).
+                            line = (addr << 3) >> dc_line_shift
+                            tag = line >> dc_set_bits
+                            lines = dc_sets[line & dc_set_mask]
+                            if tag in lines:
+                                dcache.hits += 1
+                                lines.move_to_end(tag)
+                                latency = dcache_hit_cycles
+                            else:
+                                latency = load_latency(addr)
+                    elif kind == 5:
+                        value_handle, base_handle = handles
+                        base = phys_value[base_handle]
+                        di.src_values = (phys_value[value_handle], base)
+                        if type(base) is int:
+                            di.mem_addr = (base + inst.imm) & _ADDR_MASK
+                        else:
+                            di.mem_addr = effective_address(base, inst.imm)
+                        latency = 1
+                    elif kind == 2:
+                        di.src_values = ()
+                        di.actual_taken = True
+                        di.actual_target = inst.target
+                        latency = inst.latency
+                    else:
+                        di.src_values = values = [phys_value[h]
+                                                  for h in handles]
+                        di.actual_taken = True
+                        di.actual_target = int(values[0])
+                        latency = inst.latency
+                    finish = now + latency
+                    fbucket = completions.get(finish)
+                    if fbucket is None:
+                        completions[finish] = [di]
+                    else:
+                        fbucket.append(di)
+                    slots -= 1
+                    if slots <= 0:
+                        break
+                if write != read:
+                    del window[write:read]
+                fus._issued_total = issue_width - slots
+                if issued:
+                    stats.issued += issued
+                    self.iq_count -= issued
+
+            # ---------------- dispatch (rename + allocate) ------------ #
+            moved = 0
+            dispatched = 0
+            stall_reason = None
+            if buffer:
+                rat = self.rat
+                iq_count = self.iq_count
+                while moved < rename_width and buffer:
+                    di = buffer[0]
+                    inst = di.inst
+                    if inst.kind == 6:       # NOP/HALT
+                        del buffer[0]
+                        di.completed = True
+                        in_flight.append(di)
+                        dispatched += 1
+                        moved += 1
+                        continue
+                    if iq_count >= iq_size:
+                        stall_reason = "iq_full"
+                        break
+                    writes = inst.writes_reg
+                    if inst.is_load:
+                        if lb.occupied >= lb.capacity:
+                            stall_reason = "load_buffer_full"
+                            break
+                    elif inst.is_store and sq_is_full():
+                        stall_reason = "store_queue_full"
+                        break
+                    if len(in_flight) >= rob_size:
+                        stall_reason = "rob_full"
+                        break
+                    if writes:
+                        free = (int_free if inst.dest < NUM_INT_REGS
+                                else fp_free)
+                        if not free:
+                            stall_reason = "registers_full"
+                            break
+                    del buffer[0]
+                    # ------ rename + wire, inline and unrolled -------- #
+                    srcs = inst.srcs
+                    wait_count = 0
+                    if len(srcs) == 2:
+                        h0 = rat[srcs[0]]
+                        h1 = rat[srcs[1]]
+                        di.src_handles = (h0, h1)
+                        if not phys_ready[h0]:
+                            wait_count = 1
+                            lst = waiting.get(h0)
+                            if lst is None:
+                                waiting[h0] = [di]
+                            else:
+                                lst.append(di)
+                        if not phys_ready[h1]:
+                            wait_count += 1
+                            lst = waiting.get(h1)
+                            if lst is None:
+                                waiting[h1] = [di]
+                            else:
+                                lst.append(di)
+                    elif srcs:
+                        h1 = None
+                        h0 = rat[srcs[0]]
+                        di.src_handles = (h0,)
+                        if not phys_ready[h0]:
+                            wait_count = 1
+                            lst = waiting.get(h0)
+                            if lst is None:
+                                waiting[h0] = [di]
+                            else:
+                                lst.append(di)
+                    else:
+                        h1 = None
+                        di.src_handles = ()
+                    if writes:
+                        new = free.pop()
+                        phys_ready[new] = False
+                        di.dest_handle = new
+                        rat[inst.dest] = new
+                    if inst.is_control:
+                        di.tag = list(rat)   # precise-recovery snapshot
+                    di.wait_count = wait_count
+                    di.dispatch_cycle = now
+                    di.earliest_issue_cycle = now + 1
+                    if inst.is_store:
+                        di.store_entry = entry = sq_allocate(di.seq)
+                        if phys_ready[h1]:
+                            base = phys_value[h1]
+                            if type(base) is int:
+                                addr = (base + inst.imm) & _ADDR_MASK
+                            else:
+                                addr = effective_address(base, inst.imm)
+                            sq_set_address(entry, addr)
+                        else:
+                            lst = addr_watch.get(h1)
+                            if lst is None:
+                                addr_watch[h1] = [di]
+                            else:
+                                lst.append(di)
+                    elif inst.is_load:
+                        lb.occupied += 1
+                    in_flight.append(di)
+                    iq_count += 1
+                    dispatched += 1
+                    if wait_count == 0:
+                        window.append(di)
+                    moved += 1
+                self.iq_count = iq_count
+                stats.dispatched += dispatched
+                if moved == 0 and stall_reason is not None:
+                    stats.dispatch_stall_cycles[stall_reason] += 1
+                else:
+                    stall_reason = None
+
+            # ---------------- fetch (FetchEngine.cycle, inline) ------- #
+            fetched = 0
+            if not fetch.halted:
+                if now < fetch.stalled_until:
+                    fetch.icache_stall_cycles += 1
+                elif len(buffer) < buffer_capacity:
+                    pc = fetch.pc
+                    # I-cache hit path, inline (instruction_latency /
+                    # Cache.access; instructions sit at 1 << 40 + pc).
+                    line = (((1 << 40) + pc) << 3) >> ic_line_shift
+                    tag = line >> ic_set_bits
+                    lines = ic_sets[line & ic_set_mask]
+                    if tag in lines:
+                        icache.hits += 1
+                        lines.move_to_end(tag)
+                        latency = icache_hit_cycles
+                    else:
+                        latency = instruction_latency(pc)
+                    if latency > 1:
+                        fetch.stalled_until = now + latency
+                        fetch.icache_stall_cycles += 1
+                    else:
+                        next_seq = fetch.next_seq
+                        for _ in range(fetch_width):
+                            if len(buffer) >= buffer_capacity:
+                                break
+                            inst = program_fetch(pc)
+                            if inst is None:
+                                # Wrong-path PC fell off the program.
+                                fetch.halted = True
+                                break
+                            di = DynInst(next_seq, pc, inst)
+                            di.ghr_at_fetch = predictor_history()
+                            next_seq += 1
+                            fetched += 1
+                            buffer.append(di)
+                            op = inst.op
+                            if op is HALT:
+                                fetch.halted = True
+                                break
+                            if inst.is_branch:
+                                prediction = predictor_predict(pc)
+                                di.prediction = prediction
+                                di.predicted_taken = prediction.taken
+                                if prediction.taken:
+                                    di.predicted_target = pc = inst.target
+                                    break
+                                di.predicted_target = pc + 1
+                            elif op is JMP:
+                                di.predicted_taken = True
+                                di.predicted_target = pc = inst.target
+                                break
+                            elif op is JR:
+                                di.predicted_taken = True
+                                predicted = btb_predict(pc)
+                                # BTB miss: fall through (will recover).
+                                di.predicted_target = pc = (
+                                    predicted if predicted is not None
+                                    else pc + 1)
+                                break
+                            pc += 1
+                        fetch.pc = pc
+                        fetch.next_seq = next_seq
+                        fetch.fetched += fetched
+
+            self.now = now = now + 1
+
+            # ---------------- idle skip ------------------------------- #
+            # (baseline ``commit_settled``/``on_dispatch_stall`` are the
+            # base no-ops, so the skip needs no arch hooks here.)
+            if (commits == 0 and not wb_live and not issued
+                    and not dispatched and not dropped and not fetched
+                    and stats.recoveries == recoveries_before):
+                bound = min(completions) if completions else None
+                if (not fetch.halted
+                        and len(buffer) < fetch.buffer_capacity):
+                    resume = fetch.stalled_until
+                    if bound is None or resume < bound:
+                        bound = resume
+                if next_timed is not None and (bound is None
+                                               or next_timed < bound):
+                    bound = next_timed
+                horizon = now + (cycle_cap - stats.cycles)
+                if bound is None or bound > horizon:
+                    bound = horizon
+                if bound > now:
+                    count = bound - now
+                    stats.cycles += count
+                    self.skipped_cycles += count
+                    if stall_reason is not None:
+                        stats.dispatch_stall_cycles[stall_reason] += count
+                    fetch.skip_cycles(now, count)
+                    self.now = now = now + count
+        self.now = now
+        return stats
 
     # ------------------------------------------------------------------ #
     # Recovery.

@@ -532,11 +532,35 @@ class TagePredictor(BranchPredictor):
         return provider, alt
 
     def predict(self, pc: int) -> Prediction:
-        indices = [0] * self.num_tagged
-        tags = [0] * self.num_tagged
-        provider, alt = self._match(pc, indices, tags)
+        # ``_match`` fused inline (it remains the oracle for the
+        # fold-consistency tests); the meta carries the fresh index/tag
+        # lists directly — they are never mutated after this point, so
+        # copying them into tuples bought nothing.
+        num_tagged = self.num_tagged
+        indices = [0] * num_tagged
+        tags = [0] * num_tagged
+        p_idx = self._p_idx
+        p_tag1 = self._p_tag1
+        p_tag2 = self._p_tag2
+        idx_mask = self.table_size - 1
+        tag_mask = self.tag_mask
+        tag_table = self.tag_table
+        provider: Optional[int] = None
+        alt: Optional[int] = None
+        for comp, pc_shift, o_idx, o_tag1, o_tag2 in self._match_geom:
+            index = (pc ^ (pc >> pc_shift)
+                     ^ (p_idx >> o_idx)) & idx_mask
+            tag = (pc ^ (p_tag1 >> o_tag1)
+                   ^ (p_tag2 >> o_tag2)) & tag_mask
+            indices[comp] = index
+            tags[comp] = tag
+            if tag_table[comp][index] == tag:
+                if provider is None:
+                    provider = comp
+                elif alt is None:
+                    alt = comp
 
-        base_pred = self._base_predict(pc)
+        base_pred = self.base[pc & self.base_mask] >= 2
         if provider is not None:
             index = indices[provider]
             ctr = self.ctr_table[provider][index]
@@ -552,9 +576,9 @@ class TagePredictor(BranchPredictor):
             alt_pred = base_pred
             taken = base_pred
 
-        snapshot = (self.ghr, self._p_idx, self._p_tag1, self._p_tag2)
+        snapshot = (self.ghr, p_idx, p_tag1, p_tag2)
         self._shift_history(1 if taken else 0)
-        meta = (snapshot, provider, alt, tuple(indices), tuple(tags),
+        meta = (snapshot, provider, alt, indices, tags,
                 provider_pred, alt_pred)
         return Prediction(pc, taken, meta=meta)
 

@@ -44,6 +44,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -339,6 +340,37 @@ def cmd_campaign_run(args) -> int:
 
 def cmd_bench(args) -> int:
     from repro.sim import bench
+    baseline = None
+    if args.check:
+        # A --check run with no usable baseline is a hard error, not a
+        # skipped check: silently passing would let the run write a
+        # fresh record (the default --output equals --baseline) and
+        # self-ratify whatever rates it happened to measure.  Validate
+        # *before* measuring — the benchmark takes minutes and would be
+        # wasted on a baseline that can never gate.
+        try:
+            baseline = bench.load_json(args.baseline)
+        except FileNotFoundError:
+            print(f"bench: --check needs a committed baseline but "
+                  f"{args.baseline} does not exist; generate one with "
+                  f"`repro bench --output {args.baseline}` (no --check) "
+                  f"and commit it", file=sys.stderr)
+            return 1
+        except json.JSONDecodeError:
+            print(f"bench: --check baseline {args.baseline} is empty or "
+                  f"not valid JSON; regenerate it with `repro bench "
+                  f"--output {args.baseline}` (no --check) and commit it",
+                  file=sys.stderr)
+            return 1
+        modes_present = (baseline.get("modes")
+                         if isinstance(baseline, dict) else None) or {}
+        if not any(mode in modes_present for mode in bench.GATED_MODES):
+            print(f"bench: --check baseline {args.baseline} records none "
+                  f"of the gated modes {list(bench.GATED_MODES)}; "
+                  f"regenerate it with `repro bench --output "
+                  f"{args.baseline}` (no --check) and commit it",
+                  file=sys.stderr)
+            return 1
     modes = list(bench.MODES)
     if args.ref:
         modes += list(bench.REFERENCE_MODES)
@@ -348,23 +380,17 @@ def cmd_bench(args) -> int:
         detail_n=max(1000, emulate_n // 10), sampled_n=emulate_n,
         modes=modes, repeats=args.repeats)
     print(bench.format_table(record))
-    failure = None
+    failures = []
     if args.check:
-        try:
-            baseline = bench.load_json(args.baseline)
-        except FileNotFoundError:
-            print(f"bench: no baseline at {args.baseline}; "
-                  f"skipping regression check", file=sys.stderr)
-            baseline = None
-        if baseline is not None:
-            failure = bench.check_regression(record, baseline,
-                                             tolerance=args.tolerance)
-    if failure:
+        failures = bench.check_regressions(record, baseline,
+                                           tolerance=args.tolerance)
+    if failures:
         # Never persist a failing record: the default --output equals
         # the default --baseline, so writing here would replace the
         # committed baseline with the regressed rates and make the
         # regression self-ratifying on the next run.
-        print(f"bench: {failure}", file=sys.stderr)
+        for failure in failures:
+            print(f"bench: {failure}", file=sys.stderr)
         if args.output:
             print(f"bench: not writing {args.output} "
                   f"(regression check failed)", file=sys.stderr)

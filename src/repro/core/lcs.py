@@ -24,6 +24,7 @@ class LCSUnit:
             raise ValueError("delay must be >= 0")
         self.delay = delay
         self._pipe: Deque[int] = deque([0] * delay)
+        self._last_input: Optional[int] = None
 
     def step(self, candidates: Iterable[Optional[int]],
              all_quiescent_value: int) -> int:
@@ -39,11 +40,25 @@ class LCSUnit:
                 lcs = candidate
         if lcs is None:
             lcs = all_quiescent_value
+        self._last_input = lcs
         if self.delay == 0:
             return lcs
         self._pipe.append(lcs)
         return self._pipe.popleft()
 
+    @property
+    def settled(self) -> bool:
+        """True when stepping with unchanged bank state is a provable
+        no-op: every pipe stage already holds the value last fed, so the
+        effective LCS is constant and the shift leaves the pipe
+        untouched.  The event scheduler's idle skip requires this before
+        eliding MSP cycles in bulk."""
+        last = self._last_input
+        if last is None:
+            return self.delay == 0
+        return all(stage == last for stage in self._pipe)
+
     def flush(self, value: int = 0) -> None:
         """Refill the pipe after a recovery (conservative restart)."""
         self._pipe = deque([value] * self.delay)
+        self._last_input = None

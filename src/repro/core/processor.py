@@ -154,6 +154,13 @@ class MSPProcessor(OutOfOrderCore):
         if reason == "bank_full" and self._last_bank_blocked is not None:
             self.stats.bank_stall_cycles[self._last_bank_blocked] += 1
 
+    def on_dispatch_stall_bulk(self, reason: str, count: int) -> None:
+        # Per-cycle counter attribution, added in one go for the idle
+        # skip (the blocking register cannot change while state is
+        # frozen).
+        if reason == "bank_full" and self._last_bank_blocked is not None:
+            self.stats.bank_stall_cycles[self._last_bank_blocked] += count
+
     def rename(self, di: DynInst) -> None:
         inst = di.inst
         # Source lookup: each source is the latest renaming in its bank
@@ -242,6 +249,15 @@ class MSPProcessor(OutOfOrderCore):
                                  self.commit_store_write)
             for bank in self.banks:
                 bank.free_up_to(self._committed_stateid)
+
+    def commit_settled(self) -> bool:
+        # The idle skip may elide MSP cycles only once the pipelined LCS
+        # min-tree has drained to a fixpoint: until then each elided
+        # cycle would have shifted a different effective LCS out of the
+        # pipe and could have unlocked a commit.  ``advance_rel`` runs
+        # to fixpoint within a single commit stage, so bank state needs
+        # no extra settling condition.
+        return self.lcs.settled
 
     # ------------------------------------------------------------------ #
     # Precise recovery (Sec. 3.5).

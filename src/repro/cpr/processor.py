@@ -68,6 +68,14 @@ class CPRProcessor(OutOfOrderCore):
         self.confidence = ConfidenceEstimator(
             threshold=config.confidence_threshold)
 
+        if self._sched_event:
+            # Direct tables for the event scheduler: readiness checks,
+            # side-effect-free peeks and result writes all index the
+            # flat register file.  ``read_operand`` stays virtual — it
+            # releases the reader's reference count.
+            self._ready_table = self.phys_ready
+            self._value_table = self.phys_value
+
         # Initial checkpoint covers the start of the program.
         initial = Checkpoint(seq=-1, resume_pc=program.entry,
                              rat_snapshot=list(self.rat))

@@ -14,16 +14,19 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from repro.isa.opcodes import (
+    FU_CODE,
     LOAD_OPS,
     STORE_OPS,
     Op,
     op_fu_type,
     op_is_branch,
     op_is_control,
+    op_kind,
     op_latency,
     op_writes_reg,
 )
 from repro.isa.registers import reg_name
+from repro.isa.semantics import BRANCH_FNS, EVAL_FNS
 
 
 class Instruction:
@@ -49,7 +52,8 @@ class Instruction:
         "op", "dest", "srcs", "imm", "target",
         "is_branch", "is_control", "is_jump", "is_indirect",
         "is_load", "is_store", "is_mem", "writes_reg",
-        "fu_type", "latency",
+        "fu_type", "fu_code", "latency", "kind",
+        "eval_fn", "branch_fn",
     )
 
     def __init__(
@@ -75,7 +79,11 @@ class Instruction:
         self.is_mem = self.is_load or self.is_store
         self.writes_reg = op_writes_reg(op)
         self.fu_type = op_fu_type(op)
+        self.fu_code = FU_CODE[self.fu_type]
         self.latency = op_latency(op)
+        self.kind = op_kind(op)
+        self.eval_fn = EVAL_FNS.get(op)
+        self.branch_fn = BRANCH_FNS.get(op)
 
         self._validate()
 

@@ -72,6 +72,12 @@ class FUType(Enum):
     NONE = "none"         # NOP/HALT consume no functional unit
 
 
+#: Dense integer encoding of :class:`FUType` for the issue hot loop —
+#: the functional-unit pool indexes plain lists with these instead of
+#: hashing enum members.
+FU_CODE = {FUType.INT: 0, FUType.FP: 1, FUType.LDST: 2, FUType.NONE: 3}
+
+
 _INT_ALU = {Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.SHL, Op.SHR,
             Op.SLT, Op.ADDI, Op.LI, Op.MOV}
 _FP_ARITH = {Op.FADD, Op.FSUB, Op.FMUL, Op.FMOV, Op.FCVT, Op.FCMPLT}
@@ -130,3 +136,32 @@ def op_is_branch(op: Op) -> bool:
 def op_is_control(op: Op) -> bool:
     """True for any control transfer (conditional or jump)."""
     return op in CONTROL_OPS
+
+
+#: Execution-kind codes pre-resolved onto each ``Instruction`` so the
+#: core's execute path dispatches on one int instead of walking a chain
+#: of boolean attributes.
+KIND_ALU = 0
+KIND_BRANCH = 1
+KIND_JMP = 2
+KIND_JR = 3
+KIND_LOAD = 4
+KIND_STORE = 5
+KIND_NONE = 6          # NOP/HALT: never executes
+
+
+def op_kind(op: Op) -> int:
+    """Execution-kind code of ``op`` (``KIND_*`` constants)."""
+    if op in BRANCH_OPS:
+        return KIND_BRANCH
+    if op is Op.JMP:
+        return KIND_JMP
+    if op is Op.JR:
+        return KIND_JR
+    if op in LOAD_OPS:
+        return KIND_LOAD
+    if op in STORE_OPS:
+        return KIND_STORE
+    if op in (Op.NOP, Op.HALT):
+        return KIND_NONE
+    return KIND_ALU

@@ -108,3 +108,49 @@ def effective_address(base: Value, imm: int) -> int:
     if isinstance(base, float):
         base = int(base) if math.isfinite(base) else 0
     return wrap_int(base + imm) & _MASK
+
+
+# --------------------------------------------------------------------- #
+# Pre-bound per-op closures for the timing cores' execute hot path.
+#
+# ``EVAL_FNS[op](srcs, imm)`` must equal ``evaluate(op, srcs, imm)`` and
+# ``BRANCH_FNS[op](srcs)`` must equal ``branch_taken(op, srcs)`` for every
+# op and operand values — each closure replicates the corresponding
+# branch of the reference if-ladder above, which stays the oracle
+# (tests/isa/test_semantics.py pins the parity). Instructions resolve
+# their closure once at decode (``Instruction.eval_fn`` /
+# ``Instruction.branch_fn``) so the issue loop pays one indirect call
+# instead of an opcode ladder per executed µop.
+# --------------------------------------------------------------------- #
+
+EVAL_FNS = {
+    Op.ADD: lambda s, imm: wrap_int(s[0] + s[1]),
+    Op.SUB: lambda s, imm: wrap_int(s[0] - s[1]),
+    Op.MUL: lambda s, imm: wrap_int(s[0] * s[1]),
+    Op.DIV: lambda s, imm: wrap_int(int(s[0] / s[1])) if s[1] != 0 else 0,
+    Op.AND: lambda s, imm: wrap_int(s[0] & s[1]),
+    Op.OR: lambda s, imm: wrap_int(s[0] | s[1]),
+    Op.XOR: lambda s, imm: wrap_int(s[0] ^ s[1]),
+    Op.SHL: lambda s, imm: wrap_int(s[0] << (s[1] & 63)),
+    Op.SHR: lambda s, imm: wrap_int(s[0] >> (s[1] & 63)),
+    Op.SLT: lambda s, imm: 1 if s[0] < s[1] else 0,
+    Op.ADDI: lambda s, imm: wrap_int(s[0] + imm),
+    Op.LI: lambda s, imm: wrap_int(imm),
+    Op.MOV: lambda s, imm: wrap_int(s[0]),
+    Op.FADD: lambda s, imm: s[0] + s[1],
+    Op.FSUB: lambda s, imm: s[0] - s[1],
+    Op.FMUL: lambda s, imm: s[0] * s[1],
+    Op.FDIV: lambda s, imm: s[0] / s[1] if s[1] != 0.0 else 0.0,
+    Op.FMOV: lambda s, imm: float(s[0]),
+    Op.FCVT: lambda s, imm: float(s[0]),
+    Op.FCMPLT: lambda s, imm: 1 if s[0] < s[1] else 0,
+}
+
+BRANCH_FNS = {
+    Op.BEQ: lambda s: s[0] == s[1],
+    Op.BNE: lambda s: s[0] != s[1],
+    Op.BLT: lambda s: s[0] < s[1],
+    Op.BGE: lambda s: s[0] >= s[1],
+    Op.BEQZ: lambda s: s[0] == 0,
+    Op.BNEZ: lambda s: s[0] != 0,
+}

@@ -18,19 +18,51 @@ dispatch -> fetch, so results written back in cycle *t* can wake a
 consumer that issues in *t* (standard back-to-back scheduling) while
 newly dispatched instructions first become issue-eligible in *t+1*
 (*t+2* with the MSP arbitration stage).
+
+Two interchangeable backend schedulers drive issue/wakeup
+(``SimConfig.scheduler``):
+
+* ``"scan"`` — the original per-cycle loop: every ready candidate is
+  heap-popped, examined and re-pushed each cycle, completion buckets are
+  filtered lazily, and every cycle is simulated even when nothing can
+  happen.  Kept verbatim as the reference oracle.
+* ``"event"`` (default) — the ready window is ONE sorted-by-seq list
+  that each candidate enters exactly once (at dispatch, or when its
+  last operand arrives); the per-cycle walk examines the front of the
+  window in place with no heap churn, squash unlinks waiters from the
+  wakeup map and purges stale completion events instead of leaving
+  zombies, and ``run`` skips provably idle stretches (no completions
+  due, fetch stalled, dispatch blocked, nothing issuable) in one jump
+  to the next event time while replaying the per-cycle stall
+  accounting in bulk.
+
+Both schedulers produce bit-identical :class:`SimStats` — the event
+walk examines candidates in the same seq order, consumes the same
+``max_issue_scan`` budget (including for blocked, not-yet-eligible and
+stale entries) and defers for the same reasons; the idle skip engages
+only after a cycle whose observed effect was provably nothing but
+counter ticks.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from bisect import insort
 from collections import deque
 from heapq import heappush, heappop
+from operator import attrgetter
 from typing import Any, Deque, Dict, List, Optional
+
+_SEQ = attrgetter("seq")
+
+#: Unsigned 64-bit mask — ``effective_address`` fast path for int bases
+#: (``wrap_int(base + imm) & mask`` equals ``(base + imm) & mask``).
+_ADDR_MASK = (1 << 64) - 1
 
 from repro.branch import BranchTargetBuffer, make_predictor
 from repro.isa.opcodes import Op
 from repro.isa.program import Program
-from repro.isa.semantics import branch_taken, effective_address, evaluate
+from repro.isa.semantics import effective_address
 from repro.memory.cache import MemoryHierarchy
 from repro.pipeline.dyninst import DynInst
 from repro.pipeline.fetch import FetchEngine
@@ -77,11 +109,63 @@ class OutOfOrderCore(ABC):
         self.done = False
         self.in_flight: Deque[DynInst] = deque()
         self.iq_count = 0
-        self._ready: List = []                     # heap of (seq, DynInst)
+        scheduler = getattr(config, "scheduler", "event")
+        if scheduler not in ("event", "scan"):
+            raise ValueError(f"unknown scheduler {scheduler!r}; "
+                             f"choose 'event' or 'scan'")
+        #: True for the event-driven scheduler, False for the reference
+        #: per-cycle scan loop.
+        self._sched_event = scheduler == "event"
+        self._ready: List = []                     # scan: heap of (seq, di)
+        #: Event scheduler's ready window: DynInsts sorted by seq.  An
+        #: instruction enters exactly once — at dispatch when all
+        #: operands are ready, else when its last operand writes back.
+        self._ready_list: List[DynInst] = []
         self._waiting: Dict[Any, List[DynInst]] = {}
         self._completions: Dict[int, List[DynInst]] = {}
         # Stores waiting for their address operand (early AGU).
         self._addr_watch: Dict[Any, List[DynInst]] = {}
+
+        # Event-scheduler idle-skip bookkeeping (see ``run``).
+        self._quiet = False                 # last cycle changed nothing
+        self._last_stall_reason: Optional[str] = None
+        self._wb_live = False               # writeback processed work
+        self._ready_dropped = False         # walk dropped stale entries
+        self._next_timed: Optional[int] = None  # earliest pending-issue
+        #: Cycles elided by the idle skip (diagnostics; included in
+        #: ``stats.cycles`` — the skip is accounting-exact).
+        self.skipped_cycles = 0
+
+        # Hot-path specialisation for the event scheduler.  Hook-override
+        # flags let the per-instruction loops skip calls that would hit
+        # the base class's no-op implementations; the operand tables are
+        # published by subclasses whose register file is a flat
+        # int-indexed (value, ready) list pair so the core can index it
+        # directly instead of paying a method call per operand.  None of
+        # this changes behaviour — the scan oracle always goes through
+        # the virtual calls.
+        base = OutOfOrderCore
+        cls = type(self)
+        self._has_read_ports = (
+            cls.acquire_read_ports is not base.acquire_read_ports)
+        self._has_wb_filter = (
+            cls.filter_writebacks is not base.filter_writebacks)
+        self._has_on_complete = cls.on_complete is not base.on_complete
+        self._has_begin_issue = (
+            cls.begin_issue_cycle is not base.begin_issue_cycle)
+        self._has_begin_dispatch = (
+            cls.begin_dispatch_cycle is not base.begin_dispatch_cycle)
+        #: ``phys_ready`` list for direct ``handle_ready`` indexing
+        #: (baseline and CPR publish it), or None.
+        self._ready_table: Optional[List[bool]] = None
+        #: ``phys_value`` list for direct side-effect-free peeks and
+        #: result writes (baseline and CPR — both store values in a flat
+        #: list and mark ready on writeback), or None.  MSP keeps the
+        #: virtual calls (banked storage).
+        self._value_table: Optional[List] = None
+        #: True when ``read_operand`` is a pure table read (baseline;
+        #: CPR reads must release reader reference counts).
+        self._read_direct = False
 
         self.commit_ordinal = 0
         self.exception_plan = set(config.exception_ordinals)
@@ -149,21 +233,105 @@ class OutOfOrderCore(ABC):
         """Simulate until ``max_instructions`` commit, HALT, or cycle cap."""
         cycle_cap = max_cycles if max_cycles is not None \
             else max_instructions * 200 + 100_000
-        while (not self.done and self.stats.committed < max_instructions
-               and self.stats.cycles < cycle_cap):
+        stats = self.stats
+        if not self._sched_event:
+            while (not self.done and stats.committed < max_instructions
+                   and stats.cycles < cycle_cap):
+                self.cycle()
+            return stats
+        while (not self.done and stats.committed < max_instructions
+               and stats.cycles < cycle_cap):
             self.cycle()
-        return self.stats
+            if self._quiet and self.commit_settled():
+                bound = self._next_event_cycle()
+                horizon = self.now + (cycle_cap - stats.cycles)
+                if bound is None or bound > horizon:
+                    bound = horizon
+                if bound > self.now:
+                    self._skip_quiet_cycles(bound - self.now)
+        return stats
 
     def cycle(self) -> None:
         now = self.now
-        self.stats.cycles += 1
+        stats = self.stats
+        stats.cycles += 1
+        if not self._sched_event:
+            self.commit_stage(now)
+            if not self.done:
+                self.writeback_stage(now)
+                self.issue_stage(now)
+                self.dispatch_stage(now)
+                self.fetch.cycle(now)
+            self.now = now + 1
+            return
+        fetch = self.fetch
+        before = (stats.committed, stats.issued, stats.dispatched,
+                  stats.recoveries, stats.exceptions_taken,
+                  stats.checkpoints_created, stats.squashed, fetch.fetched)
+        self._wb_live = False
+        self._ready_dropped = False
+        self._last_stall_reason = None
         self.commit_stage(now)
         if not self.done:
             self.writeback_stage(now)
             self.issue_stage(now)
             self.dispatch_stage(now)
-            self.fetch.cycle(now)
+            fetch.cycle(now)
+        self._quiet = (not self.done and not self._wb_live
+                       and not self._ready_dropped
+                       and before == (stats.committed, stats.issued,
+                                      stats.dispatched, stats.recoveries,
+                                      stats.exceptions_taken,
+                                      stats.checkpoints_created,
+                                      stats.squashed, fetch.fetched))
         self.now = now + 1
+
+    # ------------------------------------------------------------------ #
+    # Idle skip (event scheduler): a *quiet* cycle changed no machine
+    # state — nothing committed, wrote back, issued, dispatched or
+    # fetched, no recovery ran and the ready window kept every entry.
+    # Re-simulating such cycles until the next event only ticks the same
+    # counters, so ``run`` jumps straight to the earliest cycle at which
+    # anything can happen and replays the per-cycle accounting in bulk.
+    # ------------------------------------------------------------------ #
+
+    def _next_event_cycle(self) -> Optional[int]:
+        """Earliest future cycle at which machine state can change:
+        the next completion event, the cycle a stalled fetch resumes,
+        or the cycle a dispatched-but-not-yet-eligible instruction in
+        the examined issue window becomes issuable. ``None`` when no
+        event is pending (the machine can only spin to its cycle cap).
+        """
+        bound: Optional[int] = None
+        if self._completions:
+            bound = min(self._completions)
+        fetch = self.fetch
+        if not fetch.halted and len(fetch.buffer) < fetch.buffer_capacity:
+            resume = fetch.stalled_until
+            if bound is None or resume < bound:
+                bound = resume
+        timed = self._next_timed
+        if timed is not None and (bound is None or timed < bound):
+            bound = timed
+        return bound
+
+    def _skip_quiet_cycles(self, count: int) -> None:
+        """Account ``count`` quiet cycles without simulating them."""
+        self.stats.cycles += count
+        self.skipped_cycles += count
+        reason = self._last_stall_reason
+        if reason is not None:
+            self.stats.dispatch_stall_cycles[reason] += count
+            self.on_dispatch_stall_bulk(reason, count)
+        self.fetch.skip_cycles(self.now, count)
+        self.now += count
+
+    def commit_settled(self) -> bool:
+        """True when re-running the commit stage against frozen machine
+        state is a provable no-op, so quiet cycles may be skipped in
+        bulk (MSP requires its pipelined LCS min-tree to have drained
+        to a fixpoint)."""
+        return True
 
     # ------------------------------------------------------------------ #
     # Writeback / completion.
@@ -173,28 +341,53 @@ class OutOfOrderCore(ABC):
         completed = self._completions.pop(now, None)
         if not completed:
             return
+        # Resolve strictly oldest-first.  Buckets accumulate in issue
+        # order, so a younger long-latency branch could otherwise be
+        # examined before an older same-cycle mispredict: it would train
+        # the predictor, repair history and trigger a recovery of its
+        # own even though the older branch's squash is about to prove it
+        # wrong-path — re-repairing history and double-squashing state.
+        # Age order makes the older squash land first, and the squashed
+        # younger completions below are simply dropped.
+        if len(completed) > 1:
+            completed.sort(key=_SEQ)
         live = [di for di in completed if not di.squashed]
-        accepted, deferred = self.filter_writebacks(live, now)
-        for di in deferred:
-            self._completions.setdefault(now + 1, []).append(di)
+        if not live:
+            return
+        self._wb_live = True
+        if self._has_wb_filter:
+            accepted, deferred = self.filter_writebacks(live, now)
+            for di in deferred:
+                self._completions.setdefault(now + 1, []).append(di)
+        else:
+            accepted = live
+        complete = self._complete
         for di in accepted:
             if di.squashed:
                 continue  # an earlier completion this cycle recovered
-            self._complete(di, now)
+            complete(di, now)
 
     def _complete(self, di: DynInst, now: int) -> None:
         di.completed = True
         inst = di.inst
         if inst.writes_reg:
-            self.write_result(di)
+            values = self._value_table
+            if values is not None:
+                dest = di.dest_handle
+                values[dest] = di.result
+                self._ready_table[dest] = True
+            else:
+                self.write_result(di)
             waiters = self._waiting.pop(di.dest_handle, None)
             if waiters:
+                wake = (self._ready_insert if self._sched_event
+                        else self._ready_push)
                 for waiter in waiters:
                     if waiter.squashed:
                         continue
                     waiter.wait_count -= 1
                     if waiter.wait_count == 0:
-                        heappush(self._ready, (waiter.seq, waiter))
+                        wake(waiter)
             watchers = self._addr_watch.pop(di.dest_handle, None)
             if watchers:
                 for store in watchers:
@@ -203,9 +396,21 @@ class OutOfOrderCore(ABC):
                         self.sq.set_address(store.store_entry, addr)
         elif inst.is_store:
             self.sq.execute(di.store_entry, di.mem_addr, di.src_values[0])
-        self.on_complete(di)
+        if self._has_on_complete:
+            self.on_complete(di)
         if inst.is_control:
             self._resolve_control(di, now)
+
+    def _ready_push(self, di: DynInst) -> None:
+        heappush(self._ready, (di.seq, di))
+
+    def _ready_insert(self, di: DynInst) -> None:
+        """Admit ``di`` to the event scheduler's sorted ready window."""
+        window = self._ready_list
+        if not window or window[-1].seq < di.seq:
+            window.append(di)
+        else:
+            insort(window, di, key=_SEQ)
 
     def _resolve_control(self, di: DynInst, now: int) -> None:
         inst = di.inst
@@ -240,6 +445,14 @@ class OutOfOrderCore(ABC):
     # ------------------------------------------------------------------ #
 
     def issue_stage(self, now: int) -> None:
+        if self._sched_event:
+            self._issue_stage_event(now)
+        else:
+            self._issue_stage_scan(now)
+
+    def _issue_stage_scan(self, now: int) -> None:
+        """Reference issue loop: pop every candidate from the ready
+        heap, re-pushing the ones that cannot issue this cycle."""
         self.fus.new_cycle()
         self.begin_issue_cycle()
         deferred: List[DynInst] = []
@@ -270,34 +483,116 @@ class OutOfOrderCore(ABC):
         for di in deferred:
             heappush(self._ready, (di.seq, di))
 
+    def _issue_stage_event(self, now: int) -> None:
+        """Event-scheduler issue walk: examine the front of the sorted
+        ready window in place.  Identical candidate order, deferral
+        rules and ``max_issue_scan`` budget accounting as the scan loop
+        (stale and not-yet-eligible entries consume budget in both), but
+        blocked candidates simply stay put instead of being heap-popped
+        and re-pushed, and issued/stale entries are compacted out."""
+        window = self._ready_list
+        if not window:
+            self._next_timed = None
+            return
+        fus = self.fus
+        fus.new_cycle()
+        if self._has_begin_issue:
+            self.begin_issue_cycle()
+        check_ports = self._has_read_ports
+        values = self._value_table
+        issue = self._issue
+        load_blocked = self.sq.load_blocked
+        fu_used = fus._used
+        fu_limits = fus._limits
+        budget = self.config.max_issue_scan
+        slots = fus.issue_width
+        next_timed: Optional[int] = None
+        read = 0
+        write = 0
+        n = len(window)
+        if budget < n:
+            n = budget                         # scan-budget cap
+        while read < n:
+            di = window[read]
+            read += 1
+            if di.squashed or di.issued:
+                self._ready_dropped = True
+                continue                       # compacted out
+            eic = di.earliest_issue_cycle
+            if eic > now:
+                if next_timed is None or eic < next_timed:
+                    next_timed = eic
+                window[write] = di
+                write += 1
+                continue
+            inst = di.inst
+            if inst.is_load:
+                base = (values[di.src_handles[0]] if values is not None
+                        else self.peek_operand(di.src_handles[0]))
+                if type(base) is int:
+                    addr = (base + inst.imm) & _ADDR_MASK
+                else:
+                    addr = effective_address(base, inst.imm)
+                if load_blocked(addr, di.seq):
+                    window[write] = di         # unresolved/conflicting store
+                    write += 1
+                    continue
+            code = inst.fu_code
+            if fu_used[code] >= fu_limits[code]:
+                window[write] = di
+                write += 1
+                continue
+            if check_ports and not self.acquire_read_ports(di):
+                window[write] = di             # MSP bank read-port conflict
+                write += 1
+                continue
+            issue(di, now)                     # compacted out
+            slots -= 1
+            if slots <= 0:
+                break
+        if write != read:
+            del window[write:read]
+        self._next_timed = next_timed
+
     def _issue(self, di: DynInst, now: int) -> None:
         di.issued = True
         self.stats.issued += 1
-        self.fus.issue(di.inst.fu_type)
+        self.fus.issue_code(di.inst.fu_code)
         self.iq_count -= 1
-        di.src_values = [self.read_operand(handle)
-                         for handle in di.src_handles]
+        if self._read_direct:
+            values = self._value_table
+            di.src_values = [values[handle] for handle in di.src_handles]
+        else:
+            read_operand = self.read_operand
+            di.src_values = [read_operand(handle)
+                             for handle in di.src_handles]
         latency = self._execute(di)
-        self._completions.setdefault(now + latency, []).append(di)
+        completions = self._completions
+        finish = now + latency
+        bucket = completions.get(finish)
+        if bucket is None:
+            completions[finish] = [di]
+        else:
+            bucket.append(di)
 
     def _execute(self, di: DynInst) -> int:
         """Functional execution; returns result latency in cycles."""
         inst = di.inst
         values = di.src_values
-        if inst.is_branch:
-            di.actual_taken = branch_taken(inst.op, values)
-            di.actual_target = inst.target if di.actual_taken else di.pc + 1
+        kind = inst.kind
+        if kind == 0:                        # plain register-writing op
+            di.result = inst.eval_fn(values, inst.imm)
             return inst.latency
-        if inst.op is Op.JMP:
-            di.actual_taken = True
-            di.actual_target = inst.target
+        if kind == 1:                        # conditional branch
+            di.actual_taken = taken = inst.branch_fn(values)
+            di.actual_target = inst.target if taken else di.pc + 1
             return inst.latency
-        if inst.op is Op.JR:
-            di.actual_taken = True
-            di.actual_target = int(values[0])
-            return inst.latency
-        if inst.is_load:
-            addr = effective_address(values[0], inst.imm)
+        if kind == 4:                        # load
+            base = values[0]
+            if type(base) is int:
+                addr = (base + inst.imm) & _ADDR_MASK
+            else:
+                addr = effective_address(base, inst.imm)
             di.mem_addr = addr
             forwarded, penalty = self.sq.forward(addr, di.seq)
             if forwarded is not None:
@@ -307,26 +602,42 @@ class OutOfOrderCore(ABC):
             value = self.memory.get(addr, 0)
             di.result = float(value) if inst.op is Op.FLD else value
             return self.hierarchy.load_latency(addr)
-        if inst.is_store:
-            di.mem_addr = effective_address(values[1], inst.imm)
+        if kind == 5:                        # store
+            base = values[1]
+            if type(base) is int:
+                di.mem_addr = (base + inst.imm) & _ADDR_MASK
+            else:
+                di.mem_addr = effective_address(base, inst.imm)
             return 1
-        # Plain register-writing op.
-        di.result = evaluate(inst.op, values, inst.imm)
-        return inst.latency
+        if kind == 2:                        # direct jump
+            di.actual_taken = True
+            di.actual_target = inst.target
+            return inst.latency
+        if kind == 3:                        # indirect jump
+            di.actual_taken = True
+            di.actual_target = int(values[0])
+            return inst.latency
+        raise AssertionError(f"{inst.op.name} reached execute")
 
     # ------------------------------------------------------------------ #
     # Dispatch (rename + allocate).
     # ------------------------------------------------------------------ #
 
     def dispatch_stage(self, now: int) -> None:
-        self.begin_dispatch_cycle()
+        buffer = self.fetch.buffer
+        if not buffer:
+            return
+        if self._has_begin_dispatch or not self._sched_event:
+            self.begin_dispatch_cycle()
+        rename_width = self.config.rename_width
+        iq_size = self.config.iq_size
         moved = 0
         stall_reason: Optional[str] = None
-        while moved < self.config.rename_width and self.fetch.buffer:
-            di = self.fetch.buffer[0]
+        while moved < rename_width and buffer:
+            di = buffer[0]
             inst = di.inst
-            if inst.op in (Op.NOP, Op.HALT):
-                self.fetch.buffer.pop(0)
+            if inst.kind == 6:               # NOP/HALT
+                buffer.pop(0)
                 di.completed = True
                 self.assign_state_tag(di)
                 self.in_flight.append(di)
@@ -334,7 +645,7 @@ class OutOfOrderCore(ABC):
                 moved += 1
                 continue
 
-            if self.iq_count >= self.config.iq_size:
+            if self.iq_count >= iq_size:
                 stall_reason = "iq_full"
                 break
             if inst.is_load and self.load_buffer.is_full():
@@ -347,20 +658,31 @@ class OutOfOrderCore(ABC):
             if stall_reason is not None:
                 break
 
-            self.fetch.buffer.pop(0)
+            buffer.pop(0)
             self.rename(di)
             self._wire_dependencies(di, now)
             moved += 1
 
         if moved == 0 and stall_reason is not None:
+            self._last_stall_reason = stall_reason
             self.stats.dispatch_stall_cycles[stall_reason] += 1
             self.on_dispatch_stall(stall_reason)
 
     def _wire_dependencies(self, di: DynInst, now: int) -> None:
+        waiting = self._waiting
+        ready_table = self._ready_table
+        wait_count = 0
         for handle in di.src_handles:
-            if not self.handle_ready(handle):
-                di.wait_count += 1
-                self._waiting.setdefault(handle, []).append(di)
+            ready = (ready_table[handle] if ready_table is not None
+                     else self.handle_ready(handle))
+            if not ready:
+                wait_count += 1
+                lst = waiting.get(handle)
+                if lst is None:
+                    waiting[handle] = [di]
+                else:
+                    lst.append(di)
+        di.wait_count = wait_count
         di.dispatch_cycle = now
         di.earliest_issue_cycle = now + 1 + self.extra_dispatch_delay
         inst = di.inst
@@ -369,18 +691,24 @@ class OutOfOrderCore(ABC):
             # Early AGU: resolve the address as soon as the base operand
             # is available, possibly long before the store issues.
             base = di.src_handles[1]
-            if self.handle_ready(base):
+            if (ready_table[base] if ready_table is not None
+                    else self.handle_ready(base)):
                 addr = effective_address(self.peek_operand(base), inst.imm)
                 self.sq.set_address(di.store_entry, addr)
             else:
                 self._addr_watch.setdefault(base, []).append(di)
-        if inst.is_load:
+        elif inst.is_load:
             self.load_buffer.allocate()
         self.in_flight.append(di)
         self.iq_count += 1
         self.stats.dispatched += 1
-        if di.wait_count == 0:
-            heappush(self._ready, (di.seq, di))
+        if wait_count == 0:
+            # A freshly dispatched instruction is the youngest in the
+            # machine, so the event window admits it with an append.
+            if self._sched_event:
+                self._ready_list.append(di)
+            else:
+                heappush(self._ready, (di.seq, di))
 
     # ------------------------------------------------------------------ #
     # Commit helpers.
@@ -445,8 +773,22 @@ class OutOfOrderCore(ABC):
 
         Returns the squashed instructions, youngest first, so the
         architecture can undo its own state for them.
+
+        The event scheduler additionally unlinks each squashed waiter
+        from the per-operand wakeup map and purges the squashed
+        instructions' pending completion events, so a producer that
+        later reuses a freed register handle never walks zombie waiter
+        lists and the completion wheel holds no stale wakeup times (the
+        idle skip keys its next-event bound off that wheel).  Entries
+        already admitted to the ready window are left to be dropped by
+        the next walk — exactly when the reference scan loop would pop
+        and discard them, so the shared ``max_issue_scan`` budget
+        accounting stays bit-identical.
         """
         squashed: List[DynInst] = []
+        purge = self._sched_event
+        waiting = self._waiting
+        addr_watch = self._addr_watch
         while self.in_flight and self.in_flight[-1].seq > boundary_seq:
             di = self.in_flight.pop()
             di.squashed = True
@@ -461,8 +803,33 @@ class OutOfOrderCore(ABC):
                     pass  # completion event will be dropped via flag
             elif not di.completed:
                 self.iq_count -= 1
+                if purge:
+                    if di.wait_count:
+                        for handle in di.src_handles:
+                            lst = waiting.get(handle)
+                            if lst is not None:
+                                try:
+                                    lst.remove(di)
+                                except ValueError:
+                                    pass
+                    if di.inst.is_store and di.store_entry is not None:
+                        lst = addr_watch.get(di.src_handles[1])
+                        if lst is not None:
+                            try:
+                                lst.remove(di)
+                            except ValueError:
+                                pass
             if di.inst.is_load:
                 self.load_buffer.release()
+        if purge and squashed:
+            completions = self._completions
+            for finish in list(completions):
+                bucket = completions[finish]
+                live = [di for di in bucket if not di.squashed]
+                if not live:
+                    del completions[finish]
+                elif len(live) != len(bucket):
+                    completions[finish] = live
         self.sq.squash_after(boundary_seq)
         self.fetch.squash_after(boundary_seq)
         return squashed
@@ -535,3 +902,16 @@ class OutOfOrderCore(ABC):
     def on_dispatch_stall(self, reason: str) -> None:
         """Called when a whole dispatch cycle stalled (MSP attributes
         bank-full stalls to the blocking logical register here)."""
+
+    def on_dispatch_stall_bulk(self, reason: str, count: int) -> None:
+        """Replay ``count`` per-cycle :meth:`on_dispatch_stall` calls
+        during the idle skip, in O(1) where possible.  Machine state is
+        frozen across the skipped cycles, so the per-cycle hook is a
+        pure function of that frozen state: one call reproduces the
+        cumulative effect of ``count`` unless the hook mutates
+        per-cycle counters (MSP overrides this with a bulk add).  The
+        base hook is a no-op, so the default does nothing when it is
+        not overridden."""
+        if type(self).on_dispatch_stall is not \
+                OutOfOrderCore.on_dispatch_stall:
+            self.on_dispatch_stall(reason)

@@ -8,9 +8,8 @@ architecture-specific tags (ROB slot / checkpoint id / StateId).
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+from typing import Any, Sequence
 
-from repro.branch.base import Prediction
 from repro.isa.instructions import Instruction
 
 
@@ -35,45 +34,50 @@ class DynInst:
         self.pc = pc
         self.inst = inst
 
-        # Renamed sources: architecture-specific operand handles.
-        self.src_handles: List[Any] = []
-        self.src_values: List[Any] = []
+        # Renamed sources: architecture-specific operand handles.  Both
+        # sequences start as a shared empty tuple (rename/issue replace
+        # them wholesale) so constructing a DynInst allocates nothing
+        # per-field on the fetch hot path.
+        self.src_handles: Sequence[Any] = ()
+        self.src_values: Sequence[Any] = ()
+        #: Outstanding source operands; the instruction enters the
+        #: scheduler's ready structure exactly once, when this reaches
+        #: zero (at dispatch, or at the producer writeback that clears
+        #: the last operand — see ``OutOfOrderCore._complete``).
         self.wait_count = 0
         self.dest_handle: Any = None
 
-        self.dispatch_cycle = -1
-        self.earliest_issue_cycle = 0
         self.issued = False
         self.completed = False
         self.squashed = False
         self.committed = False
-        self.result: Any = None
-
-        # Control-flow context.
-        self.prediction: Optional[Prediction] = None
-        self.predicted_taken = False
-        self.predicted_target: Optional[int] = None
-        self.actual_taken = False
-        self.actual_target: Optional[int] = None
-        self.mispredicted = False
-
-        # Memory context.
-        self.mem_addr: Optional[int] = None
-        self.store_entry: Any = None
 
         # Architecture-specific tags: MSP StateId; ROB index or checkpoint
-        # id live in ``tag``.
-        self.stateid = 0
+        # id live in ``tag``.  ``tag`` must default to None — CPR probes
+        # it to memoise the checkpoint decision across stalled retries.
         self.tag: Any = None
-        #: predictor global history at fetch, before this instruction's
-        #: own prediction (for history repair on recovery).
-        self.ghr_at_fetch: Any = None
+
+        # Everything below is written before it is read on the paths
+        # that need it, so the constructor — one per *fetched*
+        # instruction instance, wrong paths included — skips the stores:
+        #
+        # * ``dispatch_cycle`` / ``earliest_issue_cycle`` — set when
+        #   dependencies are wired at dispatch;
+        # * ``prediction`` / ``predicted_taken`` / ``predicted_target``
+        #   — set at fetch for control transfers (their only readers);
+        # * ``actual_taken`` / ``actual_target`` / ``mispredicted`` /
+        #   ``result`` / ``mem_addr`` — set at execute/resolve;
+        # * ``store_entry`` — set at dispatch for stores;
+        # * ``stateid`` — set at rename (MSP);
+        # * ``ghr_at_fetch`` — set by the fetch engine immediately after
+        #   construction.
 
     @property
     def next_pc(self) -> int:
         """Architecturally correct next PC (valid once executed)."""
-        if self.actual_target is not None:
-            return self.actual_target
+        target = getattr(self, "actual_target", None)
+        if target is not None:
+            return target
         return self.pc + 1
 
     def __repr__(self) -> str:

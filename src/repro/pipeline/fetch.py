@@ -47,7 +47,7 @@ class FetchEngine:
         self.buffer: List[DynInst] = []
         self.next_seq = 0
         self.halted = False          # saw HALT; wait for redirect
-        self._stalled_until = 0      # I-cache miss in progress
+        self.stalled_until = 0       # I-cache miss in progress
         self.fetched = 0
         self.icache_stall_cycles = 0
 
@@ -59,7 +59,7 @@ class FetchEngine:
         self.pc = target
         self.halted = False
         # The redirected fetch starts next cycle.
-        self._stalled_until = now + 1
+        self.stalled_until = now + 1
 
     def squash_after(self, seq: int) -> None:
         """Drop buffered instructions younger than ``seq``."""
@@ -71,46 +71,53 @@ class FetchEngine:
         """Fetch up to ``width`` instructions into the buffer."""
         if self.halted:
             return
-        if now < self._stalled_until:
+        if now < self.stalled_until:
             self.icache_stall_cycles += 1
             return
-        if len(self.buffer) >= self.buffer_capacity:
+        buffer = self.buffer
+        capacity = self.buffer_capacity
+        if len(buffer) >= capacity:
             return
 
-        latency = self.hierarchy.instruction_latency(self.pc)
+        pc = self.pc
+        latency = self.hierarchy.instruction_latency(pc)
         if latency > 1:
-            self._stalled_until = now + latency
+            self.stalled_until = now + latency
             self.icache_stall_cycles += 1
             return
 
+        program_fetch = self.program.fetch
+        predictor = self.predictor
+        next_seq = self.next_seq
+        fetched = 0
         for _ in range(self.width):
-            if len(self.buffer) >= self.buffer_capacity:
+            if len(buffer) >= capacity:
                 break
-            inst = self.program.fetch(self.pc)
+            inst = program_fetch(pc)
             if inst is None:
                 # Wrong-path PC fell off the program: nothing to fetch
                 # until a recovery redirects us.
                 self.halted = True
                 break
 
-            di = DynInst(self.next_seq, self.pc, inst)
-            di.ghr_at_fetch = self.predictor.get_history()
-            self.next_seq += 1
-            self.fetched += 1
-            self.buffer.append(di)
+            di = DynInst(next_seq, pc, inst)
+            di.ghr_at_fetch = predictor.get_history()
+            next_seq += 1
+            fetched += 1
+            buffer.append(di)
 
             if inst.op is Op.HALT:
                 self.halted = True
                 break
 
-            next_pc = self.pc + 1
+            next_pc = pc + 1
             stop_group = False
             if inst.is_branch:
-                prediction = self.predictor.predict(self.pc)
+                prediction = predictor.predict(pc)
                 di.prediction = prediction
                 di.predicted_taken = prediction.taken
                 di.predicted_target = (inst.target if prediction.taken
-                                       else self.pc + 1)
+                                       else pc + 1)
                 if prediction.taken:
                     next_pc = inst.target
                     stop_group = True
@@ -121,13 +128,29 @@ class FetchEngine:
                 stop_group = True
             elif inst.op is Op.JR:
                 di.predicted_taken = True
-                predicted = self.btb.predict(self.pc)
+                predicted = self.btb.predict(pc)
                 # On a BTB miss, fall through (will mispredict and recover).
                 di.predicted_target = (predicted if predicted is not None
-                                       else self.pc + 1)
+                                       else pc + 1)
                 next_pc = di.predicted_target
                 stop_group = True
 
-            self.pc = next_pc
+            pc = next_pc
             if stop_group:
                 break
+        self.pc = pc
+        self.next_seq = next_seq
+        self.fetched += fetched
+
+    def skip_cycles(self, start: int, count: int) -> None:
+        """Replicate the per-cycle accounting of ``count`` consecutive
+        cycles ``[start, start + count)`` during which the core proved
+        fetch cannot make progress (event-scheduler idle skip): every
+        such cycle that is still inside an I-cache stall counts a stall
+        cycle, exactly as :meth:`cycle` would have."""
+        if self.halted:
+            return
+        stalled = self.stalled_until - start
+        if stalled > 0:
+            self.icache_stall_cycles += stalled if stalled < count else count
+

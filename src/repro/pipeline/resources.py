@@ -8,40 +8,51 @@ counter per class plus the global issue-width cap.
 
 from __future__ import annotations
 
-from repro.isa.opcodes import FUType
+from repro.isa.opcodes import FU_CODE, FUType
 
 
 class FunctionalUnitPool:
-    """Per-cycle issue slots: N units of each class, fully pipelined."""
+    """Per-cycle issue slots: N units of each class, fully pipelined.
+
+    State lives in dense int-indexed lists (``FU_CODE`` order: INT, FP,
+    LDST, NONE) so the issue loop's per-candidate checks are plain list
+    indexing; the ``*_code`` methods take an ``Instruction.fu_code``.
+    The NONE class gets an effectively unbounded per-class limit — only
+    the global issue width caps it — which keeps ``can_issue_code``
+    branch-free.
+    """
 
     def __init__(self, int_units: int = 4, fp_units: int = 4,
                  ldst_units: int = 2, issue_width: int = 5) -> None:
-        self.limits = {
-            FUType.INT: int_units,
-            FUType.FP: fp_units,
-            FUType.LDST: ldst_units,
-        }
+        self._limits = [int_units, fp_units, ldst_units, 1 << 30]
         self.issue_width = issue_width
-        self._used = {FUType.INT: 0, FUType.FP: 0, FUType.LDST: 0}
+        self._used = [0, 0, 0, 0]
         self._issued_total = 0
+
+    @property
+    def limits(self) -> dict:
+        """Per-class unit counts keyed by :class:`FUType` (inspection)."""
+        return {FUType.INT: self._limits[0], FUType.FP: self._limits[1],
+                FUType.LDST: self._limits[2]}
 
     def new_cycle(self) -> None:
-        self._used[FUType.INT] = 0
-        self._used[FUType.FP] = 0
-        self._used[FUType.LDST] = 0
+        used = self._used
+        used[0] = used[1] = used[2] = used[3] = 0
         self._issued_total = 0
 
+    def can_issue_code(self, code: int) -> bool:
+        return (self._issued_total < self.issue_width
+                and self._used[code] < self._limits[code])
+
+    def issue_code(self, code: int) -> None:
+        self._issued_total += 1
+        self._used[code] += 1
+
     def can_issue(self, fu_type: FUType) -> bool:
-        if self._issued_total >= self.issue_width:
-            return False
-        if fu_type is FUType.NONE:
-            return True
-        return self._used[fu_type] < self.limits[fu_type]
+        return self.can_issue_code(FU_CODE[fu_type])
 
     def issue(self, fu_type: FUType) -> None:
-        self._issued_total += 1
-        if fu_type is not FUType.NONE:
-            self._used[fu_type] += 1
+        self.issue_code(FU_CODE[fu_type])
 
     @property
     def slots_left(self) -> int:

@@ -28,7 +28,7 @@ import json
 import subprocess
 import time
 from datetime import datetime, timezone
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 #: The JSON artifact's schema tag (bump on incompatible changes).
 SCHEMA = "repro-bench-throughput/1"
@@ -37,8 +37,11 @@ SCHEMA = "repro-bench-throughput/1"
 MODES = ("emulator", "ff+warmup", "detailed", "sampled")
 REFERENCE_MODES = ("emulator-ref", "ff+warmup-ref")
 
-#: The mode the CI regression gate watches (the PR-over-PR trajectory
-#: this subsystem exists to protect).
+#: The modes the CI regression gate watches (the PR-over-PR trajectory
+#: this subsystem exists to protect): the fast-forward path since PR 3
+#: and the detailed cycle cores since the event-scheduler PR.
+GATED_MODES = ("ff+warmup", "detailed")
+#: Backwards-compatible alias (the historical single gated mode).
 GATED_MODE = "ff+warmup"
 
 
@@ -184,13 +187,9 @@ def check_regression(current: dict, baseline: dict,
     ``--workload`` run overwrite the committed baseline with rates the
     CI gate (which measures the baseline's workload) can't gate on.
     """
-    current_wl = current.get("workload")
-    baseline_wl = baseline.get("workload")
-    if current_wl and baseline_wl and current_wl != baseline_wl:
-        return (f"baseline measures workload {baseline_wl!r} but this "
-                f"run measured {current_wl!r}; rates are not "
-                f"comparable (re-run with --workload {baseline_wl} or "
-                f"point --baseline at a {current_wl} record)")
+    mismatch = _workload_mismatch(current, baseline)
+    if mismatch is not None:
+        return mismatch
     try:
         new = current["modes"][mode]["instructions_per_second"]
         old = baseline["modes"][mode]["instructions_per_second"]
@@ -204,6 +203,36 @@ def check_regression(current: dict, baseline: dict,
                 f"baseline {old:,.0f} (floor {floor:,.0f} at "
                 f"-{tolerance:.0%}; baseline git {baseline.get('git_sha')})")
     return None
+
+
+def _workload_mismatch(current: dict, baseline: dict) -> Optional[str]:
+    """Failure message when the two records measure different
+    workloads (their rates are never comparable), else None."""
+    current_wl = current.get("workload")
+    baseline_wl = baseline.get("workload")
+    if current_wl and baseline_wl and current_wl != baseline_wl:
+        return (f"baseline measures workload {baseline_wl!r} but this "
+                f"run measured {current_wl!r}; rates are not "
+                f"comparable (re-run with --workload {baseline_wl} or "
+                f"point --baseline at a {current_wl} record)")
+    return None
+
+
+def check_regressions(current: dict, baseline: dict,
+                      tolerance: float = 0.30,
+                      modes: Sequence[str] = GATED_MODES) -> List[str]:
+    """Run :func:`check_regression` for every gated mode; returns the
+    (possibly empty) list of failure messages.  A workload mismatch is
+    reported once, not per mode."""
+    mismatch = _workload_mismatch(current, baseline)
+    if mismatch is not None:
+        return [mismatch]
+    failures: List[str] = []
+    for mode in modes:
+        failure = check_regression(current, baseline, tolerance, mode)
+        if failure is not None:
+            failures.append(failure)
+    return failures
 
 
 def format_table(record: dict) -> str:
@@ -220,6 +249,7 @@ def format_table(record: dict) -> str:
     return "\n".join(lines)
 
 
-__all__ = ["GATED_MODE", "MODES", "REFERENCE_MODES", "SCHEMA",
-           "check_regression", "format_table", "git_sha", "load_json",
-           "measure", "measure_mode", "write_json"]
+__all__ = ["GATED_MODE", "GATED_MODES", "MODES", "REFERENCE_MODES",
+           "SCHEMA", "check_regression", "check_regressions",
+           "format_table", "git_sha", "load_json", "measure",
+           "measure_mode", "write_json"]

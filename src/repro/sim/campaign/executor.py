@@ -93,19 +93,31 @@ def _execute_job(job: Job, timeout: Optional[float]) -> dict:
     from repro.workloads import get_program
 
     use_alarm = bool(timeout) and _alarm_usable()
-    if use_alarm:
-        armed = max(1, math.ceil(timeout))
-
-        def _on_alarm(signum, frame):
-            raise JobTimeout(f"{job.label} exceeded {armed}s")
-        previous = signal.signal(signal.SIGALRM, _on_alarm)
-        signal.alarm(armed)
+    previous = None
+    handler_swapped = False
     try:
+        if use_alarm:
+            armed = max(1, math.ceil(timeout))
+
+            def _on_alarm(signum, frame):
+                raise JobTimeout(f"{job.label} exceeded {armed}s")
+            previous = signal.signal(signal.SIGALRM, _on_alarm)
+            handler_swapped = True
+            signal.alarm(armed)
         stats = simulate(get_program(job.workload, job.seed), job.config,
                          max_instructions=job.instructions)
         return stats.to_dict()
     finally:
-        if use_alarm:
+        # Pool workers are reused across jobs: the alarm MUST be
+        # cancelled on every exit (success, timeout or crash) or a fast
+        # follow-up job would inherit the previous job's pending alarm
+        # and be killed mid-flight.  Cancel strictly *before* restoring
+        # the previous handler — the other order leaves a window where
+        # a pending alarm fires into SIG_DFL and kills the worker.
+        # (``handler_swapped`` is an explicit flag because ``previous``
+        # is legitimately None when the prior handler was installed
+        # from C.)
+        if handler_swapped:
             signal.alarm(0)
             signal.signal(signal.SIGALRM, previous)
 

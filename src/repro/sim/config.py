@@ -50,6 +50,14 @@ class SimConfig:
     ldst_units: int = 2
     max_issue_scan: int = 32
 
+    # Backend scheduler implementation. "event" (default) drives issue/
+    # wakeup from a sorted ready window with purged waiter/completion
+    # maps and skips provably idle cycles in bulk; "scan" is the
+    # original per-cycle heap-scan loop, kept as the bit-exact reference
+    # oracle (tests/pipeline/test_event_scheduler.py pins SimStats
+    # equality between the two).
+    scheduler: str = "event"
+
     # Registers. Baseline/CPR: flat file per class. MSP: per-logical bank.
     phys_int: int = 96
     phys_fp: int = 96

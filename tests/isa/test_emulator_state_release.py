@@ -1,0 +1,123 @@
+"""``EmulatorState.release`` reference counting (copy-on-write memory).
+
+Shared checkpoints (``snapshot(share=True)``) alias the emulator's live
+memory dict; ``_mem_shared`` counts the live aliases and ``_mem_cow``
+guards the dict against in-place mutation.  A buggy release — double
+decrement, or a decrement credited against the wrong dict generation —
+would lift the guard while a sibling checkpoint still aliases the dict,
+letting the emulator scribble over the sibling's supposedly
+point-in-time memory.
+"""
+
+from __future__ import annotations
+
+from repro.isa.emulator import Emulator, EmulatorResult
+from repro.isa import ProgramBuilder, int_reg
+
+
+def _store_loop_program():
+    """Keeps storing fresh values so every resumed run mutates memory."""
+    b = ProgramBuilder("store_loop")
+    out = b.data_region([0] * 8)
+    r_i, r_out = int_reg(1), int_reg(2)
+    b.li(r_out, out)
+    b.label("loop")
+    b.addi(r_i, r_i, 1)
+    b.st(r_i, r_out, 0)
+    b.jmp("loop")
+    program = b.build()
+    program.out_addr = out
+    return program
+
+
+def _run(emulator, n):
+    result = EmulatorResult()
+    for _ in range(n):
+        if not emulator.step(result):
+            break
+    return result
+
+
+def test_release_is_idempotent():
+    emulator = Emulator(_store_loop_program())
+    _run(emulator, 10)
+    state = emulator.snapshot(share=True)
+    assert emulator._mem_cow and emulator._mem_shared == 1
+    state.release()
+    assert not emulator._mem_cow
+    state.release()                      # double release: no-op
+    state.release()
+    assert emulator._mem_shared >= 0
+    assert not emulator._mem_cow
+
+
+def test_double_release_does_not_unguard_sibling():
+    """Two shared checkpoints of the same dict: releasing one twice
+    must not count for the sibling — the emulator must still detach
+    before mutating, keeping the survivor point-in-time."""
+    program = _store_loop_program()
+    emulator = Emulator(program)
+    _run(emulator, 10)
+    first = emulator.snapshot(share=True)
+    second = emulator.snapshot(share=True)   # same dict generation
+    assert first.memory is second.memory is emulator.memory
+    assert emulator._mem_shared == 2
+
+    first.release()
+    first.release()                          # the attempted double-free
+    first.release()
+    assert emulator._mem_cow, "sibling checkpoint lost its COW guard"
+
+    frozen = dict(second.memory)
+    _run(emulator, 30)                       # mutates memory via stores
+    assert second.memory == frozen, "sibling checkpoint was corrupted"
+    assert emulator.memory is not second.memory
+
+
+def test_release_after_restore_does_not_unguard_new_generation():
+    """Restoring installs a fresh private dict; releasing a checkpoint
+    from the *old* generation afterwards must not lift the guard a
+    *new* shared checkpoint holds on the new dict."""
+    program = _store_loop_program()
+    emulator = Emulator(program)
+    _run(emulator, 10)
+    old = emulator.snapshot(share=True)
+
+    private = emulator.snapshot()            # private restore point
+    _run(emulator, 5)
+    emulator.restore(private)                # new dict, _mem_cow False
+    fresh = emulator.snapshot(share=True)    # new generation alias
+    assert fresh.memory is emulator.memory
+    assert old.memory is not emulator.memory
+
+    old.release()                            # stale-generation release
+    old.release()
+    assert emulator._mem_cow, "stale release lifted the new guard"
+
+    frozen = dict(fresh.memory)
+    _run(emulator, 30)
+    assert fresh.memory == frozen
+    assert emulator.memory is not fresh.memory
+
+
+def test_resume_from_shared_checkpoint_is_deterministic():
+    """End to end: a shared checkpoint seeded back into an emulator
+    replays the exact same stream even after its sibling was released
+    and the original emulator kept running."""
+    program = _store_loop_program()
+    emulator = Emulator(program)
+    _run(emulator, 17)
+    checkpoint = emulator.snapshot(share=True)
+    sibling = emulator.snapshot(share=True)
+    sibling.release()
+    _run(emulator, 40)                       # donor keeps mutating
+
+    replay_a = Emulator(program)
+    replay_a.restore(checkpoint)
+    _run(replay_a, 25)
+    replay_b = Emulator(program)
+    replay_b.restore(checkpoint)
+    _run(replay_b, 25)
+    assert replay_a.memory == replay_b.memory
+    assert replay_a.pc == replay_b.pc
+    assert replay_a.regs == replay_b.regs

@@ -4,7 +4,8 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.isa.opcodes import Op
-from repro.isa.semantics import branch_taken, effective_address, evaluate, wrap_int
+from repro.isa.semantics import BRANCH_FNS, EVAL_FNS, branch_taken, \
+    effective_address, evaluate, wrap_int
 
 int64 = st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1)
 
@@ -96,3 +97,53 @@ def test_effective_address_non_negative(base, imm):
 
 def test_effective_address_handles_float_base():
     assert effective_address(10.7, 2) == 12
+
+
+# --------------------------------------------------------------------- #
+# Pre-bound per-op closure parity: the timing cores execute exclusively
+# through EVAL_FNS/BRANCH_FNS (both schedulers share that path, so the
+# scan-vs-event equivalence suite cannot catch a closure that drifts
+# from the reference ladder) — these properties are the actual pin.
+# --------------------------------------------------------------------- #
+
+_INT_BINARY_OPS = (Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.AND, Op.OR,
+                   Op.XOR, Op.SHL, Op.SHR, Op.SLT)
+_FP_BINARY_OPS = (Op.FADD, Op.FSUB, Op.FMUL, Op.FDIV, Op.FCMPLT)
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+def test_closure_tables_cover_exactly_the_right_ops():
+    from repro.isa.opcodes import BRANCH_OPS, LOAD_OPS, WRITES_REG
+    assert set(EVAL_FNS) == WRITES_REG - LOAD_OPS
+    assert set(BRANCH_FNS) == BRANCH_OPS
+
+
+@given(int64, int64, int64)
+def test_eval_fns_match_evaluate_on_int_ops(a, b, imm):
+    for op in _INT_BINARY_OPS:
+        assert EVAL_FNS[op]((a, b), imm) == evaluate(op, (a, b), imm), op
+    assert EVAL_FNS[Op.ADDI]((a,), imm) == evaluate(Op.ADDI, (a,), imm)
+    assert EVAL_FNS[Op.MOV]((a,), imm) == evaluate(Op.MOV, (a,), imm)
+    assert EVAL_FNS[Op.LI]((), imm) == evaluate(Op.LI, (), imm)
+
+
+@given(finite, finite)
+def test_eval_fns_match_evaluate_on_fp_ops(x, y):
+    for op in _FP_BINARY_OPS:
+        expected = evaluate(op, (x, y))
+        got = EVAL_FNS[op]((x, y), 0)
+        assert got == expected or (got != got and expected != expected), op
+    assert EVAL_FNS[Op.FMOV]((x,), 0) == evaluate(Op.FMOV, (x,))
+    assert EVAL_FNS[Op.FCVT]((x,), 0) == evaluate(Op.FCVT, (x,))
+
+
+def test_eval_fns_match_division_by_zero_totality():
+    assert EVAL_FNS[Op.DIV]((42, 0), 0) == evaluate(Op.DIV, (42, 0)) == 0
+    assert EVAL_FNS[Op.FDIV]((4.2, 0.0), 0) \
+        == evaluate(Op.FDIV, (4.2, 0.0)) == 0.0
+
+
+@given(int64, int64)
+def test_branch_fns_match_branch_taken(a, b):
+    for op in BRANCH_FNS:
+        assert BRANCH_FNS[op]((a, b)) == branch_taken(op, (a, b)), op

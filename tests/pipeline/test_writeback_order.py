@@ -1,0 +1,124 @@
+"""Regression: same-cycle completion buckets resolve strictly oldest
+first.
+
+Completion buckets accumulate in *issue* order, so a younger branch that
+issued earlier (e.g. woken by the same long-latency producer) can sit in
+front of an older branch that resolves the same cycle.  Before the fix,
+the younger branch was examined first: it trained the predictor,
+repaired global history and triggered a full recovery of its own — and
+only then did the older branch's mispredict squash it, re-repairing
+history and re-squashing state.  A branch in an older mispredict's
+squash shadow must never resolve: the writeback stage now sorts each
+bucket by sequence number, so the older recovery lands first and the
+squashed younger completion is dropped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import ProgramBuilder, int_reg
+from repro.sim.config import SimConfig
+from repro.sim.runner import build_core
+
+
+def _two_branch_program():
+    """Two branches woken by the same 12-cycle DIV: they issue in the
+    same cycle and complete in the same writeback bucket."""
+    b = ProgramBuilder("two_branches")
+    r1, r2, r3 = int_reg(1), int_reg(2), int_reg(3)
+    b.li(r1, 7)
+    b.li(r2, 3)
+    b.div(r3, r1, r2)          # 12-cycle producer
+    b.beq(r3, int_reg(0), "taken1")     # older branch
+    b.bne(r3, int_reg(0), "taken2")     # younger branch
+    b.addi(r1, r1, 1)
+    b.label("taken1")
+    b.addi(r2, r2, 1)
+    b.label("taken2")
+    b.addi(r3, r3, 1)
+    b.jmp("exit")
+    b.label("exit")
+    b.halt()
+    return b.build()
+
+
+def _run_until_shared_bucket(core, max_cycles=200):
+    """Advance until a completion bucket holds both branches; return
+    (bucket_cycle, older, younger)."""
+    for _ in range(max_cycles):
+        for finish, bucket in core._completions.items():
+            branches = [di for di in bucket if di.inst.is_branch]
+            if len(branches) == 2:
+                older, younger = sorted(branches, key=lambda d: d.seq)
+                return finish, older, younger
+        core.cycle()
+    raise AssertionError("branches never shared a completion bucket")
+
+
+@pytest.mark.parametrize("scheduler", ["event", "scan"])
+def test_older_squash_suppresses_younger_same_cycle_resolution(scheduler):
+    core = build_core(_two_branch_program(),
+                      SimConfig.baseline(predictor="static",
+                                         scheduler=scheduler))
+    finish, older, younger = _run_until_shared_bucket(core)
+    bucket = core._completions[finish]
+
+    # Force the interleave the bug needed: the younger branch ahead of
+    # the older one in the bucket, and both mispredicted.
+    bucket.sort(key=lambda d: -d.seq)
+    assert bucket.index(younger) < bucket.index(older)
+    for di in (older, younger):
+        di.actual_taken = not di.predicted_taken
+        di.actual_target = (di.inst.target if di.actual_taken
+                            else di.pc + 1)
+
+    branches_before = core.stats.branches
+    recoveries_before = core.stats.recoveries
+    while core.now < finish:
+        core.cycle()
+    assert not older.squashed and not younger.squashed
+    core.cycle()                      # the shared writeback cycle
+
+    # Exactly one branch resolved: the older one.  The younger was
+    # squashed by the older's recovery before it could train the
+    # predictor, repair history or fire a second recovery.
+    assert older.mispredicted
+    assert younger.squashed
+    assert not younger.completed
+    assert core.stats.branches == branches_before + 1
+    assert core.stats.recoveries == recoveries_before + 1
+    assert core.stats.branch_mispredictions == 1
+
+    # Recovery state belongs to the *older* branch: fetch restarts at
+    # its resolved target and the RAT snapshot restored is its tag.
+    assert core.fetch.pc == older.actual_target
+    assert core.rat == older.tag
+
+    # No double-free: every free physical register appears exactly once
+    # across the free lists, and no live mapping is marked free.
+    free = core.int_free + core.fp_free
+    assert len(free) == len(set(free))
+    assert not (set(core.rat) & set(free))
+
+
+@pytest.mark.parametrize("scheduler", ["event", "scan"])
+def test_bucket_is_resolved_in_seq_order_even_when_appended_reversed(
+        scheduler):
+    """Even a correctly predicted younger branch must not be completed
+    before an older same-cycle branch (age-ordered writeback is the
+    invariant; MSP's write-port arbitration also keys off it)."""
+    core = build_core(_two_branch_program(),
+                      SimConfig.baseline(predictor="static",
+                                         scheduler=scheduler))
+    finish, older, younger = _run_until_shared_bucket(core)
+    core._completions[finish].sort(key=lambda d: -d.seq)
+    # Only the older branch mispredicts.
+    older.actual_taken = not older.predicted_taken
+    older.actual_target = (older.inst.target if older.actual_taken
+                           else older.pc + 1)
+    while core.now <= finish:
+        core.cycle()
+    assert older.mispredicted
+    assert younger.squashed            # wrong path of the older branch
+    assert not younger.completed

@@ -77,7 +77,50 @@ def test_cli_bench_writes_artifact_and_gates(tmp_path, capsys):
     assert fake.read_text() == before
 
 
-def test_cli_bench_check_without_baseline_skips(tmp_path):
-    missing = tmp_path / "nope.json"
-    assert main(["bench", "-n", "1500", "-o", "", "--check",
-                 "--baseline", str(missing)]) == 0
+def test_check_regressions_covers_detailed_mode():
+    """The gate watches the detailed cycle cores too (event-scheduler
+    PR): a detailed-only collapse must fail even when fast-forward is
+    healthy."""
+    assert "detailed" in bench.GATED_MODES
+    base = {"workload": "gzip", "modes": {
+        "ff+warmup": {"instructions_per_second": 1000.0},
+        "detailed": {"instructions_per_second": 100.0}}}
+    healthy = {"workload": "gzip", "modes": {
+        "ff+warmup": {"instructions_per_second": 990.0},
+        "detailed": {"instructions_per_second": 95.0}}}
+    detail_collapse = {"workload": "gzip", "modes": {
+        "ff+warmup": {"instructions_per_second": 990.0},
+        "detailed": {"instructions_per_second": 30.0}}}
+    assert bench.check_regressions(healthy, base, tolerance=0.30) == []
+    failures = bench.check_regressions(detail_collapse, base,
+                                       tolerance=0.30)
+    assert len(failures) == 1 and "detailed" in failures[0]
+    # A workload mismatch fails once, not once per gated mode.
+    mismatch = bench.check_regressions(
+        {"workload": "mcf", "modes": healthy["modes"]}, base)
+    assert len(mismatch) == 1 and "not comparable" in mismatch[0]
+
+
+@pytest.mark.parametrize("content", [
+    None, "", "{not json", "{}", '{"modes": {}}',
+    # Non-empty but records none of the gated modes: silently passing
+    # would let the run self-ratify a fresh baseline.
+    '{"workload": "gzip", "modes": '
+    '{"emulator": {"instructions_per_second": 1.0}}}',
+])
+def test_cli_bench_check_needs_usable_baseline(tmp_path, capsys, content):
+    """``--check`` against a missing, empty, corrupt or gated-mode-less
+    baseline fails with a one-line actionable error and never writes a
+    record (PR 3's \"never persist a failing record\" rule)."""
+    baseline = tmp_path / "BENCH_throughput.json"
+    if content is not None:
+        baseline.write_text(content)
+    out = tmp_path / "out.json"
+    assert main(["bench", "-n", "1500", "-o", str(out), "--check",
+                 "--baseline", str(baseline)]) == 1
+    err = capsys.readouterr().err
+    bench_lines = [line for line in err.splitlines()
+                   if line.startswith("bench:")]
+    assert len(bench_lines) == 1
+    assert "repro bench --output" in bench_lines[0]
+    assert not out.exists(), "failed --check must not write a record"

@@ -1,0 +1,95 @@
+"""Per-job SIGALRM lifecycle in the campaign executor.
+
+Pool workers (and the serial in-process path) run many jobs back to
+back, so the per-job watchdog alarm must be fully torn down on every
+exit: a fast job that follows a near-timeout job must not inherit a
+pending alarm, and the process's original SIGALRM handler must be back
+in place.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+
+import pytest
+
+from repro.sim.campaign.executor import JobTimeout, _execute_job, run_jobs
+from repro.sim.campaign.job import Job
+from repro.sim.config import SimConfig
+
+
+def _job(instructions=200) -> Job:
+    return Job(workload="gzip", config=SimConfig.baseline(),
+               instructions=instructions)
+
+
+@pytest.fixture
+def sigalrm_guard():
+    """Fail loudly (instead of dying on SIG_DFL) if a stale alarm fires,
+    and restore the process handler afterwards."""
+    fired = []
+
+    def _handler(signum, frame):
+        fired.append(time.monotonic())
+    previous = signal.signal(signal.SIGALRM, _handler)
+    signal.alarm(0)
+    try:
+        yield fired
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def test_success_cancels_alarm_and_restores_handler(sigalrm_guard):
+    guard_handler = signal.getsignal(signal.SIGALRM)
+    _execute_job(_job(), timeout=60)
+    # No pending alarm survives the job (alarm(0) returns the seconds
+    # that were remaining — must be 0)...
+    assert signal.alarm(0) == 0
+    # ...and the pre-job handler is back in place.
+    assert signal.getsignal(signal.SIGALRM) is guard_handler
+    assert sigalrm_guard == []
+
+
+def test_fast_job_after_near_timeout_job_does_not_inherit_alarm(
+        sigalrm_guard):
+    """A 1s-timeout job that finishes just under the wire must leave
+    nothing armed: waiting past the would-be expiry and running a second
+    job must not observe any SIGALRM."""
+    _execute_job(_job(), timeout=1)      # job 1: succeeds within 1s
+    deadline = time.monotonic() + 1.2    # stale alarm would fire in here
+    while time.monotonic() < deadline:
+        time.sleep(0.05)
+    _execute_job(_job(), timeout=60)     # job 2: fast follow-up
+    assert sigalrm_guard == [], "a stale per-job alarm fired"
+    assert signal.alarm(0) == 0
+
+
+def test_timeout_raises_and_still_cleans_up(sigalrm_guard, monkeypatch):
+    import repro.sim.runner as runner
+
+    def _wedged(*args, **kwargs):
+        while True:              # interruptible only by the alarm
+            time.sleep(0.05)
+    monkeypatch.setattr(runner, "simulate", _wedged)
+    guard_handler = signal.getsignal(signal.SIGALRM)
+    start = time.monotonic()
+    with pytest.raises(JobTimeout):
+        _execute_job(_job(), timeout=1)
+    assert time.monotonic() - start < 5
+    assert signal.alarm(0) == 0
+    assert signal.getsignal(signal.SIGALRM) is guard_handler
+    assert sigalrm_guard == []
+
+
+def test_serial_run_jobs_sequences_timeouts_cleanly(tmp_path,
+                                                    sigalrm_guard):
+    """Two jobs through the serial executor path with a timeout: both
+    succeed and nothing stays armed between or after them."""
+    report = run_jobs([_job(200), _job(300)], workers=1, timeout=30,
+                      cache_dir=tmp_path, use_cache=False)
+    assert len(report.results) == 2
+    assert report.failures == {}
+    assert signal.alarm(0) == 0
+    assert sigalrm_guard == []
