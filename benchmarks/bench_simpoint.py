@@ -1,0 +1,76 @@
+"""SimPoint calibration: clustered vs periodic vs full-detail IPC.
+
+Not a paper figure — this reproduces the "SimPoint calibration" table
+of EXPERIMENTS.md: on the quick SPECint grid, per-machine harmonic-mean
+IPC of full detail, periodic sampling and simpoint sampling at the same
+represented budget, plus each schedule's detailed-instruction cost (the
+quantity simpoint exists to cut).
+
+Budget knobs: ``REPRO_SIMPOINT_BUDGET`` (default 100000 — the PR 2
+calibration budget; lower it for a faster smoke run).
+"""
+
+import os
+from statistics import harmonic_mean
+
+from conftest import run_once
+
+from repro.sim import SimConfig, simulate
+from repro.sim.sampling import SamplingParams
+from repro.workloads import SPECINT
+
+BENCHMARKS = SPECINT[::3]                      # the quick-mode set
+BUDGET = int(os.environ.get("REPRO_SIMPOINT_BUDGET", "100000"))
+
+MACHINES = (
+    ("Baseline", lambda: SimConfig.baseline(predictor="tage")),
+    ("CPR-192", lambda: SimConfig.cpr(predictor="tage")),
+    ("16-SP", lambda: SimConfig.msp(16, predictor="tage")),
+)
+
+SCHEDULES = (
+    ("full", None),
+    ("periodic", True),
+    ("simpoint", SamplingParams(mode="simpoint")),
+)
+
+
+def _measure():
+    table = {}
+    for label, make_config in MACHINES:
+        config = make_config()
+        rows = {}
+        for schedule, sampling in SCHEDULES:
+            ipcs, detail = [], 0
+            for workload in BENCHMARKS:
+                stats = simulate(workload, config,
+                                 max_instructions=BUDGET,
+                                 sampling=sampling)
+                ipcs.append(stats.ipc)
+                detail += (stats.detail_instructions if sampling
+                           else stats.committed)
+            rows[schedule] = (harmonic_mean(ipcs), detail)
+        table[label] = rows
+    return table
+
+
+def test_simpoint_calibration(benchmark):
+    table = run_once(benchmark, _measure)
+    print()
+    print(f"quick SPECint grid ({' '.join(BENCHMARKS)}), "
+          f"TAGE, {BUDGET} represented instructions")
+    print(f"{'machine':10s} {'full':>8s} {'periodic':>9s} {'err':>7s} "
+          f"{'simpoint':>9s} {'err':>7s} {'reduction':>10s}")
+    for label, rows in table.items():
+        full, _ = rows["full"]
+        per, per_detail = rows["periodic"]
+        sp, sp_detail = rows["simpoint"]
+        print(f"{label:10s} {full:8.4f} {per:9.4f} "
+              f"{abs(per - full) / full:7.2%} {sp:9.4f} "
+              f"{abs(sp - full) / full:7.2%} "
+              f"{per_detail / sp_detail:9.2f}x")
+        # The headline contract: detailed work drops >= 2x below
+        # periodic sampling at equal represented budget (the IPC-error
+        # discussion lives in EXPERIMENTS.md — mcf's data-driven
+        # phases keep 16-SP above the 2% the other machines meet).
+        assert sp_detail * 2 <= per_detail

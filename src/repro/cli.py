@@ -25,18 +25,22 @@ Commands
     Print a workload's assembly listing.
 
 ``run``, ``compare``, ``experiment`` and ``campaign run`` all accept
-the sampling flags ``--sample`` (periodic measurement windows over a
-fast functional fast-forward), ``--ff N`` (fixed-offset window),
-``--interval K`` and ``--period P`` — see :mod:`repro.sim.sampling`.
+the sampling flags ``--sample [MODE]`` (measurement windows over a
+fast functional fast-forward: bare ``--sample`` = periodic windows,
+``--sample simpoint`` = BBV-clustered representative windows), ``--ff
+N`` (fixed-offset window), ``--interval K``, ``--period P``,
+``--clusters C`` and ``--bbv-dim D`` — see :mod:`repro.sim.sampling`.
 
 Examples::
 
     python -m repro run bzip2 --arch msp --banks 16 --predictor tage
     python -m repro run bzip2 --arch msp --sample -n 100000
+    python -m repro run gzip --sample simpoint --clusters 4 -n 100000
     python -m repro compare mcf -n 5000
     python -m repro experiment figure8 --jobs 4
     python -m repro experiment figure7 --sample
     python -m repro campaign run --suite specint --machines baseline,msp:16
+    python -m repro campaign run --suite all --sample simpoint
     python -m repro campaign status
     python -m repro listing gzip | head -40
 """
@@ -53,7 +57,7 @@ from repro.defaults import EnvConfigError, default_instructions, \
 from repro.sim import SimConfig, simulate
 from repro.sim import experiments as exp
 from repro.sim.campaign import CampaignError, ResultStore
-from repro.sim.sampling import SamplingError, SamplingParams
+from repro.sim.sampling import MODES, SamplingError, SamplingParams
 from repro.workloads import SPECFP, SPECINT, all_workloads, get_program
 
 EXPERIMENTS = {
@@ -156,7 +160,9 @@ def _sampling_from_args(args) -> "SamplingParams":
             sample=getattr(args, "sample", False),
             ff=getattr(args, "ff", None),
             interval=getattr(args, "interval", None),
-            period=getattr(args, "period", None))
+            period=getattr(args, "period", None),
+            clusters=getattr(args, "clusters", None),
+            bbv_dim=getattr(args, "bbv_dim", None))
     except SamplingError as exc:
         print(f"bad sampling parameters: {exc}", file=sys.stderr)
         raise SystemExit(2)
@@ -422,10 +428,15 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_sampling_flags(p):
-        p.add_argument("--sample", action="store_true",
-                       help="sampled simulation: periodic detailed "
-                            "windows over a fast functional "
-                            "fast-forward (SMARTS-style)")
+        p.add_argument("--sample", nargs="?", const="periodic",
+                       default=False, choices=list(MODES),
+                       metavar="MODE",
+                       help="sampled simulation: detailed windows over "
+                            "a fast functional fast-forward. Bare "
+                            "--sample = SMARTS-style periodic windows; "
+                            "--sample simpoint = BBV phase clustering "
+                            "with one representative window per "
+                            f"cluster (choices: {', '.join(MODES)})")
         p.add_argument("--ff", type=int, default=None, metavar="N",
                        help="fast-forward N instructions functionally "
                             "before measuring (alone: one fixed-offset "
@@ -436,6 +447,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--period", type=int, default=None, metavar="P",
                        help="one window per P committed instructions "
                             "(implies sampling)")
+        p.add_argument("--clusters", type=int, default=None,
+                       metavar="C",
+                       help="simpoint: phase clusters / representative "
+                            "windows (enables simpoint unless --sample "
+                            "or REPRO_SAMPLE already chose a schedule; "
+                            "default 4, REPRO_SAMPLE_CLUSTERS)")
+        p.add_argument("--bbv-dim", type=int, default=None, metavar="D",
+                       help="simpoint: random-projection dimension of "
+                            "the interval basic-block vectors (enables "
+                            "simpoint unless --sample or REPRO_SAMPLE "
+                            "already chose a schedule; default 32, "
+                            "REPRO_SAMPLE_BBV_DIM)")
 
     def add_common(p, with_arch=True):
         p.add_argument("workload", help="workload name (see `list`)")

@@ -279,7 +279,7 @@ class Emulator:
         return result
 
     def run_fast(self, max_instructions: int = 1_000_000,
-                 warmup=None) -> EmulatorResult:
+                 warmup=None, bbv=None) -> EmulatorResult:
         """Fast interpreter loop over the predecoded program.
 
         Semantically identical to :meth:`run` (the oracle tests enforce
@@ -293,23 +293,36 @@ class Emulator:
         and is driven per predecoded kind instead of re-testing
         instruction class inside an observer callback.
 
+        ``bbv`` fuses basic-block-vector profiling the same way: a
+        :class:`~repro.sim.sampling.simpoint.BBVCollector` whose
+        ``interval``/``pos``/``counts``/``intervals``/``entry_pc``/
+        ``pending`` fields are driven directly from the control-transfer
+        dispatch arms (one dict update per *block*, not per
+        instruction), so profiling stays near plain emulator speed.
+        Profiling and warm-up are different passes of the simpoint
+        engine and cannot be fused together.
+
         Tracing flags, ``retire_hook`` and a generic ``observer`` are
         reference-path features: when any is set this falls back to
-        :meth:`run` (installing ``warmup`` as the observer) so hooks
-        keep firing.
+        :meth:`run` (installing ``warmup``/``bbv`` as the observer) so
+        hooks keep firing.
         """
+        if warmup is not None and bbv is not None:
+            raise ValueError("run_fast: warmup and bbv are separate "
+                             "passes; fuse at most one per run")
         decoded = self.program.decoded
         if (self.observer is not None or self.retire_hook is not None
                 or self._trace_pcs or self._trace_branches
                 or decoded.has_wild_targets):
-            if warmup is None:
+            hook = warmup if warmup is not None else bbv
+            if hook is None:
                 return self.run(max_instructions)
-            if self.observer is not None and self.observer is not warmup:
+            if self.observer is not None and self.observer is not hook:
                 raise ValueError("run_fast: an observer is already "
                                  "installed; cannot also fuse a warmup "
-                                 "engine")
+                                 "engine or BBV collector")
             saved = self.observer
-            self.observer = warmup
+            self.observer = hook
             try:
                 return self.run(max_instructions)
             finally:
@@ -331,6 +344,22 @@ class Emulator:
         mem_get = mem.get
         pc = self.pc
         retired = 0
+
+        prof = bbv is not None
+        if prof:
+            # Basic-block-vector profiling state, hoisted to locals.
+            # Blocks close only at control transfers, so straight-line
+            # stretches cost nothing; lengths come from retired-count
+            # deltas against ``b_anchor`` (negative when a block left
+            # open by a previous call carries into this one).
+            b_interval = bbv.interval
+            b_counts = bbv.counts
+            b_intervals = bbv.intervals
+            b_pos = bbv.pos
+            b_entry = bbv.entry_pc
+            b_anchor = -bbv.pending
+            if b_entry < 0:
+                b_entry = pc
 
         warm = warmup is not None
         if warm:
@@ -459,6 +488,16 @@ class Emulator:
                     correct = train(pc, taken)
                     if conf_update is not None:
                         conf_update(pc, correct=correct, taken=taken)
+                elif prof:
+                    n = retired + 1 - b_anchor
+                    b_counts[b_entry] = b_counts.get(b_entry, 0) + n
+                    b_pos += n
+                    if b_pos >= b_interval:
+                        b_intervals.append(b_counts)
+                        b_counts = {}
+                        b_pos = 0
+                    b_anchor = retired + 1
+                    b_entry = next_pc
                 pc = next_pc
             elif c == _LD or c == _FLD:
                 base = regs[s0[pc]]
@@ -518,11 +557,32 @@ class Emulator:
                     inst.op, [regs[s] for s in inst.srcs], imm[pc])
                 pc += 1
             elif c == _JMP:
-                pc = target[pc]
+                next_pc = target[pc]
+                if prof:
+                    n = retired + 1 - b_anchor
+                    b_counts[b_entry] = b_counts.get(b_entry, 0) + n
+                    b_pos += n
+                    if b_pos >= b_interval:
+                        b_intervals.append(b_counts)
+                        b_counts = {}
+                        b_pos = 0
+                    b_anchor = retired + 1
+                    b_entry = next_pc
+                pc = next_pc
             elif c == _JR:
                 next_pc = int(regs[s0[pc]])
                 if warm:
                     btb_update(pc, next_pc, btb_predict(pc) == next_pc)
+                elif prof:
+                    n = retired + 1 - b_anchor
+                    b_counts[b_entry] = b_counts.get(b_entry, 0) + n
+                    b_pos += n
+                    if b_pos >= b_interval:
+                        b_intervals.append(b_counts)
+                        b_counts = {}
+                        b_pos = 0
+                    b_anchor = retired + 1
+                    b_entry = next_pc
                 pc = next_pc
                 if pc < 0:
                     # A negative target would wrap around the decoded
@@ -540,6 +600,11 @@ class Emulator:
         self.pc = pc
         result.retired = retired
         self.retired_total += retired
+        if prof:
+            bbv.counts = b_counts
+            bbv.pos = b_pos
+            bbv.entry_pc = b_entry
+            bbv.pending = retired - b_anchor
         if warm:
             warmup._last_fetch_line = last_line
             warmup.instructions += retired

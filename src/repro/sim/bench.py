@@ -8,8 +8,13 @@ simulator itself across PRs.  Four modes run the same workload/machine:
 * ``ff+warmup``   — ``run_fast`` with the warm-up engine fused in
   (what fast-forward actually costs);
 * ``detailed``    — the cycle-level core (full-detail cost);
-* ``sampled``     — the complete sampled engine, reported as
-  *represented* instructions per second.
+* ``sampled``     — the complete sampled engine (periodic windows),
+  reported as *represented* instructions per second;
+* ``simpoint``    — the sampled engine under SimPoint phase
+  clustering (BBV profiling + k-medoids representative windows);
+  its record carries ``detail_instructions`` and the
+  ``detail_reduction_vs_sampled`` ratio, CI-guarded against
+  :data:`MIN_SIMPOINT_DETAIL_REDUCTION`.
 
 Two reference modes (``--ref``) time the pre-overhaul paths — the
 ``step()`` interpreter and the per-retire observer — so the speedup of
@@ -34,15 +39,22 @@ from typing import Dict, List, Optional, Sequence
 SCHEMA = "repro-bench-throughput/1"
 
 #: Mode names in canonical order.
-MODES = ("emulator", "ff+warmup", "detailed", "sampled")
+MODES = ("emulator", "ff+warmup", "detailed", "sampled", "simpoint")
 REFERENCE_MODES = ("emulator-ref", "ff+warmup-ref")
 
 #: The modes the CI regression gate watches (the PR-over-PR trajectory
-#: this subsystem exists to protect): the fast-forward path since PR 3
-#: and the detailed cycle cores since the event-scheduler PR.
-GATED_MODES = ("ff+warmup", "detailed")
+#: this subsystem exists to protect): the fast-forward path since PR 3,
+#: the detailed cycle cores since the event-scheduler PR, and the two
+#: end-to-end sampled engines since the simpoint PR.
+GATED_MODES = ("ff+warmup", "detailed", "sampled", "simpoint")
 #: Backwards-compatible alias (the historical single gated mode).
 GATED_MODE = "ff+warmup"
+
+#: Floor on the simpoint cell's detailed-work reduction over periodic
+#: sampling (the acceptance criterion of the simpoint PR): a simpoint
+#: record whose ``detail_reduction_vs_sampled`` drops below this fails
+#: the regression check outright, independent of inst/s rates.
+MIN_SIMPOINT_DETAIL_REDUCTION = 2.0
 
 
 def git_sha() -> str:
@@ -110,10 +122,11 @@ def measure_mode(mode: str, workload: str, emulate_n: int, detail_n: int,
         stats = simulate(program, config, max_instructions=detail_n)
         elapsed = time.perf_counter() - t0
         retired = stats.committed
-    elif mode == "sampled":
+    elif mode in ("sampled", "simpoint"):
+        sampling = True if mode == "sampled" else "simpoint"
         t0 = time.perf_counter()
         stats = simulate(program, config, max_instructions=sampled_n,
-                         sampling=True)
+                         sampling=sampling)
         elapsed = time.perf_counter() - t0
         record = {
             "instructions": stats.committed,
@@ -160,7 +173,21 @@ def measure(workload: str = "gzip", emulate_n: int = 200_000,
                                 > best["instructions_per_second"]):
                 best = current
         record["modes"][mode] = best
+    _annotate_simpoint_reduction(record)
     return record
+
+
+def _annotate_simpoint_reduction(record: dict) -> None:
+    """Stamp the simpoint cell with its detailed-work reduction over
+    the periodic ``sampled`` cell (same represented budget, so the
+    detail_instructions ratio is the honest comparison the simpoint
+    PR's >= 2x acceptance criterion guards)."""
+    cells = record.get("modes", {})
+    periodic = cells.get("sampled", {}).get("detail_instructions")
+    simpoint = cells.get("simpoint")
+    if periodic and simpoint and simpoint.get("detail_instructions"):
+        simpoint["detail_reduction_vs_sampled"] = (
+            periodic / simpoint["detail_instructions"])
 
 
 def write_json(path: str, record: dict) -> None:
@@ -218,12 +245,42 @@ def _workload_mismatch(current: dict, baseline: dict) -> Optional[str]:
     return None
 
 
+def check_simpoint_reduction(current: dict) -> Optional[str]:
+    """Failure message when the record's simpoint cell no longer cuts
+    detailed work >= :data:`MIN_SIMPOINT_DETAIL_REDUCTION` x below
+    periodic sampling, else None (absence of the cell or of the ratio
+    is not a failure — e.g. a --ref-only or pre-simpoint record).
+
+    The floor only applies when the record's sampled budget holds at
+    least ``floor x clusters`` default-sized intervals — with fewer,
+    even perfect clustering cannot reach the floor (every cluster must
+    keep >= 1 representative window), so a small ``-n`` smoke run is
+    not a regression signal."""
+    reduction = (current.get("modes", {}).get("simpoint", {})
+                 .get("detail_reduction_vs_sampled"))
+    if reduction is None:
+        return None
+    from repro.sim.sampling import SamplingParams
+    defaults = SamplingParams()
+    budget = current.get("budgets", {}).get("sampled")
+    achievable = (MIN_SIMPOINT_DETAIL_REDUCTION * defaults.clusters
+                  * defaults.period)
+    if budget is not None and budget < achievable:
+        return None
+    if reduction < MIN_SIMPOINT_DETAIL_REDUCTION:
+        return (f"simpoint detailed-work reduction regressed: "
+                f"{reduction:.2f}x vs periodic sampling (floor "
+                f"{MIN_SIMPOINT_DETAIL_REDUCTION:.1f}x)")
+    return None
+
+
 def check_regressions(current: dict, baseline: dict,
                       tolerance: float = 0.30,
                       modes: Sequence[str] = GATED_MODES) -> List[str]:
-    """Run :func:`check_regression` for every gated mode; returns the
-    (possibly empty) list of failure messages.  A workload mismatch is
-    reported once, not per mode."""
+    """Run :func:`check_regression` for every gated mode plus the
+    simpoint detailed-work-reduction floor; returns the (possibly
+    empty) list of failure messages.  A workload mismatch is reported
+    once, not per mode."""
     mismatch = _workload_mismatch(current, baseline)
     if mismatch is not None:
         return [mismatch]
@@ -232,6 +289,9 @@ def check_regressions(current: dict, baseline: dict,
         failure = check_regression(current, baseline, tolerance, mode)
         if failure is not None:
             failures.append(failure)
+    reduction_failure = check_simpoint_reduction(current)
+    if reduction_failure is not None:
+        failures.append(reduction_failure)
     return failures
 
 
@@ -244,12 +304,16 @@ def format_table(record: dict) -> str:
         if "detail_instructions" in row:
             extra = (f"  ({row['detail_instructions']:,d} detailed of "
                      f"{row['instructions']:,d} represented)")
+        if "detail_reduction_vs_sampled" in row:
+            extra += (f"  [{row['detail_reduction_vs_sampled']:.1f}x "
+                      f"less detail than sampled]")
         lines.append(f"  {mode:14s} {row['instructions_per_second']:12,.0f}"
                      f" inst/s{extra}")
     return "\n".join(lines)
 
 
-__all__ = ["GATED_MODE", "GATED_MODES", "MODES", "REFERENCE_MODES",
+__all__ = ["GATED_MODE", "GATED_MODES",
+           "MIN_SIMPOINT_DETAIL_REDUCTION", "MODES", "REFERENCE_MODES",
            "SCHEMA", "check_regression", "check_regressions",
-           "format_table", "git_sha", "load_json", "measure",
-           "measure_mode", "write_json"]
+           "check_simpoint_reduction", "format_table", "git_sha",
+           "load_json", "measure", "measure_mode", "write_json"]

@@ -109,16 +109,21 @@ class SimConfig:
     # Sampled simulation (repro.sim.sampling). ``sample_mode`` selects
     # full-detail ("full"), SMARTS-style periodic windows ("periodic":
     # a `sample_interval`-instruction detailed window at the end of
-    # every `sample_period` committed instructions) or a single
+    # every `sample_period` committed instructions), a single
     # fixed-offset window ("offset": fast-forward `sample_ff`, measure
-    # `sample_interval`). ``sample_warmup`` trains predictor/BTB/caches
-    # from the functional stream during fast-forward (replacing the
-    # all-lines ``warm_caches`` approximation).
-    # ``sample_detail_warmup`` cycle-simulates (but does not measure)
-    # that many instructions at each window's head, so pipeline / store
-    # queue / CPR-checkpoint state reaches steady state first. All six
-    # are ordinary dataclass fields, so they perturb :meth:`cache_key`
-    # — sampled and full-detail results can never collide in the
+    # `sample_interval`) or SimPoint phase clustering ("simpoint":
+    # periodic intervals BBV-profiled during fast-forward and k-medoids
+    # clustered into `sample_clusters` phases — only each cluster's
+    # representative interval is measured, weighted by the cluster's
+    # span; `sample_bbv_dim` is the BBV random-projection dimension).
+    # ``sample_warmup`` trains predictor/BTB/caches from the functional
+    # stream during fast-forward (replacing the all-lines
+    # ``warm_caches`` approximation). ``sample_detail_warmup``
+    # cycle-simulates (but does not measure) that many instructions at
+    # each window's head, so pipeline / store queue / CPR-checkpoint
+    # state reaches steady state first. All eight are ordinary
+    # dataclass fields, so they perturb :meth:`cache_key` — sampled,
+    # simpoint and full-detail results can never collide in the
     # campaign result cache.
     sample_mode: str = "full"
     sample_ff: int = 0
@@ -126,6 +131,8 @@ class SimConfig:
     sample_period: int = 10_000
     sample_warmup: bool = True
     sample_detail_warmup: int = 500
+    sample_clusters: int = 4
+    sample_bbv_dim: int = 32
 
     # ------------------------------------------------------------------ #
 

@@ -100,9 +100,11 @@ def run_grid(name: str, benchmarks: Sequence[str],
              sampling=None) -> ExperimentResult:
     """Run a benchmarks x configs grid through the campaign engine.
 
-    ``sampling`` (anything ``SamplingParams.coerce`` accepts) stamps a
-    sampling schedule onto every machine config, switching the whole
-    grid to sampled simulation; the default budget then rises to
+    ``sampling`` (anything ``SamplingParams.coerce`` accepts — True
+    for periodic windows, ``"simpoint"`` for BBV phase clustering, a
+    dict, or a ``SamplingParams``) stamps a sampling schedule onto
+    every machine config, switching the whole grid to sampled
+    simulation; the default budget then rises to
     ``default_sample_instructions()`` (~30x) since fast-forwarding makes
     far larger represented budgets affordable at equal wall-clock.
     ``sampling=None`` defers to the ``REPRO_SAMPLE*`` environment, so

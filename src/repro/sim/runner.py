@@ -3,7 +3,9 @@
 ``simulate`` is the one function everything above the core layer calls
 (CLI, campaign executor, tests). It routes to full-detail or sampled
 simulation: a config whose ``sample_mode`` is not ``"full"`` — or an
-explicit ``sampling=`` argument — dispatches to
+explicit ``sampling=`` argument (``True`` for periodic windows,
+``"simpoint"`` for BBV phase clustering, ``"offset"``, a dict, or a
+:class:`~repro.sim.sampling.SamplingParams`) — dispatches to
 :func:`repro.sim.sampling.simulate_sampled`.
 
 The default instruction budget comes from

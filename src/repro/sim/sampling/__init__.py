@@ -17,22 +17,33 @@ Entry points:
 * :class:`SamplingParams` — the window schedule (mode/ff/interval/
   period/warmup), convertible to/from ``SimConfig`` fields, CLI flags
   and ``REPRO_SAMPLE*`` environment variables.
-* :class:`WarmupEngine`, :func:`stitch`, :class:`IntervalResult` — the
-  composable pieces.
+* :class:`WarmupEngine`, :func:`stitch`, :class:`IntervalResult`,
+  :class:`BBVCollector`, :func:`plan_simpoints` — the composable
+  pieces (the last two are the SimPoint phase-clustering pipeline of
+  :mod:`repro.sim.sampling.simpoint`).
 """
 
 from repro.sim.sampling.engine import simulate_sampled
-from repro.sim.sampling.params import SamplingError, SamplingParams
+from repro.sim.sampling.params import MODES, SamplingError, \
+    SamplingParams
+from repro.sim.sampling.simpoint import BBVCollector, SimpointPlan, \
+    plan_simpoints, profile_intervals
 from repro.sim.sampling.stitch import IntervalResult, sampling_error, \
-    stitch
+    stitch, student_t_critical
 from repro.sim.sampling.warmup import WarmupEngine
 
 __all__ = [
+    "BBVCollector",
     "IntervalResult",
+    "MODES",
     "SamplingError",
     "SamplingParams",
+    "SimpointPlan",
     "WarmupEngine",
+    "plan_simpoints",
+    "profile_intervals",
     "sampling_error",
     "simulate_sampled",
     "stitch",
+    "student_t_critical",
 ]

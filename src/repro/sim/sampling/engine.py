@@ -18,6 +18,15 @@ short detailed measurement windows:
    window represents and combined into whole-run statistics with a
    sampling-error estimate (:mod:`repro.sim.sampling.stitch`).
 
+The ``simpoint`` schedule adds a phase-clustering pass in front: a
+profiling emulator first sweeps the budget at near-emulator speed
+collecting one basic-block vector per period
+(:mod:`repro.sim.sampling.simpoint`), the intervals are clustered into
+phases, and the main loop then measures *only* each cluster's
+representative interval — weighting its window by the exact instruction
+span of the whole cluster — while plain fast-forward (with warm-up)
+carries execution across the non-representative intervals.
+
 Determinism: the emulator and the timing cores commit identical
 instruction streams (the oracle tests' contract), so a seeded window
 measures exactly the region the schedule says it does, and the whole
@@ -108,6 +117,7 @@ def simulate_sampled(program, config,
         pos += result.retired
         ended = result.terminated
 
+    profiled = 0
     if params.mode == "offset":
         if not ended and pos < budget:
             remaining = budget - pos
@@ -129,9 +139,58 @@ def simulate_sampled(program, config,
                 windows.append(IntervalResult(pos, represents, stats,
                                               detail_cost=cost))
     else:
+        representatives = None
+        spans = None
+        last_rep = -1
+        if params.mode == "simpoint":
+            # Phase-clustering pass: profile per-interval BBVs over a
+            # separate emulator (near emulator speed — no warm-up, no
+            # snapshots), then keep only each cluster's medoid
+            # interval.  Both emulators execute the identical stream,
+            # so the profiled interval lengths below place each
+            # measured window exactly inside the interval the profile
+            # attributed to it.
+            from repro.sim.sampling.simpoint import plan_simpoints, \
+                profile_intervals
+            intervals, profiled = profile_intervals(
+                program, budget, params.period, ff=params.ff)
+            plan = plan_simpoints(intervals, params.clusters,
+                                  params.bbv_dim)
+            representatives = plan.representatives
+            # The profiler closes intervals at basic-block boundaries,
+            # so each is `period` plus a small block overshoot; the
+            # walk must advance by these exact lengths or the
+            # representative windows drift out of their profiled
+            # intervals as the overshoots accumulate.
+            spans = plan.interval_instructions
+            last_rep = max(representatives, default=-1)
+        index = 0
         while not ended and pos < budget:
-            period_end = min(pos + params.period, budget)
-            span = period_end - pos
+            if representatives is not None:
+                if index > last_rep or index >= len(spans):
+                    # Every cluster's representative has been measured
+                    # and the remaining intervals' spans are already
+                    # accounted to their clusters' weights (from the
+                    # profile), so stop paying for the tail's walk and
+                    # warm-up — the same no-further-window rule the
+                    # offset schedule uses.
+                    break
+                span = spans[index]
+                represents = representatives.get(index)
+                index += 1
+                if represents is None:
+                    # Not a representative interval: its phase is
+                    # already covered by its cluster's medoid, so just
+                    # carry execution (and warm-up) across it.
+                    result = emulator.run_fast(span, warmup=warm)
+                    pos += result.retired
+                    if result.terminated:
+                        break
+                    continue
+            else:
+                period_end = min(pos + params.period, budget)
+                span = period_end - pos
+                represents = None
             # The detailed segment (warmup prefix + measured window)
             # sits at the end of the period so the functional gap in
             # front of it provides warm-up history; short tail periods
@@ -155,8 +214,9 @@ def simulate_sampled(program, config,
             # Walk the functional stream through the detailed segment
             # so warm-up stays continuous and position stays exact.
             result = emulator.run_fast(segment, warmup=warm)
-            represents = gap + (result.retired if result.terminated
-                                else segment)
+            if represents is None:
+                represents = gap + (result.retired if result.terminated
+                                    else segment)
             windows.append(IntervalResult(pos, represents, stats,
                                           detail_cost=cost))
             pos += result.retired
@@ -176,7 +236,10 @@ def simulate_sampled(program, config,
         stats.detail_instructions = stats.committed
         return stats
 
-    out = stitch(windows, ff_instructions=emulator.retired_total)
+    # The profiling pass is functional work too: charge it to the
+    # fast-forward account so the cost books stay honest.
+    out = stitch(windows,
+                 ff_instructions=emulator.retired_total + profiled)
     return out
 
 

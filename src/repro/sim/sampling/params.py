@@ -1,7 +1,7 @@
 """Sampling parameters: how a run is split into fast-forward and
 detailed measurement windows.
 
-Two window schedules are supported (both SMARTS/SimPoint lineage):
+Three window schedules are supported (all SMARTS/SimPoint lineage):
 
 * ``periodic`` — the run is divided into back-to-back periods of
   ``period`` committed instructions; the *last* ``interval``
@@ -11,26 +11,37 @@ Two window schedules are supported (both SMARTS/SimPoint lineage):
 * ``offset`` — fast-forward ``ff`` instructions once, then simulate a
   single ``interval``-instruction window that represents the rest of
   the budget (the classic fast-forward-then-measure scheme).
+* ``simpoint`` — the same ``period``-sized intervals as ``periodic``,
+  but a fast profiling pass first collects one basic-block vector per
+  interval, k-medoids clusters them into ``clusters`` phases
+  (:mod:`repro.sim.sampling.simpoint`), and only each cluster's
+  representative interval is simulated in detail — with its window's
+  statistics weighted by the whole cluster's instruction span.  Cuts
+  detailed work by roughly ``interval_count / clusters`` relative to
+  ``periodic`` at equal represented budget.
 
-``ff`` also applies to ``periodic`` as an initial skip before the first
-period. ``warmup`` controls whether the functional stream trains the
-branch predictor, BTB and cache hierarchy during fast-forward.
-``detail_warmup`` prepends that many *detailed* (cycle-simulated but
-unmeasured) instructions to every window: the pipeline, store queue and
-— critically for CPR — the live checkpoint set reach steady state
-before measurement begins, which removes the cold-window bias that
-short windows otherwise give imprecise-recovery machines.
+``ff`` also applies to ``periodic``/``simpoint`` as an initial skip
+before the first period. ``warmup`` controls whether the functional
+stream trains the branch predictor, BTB and cache hierarchy during
+fast-forward. ``detail_warmup`` prepends that many *detailed*
+(cycle-simulated but unmeasured) instructions to every window: the
+pipeline, store queue and — critically for CPR — the live checkpoint
+set reach steady state before measurement begins, which removes the
+cold-window bias that short windows otherwise give imprecise-recovery
+machines. ``clusters`` and ``bbv_dim`` (phase count and BBV
+random-projection dimension) only shape ``simpoint`` schedules but are
+carried — and cache-keyed — for every mode.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Optional, Union
 
 from repro.defaults import env_int
 
-MODES = ("periodic", "offset")
+MODES = ("periodic", "offset", "simpoint")
 
 #: ``REPRO_SAMPLE`` spellings that enable / disable sampling; anything
 #: else is rejected rather than silently interpreted.
@@ -56,6 +67,8 @@ class SamplingParams:
     period: int = 10_000
     warmup: bool = True
     detail_warmup: int = 500
+    clusters: int = 4
+    bbv_dim: int = 32
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -67,8 +80,13 @@ class SamplingParams:
             raise SamplingError("sampling interval must be >= 1")
         if self.detail_warmup < 0:
             raise SamplingError("sampling detail_warmup must be >= 0")
-        if self.mode == "periodic" and self.period < self.interval:
+        if self.mode in ("periodic", "simpoint") \
+                and self.period < self.interval:
             raise SamplingError("sampling period must be >= interval")
+        if self.clusters < 1:
+            raise SamplingError("sampling clusters must be >= 1")
+        if self.bbv_dim < 1:
+            raise SamplingError("sampling bbv_dim must be >= 1")
 
     # ------------------------------------------------------------------ #
     # SimConfig round-trip: the sampling schedule lives in the config so
@@ -82,7 +100,9 @@ class SamplingParams:
                             sample_interval=self.interval,
                             sample_period=self.period,
                             sample_warmup=self.warmup,
-                            sample_detail_warmup=self.detail_warmup)
+                            sample_detail_warmup=self.detail_warmup,
+                            sample_clusters=self.clusters,
+                            sample_bbv_dim=self.bbv_dim)
 
     @classmethod
     def from_config(cls, config) -> Optional["SamplingParams"]:
@@ -94,7 +114,9 @@ class SamplingParams:
                    interval=config.sample_interval,
                    period=config.sample_period,
                    warmup=config.sample_warmup,
-                   detail_warmup=config.sample_detail_warmup)
+                   detail_warmup=config.sample_detail_warmup,
+                   clusters=config.sample_clusters,
+                   bbv_dim=config.sample_bbv_dim)
 
     # ------------------------------------------------------------------ #
     # Environment / CLI construction.
@@ -141,41 +163,63 @@ class SamplingParams:
                    period=env_int("REPRO_SAMPLE_PERIOD", base.period),
                    warmup=warmup,
                    detail_warmup=env_int("REPRO_SAMPLE_DETAIL_WARMUP",
-                                         base.detail_warmup))
+                                         base.detail_warmup),
+                   clusters=env_int("REPRO_SAMPLE_CLUSTERS",
+                                    base.clusters),
+                   bbv_dim=env_int("REPRO_SAMPLE_BBV_DIM",
+                                   base.bbv_dim))
 
     @classmethod
-    def from_cli(cls, sample: bool = False, ff: Optional[int] = None,
+    def from_cli(cls, sample: Union[bool, str, None] = False,
+                 ff: Optional[int] = None,
                  interval: Optional[int] = None,
-                 period: Optional[int] = None
+                 period: Optional[int] = None,
+                 clusters: Optional[int] = None,
+                 bbv_dim: Optional[int] = None
                  ) -> Optional["SamplingParams"]:
-        """Combine ``--sample/--ff/--interval/--period`` flags with the
-        ``REPRO_SAMPLE*`` environment. Any flag enables sampling.
-        ``--sample`` always selects periodic windows; ``--ff`` selects
-        the single fixed-offset window only when it is the flag that
-        *enables* sampling — when the environment already configured a
-        schedule, ``--ff`` just overrides the initial skip."""
+        """Combine ``--sample [MODE]/--ff/--interval/--period/
+        --clusters/--bbv-dim`` flags with the ``REPRO_SAMPLE*``
+        environment. Any flag enables sampling. Bare ``--sample``
+        selects periodic windows and ``--sample simpoint``/``offset``
+        the named mode; when sampling is enabled by the knob flags
+        alone, ``--clusters``/``--bbv-dim`` imply the simpoint schedule
+        they configure and ``--ff`` the single fixed-offset window —
+        but when the environment (or ``--sample``) already chose a
+        schedule, the knobs only override their own fields."""
         base = cls.from_env()
         if not (sample or ff is not None or interval is not None
-                or period is not None):
+                or period is not None or clusters is not None
+                or bbv_dim is not None):
             return base
         if base is None:
             # Sampling enabled by flags alone: the REPRO_SAMPLE_* knob
             # variables still apply (they only lack the on-switch).
             base = cls.from_env(assume_enabled=True)
-            if not sample and ff is not None and period is None:
-                # --ff alone means one fixed-offset window; --period
-                # only exists for periodic mode, so its presence keeps
-                # the schedule periodic (with --ff as initial skip).
-                base = replace(base, mode="offset")
+            if not sample:
+                if clusters is not None or bbv_dim is not None:
+                    # The clustering knobs only mean anything under the
+                    # simpoint schedule they parameterise.
+                    base = replace(base, mode="simpoint")
+                elif ff is not None and period is None:
+                    # --ff alone means one fixed-offset window;
+                    # --period only exists for the window schedules, so
+                    # its presence keeps the schedule periodic (with
+                    # --ff as initial skip).
+                    base = replace(base, mode="offset")
         overrides = {}
         if sample:
-            overrides["mode"] = "periodic"
+            overrides["mode"] = (sample if isinstance(sample, str)
+                                 else "periodic")
         if ff is not None:
             overrides["ff"] = ff
         if interval is not None:
             overrides["interval"] = interval
         if period is not None:
             overrides["period"] = period
+        if clusters is not None:
+            overrides["clusters"] = clusters
+        if bbv_dim is not None:
+            overrides["bbv_dim"] = bbv_dim
         return replace(base, **overrides)
 
     @classmethod

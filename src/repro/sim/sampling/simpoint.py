@@ -1,0 +1,312 @@
+"""SimPoint-style phase clustering: pick representative windows.
+
+The periodic schedule measures every period, so a workload with three
+steady phases pays detailed simulation for dozens of near-identical
+windows. SimPoint (Sherwood et al.) observes that the *basic-block
+vector* (BBV) of an interval — how many instructions each basic block
+contributed — fingerprints its phase, and that clustering interval
+BBVs and simulating one representative interval per cluster reproduces
+whole-program CPI at a fraction of the detail cost.
+
+This module is the pure-stdlib, fully deterministic pipeline behind
+``sample_mode="simpoint"``:
+
+1. :class:`BBVCollector` — per-interval basic-block profiling.  A block
+   is the run of instructions up to (and including) each control
+   transfer (conditional branch, ``JMP``, ``JR``); the collector
+   charges the block's instruction count to its entry PC.  It is fused
+   into ``Emulator.run_fast``'s predecoded dispatch (near emulator
+   speed) and doubles as a plain per-retire observer — the ``run()``
+   oracle path the equivalence tests compare against.
+2. :func:`project_intervals` — frequency-normalise each interval's BBV
+   and randomly project it to ``dim`` dimensions.  Projection rows are
+   derived per block PC from a seeded :class:`random.Random`, so the
+   result is independent of dict iteration order and identical across
+   processes.
+3. :func:`kmedoids` — k-medoids clustering with deterministic
+   farthest-first initialisation and lowest-index tie-breaks (no RNG in
+   the iteration, so identical inputs give identical medoids
+   everywhere).
+4. :func:`plan_simpoints` — the sampled engine's entry point: cluster
+   the profiled intervals and return one representative interval per
+   cluster, weighted by the exact instruction span its cluster covers.
+
+Intervals close at block boundaries (the profiler only checks the
+interval budget when a block ends), so interval lengths wobble by at
+most one block around ``interval`` — the standard SimPoint relaxation,
+and the property that lets the fused profiler skip per-instruction
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.isa.opcodes import Op
+
+#: Default seed for the random projection. A module constant (not
+#: config-derived) so a plan is a pure function of (program, schedule)
+#: and campaign cache keys stay sound.
+SIMPOINT_SEED = 0x51AD
+
+#: Iteration cap for the k-medoids refinement (assignment/update always
+#: converges on these tiny point sets long before this).
+_MAX_KMEDOIDS_ITER = 64
+
+
+class BBVCollector:
+    """Accumulate one basic-block vector per profiling interval.
+
+    The collector has two drive modes with identical semantics (pinned
+    by the oracle tests):
+
+    * fused into ``Emulator.run_fast(budget, bbv=collector)``, which
+      manipulates the public fields below directly from the predecoded
+      dispatch loop;
+    * installed as the emulator's per-retire ``observer`` (this class's
+      ``__call__``), the readable reference discipline.
+
+    After the run, :meth:`finish` flushes the open block and partial
+    interval; ``intervals`` then holds one ``{entry_pc: instructions}``
+    dict per interval, in execution order.
+    """
+
+    __slots__ = ("interval", "pos", "counts", "intervals", "entry_pc",
+                 "pending")
+
+    def __init__(self, interval: int) -> None:
+        if interval < 1:
+            raise ValueError("BBV profiling interval must be >= 1")
+        self.interval = interval
+        #: Instructions from *closed* blocks in the current interval.
+        self.pos = 0
+        #: Current interval's vector: block entry PC -> instructions.
+        self.counts: Dict[int, int] = {}
+        #: Finished per-interval vectors.
+        self.intervals: List[Dict[int, int]] = []
+        #: Entry PC of the open block (-1 before the first instruction).
+        self.entry_pc = -1
+        #: Instructions in the open block.
+        self.pending = 0
+
+    def _close_block(self, next_entry: int) -> None:
+        counts = self.counts
+        entry = self.entry_pc
+        counts[entry] = counts.get(entry, 0) + self.pending
+        self.pos += self.pending
+        self.pending = 0
+        if self.pos >= self.interval:
+            self.intervals.append(counts)
+            self.counts = {}
+            self.pos = 0
+        self.entry_pc = next_entry
+
+    # ------------------------------------------------------------------ #
+    # Emulator observer protocol (the run() oracle path).
+    # ------------------------------------------------------------------ #
+
+    def __call__(self, pc, inst, taken, mem_addr, next_pc) -> None:
+        if self.entry_pc < 0:
+            self.entry_pc = pc
+        self.pending += 1
+        if taken is not None or inst.op is Op.JMP or inst.op is Op.JR:
+            self._close_block(next_pc)
+
+    # ------------------------------------------------------------------ #
+
+    def finish(self) -> List[Dict[int, int]]:
+        """Flush the open block (HALT / budget end / fall-off) and the
+        partial tail interval; return the interval list."""
+        if self.pending:
+            self.counts[self.entry_pc] = \
+                self.counts.get(self.entry_pc, 0) + self.pending
+            self.pos += self.pending
+            self.pending = 0
+            self.entry_pc = -1
+        if self.counts:
+            self.intervals.append(self.counts)
+            self.counts = {}
+            self.pos = 0
+        return self.intervals
+
+
+def profile_intervals(program, budget: int, interval: int,
+                      ff: int = 0) -> Tuple[List[Dict[int, int]], int]:
+    """Pass 1 of simpoint sampling: functionally execute ``program``
+    (no warm-up, near emulator speed) and collect one BBV per
+    ``interval`` committed instructions, skipping ``ff`` first.
+
+    Returns ``(interval_vectors, instructions_executed)``.
+    """
+    from repro.isa.emulator import Emulator
+    emulator = Emulator(program)
+    if ff:
+        result = emulator.run_fast(ff)
+        if result.terminated:
+            return [], emulator.retired_total
+    collector = BBVCollector(interval)
+    emulator.run_fast(budget - ff, bbv=collector)
+    return collector.finish(), emulator.retired_total
+
+
+# --------------------------------------------------------------------- #
+# Random projection.
+# --------------------------------------------------------------------- #
+
+def _projection_row(block: int, dim: int, seed: int) -> List[float]:
+    """The block's projection row, derived from a per-block seeded RNG
+    (string-seeded so it is stable across processes and independent of
+    ``PYTHONHASHSEED``)."""
+    rng = random.Random(f"simpoint:{seed}:{block}")
+    return [rng.uniform(-1.0, 1.0) for _ in range(dim)]
+
+
+def project_intervals(intervals: Sequence[Dict[int, int]], dim: int,
+                      seed: int = SIMPOINT_SEED) -> List[List[float]]:
+    """Frequency-normalise each interval BBV and project it to ``dim``
+    dimensions.  Blocks are visited in sorted-PC order so the float
+    accumulation order — hence the result, bit for bit — never depends
+    on dict insertion order."""
+    rows: Dict[int, List[float]] = {}
+    out: List[List[float]] = []
+    for counts in intervals:
+        total = sum(counts.values())
+        vec = [0.0] * dim
+        if total:
+            for block in sorted(counts):
+                row = rows.get(block)
+                if row is None:
+                    row = rows[block] = _projection_row(block, dim, seed)
+                weight = counts[block] / total
+                for j in range(dim):
+                    vec[j] += weight * row[j]
+        out.append(vec)
+    return out
+
+
+# --------------------------------------------------------------------- #
+# k-medoids.
+# --------------------------------------------------------------------- #
+
+def _distance_matrix(points: Sequence[Sequence[float]]
+                     ) -> List[List[float]]:
+    n = len(points)
+    dist = [[0.0] * n for _ in range(n)]
+    for i in range(n):
+        pi = points[i]
+        for j in range(i + 1, n):
+            pj = points[j]
+            d = 0.0
+            for a, b in zip(pi, pj):
+                diff = a - b
+                d += diff * diff
+            dist[i][j] = dist[j][i] = d
+    return dist
+
+
+def kmedoids(points: Sequence[Sequence[float]], k: int
+             ) -> Tuple[List[int], List[int]]:
+    """Cluster ``points`` around ``k`` medoids (squared-Euclidean).
+
+    Deterministic end to end: farthest-first initialisation seeded from
+    the 1-medoid (the point with the least total distance to all
+    others), lowest-index tie-breaks in assignment and update, and
+    medoid lists kept sorted between sweeps.  Returns
+    ``(medoid_point_indices, assignment)`` where ``assignment[i]``
+    indexes into the medoid list.
+    """
+    n = len(points)
+    if n == 0:
+        return [], []
+    k = max(1, min(k, n))
+    dist = _distance_matrix(points)
+
+    totals = [sum(row) for row in dist]
+    medoids = [min(range(n), key=lambda i: (totals[i], i))]
+    nearest = dist[medoids[0]][:]
+    while len(medoids) < k:
+        chosen = max(range(n), key=lambda i: (nearest[i], -i))
+        medoids.append(chosen)
+        row = dist[chosen]
+        for i in range(n):
+            if row[i] < nearest[i]:
+                nearest[i] = row[i]
+    medoids.sort()
+
+    def _assign() -> List[int]:
+        return [min(range(len(medoids)),
+                    key=lambda m: (dist[i][medoids[m]], m))
+                for i in range(n)]
+
+    assignment = _assign()
+    for _ in range(_MAX_KMEDOIDS_ITER):
+        refined = []
+        for m in range(len(medoids)):
+            members = [i for i in range(n) if assignment[i] == m]
+            if not members:
+                refined.append(medoids[m])
+                continue
+            refined.append(min(
+                members,
+                key=lambda i: (sum(dist[i][j] for j in members), i)))
+        refined.sort()
+        if refined == medoids:
+            break
+        medoids = refined
+        assignment = _assign()
+    return medoids, assignment
+
+
+# --------------------------------------------------------------------- #
+# Planning.
+# --------------------------------------------------------------------- #
+
+@dataclass
+class SimpointPlan:
+    """Which intervals to simulate in detail, and what each stands for.
+
+    ``representatives`` maps an interval index to the exact number of
+    instructions its cluster covers (its own interval plus every
+    cluster-mate's, including short tail intervals) — the ``represents``
+    weight the stitcher extrapolates by.
+    """
+
+    representatives: Dict[int, int] = field(default_factory=dict)
+    medoids: List[int] = field(default_factory=list)
+    assignment: List[int] = field(default_factory=list)
+    interval_instructions: List[int] = field(default_factory=list)
+
+    @property
+    def clusters(self) -> int:
+        return len(self.representatives)
+
+
+def plan_simpoints(intervals: Sequence[Dict[int, int]], clusters: int,
+                   bbv_dim: int,
+                   seed: int = SIMPOINT_SEED) -> SimpointPlan:
+    """Cluster profiled interval BBVs and choose one representative
+    (the medoid) per cluster, weighted by the cluster's exact
+    instruction span.  ``clusters`` caps at the interval count (every
+    interval its own cluster degenerates to the periodic schedule)."""
+    n = len(intervals)
+    if n == 0:
+        return SimpointPlan()
+    points = project_intervals(intervals, bbv_dim, seed)
+    medoids, assignment = kmedoids(points, clusters)
+    insts = [sum(counts.values()) for counts in intervals]
+    representatives: Dict[int, int] = {}
+    for cluster, medoid in enumerate(medoids):
+        span = sum(insts[i] for i in range(n)
+                   if assignment[i] == cluster)
+        if span:
+            # A duplicated medoid (possible only when a refinement
+            # sweep empties a cluster) merges its spans.
+            representatives[medoid] = \
+                representatives.get(medoid, 0) + span
+    return SimpointPlan(representatives, medoids, assignment, insts)
+
+
+__all__ = ["BBVCollector", "SIMPOINT_SEED", "SimpointPlan", "kmedoids",
+           "plan_simpoints", "profile_intervals", "project_intervals"]

@@ -10,10 +10,21 @@ instruction-weighted-CPI estimator of sampled simulation:
     IPC_est    = sum_i represents_i / cycles_est
 
 A relative sampling-error estimate accompanies the result: the 95%
-confidence half-width of the weighted mean CPI, from the between-window
-variance of per-window CPI (0 when fewer than two windows exist). The
-acceptance benchmarks cross-check this estimate against full-detail
-runs on small budgets.
+confidence half-width of the weighted mean CPI, from the
+represents-weighted between-window sample variance of per-window CPI
+(0 when fewer than two weighted windows exist). Because windows carry
+very unequal weights under SimPoint clustering (a cluster of thirty
+intervals weighs thirty times a singleton), both the variance and the
+quantile use the *effective* sample size ``n_eff = (sum w)^2 / sum
+w^2``: Bessel's correction divides by ``n_eff - 1``, and the 95%
+quantile is Student's t at ``n_eff - 1`` degrees of freedom rather
+than the normal 1.96 — with a handful of windows the normal quantile
+understates the interval badly. For equal-weight (periodic) windows
+``n_eff`` is the window count and the whole estimate reduces to the
+classic unweighted t-based standard error; the stitched *counters* are
+computed independently of the error estimate and are pinned
+bit-identical by the unit tests. The acceptance benchmarks cross-check
+the estimate against full-detail runs on small budgets.
 """
 
 from __future__ import annotations
@@ -77,21 +88,102 @@ class IntervalResult:
                 if self.stats.committed else 0.0)
 
 
+def _beta_continued_fraction(a: float, b: float, x: float) -> float:
+    """Lentz continued-fraction kernel of the regularized incomplete
+    beta function (Numerical Recipes betacf)."""
+    tiny = 1e-300
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, 201):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 3e-14:
+            break
+    return h
+
+
+def _incomplete_beta(a: float, b: float, x: float) -> float:
+    """Regularized incomplete beta ``I_x(a, b)`` (pure stdlib)."""
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    front = math.exp(math.lgamma(a + b) - math.lgamma(a)
+                     - math.lgamma(b) + a * math.log(x)
+                     + b * math.log(1.0 - x))
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _beta_continued_fraction(a, b, x) / a
+    return 1.0 - front * _beta_continued_fraction(b, a, 1.0 - x) / b
+
+
+def student_t_critical(df: float, confidence: float = 0.95) -> float:
+    """Two-sided ``confidence`` critical value of Student's t with
+    (possibly fractional) ``df`` degrees of freedom, via bisection on
+    the two-tail probability ``I_{df/(df+t^2)}(df/2, 1/2)``.
+    Approaches the normal quantile (1.96 at 95%) as ``df`` grows."""
+    if df <= 0.0:
+        return float("inf")
+    tail_target = 1.0 - confidence
+
+    def two_tail(t: float) -> float:
+        return _incomplete_beta(df / 2.0, 0.5, df / (df + t * t))
+
+    lo, hi = 0.0, 2.0
+    while two_tail(hi) > tail_target:
+        hi *= 2.0
+        if hi > 1e9:       # df << 1: the quantile is effectively
+            return hi      # unbounded; report the cap, not a loop
+    for _ in range(100):
+        mid = 0.5 * (lo + hi)
+        if two_tail(mid) > tail_target:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
 def sampling_error(windows: List[IntervalResult]) -> float:
     """Relative 95% confidence half-width of the weighted mean CPI.
 
     Weighted by each window's represented span — the same weights the
-    stitched IPC uses — with Bessel's correction via the effective
-    sample size ``(sum w)^2 / sum w^2`` (reduces to the classic
-    unweighted standard error when every window represents an equal
-    span; a truncated tail window correspondingly counts for less).
+    stitched IPC uses. The between-window sample variance uses
+    Bessel's correction via the effective sample size ``n_eff = (sum
+    w)^2 / sum w^2``, and the 95% quantile is Student's t at ``n_eff -
+    1`` degrees of freedom: with the handful of very unequally
+    weighted windows SimPoint clustering produces, the normal-quantile
+    1.96 understates the interval badly, while for many equal-weight
+    periodic windows the t quantile converges to it (a truncated tail
+    window correspondingly counts for less). Windows with zero
+    represented span contribute nothing to the stitched mean, so they
+    are excluded from the variance and from ``n_eff`` too.
     """
-    live = [w for w in windows if w.measured]
+    live = [w for w in windows if w.measured and w.represents]
     if len(live) < 2:
         return 0.0
     total = sum(w.represents for w in live)
-    if not total:
-        return 0.0
     weights = [w.represents / total for w in live]
     mean = sum(weight * w.cpi for weight, w in zip(weights, live))
     if mean == 0.0:
@@ -104,7 +196,7 @@ def sampling_error(windows: List[IntervalResult]) -> float:
                     for weight, w in zip(weights, live))
                 * n_eff / (n_eff - 1.0))
     stderr = math.sqrt(variance / n_eff)
-    return 1.96 * stderr / mean
+    return student_t_critical(n_eff - 1.0) * stderr / mean
 
 
 def stitch(windows: List[IntervalResult],
@@ -140,4 +232,5 @@ def stitch(windows: List[IntervalResult],
     return out
 
 
-__all__ = ["IntervalResult", "sampling_error", "stats_delta", "stitch"]
+__all__ = ["IntervalResult", "sampling_error", "stats_delta", "stitch",
+           "student_t_critical"]

@@ -21,6 +21,31 @@ def test_run_with_ff_is_offset_mode(capsys):
     assert "sample_intervals         1" in out
 
 
+def test_run_with_sample_simpoint(capsys):
+    assert main(["run", "gzip", "--arch", "baseline",
+                 "--sample", "simpoint", "--clusters", "2",
+                 "--interval", "300", "--period", "2000",
+                 "-n", "16000"]) == 0
+    out = capsys.readouterr().out
+    assert "sampled simpoint" in out
+    assert "sample_intervals" in out
+
+
+def test_clusters_flag_implies_simpoint(capsys):
+    assert main(["run", "gzip", "--arch", "baseline",
+                 "--clusters", "2", "--interval", "300",
+                 "--period", "2000", "-n", "16000"]) == 0
+    out = capsys.readouterr().out
+    assert "sampled simpoint" in out
+
+
+def test_bad_sample_mode_rejected(capsys):
+    import pytest
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "gzip", "--sample", "bogus", "-n", "2000"])
+    assert excinfo.value.code == 2
+
+
 def test_compare_with_sampling(capsys):
     assert main(["compare", "gzip", "--sample", "--interval", "300",
                  "--period", "1500", "-n", "6000"]) == 0

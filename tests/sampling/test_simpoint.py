@@ -1,0 +1,401 @@
+"""SimPoint phase clustering: the fused BBV profiler against the
+run()-observer oracle, deterministic planning across processes,
+simpoint schedule semantics, accuracy, and cache identity."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.isa.emulator import Emulator
+from repro.sim import SimConfig, simulate
+from repro.sim.campaign import Job, run_jobs
+from repro.sim.sampling import SamplingParams
+from repro.sim.sampling.simpoint import (
+    BBVCollector,
+    kmedoids,
+    plan_simpoints,
+    profile_intervals,
+    project_intervals,
+)
+from repro.workloads import SPECINT, get_program
+
+#: The quick-mode SPECint set (REPRO_BENCHSET=quick trims full[::3]).
+QUICK = SPECINT[::3]
+
+
+# --------------------------------------------------------------------- #
+# Oracle: fused run_fast profiling == plain run() observer profiling.
+# --------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("workload", QUICK)
+def test_bbv_fused_matches_observer_oracle(workload):
+    """The block counts the fused run_fast profiler collects must match
+    the readable per-retire observer discipline instruction for
+    instruction — same interval boundaries, same entry PCs, same
+    per-block instruction counts."""
+    program = get_program(workload)
+    fused = Emulator(program)
+    fused_bbv = BBVCollector(1500)
+    fused.run_fast(20_000, bbv=fused_bbv)
+
+    oracle = Emulator(program)
+    oracle_bbv = BBVCollector(1500)
+    oracle.observer = oracle_bbv
+    oracle.run(max_instructions=20_000)
+
+    assert fused_bbv.finish() == oracle_bbv.finish()
+    # Profiling must not perturb architectural execution either.
+    assert fused.pc == oracle.pc
+    assert fused.regs == oracle.regs
+    assert fused.retired_total == oracle.retired_total
+
+
+def test_bbv_state_carries_across_run_fast_calls():
+    """Open blocks and partial intervals survive chunked execution
+    exactly (the engine fast-forwards in gap/segment pieces)."""
+    program = get_program("gzip")
+    chunks = [1, 7, 493, 2500, 6000, 999, 3000]
+    chunked = Emulator(program)
+    chunked_bbv = BBVCollector(1000)
+    for chunk in chunks:
+        chunked.run_fast(chunk, bbv=chunked_bbv)
+    whole = Emulator(program)
+    whole_bbv = BBVCollector(1000)
+    whole.run_fast(sum(chunks), bbv=whole_bbv)
+    assert chunked_bbv.finish() == whole_bbv.finish()
+
+
+def test_bbv_counts_cover_every_instruction():
+    program = get_program("mcf")
+    emulator = Emulator(program)
+    bbv = BBVCollector(2000)
+    result = emulator.run_fast(9000, bbv=bbv)
+    intervals = bbv.finish()
+    assert sum(sum(d.values()) for d in intervals) == result.retired
+
+
+def test_run_fast_rejects_warmup_plus_bbv():
+    from repro.sim.sampling import WarmupEngine
+    program = get_program("gzip")
+    warm = WarmupEngine(SimConfig.baseline(), program)
+    with pytest.raises(ValueError):
+        Emulator(program).run_fast(100, warmup=warm,
+                                   bbv=BBVCollector(50))
+
+
+# --------------------------------------------------------------------- #
+# Clustering determinism.
+# --------------------------------------------------------------------- #
+
+def test_plan_independent_of_dict_insertion_order():
+    intervals, _ = profile_intervals(get_program("gzip"), 50_000, 5_000)
+    shuffled = [dict(reversed(list(counts.items())))
+                for counts in intervals]
+    assert plan_simpoints(intervals, 3, 16) == \
+        plan_simpoints(shuffled, 3, 16)
+
+
+def test_projection_is_seed_stable():
+    intervals = [{0: 10, 7: 5}, {0: 3, 12: 12}]
+    assert project_intervals(intervals, 8) == \
+        project_intervals(intervals, 8)
+    assert project_intervals(intervals, 8, seed=1) != \
+        project_intervals(intervals, 8, seed=2)
+
+
+def test_kmedoids_basic_properties():
+    points = [[0.0], [0.1], [0.2], [5.0], [5.1], [9.0]]
+    medoids, assignment = kmedoids(points, 3)
+    assert medoids == sorted(medoids)
+    assert len(assignment) == len(points)
+    # The three obvious groups separate.
+    assert assignment[0] == assignment[1] == assignment[2]
+    assert assignment[3] == assignment[4]
+    assert assignment[5] not in (assignment[0], assignment[3])
+    # k capped at the point count; empty input well-defined.
+    assert len(kmedoids(points, 100)[0]) == len(points)
+    assert kmedoids([], 4) == ([], [])
+
+
+_DETERMINISM_SCRIPT = """\
+import json
+from repro.sim import SimConfig
+from repro.sim.sampling import SamplingParams, plan_simpoints, \\
+    profile_intervals
+intervals, profiled = profile_intervals(
+    __import__("repro.workloads", fromlist=["get_program"])
+    .get_program("gzip"), 60_000, 6_000)
+plan = plan_simpoints(intervals, 4, 32)
+config = SamplingParams(mode="simpoint", clusters=4,
+                        bbv_dim=32).apply(SimConfig.msp(16))
+print(json.dumps({"medoids": plan.medoids,
+                  "weights": sorted(plan.representatives.items()),
+                  "assignment": plan.assignment,
+                  "profiled": profiled,
+                  "cache_key": config.cache_key()}))
+"""
+
+
+def test_plan_and_cache_key_deterministic_across_processes():
+    """Identical SimConfig => identical medoids, weights and cache_key
+    in fresh interpreters, under different hash seeds (no dict-order
+    or PYTHONHASHSEED dependence anywhere in the pipeline)."""
+    src = os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__)))
+    outputs = []
+    for hash_seed in ("0", "424242"):
+        env = dict(os.environ,
+                   PYTHONPATH=src + os.pathsep
+                   + os.environ.get("PYTHONPATH", ""),
+                   PYTHONHASHSEED=hash_seed)
+        proc = subprocess.run([sys.executable, "-c",
+                               _DETERMINISM_SCRIPT],
+                              capture_output=True, text=True, env=env,
+                              timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        outputs.append(json.loads(proc.stdout))
+    assert outputs[0] == outputs[1]
+    assert outputs[0]["medoids"], "plan must not be empty"
+
+
+# --------------------------------------------------------------------- #
+# Engine semantics.
+# --------------------------------------------------------------------- #
+
+def test_simpoint_run_reports_sampling_fields():
+    budget = 100_000
+    config = SimConfig.baseline(predictor="tage")
+    stats = simulate("gzip", config, max_instructions=budget,
+                     sampling="simpoint")
+    assert stats.sampled
+    # One measured window per cluster, at most the default clusters.
+    assert 1 <= stats.sample_intervals <= SamplingParams().clusters
+    assert stats.committed == budget
+    # ff accounting includes the profiling pass (a second functional
+    # sweep of the budget).
+    assert stats.ff_instructions > budget
+
+    periodic = simulate("gzip", config, max_instructions=budget,
+                        sampling=True)
+    assert stats.detail_instructions * 2 <= \
+        periodic.detail_instructions
+    assert stats.ipc == pytest.approx(periodic.ipc, rel=0.10)
+
+
+def test_simpoint_degenerates_to_periodic_with_enough_clusters():
+    """With clusters >= interval count every interval is its own
+    cluster, so simpoint measures one window per interval exactly like
+    periodic sampling — same window count and detail cost, and the
+    same statistics up to the block-boundary overshoot of the profiled
+    interval ends (the walk advances by the *profiled* interval
+    lengths so windows sit inside the intervals the weights describe;
+    periodic advances in exact period strides, so positions differ by
+    a bounded few instructions per interval)."""
+    budget = 40_000
+    config = SimConfig.baseline(predictor="tage")
+    params = SamplingParams(mode="simpoint", clusters=100)
+    sp = simulate("gzip", config, max_instructions=budget,
+                  sampling=params)
+    per = simulate("gzip", config, max_instructions=budget,
+                   sampling=True)
+    assert sp.sample_intervals == per.sample_intervals
+    assert sp.detail_instructions == per.detail_instructions
+    assert sp.committed == pytest.approx(per.committed, rel=1e-3)
+    assert sp.ipc == pytest.approx(per.ipc, rel=0.01)
+    assert sp.cycles == pytest.approx(per.cycles, rel=0.01)
+
+
+def test_simpoint_windows_sit_inside_profiled_intervals():
+    """The measurement walk advances by the profiled interval lengths,
+    not exact period strides: block-boundary overshoots must not
+    accumulate into drift between where a window is measured and the
+    interval whose cluster weight it carries (code-review finding on
+    the first cut of this engine)."""
+    import repro.sim.sampling.engine as eng
+    from repro.sim.sampling.simpoint import plan_simpoints, \
+        profile_intervals
+    program = get_program("gzip")
+    budget, period = 60_000, 2_000
+    intervals, _ = profile_intervals(program, budget, period)
+    lengths = [sum(c.values()) for c in intervals]
+    starts = [sum(lengths[:i]) for i in range(len(lengths))]
+
+    captured = {}
+    original = eng.stitch
+
+    def capture(windows, ff_instructions=0):
+        captured["windows"] = list(windows)
+        return original(windows, ff_instructions=ff_instructions)
+
+    eng.stitch = capture
+    try:
+        params = SamplingParams(mode="simpoint", clusters=3,
+                                period=period, interval=300,
+                                detail_warmup=100)
+        stats = simulate(program,
+                         SimConfig.baseline(predictor="tage"),
+                         max_instructions=budget, sampling=params)
+    finally:
+        eng.stitch = original
+    assert stats.sampled and captured["windows"]
+    plan = plan_simpoints(intervals, 3, 32)
+    for window in captured["windows"]:
+        # Each window starts exactly at its profiled interval's
+        # detailed segment (interval end minus the segment), for some
+        # representative interval of the plan.
+        owners = [i for i in plan.representatives
+                  if starts[i] <= window.start < starts[i] + lengths[i]]
+        assert owners, (window.start, starts)
+        owner = owners[0]
+        assert window.start == starts[owner] + lengths[owner] - 400
+
+
+def test_simpoint_tracks_full_detail_ipc():
+    """Budget-scaled-down version of the quick-grid acceptance: the
+    clustered estimate stays close to full detail while cutting
+    detailed work >= 2x below periodic sampling (see EXPERIMENTS.md
+    for the full calibration)."""
+    budget = 100_000
+    config = SimConfig.baseline(predictor="tage")
+    full = simulate("gzip", config, max_instructions=budget)
+    sp = simulate("gzip", config, max_instructions=budget,
+                  sampling="simpoint")
+    assert abs(sp.ipc - full.ipc) / full.ipc < 0.06
+    assert sp.detail_instructions * 4 <= budget
+
+
+def test_simpoint_halting_program_measures_whole_run(halting_program):
+    """A program shorter than one interval is a single profiled
+    interval, so its single cluster's window measures the whole run
+    (span-capped segment) rather than falling back."""
+    stats = simulate(halting_program, SimConfig.baseline(),
+                     max_instructions=10_000, sampling="simpoint")
+    assert stats.sampled
+    assert stats.sample_intervals == 1
+    # Weighted by the emulator-retired span (HALT is not retired).
+    assert stats.committed == 5
+
+
+def test_simpoint_termination_during_ff_falls_back(halting_program):
+    """When the program ends inside the initial ff skip there is
+    nothing to profile or measure: fall back to one exact full-detail
+    run of the budget."""
+    params = SamplingParams(mode="simpoint", ff=5000)
+    stats = simulate(halting_program, SimConfig.baseline(),
+                     max_instructions=10_000, sampling=params)
+    assert stats.sampled
+    assert stats.sample_intervals == 0
+    assert stats.committed == 6        # the whole program, HALT included
+
+
+def test_simpoint_weighted_sampling_error_reported():
+    stats = simulate("gzip", SimConfig.baseline(predictor="tage"),
+                     max_instructions=100_000, sampling="simpoint")
+    # Cluster weights are unequal, so the CI must be a real number
+    # derived from >= 2 windows (exact value pinned by stitch tests).
+    assert stats.sampling_error >= 0.0
+
+
+# --------------------------------------------------------------------- #
+# Identity: simpoint cells never collide with periodic or full cells.
+# --------------------------------------------------------------------- #
+
+def test_simpoint_perturbs_cache_key():
+    base = SimConfig.msp(16)
+    periodic = SamplingParams().apply(base)
+    simpoint = SamplingParams(mode="simpoint").apply(base)
+    assert simpoint.cache_key() != base.cache_key()
+    assert simpoint.cache_key() != periodic.cache_key()
+    other_k = SamplingParams(mode="simpoint",
+                             clusters=7).apply(base)
+    other_dim = SamplingParams(mode="simpoint",
+                               bbv_dim=8).apply(base)
+    assert len({simpoint.cache_key(), other_k.cache_key(),
+                other_dim.cache_key()}) == 3
+    assert Job("gzip", simpoint, 300).cache_key() != \
+        Job("gzip", periodic, 300).cache_key()
+
+
+def test_simpoint_params_config_roundtrip():
+    params = SamplingParams(mode="simpoint", ff=123, interval=77,
+                            period=999, warmup=False, detail_warmup=11,
+                            clusters=9, bbv_dim=17)
+    config = params.apply(SimConfig.msp(16))
+    assert config.sample_mode == "simpoint"
+    assert config.sample_clusters == 9
+    assert config.sample_bbv_dim == 17
+    assert SamplingParams.from_config(config) == params
+    clone = SimConfig.from_dict(json.loads(json.dumps(
+        config.to_dict())))
+    assert clone == config
+    assert clone.cache_key() == config.cache_key()
+
+
+def test_config_from_dict_defaults_new_sample_fields():
+    """Cache entries written before the simpoint fields existed must
+    still load (with the defaults)."""
+    data = SimConfig.baseline().to_dict()
+    del data["sample_clusters"]
+    del data["sample_bbv_dim"]
+    config = SimConfig.from_dict(data)
+    assert config.sample_clusters == SimConfig().sample_clusters
+    assert config.sample_bbv_dim == SimConfig().sample_bbv_dim
+
+
+# --------------------------------------------------------------------- #
+# Params: env + CLI construction.
+# --------------------------------------------------------------------- #
+
+def test_simpoint_params_validation():
+    with pytest.raises(ValueError):
+        SamplingParams(mode="simpoint", clusters=0)
+    with pytest.raises(ValueError):
+        SamplingParams(mode="simpoint", bbv_dim=0)
+    with pytest.raises(ValueError):
+        SamplingParams(mode="simpoint", interval=100, period=50)
+
+
+def test_simpoint_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SAMPLE", "simpoint")
+    monkeypatch.setenv("REPRO_SAMPLE_CLUSTERS", "6")
+    monkeypatch.setenv("REPRO_SAMPLE_BBV_DIM", "12")
+    params = SamplingParams.from_env()
+    assert params.mode == "simpoint"
+    assert params.clusters == 6 and params.bbv_dim == 12
+
+
+def test_simpoint_from_cli(monkeypatch):
+    monkeypatch.delenv("REPRO_SAMPLE", raising=False)
+    params = SamplingParams.from_cli(sample="simpoint")
+    assert params.mode == "simpoint"
+    # The clustering knobs imply the schedule they parameterise...
+    implied = SamplingParams.from_cli(clusters=3)
+    assert implied.mode == "simpoint" and implied.clusters == 3
+    implied_dim = SamplingParams.from_cli(bbv_dim=8)
+    assert implied_dim.mode == "simpoint" and implied_dim.bbv_dim == 8
+    # ...but never override an explicit or environment-chosen mode.
+    periodic = SamplingParams.from_cli(sample=True, clusters=3)
+    assert periodic.mode == "periodic" and periodic.clusters == 3
+    monkeypatch.setenv("REPRO_SAMPLE", "periodic")
+    env_wins = SamplingParams.from_cli(clusters=5)
+    assert env_wins.mode == "periodic" and env_wins.clusters == 5
+
+
+# --------------------------------------------------------------------- #
+# Campaign integration.
+# --------------------------------------------------------------------- #
+
+def test_simpoint_jobs_cache_and_shard(tmp_path):
+    config = SamplingParams(mode="simpoint", interval=300, period=1500,
+                            clusters=2).apply(SimConfig.baseline())
+    job = Job("gzip", config, 9000)
+    first = run_jobs([job], workers=2, cache_dir=tmp_path)
+    assert first.simulated == 1 and first.hits == 0
+    serial = run_jobs([job], workers=1, cache_dir=tmp_path)
+    assert serial.hits == 1 and serial.simulated == 0
+    a, b = first.stats_for(job), serial.stats_for(job)
+    assert a.sampled and a.to_dict() == b.to_dict()

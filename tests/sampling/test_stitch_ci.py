@@ -1,0 +1,124 @@
+"""The stitched 95% CI: weighted sample variance with the correct
+effective sample size, Student-t quantile for small window counts, and
+the bit-identical pin on the periodic (equal-weight) stitch path."""
+
+import math
+
+import pytest
+
+from repro.pipeline.stats import SimStats
+from repro.sim.sampling import (
+    IntervalResult,
+    sampling_error,
+    stitch,
+    student_t_critical,
+)
+
+
+def _window(committed, cycles, represents, branches=0):
+    stats = SimStats()
+    stats.committed = committed
+    stats.cycles = cycles
+    stats.branches = branches
+    return IntervalResult(0, represents, stats)
+
+
+# --------------------------------------------------------------------- #
+# Student-t critical values (pure-stdlib incomplete-beta inversion).
+# --------------------------------------------------------------------- #
+
+def test_student_t_critical_matches_tables():
+    assert student_t_critical(1) == pytest.approx(12.7062, rel=1e-4)
+    assert student_t_critical(2) == pytest.approx(4.3027, rel=1e-4)
+    assert student_t_critical(3) == pytest.approx(3.1824, rel=1e-4)
+    assert student_t_critical(29) == pytest.approx(2.0452, rel=1e-4)
+    assert student_t_critical(100) == pytest.approx(1.9840, rel=1e-4)
+    # Converges to the normal quantile for large df.
+    assert student_t_critical(1e6) == pytest.approx(1.95996, rel=1e-4)
+    assert student_t_critical(0) == float("inf")
+    # Fractional df (the weighted effective-n case) interpolates
+    # monotonically.
+    assert (student_t_critical(3)
+            > student_t_critical(3.5)
+            > student_t_critical(4))
+
+
+# --------------------------------------------------------------------- #
+# Equal weights: reduces to the classic unweighted t-based stderr.
+# --------------------------------------------------------------------- #
+
+def test_equal_weights_reduce_to_classic_formula():
+    windows = [_window(100, c, 1000) for c in (150, 210, 180, 240)]
+    cpis = [1.5, 2.1, 1.8, 2.4]
+    n = len(cpis)
+    mean = sum(cpis) / n
+    variance = sum((c - mean) ** 2 for c in cpis) / (n - 1)
+    stderr = math.sqrt(variance / n)
+    expected = student_t_critical(n - 1) * stderr / mean
+    assert sampling_error(windows) == pytest.approx(expected,
+                                                    rel=1e-12)
+
+
+def test_periodic_stitch_pinned_bit_identical():
+    """Frozen expectation for an equal-weight (periodic) stitch —
+    every counter must stay bit-identical across stitch/CI changes
+    (the simpoint PR's CI fix must not move the periodic path)."""
+    windows = [_window(100, 150, 1000, branches=7),
+               _window(100, 210, 1000, branches=11),
+               _window(100, 180, 1000, branches=9),
+               _window(100, 240, 1000, branches=13)]
+    out = stitch(windows, ff_instructions=4321).to_dict()
+    assert out == {
+        "cycles": 7800, "committed": 4000, "fetched": 0,
+        "dispatched": 0, "issued": 0, "wrong_path_executed": 0,
+        "correct_path_reexecuted": 0, "branches": 400,
+        "branch_mispredictions": 0, "recoveries": 0,
+        "exceptions_taken": 0, "squashed": 0,
+        "checkpoints_created": 0, "dispatch_stall_cycles": [],
+        "bank_stall_cycles": [], "sampled": True,
+        "sample_intervals": 4, "detail_instructions": 400,
+        "ff_instructions": 4321,
+        "sampling_error": 0.3160400395016185,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Unequal weights: weighted sample variance with effective n.
+# --------------------------------------------------------------------- #
+
+def test_unequal_weights_hand_computed():
+    # Weights 0.75 / 0.25, CPIs 1.0 / 3.0.
+    windows = [_window(100, 100, 300), _window(100, 300, 100)]
+    mean = 0.75 * 1.0 + 0.25 * 3.0                       # 1.5
+    n_eff = 1.0 / (0.75 ** 2 + 0.25 ** 2)                # 1.6
+    variance = ((0.75 * (1.0 - mean) ** 2
+                 + 0.25 * (3.0 - mean) ** 2)
+                * n_eff / (n_eff - 1.0))                 # 2.0
+    stderr = math.sqrt(variance / n_eff)
+    expected = student_t_critical(n_eff - 1.0) * stderr / mean
+    assert sampling_error(windows) == pytest.approx(expected,
+                                                    rel=1e-12)
+
+
+def test_small_effective_n_widens_interval():
+    """Identical CPI spread, increasingly lopsided weights: the
+    effective sample size shrinks toward 1 and the interval must widen
+    monotonically (both via the variance correction and the t
+    quantile) — the simpoint regime of one giant cluster plus
+    singletons."""
+    errors = []
+    for heavy in (100, 300, 900):
+        errors.append(sampling_error([_window(100, 100, heavy),
+                                      _window(100, 300, 100)]))
+    assert errors[0] < errors[1] < errors[2]
+
+
+def test_zero_weight_windows_do_not_count():
+    """A window with no represented span contributes nothing to the
+    stitched mean, so it must not tighten (or widen) the CI either —
+    in particular it must not count toward the >= 2 live windows."""
+    base = [_window(100, 100, 100), _window(100, 300, 100)]
+    with_dead = base + [_window(100, 999, 0)]
+    assert sampling_error(with_dead) == sampling_error(base)
+    assert sampling_error([_window(100, 100, 100),
+                           _window(100, 300, 0)]) == 0.0

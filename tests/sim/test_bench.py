@@ -101,6 +101,72 @@ def test_check_regressions_covers_detailed_mode():
     assert len(mismatch) == 1 and "not comparable" in mismatch[0]
 
 
+def test_check_regressions_covers_sampled_engines():
+    """The gate watches the end-to-end sampled engines too (simpoint
+    PR): a sampled/simpoint-only collapse must fail even when
+    fast-forward and the detailed cores are healthy."""
+    assert "sampled" in bench.GATED_MODES
+    assert "simpoint" in bench.GATED_MODES
+    base = {"workload": "gzip", "modes": {
+        "sampled": {"instructions_per_second": 1000.0},
+        "simpoint": {"instructions_per_second": 2000.0}}}
+    healthy = {"workload": "gzip", "modes": {
+        "sampled": {"instructions_per_second": 950.0},
+        "simpoint": {"instructions_per_second": 1900.0}}}
+    collapse = {"workload": "gzip", "modes": {
+        "sampled": {"instructions_per_second": 950.0},
+        "simpoint": {"instructions_per_second": 500.0}}}
+    assert bench.check_regressions(healthy, base, tolerance=0.30) == []
+    failures = bench.check_regressions(collapse, base, tolerance=0.30)
+    assert len(failures) == 1 and "simpoint" in failures[0]
+
+
+def test_simpoint_reduction_floor():
+    """The simpoint cell's detailed-work reduction over periodic
+    sampling is regression-guarded at >= 2x — but only at budgets
+    where >= 2x is achievable with the default schedule."""
+    from repro.sim.sampling import SamplingParams
+    defaults = SamplingParams()
+    big = (defaults.period * defaults.clusters
+           * bench.MIN_SIMPOINT_DETAIL_REDUCTION)
+
+    def record(reduction, budget):
+        return {"workload": "gzip",
+                "budgets": {"sampled": budget},
+                "modes": {"simpoint": {
+                    "instructions_per_second": 1000.0,
+                    "detail_instructions": 100,
+                    "detail_reduction_vs_sampled": reduction}}}
+
+    assert bench.check_simpoint_reduction(record(2.5, big)) is None
+    failure = bench.check_simpoint_reduction(record(1.4, big))
+    assert failure is not None and "simpoint" in failure \
+        and "floor" in failure
+    # Small smoke budgets cannot reach the floor even with perfect
+    # clustering: not a regression signal.
+    assert bench.check_simpoint_reduction(record(1.0, 2000)) is None
+    # Records without the cell (pre-simpoint baselines) pass.
+    assert bench.check_simpoint_reduction({"modes": {}}) is None
+    # The floor also feeds the aggregate gate.
+    failures = bench.check_regressions(record(1.4, big),
+                                       {"modes": {}})
+    assert len(failures) == 1 and "floor" in failures[0]
+
+
+def test_measure_annotates_simpoint_reduction():
+    from repro.sim.bench import _annotate_simpoint_reduction
+    record = {"budgets": {"sampled": 100_000}, "modes": {
+        "sampled": {"detail_instructions": 15000},
+        "simpoint": {"detail_instructions": 6000}}}
+    _annotate_simpoint_reduction(record)
+    assert record["modes"]["simpoint"][
+        "detail_reduction_vs_sampled"] == pytest.approx(2.5)
+    # No periodic cell to compare against: no annotation.
+    lone = {"modes": {"simpoint": {"detail_instructions": 6000}}}
+    _annotate_simpoint_reduction(lone)
+    assert "detail_reduction_vs_sampled" not in lone["modes"]["simpoint"]
+
+
 @pytest.mark.parametrize("content", [
     None, "", "{not json", "{}", '{"modes": {}}',
     # Non-empty but records none of the gated modes: silently passing
