@@ -230,7 +230,8 @@ def _campaign_kwargs(args) -> dict:
     return dict(jobs=args.jobs, cache_dir=args.cache_dir,
                 use_cache=False if args.no_cache else None,
                 timeout=args.timeout,
-                sampling=_sampling_from_args(args))
+                sampling=_sampling_from_args(args),
+                checkpoints=False if args.no_checkpoints else None)
 
 
 def cmd_experiment(args) -> int:
@@ -340,6 +341,12 @@ def cmd_campaign_run(args) -> int:
     if result.cache_hits:
         print(f"cache: {result.cache_hits} hit(s), "
               f"{result.simulated} simulated", file=sys.stderr)
+    if result.checkpoint_hits or result.ff_skipped or result.ff_executed:
+        # Checkpoint-store provenance: `ff executed 0` is the proof a
+        # warm grid paid no functional execution at all.
+        print(f"checkpoints: {result.checkpoint_hits} window hit(s), "
+              f"ff executed {result.ff_executed}, "
+              f"skipped {result.ff_skipped}", file=sys.stderr)
     print(result.to_table())
     return 0
 
@@ -408,16 +415,27 @@ def cmd_bench(args) -> int:
 
 
 def cmd_campaign_status(args) -> int:
+    from repro.sim.artifacts import ArtifactStore
     status = ResultStore(args.cache_dir).status()
     print(f"cache   {status['path']}")
     print(f"entries {status['entries']}")
     print(f"bytes   {status['bytes']}")
+    artifacts = ArtifactStore(args.cache_dir).status()
+    print(f"artifacts {artifacts['path']}")
+    print(f"  blobs  {artifacts['blobs']}")
+    print(f"  bytes  {artifacts['bytes']}")
+    print(f"  hits   {artifacts['hits']}")
+    print(f"  misses {artifacts['misses']}")
     return 0
 
 
 def cmd_campaign_clear(args) -> int:
     dropped = ResultStore(args.cache_dir).clear()
     print(f"cleared {dropped} cached result(s)")
+    if args.artifacts:
+        from repro.sim.artifacts import ArtifactStore
+        blobs = ArtifactStore(args.cache_dir).clear()
+        print(f"cleared {blobs} checkpoint blob(s)")
     return 0
 
 
@@ -497,6 +515,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: REPRO_CACHE_DIR or ~/.cache/repro)")
         p.add_argument("--timeout", type=float, default=None,
                        help="per-job timeout in seconds")
+        p.add_argument("--no-checkpoints", action="store_true",
+                       help="skip the checkpoint/profile store sampled "
+                            "cells use to share functional execution "
+                            "(default: REPRO_CHECKPOINTS)")
         add_sampling_flags(p)
 
     p_exp = sub.add_parser("experiment", help="regenerate a figure/table")
@@ -535,6 +557,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cclear = camp_sub.add_parser("clear", help="drop cached results")
     p_cclear.add_argument("--cache-dir", default=None)
+    p_cclear.add_argument("--artifacts", action="store_true",
+                          help="also purge the checkpoint/profile blobs")
     p_cclear.set_defaults(func=cmd_campaign_clear)
 
     p_bench = sub.add_parser(

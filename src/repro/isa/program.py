@@ -77,6 +77,7 @@ class Program:
         self.entry = 0
         self._memory_lines: Optional[List[int]] = None
         self._decoded: Optional[DecodedProgram] = None
+        self._fingerprint: Optional[str] = None
 
     @property
     def decoded(self) -> DecodedProgram:
@@ -95,6 +96,30 @@ class Program:
             lines = sorted({addr >> 3 for addr in self.initial_memory})
             self._memory_lines = [line << 3 for line in lines]
         return self._memory_lines
+
+    def content_fingerprint(self) -> str:
+        """Stable content hash of the executable: every instruction
+        field, the initial memory image (type-exact — an int and a
+        float word are different values) and the entry point.  The
+        display name is excluded: two identically-built programs are
+        the same workload and may share cached functional artifacts
+        (:mod:`repro.sim.artifacts`).  Cached — programs are immutable
+        once built."""
+        if self._fingerprint is None:
+            import hashlib
+            digest = hashlib.sha256()
+            for inst in self.instructions:
+                digest.update(repr(
+                    (inst.op.value, inst.dest, tuple(inst.srcs),
+                     inst.imm, inst.target)).encode("utf-8"))
+            for addr in sorted(self.initial_memory):
+                value = self.initial_memory[addr]
+                digest.update(
+                    f"{addr}:{value.__class__.__name__}:{value!r};"
+                    .encode("utf-8"))
+            digest.update(str(self.entry).encode("utf-8"))
+            self._fingerprint = digest.hexdigest()[:32]
+        return self._fingerprint
 
     def __len__(self) -> int:
         return len(self.instructions)

@@ -61,6 +61,17 @@ class SimStats:
         #: (0.0 when fewer than two windows were measured).
         self.sampling_error = 0.0
 
+        # Provenance of the functional work (repro.sim.artifacts):
+        # ``ff_instructions`` splits into instructions actually executed
+        # this run vs replayed from the checkpoint store, and
+        # ``checkpoint_hits`` counts windows served from stored
+        # checkpoints. Pure provenance — the represented statistics
+        # above are bit-identical either way, so comparisons of a
+        # replayed run against a fresh one must exclude these three.
+        self.checkpoint_hits = 0
+        self.ff_executed_instructions = 0
+        self.ff_skipped_instructions = 0
+
     # ------------------------------------------------------------------ #
 
     @property
@@ -136,6 +147,12 @@ class SimStats:
                 "ff_instructions": self.ff_instructions,
                 "sampling_error": self.sampling_error,
             })
+            if self.checkpoint_hits or self.ff_skipped_instructions:
+                out.update({
+                    "checkpoint_hits": self.checkpoint_hits,
+                    "ff_skipped_instructions":
+                        self.ff_skipped_instructions,
+                })
         return out
 
     def __repr__(self) -> str:

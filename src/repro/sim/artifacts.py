@@ -1,0 +1,490 @@
+"""Content-addressed artifact store: pay functional execution once.
+
+Every cell of an N-config campaign grid re-runs the identical
+*workload-side* functional work — fast-forward, BBV profiling, SimPoint
+planning, checkpointing — differing only in the machine config it
+feeds.  This module persists that work under ``REPRO_CACHE_DIR`` so a
+grid pays it once:
+
+* a :class:`FunctionalTrace` — the sampled engine's complete window
+  schedule plus one compact architectural checkpoint per measurement
+  window (PC, registers, and a *sparse memory delta* against the
+  program image rather than a full dump — emulator memory only grows
+  from ``dict(program.initial_memory)``, so additions-and-changes
+  reconstruct it exactly);
+* the warm microarchitectural state (pickled
+  :class:`~repro.sim.sampling.warmup.WarmupEngine` per window) — the
+  only config-*shaped* piece, stored in a separate blob keyed by the
+  trace key x a *warm-profile* fingerprint (the config subset that
+  shapes predictor/BTB/cache warm-up), so machines sharing a warm
+  profile (the paper's whole grid) share one training pass;
+* the simpoint BBV profile and :class:`SimpointPlan`.
+
+Keys are **workload-side only**: program content hash x sampling
+schedule x budget — the machine config is deliberately excluded, which
+is sound because the timing cores commit exactly the emulator's stream
+(the oracle contract), making the window schedule and checkpoints pure
+functions of (program, schedule, budget).  A fingerprint of the
+functional source (:func:`functional_fingerprint`, the PR-1
+``code_fingerprint`` idiom narrowed to the workload-side modules)
+travels in each blob's *header*, not its key, so a simulator edit
+invalidates stale blobs with a warning and an eviction instead of
+orphaning them.
+
+Blobs are written temp-file-then-rename under the same ``flock``
+discipline as the JSONL result store; a corrupt, truncated or stale
+blob is evicted with a one-line warning and recomputed — never served.
+``REPRO_CHECKPOINTS=off`` disables the store entirely, keeping the
+no-store path available as the bit-exact oracle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import sys
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+try:
+    import fcntl
+except ImportError:                       # non-Unix: best-effort, no lock
+    fcntl = None
+
+#: Bump on incompatible blob-format changes (participates in every key).
+SCHEMA = "repro-artifacts/1"
+
+#: ``REPRO_CHECKPOINTS`` spellings that disable the store.
+_OFF = ("0", "false", "no", "off")
+
+
+def checkpoints_enabled() -> bool:
+    """The artifact store is on unless ``REPRO_CHECKPOINTS`` is one of
+    the usual falsy spellings (``off``/``0``/``false``/``no``)."""
+    return os.environ.get("REPRO_CHECKPOINTS", "").lower() not in _OFF
+
+
+# --------------------------------------------------------------------- #
+# Fingerprints.
+# --------------------------------------------------------------------- #
+
+#: Workload-side source: the modules whose behaviour a functional trace,
+#: warm state, BBV profile or simpoint plan depends on.  Timing-core
+#: edits (pipeline/, cpr/, core/, baseline/) deliberately do NOT
+#: invalidate artifacts — the whole point is that they are config-side.
+_FUNCTIONAL_SOURCES = (
+    "isa",
+    "branch",
+    "memory",
+    "workloads",
+    "sim/sampling",
+    "defaults.py",
+    "sim/artifacts.py",
+)
+
+
+@lru_cache(maxsize=1)
+def functional_fingerprint() -> str:
+    """Content hash of the workload-side simulator source (emulator,
+    warm-up, profiling, workload generators): any edit there may change
+    traces/profiles, so stored blobs carrying an older fingerprint are
+    stale and get evicted on access."""
+    import repro
+    root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for entry in _FUNCTIONAL_SOURCES:
+        path = root / entry
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for file in files:
+            digest.update(str(file.relative_to(root)).encode("utf-8"))
+            digest.update(file.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def program_fingerprint(program) -> str:
+    """Content hash of a program (instructions + initial memory +
+    entry), cached on the instance; see
+    :meth:`repro.isa.program.Program.content_fingerprint`."""
+    return program.content_fingerprint()
+
+
+#: Config fields that shape the warm-up engine's trained state (and
+#: ride into the timing cores inside the pickled hierarchy): predictor
+#: choice, cache geometry and latencies, the all-lines pre-warm switch,
+#: and the confidence estimator's threshold.
+_WARM_PROFILE_FIELDS = (
+    "predictor", "predictor_kwargs", "icache_size", "icache_assoc",
+    "dcache_size", "dcache_assoc", "l2_size", "l2_assoc", "line_bytes",
+    "dcache_hit", "l2_hit", "memory_latency", "warm_caches",
+    "confidence_threshold",
+)
+
+
+def warm_profile_fingerprint(config) -> str:
+    """Hash of the config subset that shapes the functional warm-up
+    state.  Machines differing only outside this subset (arch, widths,
+    banks, registers...) share warm blobs — the paper's whole grid maps
+    to a single warm profile."""
+    payload = {name: getattr(config, name)
+               for name in _WARM_PROFILE_FIELDS}
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def _key(payload: dict) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
+
+def _params_payload(params) -> dict:
+    return {"mode": params.mode, "ff": params.ff,
+            "interval": params.interval, "period": params.period,
+            "warmup": params.warmup,
+            "detail_warmup": params.detail_warmup,
+            "clusters": params.clusters, "bbv_dim": params.bbv_dim}
+
+
+def trace_key(program, params, budget: int) -> str:
+    """Key of the functional trace: program content x complete sampling
+    schedule x budget.  No machine config."""
+    return _key({"schema": SCHEMA, "kind": "trace",
+                 "program": program_fingerprint(program),
+                 "params": _params_payload(params), "budget": budget})
+
+
+def warm_key(trace: str, profile: str) -> str:
+    """Key of a trace's warm-state blob under one warm profile.  The
+    profile is part of the *key* (distinct profiles must coexist), the
+    functional fingerprint stays in the header (staleness)."""
+    return _key({"schema": SCHEMA, "kind": "warm", "trace": trace,
+                 "profile": profile})
+
+
+def profile_key(program, budget: int, period: int, ff: int) -> str:
+    """Key of a BBV profile: depends on less than the full schedule, so
+    grids varying only window-side knobs still share it."""
+    return _key({"schema": SCHEMA, "kind": "profile",
+                 "program": program_fingerprint(program),
+                 "budget": budget, "period": period, "ff": ff})
+
+
+def plan_key(program, budget: int, period: int, ff: int,
+             clusters: int, bbv_dim: int) -> str:
+    return _key({"schema": SCHEMA, "kind": "plan",
+                 "program": program_fingerprint(program),
+                 "budget": budget, "period": period, "ff": ff,
+                 "clusters": clusters, "bbv_dim": bbv_dim})
+
+
+# --------------------------------------------------------------------- #
+# Sparse memory deltas.
+# --------------------------------------------------------------------- #
+
+def memory_delta(initial: Dict, memory: Dict) -> Dict:
+    """The sparse delta that rebuilds ``memory`` from ``initial``.
+
+    Emulator memory starts as ``dict(program.initial_memory)`` and only
+    ever gains or overwrites words, so additions-and-changes suffice.
+    The comparison is *type-exact* (``1 == 1.0`` in Python, but an int
+    and a float word are architecturally different values)."""
+    delta = {}
+    get = initial.get
+    for addr, value in memory.items():
+        base = get(addr)
+        if base is None or base.__class__ is not value.__class__ \
+                or base != value:
+            delta[addr] = value
+    return delta
+
+
+def apply_delta(initial: Dict, delta: Dict) -> Dict:
+    """Inverse of :func:`memory_delta` (delta applied in address order
+    so the rebuilt dict is deterministic)."""
+    memory = dict(initial)
+    for addr in sorted(delta):
+        memory[addr] = delta[addr]
+    return memory
+
+
+# --------------------------------------------------------------------- #
+# Trace model.
+# --------------------------------------------------------------------- #
+
+@dataclass
+class TraceWindow:
+    """One measurement window of a functional trace: its schedule slot
+    (position, represented span, measured/warm-up split) and the exact
+    architectural checkpoint it starts from."""
+
+    pos: int
+    represents: int
+    measure: int
+    warmup_n: int
+    pc: int
+    regs: List
+    mem_delta: Dict
+    retired: int
+
+
+@dataclass
+class FunctionalTrace:
+    """Everything workload-side the sampled engine computes for one
+    (program, schedule, budget): the measured windows with their
+    checkpoints, the functional-instruction total the stitcher charges
+    to fast-forward, and whether the run degenerated to the full-detail
+    fallback (program ended before any window)."""
+
+    windows: List[TraceWindow] = field(default_factory=list)
+    ff_instructions: int = 0
+    fallback: bool = False
+
+
+# --------------------------------------------------------------------- #
+# The store.
+# --------------------------------------------------------------------- #
+
+class ArtifactStore:
+    """Flock-guarded, content-addressed blob store under the campaign
+    cache directory (``<cache_dir>/artifacts/``).
+
+    Each blob is one file: a JSON header line (schema, kind, functional
+    fingerprint, payload digest and size) followed by a pickled
+    payload.  :meth:`get` validates all of it and evicts — with a
+    one-line warning — anything corrupt, truncated or fingerprint-stale
+    rather than serving it.
+    """
+
+    def __init__(self, cache_dir: Optional[os.PathLike] = None) -> None:
+        from repro.sim.campaign.store import default_cache_dir
+        base = (Path(cache_dir).expanduser() if cache_dir
+                else default_cache_dir())
+        self.dir = base / "artifacts"
+        #: Per-instance access counters (aggregated into ``usage.json``).
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _lock_path(self) -> Path:
+        return self.dir / ".lock"
+
+    def _locked(self):
+        return _FileLock(self.dir, self._lock_path()) \
+            if fcntl is not None else _NullLock(self.dir)
+
+    def _blob_path(self, kind: str, key: str) -> Path:
+        return self.dir / f"{kind}-{key}.blob"
+
+    # ------------------------------------------------------------------ #
+
+    def get(self, kind: str, key: str):
+        """The stored payload, or None (miss / evicted).  Never raises
+        on bad blobs: a corrupt, truncated or stale blob is evicted
+        with a one-line warning and reported as a miss, so the caller
+        recomputes instead of crashing or replaying poisoned state."""
+        path = self._blob_path(kind, key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self._count(hit=False)
+            return None
+        payload = self._validate(path, raw, kind)
+        if payload is None:
+            self._count(hit=False)
+            return None
+        try:
+            value = pickle.loads(payload)
+        except Exception:                   # noqa: BLE001 — any unpickle
+            self._evict(path, "undecodable payload")
+            self._count(hit=False)
+            return None
+        self._count(hit=True)
+        return value
+
+    def _validate(self, path: Path, raw: bytes,
+                  kind: str) -> Optional[bytes]:
+        newline = raw.find(b"\n")
+        if newline < 0:
+            self._evict(path, "truncated header")
+            return None
+        try:
+            header = json.loads(raw[:newline])
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self._evict(path, "corrupt header")
+            return None
+        payload = raw[newline + 1:]
+        if header.get("schema") != SCHEMA or header.get("kind") != kind:
+            self._evict(path, "wrong schema")
+            return None
+        if header.get("fingerprint") != functional_fingerprint():
+            self._evict(path, "stale functional fingerprint")
+            return None
+        if header.get("size") != len(payload) or \
+                header.get("sha256") != \
+                hashlib.sha256(payload).hexdigest():
+            self._evict(path, "payload digest mismatch")
+            return None
+        return payload
+
+    def _evict(self, path: Path, reason: str) -> None:
+        print(f"repro: evicting artifact {path.name} ({reason}); "
+              f"recomputing", file=sys.stderr)
+        with self._locked():
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def put(self, kind: str, key: str, value) -> None:
+        """Persist ``value`` (atomic temp-file + rename under the
+        flock, like the JSONL result store).  Publishing the same key
+        twice is idempotent — identical inputs produce identical
+        content, so concurrent cold workers cannot corrupt each
+        other."""
+        payload = pickle.dumps(value, pickle.HIGHEST_PROTOCOL)
+        header = json.dumps(
+            {"schema": SCHEMA, "kind": kind, "key": key,
+             "fingerprint": functional_fingerprint(),
+             "sha256": hashlib.sha256(payload).hexdigest(),
+             "size": len(payload)},
+            sort_keys=True, separators=(",", ":"))
+        path = self._blob_path(kind, key)
+        with self._locked():
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            with tmp.open("wb") as fh:
+                fh.write(header.encode("utf-8"))
+                fh.write(b"\n")
+                fh.write(payload)
+            tmp.replace(path)
+
+    # ------------------------------------------------------------------ #
+    # Usage accounting and maintenance.
+    # ------------------------------------------------------------------ #
+
+    def _count(self, hit: bool) -> None:
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        usage = self.dir / "usage.json"
+        with self._locked():
+            try:
+                counts = json.loads(usage.read_text())
+            except (OSError, json.JSONDecodeError):
+                counts = {"hits": 0, "misses": 0}
+            counts["hits" if hit else "misses"] = \
+                counts.get("hits" if hit else "misses", 0) + 1
+            tmp = usage.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(json.dumps(counts, sort_keys=True))
+            tmp.replace(usage)
+
+    def usage(self) -> Dict[str, int]:
+        """Cumulative hit/miss counts across every process that used
+        this store directory."""
+        try:
+            counts = json.loads((self.dir / "usage.json").read_text())
+            return {"hits": int(counts.get("hits", 0)),
+                    "misses": int(counts.get("misses", 0))}
+        except (OSError, json.JSONDecodeError, ValueError):
+            return {"hits": 0, "misses": 0}
+
+    def clear(self) -> int:
+        """Delete every blob (and the usage counters); returns how
+        many blobs were dropped."""
+        count = 0
+        with self._locked():
+            if self.dir.is_dir():
+                for path in self.dir.glob("*.blob"):
+                    try:
+                        path.unlink()
+                        count += 1
+                    except OSError:
+                        pass
+                try:
+                    (self.dir / "usage.json").unlink()
+                except OSError:
+                    pass
+        return count
+
+    def status(self) -> dict:
+        """Summary for ``campaign status``: path, blob count, bytes,
+        cumulative hit/miss counts."""
+        blobs = list(self.dir.glob("*.blob")) if self.dir.is_dir() \
+            else []
+        size = sum(path.stat().st_size for path in blobs)
+        out = {"path": str(self.dir), "blobs": len(blobs),
+               "bytes": size}
+        out.update(self.usage())
+        return out
+
+
+class _FileLock:
+    """Context manager: mkdir + exclusive flock on the sidecar file."""
+
+    def __init__(self, directory: Path, path: Path) -> None:
+        self.directory = directory
+        self.path = path
+        self._fh = None
+
+    def __enter__(self):
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("w")
+        fcntl.flock(self._fh, fcntl.LOCK_EX)
+        return self
+
+    def __exit__(self, *exc):
+        fcntl.flock(self._fh, fcntl.LOCK_UN)
+        self._fh.close()
+        return False
+
+
+class _NullLock:
+    def __init__(self, directory: Path) -> None:
+        self.directory = directory
+
+    def __enter__(self):
+        self.directory.mkdir(parents=True, exist_ok=True)
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+def resolve_store(artifacts) -> Optional[ArtifactStore]:
+    """Normalise the ``artifacts=`` argument threaded through
+    ``simulate``/``simulate_sampled``: None defers to the environment
+    (``REPRO_CHECKPOINTS`` + ``REPRO_CACHE_DIR``), False disables the
+    store explicitly, a store instance is used as-is, and a path opens
+    a store there."""
+    if artifacts is None:
+        return ArtifactStore() if checkpoints_enabled() else None
+    if artifacts is False:
+        return None
+    if isinstance(artifacts, ArtifactStore):
+        return artifacts
+    return ArtifactStore(artifacts)
+
+
+__all__ = [
+    "ArtifactStore",
+    "FunctionalTrace",
+    "SCHEMA",
+    "TraceWindow",
+    "apply_delta",
+    "checkpoints_enabled",
+    "functional_fingerprint",
+    "memory_delta",
+    "plan_key",
+    "profile_key",
+    "program_fingerprint",
+    "resolve_store",
+    "trace_key",
+    "warm_key",
+    "warm_profile_fingerprint",
+]

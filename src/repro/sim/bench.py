@@ -14,7 +14,12 @@ simulator itself across PRs.  Four modes run the same workload/machine:
   clustering (BBV profiling + k-medoids representative windows);
   its record carries ``detail_instructions`` and the
   ``detail_reduction_vs_sampled`` ratio, CI-guarded against
-  :data:`MIN_SIMPOINT_DETAIL_REDUCTION`.
+  :data:`MIN_SIMPOINT_DETAIL_REDUCTION`;
+* ``campaign-amortized`` — a 3-config simpoint mini-grid, cold (no
+  checkpoint store: every config pays fast-forward + profiling) vs
+  warm (shared pre-populated store: zero functional execution); its
+  ``amortized_speedup`` ratio is CI-guarded against
+  :data:`MIN_CAMPAIGN_AMORTIZATION`.
 
 Two reference modes (``--ref``) time the pre-overhaul paths — the
 ``step()`` interpreter and the per-retire observer — so the speedup of
@@ -39,14 +44,16 @@ from typing import Dict, List, Optional, Sequence
 SCHEMA = "repro-bench-throughput/1"
 
 #: Mode names in canonical order.
-MODES = ("emulator", "ff+warmup", "detailed", "sampled", "simpoint")
+MODES = ("emulator", "ff+warmup", "detailed", "sampled", "simpoint",
+         "campaign-amortized")
 REFERENCE_MODES = ("emulator-ref", "ff+warmup-ref")
 
 #: The modes the CI regression gate watches (the PR-over-PR trajectory
 #: this subsystem exists to protect): the fast-forward path since PR 3,
 #: the detailed cycle cores since the event-scheduler PR, and the two
 #: end-to-end sampled engines since the simpoint PR.
-GATED_MODES = ("ff+warmup", "detailed", "sampled", "simpoint")
+GATED_MODES = ("ff+warmup", "detailed", "sampled", "simpoint",
+               "campaign-amortized")
 #: Backwards-compatible alias (the historical single gated mode).
 GATED_MODE = "ff+warmup"
 
@@ -55,6 +62,12 @@ GATED_MODE = "ff+warmup"
 #: record whose ``detail_reduction_vs_sampled`` drops below this fails
 #: the regression check outright, independent of inst/s rates.
 MIN_SIMPOINT_DETAIL_REDUCTION = 2.0
+
+#: Floor on the campaign-amortized cell's cold-over-warm grid speedup
+#: (the acceptance criterion of the checkpoint-store PR): a record
+#: whose ``amortized_speedup`` drops below this fails the regression
+#: check outright — the store no longer pays for itself.
+MIN_CAMPAIGN_AMORTIZATION = 2.0
 
 
 def git_sha() -> str:
@@ -123,10 +136,14 @@ def measure_mode(mode: str, workload: str, emulate_n: int, detail_n: int,
         elapsed = time.perf_counter() - t0
         retired = stats.committed
     elif mode in ("sampled", "simpoint"):
+        # artifacts=False: these cells measure the full engine
+        # including fast-forward — a populated checkpoint store would
+        # silently turn them into replay benchmarks (and benchmark runs
+        # must not pollute the user's campaign store either way).
         sampling = True if mode == "sampled" else "simpoint"
         t0 = time.perf_counter()
         stats = simulate(program, config, max_instructions=sampled_n,
-                         sampling=sampling)
+                         sampling=sampling, artifacts=False)
         elapsed = time.perf_counter() - t0
         record = {
             "instructions": stats.committed,
@@ -135,11 +152,63 @@ def measure_mode(mode: str, workload: str, emulate_n: int, detail_n: int,
             "detail_instructions": stats.detail_instructions,
         }
         return record
+    elif mode == "campaign-amortized":
+        return _measure_campaign_amortized(program, sampled_n)
     else:
         raise ValueError(f"unknown bench mode {mode!r}; choose from "
                          f"{MODES + REFERENCE_MODES}")
     return {"instructions": retired, "seconds": elapsed,
             "instructions_per_second": _rate(retired, elapsed)}
+
+
+def _measure_campaign_amortized(program, sampled_n: int) -> Dict[str, float]:
+    """Time a 3-config simpoint mini-grid cold (no checkpoint store —
+    every config pays fast-forward + BBV profiling) and warm (shared
+    pre-populated store — pure replay, zero functional execution).
+
+    The warm leg is the headline rate: it is the marginal cost of one
+    more config in a campaign grid, which is what the store exists to
+    shrink. ``amortized_speedup`` = cold/warm grid wall-clock.
+    """
+    import shutil
+    import tempfile
+
+    from repro.sim.artifacts import ArtifactStore
+    from repro.sim.config import SimConfig
+    from repro.sim.runner import simulate
+
+    configs = [SimConfig.baseline(predictor="tage"),
+               SimConfig.msp(8, predictor="tage"),
+               SimConfig.msp(16, predictor="tage")]
+    represented = 0
+    t0 = time.perf_counter()
+    for config in configs:
+        stats = simulate(program, config, max_instructions=sampled_n,
+                         sampling="simpoint", artifacts=False)
+        represented += stats.committed
+    cold = time.perf_counter() - t0
+    tmp = tempfile.mkdtemp(prefix="repro-bench-artifacts-")
+    try:
+        store = ArtifactStore(tmp)
+        # Populate untimed: the record pass is the grid's once-per-
+        # campaign cost, the timed warm leg its steady-state marginal.
+        simulate(program, configs[0], max_instructions=sampled_n,
+                 sampling="simpoint", artifacts=store)
+        t0 = time.perf_counter()
+        for config in configs:
+            simulate(program, config, max_instructions=sampled_n,
+                     sampling="simpoint", artifacts=store)
+        warm = time.perf_counter() - t0
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return {
+        "instructions": represented,
+        "seconds": warm,
+        "instructions_per_second": _rate(represented, warm),
+        "cold_seconds": cold,
+        "warm_seconds": warm,
+        "amortized_speedup": cold / warm if warm else 0.0,
+    }
 
 
 def measure(workload: str = "gzip", emulate_n: int = 200_000,
@@ -274,6 +343,35 @@ def check_simpoint_reduction(current: dict) -> Optional[str]:
     return None
 
 
+def check_campaign_amortization(current: dict) -> Optional[str]:
+    """Failure message when the record's campaign-amortized cell no
+    longer shows >= :data:`MIN_CAMPAIGN_AMORTIZATION` x cold-over-warm
+    grid speedup, else None (absence of the cell or of the ratio is
+    not a failure — e.g. a pre-store record).
+
+    Like :func:`check_simpoint_reduction`, the floor only applies at
+    budgets large enough for fast-forward + profiling to dominate the
+    per-config cost: below that, the measured windows (which both legs
+    pay identically) swamp the functional work the store amortizes, so
+    a small ``-n`` smoke run is not a regression signal."""
+    speedup = (current.get("modes", {}).get("campaign-amortized", {})
+               .get("amortized_speedup"))
+    if speedup is None:
+        return None
+    from repro.sim.sampling import SamplingParams
+    defaults = SamplingParams()
+    budget = current.get("budgets", {}).get("sampled")
+    achievable = (MIN_CAMPAIGN_AMORTIZATION * defaults.clusters
+                  * defaults.period)
+    if budget is not None and budget < achievable:
+        return None
+    if speedup < MIN_CAMPAIGN_AMORTIZATION:
+        return (f"campaign checkpoint amortization regressed: "
+                f"{speedup:.2f}x cold-over-warm grid speedup (floor "
+                f"{MIN_CAMPAIGN_AMORTIZATION:.1f}x)")
+    return None
+
+
 def check_regressions(current: dict, baseline: dict,
                       tolerance: float = 0.30,
                       modes: Sequence[str] = GATED_MODES) -> List[str]:
@@ -292,6 +390,9 @@ def check_regressions(current: dict, baseline: dict,
     reduction_failure = check_simpoint_reduction(current)
     if reduction_failure is not None:
         failures.append(reduction_failure)
+    amortization_failure = check_campaign_amortization(current)
+    if amortization_failure is not None:
+        failures.append(amortization_failure)
     return failures
 
 
@@ -307,13 +408,18 @@ def format_table(record: dict) -> str:
         if "detail_reduction_vs_sampled" in row:
             extra += (f"  [{row['detail_reduction_vs_sampled']:.1f}x "
                       f"less detail than sampled]")
+        if "amortized_speedup" in row:
+            extra += (f"  [cold {row['cold_seconds']:.2f}s -> warm "
+                      f"{row['warm_seconds']:.2f}s, "
+                      f"{row['amortized_speedup']:.1f}x]")
         lines.append(f"  {mode:14s} {row['instructions_per_second']:12,.0f}"
                      f" inst/s{extra}")
     return "\n".join(lines)
 
 
-__all__ = ["GATED_MODE", "GATED_MODES",
+__all__ = ["GATED_MODE", "GATED_MODES", "MIN_CAMPAIGN_AMORTIZATION",
            "MIN_SIMPOINT_DETAIL_REDUCTION", "MODES", "REFERENCE_MODES",
-           "SCHEMA", "check_regression", "check_regressions",
-           "check_simpoint_reduction", "format_table", "git_sha",
-           "load_json", "measure", "measure_mode", "write_json"]
+           "SCHEMA", "check_campaign_amortization", "check_regression",
+           "check_regressions", "check_simpoint_reduction",
+           "format_table", "git_sha", "load_json", "measure",
+           "measure_mode", "write_json"]

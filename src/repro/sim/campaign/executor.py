@@ -63,6 +63,11 @@ class CampaignReport:
     hits: int = 0                      # cells served from the store
     simulated: int = 0                 # cells actually simulated
     failures: Dict[str, str] = field(default_factory=dict)
+    # Checkpoint-store provenance, aggregated over the *fresh* cells
+    # (result-cache hits never touched the simulator this run).
+    checkpoint_hits: int = 0           # windows replayed from storage
+    ff_executed: int = 0               # functional instructions run
+    ff_skipped: int = 0                # functional instructions replayed
 
     def stats_for(self, job: Job) -> SimStats:
         key = job.cache_key()
@@ -80,7 +85,9 @@ def _alarm_usable() -> bool:
             and threading.current_thread() is threading.main_thread())
 
 
-def _execute_job(job: Job, timeout: Optional[float]) -> dict:
+def _execute_job(job: Job, timeout: Optional[float],
+                 cache_dir: Optional[os.PathLike] = None,
+                 checkpoints: Optional[bool] = None) -> dict:
     """Worker body: simulate one job, return serialized statistics.
 
     Routed through :func:`repro.sim.runner.simulate` so configs with a
@@ -88,9 +95,17 @@ def _execute_job(job: Job, timeout: Optional[float]) -> dict:
     in the worker — sampled cells shard across processes and cache
     exactly like full-detail ones (their cache keys differ because the
     sampling fields perturb ``SimConfig.cache_key``).
+
+    ``checkpoints`` threads the campaign's checkpoint-store decision
+    into the sampled engine: every worker opens the store rooted at the
+    run's ``cache_dir`` (so the grid's cells share one functional
+    execution), ``False`` forces the store-free oracle path.
     """
+    from repro.sim.artifacts import ArtifactStore
     from repro.sim.runner import simulate
     from repro.workloads import get_program
+
+    artifacts = ArtifactStore(cache_dir) if checkpoints else False
 
     use_alarm = bool(timeout) and _alarm_usable()
     previous = None
@@ -105,7 +120,8 @@ def _execute_job(job: Job, timeout: Optional[float]) -> dict:
             handler_swapped = True
             signal.alarm(armed)
         stats = simulate(get_program(job.workload, job.seed), job.config,
-                         max_instructions=job.instructions)
+                         max_instructions=job.instructions,
+                         artifacts=artifacts)
         return stats.to_dict()
     finally:
         # Pool workers are reused across jobs: the alarm MUST be
@@ -122,9 +138,11 @@ def _execute_job(job: Job, timeout: Optional[float]) -> dict:
             signal.signal(signal.SIGALRM, previous)
 
 
-def _worker(payload: Tuple[Job, Optional[float]]) -> Tuple[str, dict]:
-    job, timeout = payload
-    return job.cache_key(), _execute_job(job, timeout)
+def _worker(payload: Tuple[Job, Optional[float], Optional[os.PathLike],
+                           bool]) -> Tuple[str, dict]:
+    job, timeout, cache_dir, checkpoints = payload
+    return job.cache_key(), _execute_job(job, timeout, cache_dir,
+                                         checkpoints)
 
 
 def run_jobs(jobs: Sequence[Job], *,
@@ -133,16 +151,24 @@ def run_jobs(jobs: Sequence[Job], *,
              cache_dir: Optional[os.PathLike] = None,
              timeout: Optional[float] = None,
              progress: Optional[Callable[[str], None]] = None,
-             raise_on_error: bool = True) -> CampaignReport:
+             raise_on_error: bool = True,
+             checkpoints: Optional[bool] = None) -> CampaignReport:
     """Run ``jobs``, sharded across processes, memoized on disk.
 
     ``workers=None`` reads ``REPRO_JOBS``; ``use_cache=None`` reads
-    ``REPRO_NO_CACHE``. Returns a :class:`CampaignReport` whose
-    ``results`` maps every distinct job cache key to its statistics.
+    ``REPRO_NO_CACHE``; ``checkpoints=None`` reads
+    ``REPRO_CHECKPOINTS`` (the sampled cells' checkpoint store, shared
+    by all workers under ``cache_dir`` so an N-config grid pays
+    functional execution once). Returns a :class:`CampaignReport`
+    whose ``results`` maps every distinct job cache key to its
+    statistics.
     """
+    from repro.sim.artifacts import checkpoints_enabled
     workers = workers if workers is not None else default_workers()
     if use_cache is None:
         use_cache = cache_enabled_by_default()
+    if checkpoints is None:
+        checkpoints = checkpoints_enabled()
     store = ResultStore(cache_dir)
     report = CampaignReport()
 
@@ -167,6 +193,9 @@ def run_jobs(jobs: Sequence[Job], *,
         stats = SimStats.from_dict(stats_dict)
         report.results[key] = stats
         report.simulated += 1
+        report.checkpoint_hits += stats.checkpoint_hits
+        report.ff_executed += stats.ff_executed_instructions
+        report.ff_skipped += stats.ff_skipped_instructions
         if use_cache:
             store.put(key, stats, meta=job.to_dict())
         done += 1
@@ -182,7 +211,8 @@ def run_jobs(jobs: Sequence[Job], *,
     if workers <= 1:
         for key, job in pending.items():
             try:
-                _finish(key, _execute_job(job, timeout))
+                _finish(key, _execute_job(job, timeout, cache_dir,
+                                          checkpoints))
             except Exception as exc:            # noqa: BLE001
                 report.failures[job.label] = repr(exc)
                 done += 1
@@ -195,7 +225,8 @@ def run_jobs(jobs: Sequence[Job], *,
                    else multiprocessing.get_context())
         with ProcessPoolExecutor(max_workers=min(workers, total),
                                  mp_context=context) as pool:
-            futures = {pool.submit(_worker, (job, timeout)): key
+            futures = {pool.submit(
+                _worker, (job, timeout, cache_dir, checkpoints)): key
                        for key, job in pending.items()}
             for future in as_completed(futures):
                 key = futures[future]

@@ -62,6 +62,12 @@ class ExperimentResult:
     # actually simulated (stale-cache debugging, CLI reporting).
     cache_hits: int = 0
     simulated: int = 0
+    # Checkpoint-store accounting over the simulated cells
+    # (repro.sim.artifacts): windows replayed from stored checkpoints,
+    # and functional instructions actually executed vs replayed.
+    checkpoint_hits: int = 0
+    ff_executed: int = 0
+    ff_skipped: int = 0
 
     def ipc(self, benchmark: str, machine: str) -> float:
         return self.stats[benchmark][machine].ipc
@@ -97,7 +103,8 @@ def run_grid(name: str, benchmarks: Sequence[str],
              use_cache: Optional[bool] = None,
              cache_dir=None,
              timeout: Optional[float] = None,
-             sampling=None) -> ExperimentResult:
+             sampling=None,
+             checkpoints: Optional[bool] = None) -> ExperimentResult:
     """Run a benchmarks x configs grid through the campaign engine.
 
     ``sampling`` (anything ``SamplingParams.coerce`` accepts — True
@@ -112,6 +119,11 @@ def run_grid(name: str, benchmarks: Sequence[str],
     (The schedule is stamped here — before jobs are created — so
     sampled cells carry it in their cache keys; workers themselves
     never consult the environment.)
+
+    ``checkpoints`` forwards to :func:`repro.sim.campaign.run_jobs`:
+    sampled cells share one checkpoint store under ``cache_dir``, so
+    the whole grid pays fast-forward/profiling once (``None`` defers to
+    ``REPRO_CHECKPOINTS``).
     """
     params = (SamplingParams.coerce(sampling) if sampling is not None
               else SamplingParams.from_env())
@@ -129,10 +141,13 @@ def run_grid(name: str, benchmarks: Sequence[str],
     spec = CampaignSpec(name, list(benchmarks), list(configs), budget)
     report = run_jobs(spec.jobs(), workers=jobs, use_cache=use_cache,
                       cache_dir=cache_dir, timeout=timeout,
-                      progress=progress)
+                      progress=progress, checkpoints=checkpoints)
     result = ExperimentResult(name, [c.label for c in configs],
                               cache_hits=report.hits,
-                              simulated=report.simulated)
+                              simulated=report.simulated,
+                              checkpoint_hits=report.checkpoint_hits,
+                              ff_executed=report.ff_executed,
+                              ff_skipped=report.ff_skipped)
     result.stats = spec.grid(report)
     return result
 

@@ -47,7 +47,7 @@ def build_core(program: Program, config: SimConfig) -> OutOfOrderCore:
 def simulate(program: Union[Program, str], config: SimConfig,
              max_instructions: Optional[int] = None,
              max_cycles: Optional[int] = None,
-             sampling=None) -> SimStats:
+             sampling=None, artifacts=None) -> SimStats:
     """Run ``program`` (a Program or a registered workload name) on the
     machine described by ``config`` and return its statistics.
 
@@ -56,6 +56,12 @@ def simulate(program: Union[Program, str], config: SimConfig,
     mode string, a dict, or a ``SamplingParams``) and overrides the
     config's recorded ``sample_*`` schedule; ``None`` defers to the
     config. ``max_instructions=None`` uses the shared defaults.
+
+    ``artifacts`` controls the sampled engine's checkpoint store
+    (:func:`repro.sim.artifacts.resolve_store`: ``None`` defers to
+    ``REPRO_CHECKPOINTS``, ``False`` disables, or pass a store).
+    Full-detail runs have no functional phase to amortize and ignore
+    it.
     """
     from repro.sim.sampling import SamplingError, SamplingParams, \
         simulate_sampled
@@ -72,7 +78,8 @@ def simulate(program: Union[Program, str], config: SimConfig,
         config = params.apply(config)
         budget = (max_instructions if max_instructions is not None
                   else default_sample_instructions())
-        return simulate_sampled(program, config, budget, params=params)
+        return simulate_sampled(program, config, budget, params=params,
+                                artifacts=artifacts)
     budget = (max_instructions if max_instructions is not None
               else default_instructions())
     core = build_core(program, config)

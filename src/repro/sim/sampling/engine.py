@@ -32,15 +32,43 @@ instruction streams (the oracle tests' contract), so a seeded window
 measures exactly the region the schedule says it does, and the whole
 procedure is a pure function of (program, config, budget) — which keeps
 campaign cache keys sound for sampled cells.
+
+The same determinism argument powers the **checkpoint store**
+(:mod:`repro.sim.artifacts`): everything above except the measurement
+windows themselves is *workload-side* — the window schedule, the
+checkpoints and the warm state are independent of the machine the
+windows will run on (the warm state depends only on the config's warm
+*profile*). ``simulate_sampled`` therefore consults the store before
+fast-forwarding: on a hit, the recorded windows are re-measured on this
+config with zero functional execution (the campaign executor shares
+one store, so an N-config grid pays fast-forward/profiling once); on a
+miss, the run records and publishes its trace. The no-store path
+(``REPRO_CHECKPOINTS=off`` or ``artifacts=False``) is the bit-exact
+oracle: represented statistics are identical either way, with only the
+``checkpoint_hits`` / ``ff_executed_instructions`` /
+``ff_skipped_instructions`` provenance counters telling the two apart.
 """
 
 from __future__ import annotations
 
+import pickle
 from typing import Optional, Tuple
 
 from repro.defaults import default_sample_instructions
 from repro.isa.emulator import Emulator, EmulatorState
 from repro.pipeline.stats import SimStats
+from repro.sim.artifacts import (
+    FunctionalTrace,
+    TraceWindow,
+    apply_delta,
+    memory_delta,
+    plan_key,
+    profile_key,
+    resolve_store,
+    trace_key,
+    warm_key,
+    warm_profile_fingerprint,
+)
 from repro.sim.sampling.params import SamplingError, SamplingParams
 from repro.sim.sampling.stitch import IntervalResult, stats_delta, stitch
 from repro.sim.sampling.warmup import WarmupEngine
@@ -58,7 +86,8 @@ def _detail_config(config, warmup: bool):
 
 def _run_window(program, detail_config, checkpoint: EmulatorState,
                 warm: Optional[WarmupEngine], measure: int,
-                detail_warmup: int) -> Tuple[SimStats, int, bool]:
+                detail_warmup: int,
+                own_warm: bool = False) -> Tuple[SimStats, int, bool]:
     """Seed a fresh timing core from ``checkpoint`` and measure one
     window.
 
@@ -72,7 +101,11 @@ def _run_window(program, detail_config, checkpoint: EmulatorState,
     core = build_core(program, detail_config)
     core.seed_architectural_state(checkpoint)
     if warm is not None:
-        warm.install(core)
+        # ``own_warm``: the caller hands the engine over (replay
+        # unpickles a private engine per window), skipping install's
+        # protective copies — the golden functional state they protect
+        # does not exist there.
+        (warm.hand_over if own_warm else warm.install)(core)
     baseline = None
     if detail_warmup:
         core.run(max_instructions=detail_warmup)
@@ -84,11 +117,78 @@ def _run_window(program, detail_config, checkpoint: EmulatorState,
     return stats, cost, core.done
 
 
+def _run_fallback(program, config, budget: int) -> SimStats:
+    """The no-windows degenerate case (program ended before any window
+    could be measured): one full-detail run of the whole budget —
+    exact, just unsampled."""
+    from repro.sim.runner import build_core
+    fallback = config.with_(
+        sample_mode="full", warm_caches=config.warm_caches)
+    stats = build_core(program, fallback).run(max_instructions=budget)
+    stats.sampled = True
+    stats.detail_instructions = stats.committed
+    return stats
+
+
+def _replay(program, config, detail_config, params, budget: int,
+            store) -> Optional[SimStats]:
+    """Re-measure a stored functional trace on ``config``'s machine.
+
+    Returns None on any miss (no trace, no warm blob for this config's
+    warm profile, or a malformed payload) — the caller then takes the
+    recording path. A hit executes **zero** functional instructions:
+    each window's checkpoint is rebuilt from its sparse memory delta
+    and its warm state unpickled from the profile-keyed warm blob.
+    """
+    tkey = trace_key(program, params, budget)
+    trace = store.get("trace", tkey)
+    if not isinstance(trace, FunctionalTrace):
+        return None
+    warm_states = None
+    if params.warmup and not trace.fallback:
+        warm_states = store.get(
+            "warm", warm_key(tkey, warm_profile_fingerprint(config)))
+        if not isinstance(warm_states, list) \
+                or len(warm_states) != len(trace.windows):
+            return None                 # this warm profile: record it
+    if trace.fallback:
+        stats = _run_fallback(program, config, budget)
+        stats.checkpoint_hits = 1
+        stats.ff_skipped_instructions = trace.ff_instructions
+        return stats
+    initial = program.initial_memory
+    windows = []
+    for index, w in enumerate(trace.windows):
+        checkpoint = EmulatorState(
+            w.pc, list(w.regs), apply_delta(initial, w.mem_delta),
+            retired=w.retired)
+        warm = (pickle.loads(warm_states[index])
+                if warm_states is not None else None)
+        stats, cost, _ = _run_window(program, detail_config, checkpoint,
+                                     warm, w.measure, w.warmup_n,
+                                     own_warm=True)
+        windows.append(IntervalResult(w.pos, w.represents, stats,
+                                      detail_cost=cost))
+    out = stitch(windows, ff_instructions=trace.ff_instructions)
+    out.checkpoint_hits = len(windows)
+    out.ff_skipped_instructions = trace.ff_instructions
+    return out
+
+
 def simulate_sampled(program, config,
                      max_instructions: Optional[int] = None,
-                     params: Optional[SamplingParams] = None) -> SimStats:
+                     params: Optional[SamplingParams] = None,
+                     artifacts=None) -> SimStats:
     """Run ``program`` on ``config``'s machine with sampled simulation
-    and return stitched whole-run statistics."""
+    and return stitched whole-run statistics.
+
+    ``artifacts`` controls the checkpoint store
+    (:func:`repro.sim.artifacts.resolve_store`): None defers to
+    ``REPRO_CHECKPOINTS``/``REPRO_CACHE_DIR``, False forces the
+    store-free oracle path, or pass an
+    :class:`~repro.sim.artifacts.ArtifactStore` (the campaign executor
+    hands every worker the store rooted at the run's cache directory).
+    """
     params = params or SamplingParams.from_config(config) \
         or SamplingParams()
     budget = (max_instructions if max_instructions is not None
@@ -100,6 +200,13 @@ def simulate_sampled(program, config,
             f"lower --ff")
     detail_config = _detail_config(config, params.warmup)
 
+    store = resolve_store(artifacts)
+    if store is not None:
+        replayed = _replay(program, config, detail_config, params,
+                           budget, store)
+        if replayed is not None:
+            return replayed
+
     emulator = Emulator(program)
     # Fast-forward runs through Emulator.run_fast with the warm-up
     # engine fused into the predecoded dispatch loop (no per-retire
@@ -109,6 +216,12 @@ def simulate_sampled(program, config,
     warm = WarmupEngine(config, program) if params.warmup else None
 
     windows = []
+    # Store-recording side channel, populated in lockstep with
+    # ``windows``: the schedule slot + checkpoint of each measured
+    # window, and the warm state it ran with (pickled *before* the
+    # post-window walk continues training it).
+    trace_windows = []
+    warm_blobs = []
     pos = 0
     ended = False
 
@@ -118,12 +231,25 @@ def simulate_sampled(program, config,
         ended = result.terminated
 
     profiled = 0
+    profiled_skipped = 0
     if params.mode == "offset":
         if not ended and pos < budget:
             remaining = budget - pos
             warmup_n = min(params.detail_warmup, max(0, remaining - 1))
             measure = min(params.interval, remaining - warmup_n)
             checkpoint = emulator.snapshot(share=True)
+            captured = warm_bytes = None
+            if store is not None:
+                # Capture between snapshot and release: the shared
+                # memory dict is guaranteed point-in-time only while
+                # the checkpoint is live.
+                captured = (checkpoint.pc, list(checkpoint.regs),
+                            memory_delta(program.initial_memory,
+                                         checkpoint.memory),
+                            checkpoint.retired)
+                if warm is not None:
+                    warm_bytes = pickle.dumps(
+                        warm, pickle.HIGHEST_PROTOCOL)
             stats, cost, _ = _run_window(
                 program, detail_config, checkpoint, warm,
                 measure, warmup_n)
@@ -138,6 +264,11 @@ def simulate_sampled(program, config,
                               else remaining)
                 windows.append(IntervalResult(pos, represents, stats,
                                               detail_cost=cost))
+                if store is not None:
+                    trace_windows.append(TraceWindow(
+                        pos, represents, measure, warmup_n, *captured))
+                    if warm_bytes is not None:
+                        warm_blobs.append(warm_bytes)
     else:
         representatives = None
         spans = None
@@ -149,13 +280,37 @@ def simulate_sampled(program, config,
             # interval.  Both emulators execute the identical stream,
             # so the profiled interval lengths below place each
             # measured window exactly inside the interval the profile
-            # attributed to it.
+            # attributed to it.  The profile and the plan are published
+            # to (and served from) the artifact store independently of
+            # the trace, so even a trace-missing run can skip the
+            # profiling pass.
             from repro.sim.sampling.simpoint import plan_simpoints, \
                 profile_intervals
-            intervals, profiled = profile_intervals(
-                program, budget, params.period, ff=params.ff)
-            plan = plan_simpoints(intervals, params.clusters,
-                                  params.bbv_dim)
+            intervals = None
+            pkey = lkey = None
+            if store is not None:
+                pkey = profile_key(program, budget, params.period,
+                                   params.ff)
+                cached = store.get("profile", pkey)
+                if isinstance(cached, tuple) and len(cached) == 2:
+                    intervals, profiled = cached
+                    profiled_skipped = profiled
+            if intervals is None:
+                intervals, profiled = profile_intervals(
+                    program, budget, params.period, ff=params.ff)
+                if store is not None:
+                    store.put("profile", pkey, (intervals, profiled))
+            plan = None
+            if store is not None:
+                lkey = plan_key(program, budget, params.period,
+                                params.ff, params.clusters,
+                                params.bbv_dim)
+                plan = store.get("plan", lkey)
+            if plan is None:
+                plan = plan_simpoints(intervals, params.clusters,
+                                      params.bbv_dim)
+                if store is not None:
+                    store.put("plan", lkey, plan)
             representatives = plan.representatives
             # The profiler closes intervals at basic-block boundaries,
             # so each is `period` plus a small block overshoot; the
@@ -205,6 +360,15 @@ def simulate_sampled(program, config,
                 if result.terminated:
                     break
             checkpoint = emulator.snapshot(share=True)
+            captured = warm_bytes = None
+            if store is not None:
+                captured = (checkpoint.pc, list(checkpoint.regs),
+                            memory_delta(program.initial_memory,
+                                         checkpoint.memory),
+                            checkpoint.retired)
+                if warm is not None:
+                    warm_bytes = pickle.dumps(
+                        warm, pickle.HIGHEST_PROTOCOL)
             stats, cost, halted = _run_window(
                 program, detail_config, checkpoint, warm,
                 measure, warmup_n)
@@ -219,27 +383,42 @@ def simulate_sampled(program, config,
                                     else segment)
             windows.append(IntervalResult(pos, represents, stats,
                                           detail_cost=cost))
+            if store is not None:
+                trace_windows.append(TraceWindow(
+                    pos, represents, measure, warmup_n, *captured))
+                if warm_bytes is not None:
+                    warm_blobs.append(warm_bytes)
             pos += result.retired
             if halted or result.terminated:
                 break
+
+    # The profiling pass is functional work too: charge it to the
+    # fast-forward account so the cost books stay honest.
+    ff_total = emulator.retired_total + profiled
 
     if not windows:
         # The program ended before any window could be measured (or the
         # budget was smaller than the schedule): fall back to a single
         # full-detail run of the whole budget — exact, just unsampled.
-        from repro.sim.runner import build_core
-        fallback = config.with_(
-            sample_mode="full", warm_caches=config.warm_caches)
-        stats = build_core(program, fallback).run(
-            max_instructions=budget)
-        stats.sampled = True
-        stats.detail_instructions = stats.committed
+        stats = _run_fallback(program, config, budget)
+        stats.ff_executed_instructions = ff_total - profiled_skipped
+        stats.ff_skipped_instructions = profiled_skipped
+        if store is not None:
+            store.put("trace", trace_key(program, params, budget),
+                      FunctionalTrace([], ff_total, fallback=True))
         return stats
 
-    # The profiling pass is functional work too: charge it to the
-    # fast-forward account so the cost books stay honest.
-    out = stitch(windows,
-                 ff_instructions=emulator.retired_total + profiled)
+    out = stitch(windows, ff_instructions=ff_total)
+    out.ff_executed_instructions = ff_total - profiled_skipped
+    out.ff_skipped_instructions = profiled_skipped
+    if store is not None:
+        tkey = trace_key(program, params, budget)
+        store.put("trace", tkey,
+                  FunctionalTrace(trace_windows, ff_total))
+        if warm_blobs:
+            store.put("warm",
+                      warm_key(tkey, warm_profile_fingerprint(config)),
+                      warm_blobs)
     return out
 
 

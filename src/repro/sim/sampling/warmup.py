@@ -15,7 +15,9 @@ measurement window drives
 * the direction predictor (predict -> train -> repair, exactly the
   speculative-history discipline the timing cores use),
 * the BTB (indirect-jump targets), and
-* CPR's JRS confidence estimator (when the target machine is CPR).
+* CPR's JRS confidence estimator (always trained, so the warm state is
+  arch-independent and shareable across a campaign grid; non-CPR cores
+  ignore it at install).
 
 Each measurement window receives *copies* of the warm structures
 (:meth:`install`), so the window's own (speculative, possibly
@@ -62,9 +64,14 @@ class WarmupEngine:
         self.predictor = make_predictor(config.predictor,
                                         **config.predictor_kwargs)
         self.btb = BranchTargetBuffer()
-        self.confidence = (
-            ConfidenceEstimator(threshold=config.confidence_threshold)
-            if config.arch == "cpr" else None)
+        # Trained unconditionally (not just for CPR targets): the
+        # estimator's state is then a pure function of the stream and
+        # the warm *profile* — never of the target arch — so every
+        # machine in a campaign grid shares one stored warm blob
+        # (repro.sim.artifacts). Non-CPR cores accept and ignore it at
+        # install time; CPR re-stamps its own threshold there.
+        self.confidence = ConfidenceEstimator(
+            threshold=config.confidence_threshold)
         self.instructions = 0
         # One fetch probe per *line*, not per instruction: consecutive
         # PCs on the same line are LRU no-ops (the line is already MRU),
@@ -136,6 +143,16 @@ class WarmupEngine:
         core.install_warm_state(predictor=self.predictor.clone(),
                                 btb=clone[0], hierarchy=clone[1],
                                 confidence=clone[2])
+
+    def hand_over(self, core) -> None:
+        """:meth:`install` without the protective copies: transfers the
+        structures themselves.  Only sound when this engine is private
+        to the window and discarded afterwards — the checkpoint-store
+        replay path, which unpickles one throwaway engine per window,
+        uses this to skip a full TAGE clone per window."""
+        core.install_warm_state(predictor=self.predictor, btb=self.btb,
+                                hierarchy=self.hierarchy,
+                                confidence=self.confidence)
 
 
 __all__ = ["WarmupEngine"]

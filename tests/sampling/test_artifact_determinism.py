@@ -1,0 +1,144 @@
+"""The checkpoint store's oracle contract: a replayed sampled run is
+bit-identical to a fresh one (only the provenance counters tell them
+apart), and a campaign grid pays functional execution exactly once."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.artifacts import ArtifactStore
+from repro.sim.campaign import Job, run_jobs
+from repro.sim.config import SimConfig
+from repro.sim.runner import simulate
+from repro.sim.sampling import SamplingParams
+
+BUDGET = 12_000
+SCHEDULE = {"ff": 500, "interval": 300, "period": 1500}
+
+#: The three counters that record where the functional work came from;
+#: everything else in SimStats must round-trip bit-for-bit.
+PROVENANCE = {"checkpoint_hits", "ff_executed_instructions",
+              "ff_skipped_instructions"}
+
+
+def _represented(stats):
+    return {key: value for key, value in stats.to_dict().items()
+            if key not in PROVENANCE}
+
+
+def _config(arch):
+    if arch == "msp":
+        return SimConfig.msp(16, predictor="tage")
+    return getattr(SimConfig, arch)(predictor="tage")
+
+
+@pytest.mark.parametrize("arch", ["baseline", "cpr", "msp"])
+@pytest.mark.parametrize("mode", ["periodic", "offset", "simpoint"])
+def test_replay_is_bit_identical(tmp_path, arch, mode):
+    config = _config(arch)
+    sampling = dict(SCHEDULE, mode=mode)
+    store = ArtifactStore(tmp_path)
+
+    off = simulate("gzip", config, BUDGET, sampling=sampling,
+                   artifacts=False)
+    cold = simulate("gzip", config, BUDGET, sampling=sampling,
+                    artifacts=store)
+    warm = simulate("gzip", config, BUDGET, sampling=sampling,
+                    artifacts=store)
+
+    # The represented statistics are identical across no-store (the
+    # oracle), recording, and replay.
+    assert _represented(cold) == _represented(off)
+    assert _represented(warm) == _represented(off)
+
+    # Provenance: the oracle and the recording run executed everything;
+    # the replay executed nothing.
+    assert off.checkpoint_hits == 0 and off.ff_skipped_instructions == 0
+    assert off.ff_executed_instructions == off.ff_instructions
+    assert cold.checkpoint_hits == 0
+    assert warm.checkpoint_hits == warm.sample_intervals > 0
+    assert warm.ff_executed_instructions == 0
+    assert warm.ff_skipped_instructions == warm.ff_instructions > 0
+
+
+def test_simpoint_profile_shared_before_trace_exists(tmp_path):
+    """A cold run at a *different* interval still hits the stored BBV
+    profile and plan (their keys exclude window-side knobs), skipping
+    the profiling pass even though it must record its own trace."""
+    config = _config("baseline")
+    store = ArtifactStore(tmp_path)
+    first = simulate("gzip", config, BUDGET,
+                     sampling=dict(SCHEDULE, mode="simpoint"),
+                     artifacts=store)
+    second = simulate("gzip", config, BUDGET,
+                      sampling=dict(SCHEDULE, mode="simpoint",
+                                    interval=250),
+                      artifacts=store)
+    assert first.ff_skipped_instructions == 0
+    assert second.checkpoint_hits == 0          # its own trace: a miss
+    assert second.ff_skipped_instructions > 0   # but profiling: a hit
+    assert (second.ff_executed_instructions
+            + second.ff_skipped_instructions) == second.ff_instructions
+
+
+@pytest.mark.parametrize("mode", ["periodic", "simpoint"])
+def test_grid_pays_functional_execution_once(tmp_path, mode):
+    """Four configs, one store, run serially: total functional work
+    equals exactly one store-free run's worth."""
+    sampling = dict(SCHEDULE, mode=mode)
+    store = ArtifactStore(tmp_path)
+    grid = [SimConfig.baseline(predictor="tage"),
+            SimConfig.cpr(predictor="tage"),
+            SimConfig.msp(8, predictor="tage"),
+            SimConfig.msp(16, predictor="tage")]
+    total = 0
+    for index, config in enumerate(grid):
+        stats = simulate("gzip", config, BUDGET, sampling=sampling,
+                         artifacts=store)
+        total += stats.ff_executed_instructions
+        if index:
+            assert stats.ff_executed_instructions == 0
+    oracle = simulate("gzip", grid[0], BUDGET, sampling=sampling,
+                      artifacts=False)
+    assert total == oracle.ff_instructions
+
+
+def test_campaign_workers_replay_from_shared_store(tmp_path):
+    """Pool workers open the store rooted at the run's cache_dir: with
+    the store pre-populated, a parallel grid executes zero functional
+    instructions and still matches the store-free oracle."""
+    grid = [SimConfig.baseline(predictor="tage"),
+            SimConfig.cpr(predictor="tage")]
+    sampling = dict(SCHEDULE, mode="periodic")
+    store = ArtifactStore(tmp_path)
+    for config in grid:
+        simulate("gzip", config, BUDGET, sampling=sampling,
+                 artifacts=store)
+
+    params = SamplingParams.coerce(sampling)
+    jobs = [Job("gzip", params.apply(config), BUDGET)
+            for config in grid]
+    report = run_jobs(jobs, workers=2, use_cache=False,
+                      cache_dir=tmp_path)
+    assert report.simulated == 2
+    assert report.ff_executed == 0
+    assert report.checkpoint_hits > 0
+    for job in jobs:
+        oracle = simulate("gzip", job.config, BUDGET,
+                          artifacts=False)
+        assert _represented(report.stats_for(job)) == \
+            _represented(oracle)
+
+
+def test_campaign_checkpoints_off_executes_everything(tmp_path):
+    config = SimConfig.baseline(predictor="tage")
+    stamped = SamplingParams.coerce(
+        dict(SCHEDULE, mode="periodic")).apply(config)
+    job = Job("gzip", stamped, BUDGET)
+    report = run_jobs([job], workers=1, use_cache=False,
+                      cache_dir=tmp_path, checkpoints=False)
+    stats = report.stats_for(job)
+    assert stats.checkpoint_hits == 0
+    assert stats.ff_skipped_instructions == 0
+    assert stats.ff_executed_instructions == stats.ff_instructions
+    assert ArtifactStore(tmp_path).status()["blobs"] == 0

@@ -79,6 +79,8 @@ def test_periodic_stitch_pinned_bit_identical():
         "sample_intervals": 4, "detail_instructions": 400,
         "ff_instructions": 4321,
         "sampling_error": 0.3160400395016185,
+        "checkpoint_hits": 0, "ff_executed_instructions": 0,
+        "ff_skipped_instructions": 0,
     }
 
 

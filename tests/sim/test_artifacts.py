@@ -1,0 +1,232 @@
+"""The content-addressed artifact store itself: blob format, hygiene
+(corruption/truncation/staleness -> evict + warn, never crash), keys,
+sparse memory deltas, and the REPRO_CHECKPOINTS switch."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sim import artifacts as art
+from repro.sim.artifacts import (
+    ArtifactStore,
+    FunctionalTrace,
+    TraceWindow,
+    apply_delta,
+    checkpoints_enabled,
+    functional_fingerprint,
+    memory_delta,
+    profile_key,
+    resolve_store,
+    trace_key,
+    warm_profile_fingerprint,
+)
+from repro.sim.config import SimConfig
+from repro.sim.sampling import SamplingParams
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path)
+
+
+def _blob(store, kind="trace", key="k" * 32):
+    """Publish one payload and return its on-disk path."""
+    store.put(kind, key, {"payload": list(range(16))})
+    return store._blob_path(kind, key)
+
+
+# --------------------------------------------------------------------- #
+# Round trip.
+# --------------------------------------------------------------------- #
+
+def test_roundtrip_returns_equal_payload(store):
+    value = FunctionalTrace(
+        [TraceWindow(1, 2, 3, 4, 5, [0, 1], {8: 9}, 10)], 1234)
+    store.put("trace", "a" * 32, value)
+    loaded = store.get("trace", "a" * 32)
+    assert isinstance(loaded, FunctionalTrace)
+    assert loaded == value
+
+
+def test_miss_returns_none_and_counts(store):
+    assert store.get("trace", "b" * 32) is None
+    assert store.usage() == {"hits": 0, "misses": 1}
+    _blob(store, key="b" * 32)
+    assert store.get("trace", "b" * 32) is not None
+    assert store.usage() == {"hits": 1, "misses": 1}
+    assert store.hits == 1 and store.misses == 1
+
+
+def test_status_and_clear(store):
+    _blob(store, key="c" * 32)
+    _blob(store, kind="profile", key="d" * 32)
+    status = store.status()
+    assert status["blobs"] == 2 and status["bytes"] > 0
+    assert store.clear() == 2
+    assert store.status()["blobs"] == 0
+    # Usage counters are dropped with the blobs.
+    assert store.usage() == {"hits": 0, "misses": 0}
+
+
+# --------------------------------------------------------------------- #
+# Hygiene: every malformed blob is evicted with a warning, not served.
+# --------------------------------------------------------------------- #
+
+def _expect_evicted(store, path, capsys):
+    assert store.get("trace", path.name[len("trace-"):-len(".blob")]) \
+        is None
+    assert not path.exists()
+    err = capsys.readouterr().err
+    assert "evicting artifact" in err and path.name in err
+
+
+def test_truncated_blob_is_evicted(store, capsys):
+    path = _blob(store)
+    raw = path.read_bytes()
+    path.write_bytes(raw[:len(raw) // 2])
+    _expect_evicted(store, path, capsys)
+
+
+def test_corrupt_header_is_evicted(store, capsys):
+    path = _blob(store)
+    path.write_bytes(b"not json at all\n" + b"\x80\x04junk")
+    _expect_evicted(store, path, capsys)
+
+
+def test_corrupt_payload_is_evicted(store, capsys):
+    path = _blob(store)
+    raw = path.read_bytes()
+    newline = raw.find(b"\n")
+    path.write_bytes(raw[:newline + 1]
+                     + bytes(len(raw) - newline - 1))
+    _expect_evicted(store, path, capsys)
+
+
+def test_stale_fingerprint_is_evicted(store, capsys):
+    path = _blob(store)
+    raw = path.read_bytes()
+    newline = raw.find(b"\n")
+    header = json.loads(raw[:newline])
+    header["fingerprint"] = "0" * 16
+    path.write_bytes(json.dumps(header).encode() + raw[newline:])
+    _expect_evicted(store, path, capsys)
+
+
+def test_undecodable_pickle_is_evicted(store, capsys, monkeypatch):
+    # Valid header and digest, but a payload the unpickler rejects.
+    import hashlib
+    path = _blob(store)
+    payload = b"\x80\x04 definitely not a pickle"
+    header = json.dumps({
+        "schema": art.SCHEMA, "kind": "trace", "key": "k" * 32,
+        "fingerprint": functional_fingerprint(),
+        "sha256": hashlib.sha256(payload).hexdigest(),
+        "size": len(payload)})
+    path.write_bytes(header.encode() + b"\n" + payload)
+    _expect_evicted(store, path, capsys)
+
+
+def test_eviction_then_republish_recovers(store, capsys):
+    path = _blob(store)
+    path.write_bytes(b"garbage")
+    assert store.get("trace", "k" * 32) is None
+    capsys.readouterr()
+    _blob(store)
+    assert store.get("trace", "k" * 32) == {"payload": list(range(16))}
+    assert "evicting" not in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------- #
+# Keys and fingerprints.
+# --------------------------------------------------------------------- #
+
+def test_trace_key_workload_side_only(halting_program):
+    params = SamplingParams()
+    key = trace_key(halting_program, params, 1000)
+    assert key == trace_key(halting_program, params, 1000)
+    assert key != trace_key(halting_program, params, 2000)
+    assert key != trace_key(
+        halting_program, SamplingParams(interval=7), 1000)
+
+
+def test_program_fingerprint_ignores_name(halting_program,
+                                          sum_loop_program):
+    fp = halting_program.content_fingerprint()
+    renamed_fp = None
+    # Same content under a different name hashes identically...
+    import copy
+    clone = copy.copy(halting_program)
+    clone.name = "other"
+    clone._fingerprint = None
+    renamed_fp = clone.content_fingerprint()
+    assert renamed_fp == fp
+    # ...different programs do not.
+    assert sum_loop_program.content_fingerprint() != fp
+
+
+def test_profile_key_ignores_window_knobs(halting_program):
+    base = profile_key(halting_program, 1000, 500, 0)
+    assert base == profile_key(halting_program, 1000, 500, 0)
+    assert base != profile_key(halting_program, 1000, 400, 0)
+    assert base != profile_key(halting_program, 1000, 500, 100)
+
+
+def test_warm_profile_shared_across_machine_grid():
+    grid = [SimConfig.baseline(predictor="tage"),
+            SimConfig.cpr(predictor="tage"),
+            SimConfig.msp(8, predictor="tage"),
+            SimConfig.msp(16, predictor="tage"),
+            SimConfig.msp_ideal(predictor="tage")]
+    profiles = {warm_profile_fingerprint(config) for config in grid}
+    assert len(profiles) == 1
+    # A predictor change is a different warm profile.
+    assert warm_profile_fingerprint(
+        SimConfig.baseline(predictor="gshare")) not in profiles
+
+
+# --------------------------------------------------------------------- #
+# Sparse memory deltas.
+# --------------------------------------------------------------------- #
+
+def test_memory_delta_roundtrip():
+    initial = {0: 1, 1: 2, 2: 3.5}
+    memory = {**initial, 1: 7, 3: 9}
+    delta = memory_delta(initial, memory)
+    assert delta == {1: 7, 3: 9}
+    assert apply_delta(initial, delta) == memory
+
+
+def test_memory_delta_is_type_exact():
+    # 1 == 1.0 in Python, but an int and a float word are different
+    # architectural values: the delta must keep the float.
+    delta = memory_delta({4: 1}, {4: 1.0})
+    assert delta == {4: 1.0} and isinstance(delta[4], float)
+    assert isinstance(apply_delta({4: 1}, delta)[4], float)
+
+
+# --------------------------------------------------------------------- #
+# The enable switch and store resolution.
+# --------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("value,enabled", [
+    ("", True), ("1", True), ("on", True), ("anything", True),
+    ("0", False), ("off", False), ("false", False), ("no", False),
+    ("OFF", False),
+])
+def test_checkpoints_env_parsing(monkeypatch, value, enabled):
+    monkeypatch.setenv("REPRO_CHECKPOINTS", value)
+    assert checkpoints_enabled() is enabled
+
+
+def test_resolve_store(tmp_path, monkeypatch):
+    assert resolve_store(False) is None
+    store = ArtifactStore(tmp_path)
+    assert resolve_store(store) is store
+    assert resolve_store(tmp_path).dir == tmp_path / "artifacts"
+    monkeypatch.setenv("REPRO_CHECKPOINTS", "off")
+    assert resolve_store(None) is None
+    monkeypatch.delenv("REPRO_CHECKPOINTS")
+    resolved = resolve_store(None)
+    assert isinstance(resolved, ArtifactStore)
