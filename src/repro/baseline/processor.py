@@ -149,10 +149,13 @@ class BaselineProcessor(OutOfOrderCore):
     def run(self, max_instructions: int = 50_000,
             max_cycles: Optional[int] = None) -> SimStats:
         # The fused loop inlines the common per-cycle path; runs that
-        # need the rare machinery (exception injection, commit tracing)
-        # or the scan oracle take the generic stage-method loop.
+        # need the rare machinery (exception injection, commit tracing,
+        # telemetry hooks) or the scan oracle take the generic
+        # stage-method loop.
         if (not self._sched_event or self.exception_plan
-                or self.commit_trace is not None):
+                or self.commit_trace is not None
+                or self.tracer is not None
+                or self._metrics is not None):
             return super().run(max_instructions, max_cycles)
         return self._run_fused(max_instructions, max_cycles)
 

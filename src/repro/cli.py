@@ -19,10 +19,19 @@ Commands
     Measure simulator throughput (inst/s per mode), write the
     ``BENCH_throughput.json`` trajectory artifact, and optionally
     ``--check`` for regressions against a committed baseline.
+``trace``
+    Dump a per-instruction pipeline lifecycle trace in the Kanata
+    text format (viewable in the Konata pipeline viewer).
 ``list``
     List workloads, machines and experiments.
 ``listing``
     Print a workload's assembly listing.
+
+Diagnostic chatter on stderr honours ``REPRO_LOG=quiet|warn|debug``
+(default ``warn``; errors always print). ``run --metrics out.jsonl``
+writes the per-interval time-series (:mod:`repro.obs.metrics`), and
+``campaign run --profile`` / ``campaign status --profile`` record and
+show the per-phase wall-clock breakdown (:mod:`repro.obs.profile`).
 
 ``run``, ``compare``, ``experiment`` and ``campaign run`` all accept
 the sampling flags ``--sample [MODE]`` (measurement windows over a
@@ -54,6 +63,7 @@ from typing import List, Optional
 
 from repro.defaults import EnvConfigError, default_instructions, \
     default_sample_instructions
+from repro.obs import human_bytes, log
 from repro.sim import SimConfig, simulate
 from repro.sim import experiments as exp
 from repro.sim.campaign import CampaignError, ResultStore
@@ -147,8 +157,8 @@ def _get_program_or_exit(name: str):
     try:
         return get_program(name)
     except ValueError:
-        print(f"unknown workload {name!r}; choose from "
-              f"{' '.join(all_workloads())}", file=sys.stderr)
+        log(f"unknown workload {name!r}; choose from "
+            f"{' '.join(all_workloads())}", "error")
         raise SystemExit(2)
 
 
@@ -164,7 +174,7 @@ def _sampling_from_args(args) -> "SamplingParams":
             clusters=getattr(args, "clusters", None),
             bbv_dim=getattr(args, "bbv_dim", None))
     except SamplingError as exc:
-        print(f"bad sampling parameters: {exc}", file=sys.stderr)
+        log(f"bad sampling parameters: {exc}", "error")
         raise SystemExit(2)
 
 
@@ -181,11 +191,15 @@ def cmd_run(args) -> int:
     config = _config_from_args(args)
     sampling = _sampling_from_args(args)
     budget = _budget(args, sampling)
+    metrics = None
+    if args.metrics:
+        metrics = args.metrics_interval if args.metrics_interval else True
     try:
         stats = simulate(_get_program_or_exit(args.workload), config,
-                         max_instructions=budget, sampling=sampling)
+                         max_instructions=budget, sampling=sampling,
+                         metrics=metrics)
     except SamplingError as exc:
-        print(f"bad sampling parameters: {exc}", file=sys.stderr)
+        log(f"bad sampling parameters: {exc}", "error")
         return 2
     print(f"{args.workload} on {config.label} "
           f"({budget} instructions"
@@ -197,6 +211,13 @@ def cmd_run(args) -> int:
         top = ", ".join(f"{reg_name(r)}={c}"
                         for r, c in stats.top_bank_stalls(3))
         print(f"  {'top_bank_stalls':24s} {top}")
+    if args.metrics:
+        rows = getattr(stats, "interval_metrics", None) or []
+        with open(args.metrics, "w", encoding="utf-8") as fh:
+            for row in rows:
+                fh.write(json.dumps(row, sort_keys=True))
+                fh.write("\n")
+        log(f"metrics: {len(rows)} interval row(s) -> {args.metrics}")
     return 0
 
 
@@ -211,7 +232,7 @@ def cmd_compare(args) -> int:
             stats = simulate(program, config, max_instructions=budget,
                              sampling=sampling)
         except SamplingError as exc:
-            print(f"bad sampling parameters: {exc}", file=sys.stderr)
+            log(f"bad sampling parameters: {exc}", "error")
             return 2
         print(f"{config.label:>12s} {stats.ipc:7.3f} "
               f"{stats.misprediction_rate:8.3f} "
@@ -236,9 +257,8 @@ def _campaign_kwargs(args) -> dict:
 
 def cmd_experiment(args) -> int:
     if args.name not in EXPERIMENTS:
-        print(f"unknown experiment {args.name!r}; "
-              f"choose from {' '.join(sorted(EXPERIMENTS))}",
-              file=sys.stderr)
+        log(f"unknown experiment {args.name!r}; "
+            f"choose from {' '.join(sorted(EXPERIMENTS))}", "error")
         return 2
     campaign = _campaign_kwargs(args)
     simulated = 0
@@ -247,23 +267,23 @@ def cmd_experiment(args) -> int:
         nonlocal simulated
         simulated += 1
         if args.verbose:
-            print(line, file=sys.stderr)
+            log(line)
 
     campaign["progress"] = _progress
     try:
         text = EXPERIMENTS[args.name](args.instructions, **campaign)
     except SamplingError as exc:
-        print(f"bad sampling parameters: {exc}", file=sys.stderr)
+        log(f"bad sampling parameters: {exc}", "error")
         return 2
     except CampaignError as exc:
-        print(f"campaign failed: {exc}", file=sys.stderr)
+        log(f"campaign failed: {exc}", "error")
         return 1
     if (args.name not in NON_CAMPAIGN_EXPERIMENTS
             and not args.no_cache and simulated == 0):
         # Make it visible that nothing was simulated, so stale-looking
         # numbers are traceable to the cache rather than the simulator.
-        print("cache: all cells served from the result cache "
-              "(--no-cache to resimulate)", file=sys.stderr)
+        log("cache: all cells served from the result cache "
+            "(--no-cache to resimulate)")
     print(text)
     return 0
 
@@ -306,9 +326,8 @@ def _machine_from_token(token: str, predictor: str) -> SimConfig:
             return SimConfig.msp(int(token[4:]), predictor=predictor)
     except ValueError:
         pass
-    print(f"unknown machine {token!r}; choose from "
-          f"baseline cpr cpr:<registers> msp:<banks> ideal",
-          file=sys.stderr)
+    log(f"unknown machine {token!r}; choose from "
+        f"baseline cpr cpr:<registers> msp:<banks> ideal", "error")
     raise SystemExit(2)
 
 
@@ -325,28 +344,31 @@ def cmd_campaign_run(args) -> int:
     configs = [_machine_from_token(token, args.predictor)
                for token in args.machines.split(",")]
     campaign = _campaign_kwargs(args)
+    campaign["profile"] = True if args.profile else None
     if args.verbose:
-        campaign["progress"] = (
-            lambda line: print(line, file=sys.stderr))
+        campaign["progress"] = lambda line: log(line)
     try:
         result = exp.run_grid(
             "campaign", benchmarks, configs, args.instructions,
             **campaign)
     except SamplingError as exc:
-        print(f"bad sampling parameters: {exc}", file=sys.stderr)
+        log(f"bad sampling parameters: {exc}", "error")
         return 2
     except CampaignError as exc:
-        print(f"campaign failed: {exc}", file=sys.stderr)
+        log(f"campaign failed: {exc}", "error")
         return 1
     if result.cache_hits:
-        print(f"cache: {result.cache_hits} hit(s), "
-              f"{result.simulated} simulated", file=sys.stderr)
+        log(f"cache: {result.cache_hits} hit(s), "
+            f"{result.simulated} simulated")
     if result.checkpoint_hits or result.ff_skipped or result.ff_executed:
         # Checkpoint-store provenance: `ff executed 0` is the proof a
         # warm grid paid no functional execution at all.
-        print(f"checkpoints: {result.checkpoint_hits} window hit(s), "
-              f"ff executed {result.ff_executed}, "
-              f"skipped {result.ff_skipped}", file=sys.stderr)
+        log(f"checkpoints: {result.checkpoint_hits} window hit(s), "
+            f"ff executed {result.ff_executed}, "
+            f"skipped {result.ff_skipped}")
+    if result.phase is not None and result.phase.seconds:
+        log("phases (wall-clock per simulation layer):")
+        log(result.phase.format(indent="  "))
     print(result.to_table())
     return 0
 
@@ -364,25 +386,24 @@ def cmd_bench(args) -> int:
         try:
             baseline = bench.load_json(args.baseline)
         except FileNotFoundError:
-            print(f"bench: --check needs a committed baseline but "
-                  f"{args.baseline} does not exist; generate one with "
-                  f"`repro bench --output {args.baseline}` (no --check) "
-                  f"and commit it", file=sys.stderr)
+            log(f"bench: --check needs a committed baseline but "
+                f"{args.baseline} does not exist; generate one with "
+                f"`repro bench --output {args.baseline}` (no --check) "
+                f"and commit it", "error")
             return 1
         except json.JSONDecodeError:
-            print(f"bench: --check baseline {args.baseline} is empty or "
-                  f"not valid JSON; regenerate it with `repro bench "
-                  f"--output {args.baseline}` (no --check) and commit it",
-                  file=sys.stderr)
+            log(f"bench: --check baseline {args.baseline} is empty or "
+                f"not valid JSON; regenerate it with `repro bench "
+                f"--output {args.baseline}` (no --check) and commit it",
+                "error")
             return 1
         modes_present = (baseline.get("modes")
                          if isinstance(baseline, dict) else None) or {}
         if not any(mode in modes_present for mode in bench.GATED_MODES):
-            print(f"bench: --check baseline {args.baseline} records none "
-                  f"of the gated modes {list(bench.GATED_MODES)}; "
-                  f"regenerate it with `repro bench --output "
-                  f"{args.baseline}` (no --check) and commit it",
-                  file=sys.stderr)
+            log(f"bench: --check baseline {args.baseline} records none "
+                f"of the gated modes {list(bench.GATED_MODES)}; "
+                f"regenerate it with `repro bench --output "
+                f"{args.baseline}` (no --check) and commit it", "error")
             return 1
     modes = list(bench.MODES)
     if args.ref:
@@ -403,10 +424,10 @@ def cmd_bench(args) -> int:
         # committed baseline with the regressed rates and make the
         # regression self-ratifying on the next run.
         for failure in failures:
-            print(f"bench: {failure}", file=sys.stderr)
+            log(f"bench: {failure}", "error")
         if args.output:
-            print(f"bench: not writing {args.output} "
-                  f"(regression check failed)", file=sys.stderr)
+            log(f"bench: not writing {args.output} "
+                f"(regression check failed)", "error")
         return 1
     if args.output:
         bench.write_json(args.output, record)
@@ -419,13 +440,56 @@ def cmd_campaign_status(args) -> int:
     status = ResultStore(args.cache_dir).status()
     print(f"cache   {status['path']}")
     print(f"entries {status['entries']}")
-    print(f"bytes   {status['bytes']}")
+    print(f"bytes   {status['bytes']} ({human_bytes(status['bytes'])})")
     artifacts = ArtifactStore(args.cache_dir).status()
+    kinds = ", ".join(f"{kind} {count}" for kind, count
+                      in sorted(artifacts["kinds"].items()))
     print(f"artifacts {artifacts['path']}")
-    print(f"  blobs  {artifacts['blobs']}")
-    print(f"  bytes  {artifacts['bytes']}")
+    print(f"  blobs  {artifacts['blobs']}"
+          + (f" ({kinds})" if kinds else ""))
+    print(f"  bytes  {artifacts['bytes']} "
+          f"({human_bytes(artifacts['bytes'])})")
     print(f"  hits   {artifacts['hits']}")
     print(f"  misses {artifacts['misses']}")
+    if args.profile:
+        from repro.obs import PhaseProfile
+        from repro.sim.campaign import profile_path
+        path = profile_path(args.cache_dir)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            print("no phase profile recorded (enable with "
+                  "`campaign run --profile` or REPRO_PROFILE=1)")
+            return 0
+        print(f"phases  {path}")
+        print(PhaseProfile.from_dict(data).format(indent="  "))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.obs import PipelineTracer, to_kanata
+    from repro.sim.runner import build_core
+    program = _get_program_or_exit(args.workload)
+    config = _config_from_args(args)
+    if args.scheduler:
+        config = config.with_(scheduler=args.scheduler)
+    budget = (args.instructions if args.instructions is not None
+              else default_instructions())
+    tracer = PipelineTracer(limit=args.limit)
+    core = build_core(program, config)
+    core.attach_tracer(tracer)
+    stats = core.run(max_instructions=budget)
+    text = to_kanata(tracer.events)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    else:
+        sys.stdout.write(text)
+    dropped = (f", {tracer.dropped} dropped at --limit"
+               if tracer.dropped else "")
+    log(f"trace: {args.workload} on {config.label}: "
+        f"{stats.committed} committed, {stats.cycles} cycles, "
+        f"{len(tracer.events)} events{dropped}")
     return 0
 
 
@@ -478,6 +542,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "already chose a schedule; default 32, "
                             "REPRO_SAMPLE_BBV_DIM)")
 
+    def add_machine_flags(p):
+        p.add_argument("--arch", default="msp",
+                       choices=["baseline", "cpr", "msp", "ideal"])
+        p.add_argument("--banks", type=int, default=16,
+                       help="MSP registers per logical-register bank")
+        p.add_argument("--registers", type=int, default=192,
+                       help="CPR physical registers per class")
+        p.add_argument("--no-arbitration", action="store_true",
+                       help="drop the MSP arbitration stage")
+
     def add_common(p, with_arch=True):
         p.add_argument("workload", help="workload name (see `list`)")
         p.add_argument("-n", "--instructions", type=int, default=None,
@@ -488,17 +562,19 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["gshare", "tage", "bimodal"])
         add_sampling_flags(p)
         if with_arch:
-            p.add_argument("--arch", default="msp",
-                           choices=["baseline", "cpr", "msp", "ideal"])
-            p.add_argument("--banks", type=int, default=16,
-                           help="MSP registers per logical-register bank")
-            p.add_argument("--registers", type=int, default=192,
-                           help="CPR physical registers per class")
-            p.add_argument("--no-arbitration", action="store_true",
-                           help="drop the MSP arbitration stage")
+            add_machine_flags(p)
 
     p_run = sub.add_parser("run", help="simulate one workload")
     add_common(p_run)
+    p_run.add_argument("--metrics", default=None, metavar="PATH",
+                       help="write the per-interval time-series (IPC, "
+                            "MPKI, window occupancy) as JSON lines")
+    p_run.add_argument("--metrics-interval", type=int, default=None,
+                       metavar="N",
+                       help="committed instructions per metrics "
+                            "interval on full-detail runs (default: "
+                            "budget/50; sampled runs always record one "
+                            "row per measurement window)")
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="run the machine grid")
@@ -548,11 +624,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_crun.add_argument("-n", "--instructions", type=int, default=None)
     p_crun.add_argument("-v", "--verbose", action="store_true",
                         help="print per-cell progress to stderr")
+    p_crun.add_argument("--profile", action="store_true",
+                        help="time each fresh cell's ff/warmup/detail/"
+                             "store phases and print the merged "
+                             "breakdown (also REPRO_PROFILE=1)")
     add_campaign_flags(p_crun)
     p_crun.set_defaults(func=cmd_campaign_run)
 
     p_cstat = camp_sub.add_parser("status", help="show the result cache")
     p_cstat.add_argument("--cache-dir", default=None)
+    p_cstat.add_argument("--profile", action="store_true",
+                         help="also show the accumulated phase profile "
+                              "(profile.json) for this cache")
     p_cstat.set_defaults(func=cmd_campaign_status)
 
     p_cclear = camp_sub.add_parser("clear", help="drop cached results")
@@ -588,6 +671,27 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default 0.30)")
     p_bench.set_defaults(func=cmd_bench)
 
+    p_trace = sub.add_parser(
+        "trace", help="dump a pipeline trace (Kanata text format)")
+    p_trace.add_argument("workload", help="workload name (see `list`)")
+    p_trace.add_argument("-n", "--instructions", type=int, default=None,
+                         help="committed-instruction budget (default: "
+                              "REPRO_INSTRUCTIONS or 3000)")
+    p_trace.add_argument("--predictor", default="tage",
+                         choices=["gshare", "tage", "bimodal"])
+    add_machine_flags(p_trace)
+    p_trace.add_argument("--scheduler", default=None,
+                         choices=["event", "scan"],
+                         help="force a detailed-core scheduler (the two "
+                              "produce byte-identical traces; default: "
+                              "the config's)")
+    p_trace.add_argument("-o", "--output", default=None, metavar="PATH",
+                         help="write the trace here (default: stdout)")
+    p_trace.add_argument("--limit", type=int, default=None, metavar="N",
+                         help="max recorded trace events (default: "
+                              "REPRO_TRACE_LIMIT or 2000000)")
+    p_trace.set_defaults(func=cmd_trace)
+
     p_list = sub.add_parser("list", help="list workloads and experiments")
     p_list.set_defaults(func=cmd_list)
 
@@ -607,7 +711,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         # traceback, same convention as every other input error.
         # Internal simulator ValueErrors are NOT caught here — an
         # invariant violation must keep its traceback.
-        print(f"error: {exc}", file=sys.stderr)
+        log(f"error: {exc}", "error")
         return 2
     except BrokenPipeError:
         # Piping into `head` is an advertised pattern (module docstring).

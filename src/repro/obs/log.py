@@ -1,0 +1,48 @@
+"""Leveled stderr logging (``REPRO_LOG=quiet|warn|debug``).
+
+Replaces the raw ``print(..., file=sys.stderr)`` calls that had
+accumulated across the CLI and the artifact store with one helper, so
+diagnostic chatter can be silenced (``quiet``) or widened (``debug``)
+uniformly.  At the default level (``warn``) the output is bit-identical
+to what the scattered prints produced, so nothing that greps stderr
+(CI smoke steps, shell pipelines) changes behaviour.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+#: Verbosity levels the env knob may select.
+_LEVELS = {"quiet": 0, "warn": 1, "debug": 2}
+
+#: Message severities: ``error`` always prints (even at ``quiet`` —
+#: suppressing failure diagnostics would just hide exit-code causes),
+#: ``warn`` prints at the default level, ``debug`` only on request.
+_SEVERITY = {"error": 0, "warn": 1, "debug": 2}
+
+
+def log_level() -> str:
+    """Current verbosity from ``REPRO_LOG`` (malformed values fall back
+    to the default rather than erroring: logging must never turn a
+    good run into a failed one)."""
+    raw = os.environ.get("REPRO_LOG", "warn").strip().lower()
+    return raw if raw in _LEVELS else "warn"
+
+
+def log(message: str, level: str = "warn") -> None:
+    """Print ``message`` to stderr if ``level`` clears ``REPRO_LOG``."""
+    if _SEVERITY[level] <= _LEVELS[log_level()]:
+        print(message, file=sys.stderr)
+
+
+def human_bytes(n: int) -> str:
+    """``1536`` -> ``'1.5 KiB'`` (binary units, one decimal)."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.1f} {unit}"
+        value /= 1024
+    raise AssertionError("unreachable")

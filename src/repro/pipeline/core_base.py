@@ -167,6 +167,16 @@ class OutOfOrderCore(ABC):
         #: CPR reads must release reader reference counts).
         self._read_direct = False
 
+        #: Observability hook slots (``repro.obs``), pre-bound to None
+        #: so every emission site is a single attribute test when
+        #: telemetry is off — the same idiom as the specialisation
+        #: flags above.  Armed via :meth:`attach_tracer` /
+        #: :meth:`attach_metrics`; the fused baseline loop falls back
+        #: to this generic (hook-bearing, bit-identical) engine while
+        #: either is armed.
+        self.tracer = None
+        self._metrics = None
+
         self.commit_ordinal = 0
         self.exception_plan = set(config.exception_ordinals)
         self._exceptions_taken: set = set()
@@ -223,6 +233,22 @@ class OutOfOrderCore(ABC):
         if hierarchy is not None:
             self.hierarchy = hierarchy
             self.fetch.hierarchy = hierarchy
+
+    # ------------------------------------------------------------------ #
+    # Observability (repro.obs).
+    # ------------------------------------------------------------------ #
+
+    def attach_tracer(self, tracer) -> None:
+        """Arm pipeline lifecycle tracing
+        (:class:`repro.obs.PipelineTracer`)."""
+        self.tracer = tracer
+        self.fetch.tracer = tracer
+
+    def attach_metrics(self, recorder) -> None:
+        """Arm interval metrics sampling
+        (:class:`repro.obs.IntervalRecorder`)."""
+        recorder.bind(self)
+        self._metrics = recorder
 
     # ------------------------------------------------------------------ #
     # Top level.
@@ -369,6 +395,8 @@ class OutOfOrderCore(ABC):
 
     def _complete(self, di: DynInst, now: int) -> None:
         di.completed = True
+        if self.tracer is not None:
+            self.tracer.writeback(di.seq, now)
         inst = di.inst
         if inst.writes_reg:
             values = self._value_table
@@ -556,6 +584,8 @@ class OutOfOrderCore(ABC):
 
     def _issue(self, di: DynInst, now: int) -> None:
         di.issued = True
+        if self.tracer is not None:
+            self.tracer.issue(di.seq, now)
         self.stats.issued += 1
         self.fus.issue_code(di.inst.fu_code)
         self.iq_count -= 1
@@ -642,6 +672,8 @@ class OutOfOrderCore(ABC):
                 self.assign_state_tag(di)
                 self.in_flight.append(di)
                 self.stats.dispatched += 1
+                if self.tracer is not None:
+                    self.tracer.dispatch(di.seq, now)
                 moved += 1
                 continue
 
@@ -661,11 +693,15 @@ class OutOfOrderCore(ABC):
             buffer.pop(0)
             self.rename(di)
             self._wire_dependencies(di, now)
+            if self.tracer is not None:
+                self.tracer.dispatch(di.seq, now)
             moved += 1
 
         if moved == 0 and stall_reason is not None:
             self._last_stall_reason = stall_reason
             self.stats.dispatch_stall_cycles[stall_reason] += 1
+            if self.tracer is not None:
+                self.tracer.stall(buffer[0].seq, now, stall_reason)
             self.on_dispatch_stall(stall_reason)
 
     def _wire_dependencies(self, di: DynInst, now: int) -> None:
@@ -727,6 +763,12 @@ class OutOfOrderCore(ABC):
         self.commit_ordinal += 1
         di.committed = True
         self.stats.committed += 1
+        if self.tracer is not None:
+            self.tracer.commit(di.seq, now, ordinal)
+        metrics = self._metrics
+        if metrics is not None \
+                and self.stats.committed % metrics.interval == 0:
+            metrics.sample(self)
         if self.commit_trace is not None:
             self.commit_trace.append(di.pc)
         if di.inst.is_load:
@@ -789,10 +831,13 @@ class OutOfOrderCore(ABC):
         purge = self._sched_event
         waiting = self._waiting
         addr_watch = self._addr_watch
+        tracer = self.tracer
         while self.in_flight and self.in_flight[-1].seq > boundary_seq:
             di = self.in_flight.pop()
             di.squashed = True
             squashed.append(di)
+            if tracer is not None:
+                tracer.squash(di.seq, self.now)
             self.stats.squashed += 1
             if di.issued:
                 if di.seq > fault_seq:
@@ -831,6 +876,13 @@ class OutOfOrderCore(ABC):
                 elif len(live) != len(bucket):
                     completions[finish] = live
         self.sq.squash_after(boundary_seq)
+        if tracer is not None:
+            # Buffered (fetched, never dispatched) younger instructions
+            # are dropped by the fetch engine below; trace them too so
+            # the viewer closes their fetch stage.
+            for di in self.fetch.buffer:
+                if di.seq > boundary_seq:
+                    tracer.squash(di.seq, self.now)
         self.fetch.squash_after(boundary_seq)
         return squashed
 

@@ -43,6 +43,10 @@ class FetchEngine:
         self.width = width
         self.buffer_capacity = buffer_capacity
 
+        #: Observability hook slot (armed by ``core.attach_tracer``);
+        #: None-checked at every emission site, zero-overhead when off.
+        self.tracer = None
+
         self.pc = program.entry
         self.buffer: List[DynInst] = []
         self.next_seq = 0
@@ -55,6 +59,12 @@ class FetchEngine:
 
     def redirect(self, target: int, now: int) -> None:
         """Recovery: discard the buffer and restart fetch at ``target``."""
+        if self.tracer is not None:
+            # Normally the core's squash_after has already traced (and
+            # dropped) buffered wrong-path instructions; anything still
+            # here is discarded by the redirect itself.
+            for di in self.buffer:
+                self.tracer.squash(di.seq, now)
         self.buffer.clear()
         self.pc = target
         self.halted = False
@@ -88,6 +98,7 @@ class FetchEngine:
 
         program_fetch = self.program.fetch
         predictor = self.predictor
+        tracer = self.tracer
         next_seq = self.next_seq
         fetched = 0
         for _ in range(self.width):
@@ -105,6 +116,8 @@ class FetchEngine:
             next_seq += 1
             fetched += 1
             buffer.append(di)
+            if tracer is not None:
+                tracer.fetch(di, now)
 
             if inst.op is Op.HALT:
                 self.halted = True

@@ -44,11 +44,12 @@ import hashlib
 import json
 import os
 import pickle
-import sys
 from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
+
+from repro.obs import log
 
 try:
     import fcntl
@@ -333,8 +334,8 @@ class ArtifactStore:
         return payload
 
     def _evict(self, path: Path, reason: str) -> None:
-        print(f"repro: evicting artifact {path.name} ({reason}); "
-              f"recomputing", file=sys.stderr)
+        log(f"repro: evicting artifact {path.name} ({reason}); "
+            f"recomputing")
         with self._locked():
             try:
                 path.unlink()
@@ -413,13 +414,17 @@ class ArtifactStore:
         return count
 
     def status(self) -> dict:
-        """Summary for ``campaign status``: path, blob count, bytes,
-        cumulative hit/miss counts."""
+        """Summary for ``campaign status``: path, blob count (total and
+        per blob kind), bytes, cumulative hit/miss counts."""
         blobs = list(self.dir.glob("*.blob")) if self.dir.is_dir() \
             else []
         size = sum(path.stat().st_size for path in blobs)
+        kinds: Dict[str, int] = {}
+        for path in blobs:
+            kind = path.name.split("-", 1)[0]
+            kinds[kind] = kinds.get(kind, 0) + 1
         out = {"path": str(self.dir), "blobs": len(blobs),
-               "bytes": size}
+               "bytes": size, "kinds": kinds}
         out.update(self.usage())
         return out
 

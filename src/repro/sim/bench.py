@@ -131,25 +131,35 @@ def measure_mode(mode: str, workload: str, emulate_n: int, detail_n: int,
         elapsed = time.perf_counter() - t0
         retired = result.retired
     elif mode == "detailed":
+        from repro.obs import PhaseProfile
+        prof = PhaseProfile()
         t0 = time.perf_counter()
-        stats = simulate(program, config, max_instructions=detail_n)
+        stats = simulate(program, config, max_instructions=detail_n,
+                         profile=prof)
         elapsed = time.perf_counter() - t0
         retired = stats.committed
+        return {"instructions": retired, "seconds": elapsed,
+                "instructions_per_second": _rate(retired, elapsed),
+                "phase_seconds": dict(prof.seconds)}
     elif mode in ("sampled", "simpoint"):
         # artifacts=False: these cells measure the full engine
         # including fast-forward — a populated checkpoint store would
         # silently turn them into replay benchmarks (and benchmark runs
         # must not pollute the user's campaign store either way).
+        from repro.obs import PhaseProfile
+        prof = PhaseProfile()
         sampling = True if mode == "sampled" else "simpoint"
         t0 = time.perf_counter()
         stats = simulate(program, config, max_instructions=sampled_n,
-                         sampling=sampling, artifacts=False)
+                         sampling=sampling, artifacts=False,
+                         profile=prof)
         elapsed = time.perf_counter() - t0
         record = {
             "instructions": stats.committed,
             "seconds": elapsed,
             "instructions_per_second": _rate(stats.committed, elapsed),
             "detail_instructions": stats.detail_instructions,
+            "phase_seconds": dict(prof.seconds),
         }
         return record
     elif mode == "campaign-amortized":
@@ -173,6 +183,7 @@ def _measure_campaign_amortized(program, sampled_n: int) -> Dict[str, float]:
     import shutil
     import tempfile
 
+    from repro.obs import PhaseProfile
     from repro.sim.artifacts import ArtifactStore
     from repro.sim.config import SimConfig
     from repro.sim.runner import simulate
@@ -188,6 +199,7 @@ def _measure_campaign_amortized(program, sampled_n: int) -> Dict[str, float]:
         represented += stats.committed
     cold = time.perf_counter() - t0
     tmp = tempfile.mkdtemp(prefix="repro-bench-artifacts-")
+    prof = PhaseProfile()
     try:
         store = ArtifactStore(tmp)
         # Populate untimed: the record pass is the grid's once-per-
@@ -197,7 +209,8 @@ def _measure_campaign_amortized(program, sampled_n: int) -> Dict[str, float]:
         t0 = time.perf_counter()
         for config in configs:
             simulate(program, config, max_instructions=sampled_n,
-                     sampling="simpoint", artifacts=store)
+                     sampling="simpoint", artifacts=store,
+                     profile=prof)
         warm = time.perf_counter() - t0
     finally:
         shutil.rmtree(tmp, ignore_errors=True)
@@ -208,6 +221,7 @@ def _measure_campaign_amortized(program, sampled_n: int) -> Dict[str, float]:
         "cold_seconds": cold,
         "warm_seconds": warm,
         "amortized_speedup": cold / warm if warm else 0.0,
+        "phase_seconds": dict(prof.seconds),
     }
 
 
@@ -414,6 +428,16 @@ def format_table(record: dict) -> str:
                       f"{row['amortized_speedup']:.1f}x]")
         lines.append(f"  {mode:14s} {row['instructions_per_second']:12,.0f}"
                      f" inst/s{extra}")
+        phases = row.get("phase_seconds")
+        if phases:
+            total = sum(phases.values())
+            if total > 0:
+                parts = " · ".join(
+                    f"{name} {100.0 * seconds / total:.0f}%"
+                    for name, seconds in sorted(
+                        phases.items(), key=lambda kv: -kv[1]))
+                lines.append(f"  {'':14s} phases: {parts} "
+                             f"(spans {total:.2f}s)")
     return "\n".join(lines)
 
 

@@ -19,6 +19,7 @@ from repro.sim.campaign.executor import (
     CampaignError,
     CampaignReport,
     default_workers,
+    profile_path,
     run_jobs,
 )
 from repro.sim.campaign.job import CACHE_VERSION, Job
@@ -34,5 +35,6 @@ __all__ = [
     "ResultStore",
     "default_cache_dir",
     "default_workers",
+    "profile_path",
     "run_jobs",
 ]

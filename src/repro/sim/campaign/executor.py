@@ -16,17 +16,20 @@ job failed instead of killing the whole run.
 
 from __future__ import annotations
 
+import json
 import math
 import os
 import signal
 import sys
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import multiprocessing
 
+from repro.obs import PhaseProfile, profile_enabled
 from repro.pipeline.stats import SimStats
 from repro.sim.campaign.job import Job
 from repro.sim.campaign.store import ResultStore
@@ -68,6 +71,9 @@ class CampaignReport:
     checkpoint_hits: int = 0           # windows replayed from storage
     ff_executed: int = 0               # functional instructions run
     ff_skipped: int = 0                # functional instructions replayed
+    #: Merged phase profile over the fresh cells (``repro.obs``), or
+    #: None when profiling was off for this run.
+    phase: Optional[PhaseProfile] = None
 
     def stats_for(self, job: Job) -> SimStats:
         key = job.cache_key()
@@ -87,8 +93,10 @@ def _alarm_usable() -> bool:
 
 def _execute_job(job: Job, timeout: Optional[float],
                  cache_dir: Optional[os.PathLike] = None,
-                 checkpoints: Optional[bool] = None) -> dict:
-    """Worker body: simulate one job, return serialized statistics.
+                 checkpoints: Optional[bool] = None,
+                 profile: bool = False) -> Tuple[dict, Optional[dict]]:
+    """Worker body: simulate one job, return
+    ``(serialized statistics, serialized phase profile or None)``.
 
     Routed through :func:`repro.sim.runner.simulate` so configs with a
     recorded sampling schedule (``sample_mode != "full"``) run sampled
@@ -106,6 +114,8 @@ def _execute_job(job: Job, timeout: Optional[float],
     from repro.workloads import get_program
 
     artifacts = ArtifactStore(cache_dir) if checkpoints else False
+    prof = PhaseProfile() if profile else None
+    t0 = time.monotonic() if profile else 0.0
 
     use_alarm = bool(timeout) and _alarm_usable()
     previous = None
@@ -121,8 +131,13 @@ def _execute_job(job: Job, timeout: Optional[float],
             signal.alarm(armed)
         stats = simulate(get_program(job.workload, job.seed), job.config,
                          max_instructions=job.instructions,
-                         artifacts=artifacts)
-        return stats.to_dict()
+                         artifacts=artifacts, profile=prof)
+        if prof is not None:
+            # Total wall clock per job; the parent derives queue-wait
+            # (pool latency + result transport) from it.
+            prof.add("job", time.monotonic() - t0)
+            return stats.to_dict(), prof.to_dict()
+        return stats.to_dict(), None
     finally:
         # Pool workers are reused across jobs: the alarm MUST be
         # cancelled on every exit (success, timeout or crash) or a fast
@@ -139,10 +154,11 @@ def _execute_job(job: Job, timeout: Optional[float],
 
 
 def _worker(payload: Tuple[Job, Optional[float], Optional[os.PathLike],
-                           bool]) -> Tuple[str, dict]:
-    job, timeout, cache_dir, checkpoints = payload
-    return job.cache_key(), _execute_job(job, timeout, cache_dir,
-                                         checkpoints)
+                           bool, bool]) -> Tuple[str, dict, Optional[dict]]:
+    job, timeout, cache_dir, checkpoints, profile = payload
+    stats_dict, prof_dict = _execute_job(job, timeout, cache_dir,
+                                         checkpoints, profile)
+    return job.cache_key(), stats_dict, prof_dict
 
 
 def run_jobs(jobs: Sequence[Job], *,
@@ -152,7 +168,8 @@ def run_jobs(jobs: Sequence[Job], *,
              timeout: Optional[float] = None,
              progress: Optional[Callable[[str], None]] = None,
              raise_on_error: bool = True,
-             checkpoints: Optional[bool] = None) -> CampaignReport:
+             checkpoints: Optional[bool] = None,
+             profile: Optional[bool] = None) -> CampaignReport:
     """Run ``jobs``, sharded across processes, memoized on disk.
 
     ``workers=None`` reads ``REPRO_JOBS``; ``use_cache=None`` reads
@@ -162,6 +179,13 @@ def run_jobs(jobs: Sequence[Job], *,
     functional execution once). Returns a :class:`CampaignReport`
     whose ``results`` maps every distinct job cache key to its
     statistics.
+
+    ``profile=None`` reads ``REPRO_PROFILE``; when on, every fresh
+    cell times its ff / warmup / detail / store phases
+    (:mod:`repro.obs.profile`), the merged breakdown lands on
+    ``report.phase`` and is folded into ``profile.json`` next to the
+    result cache for ``campaign status --profile``.  Cached cells
+    contribute nothing (they ran no simulator).
     """
     from repro.sim.artifacts import checkpoints_enabled
     workers = workers if workers is not None else default_workers()
@@ -169,8 +193,12 @@ def run_jobs(jobs: Sequence[Job], *,
         use_cache = cache_enabled_by_default()
     if checkpoints is None:
         checkpoints = checkpoints_enabled()
+    if profile is None:
+        profile = profile_enabled()
     store = ResultStore(cache_dir)
     report = CampaignReport()
+    if profile:
+        report.phase = PhaseProfile()
 
     pending: Dict[str, Job] = {}
     for job in jobs:
@@ -187,7 +215,8 @@ def run_jobs(jobs: Sequence[Job], *,
     total = len(pending)
     done = 0
 
-    def _finish(key: str, stats_dict: dict) -> None:
+    def _finish(key: str, stats_dict: dict,
+                prof_dict: Optional[dict] = None) -> None:
         nonlocal done, progress
         job = pending[key]
         stats = SimStats.from_dict(stats_dict)
@@ -196,6 +225,8 @@ def run_jobs(jobs: Sequence[Job], *,
         report.checkpoint_hits += stats.checkpoint_hits
         report.ff_executed += stats.ff_executed_instructions
         report.ff_skipped += stats.ff_skipped_instructions
+        if report.phase is not None and prof_dict:
+            report.phase.merge(prof_dict)
         if use_cache:
             store.put(key, stats, meta=job.to_dict())
         done += 1
@@ -211,8 +242,9 @@ def run_jobs(jobs: Sequence[Job], *,
     if workers <= 1:
         for key, job in pending.items():
             try:
-                _finish(key, _execute_job(job, timeout, cache_dir,
-                                          checkpoints))
+                stats_dict, prof_dict = _execute_job(
+                    job, timeout, cache_dir, checkpoints, profile)
+                _finish(key, stats_dict, prof_dict)
             except Exception as exc:            # noqa: BLE001
                 report.failures[job.label] = repr(exc)
                 done += 1
@@ -223,20 +255,35 @@ def run_jobs(jobs: Sequence[Job], *,
         context = (multiprocessing.get_context("fork")
                    if sys.platform == "linux"
                    else multiprocessing.get_context())
+        submitted = time.monotonic()
         with ProcessPoolExecutor(max_workers=min(workers, total),
                                  mp_context=context) as pool:
             futures = {pool.submit(
-                _worker, (job, timeout, cache_dir, checkpoints)): key
+                _worker, (job, timeout, cache_dir, checkpoints,
+                          profile)): key
                        for key, job in pending.items()}
             for future in as_completed(futures):
                 key = futures[future]
                 try:
-                    result_key, stats_dict = future.result()
-                    _finish(result_key, stats_dict)
+                    result_key, stats_dict, prof_dict = future.result()
+                    _finish(result_key, stats_dict, prof_dict)
                 except Exception as exc:        # noqa: BLE001
                     report.failures[pending[key].label] = repr(exc)
                     done += 1
+        if report.phase is not None:
+            # Queue-wait: worker-slot seconds the pool did NOT spend
+            # inside job bodies — fork/submit latency, result pickling
+            # and load imbalance.  (Per-job idle is not observable from
+            # the parent while jobs overlap, so account it in bulk.)
+            wall = time.monotonic() - submitted
+            busy = report.phase.seconds.get("job", 0.0)
+            idle = wall * min(workers, total) - busy
+            if idle > 0:
+                report.phase.add("queue-wait", idle,
+                                 count=len(futures))
 
+    if report.phase is not None and report.phase.seconds:
+        _persist_profile(store, report.phase)
     if report.failures and raise_on_error:
         detail = "; ".join(f"{label}: {err}"
                            for label, err in report.failures.items())
@@ -245,11 +292,37 @@ def run_jobs(jobs: Sequence[Job], *,
     return report
 
 
+def profile_path(cache_dir: Optional[os.PathLike] = None):
+    """Where a campaign's merged phase profile lives (next to the
+    result cache, so ``campaign clear`` semantics stay obvious)."""
+    return ResultStore(cache_dir).cache_dir / "profile.json"
+
+
+def _persist_profile(store: ResultStore, phase: PhaseProfile) -> None:
+    """Fold this run's merged profile into the store's sidecar
+    ``profile.json`` (best effort — profiling must never fail a run)."""
+    path = store.cache_dir / "profile.json"
+    merged = PhaseProfile()
+    try:
+        with path.open("r", encoding="utf-8") as fh:
+            merged.merge(json.load(fh))
+    except (OSError, ValueError):
+        pass
+    merged.merge(phase)
+    try:
+        tmp = path.with_suffix(".json.tmp")
+        with tmp.open("w", encoding="utf-8") as fh:
+            json.dump(merged.to_dict(), fh, indent=1, sort_keys=True)
+        tmp.replace(path)
+    except OSError:
+        pass
+
+
 def run_job(job: Job, **kwargs) -> SimStats:
     """Convenience wrapper: run a single job through the campaign path."""
     return run_jobs([job], **kwargs).stats_for(job)
 
 
 __all__ = ["CampaignError", "CampaignReport", "JobTimeout",
-           "cache_enabled_by_default", "default_workers", "run_job",
-           "run_jobs"]
+           "cache_enabled_by_default", "default_workers",
+           "profile_path", "run_job", "run_jobs"]

@@ -68,6 +68,9 @@ class ExperimentResult:
     checkpoint_hits: int = 0
     ff_executed: int = 0
     ff_skipped: int = 0
+    # Merged phase profile over the simulated cells
+    # (:class:`repro.obs.PhaseProfile`), or None when profiling was off.
+    phase: Optional[object] = None
 
     def ipc(self, benchmark: str, machine: str) -> float:
         return self.stats[benchmark][machine].ipc
@@ -104,7 +107,8 @@ def run_grid(name: str, benchmarks: Sequence[str],
              cache_dir=None,
              timeout: Optional[float] = None,
              sampling=None,
-             checkpoints: Optional[bool] = None) -> ExperimentResult:
+             checkpoints: Optional[bool] = None,
+             profile: Optional[bool] = None) -> ExperimentResult:
     """Run a benchmarks x configs grid through the campaign engine.
 
     ``sampling`` (anything ``SamplingParams.coerce`` accepts — True
@@ -141,13 +145,15 @@ def run_grid(name: str, benchmarks: Sequence[str],
     spec = CampaignSpec(name, list(benchmarks), list(configs), budget)
     report = run_jobs(spec.jobs(), workers=jobs, use_cache=use_cache,
                       cache_dir=cache_dir, timeout=timeout,
-                      progress=progress, checkpoints=checkpoints)
+                      progress=progress, checkpoints=checkpoints,
+                      profile=profile)
     result = ExperimentResult(name, [c.label for c in configs],
                               cache_hits=report.hits,
                               simulated=report.simulated,
                               checkpoint_hits=report.checkpoint_hits,
                               ff_executed=report.ff_executed,
-                              ff_skipped=report.ff_skipped)
+                              ff_skipped=report.ff_skipped,
+                              phase=report.phase)
     result.stats = spec.grid(report)
     return result
 

@@ -47,7 +47,8 @@ def build_core(program: Program, config: SimConfig) -> OutOfOrderCore:
 def simulate(program: Union[Program, str], config: SimConfig,
              max_instructions: Optional[int] = None,
              max_cycles: Optional[int] = None,
-             sampling=None, artifacts=None) -> SimStats:
+             sampling=None, artifacts=None,
+             metrics=None, profile=None) -> SimStats:
     """Run ``program`` (a Program or a registered workload name) on the
     machine described by ``config`` and return its statistics.
 
@@ -62,6 +63,15 @@ def simulate(program: Union[Program, str], config: SimConfig,
     ``REPRO_CHECKPOINTS``, ``False`` disables, or pass a store).
     Full-detail runs have no functional phase to amortize and ignore
     it.
+
+    ``metrics`` arms the interval time-series recorder
+    (:mod:`repro.obs.metrics`): ``True`` picks a default interval,
+    an int sets it; the series lands on the returned stats as a
+    dynamic ``interval_metrics`` attribute (sampled runs emit one row
+    per measurement window). ``profile`` is an optional
+    :class:`repro.obs.PhaseProfile` that accumulates ff / warmup /
+    detail / store span timings.  Both default to off and leave the
+    stats bit-identical when off.
     """
     from repro.sim.sampling import SamplingError, SamplingParams, \
         simulate_sampled
@@ -79,8 +89,25 @@ def simulate(program: Union[Program, str], config: SimConfig,
         budget = (max_instructions if max_instructions is not None
                   else default_sample_instructions())
         return simulate_sampled(program, config, budget, params=params,
-                                artifacts=artifacts)
+                                artifacts=artifacts, metrics=metrics,
+                                profile=profile)
     budget = (max_instructions if max_instructions is not None
               else default_instructions())
     core = build_core(program, config)
-    return core.run(max_instructions=budget, max_cycles=max_cycles)
+    recorder = None
+    if metrics:
+        from repro.obs import IntervalRecorder, default_metrics_interval
+        interval = (default_metrics_interval(budget) if metrics is True
+                    else int(metrics))
+        recorder = IntervalRecorder(interval)
+        core.attach_metrics(recorder)
+    if profile is not None:
+        from repro.obs import span
+        with span(profile, "detail"):
+            stats = core.run(max_instructions=budget,
+                             max_cycles=max_cycles)
+    else:
+        stats = core.run(max_instructions=budget, max_cycles=max_cycles)
+    if recorder is not None:
+        stats.interval_metrics = recorder.rows(core)
+    return stats

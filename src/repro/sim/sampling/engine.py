@@ -56,6 +56,9 @@ from typing import Optional, Tuple
 
 from repro.defaults import default_sample_instructions
 from repro.isa.emulator import Emulator, EmulatorState
+from repro.obs import IntervalRecorder, default_metrics_interval, \
+    window_counters, window_row
+from repro.obs import span as _span
 from repro.pipeline.stats import SimStats
 from repro.sim.artifacts import (
     FunctionalTrace,
@@ -86,8 +89,9 @@ def _detail_config(config, warmup: bool):
 
 def _run_window(program, detail_config, checkpoint: EmulatorState,
                 warm: Optional[WarmupEngine], measure: int,
-                detail_warmup: int,
-                own_warm: bool = False) -> Tuple[SimStats, int, bool]:
+                detail_warmup: int, own_warm: bool = False,
+                metrics: bool = False, profile=None
+                ) -> Tuple[SimStats, int, bool, Optional[dict]]:
     """Seed a fresh timing core from ``checkpoint`` and measure one
     window.
 
@@ -95,7 +99,10 @@ def _run_window(program, detail_config, checkpoint: EmulatorState,
     instructions (pipeline / store queue / CPR checkpoint state reach
     steady state), then ``measure`` measured ones; the warmup prefix is
     stripped by snapshot subtraction. Returns
-    (measured stats, detailed-instruction cost, program_halted).
+    (measured stats, detailed-instruction cost, program_halted,
+    metric row or None) — with ``metrics`` the window doubles as one
+    interval of the time series (``pos``/``represents`` filled in by
+    the caller).
     """
     from repro.sim.runner import build_core
     core = build_core(program, detail_config)
@@ -108,30 +115,44 @@ def _run_window(program, detail_config, checkpoint: EmulatorState,
         (warm.hand_over if own_warm else warm.install)(core)
     baseline = None
     if detail_warmup:
-        core.run(max_instructions=detail_warmup)
+        with _span(profile, "warmup"):
+            core.run(max_instructions=detail_warmup)
         baseline = SimStats.from_dict(core.stats.to_dict())
-    core.run(max_instructions=core.stats.committed + measure)
+    before = window_counters(core) if metrics else None
+    with _span(profile, "detail"):
+        core.run(max_instructions=core.stats.committed + measure)
     cost = core.stats.committed
     stats = (stats_delta(core.stats, baseline) if baseline is not None
              else core.stats)
-    return stats, cost, core.done
+    row = window_row(stats, before, core) if metrics else None
+    return stats, cost, core.done, row
 
 
-def _run_fallback(program, config, budget: int) -> SimStats:
+def _run_fallback(program, config, budget: int,
+                  metrics: bool = False, profile=None) -> SimStats:
     """The no-windows degenerate case (program ended before any window
     could be measured): one full-detail run of the whole budget —
     exact, just unsampled."""
     from repro.sim.runner import build_core
     fallback = config.with_(
         sample_mode="full", warm_caches=config.warm_caches)
-    stats = build_core(program, fallback).run(max_instructions=budget)
+    core = build_core(program, fallback)
+    recorder = None
+    if metrics:
+        recorder = IntervalRecorder(default_metrics_interval(budget))
+        core.attach_metrics(recorder)
+    with _span(profile, "detail"):
+        stats = core.run(max_instructions=budget)
     stats.sampled = True
     stats.detail_instructions = stats.committed
+    if recorder is not None:
+        stats.interval_metrics = recorder.rows(core)
     return stats
 
 
 def _replay(program, config, detail_config, params, budget: int,
-            store) -> Optional[SimStats]:
+            store, metrics: bool = False,
+            profile=None) -> Optional[SimStats]:
     """Re-measure a stored functional trace on ``config``'s machine.
 
     Returns None on any miss (no trace, no warm blob for this config's
@@ -141,44 +162,56 @@ def _replay(program, config, detail_config, params, budget: int,
     and its warm state unpickled from the profile-keyed warm blob.
     """
     tkey = trace_key(program, params, budget)
-    trace = store.get("trace", tkey)
+    with _span(profile, "store-read"):
+        trace = store.get("trace", tkey)
     if not isinstance(trace, FunctionalTrace):
         return None
     warm_states = None
     if params.warmup and not trace.fallback:
-        warm_states = store.get(
-            "warm", warm_key(tkey, warm_profile_fingerprint(config)))
+        with _span(profile, "store-read"):
+            warm_states = store.get(
+                "warm", warm_key(tkey, warm_profile_fingerprint(config)))
         if not isinstance(warm_states, list) \
                 or len(warm_states) != len(trace.windows):
             return None                 # this warm profile: record it
     if trace.fallback:
-        stats = _run_fallback(program, config, budget)
+        stats = _run_fallback(program, config, budget, metrics=metrics,
+                              profile=profile)
         stats.checkpoint_hits = 1
         stats.ff_skipped_instructions = trace.ff_instructions
         return stats
     initial = program.initial_memory
     windows = []
+    metric_rows = [] if metrics else None
     for index, w in enumerate(trace.windows):
-        checkpoint = EmulatorState(
-            w.pc, list(w.regs), apply_delta(initial, w.mem_delta),
-            retired=w.retired)
-        warm = (pickle.loads(warm_states[index])
-                if warm_states is not None else None)
-        stats, cost, _ = _run_window(program, detail_config, checkpoint,
-                                     warm, w.measure, w.warmup_n,
-                                     own_warm=True)
+        with _span(profile, "replay"):
+            checkpoint = EmulatorState(
+                w.pc, list(w.regs), apply_delta(initial, w.mem_delta),
+                retired=w.retired)
+            warm = (pickle.loads(warm_states[index])
+                    if warm_states is not None else None)
+        stats, cost, _, row = _run_window(
+            program, detail_config, checkpoint, warm, w.measure,
+            w.warmup_n, own_warm=True, metrics=metrics, profile=profile)
+        if metric_rows is not None and row is not None:
+            row["pos"] = w.pos
+            row["represents"] = w.represents
+            metric_rows.append(row)
         windows.append(IntervalResult(w.pos, w.represents, stats,
                                       detail_cost=cost))
     out = stitch(windows, ff_instructions=trace.ff_instructions)
     out.checkpoint_hits = len(windows)
     out.ff_skipped_instructions = trace.ff_instructions
+    if metric_rows is not None:
+        out.interval_metrics = metric_rows
     return out
 
 
 def simulate_sampled(program, config,
                      max_instructions: Optional[int] = None,
                      params: Optional[SamplingParams] = None,
-                     artifacts=None) -> SimStats:
+                     artifacts=None, metrics=None,
+                     profile=None) -> SimStats:
     """Run ``program`` on ``config``'s machine with sampled simulation
     and return stitched whole-run statistics.
 
@@ -188,6 +221,13 @@ def simulate_sampled(program, config,
     store-free oracle path, or pass an
     :class:`~repro.sim.artifacts.ArtifactStore` (the campaign executor
     hands every worker the store rooted at the run's cache directory).
+
+    ``metrics`` (truthy) emits one interval-metrics row per measured
+    window onto the result as a dynamic ``interval_metrics`` attribute
+    (:mod:`repro.obs.metrics`); ``profile`` is an optional
+    :class:`repro.obs.PhaseProfile` collecting ff / bbv-profile /
+    warmup / detail / replay / store-read / store-write span timings.
+    Both leave the represented statistics bit-identical — on and off.
     """
     params = params or SamplingParams.from_config(config) \
         or SamplingParams()
@@ -199,11 +239,13 @@ def simulate_sampled(program, config,
             f"{budget}-instruction budget; raise -n/--instructions or "
             f"lower --ff")
     detail_config = _detail_config(config, params.warmup)
+    metrics = bool(metrics)
 
     store = resolve_store(artifacts)
     if store is not None:
         replayed = _replay(program, config, detail_config, params,
-                           budget, store)
+                           budget, store, metrics=metrics,
+                           profile=profile)
         if replayed is not None:
             return replayed
 
@@ -222,11 +264,13 @@ def simulate_sampled(program, config,
     # post-window walk continues training it).
     trace_windows = []
     warm_blobs = []
+    metric_rows = [] if metrics else None
     pos = 0
     ended = False
 
     if params.ff:
-        result = emulator.run_fast(params.ff, warmup=warm)
+        with _span(profile, "ff"):
+            result = emulator.run_fast(params.ff, warmup=warm)
         pos += result.retired
         ended = result.terminated
 
@@ -243,27 +287,33 @@ def simulate_sampled(program, config,
                 # Capture between snapshot and release: the shared
                 # memory dict is guaranteed point-in-time only while
                 # the checkpoint is live.
-                captured = (checkpoint.pc, list(checkpoint.regs),
-                            memory_delta(program.initial_memory,
-                                         checkpoint.memory),
-                            checkpoint.retired)
-                if warm is not None:
-                    warm_bytes = pickle.dumps(
-                        warm, pickle.HIGHEST_PROTOCOL)
-            stats, cost, _ = _run_window(
+                with _span(profile, "store-write"):
+                    captured = (checkpoint.pc, list(checkpoint.regs),
+                                memory_delta(program.initial_memory,
+                                             checkpoint.memory),
+                                checkpoint.retired)
+                    if warm is not None:
+                        warm_bytes = pickle.dumps(
+                            warm, pickle.HIGHEST_PROTOCOL)
+            stats, cost, _, row = _run_window(
                 program, detail_config, checkpoint, warm,
-                measure, warmup_n)
+                measure, warmup_n, metrics=metrics, profile=profile)
             checkpoint.release()
             if stats.committed:
                 # Walk the functional stream over the represented span:
                 # a program that ends before the budget must shrink the
                 # window's weight to the instructions that exist. No
                 # further window will run, so stop paying for warm-up.
-                result = emulator.run_fast(remaining)
+                with _span(profile, "ff"):
+                    result = emulator.run_fast(remaining)
                 represents = (result.retired if result.terminated
                               else remaining)
                 windows.append(IntervalResult(pos, represents, stats,
                                               detail_cost=cost))
+                if metric_rows is not None and row is not None:
+                    row["pos"] = pos
+                    row["represents"] = represents
+                    metric_rows.append(row)
                 if store is not None:
                     trace_windows.append(TraceWindow(
                         pos, represents, measure, warmup_n, *captured))
@@ -291,26 +341,32 @@ def simulate_sampled(program, config,
             if store is not None:
                 pkey = profile_key(program, budget, params.period,
                                    params.ff)
-                cached = store.get("profile", pkey)
+                with _span(profile, "store-read"):
+                    cached = store.get("profile", pkey)
                 if isinstance(cached, tuple) and len(cached) == 2:
                     intervals, profiled = cached
                     profiled_skipped = profiled
             if intervals is None:
-                intervals, profiled = profile_intervals(
-                    program, budget, params.period, ff=params.ff)
+                with _span(profile, "bbv-profile"):
+                    intervals, profiled = profile_intervals(
+                        program, budget, params.period, ff=params.ff)
                 if store is not None:
-                    store.put("profile", pkey, (intervals, profiled))
+                    with _span(profile, "store-write"):
+                        store.put("profile", pkey, (intervals, profiled))
             plan = None
             if store is not None:
                 lkey = plan_key(program, budget, params.period,
                                 params.ff, params.clusters,
                                 params.bbv_dim)
-                plan = store.get("plan", lkey)
+                with _span(profile, "store-read"):
+                    plan = store.get("plan", lkey)
             if plan is None:
-                plan = plan_simpoints(intervals, params.clusters,
-                                      params.bbv_dim)
+                with _span(profile, "bbv-profile"):
+                    plan = plan_simpoints(intervals, params.clusters,
+                                          params.bbv_dim)
                 if store is not None:
-                    store.put("plan", lkey, plan)
+                    with _span(profile, "store-write"):
+                        store.put("plan", lkey, plan)
             representatives = plan.representatives
             # The profiler closes intervals at basic-block boundaries,
             # so each is `period` plus a small block overshoot; the
@@ -337,7 +393,8 @@ def simulate_sampled(program, config,
                     # Not a representative interval: its phase is
                     # already covered by its cluster's medoid, so just
                     # carry execution (and warm-up) across it.
-                    result = emulator.run_fast(span, warmup=warm)
+                    with _span(profile, "ff"):
+                        result = emulator.run_fast(span, warmup=warm)
                     pos += result.retired
                     if result.terminated:
                         break
@@ -355,34 +412,41 @@ def simulate_sampled(program, config,
             measure = segment - warmup_n
             gap = span - segment
             if gap:
-                result = emulator.run_fast(gap, warmup=warm)
+                with _span(profile, "ff"):
+                    result = emulator.run_fast(gap, warmup=warm)
                 pos += result.retired
                 if result.terminated:
                     break
             checkpoint = emulator.snapshot(share=True)
             captured = warm_bytes = None
             if store is not None:
-                captured = (checkpoint.pc, list(checkpoint.regs),
-                            memory_delta(program.initial_memory,
-                                         checkpoint.memory),
-                            checkpoint.retired)
-                if warm is not None:
-                    warm_bytes = pickle.dumps(
-                        warm, pickle.HIGHEST_PROTOCOL)
-            stats, cost, halted = _run_window(
+                with _span(profile, "store-write"):
+                    captured = (checkpoint.pc, list(checkpoint.regs),
+                                memory_delta(program.initial_memory,
+                                             checkpoint.memory),
+                                checkpoint.retired)
+                    if warm is not None:
+                        warm_bytes = pickle.dumps(
+                            warm, pickle.HIGHEST_PROTOCOL)
+            stats, cost, halted, row = _run_window(
                 program, detail_config, checkpoint, warm,
-                measure, warmup_n)
+                measure, warmup_n, metrics=metrics, profile=profile)
             checkpoint.release()
             if stats.committed == 0:
                 break
             # Walk the functional stream through the detailed segment
             # so warm-up stays continuous and position stays exact.
-            result = emulator.run_fast(segment, warmup=warm)
+            with _span(profile, "ff"):
+                result = emulator.run_fast(segment, warmup=warm)
             if represents is None:
                 represents = gap + (result.retired if result.terminated
                                     else segment)
             windows.append(IntervalResult(pos, represents, stats,
                                           detail_cost=cost))
+            if metric_rows is not None and row is not None:
+                row["pos"] = pos
+                row["represents"] = represents
+                metric_rows.append(row)
             if store is not None:
                 trace_windows.append(TraceWindow(
                     pos, represents, measure, warmup_n, *captured))
@@ -400,25 +464,31 @@ def simulate_sampled(program, config,
         # The program ended before any window could be measured (or the
         # budget was smaller than the schedule): fall back to a single
         # full-detail run of the whole budget — exact, just unsampled.
-        stats = _run_fallback(program, config, budget)
+        stats = _run_fallback(program, config, budget, metrics=metrics,
+                              profile=profile)
         stats.ff_executed_instructions = ff_total - profiled_skipped
         stats.ff_skipped_instructions = profiled_skipped
         if store is not None:
-            store.put("trace", trace_key(program, params, budget),
-                      FunctionalTrace([], ff_total, fallback=True))
+            with _span(profile, "store-write"):
+                store.put("trace", trace_key(program, params, budget),
+                          FunctionalTrace([], ff_total, fallback=True))
         return stats
 
     out = stitch(windows, ff_instructions=ff_total)
     out.ff_executed_instructions = ff_total - profiled_skipped
     out.ff_skipped_instructions = profiled_skipped
+    if metric_rows is not None:
+        out.interval_metrics = metric_rows
     if store is not None:
-        tkey = trace_key(program, params, budget)
-        store.put("trace", tkey,
-                  FunctionalTrace(trace_windows, ff_total))
-        if warm_blobs:
-            store.put("warm",
-                      warm_key(tkey, warm_profile_fingerprint(config)),
-                      warm_blobs)
+        with _span(profile, "store-write"):
+            tkey = trace_key(program, params, budget)
+            store.put("trace", tkey,
+                      FunctionalTrace(trace_windows, ff_total))
+            if warm_blobs:
+                store.put(
+                    "warm",
+                    warm_key(tkey, warm_profile_fingerprint(config)),
+                    warm_blobs)
     return out
 
 

@@ -1,0 +1,55 @@
+"""Leveled stderr logging and byte-size formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import human_bytes, log, log_level
+
+
+def _stderr(capsys) -> str:
+    return capsys.readouterr().err
+
+
+def test_default_level_is_warn(monkeypatch):
+    monkeypatch.delenv("REPRO_LOG", raising=False)
+    assert log_level() == "warn"
+
+
+def test_malformed_level_falls_back(monkeypatch):
+    monkeypatch.setenv("REPRO_LOG", "shouty")
+    assert log_level() == "warn"
+
+
+def test_warn_prints_at_default(monkeypatch, capsys):
+    monkeypatch.delenv("REPRO_LOG", raising=False)
+    log("hello there")
+    assert _stderr(capsys) == "hello there\n"
+
+
+def test_quiet_suppresses_warn_not_error(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_LOG", "quiet")
+    log("chatter")
+    assert _stderr(capsys) == ""
+    log("boom", "error")
+    assert _stderr(capsys) == "boom\n"
+
+
+def test_debug_only_at_debug(monkeypatch, capsys):
+    monkeypatch.delenv("REPRO_LOG", raising=False)
+    log("wires", "debug")
+    assert _stderr(capsys) == ""
+    monkeypatch.setenv("REPRO_LOG", "debug")
+    log("wires", "debug")
+    assert _stderr(capsys) == "wires\n"
+
+
+@pytest.mark.parametrize("n,expect", [
+    (0, "0 B"),
+    (1023, "1023 B"),
+    (1536, "1.5 KiB"),
+    (1048576, "1.0 MiB"),
+    (3 * 1024 ** 3, "3.0 GiB"),
+])
+def test_human_bytes(n, expect):
+    assert human_bytes(n) == expect

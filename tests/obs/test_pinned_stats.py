@@ -1,0 +1,52 @@
+"""Telemetry-off statistics are bit-identical to pre-telemetry pins.
+
+``pinned_stats.json`` holds ``SimStats.to_dict()`` payloads captured
+from the tree *before* any ``repro.obs`` hook existed.  Every hook site
+is a ``None``-checked slot, so with tracing/metrics/profiling disarmed
+the simulator must reproduce those dicts exactly — any drift means the
+telemetry is not zero-overhead-when-off (or perturbed timing).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.runner import simulate
+from repro.workloads import get_program
+
+PINNED = json.loads(
+    (Path(__file__).parent / "pinned_stats.json").read_text())
+
+CONFIGS = {
+    "baseline": lambda: SimConfig.baseline(),
+    "cpr": lambda: SimConfig.cpr(),
+    "msp16": lambda: SimConfig.msp(16),
+}
+
+
+def _run(key: str) -> dict:
+    workload, machine, mode = key.split("/")
+    program = get_program(workload)
+    config = CONFIGS[machine]()
+    if mode == "full1000":
+        stats = simulate(program, config, max_instructions=1000)
+    elif mode == "sampled20000":
+        stats = simulate(program, config, max_instructions=20_000,
+                         sampling=True, artifacts=False)
+    elif mode == "simpoint60000":
+        stats = simulate(program, config, max_instructions=60_000,
+                         sampling="simpoint", artifacts=False)
+    else:
+        raise AssertionError(f"unknown pin mode {mode!r}")
+    # JSON round-trip so tuples (Counter items) normalize to lists,
+    # matching how the fixture was serialized.
+    return json.loads(json.dumps(stats.to_dict()))
+
+
+@pytest.mark.parametrize("key", sorted(PINNED))
+def test_stats_bit_identical_to_pre_telemetry_pin(key):
+    assert _run(key) == PINNED[key]

@@ -1,0 +1,105 @@
+"""Unit and structural tests for the pipeline tracer / Kanata output."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.defaults import EnvConfigError
+from repro.obs import PipelineTracer, to_kanata, trace_limit
+from repro.sim.config import SimConfig
+from repro.sim.runner import build_core, simulate
+from repro.workloads import get_program
+
+
+def _traced(workload="gzip", config=None, n=800):
+    config = config or SimConfig.baseline()
+    core = build_core(get_program(workload), config)
+    tracer = PipelineTracer()
+    core.attach_tracer(tracer)
+    stats = core.run(max_instructions=n)
+    return to_kanata(tracer.events), tracer, stats
+
+
+def test_header_and_cycle_monotonicity():
+    text, _, _ = _traced()
+    lines = text.splitlines()
+    assert lines[0] == "Kanata\t0004"
+    saw_absolute = False
+    for line in lines[1:]:
+        kind = line.split("\t", 1)[0]
+        if kind == "C=":
+            # Exactly one absolute cycle marker, before any delta.
+            assert not saw_absolute
+            saw_absolute = True
+        elif kind == "C":
+            assert int(line.split("\t")[1]) > 0
+    assert saw_absolute
+
+
+def test_one_commit_retire_per_committed_instruction():
+    for workload in ("gzip", "mcf"):
+        text, _, stats = _traced(workload=workload)
+        retires = [line for line in text.splitlines()
+                   if line.startswith("R\t") and line.endswith("\t0")]
+        assert len(retires) == stats.committed
+
+
+def test_every_introduced_instruction_retires_or_flushes():
+    text, _, _ = _traced(config=SimConfig.msp(16))
+    introduced = set()
+    closed = set()
+    for line in text.splitlines():
+        fields = line.split("\t")
+        if fields[0] == "I":
+            introduced.add(int(fields[1]))
+        elif fields[0] == "R":
+            seq = int(fields[1])
+            assert seq in introduced       # retire precedes introduce?
+            assert seq not in closed       # double retire
+            closed.add(seq)
+    # A handful of instructions may still be in flight at the budget
+    # boundary; everything else must have resolved one way.
+    assert len(introduced - closed) <= 64
+
+
+def test_tracing_does_not_perturb_stats():
+    program = get_program("gzip")
+    for config in (SimConfig.baseline(), SimConfig.cpr(),
+                   SimConfig.msp(16)):
+        baseline = simulate(program, config,
+                            max_instructions=1200).to_dict()
+        core = build_core(program, config)
+        core.attach_tracer(PipelineTracer())
+        traced = core.run(max_instructions=1200).to_dict()
+        assert traced == baseline
+
+
+def test_event_limit_drops_and_counts():
+    core = build_core(get_program("gzip"), SimConfig.baseline())
+    tracer = PipelineTracer(limit=100)
+    core.attach_tracer(tracer)
+    core.run(max_instructions=2000)
+    assert len(tracer.events) == 100
+    assert tracer.dropped > 0
+
+
+def test_stall_dedup_consecutive_only():
+    tracer = PipelineTracer()
+    tracer.stall(5, 10, "registers_full")
+    tracer.stall(5, 11, "registers_full")   # dup: suppressed
+    tracer.stall(5, 12, "window_full")      # reason changed
+    tracer.stall(5, 13, "window_full")      # dup: suppressed
+    tracer.stall(6, 14, "window_full")      # head changed
+    assert tracer.events == [
+        ("T", 10, 5, "registers_full"),
+        ("T", 12, 5, "window_full"),
+        ("T", 14, 6, "window_full"),
+    ]
+
+
+def test_trace_limit_env(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_LIMIT", "123")
+    assert trace_limit() == 123
+    monkeypatch.setenv("REPRO_TRACE_LIMIT", "0")
+    with pytest.raises(EnvConfigError):
+        trace_limit()
