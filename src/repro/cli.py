@@ -66,7 +66,8 @@ from repro.defaults import EnvConfigError, default_instructions, \
 from repro.obs import human_bytes, log
 from repro.sim import SimConfig, simulate
 from repro.sim import experiments as exp
-from repro.sim.campaign import CampaignError, ResultStore
+from repro.sim.campaign import CampaignError, CampaignInterrupted, \
+    CampaignJournal, ResultStore
 from repro.sim.sampling import MODES, SamplingError, SamplingParams
 from repro.workloads import SPECFP, SPECINT, all_workloads, get_program
 
@@ -250,7 +251,7 @@ def _campaign_kwargs(args) -> dict:
     plumbing."""
     return dict(jobs=args.jobs, cache_dir=args.cache_dir,
                 use_cache=False if args.no_cache else None,
-                timeout=args.timeout,
+                timeout=args.timeout, retries=args.retries,
                 sampling=_sampling_from_args(args),
                 checkpoints=False if args.no_checkpoints else None)
 
@@ -275,6 +276,8 @@ def cmd_experiment(args) -> int:
     except SamplingError as exc:
         log(f"bad sampling parameters: {exc}", "error")
         return 2
+    except CampaignInterrupted as exc:
+        return _interrupted_exit(exc)
     except CampaignError as exc:
         log(f"campaign failed: {exc}", "error")
         return 1
@@ -331,7 +334,21 @@ def _machine_from_token(token: str, predictor: str) -> SimConfig:
     raise SystemExit(2)
 
 
+def _interrupted_exit(exc: CampaignInterrupted) -> int:
+    """Conventional 128+signum exit for a drained campaign."""
+    import signal as _signal
+    log(f"campaign interrupted: {exc}", "warn")
+    try:
+        return 128 + _signal.Signals[exc.signal_name].value
+    except KeyError:
+        return 130
+
+
 def cmd_campaign_run(args) -> int:
+    if args.resume and args.no_cache:
+        log("--resume needs the result cache and journal; "
+            "drop --no-cache", "error")
+        return 2
     if args.workloads:
         benchmarks = args.workloads.split(",")
         for name in benchmarks:
@@ -345,6 +362,7 @@ def cmd_campaign_run(args) -> int:
                for token in args.machines.split(",")]
     campaign = _campaign_kwargs(args)
     campaign["profile"] = True if args.profile else None
+    campaign["resume"] = args.resume
     if args.verbose:
         campaign["progress"] = lambda line: log(line)
     try:
@@ -354,12 +372,17 @@ def cmd_campaign_run(args) -> int:
     except SamplingError as exc:
         log(f"bad sampling parameters: {exc}", "error")
         return 2
+    except CampaignInterrupted as exc:
+        return _interrupted_exit(exc)
     except CampaignError as exc:
         log(f"campaign failed: {exc}", "error")
         return 1
     if result.cache_hits:
         log(f"cache: {result.cache_hits} hit(s), "
             f"{result.simulated} simulated")
+    if result.retried_attempts or result.quarantined:
+        log(f"faults: {result.retried_attempts} retried attempt(s), "
+            f"{result.quarantined} quarantined job(s)")
     if result.checkpoint_hits or result.ff_skipped or result.ff_executed:
         # Checkpoint-store provenance: `ff executed 0` is the proof a
         # warm grid paid no functional execution at all.
@@ -451,6 +474,19 @@ def cmd_campaign_status(args) -> int:
           f"({human_bytes(artifacts['bytes'])})")
     print(f"  hits   {artifacts['hits']}")
     print(f"  misses {artifacts['misses']}")
+    journal = CampaignJournal(args.cache_dir)
+    receipts = journal.receipts()
+    if receipts:
+        counts = journal.summary()
+        print(f"journal {journal.path}")
+        print(f"  receipts {len(receipts)} "
+              f"(ok {counts['ok']}, retried {counts['retried']}, "
+              f"quarantined {counts['quarantined']})")
+        for receipt in receipts.values():
+            if receipt.outcome == "quarantined":
+                print(f"  quarantined {receipt.label}: "
+                      f"{receipt.error_class} after "
+                      f"{receipt.attempts} attempt(s)")
     if args.profile:
         from repro.obs import PhaseProfile
         from repro.sim.campaign import profile_path
@@ -495,6 +531,7 @@ def cmd_trace(args) -> int:
 
 def cmd_campaign_clear(args) -> int:
     dropped = ResultStore(args.cache_dir).clear()
+    CampaignJournal(args.cache_dir).clear()
     print(f"cleared {dropped} cached result(s)")
     if args.artifacts:
         from repro.sim.artifacts import ArtifactStore
@@ -591,6 +628,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: REPRO_CACHE_DIR or ~/.cache/repro)")
         p.add_argument("--timeout", type=float, default=None,
                        help="per-job timeout in seconds")
+        p.add_argument("--retries", type=int, default=None,
+                       help="retries per job on transient failures "
+                            "(lost worker, timeout, disk error; "
+                            "default: REPRO_RETRIES or 1)")
         p.add_argument("--no-checkpoints", action="store_true",
                        help="skip the checkpoint/profile store sampled "
                             "cells use to share functional execution "
@@ -628,6 +669,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="time each fresh cell's ff/warmup/detail/"
                              "store phases and print the merged "
                              "breakdown (also REPRO_PROFILE=1)")
+    p_crun.add_argument("--resume", action="store_true",
+                        help="continue an interrupted campaign: "
+                             "execute only the grid cells missing from "
+                             "the result cache (see journal.jsonl)")
     add_campaign_flags(p_crun)
     p_crun.set_defaults(func=cmd_campaign_run)
 

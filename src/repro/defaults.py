@@ -54,6 +54,18 @@ def env_int(name: str, fallback: int) -> int:
         raise EnvConfigError(f"{name} must be an integer, got {raw!r}")
 
 
+def env_float(name: str, fallback: float) -> float:
+    """Float environment variable with a fallback, same malformed-value
+    contract as :func:`env_int`."""
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return fallback
+    try:
+        return float(raw)
+    except ValueError:
+        raise EnvConfigError(f"{name} must be a number, got {raw!r}")
+
+
 def default_instructions() -> int:
     """Committed-instruction budget for one full-detail simulation."""
     return env_int("REPRO_INSTRUCTIONS", BASE_INSTRUCTIONS)
@@ -67,4 +79,4 @@ def default_sample_instructions() -> int:
 
 __all__ = ["BASE_INSTRUCTIONS", "EnvConfigError",
            "SAMPLE_BUDGET_FACTOR", "default_instructions",
-           "default_sample_instructions", "env_int"]
+           "default_sample_instructions", "env_float", "env_int"]

@@ -347,22 +347,34 @@ class ArtifactStore:
         flock, like the JSONL result store).  Publishing the same key
         twice is idempotent — identical inputs produce identical
         content, so concurrent cold workers cannot corrupt each
-        other."""
-        payload = pickle.dumps(value, pickle.HIGHEST_PROTOCOL)
-        header = json.dumps(
-            {"schema": SCHEMA, "kind": kind, "key": key,
-             "fingerprint": functional_fingerprint(),
-             "sha256": hashlib.sha256(payload).hexdigest(),
-             "size": len(payload)},
-            sort_keys=True, separators=(",", ":"))
-        path = self._blob_path(kind, key)
-        with self._locked():
-            tmp = path.with_suffix(f".tmp.{os.getpid()}")
-            with tmp.open("wb") as fh:
-                fh.write(header.encode("utf-8"))
-                fh.write(b"\n")
-                fh.write(payload)
-            tmp.replace(path)
+        other.
+
+        Best-effort: a disk fault (ENOSPC, EROFS) degrades to a
+        one-line warning and in-memory operation — the store is an
+        amortization, so losing a blob must never fail the simulation
+        that just produced it.  The ``artifact-put`` fault point
+        (:mod:`repro.sim.faults`) exercises this path."""
+        try:
+            from repro.sim import faults
+            faults.fire("artifact-put")
+            payload = pickle.dumps(value, pickle.HIGHEST_PROTOCOL)
+            header = json.dumps(
+                {"schema": SCHEMA, "kind": kind, "key": key,
+                 "fingerprint": functional_fingerprint(),
+                 "sha256": hashlib.sha256(payload).hexdigest(),
+                 "size": len(payload)},
+                sort_keys=True, separators=(",", ":"))
+            path = self._blob_path(kind, key)
+            with self._locked():
+                tmp = path.with_suffix(f".tmp.{os.getpid()}")
+                with tmp.open("wb") as fh:
+                    fh.write(header.encode("utf-8"))
+                    fh.write(b"\n")
+                    fh.write(payload)
+                tmp.replace(path)
+        except OSError as exc:
+            log(f"repro: artifact store write failed for {kind} blob "
+                f"({exc}); continuing without persisting it", "warn")
 
     # ------------------------------------------------------------------ #
     # Usage accounting and maintenance.
@@ -374,16 +386,19 @@ class ArtifactStore:
         else:
             self.misses += 1
         usage = self.dir / "usage.json"
-        with self._locked():
-            try:
-                counts = json.loads(usage.read_text())
-            except (OSError, json.JSONDecodeError):
-                counts = {"hits": 0, "misses": 0}
-            counts["hits" if hit else "misses"] = \
-                counts.get("hits" if hit else "misses", 0) + 1
-            tmp = usage.with_suffix(f".tmp.{os.getpid()}")
-            tmp.write_text(json.dumps(counts, sort_keys=True))
-            tmp.replace(usage)
+        try:
+            with self._locked():
+                try:
+                    counts = json.loads(usage.read_text())
+                except (OSError, json.JSONDecodeError):
+                    counts = {"hits": 0, "misses": 0}
+                counts["hits" if hit else "misses"] = \
+                    counts.get("hits" if hit else "misses", 0) + 1
+                tmp = usage.with_suffix(f".tmp.{os.getpid()}")
+                tmp.write_text(json.dumps(counts, sort_keys=True))
+                tmp.replace(usage)
+        except OSError:
+            pass                # counters are advisory, never fatal
 
     def usage(self) -> Dict[str, int]:
         """Cumulative hit/miss counts across every process that used

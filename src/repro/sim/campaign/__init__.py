@@ -17,23 +17,34 @@ Grids are expressed declaratively with
 
 from repro.sim.campaign.executor import (
     CampaignError,
+    CampaignInterrupted,
     CampaignReport,
+    WorkerLost,
+    classify_error,
+    default_retries,
     default_workers,
     profile_path,
     run_jobs,
 )
 from repro.sim.campaign.job import CACHE_VERSION, Job
+from repro.sim.campaign.journal import CampaignJournal, JobReceipt
 from repro.sim.campaign.spec import CampaignSpec
 from repro.sim.campaign.store import ResultStore, default_cache_dir
 
 __all__ = [
     "CACHE_VERSION",
     "CampaignError",
+    "CampaignInterrupted",
+    "CampaignJournal",
     "CampaignReport",
     "CampaignSpec",
     "Job",
+    "JobReceipt",
     "ResultStore",
+    "WorkerLost",
+    "classify_error",
     "default_cache_dir",
+    "default_retries",
     "default_workers",
     "profile_path",
     "run_jobs",

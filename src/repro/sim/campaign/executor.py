@@ -1,4 +1,4 @@
-"""Campaign executor: run jobs across a process pool, memoized on disk.
+"""Campaign executor: supervised pool, retry/quarantine, memoized on disk.
 
 ``run_jobs`` is the single entry point every harness routes through:
 
@@ -8,6 +8,37 @@
    match bit-for-bit because every simulation is deterministic);
 3. persist each fresh result before reporting it.
 
+Fault tolerance (the resilience substrate the queue/worker service
+will sit on):
+
+* **Supervised pool** — a killed worker (SIGKILL, SIGSEGV, OOM) breaks
+  the whole :class:`ProcessPoolExecutor`; instead of failing every
+  in-flight future with one opaque ``BrokenProcessPool``, the executor
+  respawns the pool and re-dispatches exactly the jobs whose results
+  were lost.
+* **Retry + quarantine** — transient failures (``JobTimeout``, lost
+  workers, ``OSError``) are retried up to ``retries`` times
+  (``REPRO_RETRIES`` / ``--retries``) with deterministic exponential
+  backoff; permanent failures (a simulator assertion) and jobs that
+  exhaust the budget are *quarantined*: the grid keeps going and the
+  job ends in a typed :class:`~repro.sim.campaign.journal.JobReceipt`
+  (outcome, attempts, error classes, tracebacks, wall time) on
+  ``CampaignReport.receipts`` and in the campaign journal.
+* **Resume + graceful drain** — every receipt is journalled next to
+  the result store; SIGINT/SIGTERM stop dispatching, let in-flight
+  jobs finish, journal what is missing and return a partial report
+  (``report.interrupted``), so ``campaign run --resume`` picks up
+  exactly the missing cells.
+* **Best-effort persistence** — a ``ResultStore.put`` that fails
+  (ENOSPC, EROFS) degrades to a logged warning and in-memory
+  operation; a campaign whose simulations succeeded never crashes on
+  the way to disk.
+
+Deterministic fault injection for all of the above lives in
+:mod:`repro.sim.faults` (``REPRO_FAULT_INJECT``); the executor arms
+the plan for the duration of the run and consumes job faults at
+dispatch time, so a given plan always hits the same cells.
+
 Workers transport statistics as ``SimStats.to_dict()`` payloads, the
 same representation the store persists. A per-job timeout (SIGALRM in
 the worker, so a wedged simulation cannot hang the campaign) marks the
@@ -16,6 +47,7 @@ job failed instead of killing the whole run.
 
 from __future__ import annotations
 
+import errno
 import json
 import math
 import os
@@ -23,15 +55,20 @@ import signal
 import sys
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import multiprocessing
 
-from repro.obs import PhaseProfile, profile_enabled
+from repro.defaults import env_float, env_int
+from repro.obs import PhaseProfile, log, profile_enabled
 from repro.pipeline.stats import SimStats
+from repro.sim import faults
 from repro.sim.campaign.job import Job
+from repro.sim.campaign.journal import CampaignJournal, JobReceipt
 from repro.sim.campaign.store import ResultStore
 
 
@@ -41,6 +78,28 @@ def default_workers() -> int:
         return max(1, int(os.environ.get("REPRO_JOBS", "1")))
     except ValueError:
         return 1
+
+
+def default_retries() -> int:
+    """Transient-failure retries per job (``REPRO_RETRIES``, default 1
+    — one free retry covers the overwhelmingly common lost-worker /
+    flaky-disk case without masking persistent breakage)."""
+    return max(0, env_int("REPRO_RETRIES", 1))
+
+
+def default_backoff() -> float:
+    """Base seconds of the deterministic exponential retry backoff
+    (``REPRO_RETRY_BACKOFF``, default 0.1; attempt ``k`` waits
+    ``base * 2**(k-1)`` capped at 5s)."""
+    return max(0.0, env_float("REPRO_RETRY_BACKOFF", 0.1))
+
+
+def _backoff_seconds(attempt: int, base: float) -> float:
+    """Deterministic (no jitter: replayability beats thundering-herd
+    concerns inside one process) exponential backoff, capped at 5s."""
+    if base <= 0.0 or attempt <= 0:
+        return 0.0
+    return min(5.0, base * (2.0 ** (attempt - 1)))
 
 
 def cache_enabled_by_default() -> bool:
@@ -54,8 +113,52 @@ class CampaignError(RuntimeError):
     """At least one job failed (or timed out)."""
 
 
+class CampaignInterrupted(CampaignError):
+    """A SIGINT/SIGTERM drained the campaign before it completed.
+
+    Raised by harnesses that need a *complete* grid
+    (:func:`repro.sim.experiments.run_grid`) when the underlying
+    ``run_jobs`` returned a partial report; carries the signal name so
+    the CLI can exit with the conventional ``128 + signum`` status."""
+
+    def __init__(self, signal_name: str, message: str) -> None:
+        super().__init__(message)
+        self.signal_name = signal_name
+
+
 class JobTimeout(Exception):
     """Raised inside a worker when the per-job SIGALRM fires."""
+
+
+class WorkerLost(Exception):
+    """A worker process died (SIGKILL/SIGSEGV/OOM) with this job in
+    flight — always transient: the job itself may be innocent."""
+
+
+#: Exception classes the retry policy treats as transient.  Everything
+#: else (simulator assertions, config ``ValueError``\ s) is permanent:
+#: deterministic simulations fail deterministically, so re-running a
+#: permanent failure can only burn time — quarantine immediately.
+TRANSIENT_ERRORS = (JobTimeout, WorkerLost, OSError, BrokenProcessPool)
+
+
+def classify_error(exc: BaseException) -> str:
+    """``"transient"`` (worth retrying) or ``"permanent"``."""
+    return ("transient" if isinstance(exc, TRANSIENT_ERRORS)
+            else "permanent")
+
+
+def _format_error(exc: BaseException) -> str:
+    """One receipt line per failed attempt: class, message, and the
+    tail of the remote traceback when the pool shipped one."""
+    text = f"{type(exc).__name__}: {exc}"
+    cause = getattr(exc, "__cause__", None)
+    remote = getattr(cause, "tb", None) if cause is not None else None
+    if isinstance(remote, str) and remote:
+        tail = [line for line in remote.strip().splitlines()
+                if line.strip()][-3:]
+        text += " | " + " / ".join(line.strip() for line in tail)
+    return text
 
 
 @dataclass
@@ -66,6 +169,15 @@ class CampaignReport:
     hits: int = 0                      # cells served from the store
     simulated: int = 0                 # cells actually simulated
     failures: Dict[str, str] = field(default_factory=dict)
+    #: Typed per-job receipts (cache key -> JobReceipt) for every job
+    #: that ran this campaign (hits never ran, so carry no receipt).
+    receipts: Dict[str, JobReceipt] = field(default_factory=dict)
+    retried_attempts: int = 0          # attempts beyond each job's first
+    quarantined: int = 0               # jobs that ended quarantined
+    store_errors: int = 0              # best-effort persistence failures
+    #: Signal name (``"SIGINT"``/``"SIGTERM"``) when the run drained
+    #: early instead of completing; None on a full run.
+    interrupted: Optional[str] = None
     # Checkpoint-store provenance, aggregated over the *fresh* cells
     # (result-cache hits never touched the simulator this run).
     checkpoint_hits: int = 0           # windows replayed from storage
@@ -91,10 +203,27 @@ def _alarm_usable() -> bool:
             and threading.current_thread() is threading.main_thread())
 
 
+def _apply_injected_fault(inject: Optional[str], label: str) -> None:
+    """Execute a job fault the parent attached at dispatch time
+    (:mod:`repro.sim.faults`); runs at the top of the job body."""
+    if inject is None:
+        return
+    if inject == "worker-kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    if inject == "timeout":
+        raise JobTimeout(f"{label}: injected job timeout")
+    if inject == "oserror":
+        raise OSError(errno.EIO, f"injected I/O fault in {label}")
+    if inject == "assert":
+        raise AssertionError(f"injected simulator assertion in {label}")
+    raise ValueError(f"unknown injected fault {inject!r}")
+
+
 def _execute_job(job: Job, timeout: Optional[float],
                  cache_dir: Optional[os.PathLike] = None,
                  checkpoints: Optional[bool] = None,
-                 profile: bool = False) -> Tuple[dict, Optional[dict]]:
+                 profile: bool = False,
+                 inject: Optional[str] = None) -> Tuple[dict, Optional[dict]]:
     """Worker body: simulate one job, return
     ``(serialized statistics, serialized phase profile or None)``.
 
@@ -118,6 +247,12 @@ def _execute_job(job: Job, timeout: Optional[float],
     t0 = time.monotonic() if profile else 0.0
 
     use_alarm = bool(timeout) and _alarm_usable()
+    if timeout and not use_alarm:
+        # Satellite fix: silently running without the watchdog made a
+        # hung job undiagnosable — say so once per job instead.
+        log(f"repro: per-job timeout disabled for {job.label}: SIGALRM "
+            f"needs a Unix main thread (a wedged simulation will hang "
+            f"this campaign)", "warn")
     previous = None
     handler_swapped = False
     try:
@@ -129,6 +264,7 @@ def _execute_job(job: Job, timeout: Optional[float],
             previous = signal.signal(signal.SIGALRM, _on_alarm)
             handler_swapped = True
             signal.alarm(armed)
+        _apply_injected_fault(inject, job.label)
         stats = simulate(get_program(job.workload, job.seed), job.config,
                          max_instructions=job.instructions,
                          artifacts=artifacts, profile=prof)
@@ -153,12 +289,92 @@ def _execute_job(job: Job, timeout: Optional[float],
             signal.signal(signal.SIGALRM, previous)
 
 
+def _worker_init() -> None:
+    """Pool-worker startup: shed state a forked worker must not keep.
+
+    * The parent's armed fault registry — all fault decisions are made
+      parent-side (deterministic dispatch counting); the job fault
+      rides in the payload's ``inject`` field.
+    * The parent's drain-guard signal handlers — a worker that swallows
+      the SIGTERM the pool uses to terminate it would hang shutdown,
+      and Ctrl-C (SIGINT goes to the whole foreground process group)
+      must drain via the parent, not kill workers mid-job.
+    """
+    faults._PLAN = None
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        if hasattr(signal, "SIGTERM"):
+            signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):
+        pass
+
+
 def _worker(payload: Tuple[Job, Optional[float], Optional[os.PathLike],
-                           bool, bool]) -> Tuple[str, dict, Optional[dict]]:
-    job, timeout, cache_dir, checkpoints, profile = payload
+                           bool, bool, Optional[str]]
+            ) -> Tuple[str, dict, Optional[dict]]:
+    job, timeout, cache_dir, checkpoints, profile, inject = payload
+    faults._PLAN = None            # belt-and-suspenders vs fork timing
     stats_dict, prof_dict = _execute_job(job, timeout, cache_dir,
-                                         checkpoints, profile)
+                                         checkpoints, profile, inject)
     return job.cache_key(), stats_dict, prof_dict
+
+
+@dataclass
+class _JobState:
+    """Executor-side bookkeeping for one pending job's attempts."""
+
+    attempts: int = 0
+    errors: List[str] = field(default_factory=list)
+    error_class: Optional[str] = None
+    started: float = 0.0
+    wall: float = 0.0
+
+
+class _DrainGuard:
+    """SIGINT/SIGTERM -> graceful drain: stop dispatching, finish (or
+    cancel unstarted) in-flight work, journal the gap.  Installed only
+    on the main thread (signal handlers are illegal elsewhere); a
+    second signal restores default handling so a wedged drain can
+    still be killed."""
+
+    _SIGNALS = ("SIGINT", "SIGTERM")
+
+    def __init__(self) -> None:
+        self.triggered: Optional[str] = None
+        self._previous: Dict[int, object] = {}
+
+    def __enter__(self) -> "_DrainGuard":
+        if threading.current_thread() is not threading.main_thread():
+            return self
+        for name in self._SIGNALS:
+            signum = getattr(signal, name, None)
+            if signum is None:
+                continue
+            try:
+                self._previous[signum] = signal.signal(
+                    signum, self._handle)
+            except (ValueError, OSError):
+                pass
+        return self
+
+    def _handle(self, signum, frame) -> None:
+        self.triggered = signal.Signals(signum).name
+        log(f"repro: {self.triggered} received: draining in-flight "
+            f"jobs (again to abort immediately); resume with "
+            f"`campaign run --resume`", "warn")
+        try:                    # second signal = give up gracefully
+            signal.signal(signum, self._previous.get(
+                signum, signal.SIG_DFL))
+        except (ValueError, OSError):
+            pass
+
+    def __exit__(self, *exc) -> bool:
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):
+                pass
+        return False
 
 
 def run_jobs(jobs: Sequence[Job], *,
@@ -169,7 +385,11 @@ def run_jobs(jobs: Sequence[Job], *,
              progress: Optional[Callable[[str], None]] = None,
              raise_on_error: bool = True,
              checkpoints: Optional[bool] = None,
-             profile: Optional[bool] = None) -> CampaignReport:
+             profile: Optional[bool] = None,
+             retries: Optional[int] = None,
+             resume: bool = False,
+             fault_plan: Optional[faults.FaultPlan] = None
+             ) -> CampaignReport:
     """Run ``jobs``, sharded across processes, memoized on disk.
 
     ``workers=None`` reads ``REPRO_JOBS``; ``use_cache=None`` reads
@@ -179,6 +399,22 @@ def run_jobs(jobs: Sequence[Job], *,
     functional execution once). Returns a :class:`CampaignReport`
     whose ``results`` maps every distinct job cache key to its
     statistics.
+
+    ``retries=None`` reads ``REPRO_RETRIES`` (default 1): transient
+    failures — ``JobTimeout``, a lost worker, ``OSError`` — are
+    re-dispatched with deterministic backoff up to that many times,
+    then quarantined; permanent failures quarantine immediately.
+    Every executed job ends in a :class:`JobReceipt` on
+    ``report.receipts`` and (when the cache is on) in the campaign
+    journal next to the result store.
+
+    ``resume=True`` marks this run as picking up an interrupted
+    campaign (requires the cache: completed cells are recognised by
+    their stored results) — purely additive: it logs and journals how
+    much of the grid is already done before simulating the rest.
+
+    ``fault_plan`` overrides the ``REPRO_FAULT_INJECT`` environment
+    plan (:mod:`repro.sim.faults`); pass a plan directly in tests.
 
     ``profile=None`` reads ``REPRO_PROFILE``; when on, every fresh
     cell times its ff / warmup / detail / store phases
@@ -195,7 +431,13 @@ def run_jobs(jobs: Sequence[Job], *,
         checkpoints = checkpoints_enabled()
     if profile is None:
         profile = profile_enabled()
+    if retries is None:
+        retries = default_retries()
+    backoff_base = default_backoff()
+    plan = (fault_plan if fault_plan is not None
+            else faults.FaultPlan.from_env())
     store = ResultStore(cache_dir)
+    journal = CampaignJournal(store.cache_dir) if use_cache else None
     report = CampaignReport()
     if profile:
         report.phase = PhaseProfile()
@@ -214,11 +456,44 @@ def run_jobs(jobs: Sequence[Job], *,
 
     total = len(pending)
     done = 0
+    states: Dict[str, _JobState] = {key: _JobState() for key in pending}
+    dispatches = 0                        # fault-plan dispatch ordinal
+
+    if journal is not None and (pending or resume):
+        journal.begin(total=len(report.results) + total,
+                      pending=total, resume=resume)
+    if resume:
+        log(f"repro: resume: {report.hits} cell(s) already complete, "
+            f"{total} missing")
+
+    def _emit(line: str) -> None:
+        nonlocal progress
+        if progress is None:
+            return
+        try:
+            progress(line)
+        except BrokenPipeError:
+            # The listener hung up (e.g. stderr piped into a pager
+            # that exited); a dead progress feed must not be
+            # recorded as a job failure.
+            progress = None
+
+    def _record_receipt(key: str, outcome: str) -> JobReceipt:
+        job, state = pending[key], states[key]
+        receipt = JobReceipt(
+            key=key, label=job.label, outcome=outcome,
+            attempts=state.attempts, error_class=state.error_class,
+            errors=list(state.errors), wall_seconds=state.wall)
+        report.receipts[key] = receipt
+        report.retried_attempts += max(0, state.attempts - 1)
+        if journal is not None:
+            journal.record(receipt)
+        return receipt
 
     def _finish(key: str, stats_dict: dict,
                 prof_dict: Optional[dict] = None) -> None:
-        nonlocal done, progress
-        job = pending[key]
+        nonlocal done
+        job, state = pending[key], states[key]
         stats = SimStats.from_dict(stats_dict)
         report.results[key] = stats
         report.simulated += 1
@@ -228,59 +503,224 @@ def run_jobs(jobs: Sequence[Job], *,
         if report.phase is not None and prof_dict:
             report.phase.merge(prof_dict)
         if use_cache:
-            store.put(key, stats, meta=job.to_dict())
+            try:
+                store.put(key, stats, meta=job.to_dict())
+            except OSError as exc:
+                # Satellite fix: a full disk after a successful
+                # simulation must not abort the campaign — the result
+                # lives on in memory; only persistence is lost.
+                report.store_errors += 1
+                log(f"repro: result store write failed for "
+                    f"{job.label} ({exc}); keeping the result "
+                    f"in memory only", "warn")
+        _record_receipt(key, "retried" if state.attempts > 1 else "ok")
         done += 1
-        if progress is not None:
-            try:
-                progress(f"[{done}/{total}] {job.label}")
-            except BrokenPipeError:
-                # The listener hung up (e.g. stderr piped into a pager
-                # that exited); a dead progress feed must not be
-                # recorded as a job failure.
-                progress = None
+        _emit(f"[{done}/{total}] {job.label}"
+              + (f" (attempt {state.attempts})"
+                 if state.attempts > 1 else ""))
 
-    if workers <= 1:
-        for key, job in pending.items():
-            try:
-                stats_dict, prof_dict = _execute_job(
-                    job, timeout, cache_dir, checkpoints, profile)
-                _finish(key, stats_dict, prof_dict)
-            except Exception as exc:            # noqa: BLE001
-                report.failures[job.label] = repr(exc)
-                done += 1
-    elif pending:
-        # On Linux, fork shares the parent's warm program cache with the
-        # workers. Elsewhere use the platform default (spawn): macOS
-        # lists fork as available but fork-without-exec is unsafe there.
-        context = (multiprocessing.get_context("fork")
-                   if sys.platform == "linux"
-                   else multiprocessing.get_context())
-        submitted = time.monotonic()
-        with ProcessPoolExecutor(max_workers=min(workers, total),
-                                 mp_context=context) as pool:
-            futures = {pool.submit(
-                _worker, (job, timeout, cache_dir, checkpoints,
-                          profile)): key
-                       for key, job in pending.items()}
-            for future in as_completed(futures):
-                key = futures[future]
+    def _quarantine(key: str) -> None:
+        nonlocal done
+        job, state = pending[key], states[key]
+        report.failures[job.label] = state.errors[-1] if state.errors \
+            else "unknown failure"
+        report.quarantined += 1
+        _record_receipt(key, "quarantined")
+        done += 1
+        log(f"repro: quarantined {job.label} after {state.attempts} "
+            f"attempt(s): {state.errors[-1] if state.errors else '?'}",
+            "warn")
+        _emit(f"[{done}/{total}] {job.label} quarantined "
+              f"({state.error_class})")
+
+    def _attempt_failed(key: str, exc: BaseException) -> bool:
+        """Record a failed attempt; True if the job should be retried."""
+        state = states[key]
+        state.errors.append(_format_error(exc))
+        state.error_class = type(exc).__name__
+        if classify_error(exc) == "transient" \
+                and state.attempts <= retries:
+            log(f"repro: retrying {pending[key].label} "
+                f"(attempt {state.attempts} failed: "
+                f"{type(exc).__name__}: {exc})", "debug")
+            return True
+        _quarantine(key)
+        return False
+
+    runnable = deque(pending.items())
+
+    with faults.active(plan), _DrainGuard() as drain:
+        if workers <= 1:
+            while runnable and not drain.triggered:
+                key, job = runnable.popleft()
+                state = states[key]
+                if state.attempts > 0:
+                    time.sleep(_backoff_seconds(state.attempts,
+                                                backoff_base))
+                dispatches += 1
+                state.attempts += 1
+                inject = plan.job_fault(dispatches) if plan else None
+                t0 = time.monotonic()
                 try:
-                    result_key, stats_dict, prof_dict = future.result()
-                    _finish(result_key, stats_dict, prof_dict)
+                    if inject == "worker-kill":
+                        # Serial has no worker to kill: degrade to the
+                        # same transient classification a pool break
+                        # gets, so serial plans stay meaningful.
+                        raise WorkerLost(
+                            f"injected worker-kill for {job.label}")
+                    stats_dict, prof_dict = _execute_job(
+                        job, timeout, cache_dir, checkpoints, profile,
+                        inject)
                 except Exception as exc:        # noqa: BLE001
-                    report.failures[pending[key].label] = repr(exc)
-                    done += 1
-        if report.phase is not None:
-            # Queue-wait: worker-slot seconds the pool did NOT spend
-            # inside job bodies — fork/submit latency, result pickling
-            # and load imbalance.  (Per-job idle is not observable from
-            # the parent while jobs overlap, so account it in bulk.)
-            wall = time.monotonic() - submitted
-            busy = report.phase.seconds.get("job", 0.0)
-            idle = wall * min(workers, total) - busy
-            if idle > 0:
-                report.phase.add("queue-wait", idle,
-                                 count=len(futures))
+                    state.wall += time.monotonic() - t0
+                    if _attempt_failed(key, exc):
+                        runnable.append((key, job))
+                else:
+                    state.wall += time.monotonic() - t0
+                    _finish(key, stats_dict, prof_dict)
+        elif pending:
+            # On Linux, fork shares the parent's warm program cache with
+            # the workers. Elsewhere use the platform default (spawn):
+            # macOS lists fork as available but fork-without-exec is
+            # unsafe there.
+            context = (multiprocessing.get_context("fork")
+                       if sys.platform == "linux"
+                       else multiprocessing.get_context())
+            submitted = time.monotonic()
+            pool: Optional[ProcessPoolExecutor] = None
+            inflight: Dict[object, str] = {}
+            respawns = 0
+            # Safety valve: enough respawns for every job to exhaust
+            # its own retry budget, then stop fighting the machine.
+            max_respawns = (retries + 1) * max(1, total)
+
+            def _consume(future, key: str) -> bool:
+                """Process one settled future; True if the pool broke."""
+                state = states[key]
+                if future.cancelled():
+                    # Drain cancelled it before it started: the
+                    # dispatch never ran, so it was not an attempt.
+                    state.attempts -= 1
+                    return False
+                state.wall += time.monotonic() - state.started
+                try:
+                    rkey, stats_dict, prof_dict = future.result()
+                except BrokenProcessPool:
+                    if _attempt_failed(key, WorkerLost(
+                            f"worker died with {pending[key].label} "
+                            f"in flight")):
+                        runnable.append((key, pending[key]))
+                    return True
+                except Exception as exc:        # noqa: BLE001
+                    if _attempt_failed(key, exc):
+                        runnable.append((key, pending[key]))
+                    return False
+                _finish(rkey, stats_dict, prof_dict)
+                return False
+
+            try:
+                while (runnable or inflight) and not drain.triggered:
+                    if pool is None:
+                        pool = ProcessPoolExecutor(
+                            max_workers=min(workers, total),
+                            mp_context=context,
+                            initializer=_worker_init)
+                    broken = False
+                    while runnable and not drain.triggered:
+                        key, job = runnable.popleft()
+                        state = states[key]
+                        if state.attempts > 0:
+                            time.sleep(_backoff_seconds(
+                                state.attempts, backoff_base))
+                        dispatches += 1
+                        state.attempts += 1
+                        inject = plan.job_fault(dispatches) if plan \
+                            else None
+                        state.started = time.monotonic()
+                        try:
+                            future = pool.submit(
+                                _worker, (job, timeout, cache_dir,
+                                          checkpoints, profile, inject))
+                        except BrokenProcessPool as exc:
+                            # The pool died while we were dispatching.
+                            if _attempt_failed(key, WorkerLost(
+                                    f"pool broke dispatching "
+                                    f"{job.label}: {exc}")):
+                                runnable.append((key, job))
+                            broken = True
+                            break
+                        inflight[future] = key
+                    if not broken and inflight:
+                        settled, _ = wait(set(inflight), timeout=0.5,
+                                          return_when=FIRST_COMPLETED)
+                        for future in settled:
+                            broken |= _consume(
+                                future, inflight.pop(future))
+                    if broken:
+                        # Every other in-flight future fails with the
+                        # same BrokenProcessPool; settle them all and
+                        # salvage any result that beat the crash.
+                        if inflight:
+                            wait(set(inflight))
+                            for future in list(inflight):
+                                _consume(future, inflight.pop(future))
+                        pool.shutdown(wait=False)
+                        pool = None
+                        respawns += 1
+                        if respawns > max_respawns:
+                            log(f"repro: worker pool broke "
+                                f"{respawns} times; quarantining the "
+                                f"{len(runnable)} remaining job(s)",
+                                "error")
+                            while runnable:
+                                key, _job = runnable.popleft()
+                                states[key].errors.append(
+                                    "WorkerLost: pool respawn budget "
+                                    "exhausted")
+                                states[key].error_class = "WorkerLost"
+                                _quarantine(key)
+                            break
+                        log(f"repro: worker pool broke (killed "
+                            f"worker?); respawning "
+                            f"(respawn {respawns}/{max_respawns}) and "
+                            f"re-dispatching {len(runnable)} lost "
+                            f"job(s)", "warn")
+                        time.sleep(_backoff_seconds(respawns,
+                                                    backoff_base))
+                if drain.triggered and inflight:
+                    # Graceful drain: cancel what never started, wait
+                    # for the rest to finish, keep their results.
+                    for future in inflight:
+                        future.cancel()
+                    wait(set(inflight))
+                    for future in list(inflight):
+                        _consume(future, inflight.pop(future))
+            finally:
+                if pool is not None:
+                    pool.shutdown(wait=True)
+            if report.phase is not None:
+                # Queue-wait: worker-slot seconds the pool did NOT
+                # spend inside job bodies — fork/submit latency, result
+                # pickling and load imbalance.  (Per-job idle is not
+                # observable from the parent while jobs overlap, so
+                # account it in bulk.)
+                wall = time.monotonic() - submitted
+                busy = report.phase.seconds.get("job", 0.0)
+                idle = wall * min(workers, total) - busy
+                if idle > 0:
+                    report.phase.add("queue-wait", idle,
+                                     count=dispatches)
+
+        if drain.triggered:
+            report.interrupted = drain.triggered
+            missing = [job.label for key, job in pending.items()
+                       if key not in report.results
+                       and key not in report.receipts]
+            if journal is not None:
+                journal.interrupted(drain.triggered, missing)
+            log(f"repro: campaign drained on {drain.triggered}: "
+                f"{done}/{total} pending cell(s) finished, "
+                f"{len(missing)} missing (rerun with --resume)", "warn")
 
     if report.phase is not None and report.phase.seconds:
         _persist_profile(store, report.phase)
@@ -323,6 +763,9 @@ def run_job(job: Job, **kwargs) -> SimStats:
     return run_jobs([job], **kwargs).stats_for(job)
 
 
-__all__ = ["CampaignError", "CampaignReport", "JobTimeout",
-           "cache_enabled_by_default", "default_workers",
+__all__ = ["CampaignError", "CampaignInterrupted", "CampaignReport",
+           "JobReceipt",
+           "JobTimeout", "TRANSIENT_ERRORS", "WorkerLost",
+           "cache_enabled_by_default", "classify_error",
+           "default_backoff", "default_retries", "default_workers",
            "profile_path", "run_job", "run_jobs"]

@@ -1,0 +1,160 @@
+"""Campaign journal: typed per-job receipts, persisted next to the
+:class:`~repro.sim.campaign.store.ResultStore`.
+
+Every job execution the executor finishes — first-try success, success
+after retries, or quarantine after exhausting the retry budget — ends
+in a :class:`JobReceipt`, the authoritative provenance record for that
+cell (outcome, attempts, error classes, tracebacks, wall time).  The
+journal appends receipts as JSON lines to ``journal.jsonl`` in the
+cache directory, so:
+
+* ``campaign status`` can show what happened to a crashed or
+  interrupted campaign after the fact (quarantined cells and their
+  errors survive the process);
+* ``campaign run --resume`` can report how much of an interrupted grid
+  is already complete before executing exactly the missing cells.
+
+All writes are best-effort: a journal that cannot be written (full or
+read-only disk) degrades to a one-line warning — provenance must never
+sink a campaign whose simulations are succeeding.  Reads tolerate torn
+tail lines the same way the result store does.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.obs import log
+from repro.sim import faults
+
+#: Receipt outcomes (the Snippet-3 contract: every job ends in exactly
+#: one of these).
+OUTCOMES = ("ok", "retried", "quarantined")
+
+
+@dataclass
+class JobReceipt:
+    """Typed provenance record for one job's lifetime in a campaign."""
+
+    key: str                              # job cache key
+    label: str                            # human-readable cell name
+    outcome: str                          # "ok" | "retried" | "quarantined"
+    attempts: int = 1
+    error_class: Optional[str] = None     # last error's class name
+    errors: List[str] = field(default_factory=list)  # one per failed try
+    wall_seconds: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {"key": self.key, "label": self.label,
+                "outcome": self.outcome, "attempts": self.attempts,
+                "error_class": self.error_class, "errors": self.errors,
+                "wall_seconds": round(self.wall_seconds, 6)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobReceipt":
+        return cls(key=data["key"], label=data["label"],
+                   outcome=data["outcome"],
+                   attempts=data.get("attempts", 1),
+                   error_class=data.get("error_class"),
+                   errors=list(data.get("errors", [])),
+                   wall_seconds=data.get("wall_seconds", 0.0))
+
+
+class CampaignJournal:
+    """Append-only JSONL event log for one cache directory's campaigns.
+
+    Events: ``begin`` (grid size, pending count, resume flag),
+    ``receipt`` (a :class:`JobReceipt`), ``interrupted`` (drain: the
+    cells still missing when a SIGINT/SIGTERM stopped the run).
+    """
+
+    def __init__(self, cache_dir: Optional[os.PathLike] = None) -> None:
+        from repro.sim.campaign.store import default_cache_dir
+        self.cache_dir = (Path(cache_dir).expanduser() if cache_dir
+                          else default_cache_dir())
+        self.path = self.cache_dir / "journal.jsonl"
+        self._degraded = False
+
+    # ------------------------------------------------------------------ #
+    # Writes (best-effort, never raise).
+    # ------------------------------------------------------------------ #
+
+    def _append(self, record: dict) -> None:
+        if self._degraded:
+            return
+        try:
+            faults.fire("journal")
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as fh:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+        except OSError as exc:
+            # Warn once, then stop trying: a full disk would otherwise
+            # produce one warning per cell.
+            self._degraded = True
+            log(f"repro: campaign journal write failed ({exc}); "
+                f"receipts for this run will not be persisted", "warn")
+
+    def begin(self, total: int, pending: int, resume: bool) -> None:
+        self._append({"event": "begin", "total": total,
+                      "pending": pending, "resume": resume})
+
+    def record(self, receipt: JobReceipt) -> None:
+        self._append(dict(receipt.to_dict(), event="receipt"))
+
+    def interrupted(self, signal_name: str,
+                    missing_labels: List[str]) -> None:
+        self._append({"event": "interrupted", "signal": signal_name,
+                      "missing": missing_labels})
+
+    # ------------------------------------------------------------------ #
+    # Reads.
+    # ------------------------------------------------------------------ #
+
+    def _events(self) -> List[dict]:
+        events: List[dict] = []
+        try:
+            with self.path.open("r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        events.append(json.loads(line))
+                    except json.JSONDecodeError:
+                        continue              # torn tail write: skip
+        except OSError:
+            pass
+        return events
+
+    def receipts(self) -> Dict[str, JobReceipt]:
+        """Latest receipt per job key (later campaigns supersede)."""
+        out: Dict[str, JobReceipt] = {}
+        for event in self._events():
+            if event.get("event") == "receipt":
+                try:
+                    receipt = JobReceipt.from_dict(event)
+                except KeyError:
+                    continue
+                out[receipt.key] = receipt
+        return out
+
+    def summary(self) -> Dict[str, int]:
+        """Receipt counts by outcome (for ``campaign status``)."""
+        counts = {outcome: 0 for outcome in OUTCOMES}
+        for receipt in self.receipts().values():
+            if receipt.outcome in counts:
+                counts[receipt.outcome] += 1
+        return counts
+
+    def clear(self) -> None:
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+
+__all__ = ["CampaignJournal", "JobReceipt", "OUTCOMES"]

@@ -28,6 +28,7 @@ except ImportError:                       # non-Unix: best-effort, no lock
     fcntl = None
 
 from repro.pipeline.stats import SimStats
+from repro.sim import faults
 
 
 def default_cache_dir() -> Path:
@@ -107,6 +108,11 @@ class ResultStore:
 
     def put(self, key: str, stats: SimStats,
             meta: Optional[dict] = None) -> None:
+        """Append one record.  Raises ``OSError`` on disk faults —
+        callers that must survive them (the campaign executor) degrade
+        to in-memory operation; see the ``put`` fault point in
+        :mod:`repro.sim.faults`."""
+        faults.fire("put")
         record = {"key": key, "stats": stats.to_dict(),
                   "meta": meta or {}}
         self.cache_dir.mkdir(parents=True, exist_ok=True)

@@ -30,6 +30,7 @@ from repro.defaults import default_instructions, \
     default_sample_instructions
 from repro.pipeline.stats import SimStats
 from repro.sim.campaign import CampaignSpec, run_jobs
+from repro.sim.campaign.executor import CampaignInterrupted
 from repro.sim.config import SimConfig
 from repro.sim.sampling import SamplingError, SamplingParams
 from repro.workloads import SPECFP, SPECINT, TABLE2_ENTRIES
@@ -68,6 +69,11 @@ class ExperimentResult:
     checkpoint_hits: int = 0
     ff_executed: int = 0
     ff_skipped: int = 0
+    # Fault-tolerance accounting (repro.sim.campaign receipts): job
+    # attempts beyond the first, and jobs quarantined after exhausting
+    # their retry budget.
+    retried_attempts: int = 0
+    quarantined: int = 0
     # Merged phase profile over the simulated cells
     # (:class:`repro.obs.PhaseProfile`), or None when profiling was off.
     phase: Optional[object] = None
@@ -108,7 +114,9 @@ def run_grid(name: str, benchmarks: Sequence[str],
              timeout: Optional[float] = None,
              sampling=None,
              checkpoints: Optional[bool] = None,
-             profile: Optional[bool] = None) -> ExperimentResult:
+             profile: Optional[bool] = None,
+             retries: Optional[int] = None,
+             resume: bool = False) -> ExperimentResult:
     """Run a benchmarks x configs grid through the campaign engine.
 
     ``sampling`` (anything ``SamplingParams.coerce`` accepts — True
@@ -146,13 +154,23 @@ def run_grid(name: str, benchmarks: Sequence[str],
     report = run_jobs(spec.jobs(), workers=jobs, use_cache=use_cache,
                       cache_dir=cache_dir, timeout=timeout,
                       progress=progress, checkpoints=checkpoints,
-                      profile=profile)
+                      profile=profile, retries=retries, resume=resume)
+    if report.interrupted:
+        # The grid is (possibly) incomplete by user request: surface
+        # the drain instead of a confusing missing-cell CampaignError.
+        raise CampaignInterrupted(
+            report.interrupted,
+            f"interrupted by {report.interrupted} with "
+            f"{report.simulated} cell(s) finished this run; rerun "
+            f"with --resume to execute only the missing cells")
     result = ExperimentResult(name, [c.label for c in configs],
                               cache_hits=report.hits,
                               simulated=report.simulated,
                               checkpoint_hits=report.checkpoint_hits,
                               ff_executed=report.ff_executed,
                               ff_skipped=report.ff_skipped,
+                              retried_attempts=report.retried_attempts,
+                              quarantined=report.quarantined,
                               phase=report.phase)
     result.stats = spec.grid(report)
     return result

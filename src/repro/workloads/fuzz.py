@@ -1,19 +1,25 @@
-"""Random structured program generator (fuzzing substrate).
+"""Random structured program generator and differential-testing harness.
 
 Generates seeded, architecturally well-defined programs: straight-line
 ALU blocks, loads/stores confined to a scratch region, forward branches
 on computed values and bounded counted loops, closed by an outer jump so
 the program runs forever (budget-terminated).
 
-Used by the fuzz tests to cross-check all three timing cores against the
-reference emulator on inputs nobody hand-wrote — the strongest guard
-against rename/recovery/forwarding bugs.
+The differential harness (:func:`run_differential`) cross-checks every
+timing core (baseline, CPR, MSP) under both detailed-core schedulers
+(event and scan) against the reference emulator on the same seeded
+program — commit trace and final memory must match the oracle exactly.
+A mismatch comes back as a typed :class:`Divergence`; :func:`shrink`
+reduces it to the smallest ``(blocks, budget)`` pair that still
+reproduces, so a fuzz failure lands as a minimal repro, not a
+700-instruction haystack.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.isa.program import Program, ProgramBuilder
 from repro.isa.registers import fp_reg, int_reg
@@ -105,3 +111,145 @@ def random_program(seed: int, blocks: int = 8,
 
     b.jmp("outer")
     return b.build()
+
+
+# --------------------------------------------------------------------- #
+# Differential harness: every core x scheduler vs the emulator oracle.
+# --------------------------------------------------------------------- #
+
+#: Detailed-core schedulers the harness sweeps (they must be
+#: cycle-for-cycle interchangeable, so any commit-trace difference
+#: between them is a bug in one of them).
+SCHEDULERS = ("event", "scan")
+
+
+def fuzz_configs() -> List:
+    """The three timing cores the harness checks against the oracle."""
+    from repro.sim import SimConfig
+    return [SimConfig.baseline(), SimConfig.cpr(), SimConfig.msp(8)]
+
+
+@dataclass
+class Divergence:
+    """One core/scheduler disagreeing with the emulator oracle — the
+    minimal facts needed to reproduce it deterministically."""
+
+    seed: int
+    blocks: int
+    budget: int
+    machine: str                          # SimConfig label
+    scheduler: str
+    kind: str                             # "stall"|"commit-trace"|"memory"
+    detail: str
+    config: Optional[object] = None       # the SimConfig (for recheck)
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed, "blocks": self.blocks,
+                "budget": self.budget, "machine": self.machine,
+                "scheduler": self.scheduler, "kind": self.kind,
+                "detail": self.detail}
+
+    def repro_command(self) -> str:
+        """One line a human can paste to replay the divergence."""
+        return (f"random_program(seed={self.seed}, blocks={self.blocks})"
+                f" on {self.machine}/{self.scheduler}"
+                f" for {self.budget} instructions")
+
+
+def compare_with_oracle(commit_trace: Sequence[int],
+                        oracle_trace: Sequence[int],
+                        core_memory: dict,
+                        oracle_memory: dict) -> Optional[Tuple[str, str]]:
+    """Compare a core's committed PCs and final memory against the
+    oracle's; returns ``(kind, detail)`` on the first mismatch, else
+    None.  Pure so the detection logic is testable without planting a
+    real simulator bug."""
+    if list(commit_trace) != list(oracle_trace):
+        limit = min(len(commit_trace), len(oracle_trace))
+        for i in range(limit):
+            if commit_trace[i] != oracle_trace[i]:
+                return ("commit-trace",
+                        f"commit #{i}: core pc={commit_trace[i]}, "
+                        f"oracle pc={oracle_trace[i]}")
+        return ("commit-trace",
+                f"length mismatch: core committed {len(commit_trace)}, "
+                f"oracle {len(oracle_trace)}")
+    for addr in sorted(set(core_memory) | set(oracle_memory)):
+        got = core_memory.get(addr, 0)
+        want = oracle_memory.get(addr, 0)
+        if got != want:
+            return ("memory",
+                    f"addr {addr}: core={got}, oracle={want}")
+    return None
+
+
+def check_one(seed: int, config, scheduler: str, *,
+              blocks: int = 8, budget: int = 700) -> Optional[Divergence]:
+    """Run one (core, scheduler) cell against the emulator oracle;
+    returns a :class:`Divergence` or None when they agree."""
+    from repro.isa import Emulator
+    from repro.sim import build_core
+    program = random_program(seed, blocks=blocks)
+    core = build_core(program, config.with_(scheduler=scheduler,
+                                            record_commits=True))
+    stats = core.run(max_instructions=budget)
+    if stats.committed < budget:
+        return Divergence(seed, blocks, budget, config.label, scheduler,
+                          "stall", f"core stalled after "
+                          f"{stats.committed}/{budget} instructions",
+                          config=config)
+    oracle = Emulator(program, trace_pcs=True)
+    reference = oracle.run(max_instructions=stats.committed)
+    mismatch = compare_with_oracle(core.commit_trace, reference.pc_trace,
+                                   core.memory, oracle.memory)
+    if mismatch is None:
+        return None
+    kind, detail = mismatch
+    return Divergence(seed, blocks, budget, config.label, scheduler,
+                      kind, detail, config=config)
+
+
+def run_differential(seed: int, *, blocks: int = 8, budget: int = 700,
+                     configs=None,
+                     schedulers: Sequence[str] = SCHEDULERS
+                     ) -> List[Divergence]:
+    """Sweep every core x scheduler cell for one seed; returns all
+    divergences found (empty on a healthy simulator)."""
+    divergences = []
+    for config in (configs if configs is not None else fuzz_configs()):
+        for scheduler in schedulers:
+            found = check_one(seed, config, scheduler,
+                              blocks=blocks, budget=budget)
+            if found is not None:
+                divergences.append(found)
+    return divergences
+
+
+def shrink(divergence: Divergence,
+           reproduces: Optional[Callable[[int, int],
+                                         Optional[Divergence]]] = None
+           ) -> Divergence:
+    """Reduce a divergence to the smallest ``(blocks, budget)`` that
+    still reproduces it: drop blocks one at a time, then bisect the
+    instruction budget.  ``reproduces(blocks, budget)`` defaults to
+    re-running the real cell; tests inject synthetic predicates."""
+    if reproduces is None:
+        def reproduces(blocks: int, budget: int) -> Optional[Divergence]:
+            return check_one(divergence.seed, divergence.config,
+                             divergence.scheduler,
+                             blocks=blocks, budget=budget)
+    best = divergence
+    while best.blocks > 1:
+        candidate = reproduces(best.blocks - 1, best.budget)
+        if candidate is None:
+            break
+        best = candidate
+    lo, hi = 1, best.budget
+    while lo < hi:
+        mid = (lo + hi) // 2
+        candidate = reproduces(best.blocks, mid)
+        if candidate is not None:
+            best, hi = candidate, mid
+        else:
+            lo = mid + 1
+    return best

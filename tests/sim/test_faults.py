@@ -1,0 +1,129 @@
+"""Deterministic fault-injection registry (repro.sim.faults)."""
+
+import errno
+
+import pytest
+
+from repro.defaults import EnvConfigError
+from repro.sim import faults
+from repro.sim.faults import FaultPlan
+
+
+# --------------------------------------------------------------------- #
+# Parsing.
+# --------------------------------------------------------------------- #
+
+def test_parse_job_and_site_tokens():
+    plan = FaultPlan.parse("worker-kill@2,enospc@put,timeout@4")
+    assert plan.job_faults == {2: "worker-kill", 4: "timeout"}
+    assert len(plan.site_faults) == 1
+    fault = plan.site_faults[0]
+    assert (fault.kind, fault.site, fault.remaining) == ("enospc", "put", 1)
+
+
+def test_parse_repeat_and_probability_suffixes():
+    plan = FaultPlan.parse("eio@journal*3,erofs@artifact-put%50")
+    assert plan.site_faults[0].remaining == 3
+    assert plan.site_faults[1].probability == 0.5
+
+
+def test_parse_tolerates_blank_tokens():
+    plan = FaultPlan.parse(" ,worker-kill@1, ")
+    assert plan.job_faults == {1: "worker-kill"}
+
+
+@pytest.mark.parametrize("spec", [
+    "worker-kill",                 # no @
+    "@put",                        # no kind
+    "worker-kill@",                # no target
+    "frobnicate@3",                # unknown job kind
+    "enospc@3",                    # site kind at a dispatch ordinal
+    "frobnicate@put",              # unknown site kind
+    "worker-kill@put",             # job kind at a site
+    "enospc@put*x",                # bad repeat count
+    "enospc@put%x",                # bad probability
+])
+def test_parse_rejects_malformed_tokens(spec):
+    with pytest.raises(EnvConfigError):
+        FaultPlan.parse(spec)
+
+
+def test_from_env(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULT_INJECT", raising=False)
+    assert FaultPlan.from_env() is None
+    monkeypatch.setenv("REPRO_FAULT_INJECT", "timeout@1")
+    plan = FaultPlan.from_env()
+    assert plan is not None and plan.job_faults == {1: "timeout"}
+    monkeypatch.setenv("REPRO_FAULT_SEED", "nope")
+    with pytest.raises(EnvConfigError):
+        FaultPlan.from_env()
+
+
+# --------------------------------------------------------------------- #
+# Firing.
+# --------------------------------------------------------------------- #
+
+def test_job_fault_consumed_once():
+    plan = FaultPlan.parse("oserror@3")
+    assert plan.job_fault(1) is None
+    assert plan.job_fault(3) == "oserror"
+    assert plan.job_fault(3) is None       # consumed: retry is clean
+
+
+def test_site_fault_decrements_and_converges():
+    plan = FaultPlan.parse("enospc@put*2")
+    for _ in range(2):
+        with pytest.raises(OSError) as err:
+            plan.fire("put")
+        assert err.value.errno == errno.ENOSPC
+        assert "injected enospc at put" in str(err.value)
+    plan.fire("put")                        # exhausted: no raise
+    plan.fire("journal")                    # other sites never fault
+
+
+def test_probabilistic_site_fault_is_seed_deterministic():
+    def fire_pattern(seed):
+        plan = FaultPlan.parse("eio@put*100%50", seed=seed)
+        pattern = []
+        for _ in range(20):
+            try:
+                plan.fire("put")
+                pattern.append(False)
+            except OSError:
+                pattern.append(True)
+        return pattern
+    assert fire_pattern(7) == fire_pattern(7)
+    assert True in fire_pattern(7) and False in fire_pattern(7)
+
+
+# --------------------------------------------------------------------- #
+# The global registry (zero-overhead-when-off contract).
+# --------------------------------------------------------------------- #
+
+def test_fire_is_noop_when_disarmed():
+    assert not faults.armed()
+    faults.fire("put")                      # must not raise or allocate
+
+
+def test_active_arms_and_restores():
+    plan = FaultPlan.parse("enospc@put")
+    with faults.active(plan):
+        assert faults.armed() and faults.current() is plan
+        with pytest.raises(OSError):
+            faults.fire("put")
+    assert not faults.armed()
+
+
+def test_active_none_leaves_armed_plan_alone():
+    outer = FaultPlan.parse("enospc@put")
+    with faults.active(outer):
+        with faults.active(None):           # nested run without a plan
+            assert faults.current() is outer
+    assert not faults.armed()
+
+
+def test_active_restores_on_error():
+    with pytest.raises(RuntimeError):
+        with faults.active(FaultPlan.parse("enospc@put")):
+            raise RuntimeError("boom")
+    assert not faults.armed()

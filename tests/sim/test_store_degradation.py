@@ -1,0 +1,104 @@
+"""Graceful degradation of the persistence layer under disk faults."""
+
+import threading
+
+import pytest
+
+from repro.sim import SimConfig, faults
+from repro.sim.artifacts import ArtifactStore
+from repro.sim.campaign import CampaignJournal, Job, run_jobs
+from repro.sim.campaign import executor as executor_mod
+from repro.sim.faults import FaultPlan
+
+
+@pytest.fixture(autouse=True)
+def _fast_backoff(monkeypatch):
+    monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0")
+
+
+@pytest.fixture
+def warnings(monkeypatch):
+    """Capture executor/store log lines instead of printing them."""
+    captured = []
+
+    def fake_log(message, level="info"):
+        captured.append((level, message))
+    monkeypatch.setattr(executor_mod, "log", fake_log)
+    import repro.sim.artifacts as artifacts_mod
+    monkeypatch.setattr(artifacts_mod, "log", fake_log)
+    import repro.sim.campaign.journal as journal_mod
+    monkeypatch.setattr(journal_mod, "log", fake_log)
+    return captured
+
+
+def test_store_put_enospc_degrades_to_memory(tmp_path, warnings):
+    """Satellite (a): a full disk after a successful simulation keeps
+    the result in memory instead of aborting the campaign."""
+    jobs = [Job("gzip", SimConfig.baseline(), 250),
+            Job("crafty", SimConfig.baseline(), 250)]
+    report = run_jobs(jobs, workers=1, cache_dir=tmp_path,
+                      fault_plan=FaultPlan.parse("enospc@put"))
+    assert not report.failures and len(report.results) == 2
+    assert report.store_errors == 1
+    assert any("keeping the result in memory only" in msg
+               for _level, msg in warnings)
+    # The faulted put was lost; the second one landed on disk.
+    from repro.sim.campaign import ResultStore
+    assert len(ResultStore(tmp_path)) == 1
+
+
+def test_store_put_failure_does_not_fail_receipt(tmp_path):
+    job = Job("gzip", SimConfig.baseline(), 250)
+    report = run_jobs([job], workers=1, cache_dir=tmp_path,
+                      fault_plan=FaultPlan.parse("erofs@put"))
+    receipt = report.receipts[job.cache_key()]
+    assert receipt.outcome == "ok" and receipt.attempts == 1
+
+
+def test_artifact_put_degrades_with_warning(tmp_path, warnings):
+    store = ArtifactStore(tmp_path)
+    with faults.active(FaultPlan.parse("enospc@artifact-put")):
+        store.put("trace", "k" * 16, {"payload": 1})
+    assert any("artifact store write failed" in msg
+               for level, msg in warnings if level == "warn")
+    assert store.get("trace", "k" * 16) is None
+    # The fault is exhausted: the next put persists normally.
+    store.put("trace", "k" * 16, {"payload": 1})
+    assert store.get("trace", "k" * 16) == {"payload": 1}
+
+
+def test_journal_write_failure_warns_once_and_disables(tmp_path,
+                                                       warnings):
+    journal = CampaignJournal(tmp_path)
+    with faults.active(FaultPlan.parse("eio@journal*99")):
+        journal.begin(total=4, pending=4, resume=False)
+        journal.interrupted("SIGTERM", ["a", "b"])
+    journal_warnings = [msg for level, msg in warnings
+                        if "journal write failed" in msg]
+    assert len(journal_warnings) == 1       # warn once, then go quiet
+    assert not journal.path.exists()
+    assert journal.receipts() == {}
+
+
+def test_alarm_unusable_off_main_thread_warns(tmp_path, warnings):
+    """Satellite (b): the serial per-job SIGALRM watchdog silently
+    disarming off the main thread now says so."""
+    from repro.sim.campaign.executor import _execute_job
+    job = Job("gzip", SimConfig.baseline(), 200)
+    done = []
+    thread = threading.Thread(
+        target=lambda: done.append(_execute_job(job, timeout=5.0)))
+    thread.start()
+    thread.join()
+    assert done and done[0][0]["committed"] >= 200
+    assert any("per-job timeout disabled" in msg and "SIGALRM" in msg
+               for level, msg in warnings if level == "warn")
+
+
+def test_alarm_usable_on_main_thread_no_warning(warnings):
+    from repro.sim.campaign.executor import _execute_job
+    job = Job("gzip", SimConfig.baseline(), 200)
+    stats_dict, _prof = _execute_job(job, timeout=5.0)
+    assert stats_dict["committed"] >= 200
+    assert not any("per-job timeout disabled" in msg
+                   for _level, msg in warnings)
