@@ -1,0 +1,135 @@
+"""Object vs structure-of-arrays in-flight state: the window-churn
+micro-benchmark behind the SoA refactor.
+
+Not a paper figure — this isolates the data-layout decision the
+detailed cores are built on.  Both legs run the same synthetic pipeline
+churn (allocate a fetch group, wire dependencies, issue/read operands,
+write back, recycle the slot) over the same ring capacity and
+instruction count; the only difference is the in-flight representation:
+
+* ``object`` — one slotted Python object per dynamic instruction (the
+  pre-refactor ``DynInst`` shape): every stage pays an attribute
+  access per field.
+* ``soa``    — the live :class:`repro.pipeline.window.InflightWindow`
+  columns indexed by ``seq & mask``: every stage pays a C-speed list
+  index per field.
+
+The printed ratio is the claim to watch; the assertion only guards
+direction (SoA must not be slower), since the magnitude is
+machine-dependent.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import run_once
+
+from repro.pipeline.window import InflightWindow
+
+INSTRUCTIONS = 200_000
+CAPACITY = 1024
+GROUP = 4
+
+
+class _DynInst:
+    """The pre-refactor per-instruction record (representative subset
+    of the old DynInst: the fields every stage touched)."""
+
+    __slots__ = ("seq", "pc", "issued", "completed", "squashed",
+                 "h0", "h1", "wait_count", "dest", "result",
+                 "earliest_issue", "finish")
+
+    def __init__(self, seq: int, pc: int) -> None:
+        self.seq = seq
+        self.pc = pc
+        self.issued = False
+        self.completed = False
+        self.squashed = False
+        self.h0 = 0
+        self.h1 = 0
+        self.wait_count = 0
+        self.dest = 0
+        self.result = 0
+        self.earliest_issue = 0
+        self.finish = 0
+
+
+def churn_objects(n: int = INSTRUCTIONS) -> int:
+    """Fetch/dispatch/issue/writeback/commit field traffic, object leg."""
+    ring = [None] * CAPACITY
+    mask = CAPACITY - 1
+    checksum = 0
+    for seq in range(n):
+        di = _DynInst(seq, seq & 0xFFF)          # fetch: allocate
+        ring[seq & mask] = di
+        di.h0 = seq & 63                         # dispatch: wire deps
+        di.h1 = (seq >> 2) & 63
+        di.dest = seq & 127
+        di.wait_count = 2
+        di.earliest_issue = seq
+        di.wait_count = 0                        # wakeup
+        di.issued = True                         # issue: read operands
+        di.result = di.h0 + di.h1
+        di.finish = di.earliest_issue + 3
+        di.completed = True                      # writeback
+        older = ring[(seq - GROUP) & mask]       # commit: retire older
+        if older is not None and older.completed and not older.squashed:
+            checksum += older.result
+    return checksum
+
+
+def churn_soa(n: int = INSTRUCTIONS) -> int:
+    """The same field traffic through the live SoA window columns."""
+    w = InflightWindow(CAPACITY)
+    mask = w.mask
+    sq, pc, st = w.sq, w.pc, w.st
+    h0, h1, wc = w.h0, w.h1, w.wc
+    dest, res = w.dest, w.res
+    eic, fin = w.eic, w.fin
+    checksum = 0
+    for seq in range(n):
+        slot = seq & mask
+        sq[slot] = seq                           # fetch: claim slot
+        pc[slot] = seq & 0xFFF
+        st[slot] = 0
+        h0[slot] = seq & 63                      # dispatch: wire deps
+        h1[slot] = (seq >> 2) & 63
+        dest[slot] = seq & 127
+        wc[slot] = 2
+        eic[slot] = seq
+        wc[slot] = 0                             # wakeup
+        st[slot] = 1                             # issue: read operands
+        res[slot] = h0[slot] + h1[slot]
+        fin[slot] = eic[slot] + 3
+        st[slot] = 1 | 2                         # writeback
+        older = (seq - GROUP) & mask             # commit: retire older
+        if sq[older] >= 0 and st[older] & 2 and not st[older] & 4:
+            checksum += res[older]
+    return checksum
+
+
+def _time(fn) -> float:
+    best = None
+    for _ in range(3):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def test_backend_window_churn(benchmark):
+    assert churn_objects(5_000) == churn_soa(5_000)  # same traffic
+    obj = _time(churn_objects)
+    soa = _time(churn_soa)
+    run_once(benchmark, churn_soa)
+    print()
+    print(f"object leg: {obj * 1e3:8.1f} ms "
+          f"({INSTRUCTIONS / obj:,.0f} inst/s)")
+    print(f"soa leg:    {soa * 1e3:8.1f} ms "
+          f"({INSTRUCTIONS / soa:,.0f} inst/s)")
+    print(f"soa speedup over per-instruction objects: {obj / soa:.2f}x")
+    # Directional guard only — magnitude is machine-dependent.
+    assert soa <= obj * 1.10

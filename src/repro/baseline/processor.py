@@ -6,6 +6,10 @@ physical registers managed with a RAT and a free list, retire width 3,
 single-level store queue. Branch recovery restores a RAT snapshot taken
 when the branch dispatched; exceptions recover precisely from the
 architectural RAT at the ROB head.
+
+In-flight state is the shared structure-of-arrays window
+(``self.w``); the fused run loop binds the columns as locals and
+never touches a per-instruction object.
 """
 
 from __future__ import annotations
@@ -13,17 +17,25 @@ from __future__ import annotations
 from bisect import insort
 from typing import List, Optional
 
-from repro.isa.opcodes import Op
+from repro.branch.base import Prediction
+from repro.branch.gshare import GsharePredictor
+from repro.branch.tage import TagePredictor
 from repro.isa.registers import NUM_INT_REGS, NUM_LOGICAL_REGS, is_int_reg
 from repro.isa.semantics import effective_address
 from repro.pipeline.core_base import FAULT_NONE, OutOfOrderCore, \
-    _ADDR_MASK, _SEQ
-from repro.pipeline.dyninst import DynInst
+    _ADDR_MASK, _FLD, _HALT
 from repro.pipeline.stats import SimStats
 
 
 class BaselineProcessor(OutOfOrderCore):
     """ROB-based precise out-of-order core."""
+
+    #: ROB 128 + fetch buffer 16 + fetch width bounds the live seq span,
+    #: so a small ring suffices (it grows on demand regardless).
+    window_capacity = 256
+
+    #: Exec codegen reads operands straight out of ``phys_value``.
+    codegen_flavor = "direct"
 
     def __init__(self, program, config) -> None:
         super().__init__(program, config)
@@ -74,9 +86,10 @@ class BaselineProcessor(OutOfOrderCore):
     def peek_operand(self, handle: int):
         return self.phys_value[handle]
 
-    def write_result(self, di: DynInst) -> None:
-        self.phys_value[di.dest_handle] = di.result
-        self.phys_ready[di.dest_handle] = True
+    def write_result(self, slot: int) -> None:
+        w = self.w
+        self.phys_value[w.dest[slot]] = w.res[slot]
+        self.phys_ready[w.dest[slot]] = True
 
     def _free_list_for(self, logical: int) -> List[int]:
         return self.int_free if is_int_reg(logical) else self.fp_free
@@ -85,30 +98,37 @@ class BaselineProcessor(OutOfOrderCore):
     # Dispatch.
     # ------------------------------------------------------------------ #
 
-    def dispatch_blocked(self, di: DynInst, moved: int) -> Optional[str]:
+    def dispatch_blocked(self, seq: int, slot: int, pc: int,
+                         moved: int) -> Optional[str]:
         if len(self.in_flight) >= self.config.rob_size:
             return "rob_full"
-        inst = di.inst
-        if inst.writes_reg and not (self.int_free
-                                    if inst.dest < NUM_INT_REGS
-                                    else self.fp_free):
+        dec = self._dec
+        if dec.wreg[pc] and not (self.int_free
+                                 if dec.dest[pc] < NUM_INT_REGS
+                                 else self.fp_free):
             return "registers_full"
         return None
 
-    def rename(self, di: DynInst) -> None:
-        inst = di.inst
+    def rename(self, seq: int, slot: int, pc: int) -> None:
+        dec = self._dec
         rat = self.rat
-        di.src_handles = [rat[src] for src in inst.srcs]
-        if inst.writes_reg:
-            dest = inst.dest
+        w = self.w
+        nsrc = dec.nsrc[pc]
+        if nsrc:
+            w.h0[slot] = rat[dec.s0[pc]]
+            if nsrc > 1:
+                w.h1[slot] = rat[dec.s1[pc]]
+        if dec.wreg[pc]:
+            dest = dec.dest[pc]
             free = self.int_free if dest < NUM_INT_REGS else self.fp_free
             new = free.pop()
             self.phys_ready[new] = False
-            di.dest_handle = new
+            w.dest[slot] = new
             rat[dest] = new
-        if inst.is_control:
+        kind = dec.kind[pc]
+        if kind == 1 or kind == 2 or kind == 3:
             # Snapshot for precise branch recovery.
-            di.tag = list(rat)
+            w.tag[slot] = list(rat)
 
     # ------------------------------------------------------------------ #
     # Commit: in order from the ROB head, up to retire_width per cycle.
@@ -116,28 +136,34 @@ class BaselineProcessor(OutOfOrderCore):
 
     def commit_stage(self, now: int) -> None:
         in_flight = self.in_flight
-        if not in_flight or not in_flight[0].completed:
+        w = self.w
+        mask = w.mask
+        w_st = w.st
+        if not in_flight or not w_st[in_flight[0] & mask] & 2:
             return
+        dec = self._dec
         arch_rat = self.arch_rat
         retired = 0
         retire_width = self.config.retire_width
-        while (retired < retire_width and in_flight
-               and in_flight[0].completed):
-            di = in_flight[0]
-            if not self.commit_one(di, now):
+        while retired < retire_width and in_flight:
+            s = in_flight[0]
+            slot = s & mask
+            if not w_st[slot] & 2:
+                break
+            if not self.commit_one(s, slot, now):
                 return  # exception recovery took over
             in_flight.popleft()
-            inst = di.inst
-            if inst.writes_reg:
-                dest = inst.dest
+            pc = w.pc[slot]
+            if dec.wreg[pc]:
+                dest = dec.dest[pc]
                 previous = arch_rat[dest]
-                arch_rat[dest] = di.dest_handle
+                arch_rat[dest] = w.dest[slot]
                 if dest < NUM_INT_REGS:
                     self.int_free.append(previous)
                 else:
                     self.fp_free.append(previous)
-            elif inst.is_store:
-                self.sq.commit_up_to(di.seq, self.commit_store_write)
+            elif dec.kind[pc] == 5:
+                self.sq.commit_up_to(s, self.commit_store_write)
             retired += 1
             if self.done:
                 return
@@ -168,15 +194,20 @@ class BaselineProcessor(OutOfOrderCore):
         This is a line-for-line transcription of
         ``OutOfOrderCore.cycle`` + the baseline ``commit_stage`` /
         ``rename`` specialised for this machine's flat register file,
-        with the per-instruction virtual calls flattened into local
-        operations — the same fused-hot-loop treatment the emulator's
-        ``run_fast`` got.  Behaviour must stay bit-identical to the
-        generic loop: the scheduler-equivalence tests run this exact
-        path against the scan oracle.
+        with the per-instruction virtual calls flattened into plain
+        column indexing — the same fused-hot-loop treatment the
+        emulator's ``run_fast`` got.  Behaviour must stay bit-identical
+        to the generic loop: the scheduler-equivalence tests run this
+        exact path against the scan oracle.
         """
         cycle_cap = max_cycles if max_cycles is not None \
             else max_instructions * 200 + 100_000
         stats = self.stats
+        if not self._codegen_built:
+            self._maybe_build_codegen()
+        # Window growth rebuilds the closures *in place*
+        # (``_exec_fns[:] = ...``), so the local binding stays live.
+        exec_fns = self._exec_fns
         fetch = self.fetch
         buffer = fetch.buffer
         in_flight = self.in_flight
@@ -218,14 +249,29 @@ class BaselineProcessor(OutOfOrderCore):
         sq_execute = sq.execute
         sq_allocate = sq.allocate
         sq_set_address = sq.set_address
-        sq_load_blocked = sq.load_blocked
         sq_is_full = sq.is_full
         resolve_control = self._resolve_control
+        recover_from_branch = self.recover_from_branch
         predictor = self.predictor
         predictor_predict = predictor.predict
+        predictor_update = predictor.update
+        predictor_restore = predictor.restore
         predictor_history = predictor.get_history
+        # Inline-predict fast path for the stock gshare front end (a
+        # subclass could override predict, so match the exact type).
+        if type(predictor) is GsharePredictor:
+            gs_pht = predictor.pht
+            gs_imask = predictor.index_mask
+            gs_hmask = predictor.history_mask
+        else:
+            gs_pht = gs_imask = gs_hmask = None
+        # TAGE exposes its raw (train-path possibly unmasked) ghr;
+        # an attribute read + mask beats a get_history call in fetch.
+        if type(predictor) is TagePredictor:
+            tage_hmask = predictor.history_mask
+        else:
+            tage_hmask = None
         btb_predict = self.btb.predict
-        program_fetch = self.program.fetch
         instruction_latency = self.hierarchy.instruction_latency
         icache = self.hierarchy.icache
         ic_sets = icache._sets
@@ -235,48 +281,72 @@ class BaselineProcessor(OutOfOrderCore):
         icache_hit_cycles = self.hierarchy.icache_hit
         fetch_width = fetch.width
         buffer_capacity = fetch.buffer_capacity
-        FLD = Op.FLD
-        HALT = Op.HALT
-        JMP = Op.JMP
-        JR = Op.JR
+
+        # Static program columns (indexed by PC).
+        dec = self._dec
+        P_size = dec.size
+        P_kind = dec.kind
+        P_code = dec.code
+        P_s0, P_s1, P_nsrc = dec.s0, dec.s1, dec.nsrc
+        P_dest, P_wreg = dec.dest, dec.wreg
+        P_imm, P_target = dec.imm, dec.target
+        P_fu, P_lat = dec.fu, dec.lat
+        P_eval, P_branch = dec.evalf, dec.branchf
+
+        # In-flight columns (indexed by seq & mask; the column *lists*
+        # are stable across window growth — only the mask changes).
+        w = self.w
+        mask = w.mask
+        W_sq, W_pc, W_st = w.sq, w.pc, w.st
+        W_h0, W_h1, W_wc = w.h0, w.h1, w.wc
+        W_dest, W_res, W_sval = w.dest, w.res, w.sval
+        W_eic, W_pred, W_ptk, W_ptg = w.eic, w.pred, w.ptk, w.ptg
+        W_atk, W_atg, W_ma, W_se = w.atk, w.atg, w.ma, w.se
+        W_fin = w.fin
+        W_tag, W_ghr = w.tag, w.ghr
+        oldest_live = self._oldest_live
 
         now = self.now
-        while (not self.done and stats.committed < max_instructions
-               and stats.cycles < cycle_cap):
-            stats.cycles += 1
+        # Hot counters as locals; flushed back to stats after the loop.
+        cycles = stats.cycles
+        committed = stats.committed
+        while (not self.done and committed < max_instructions
+               and cycles < cycle_cap):
+            cycles += 1
             recoveries_before = stats.recoveries
 
             # ---------------- commit (baseline ROB retire) ------------ #
             commits = 0
-            if in_flight and in_flight[0].completed:
+            if in_flight and W_st[in_flight[0] & mask] & 2:
                 ordinal = self.commit_ordinal
                 while commits < retire_width and in_flight:
-                    di = in_flight[0]
-                    if not di.completed:
+                    s = in_flight[0]
+                    slot = s & mask
+                    if not W_st[slot] & 2:
                         break
                     ordinal += 1
-                    di.committed = True
-                    inst = di.inst
-                    if inst.is_load:
+                    pc = W_pc[slot]
+                    kind = P_kind[pc]
+                    if kind == 4:
                         lb.occupied -= 1
-                    elif inst.op is HALT:
+                    elif P_code[pc] == _HALT:
                         self.done = True
                     in_flight.popleft()
-                    if inst.writes_reg:
-                        dest = inst.dest
+                    if P_wreg[pc]:
+                        dest = P_dest[pc]
                         previous = arch_rat[dest]
-                        arch_rat[dest] = di.dest_handle
+                        arch_rat[dest] = W_dest[slot]
                         if dest < NUM_INT_REGS:
                             int_free.append(previous)
                         else:
                             fp_free.append(previous)
-                    elif inst.is_store:
-                        commit_up_to(di.seq, commit_store_write)
+                    elif kind == 5:
+                        commit_up_to(s, commit_store_write)
                     commits += 1
                     if self.done:
                         break
                 self.commit_ordinal = ordinal
-                stats.committed += commits
+                committed += commits
                 if self.done:
                     now += 1
                     break
@@ -286,50 +356,77 @@ class BaselineProcessor(OutOfOrderCore):
             bucket = completions.pop(now, None)
             if bucket:
                 if len(bucket) > 1:
-                    bucket.sort(key=_SEQ)
-                live = [d for d in bucket if not d.squashed]
-                if live:
+                    bucket.sort()
+                for s in bucket:
+                    slot = s & mask
+                    st = W_st[slot]
+                    # One pass: stale (slot recycled), pre-squashed and
+                    # mid-bucket-recovered entries all fail here, exactly
+                    # like the old prefilter + recheck pair.
+                    if W_sq[slot] != s or st & 4:
+                        continue
                     wb_live = True
-                    for di in live:
-                        if di.squashed:
-                            continue  # an earlier completion recovered
-                        di.completed = True
-                        inst = di.inst
-                        if inst.writes_reg:
-                            dest = di.dest_handle
-                            phys_value[dest] = di.result
-                            phys_ready[dest] = True
-                            waiters = waiting.pop(dest, None)
-                            if waiters:
-                                for waiter in waiters:
-                                    if waiter.squashed:
-                                        continue
-                                    waiter.wait_count -= 1
-                                    if waiter.wait_count == 0:
-                                        if (not window or
-                                                window[-1].seq < waiter.seq):
-                                            window.append(waiter)
-                                        else:
-                                            insort(window, waiter, key=_SEQ)
-                            watchers = (addr_watch.pop(dest, None)
-                                        if addr_watch else None)
-                            if watchers:
-                                for store in watchers:
-                                    if not store.squashed:
-                                        base = di.result
-                                        if type(base) is int:
-                                            addr = ((base + store.inst.imm)
-                                                    & _ADDR_MASK)
-                                        else:
-                                            addr = effective_address(
-                                                base, store.inst.imm)
-                                        sq_set_address(store.store_entry,
-                                                       addr)
-                        elif inst.is_store:
-                            sq_execute(di.store_entry, di.mem_addr,
-                                       di.src_values[0])
-                        if inst.is_control:
-                            resolve_control(di, now)
+                    W_st[slot] = st | 2
+                    pc = W_pc[slot]
+                    kind = P_kind[pc]
+                    if P_wreg[pc]:
+                        dest = W_dest[slot]
+                        result = W_res[slot]
+                        phys_value[dest] = result
+                        phys_ready[dest] = True
+                        waiters = waiting.pop(dest, None)
+                        if waiters:
+                            for ws in waiters:
+                                wslot = ws & mask
+                                if (W_sq[wslot] != ws
+                                        or W_st[wslot] & 4):
+                                    continue
+                                count = W_wc[wslot] - 1
+                                W_wc[wslot] = count
+                                if count == 0:
+                                    if (not window
+                                            or window[-1] < ws):
+                                        window.append(ws)
+                                    else:
+                                        insort(window, ws)
+                        watchers = (addr_watch.pop(dest, None)
+                                    if addr_watch else None)
+                        if watchers:
+                            for ws in watchers:
+                                wslot = ws & mask
+                                if (W_sq[wslot] == ws
+                                        and not W_st[wslot] & 4):
+                                    imm = P_imm[W_pc[wslot]]
+                                    if type(result) is int:
+                                        addr = ((result + imm)
+                                                & _ADDR_MASK)
+                                    else:
+                                        addr = effective_address(
+                                            result, imm)
+                                    sq_set_address(W_se[wslot], addr)
+                    elif kind == 5:
+                        sq_execute(W_se[slot], W_ma[slot],
+                                   W_sval[slot])
+                    if kind == 1:
+                        # _resolve_control's conditional-branch body,
+                        # inline (the baseline's on_branch_resolved hook
+                        # is the base no-op).
+                        stats.branches += 1
+                        taken = W_atk[slot]
+                        prediction = W_pred[slot]
+                        predictor_update(prediction, taken)
+                        if taken != W_ptk[slot]:
+                            stats.branch_mispredictions += 1
+                            prediction.taken = taken
+                            predictor_restore(prediction)
+                            W_st[slot] |= 8
+                            stats.recoveries += 1
+                            recover_from_branch(s, slot, now)
+                    elif kind == 3:
+                        # BTB-indirect resolution stays out of line
+                        # (kind 2 direct jumps never mispredict: the
+                        # generic resolve is a no-op for them).
+                        resolve_control(s, slot, pc, kind, now)
 
             # ---------------- issue (event window walk) --------------- #
             issued = 0
@@ -341,107 +438,146 @@ class BaselineProcessor(OutOfOrderCore):
                 slots = issue_width
                 if budget < n:
                     n = budget
+                # The SQ only changes between walks (dispatch allocates,
+                # writeback resolves), and unresolved-address seqs
+                # iterate in ascending order, so "any older store with
+                # unknown address" is one compare against the first key.
+                sq_oldest_unknown = -1
+                for _q in sq_unknown:
+                    sq_oldest_unknown = _q
+                    break
                 read = 0
                 write = 0
                 while read < n:
-                    di = window[read]
+                    s = window[read]
                     read += 1
-                    if di.squashed or di.issued:
+                    slot = s & mask
+                    st = W_st[slot]
+                    if W_sq[slot] != s or st & 5:
                         dropped = True
                         continue
-                    eic = di.earliest_issue_cycle
+                    eic = W_eic[slot]
                     if eic > now:
                         if next_timed is None or eic < next_timed:
                             next_timed = eic
-                        window[write] = di
+                        window[write] = s
                         write += 1
                         continue
-                    inst = di.inst
-                    kind = inst.kind
-                    handles = di.src_handles
+                    pc = W_pc[slot]
+                    kind = P_kind[pc]
                     if kind == 4:
-                        base = phys_value[handles[0]]
-                        if type(base) is int:
-                            addr = (base + inst.imm) & _ADDR_MASK
-                        else:
-                            addr = effective_address(base, inst.imm)
-                        if ((sq_unknown or sq_pending)
-                                and sq_load_blocked(addr, di.seq)):
-                            window[write] = di
+                        # Address memo (see _issue_stage_event): computed
+                        # once, reused across blocked re-visits and by
+                        # the codegen closure below.
+                        addr = W_ma[slot]
+                        if addr < 0:
+                            base = phys_value[W_h0[slot]]
+                            if type(base) is int:
+                                addr = (base + P_imm[pc]) & _ADDR_MASK
+                            else:
+                                addr = effective_address(base, P_imm[pc])
+                            W_ma[slot] = addr
+                        # StoreQueue.load_blocked, inline.
+                        if -1 < sq_oldest_unknown < s:
+                            window[write] = s
                             write += 1
                             continue
-                    code = inst.fu_code
+                        if sq_pending:
+                            pend = sq_pending.get(addr)
+                            if pend is not None:
+                                blocked = False
+                                for _e in pend:
+                                    if _e.seq < s:
+                                        blocked = True
+                                        break
+                                if blocked:
+                                    window[write] = s
+                                    write += 1
+                                    continue
+                    code = P_fu[pc]
                     if fu_used[code] >= fu_limits[code]:
-                        window[write] = di
+                        window[write] = s
                         write += 1
                         continue
-                    # -------- issue + execute, inline ----------------- #
-                    di.issued = True
+                    # -------- issue + execute ------------------------- #
+                    W_st[slot] = st | 1
                     issued += 1
                     fu_used[code] = fu_used[code] + 1
-                    if kind == 0:
-                        di.src_values = values = [phys_value[h]
-                                                  for h in handles]
-                        di.result = inst.eval_fn(values, inst.imm)
-                        latency = inst.latency
-                    elif kind == 1:
-                        di.src_values = values = [phys_value[h]
-                                                  for h in handles]
-                        di.actual_taken = taken = inst.branch_fn(values)
-                        di.actual_target = (inst.target if taken
-                                            else di.pc + 1)
-                        latency = inst.latency
-                    elif kind == 4:
-                        di.src_values = (base,)
-                        di.mem_addr = addr
-                        if sq_entries:
-                            forwarded, penalty = sq_forward(addr, di.seq)
-                        else:
-                            forwarded = None
-                        if forwarded is not None:
-                            di.result = (float(forwarded)
-                                         if inst.op is FLD else forwarded)
-                            latency = 1 + penalty
-                        else:
-                            value = memory.get(addr, 0)
-                            di.result = (float(value) if inst.op is FLD
-                                         else value)
-                            # D-cache hit path, inline (Cache.access).
-                            line = (addr << 3) >> dc_line_shift
-                            tag = line >> dc_set_bits
-                            lines = dc_sets[line & dc_set_mask]
-                            if tag in lines:
-                                dcache.hits += 1
-                                lines.move_to_end(tag)
-                                latency = dcache_hit_cycles
+                    if exec_fns is not None:
+                        # Per-static-instruction codegen closure: operand
+                        # reads, semantics, latency and the completion
+                        # push compiled into one call (no kind ladder).
+                        exec_fns[pc](s, slot, now)
+                    else:
+                        # Generic inline ladder (config.codegen off).
+                        if kind == 0:
+                            nsrc = P_nsrc[pc]
+                            if nsrc == 2:
+                                values = (phys_value[W_h0[slot]],
+                                          phys_value[W_h1[slot]])
+                            elif nsrc:
+                                values = (phys_value[W_h0[slot]],)
                             else:
-                                latency = load_latency(addr)
-                    elif kind == 5:
-                        value_handle, base_handle = handles
-                        base = phys_value[base_handle]
-                        di.src_values = (phys_value[value_handle], base)
-                        if type(base) is int:
-                            di.mem_addr = (base + inst.imm) & _ADDR_MASK
+                                values = ()
+                            W_res[slot] = P_eval[pc](values, P_imm[pc])
+                            latency = P_lat[pc]
+                        elif kind == 1:
+                            if P_nsrc[pc] == 2:
+                                values = (phys_value[W_h0[slot]],
+                                          phys_value[W_h1[slot]])
+                            else:
+                                values = (phys_value[W_h0[slot]],)
+                            W_atk[slot] = taken = P_branch[pc](values)
+                            W_atg[slot] = P_target[pc] if taken else pc + 1
+                            latency = P_lat[pc]
+                        elif kind == 4:
+                            if sq_entries:
+                                forwarded, penalty = sq_forward(addr, s)
+                            else:
+                                forwarded = None
+                            is_fld = P_code[pc] == _FLD
+                            if forwarded is not None:
+                                W_res[slot] = (float(forwarded) if is_fld
+                                               else forwarded)
+                                latency = 1 + penalty
+                            else:
+                                value = memory.get(addr, 0)
+                                W_res[slot] = (float(value) if is_fld
+                                               else value)
+                                # D-cache hit path, inline (Cache.access).
+                                line = (addr << 3) >> dc_line_shift
+                                tag = line >> dc_set_bits
+                                lines = dc_sets[line & dc_set_mask]
+                                if tag in lines:
+                                    dcache.hits += 1
+                                    lines.move_to_end(tag)
+                                    latency = dcache_hit_cycles
+                                else:
+                                    latency = load_latency(addr)
+                        elif kind == 5:
+                            base = phys_value[W_h1[slot]]
+                            W_sval[slot] = phys_value[W_h0[slot]]
+                            if type(base) is int:
+                                W_ma[slot] = (base + P_imm[pc]) & _ADDR_MASK
+                            else:
+                                W_ma[slot] = effective_address(base,
+                                                               P_imm[pc])
+                            latency = 1
+                        elif kind == 2:
+                            W_atk[slot] = True
+                            W_atg[slot] = P_target[pc]
+                            latency = P_lat[pc]
                         else:
-                            di.mem_addr = effective_address(base, inst.imm)
-                        latency = 1
-                    elif kind == 2:
-                        di.src_values = ()
-                        di.actual_taken = True
-                        di.actual_target = inst.target
-                        latency = inst.latency
-                    else:
-                        di.src_values = values = [phys_value[h]
-                                                  for h in handles]
-                        di.actual_taken = True
-                        di.actual_target = int(values[0])
-                        latency = inst.latency
-                    finish = now + latency
-                    fbucket = completions.get(finish)
-                    if fbucket is None:
-                        completions[finish] = [di]
-                    else:
-                        fbucket.append(di)
+                            W_atk[slot] = True
+                            W_atg[slot] = int(phys_value[W_h0[slot]])
+                            latency = P_lat[pc]
+                        finish = now + latency
+                        W_fin[slot] = finish
+                        fbucket = completions.get(finish)
+                        if fbucket is None:
+                            completions[finish] = [s]
+                        else:
+                            fbucket.append(s)
                     slots -= 1
                     if slots <= 0:
                         break
@@ -459,105 +595,113 @@ class BaselineProcessor(OutOfOrderCore):
             if buffer:
                 rat = self.rat
                 iq_count = self.iq_count
-                while moved < rename_width and buffer:
-                    di = buffer[0]
-                    inst = di.inst
-                    if inst.kind == 6:       # NOP/HALT
-                        del buffer[0]
-                        di.completed = True
-                        in_flight.append(di)
+                # Consume the buffer through a read index; one slice
+                # delete at the end instead of a left shift per pop.
+                rd = 0
+                blen = len(buffer)
+                while moved < rename_width and rd < blen:
+                    s = buffer[rd]
+                    slot = s & mask
+                    pc = W_pc[slot]
+                    kind = P_kind[pc]
+                    if kind == 6:            # NOP/HALT
+                        rd += 1
+                        W_st[slot] |= 2
+                        in_flight.append(s)
                         dispatched += 1
                         moved += 1
                         continue
                     if iq_count >= iq_size:
                         stall_reason = "iq_full"
                         break
-                    writes = inst.writes_reg
-                    if inst.is_load:
+                    writes = P_wreg[pc]
+                    if kind == 4:
                         if lb.occupied >= lb.capacity:
                             stall_reason = "load_buffer_full"
                             break
-                    elif inst.is_store and sq_is_full():
+                    elif kind == 5 and sq_is_full():
                         stall_reason = "store_queue_full"
                         break
                     if len(in_flight) >= rob_size:
                         stall_reason = "rob_full"
                         break
                     if writes:
-                        free = (int_free if inst.dest < NUM_INT_REGS
+                        free = (int_free if P_dest[pc] < NUM_INT_REGS
                                 else fp_free)
                         if not free:
                             stall_reason = "registers_full"
                             break
-                    del buffer[0]
+                    rd += 1
                     # ------ rename + wire, inline and unrolled -------- #
-                    srcs = inst.srcs
+                    nsrc = P_nsrc[pc]
                     wait_count = 0
-                    if len(srcs) == 2:
-                        h0 = rat[srcs[0]]
-                        h1 = rat[srcs[1]]
-                        di.src_handles = (h0, h1)
+                    if nsrc == 2:
+                        h0 = rat[P_s0[pc]]
+                        h1 = rat[P_s1[pc]]
+                        W_h0[slot] = h0
+                        W_h1[slot] = h1
                         if not phys_ready[h0]:
                             wait_count = 1
                             lst = waiting.get(h0)
                             if lst is None:
-                                waiting[h0] = [di]
+                                waiting[h0] = [s]
                             else:
-                                lst.append(di)
+                                lst.append(s)
                         if not phys_ready[h1]:
                             wait_count += 1
                             lst = waiting.get(h1)
                             if lst is None:
-                                waiting[h1] = [di]
+                                waiting[h1] = [s]
                             else:
-                                lst.append(di)
-                    elif srcs:
+                                lst.append(s)
+                    elif nsrc:
                         h1 = None
-                        h0 = rat[srcs[0]]
-                        di.src_handles = (h0,)
+                        h0 = rat[P_s0[pc]]
+                        W_h0[slot] = h0
                         if not phys_ready[h0]:
                             wait_count = 1
                             lst = waiting.get(h0)
                             if lst is None:
-                                waiting[h0] = [di]
+                                waiting[h0] = [s]
                             else:
-                                lst.append(di)
+                                lst.append(s)
                     else:
                         h1 = None
-                        di.src_handles = ()
                     if writes:
                         new = free.pop()
                         phys_ready[new] = False
-                        di.dest_handle = new
-                        rat[inst.dest] = new
-                    if inst.is_control:
-                        di.tag = list(rat)   # precise-recovery snapshot
-                    di.wait_count = wait_count
-                    di.dispatch_cycle = now
-                    di.earliest_issue_cycle = now + 1
-                    if inst.is_store:
-                        di.store_entry = entry = sq_allocate(di.seq)
+                        W_dest[slot] = new
+                        rat[P_dest[pc]] = new
+                    if kind == 1 or kind == 2 or kind == 3:
+                        W_tag[slot] = list(rat)  # precise-recovery snapshot
+                    W_wc[slot] = wait_count
+                    W_eic[slot] = now + 1
+                    if kind == 5:
+                        W_se[slot] = entry = sq_allocate(s)
                         if phys_ready[h1]:
                             base = phys_value[h1]
                             if type(base) is int:
-                                addr = (base + inst.imm) & _ADDR_MASK
+                                addr = (base + P_imm[pc]) & _ADDR_MASK
                             else:
-                                addr = effective_address(base, inst.imm)
+                                addr = effective_address(base, P_imm[pc])
                             sq_set_address(entry, addr)
                         else:
                             lst = addr_watch.get(h1)
                             if lst is None:
-                                addr_watch[h1] = [di]
+                                addr_watch[h1] = [s]
                             else:
-                                lst.append(di)
-                    elif inst.is_load:
+                                lst.append(s)
+                    elif kind == 4:
+                        W_ma[slot] = -1   # address memo for the walk
                         lb.occupied += 1
-                    in_flight.append(di)
+                    in_flight.append(s)
                     iq_count += 1
                     dispatched += 1
                     if wait_count == 0:
-                        window.append(di)
+                        window.append(s)
                     moved += 1
+                if rd:
+                    del buffer[:rd]
                 self.iq_count = iq_count
                 stats.dispatched += dispatched
                 if moved == 0 and stall_reason is not None:
@@ -588,40 +732,74 @@ class BaselineProcessor(OutOfOrderCore):
                         fetch.icache_stall_cycles += 1
                     else:
                         next_seq = fetch.next_seq
+                        if next_seq + fetch_width > w.grow_barrier:
+                            w.ensure_room(oldest_live(),
+                                          next_seq + fetch_width)
+                            mask = w.mask
+                        # History only moves when a branch is predicted,
+                        # so read it once per group and refresh after
+                        # each (not-taken) prediction.
+                        if tage_hmask is not None:
+                            ghr_now = predictor.ghr & tage_hmask
+                        else:
+                            ghr_now = predictor_history()
                         for _ in range(fetch_width):
                             if len(buffer) >= buffer_capacity:
                                 break
-                            inst = program_fetch(pc)
-                            if inst is None:
+                            if pc < 0 or pc >= P_size:
                                 # Wrong-path PC fell off the program.
                                 fetch.halted = True
                                 break
-                            di = DynInst(next_seq, pc, inst)
-                            di.ghr_at_fetch = predictor_history()
+                            slot = next_seq & mask
+                            W_sq[slot] = next_seq
+                            W_pc[slot] = pc
+                            W_st[slot] = 0
+                            W_ghr[slot] = ghr_now
+                            buffer.append(next_seq)
                             next_seq += 1
                             fetched += 1
-                            buffer.append(di)
-                            op = inst.op
-                            if op is HALT:
-                                fetch.halted = True
-                                break
-                            if inst.is_branch:
-                                prediction = predictor_predict(pc)
-                                di.prediction = prediction
-                                di.predicted_taken = prediction.taken
-                                if prediction.taken:
-                                    di.predicted_target = pc = inst.target
+                            kind = P_kind[pc]
+                            if kind >= 6:
+                                if P_code[pc] == _HALT:
+                                    fetch.halted = True
                                     break
-                                di.predicted_target = pc + 1
-                            elif op is JMP:
-                                di.predicted_taken = True
-                                di.predicted_target = pc = inst.target
+                                pc += 1
+                                continue
+                            if kind == 1:
+                                if gs_pht is not None:
+                                    # gshare predict, inline.
+                                    index = (pc ^ ghr_now) & gs_imask
+                                    taken = gs_pht[index] >= 2
+                                    prediction = Prediction(
+                                        pc, taken, meta=(ghr_now, index))
+                                    ghr_now = (((ghr_now << 1)
+                                                | (1 if taken else 0))
+                                               & gs_hmask)
+                                    predictor.ghr = ghr_now
+                                else:
+                                    prediction = predictor_predict(pc)
+                                    taken = prediction.taken
+                                    if tage_hmask is not None:
+                                        # Specialised predict just
+                                        # masked and stored the ghr.
+                                        ghr_now = predictor.ghr
+                                    else:
+                                        ghr_now = predictor_history()
+                                W_pred[slot] = prediction
+                                W_ptk[slot] = taken
+                                if taken:
+                                    W_ptg[slot] = pc = P_target[pc]
+                                    break
+                                W_ptg[slot] = pc + 1
+                            elif kind == 2:
+                                W_ptk[slot] = True
+                                W_ptg[slot] = pc = P_target[pc]
                                 break
-                            elif op is JR:
-                                di.predicted_taken = True
+                            elif kind == 3:
+                                W_ptk[slot] = True
                                 predicted = btb_predict(pc)
                                 # BTB miss: fall through (will recover).
-                                di.predicted_target = pc = (
+                                W_ptg[slot] = pc = (
                                     predicted if predicted is not None
                                     else pc + 1)
                                 break
@@ -647,40 +825,51 @@ class BaselineProcessor(OutOfOrderCore):
                 if next_timed is not None and (bound is None
                                                or next_timed < bound):
                     bound = next_timed
-                horizon = now + (cycle_cap - stats.cycles)
+                horizon = now + (cycle_cap - cycles)
                 if bound is None or bound > horizon:
                     bound = horizon
                 if bound > now:
                     count = bound - now
-                    stats.cycles += count
+                    cycles += count
                     self.skipped_cycles += count
                     if stall_reason is not None:
                         stats.dispatch_stall_cycles[stall_reason] += count
                     fetch.skip_cycles(now, count)
                     self.now = now = now + count
         self.now = now
+        stats.cycles = cycles
+        stats.committed = committed
         return stats
 
     # ------------------------------------------------------------------ #
     # Recovery.
     # ------------------------------------------------------------------ #
 
-    def _release_squashed(self, squashed: List[DynInst]) -> None:
-        for di in squashed:
-            if di.inst.writes_reg:
-                self._free_list_for(di.inst.dest).append(di.dest_handle)
+    def _release_squashed(self, squashed: List[int]) -> None:
+        w = self.w
+        mask = w.mask
+        dec = self._dec
+        for s in squashed:
+            slot = s & mask
+            pc = w.pc[slot]
+            if dec.wreg[pc]:
+                self._free_list_for(dec.dest[pc]).append(w.dest[slot])
 
-    def recover_from_branch(self, di: DynInst, now: int) -> None:
-        squashed = self.squash_after(di.seq, di.seq)
+    def recover_from_branch(self, seq: int, slot: int, now: int) -> None:
+        w = self.w
+        target = w.atg[slot]
+        squashed = self.squash_after(seq, seq)
         self._release_squashed(squashed)
-        self.rat = list(di.tag)
-        self.fetch.redirect(di.actual_target, now)
+        # In place: the codegen'd closures bind the RAT list itself.
+        self.rat[:] = w.tag[slot]
+        self.fetch.redirect(target, now)
 
-    def take_exception(self, di: DynInst, now: int) -> None:
-        # ``di`` is the ROB head: everything older has committed, so the
+    def take_exception(self, seq: int, slot: int, now: int) -> None:
+        # This is the ROB head: everything older has committed, so the
         # architectural RAT is exactly the precise recovery state.
-        squashed = self.squash_after(di.seq - 1, FAULT_NONE)
+        pc = self.w.pc[slot]
+        squashed = self.squash_after(seq - 1, FAULT_NONE)
         self._release_squashed(squashed)
-        self.rat = list(self.arch_rat)
-        self.repair_history_at(di)
-        self.fetch.redirect(di.pc, now)
+        self.rat[:] = self.arch_rat
+        self.repair_history_at(slot)
+        self.fetch.redirect(pc, now)

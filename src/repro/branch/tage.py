@@ -78,6 +78,7 @@ def _fold(value: int, length: int, bits: int) -> int:
 # --------------------------------------------------------------------- #
 
 _TRAIN_CACHE: Dict[tuple, object] = {}
+_PREDICT_CACHE: Dict[tuple, object] = {}
 
 
 class _FoldLayout:
@@ -319,6 +320,134 @@ def _bind_train(predictor: "TagePredictor") -> MethodType:
     return MethodType(bound, predictor)
 
 
+def _build_predict_source(num_tagged: int, table_bits: int, tag_bits: int,
+                          history_lengths: Sequence[int], base_mask: int,
+                          history_mask: int) -> str:
+    """Geometry-specialised ``predict`` source: the match scan unrolled
+    with the fold offsets baked in and :meth:`_shift_history` inlined.
+    Must stay bit-identical to the class-level reference ``predict``
+    (same taken bit, same meta tuple, same fold/ghr side effects) —
+    the parity property test pins it."""
+    idx_mask = (1 << table_bits) - 1
+    tag_mask = (1 << tag_bits) - 1
+    layout = _FoldLayout(num_tagged, table_bits, tag_bits,
+                         history_lengths)
+    strides = layout.strides
+    widths = layout.widths
+    group = layout.group
+    top = layout.top
+    insert = layout.insert
+
+    lines: List[str] = []
+    emit = lines.append
+    emit("def _predict(self, pc, tag_table=None, ctr_table=None,"
+         " useful_table=None, base=None, Prediction=None):")
+    emit("    p_idx = self._p_idx")
+    emit("    p_tag1 = self._p_tag1")
+    emit("    p_tag2 = self._p_tag2")
+    emit("    provider = alt = -1")
+    emit("    p_index = a_index = 0")
+    for comp in range(num_tagged - 1, -1, -1):
+        o_idx = strides[0] * comp
+        o_tag1 = strides[1] * comp
+        o_tag2 = strides[2] * comp
+        fi = f"(p_idx >> {o_idx})" if o_idx else "p_idx"
+        f1 = f"(p_tag1 >> {o_tag1})" if o_tag1 else "p_tag1"
+        f2 = f"(p_tag2 >> {o_tag2})" if o_tag2 else "p_tag2"
+        emit(f"    i{comp} = (pc ^ (pc >> {comp + 1}) ^ {fi}) & {idx_mask}")
+        emit(f"    t{comp} = (pc ^ {f1} ^ {f2}) & {tag_mask}")
+        emit(f"    if tag_table[{comp}][i{comp}] == t{comp}:")
+        emit("        if provider < 0:")
+        emit(f"            provider = {comp}")
+        emit(f"            p_index = i{comp}")
+        emit("        elif alt < 0:")
+        emit(f"            alt = {comp}")
+        emit(f"            a_index = i{comp}")
+    emit("    if provider >= 0:")
+    emit("        ctr = ctr_table[provider][p_index]")
+    emit("        provider_pred = ctr >= 0")
+    emit("        if alt >= 0:")
+    emit("            alt_pred = ctr_table[alt][a_index] >= 0")
+    emit("            meta_alt = alt")
+    emit("        else:")
+    emit(f"            alt_pred = base[pc & {base_mask}] >= 2")
+    emit("            meta_alt = None")
+    emit("        if (useful_table[provider][p_index] == 0"
+         " and -1 <= ctr <= 0 and self.use_alt >= 8):")
+    emit("            taken = alt_pred")
+    emit("        else:")
+    emit("            taken = provider_pred")
+    emit("        meta_provider = provider")
+    emit("    else:")
+    emit(f"        provider_pred = alt_pred = taken ="
+         f" base[pc & {base_mask}] >= 2")
+    emit("        meta_provider = meta_alt = None")
+    # Snapshot before the shift, exactly like the reference predict.
+    emit("    ghr = self.ghr")
+    emit("    snapshot = (ghr, p_idx, p_tag1, p_tag2)")
+    # _shift_history inlined (masked every shift, like the reference —
+    # the train fast path's deferred re-mask trick is train-only).
+    emit(f"    p_idx = ((p_idx << 1) | ((p_idx & {top[0]})"
+         f" >> {widths[0] - 1})) & {group[0]}")
+    emit(f"    p_tag1 = ((p_tag1 << 1) | ((p_tag1 & {top[1]})"
+         f" >> {widths[1] - 1})) & {group[1]}")
+    emit(f"    p_tag2 = ((p_tag2 << 1) | ((p_tag2 & {top[2]})"
+         f" >> {widths[2] - 1})) & {group[2]}")
+    emit("    if taken:")
+    emit(f"        p_idx ^= {insert[0]}")
+    emit(f"        p_tag1 ^= {insert[1]}")
+    emit(f"        p_tag2 ^= {insert[2]}")
+    emit(f"        self.ghr = ((ghr << 1) | 1) & {history_mask}")
+    emit("    else:")
+    emit(f"        self.ghr = (ghr << 1) & {history_mask}")
+    max_pos = max(pos for pos, _masks in layout.evict)
+    for pos, masks in layout.evict:
+        if pos <= max_pos - pos:
+            emit(f"    if ghr & {1 << pos}:")
+        else:
+            emit(f"    if (ghr >> {pos}) & 1:")
+        emit(f"        p_idx ^= {masks[0]}")
+        emit(f"        p_tag1 ^= {masks[1]}")
+        emit(f"        p_tag2 ^= {masks[2]}")
+    emit("    self._p_idx = p_idx")
+    emit("    self._p_tag1 = p_tag1")
+    emit("    self._p_tag2 = p_tag2")
+    indices = ", ".join(f"i{comp}" for comp in range(num_tagged))
+    tags = ", ".join(f"t{comp}" for comp in range(num_tagged))
+    emit("    return Prediction(pc, taken,"
+         " (snapshot, meta_provider, meta_alt,"
+         f" [{indices}], [{tags}], provider_pred, alt_pred))")
+    return "\n".join(lines)
+
+
+def _specialized_predict(predictor: "TagePredictor"):
+    key = (predictor.num_tagged, predictor.table_bits, predictor.tag_bits,
+           tuple(predictor.history_lengths), predictor.base_mask,
+           predictor.history_mask)
+    impl = _PREDICT_CACHE.get(key)
+    if impl is None:
+        source = _build_predict_source(*key)
+        namespace: dict = {}
+        exec(compile(source, "<tage-specialized-predict>", "exec"),
+             namespace)
+        impl = namespace["_predict"]
+        impl.__doc__ = ("Geometry-specialised TAGE predict "
+                        "(generated by _build_predict_source):\n\n"
+                        + source)
+        _PREDICT_CACHE[key] = impl
+    return impl
+
+
+def _bind_predict(predictor: "TagePredictor") -> MethodType:
+    """Like :func:`_bind_train`, for the detailed core's predict path."""
+    impl = _specialized_predict(predictor)
+    bound = FunctionType(
+        impl.__code__, impl.__globals__, impl.__name__,
+        (predictor.tag_table, predictor.ctr_table,
+         predictor.useful_table, predictor.base, Prediction))
+    return MethodType(bound, predictor)
+
+
 class TagePredictor(BranchPredictor):
     """Bimodal base + 7 tagged geometric-history components."""
 
@@ -380,9 +509,10 @@ class TagePredictor(BranchPredictor):
         # allocation on the fast-forward path).
         self._scratch_idx: List[int] = [0] * num_tagged
         self._scratch_tag: List[int] = [0] * num_tagged
-        # Bind the geometry-specialised train (shadows the class-level
-        # delegating method; rebound by clone()/__setstate__).
+        # Bind the geometry-specialised train and predict (shadowing
+        # the class-level methods; rebound by clone()/__setstate__).
         self.train = _bind_train(self)
+        self.predict = _bind_predict(self)
 
     def _init_fold_geometry(self) -> None:
         """Adopt the shared packed-register layout (see
@@ -700,9 +830,10 @@ class TagePredictor(BranchPredictor):
         new.useful_table = [table[:] for table in self.useful_table]
         new._scratch_idx = [0] * self.num_tagged
         new._scratch_tag = [0] * self.num_tagged
-        # The copied bound method still targets *self* and the old
+        # The copied bound methods still target *self* and the old
         # table objects; rebind against the fresh copies.
         new.train = _bind_train(new)
+        new.predict = _bind_predict(new)
         return new
 
     def restore(self, prediction: Prediction) -> None:
@@ -714,15 +845,17 @@ class TagePredictor(BranchPredictor):
         self._shift_history(1 if prediction.taken else 0)
 
     def __getstate__(self):
-        # The bound specialised train doesn't pickle (exec'd function);
-        # __setstate__ / the class-level train() re-establish it.
+        # The bound specialised train/predict don't pickle (exec'd
+        # functions); __setstate__ re-establishes them.
         state = self.__dict__.copy()
         state.pop("train", None)
+        state.pop("predict", None)
         return state
 
     def __setstate__(self, state) -> None:
         self.__dict__.update(state)
         self.train = _bind_train(self)
+        self.predict = _bind_predict(self)
 
     def get_history(self) -> int:
         # The specialised train() stores ghr unmasked between its

@@ -19,6 +19,10 @@ No ROB, no checkpoints, no RAT, no global free list. Instead:
 * renaming bandwidth follows Sec. 3.3: up to 4 destinations per cycle,
   at most 2 of them in the same bank (both limits configurable for the
   ablation benches).
+
+Per-instruction state lives in the shared in-flight window columns:
+``h0``/``h1``/``dest`` hold ``(logical, mono)`` bank handles here and
+``sid`` the instruction's StateId.
 """
 
 from __future__ import annotations
@@ -31,13 +35,20 @@ from repro.core.sct import RegisterBank
 from repro.core.stateid import StateIdAllocator
 from repro.isa.registers import NUM_LOGICAL_REGS, is_fp_reg, reg_name
 from repro.pipeline.core_base import FAULT_NONE, OutOfOrderCore
-from repro.pipeline.dyninst import DynInst
 
 Handle = Tuple[int, int]   # (logical register, bank allocation counter)
 
 
 class MSPProcessor(OutOfOrderCore):
     """Multi-State Processor core."""
+
+    #: No ROB bound: in-flight count is limited only by bank capacity,
+    #: so start the ring larger (it still grows on demand).
+    window_capacity = 2048
+
+    #: Exec codegen binds the static source *bank objects* as defaults
+    #: and runs ``bank.consume(mono); bank.read(mono)`` per operand.
+    codegen_flavor = "banked"
 
     def __init__(self, program, config) -> None:
         super().__init__(program, config)
@@ -92,13 +103,15 @@ class MSPProcessor(OutOfOrderCore):
         logical, mono = handle
         return self.banks[logical].read(mono)
 
-    def write_result(self, di: DynInst) -> None:
-        logical, mono = di.dest_handle
-        self.banks[logical].write(mono, di.result)
+    def write_result(self, slot: int) -> None:
+        w = self.w
+        logical, mono = w.dest[slot]
+        self.banks[logical].write(mono, w.res[slot])
 
-    def on_complete(self, di: DynInst) -> None:
-        if not di.inst.writes_reg:
-            self._dec_outstanding(di.stateid)
+    def on_complete(self, seq: int, slot: int) -> None:
+        w = self.w
+        if not self._dec.wreg[w.pc[slot]]:
+            self._dec_outstanding(w.sid[slot])
 
     def _dec_outstanding(self, stateid: int) -> None:
         count = self.state_outstanding.get(stateid, 0) - 1
@@ -118,10 +131,11 @@ class MSPProcessor(OutOfOrderCore):
         self._bank_renames.clear()
         self._dispatch_read_ports.clear()
 
-    def dispatch_blocked(self, di: DynInst, moved: int) -> Optional[str]:
-        inst = di.inst
-        if inst.writes_reg:
-            dest = inst.dest
+    def dispatch_blocked(self, seq: int, slot: int, pc: int,
+                         moved: int) -> Optional[str]:
+        dec = self._dec
+        if dec.wreg[pc]:
+            dest = dec.dest[pc]
             if self.banks[dest].is_full():
                 self._last_bank_blocked = dest
                 return "bank_full"
@@ -130,16 +144,19 @@ class MSPProcessor(OutOfOrderCore):
                 return "rename_ports"
             if self._bank_renames[dest] >= self.config.max_same_reg_renames:
                 return "sct_write_ports"
-        if self.config.arbitration and not self._claimable_read_ports(inst):
+        if self.config.arbitration and not self._claimable_read_ports(pc):
             self.read_port_conflicts += 1
             return "read_port_conflict"
         return None
 
-    def _claimable_read_ports(self, inst) -> bool:
+    def _claimable_read_ports(self, pc: int) -> bool:
         """Can this instruction's ready operands all get their bank read
         port this cycle? Reads of the *same* entry share a port."""
+        dec = self._dec
+        nsrc = dec.nsrc[pc]
         group: Dict[int, int] = {}
-        for src in inst.srcs:
+        for i in range(nsrc):
+            src = dec.s0[pc] if i == 0 else dec.s1[pc]
             bank = self.banks[src]
             mono = bank.current_mono()
             if not bank.is_ready(mono):
@@ -161,61 +178,71 @@ class MSPProcessor(OutOfOrderCore):
         if reason == "bank_full" and self._last_bank_blocked is not None:
             self.stats.bank_stall_cycles[self._last_bank_blocked] += count
 
-    def rename(self, di: DynInst) -> None:
-        inst = di.inst
+    def rename(self, seq: int, slot: int, pc: int) -> None:
+        dec = self._dec
+        w = self.w
         # Source lookup: each source is the latest renaming in its bank
         # (RenP); the use bit is set in the bank's RelIQ sub-matrix.
         # Sequential processing within the cycle resolves same-cycle RAW
         # dependences, like the pointer-increment chain of Fig. 5.
-        handles: List[Handle] = []
-        for src in inst.srcs:
+        nsrc = dec.nsrc[pc]
+        arbitration = self.config.arbitration
+        ports = self._dispatch_read_ports
+        for i in range(nsrc):
+            src = dec.s0[pc] if i == 0 else dec.s1[pc]
             bank = self.banks[src]
             mono = bank.current_mono()
             bank.add_use(mono)
-            handles.append((src, mono))
-        di.src_handles = handles
-        if self.config.arbitration:
-            for src, mono in handles:
-                if self.banks[src].is_ready(mono):
-                    self._dispatch_read_ports[src] = mono
+            if i == 0:
+                w.h0[slot] = (src, mono)
+            else:
+                w.h1[slot] = (src, mono)
+            if arbitration and bank.is_ready(mono):
+                ports[src] = mono
 
-        if inst.writes_reg:
+        if dec.wreg[pc]:
             stateid = self.sc.next()
-            di.stateid = stateid
-            mono = self.banks[inst.dest].allocate(stateid)
-            di.dest_handle = (inst.dest, mono)
+            w.sid[slot] = stateid
+            dest = dec.dest[pc]
+            mono = self.banks[dest].allocate(stateid)
+            w.dest[slot] = (dest, mono)
             self._renames_this_cycle += 1
-            self._bank_renames[inst.dest] += 1
+            self._bank_renames[dest] += 1
         else:
             # Branches, stores and jumps belong to the current state.
-            di.stateid = self.sc.current
-            self.state_outstanding[di.stateid] = (
-                self.state_outstanding.get(di.stateid, 0) + 1)
+            stateid = self.sc.current
+            w.sid[slot] = stateid
+            self.state_outstanding[stateid] = (
+                self.state_outstanding.get(stateid, 0) + 1)
 
-    def assign_state_tag(self, di: DynInst) -> None:
+    def assign_state_tag(self, slot: int) -> None:
         # NOP/HALT never execute; they carry the current state and commit
         # with it, but do not gate its completion.
-        di.stateid = self.sc.current
+        self.w.sid[slot] = self.sc.current
 
     # ------------------------------------------------------------------ #
     # Port arbitration (Sec. 5.1): 1R/1W per bank.
     # ------------------------------------------------------------------ #
 
-    def filter_writebacks(self, completed: List[DynInst], now: int):
+    def filter_writebacks(self, completed: List[int], now: int):
         if not self.config.arbitration:
             return completed, []
+        w = self.w
+        mask = w.mask
+        wreg = self._dec.wreg
         written: Dict[int, int] = {}
-        accepted: List[DynInst] = []
-        deferred: List[DynInst] = []
-        for di in completed:
-            if di.inst.writes_reg:
-                logical, mono = di.dest_handle
+        accepted: List[int] = []
+        deferred: List[int] = []
+        for s in completed:
+            slot = s & mask
+            if wreg[w.pc[slot]]:
+                logical, mono = w.dest[slot]
                 if logical in written and written[logical] != mono:
                     self.write_port_conflicts += 1
-                    deferred.append(di)
+                    deferred.append(s)
                     continue
                 written[logical] = mono
-            accepted.append(di)
+            accepted.append(s)
         return accepted, deferred
 
     # ------------------------------------------------------------------ #
@@ -230,18 +257,24 @@ class MSPProcessor(OutOfOrderCore):
             (bank.lcs_candidate(outstanding) for bank in self.banks),
             all_quiescent_value=self.sc.current + 1)
 
+        in_flight = self.in_flight
+        w = self.w
+        mask = w.mask
+        w_st, w_sid = w.st, w.sid
         committed_any = False
-        while self.in_flight:
-            di = self.in_flight[0]
-            if not di.completed or di.stateid >= effective_lcs:
+        while in_flight:
+            s = in_flight[0]
+            slot = s & mask
+            if not w_st[slot] & 2 or w_sid[slot] >= effective_lcs:
                 break
-            if not self.commit_one(di, now):
+            if not self.commit_one(s, slot, now):
                 return  # exception recovery took over
-            self.in_flight.popleft()
+            in_flight.popleft()
             committed_any = True
-            if di.stateid > self._committed_stateid:
-                self._committed_stateid = di.stateid
-            self._last_committed_seq = di.seq
+            stateid = w_sid[slot]
+            if stateid > self._committed_stateid:
+                self._committed_stateid = stateid
+            self._last_committed_seq = s
             if self.done:
                 break
         if committed_any:
@@ -263,33 +296,49 @@ class MSPProcessor(OutOfOrderCore):
     # Precise recovery (Sec. 3.5).
     # ------------------------------------------------------------------ #
 
-    def recover_from_branch(self, di: DynInst, now: int) -> None:
-        self._recover(boundary_seq=di.seq, fault_seq=di.seq,
-                      recovery_stateid=di.stateid,
-                      resume_pc=di.actual_target, now=now)
+    def recover_from_branch(self, seq: int, slot: int, now: int) -> None:
+        w = self.w
+        self._recover(boundary_seq=seq, fault_seq=seq,
+                      recovery_stateid=w.sid[slot],
+                      resume_pc=w.atg[slot], now=now)
 
-    def take_exception(self, di: DynInst, now: int) -> None:
+    def take_exception(self, seq: int, slot: int, now: int) -> None:
         # Recovery StateId is the excepting instruction's state, or the
         # previous one if it produced a new state (Sec. 3.5): the
         # instruction itself is squashed and re-fetched.
-        recovery = di.stateid - 1 if di.inst.writes_reg else di.stateid
-        self.repair_history_at(di)
-        self._recover(boundary_seq=di.seq - 1, fault_seq=FAULT_NONE,
-                      recovery_stateid=recovery, resume_pc=di.pc, now=now)
+        w = self.w
+        pc = w.pc[slot]
+        stateid = w.sid[slot]
+        recovery = stateid - 1 if self._dec.wreg[pc] else stateid
+        self.repair_history_at(slot)
+        self._recover(boundary_seq=seq - 1, fault_seq=FAULT_NONE,
+                      recovery_stateid=recovery, resume_pc=pc, now=now)
 
     def _recover(self, boundary_seq: int, fault_seq: int,
                  recovery_stateid: int, resume_pc: int, now: int) -> None:
         squashed = self.squash_after(boundary_seq, fault_seq)
-        for dead in squashed:
-            if not dead.issued and not dead.completed:
+        w = self.w
+        mask = w.mask
+        dec = self._dec
+        banks = self.banks
+        for s in squashed:
+            slot = s & mask
+            st = w.st[slot]
+            pc = w.pc[slot]
+            if not st & 3:               # neither issued nor completed
                 # Clear the cancelled instruction's RelIQ column.
-                for logical, mono in dead.src_handles:
-                    self.banks[logical].consume(mono)
-            if not dead.inst.writes_reg and not dead.completed:
+                nsrc = dec.nsrc[pc]
+                if nsrc:
+                    logical, mono = w.h0[slot]
+                    banks[logical].consume(mono)
+                    if nsrc > 1:
+                        logical, mono = w.h1[slot]
+                        banks[logical].consume(mono)
+            if not dec.wreg[pc] and not st & 2:
                 # NOP/HALT complete at dispatch and are never counted.
-                self._dec_outstanding(dead.stateid)
+                self._dec_outstanding(w.sid[slot])
         # Broadcast the Recovery StateId: release younger entries.
-        for bank in self.banks:
+        for bank in banks:
             bank.rollback(recovery_stateid)
         self.sc.reset_to(recovery_stateid)
         self.fetch.redirect(resume_pc, now)

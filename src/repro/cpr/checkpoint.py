@@ -21,24 +21,31 @@ and the checkpoint is the oldest.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 
 class Checkpoint:
     """One CPR checkpoint and its instruction interval.
 
     ``history_base`` snapshots the branch predictor's global history at
-    the creating instruction's fetch; ``branch_di`` is the creating
-    branch when the checkpoint sits at one, so a rollback can append its
-    (predicted or resolved) outcome when restoring history.
+    the creating instruction's fetch.  When the checkpoint sits at a
+    conditional branch, ``branch_seq`` records it and ``predicted_taken``
+    its fetch-time prediction; the branch's *resolved* direction is
+    stamped into ``branch_taken`` when it executes (the core does this in
+    ``on_branch_resolved``), so a rollback can append the best-known
+    outcome when restoring history.  The branch may well commit — and its
+    in-flight window slot be recycled — while this checkpoint is still
+    live, which is why the outcome is stamped eagerly rather than read
+    back from the window at rollback time.
     """
 
     __slots__ = ("seq", "resume_pc", "rat_snapshot", "outstanding", "alive",
-                 "at_branch", "history_base", "branch_di")
+                 "at_branch", "history_base", "branch_seq",
+                 "predicted_taken", "branch_taken")
 
     def __init__(self, seq: int, resume_pc: int,
                  rat_snapshot: List[int], at_branch: bool = False,
-                 history_base=None, branch_di=None) -> None:
+                 history_base=None) -> None:
         self.seq = seq
         self.resume_pc = resume_pc
         self.rat_snapshot = rat_snapshot
@@ -46,7 +53,9 @@ class Checkpoint:
         self.alive = True
         self.at_branch = at_branch
         self.history_base = history_base
-        self.branch_di = branch_di
+        self.branch_seq: Optional[int] = None
+        self.predicted_taken = False
+        self.branch_taken: Optional[bool] = None
 
     def __repr__(self) -> str:
         kind = "branch" if self.at_branch else "guard"

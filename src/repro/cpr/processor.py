@@ -26,22 +26,33 @@ Reference-count holds on a physical register P:
 
 Rollback rebuilds all counts from those rules over the surviving state,
 which keeps recovery correct without shadow free-list machinery.
+
+Per-instruction state lives in the shared in-flight window columns; the
+``tag`` column does double duty — the memoised checkpoint decision
+(a bool) while the instruction stalls at the buffer head, then its owner
+:class:`Checkpoint` once renamed.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.branch.confidence import ConfidenceEstimator
 from repro.cpr.checkpoint import Checkpoint
-from repro.isa.opcodes import Op
 from repro.isa.registers import NUM_INT_REGS, NUM_LOGICAL_REGS, is_int_reg
 from repro.pipeline.core_base import FAULT_NONE, OutOfOrderCore
-from repro.pipeline.dyninst import DynInst
 
 
 class CPRProcessor(OutOfOrderCore):
     """Checkpoint Processing and Recovery machine."""
+
+    #: No ROB bound: in-flight count is limited only by registers and
+    #: checkpoints, so start the ring larger (it still grows on demand).
+    window_capacity = 2048
+
+    #: Exec codegen inlines the read-side refcount release (mirrors
+    #: :meth:`_release`, including free-list push order).
+    codegen_flavor = "release"
 
     def __init__(self, program, config) -> None:
         super().__init__(program, config)
@@ -82,6 +93,9 @@ class CPRProcessor(OutOfOrderCore):
         self._hold_snapshot(initial.rat_snapshot)
         self.checkpoints: List[Checkpoint] = [initial]
         self._since_checkpoint = 0
+        #: live checkpoints sitting at a conditional branch, by the
+        #: branch's seq — so resolution can stamp the real outcome.
+        self._cp_at_branch: Dict[int, Checkpoint] = {}
         #: low-confidence branches left uncovered because all checkpoints
         #: were in use.
         self.checkpoints_missed = 0
@@ -141,87 +155,112 @@ class CPRProcessor(OutOfOrderCore):
     def peek_operand(self, handle: int):
         return self.phys_value[handle]
 
-    def write_result(self, di: DynInst) -> None:
-        self.phys_value[di.dest_handle] = di.result
-        self.phys_ready[di.dest_handle] = True
+    def write_result(self, slot: int) -> None:
+        w = self.w
+        self.phys_value[w.dest[slot]] = w.res[slot]
+        self.phys_ready[w.dest[slot]] = True
 
-    def on_complete(self, di: DynInst) -> None:
-        if di.inst.writes_reg:
-            self._release(di.dest_handle)  # writer hold
-        owner = di.tag
-        if isinstance(owner, Checkpoint) and owner.alive:
+    def on_complete(self, seq: int, slot: int) -> None:
+        w = self.w
+        if self._dec.wreg[w.pc[slot]]:
+            self._release(w.dest[slot])  # writer hold
+        owner = w.tag[slot]
+        if owner is not None and owner.alive:
             owner.outstanding -= 1
 
     # ------------------------------------------------------------------ #
     # Checkpoint placement.
     # ------------------------------------------------------------------ #
 
-    def _needs_checkpoint(self, di: DynInst) -> bool:
-        inst = di.inst
-        if inst.is_branch or inst.op is Op.JR:
-            return not self.confidence.is_confident(di.pc)
+    def _needs_checkpoint(self, pc: int) -> bool:
+        kind = self._dec.kind[pc]
+        if kind == 1 or kind == 3:       # conditional branch or JR
+            return not self.confidence.is_confident(pc)
         return self._since_checkpoint >= self.config.checkpoint_max_interval
 
-    def on_branch_resolved(self, di: DynInst, mispredicted: bool) -> None:
-        self.confidence.update(di.pc, correct=not mispredicted,
-                               taken=di.actual_taken)
+    def on_branch_resolved(self, slot: int, mispredicted: bool) -> None:
+        w = self.w
+        taken = w.atk[slot]
+        self.confidence.update(w.pc[slot], correct=not mispredicted,
+                               taken=taken)
+        if self._cp_at_branch:
+            checkpoint = self._cp_at_branch.pop(w.sq[slot], None)
+            if checkpoint is not None:
+                checkpoint.branch_taken = taken
 
     # ------------------------------------------------------------------ #
     # Dispatch.
     # ------------------------------------------------------------------ #
 
-    def dispatch_blocked(self, di: DynInst, moved: int) -> Optional[str]:
-        inst = di.inst
+    def dispatch_blocked(self, seq: int, slot: int, pc: int,
+                         moved: int) -> Optional[str]:
         # Memoise the checkpoint decision across stalled retries so the
-        # confidence estimator is queried once per dynamic branch.
-        if di.tag is None:
-            di.tag = ("decision", self._needs_checkpoint(di))
-        if inst.writes_reg and not self._free_list_for_logical(inst.dest):
+        # confidence estimator is queried once per dynamic branch (the
+        # tag column is reset to None at fetch).
+        w = self.w
+        if w.tag[slot] is None:
+            w.tag[slot] = self._needs_checkpoint(pc)
+        dec = self._dec
+        if dec.wreg[pc] and not self._free_list_for_logical(dec.dest[pc]):
             return "registers_full"
         return None
 
-    def rename(self, di: DynInst) -> None:
-        inst = di.inst
-        needs_checkpoint = di.tag[1]
+    def rename(self, seq: int, slot: int, pc: int) -> None:
+        w = self.w
+        needs_checkpoint = w.tag[slot]
         self._since_checkpoint += 1
         if needs_checkpoint:
             # Best effort: with all 8 checkpoints live the instruction
             # proceeds uncovered and a misprediction simply rolls back
             # further (CPR's fundamental imprecision).
             if len(self.checkpoints) < self.config.checkpoints:
-                self._create_checkpoint(di)
+                self._create_checkpoint(seq, slot, pc)
             else:
                 self.checkpoints_missed += 1
 
-        owner = self._owner_checkpoint(di.seq)
-        di.tag = owner
+        owner = self._owner_checkpoint(seq)
+        w.tag[slot] = owner
         owner.outstanding += 1
 
-        di.src_handles = [self.rat[src] for src in inst.srcs]
-        for handle in di.src_handles:
-            self.refcount[handle] += 1  # reader hold
-        if inst.writes_reg:
-            new = self._free_list_for_logical(inst.dest).pop()
+        dec = self._dec
+        rat = self.rat
+        refcount = self.refcount
+        nsrc = dec.nsrc[pc]
+        if nsrc:
+            h0 = rat[dec.s0[pc]]
+            w.h0[slot] = h0
+            refcount[h0] += 1            # reader hold
+            if nsrc > 1:
+                h1 = rat[dec.s1[pc]]
+                w.h1[slot] = h1
+                refcount[h1] += 1
+        if dec.wreg[pc]:
+            dest = dec.dest[pc]
+            new = self._free_list_for_logical(dest).pop()
             self.phys_ready[new] = False
-            self.refcount[new] = 2      # mapping + writer holds
-            old = self.rat[inst.dest]
-            self.rat[inst.dest] = new
-            di.dest_handle = new
-            self._release(old)          # superseded mapping
+            refcount[new] = 2            # mapping + writer holds
+            old = rat[dest]
+            rat[dest] = new
+            w.dest[slot] = new
+            self._release(old)           # superseded mapping
 
-    def _create_checkpoint(self, di: DynInst) -> None:
-        inst = di.inst
-        if inst.is_control:
-            checkpoint = Checkpoint(seq=di.seq,
-                                    resume_pc=di.predicted_target,
+    def _create_checkpoint(self, seq: int, slot: int, pc: int) -> None:
+        w = self.w
+        kind = self._dec.kind[pc]
+        if kind == 1 or kind == 2 or kind == 3:
+            checkpoint = Checkpoint(seq=seq,
+                                    resume_pc=w.ptg[slot],
                                     rat_snapshot=list(self.rat),
                                     at_branch=True,
-                                    history_base=di.ghr_at_fetch,
-                                    branch_di=di if inst.is_branch else None)
+                                    history_base=w.ghr[slot])
+            if kind == 1:
+                checkpoint.branch_seq = seq
+                checkpoint.predicted_taken = w.ptk[slot]
+                self._cp_at_branch[seq] = checkpoint
         else:
-            checkpoint = Checkpoint(seq=di.seq - 1, resume_pc=di.pc,
+            checkpoint = Checkpoint(seq=seq - 1, resume_pc=pc,
                                     rat_snapshot=list(self.rat),
-                                    history_base=di.ghr_at_fetch)
+                                    history_base=w.ghr[slot])
         self._hold_snapshot(checkpoint.rat_snapshot)
         self.checkpoints.append(checkpoint)
         self.stats.checkpoints_created += 1
@@ -232,6 +271,11 @@ class CPRProcessor(OutOfOrderCore):
             if checkpoint.seq < seq:
                 return checkpoint
         raise AssertionError("no covering checkpoint")
+
+    def _forget(self, checkpoint: Checkpoint) -> None:
+        """Drop a retired/killed checkpoint's branch-stamp registration."""
+        if checkpoint.branch_seq is not None:
+            self._cp_at_branch.pop(checkpoint.branch_seq, None)
 
     def on_dispatch_stall(self, reason: str) -> None:
         """Forward-progress guard: if dispatch is blocked on a full
@@ -244,20 +288,22 @@ class CPRProcessor(OutOfOrderCore):
             return
         head = self.fetch.buffer[0]
         youngest = self.checkpoints[-1]
-        if youngest.seq >= head.seq - 1:
+        if youngest.seq >= head - 1:
             return  # interval already closed here
-        checkpoint = Checkpoint(seq=head.seq - 1, resume_pc=head.pc,
+        w = self.w
+        slot = head & w.mask
+        checkpoint = Checkpoint(seq=head - 1, resume_pc=w.pc[slot],
                                 rat_snapshot=list(self.rat),
-                                history_base=head.ghr_at_fetch)
+                                history_base=w.ghr[slot])
         self._hold_snapshot(checkpoint.rat_snapshot)
         self.checkpoints.append(checkpoint)
         self.stats.checkpoints_created += 1
         self._since_checkpoint = 0
 
-    def assign_state_tag(self, di: DynInst) -> None:
-        # NOP/HALT never execute, so they do not join an outstanding
-        # count; they bulk-commit with whatever interval contains them.
-        di.tag = None
+    # NOP/HALT keep tag=None (set at fetch): they never execute, so they
+    # do not join an outstanding count and bulk-commit with whatever
+    # interval contains them — the base ``assign_state_tag`` no-op is
+    # exactly right.
 
     # ------------------------------------------------------------------ #
     # Commit: bulk, one whole checkpoint interval at a time.
@@ -273,6 +319,7 @@ class CPRProcessor(OutOfOrderCore):
             # Release the oldest checkpoint.
             self.checkpoints.pop(0)
             oldest.alive = False
+            self._forget(oldest)
             for handle in oldest.rat_snapshot:
                 self._release(handle)
         self._drain_if_halted(now)
@@ -284,23 +331,25 @@ class CPRProcessor(OutOfOrderCore):
         rollback to the preceding checkpoint, so nothing in the interval
         may commit if it contains one.
         """
+        in_flight = self.in_flight
+        mask = self.w.mask
         count = 0
-        for di in self.in_flight:
-            if di.seq > seq_bound:
+        for s in in_flight:
+            if s > seq_bound:
                 break
             count += 1
         offset = self.pending_exception_offset(count)
         if offset is not None:
-            victim = self.in_flight[offset]
+            victim = in_flight[offset]
             ordinal = self.commit_ordinal + offset
             self._exceptions_taken.add(ordinal)
             self.stats.exceptions_taken += 1
             self.stats.recoveries += 1
-            self.take_exception(victim, now)
+            self.take_exception(victim, victim & mask, now)
             return False
         for _ in range(count):
-            di = self.in_flight.popleft()
-            self.commit_one(di, now)
+            s = in_flight.popleft()
+            self.commit_one(s, s & mask, now)
             if self.done:
                 break
         self.sq.commit_up_to(seq_bound, self.commit_store_write)
@@ -309,16 +358,19 @@ class CPRProcessor(OutOfOrderCore):
     def _drain_if_halted(self, now: int) -> None:
         """Commit the open interval past the youngest checkpoint once the
         program has halted and everything in flight has executed."""
-        if not (self.fetch.halted and not self.fetch.buffer
-                and self.in_flight):
+        in_flight = self.in_flight
+        if not (self.fetch.halted and not self.fetch.buffer and in_flight):
             return
-        if any(not di.completed for di in self.in_flight):
+        w_st = self.w.st
+        mask = self.w.mask
+        if any(not w_st[s & mask] & 2 for s in in_flight):
             return
-        last_seq = self.in_flight[-1].seq
+        last_seq = in_flight[-1]
         if self._commit_interval(last_seq, now):
             while len(self.checkpoints) > 1:
                 stale = self.checkpoints.pop(0)
                 stale.alive = False
+                self._forget(stale)
                 for handle in stale.rat_snapshot:
                     self._release(handle)
 
@@ -326,23 +378,22 @@ class CPRProcessor(OutOfOrderCore):
     # Recovery: roll back to a checkpoint (imprecise).
     # ------------------------------------------------------------------ #
 
-    def recover_from_branch(self, di: DynInst, now: int) -> None:
-        target = self._youngest_checkpoint_at_or_before(di.seq)
-        if target.seq == di.seq:
+    def recover_from_branch(self, seq: int, slot: int, now: int) -> None:
+        target = self._youngest_checkpoint_at_or_before(seq)
+        if target.seq == seq:
             # Checkpoint at this very branch: resume at the resolved
             # target, and make that the checkpoint's resume PC — the
             # branch itself survives the rollback, so any later rollback
             # to this checkpoint must follow the now-architectural
             # outcome, not the disproven prediction.
-            resume_pc = di.actual_target
-            target.resume_pc = di.actual_target
+            resume_pc = self.w.atg[slot]
+            target.resume_pc = resume_pc
         else:
             resume_pc = target.resume_pc
-        self._rollback(target, fault_seq=di.seq, resume_pc=resume_pc,
-                       now=now)
+        self._rollback(target, fault_seq=seq, resume_pc=resume_pc, now=now)
 
-    def take_exception(self, di: DynInst, now: int) -> None:
-        target = self._youngest_checkpoint_strictly_before(di.seq)
+    def take_exception(self, seq: int, slot: int, now: int) -> None:
+        target = self._youngest_checkpoint_strictly_before(seq)
         self._rollback(target, fault_seq=FAULT_NONE,
                        resume_pc=target.resume_pc, now=now)
 
@@ -369,15 +420,21 @@ class CPRProcessor(OutOfOrderCore):
         while self.checkpoints and self.checkpoints[-1].seq > target.seq:
             dead = self.checkpoints.pop()
             dead.alive = False
+            self._forget(dead)
 
         squashed = self.squash_after(target.seq, fault_seq)
-        for di in squashed:
-            owner = di.tag
-            if (isinstance(owner, Checkpoint) and owner.alive
-                    and not di.completed):
+        w = self.w
+        mask = w.mask
+        w_st, w_tag = w.st, w.tag
+        for s in squashed:
+            slot = s & mask
+            owner = w_tag[slot]
+            if (owner is not None and isinstance(owner, Checkpoint)
+                    and owner.alive and not w_st[slot] & 2):
                 owner.outstanding -= 1
 
-        self.rat = list(target.rat_snapshot)
+        # In place: the codegen'd closures bind the RAT list itself.
+        self.rat[:] = target.rat_snapshot
         self._rebuild_refcounts()
         self._restore_history(target)
         self.fetch.redirect(resume_pc, now + penalty)
@@ -386,31 +443,48 @@ class CPRProcessor(OutOfOrderCore):
         """Restore predictor global history to the rollback point."""
         if target.history_base is None:
             return
-        branch = target.branch_di
-        if branch is not None:
-            taken = (branch.actual_taken if branch.completed
-                     else branch.predicted_taken)
+        if target.branch_seq is not None:
+            # Checkpoint at a conditional branch: append its best-known
+            # outcome (resolved if it executed, else still the
+            # prediction) on top of the fetch-time base.
+            taken = (target.branch_taken
+                     if target.branch_taken is not None
+                     else target.predicted_taken)
             self.predictor.set_history_appended(target.history_base, taken)
         else:
             self.predictor.set_history(target.history_base)
 
     def _rebuild_refcounts(self) -> None:
-        """Recompute every hold from rules 1-4 over surviving state."""
-        counts = [0] * self.num_phys
+        """Recompute every hold from rules 1-4 over surviving state.
+
+        All three containers are refilled *in place*: the codegen'd
+        issue closures bind ``refcount`` / ``int_free`` / ``fp_free``
+        as argument defaults, so the list objects must stay the same.
+        """
+        counts = self.refcount
+        counts[:] = [0] * self.num_phys
         for handle in self.rat:
             counts[handle] += 1
         for checkpoint in self.checkpoints:
             for handle in checkpoint.rat_snapshot:
                 counts[handle] += 1
-        for di in self.in_flight:
-            inst = di.inst
-            if not di.issued:
-                for handle in di.src_handles:
-                    counts[handle] += 1
-            if inst.writes_reg and not di.completed:
-                counts[di.dest_handle] += 1
-        self.refcount = counts
-        self.int_free = [h for h in range(self.config.phys_int)
-                         if counts[h] == 0]
-        self.fp_free = [h for h in range(self.config.phys_int, self.num_phys)
-                        if counts[h] == 0]
+        w = self.w
+        mask = w.mask
+        dec = self._dec
+        for s in self.in_flight:
+            slot = s & mask
+            st = w.st[slot]
+            pc = w.pc[slot]
+            if not st & 1:               # not issued: reader holds live
+                nsrc = dec.nsrc[pc]
+                if nsrc:
+                    counts[w.h0[slot]] += 1
+                    if nsrc > 1:
+                        counts[w.h1[slot]] += 1
+            if dec.wreg[pc] and not st & 2:
+                counts[w.dest[slot]] += 1
+        self.int_free[:] = [h for h in range(self.config.phys_int)
+                            if counts[h] == 0]
+        self.fp_free[:] = [h for h in range(self.config.phys_int,
+                                            self.num_phys)
+                           if counts[h] == 0]

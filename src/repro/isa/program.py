@@ -33,7 +33,8 @@ class DecodedProgram:
     """
 
     __slots__ = ("size", "code", "s0", "s1", "dest", "imm", "target",
-                 "insts", "has_wild_targets")
+                 "insts", "has_wild_targets", "kind", "fu", "lat",
+                 "nsrc", "wreg", "evalf", "branchf", "_codegen_cache")
 
     def __init__(self, instructions: Sequence[Instruction]) -> None:
         self.insts: List[Instruction] = list(instructions)
@@ -47,6 +48,19 @@ class DecodedProgram:
         self.imm = [inst.imm for inst in self.insts]
         self.target = [inst.target if inst.target is not None else 0
                        for inst in self.insts]
+        # Static timing-core columns (structure-of-arrays in-flight
+        # state reads per-PC metadata from here instead of touching
+        # Instruction objects on the hot path).
+        self.kind = [inst.kind for inst in self.insts]
+        self.fu = [inst.fu_code for inst in self.insts]
+        self.lat = [inst.latency for inst in self.insts]
+        self.nsrc = [len(inst.srcs) for inst in self.insts]
+        self.wreg = [inst.writes_reg for inst in self.insts]
+        self.evalf = [inst.eval_fn for inst in self.insts]
+        self.branchf = [inst.branch_fn for inst in self.insts]
+        #: Compiled exec-closure builders, filled lazily by
+        #: :mod:`repro.pipeline.codegen` (keyed by flavor+semantics fp).
+        self._codegen_cache: Optional[Dict] = None
         #: A negative *static* target would wrap Python's list indexing
         #: in the fast loop (the reference path treats it as PC
         #: fall-off); such programs can't come from ProgramBuilder, so

@@ -93,8 +93,8 @@ class PipelineTracer:
         else:
             self.dropped += 1
 
-    def fetch(self, di, now: int) -> None:
-        self._add(("F", now, di.seq, di.pc, repr(di.inst)))
+    def fetch(self, seq: int, pc: int, inst, now: int) -> None:
+        self._add(("F", now, seq, pc, repr(inst)))
 
     def dispatch(self, seq: int, now: int) -> None:
         self._add(("D", now, seq))

@@ -1,16 +1,17 @@
-"""Shared pipeline machinery: fetch, dyninst, resources, core engine."""
+"""Shared pipeline machinery: fetch, in-flight window, resources, core
+engine, per-static-instruction codegen."""
 
 from repro.pipeline.core_base import FAULT_NONE, OutOfOrderCore
-from repro.pipeline.dyninst import DynInst
 from repro.pipeline.fetch import FetchEngine
 from repro.pipeline.resources import FunctionalUnitPool, LoadBuffer
 from repro.pipeline.stats import SimStats
+from repro.pipeline.window import InflightWindow
 
 __all__ = [
-    "DynInst",
     "FAULT_NONE",
     "FetchEngine",
     "FunctionalUnitPool",
+    "InflightWindow",
     "LoadBuffer",
     "OutOfOrderCore",
     "SimStats",

@@ -1,0 +1,391 @@
+"""Per-static-instruction execute codegen.
+
+The PR 3 exec-codegen idiom (pre-bound per-op closures in
+``EVAL_FNS``), taken one step further: instead of one closure per
+*opcode* called from a generic kind ladder, generate one specialised
+closure per *static instruction* — operand column reads, semantics,
+latency and the completion-bucket push are all compiled into a single
+small function with every hot object bound as an argument default.
+The event scheduler's issue walk then runs
+
+    exec_fns[pc](seq, slot, now)
+
+and nothing else: no kind ladder, no operand-tuple construction, no
+``wrap_int`` call (the two's-complement wrap is emitted as inline
+arithmetic), no per-issue attribute lookups.
+
+Flavours
+--------
+The three backends differ only in how an operand handle turns into a
+value, so the generator is shared and the operand-read snippet is
+flavoured (selected by the core class's ``codegen_flavor``):
+
+* ``"direct"``  — baseline: ``value = phys_value[handle]``;
+* ``"release"`` — CPR: the read also consumes the reader's reference
+  count, inlined together with the free-list push (underflow guarded,
+  exactly mirroring ``CPRProcessor._release``);
+* ``"banked"``  — MSP: handles are ``(logical, mono)`` pairs; the
+  static source register is known at generation time, so the bank
+  *object* is bound as a default and the closure runs
+  ``bank.consume(mono); bank.read(mono)``.
+
+Staleness guard
+---------------
+Semantics are inlined only when the instruction's decode-time eval fn
+**is** the pristine table entry snapshotted at import
+(``_ORIGINAL_EVAL``/``_ORIGINAL_BRANCH``); any replaced fn is instead
+bound as a default and called, so monkeypatched semantics are honoured
+exactly like the generic ladder honours them.  Compiled sources are
+cached per decoded program keyed by ``(flavor, semantics_fingerprint)``
+— the fingerprint hashes the live tables' bytecode, so mutating an
+eval fn invalidates the cache and forces regeneration.
+
+Instantiation
+-------------
+One module source is generated and compiled per (program, flavour,
+fingerprint); per-core instantiation just calls the compiled ``_build``
+with the core, which binds that core's columns/tables into fresh
+closures.  Closures never bake the ring mask (the walk passes ``slot``
+in) and all bound containers are mutated in place by the engine, so
+window growth does not invalidate them — the core still rebuilds on
+growth for belt-and-braces symmetry with future mask-baking templates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional
+
+from repro.isa.opcodes import Op
+from repro.isa.semantics import BRANCH_FNS, EVAL_FNS
+
+#: Unsigned 64-bit mask / sign bit for the inline two's-complement wrap:
+#: ``wrap_int(x) == ((x & _M) ^ _S) - _S`` for every int ``x``.
+_M = (1 << 64) - 1
+_S = 1 << 63
+
+#: Table snapshots at import time: the inline templates below replicate
+#: exactly these closures, so inlining is only sound while the live
+#: table entry is still the snapshotted object.
+_ORIGINAL_EVAL = dict(EVAL_FNS)
+_ORIGINAL_BRANCH = dict(BRANCH_FNS)
+
+
+def _wrap(expr: str) -> str:
+    """Inline ``wrap_int`` as pure arithmetic."""
+    return f"((({expr}) & {_M:#x}) ^ {_S:#x}) - {_S:#x}"
+
+
+#: op -> (imm -> result expression over locals v0/v1).  Each template
+#: must equal ``EVAL_FNS[op]((v0, v1), imm)`` for all values; the
+#: semantics parity test pins the table against the reference ladder.
+_EVAL_TEMPLATES = {
+    Op.ADD: lambda imm: _wrap("v0 + v1"),
+    Op.SUB: lambda imm: _wrap("v0 - v1"),
+    Op.MUL: lambda imm: _wrap("v0 * v1"),
+    Op.DIV: lambda imm: f"({_wrap('int(v0 / v1)')}) if v1 != 0 else 0",
+    Op.AND: lambda imm: _wrap("v0 & v1"),
+    Op.OR: lambda imm: _wrap("v0 | v1"),
+    Op.XOR: lambda imm: _wrap("v0 ^ v1"),
+    Op.SHL: lambda imm: _wrap("v0 << (v1 & 63)"),
+    Op.SHR: lambda imm: _wrap("v0 >> (v1 & 63)"),
+    Op.SLT: lambda imm: "1 if v0 < v1 else 0",
+    Op.ADDI: lambda imm: _wrap(f"v0 + {imm}"),
+    Op.LI: lambda imm: repr(((imm & _M) ^ _S) - _S),   # constant-folded
+    Op.MOV: lambda imm: _wrap("v0"),
+    Op.FADD: lambda imm: "v0 + v1",
+    Op.FSUB: lambda imm: "v0 - v1",
+    Op.FMUL: lambda imm: "v0 * v1",
+    Op.FDIV: lambda imm: "(v0 / v1) if v1 != 0.0 else 0.0",
+    Op.FMOV: lambda imm: "float(v0)",
+    Op.FCVT: lambda imm: "float(v0)",
+    Op.FCMPLT: lambda imm: "1 if v0 < v1 else 0",
+}
+
+#: op -> direction expression over locals v0/v1 (== BRANCH_FNS[op]).
+_BRANCH_TEMPLATES = {
+    Op.BEQ: "v0 == v1",
+    Op.BNE: "v0 != v1",
+    Op.BLT: "v0 < v1",
+    Op.BGE: "v0 >= v1",
+    Op.BEQZ: "v0 == 0",
+    Op.BNEZ: "v0 != 0",
+}
+
+
+def semantics_fingerprint() -> str:
+    """Fingerprint of the live semantics tables.
+
+    Hashes each entry's bytecode, constants and names plus whether it is
+    still the import-time original, so both monkeypatching a table slot
+    and editing a closure's source change the fingerprint (and therefore
+    the codegen cache key)."""
+    h = hashlib.sha256()
+    for table, original in ((EVAL_FNS, _ORIGINAL_EVAL),
+                            (BRANCH_FNS, _ORIGINAL_BRANCH)):
+        for op in sorted(table, key=lambda o: o.value):
+            fn = table[op]
+            code = fn.__code__
+            h.update(op.name.encode())
+            h.update(b"1" if fn is original.get(op) else b"0")
+            h.update(code.co_code)
+            h.update(repr(code.co_consts).encode())
+            h.update(repr(code.co_names).encode())
+    return h.hexdigest()[:16]
+
+
+# --------------------------------------------------------------------- #
+# Source generation.
+# --------------------------------------------------------------------- #
+
+#: build-scope names shared by every flavour (assigned in the prelude).
+_COMMON_PRELUDE = """\
+    w = core.w
+    _comp = core._completions
+    _sq = core.sq
+    _mem = core.memory
+    _hier = core.hierarchy
+    _dc = _hier.dcache
+    _h0 = w.h0
+    _h1 = w.h1
+    _res = w.res
+    _sval = w.sval
+    _ma = w.ma
+    _fin = w.fin
+    _atk = w.atk
+    _atg = w.atg
+    _fwd = _sq.forward
+    _sqe = _sq._entries
+    _ll = _hier.load_latency
+    _dsets = _dc._sets
+    _dls = _dc._line_shift
+    _dsb = _dc._set_bits
+    _dsm = _dc.set_mask
+    _dhit = _hier.dcache_hit
+"""
+
+_FLAVOR_PRELUDE = {
+    "direct": "    _pv = core.phys_value\n",
+    "release": ("    _pv = core.phys_value\n"
+                "    _rc = core.refcount\n"
+                "    _if = core.int_free\n"
+                "    _ff = core.fp_free\n"
+                "    _nint = core.config.phys_int\n"),
+    "banked": "    _bk = core.banks\n",
+}
+
+
+def _read_snippet(flavor: str, i: int, dec, pc: int,
+                  params: List[str]) -> List[str]:
+    """Lines computing local ``v{i}`` from operand column ``h{i}``,
+    with the flavour's issue-time side effects inlined."""
+    if flavor == "direct":
+        for name in ("_pv", f"_h{i}"):
+            if name not in params:
+                params.append(name)
+        return [f"v{i} = _pv[_h{i}[slot]]"]
+    if flavor == "release":
+        for name in ("_pv", "_rc", "_if", "_ff", "_nint", f"_h{i}"):
+            if name not in params:
+                params.append(name)
+        return [
+            f"h{i} = _h{i}[slot]",
+            f"v{i} = _pv[h{i}]",
+            f"c{i} = _rc[h{i}] - 1",
+            f"if c{i} < 0:",
+            f"    raise AssertionError("
+            f"'refcount underflow on phys %d' % h{i})",
+            f"_rc[h{i}] = c{i}",
+            f"if c{i} == 0:",
+            f"    if h{i} < _nint:",
+            f"        _if.append(h{i})",
+            f"    else:",
+            f"        _ff.append(h{i})",
+        ]
+    # banked: the source register is static, so the bank object itself
+    # is a default argument.
+    src = dec.s0[pc] if i == 0 else dec.s1[pc]
+    bank = f"_b{i}"
+    params.append(f"{bank}=_bk[{src}]")
+    if f"_h{i}" not in params:
+        params.append(f"_h{i}")
+    return [
+        f"m{i} = _h{i}[slot][1]",
+        f"{bank}.consume(m{i})",
+        f"v{i} = {bank}.read(m{i})",
+    ]
+
+
+_BUCKET = [
+    "_fin[slot] = finish",
+    "b = _comp.get(finish)",
+    "if b is None:",
+    "    _comp[finish] = [seq]",
+    "else:",
+    "    b.append(seq)",
+]
+
+
+def _gen_fn(dec, pc: int, flavor: str) -> Optional[str]:
+    """Source of the specialised closure for static instruction ``pc``,
+    or None for kinds that never issue (NOP/HALT)."""
+    kind = dec.kind[pc]
+    if kind == 6:
+        return None
+    op = Op(dec.code[pc])
+    imm = dec.imm[pc]
+    nsrc = dec.nsrc[pc]
+    lat = dec.lat[pc]
+    params: List[str] = ["_comp", "_fin"]
+    body: List[str] = []
+
+    if kind == 0:                        # register-writing ALU op
+        for i in range(nsrc):
+            body += _read_snippet(flavor, i, dec, pc, params)
+        template = _EVAL_TEMPLATES.get(op)
+        if template is not None and dec.evalf[pc] is _ORIGINAL_EVAL.get(op):
+            expr = template(imm)
+        else:
+            # Replaced semantics: call the decode-time fn, like the
+            # generic ladder would.
+            params.append(f"_ef=_dec.evalf[{pc}]")
+            values = "(v0, v1)" if nsrc == 2 else \
+                ("(v0,)" if nsrc else "()")
+            expr = f"_ef({values}, {imm})"
+        params.append("_res")
+        body.append(f"_res[slot] = {expr}")
+        body.append(f"finish = now + {lat}")
+    elif kind == 1:                      # conditional branch
+        for i in range(nsrc):
+            body += _read_snippet(flavor, i, dec, pc, params)
+        template = _BRANCH_TEMPLATES.get(op)
+        if (template is not None
+                and dec.branchf[pc] is _ORIGINAL_BRANCH.get(op)):
+            expr = template
+        else:
+            params.append(f"_bf=_dec.branchf[{pc}]")
+            expr = f"_bf((v0, v1))" if nsrc == 2 else "_bf((v0,))"
+        params += ["_atk", "_atg"]
+        body.append(f"taken = {expr}")
+        body.append("_atk[slot] = taken")
+        body.append(f"_atg[slot] = {dec.target[pc]} if taken "
+                    f"else {pc + 1}")
+        body.append(f"finish = now + {lat}")
+    elif kind == 2:                      # direct jump
+        params += ["_atk", "_atg"]
+        body.append("_atk[slot] = True")
+        body.append(f"_atg[slot] = {dec.target[pc]}")
+        body.append(f"finish = now + {lat}")
+    elif kind == 3:                      # indirect jump
+        body += _read_snippet(flavor, 0, dec, pc, params)
+        params += ["_atk", "_atg"]
+        body.append("_atk[slot] = True")
+        body.append("_atg[slot] = int(v0)")
+        body.append(f"finish = now + {lat}")
+    elif kind == 4:                      # load
+        # The issue walk memoises the effective address in the ``ma``
+        # column before its store-conflict/FU checks, so the closure
+        # just reads it back; the operand read survives only for its
+        # flavour side effects (refcount release / bank consume).
+        if flavor != "direct":
+            body += _read_snippet(flavor, 0, dec, pc, params)
+        params += ["_ma", "_res", "_sqe", "_fwd", "_mem",
+                   "_dsets", "_dls", "_dsb", "_dsm", "_dhit", "_dc",
+                   "_ll"]
+        cast = "float(%s)" if dec.code[pc] == Op.FLD.value else "%s"
+        body += [
+            "addr = _ma[slot]",
+            "if _sqe:",
+            "    fwd, pen = _fwd(addr, seq)",
+            "else:",
+            "    fwd = None",
+            "if fwd is not None:",
+            f"    _res[slot] = {cast % 'fwd'}",
+            "    finish = now + 1 + pen",
+            "else:",
+            f"    _res[slot] = {cast % '_mem.get(addr, 0)'}",
+            "    # D-cache hit path, inline (Cache.access)",
+            "    line = (addr << 3) >> _dls",
+            "    t = line >> _dsb",
+            "    ls = _dsets[line & _dsm]",
+            "    if t in ls:",
+            "        _dc.hits += 1",
+            "        ls.move_to_end(t)",
+            "        finish = now + _dhit",
+            "    else:",
+            "        finish = now + _ll(addr)",
+        ]
+    else:                                # kind == 5: store
+        body += _read_snippet(flavor, 0, dec, pc, params)   # data
+        body += _read_snippet(flavor, 1, dec, pc, params)   # base
+        params += ["_sval", "_ma", "_ea"]
+        addr = f"(v1 + {imm}) & {_M:#x}" if imm else f"v1 & {_M:#x}"
+        body += [
+            "_sval[slot] = v0",
+            "if type(v1) is int:",
+            f"    _ma[slot] = {addr}",
+            "else:",
+            f"    _ma[slot] = _ea(v1, {imm})",
+            "finish = now + 1",
+        ]
+    body += _BUCKET
+
+    arglist = ", ".join(p if "=" in p else f"{p}={p}" for p in params)
+    lines = [f"    def _f{pc}(seq, slot, now, {arglist}):"]
+    lines += [f"        {line}" for line in body]
+    lines.append(f"    fns[{pc}] = _f{pc}")
+    return "\n".join(lines)
+
+
+def generate_source(dec, flavor: str) -> str:
+    """Full module source for one (program, flavour) pair."""
+    parts = [
+        '"""Generated per-static-instruction exec closures '
+        f'(flavor={flavor!r})."""',
+        "from repro.isa.semantics import effective_address as _ea_",
+        "",
+        "def _build(core):",
+        "    _dec = core._dec",
+        "    _ea = _ea_",
+        _COMMON_PRELUDE + _FLAVOR_PRELUDE[flavor],
+        f"    fns = [None] * {dec.size}",
+    ]
+    for pc in range(dec.size):
+        fn_src = _gen_fn(dec, pc, flavor)
+        if fn_src is not None:
+            parts.append(fn_src)
+    parts.append("    return fns")
+    parts.append("")
+    return "\n".join(parts)
+
+
+# --------------------------------------------------------------------- #
+# Compile cache: per decoded program, keyed by (flavor, semantics fp).
+# The cache lives on the DecodedProgram itself (``_codegen_cache``), so
+# it dies with the program and two cores over the same program share one
+# compilation.
+# --------------------------------------------------------------------- #
+
+def _compiled_build(dec, flavor: str):
+    key = (flavor, semantics_fingerprint())
+    cache: Optional[Dict] = dec._codegen_cache
+    if cache is None:
+        cache = dec._codegen_cache = {}
+    build = cache.get(key)
+    if build is None:
+        source = generate_source(dec, flavor)
+        namespace: Dict = {}
+        exec(compile(source, f"<codegen:{flavor}>", "exec"), namespace)
+        build = namespace["_build"]
+        build.__codegen_source__ = source   # introspection for tests
+        cache[key] = build
+    return build
+
+
+def build_exec_fns(core) -> Optional[List]:
+    """Instantiate this core's per-static-instruction exec closures,
+    or None when the core's class declares no codegen flavour."""
+    flavor = getattr(type(core), "codegen_flavor", None)
+    if flavor is None:
+        return None
+    return _compiled_build(core._dec, flavor)(core)

@@ -13,6 +13,13 @@ the parts the paper says differ:
   ``write_result``),
 * port arbitration (``acquire_read_ports`` / ``filter_writebacks``).
 
+In-flight state is structure-of-arrays: one :class:`InflightWindow`
+column per field, indexed by ``seq & mask`` (see
+:mod:`repro.pipeline.window`).  Static per-PC metadata (kind, FU code,
+latency, sources, semantics fn) comes from the program's predecoded
+columns, so the hot loops never touch an ``Instruction`` object.  All
+engine-to-architecture hooks identify an instruction by ``(seq, slot)``.
+
 Stage evaluation order within a cycle is commit -> writeback -> issue ->
 dispatch -> fetch, so results written back in cycle *t* can wake a
 consumer that issues in *t* (standard back-to-back scheduling) while
@@ -42,6 +49,12 @@ walk examines candidates in the same seq order, consumes the same
 stale entries) and defers for the same reasons; the idle skip engages
 only after a cycle whose observed effect was provably nothing but
 counter ticks.
+
+Stale seq references (scan-heap zombies, waiting-list leftovers,
+completion-bucket entries) are detected by slot ownership:
+``window.sq[s & mask] != s`` means the slot was recycled, which can
+only happen after ``s`` was squashed or committed — semantically the
+old ``di.squashed`` test.
 """
 
 from __future__ import annotations
@@ -50,10 +63,7 @@ from abc import ABC, abstractmethod
 from bisect import insort
 from collections import deque
 from heapq import heappush, heappop
-from operator import attrgetter
 from typing import Any, Deque, Dict, List, Optional
-
-_SEQ = attrgetter("seq")
 
 #: Unsigned 64-bit mask — ``effective_address`` fast path for int bases
 #: (``wrap_int(base + imm) & mask`` equals ``(base + imm) & mask``).
@@ -64,11 +74,15 @@ from repro.isa.opcodes import Op
 from repro.isa.program import Program
 from repro.isa.semantics import effective_address
 from repro.memory.cache import MemoryHierarchy
-from repro.pipeline.dyninst import DynInst
 from repro.pipeline.fetch import FetchEngine
 from repro.pipeline.resources import FunctionalUnitPool, LoadBuffer
 from repro.pipeline.stats import SimStats
+from repro.pipeline.window import (COMPLETED, ISSUED, MISPRED, SQUASHED,
+                                   InflightWindow)
 from repro.storequeue.queue import StoreQueue
+
+_HALT = Op.HALT.value
+_FLD = Op.FLD.value
 
 #: fault_seq sentinel for exceptions: every squashed executed instruction
 #: is on the correct path (will be re-fetched identically).
@@ -82,10 +96,20 @@ class OutOfOrderCore(ABC):
     #: (the MSP arbitration stage sets this to 1).
     extra_dispatch_delay = 0
 
+    #: Initial in-flight ring capacity.  The baseline ROB bounds its
+    #: window structurally; CPR/MSP can keep more in flight, so they
+    #: start bigger.  Either way :class:`InflightWindow` grows on
+    #: demand — this is a starting point, not a limit.
+    window_capacity = 1024
+
     def __init__(self, program: Program, config) -> None:
         self.program = program
         self.config = config
         self.stats = SimStats()
+
+        #: Structure-of-arrays in-flight state, shared with fetch.
+        self.w = InflightWindow(self.window_capacity)
+        self._dec = program.decoded
 
         self.hierarchy = MemoryHierarchy.from_config(config)
         if config.warm_caches:
@@ -95,7 +119,9 @@ class OutOfOrderCore(ABC):
                                         **config.predictor_kwargs)
         self.btb = BranchTargetBuffer()
         self.fetch = FetchEngine(program, self.hierarchy, self.predictor,
-                                 self.btb, width=config.fetch_width)
+                                 self.btb, width=config.fetch_width,
+                                 window=self.w)
+        self.fetch.oldest_live = self._oldest_live
         self.fus = FunctionalUnitPool(config.int_units, config.fp_units,
                                       config.ldst_units, config.issue_width)
         self.load_buffer = LoadBuffer(config.load_buffer)
@@ -107,7 +133,8 @@ class OutOfOrderCore(ABC):
 
         self.now = 0
         self.done = False
-        self.in_flight: Deque[DynInst] = deque()
+        #: Dispatched, uncommitted seqs, oldest first (the ROB view).
+        self.in_flight: Deque[int] = deque()
         self.iq_count = 0
         scheduler = getattr(config, "scheduler", "event")
         if scheduler not in ("event", "scan"):
@@ -116,15 +143,15 @@ class OutOfOrderCore(ABC):
         #: True for the event-driven scheduler, False for the reference
         #: per-cycle scan loop.
         self._sched_event = scheduler == "event"
-        self._ready: List = []                     # scan: heap of (seq, di)
-        #: Event scheduler's ready window: DynInsts sorted by seq.  An
+        self._ready: List[int] = []                # scan: heap of seqs
+        #: Event scheduler's ready window: seqs sorted ascending.  An
         #: instruction enters exactly once — at dispatch when all
         #: operands are ready, else when its last operand writes back.
-        self._ready_list: List[DynInst] = []
-        self._waiting: Dict[Any, List[DynInst]] = {}
-        self._completions: Dict[int, List[DynInst]] = {}
+        self._ready_list: List[int] = []
+        self._waiting: Dict[Any, List[int]] = {}
+        self._completions: Dict[int, List[int]] = {}
         # Stores waiting for their address operand (early AGU).
-        self._addr_watch: Dict[Any, List[DynInst]] = {}
+        self._addr_watch: Dict[Any, List[int]] = {}
 
         # Event-scheduler idle-skip bookkeeping (see ``run``).
         self._quiet = False                 # last cycle changed nothing
@@ -167,6 +194,12 @@ class OutOfOrderCore(ABC):
         #: CPR reads must release reader reference counts).
         self._read_direct = False
 
+        #: Per-static-instruction execute closures (event scheduler),
+        #: built lazily at the first ``run`` when ``config.codegen`` —
+        #: see :mod:`repro.pipeline.codegen`.  None = generic ladder.
+        self._exec_fns: Optional[List] = None
+        self._codegen_built = False
+
         #: Observability hook slots (``repro.obs``), pre-bound to None
         #: so every emission site is a single attribute test when
         #: telemetry is off — the same idiom as the specialisation
@@ -183,6 +216,13 @@ class OutOfOrderCore(ABC):
         #: PCs of committed instructions, in order (when record_commits).
         self.commit_trace: Optional[List[int]] = (
             [] if config.record_commits else None)
+
+    def _oldest_live(self) -> int:
+        """Oldest seq whose window slot must stay intact (ring growth)."""
+        if self.in_flight:
+            return self.in_flight[0]
+        buffer = self.fetch.buffer
+        return buffer[0] if buffer else self.fetch.next_seq
 
     # ------------------------------------------------------------------ #
     # Checkpoint seeding and warm-state injection (sampled simulation).
@@ -254,12 +294,39 @@ class OutOfOrderCore(ABC):
     # Top level.
     # ------------------------------------------------------------------ #
 
+    def _maybe_build_codegen(self) -> None:
+        """Instantiate per-static-instruction closures for this core.
+
+        Deferred to the first ``run`` call on purpose: seeding and
+        warm-state injection (sampled simulation) rebind ``memory`` /
+        ``predictor`` / ``hierarchy``, and the closures bake direct
+        references to those objects as argument defaults."""
+        self._codegen_built = True
+        if not getattr(self.config, "codegen", True):
+            return
+        if not self._sched_event:
+            return                       # the scan oracle stays generic
+        from repro.pipeline import codegen
+        self._exec_fns = codegen.build_exec_fns(self)
+        if self._exec_fns is not None:
+            self.w.add_on_grow(self._rebuild_codegen)
+
+    def _rebuild_codegen(self) -> None:
+        """Window growth doubled the mask the closures baked in —
+        regenerate them against the (in-place mutated) columns."""
+        from repro.pipeline import codegen
+        fns = codegen.build_exec_fns(self)
+        if fns is not None and self._exec_fns is not None:
+            self._exec_fns[:] = fns
+
     def run(self, max_instructions: int = 50_000,
             max_cycles: Optional[int] = None) -> SimStats:
         """Simulate until ``max_instructions`` commit, HALT, or cycle cap."""
         cycle_cap = max_cycles if max_cycles is not None \
             else max_instructions * 200 + 100_000
         stats = self.stats
+        if not self._codegen_built:
+            self._maybe_build_codegen()
         if not self._sched_event:
             while (not self.done and stats.committed < max_instructions
                    and stats.cycles < cycle_cap):
@@ -376,97 +443,119 @@ class OutOfOrderCore(ABC):
         # Age order makes the older squash land first, and the squashed
         # younger completions below are simply dropped.
         if len(completed) > 1:
-            completed.sort(key=_SEQ)
-        live = [di for di in completed if not di.squashed]
+            completed.sort()
+        w = self.w
+        mask = w.mask
+        w_sq, w_st = w.sq, w.st
+        live = [s for s in completed
+                if w_sq[s & mask] == s and not w_st[s & mask] & SQUASHED]
         if not live:
             return
         self._wb_live = True
         if self._has_wb_filter:
             accepted, deferred = self.filter_writebacks(live, now)
-            for di in deferred:
-                self._completions.setdefault(now + 1, []).append(di)
+            for s in deferred:
+                self._completions.setdefault(now + 1, []).append(s)
         else:
             accepted = live
         complete = self._complete
-        for di in accepted:
-            if di.squashed:
+        for s in accepted:
+            slot = s & mask
+            if w_st[slot] & SQUASHED:
                 continue  # an earlier completion this cycle recovered
-            complete(di, now)
+            complete(s, slot, now)
 
-    def _complete(self, di: DynInst, now: int) -> None:
-        di.completed = True
+    def _complete(self, seq: int, slot: int, now: int) -> None:
+        w = self.w
+        w.st[slot] |= COMPLETED
         if self.tracer is not None:
-            self.tracer.writeback(di.seq, now)
-        inst = di.inst
-        if inst.writes_reg:
+            self.tracer.writeback(seq, now)
+        pc = w.pc[slot]
+        dec = self._dec
+        kind = dec.kind[pc]
+        if dec.wreg[pc]:
+            dest = w.dest[slot]
+            result = w.res[slot]
             values = self._value_table
             if values is not None:
-                dest = di.dest_handle
-                values[dest] = di.result
+                values[dest] = result
                 self._ready_table[dest] = True
             else:
-                self.write_result(di)
-            waiters = self._waiting.pop(di.dest_handle, None)
+                self.write_result(slot)
+            waiters = self._waiting.pop(dest, None)
             if waiters:
                 wake = (self._ready_insert if self._sched_event
                         else self._ready_push)
-                for waiter in waiters:
-                    if waiter.squashed:
+                mask = w.mask
+                w_sq, w_st, w_wc = w.sq, w.st, w.wc
+                for ws in waiters:
+                    wslot = ws & mask
+                    if w_sq[wslot] != ws or w_st[wslot] & SQUASHED:
                         continue
-                    waiter.wait_count -= 1
-                    if waiter.wait_count == 0:
-                        wake(waiter)
-            watchers = self._addr_watch.pop(di.dest_handle, None)
+                    count = w_wc[wslot] - 1
+                    w_wc[wslot] = count
+                    if count == 0:
+                        wake(ws)
+            watchers = self._addr_watch.pop(dest, None)
             if watchers:
-                for store in watchers:
-                    if not store.squashed:
-                        addr = effective_address(di.result, store.inst.imm)
-                        self.sq.set_address(store.store_entry, addr)
-        elif inst.is_store:
-            self.sq.execute(di.store_entry, di.mem_addr, di.src_values[0])
+                mask = w.mask
+                w_sq, w_st = w.sq, w.st
+                imms = dec.imm
+                for ws in watchers:
+                    wslot = ws & mask
+                    if w_sq[wslot] == ws and not w_st[wslot] & SQUASHED:
+                        addr = effective_address(result,
+                                                 imms[w.pc[wslot]])
+                        self.sq.set_address(w.se[wslot], addr)
+        elif kind == 5:                  # store
+            self.sq.execute(w.se[slot], w.ma[slot], w.sval[slot])
         if self._has_on_complete:
-            self.on_complete(di)
-        if inst.is_control:
-            self._resolve_control(di, now)
+            self.on_complete(seq, slot)
+        if kind == 1 or kind == 2 or kind == 3:
+            self._resolve_control(seq, slot, pc, kind, now)
 
-    def _ready_push(self, di: DynInst) -> None:
-        heappush(self._ready, (di.seq, di))
+    def _ready_push(self, seq: int) -> None:
+        heappush(self._ready, seq)
 
-    def _ready_insert(self, di: DynInst) -> None:
-        """Admit ``di`` to the event scheduler's sorted ready window."""
+    def _ready_insert(self, seq: int) -> None:
+        """Admit ``seq`` to the event scheduler's sorted ready window."""
         window = self._ready_list
-        if not window or window[-1].seq < di.seq:
-            window.append(di)
+        if not window or window[-1] < seq:
+            window.append(seq)
         else:
-            insort(window, di, key=_SEQ)
+            insort(window, seq)
 
-    def _resolve_control(self, di: DynInst, now: int) -> None:
-        inst = di.inst
+    def _resolve_control(self, seq: int, slot: int, pc: int, kind: int,
+                         now: int) -> None:
+        w = self.w
         mispredicted = False
-        if inst.is_branch:
+        if kind == 1:                    # conditional branch
             self.stats.branches += 1
-            taken = di.actual_taken
-            self.predictor.update(di.prediction, taken)
-            self.on_branch_resolved(di, taken != di.predicted_taken)
-            if taken != di.predicted_taken:
-                mispredicted = True
+            taken = w.atk[slot]
+            prediction = w.pred[slot]
+            self.predictor.update(prediction, taken)
+            mispredicted = taken != w.ptk[slot]
+            self.on_branch_resolved(slot, mispredicted)
+            if mispredicted:
                 self.stats.branch_mispredictions += 1
                 # Repair speculative global history with the real outcome.
-                di.prediction.taken = taken
-                self.predictor.restore(di.prediction)
-        elif inst.op is Op.JR:
-            correct = di.actual_target == di.predicted_target
-            self.btb.update(di.pc, di.actual_target, correct)
-            self.on_branch_resolved(di, not correct)
+                prediction.taken = taken
+                self.predictor.restore(prediction)
+        elif kind == 3:                  # indirect jump
+            target = w.atg[slot]
+            correct = target == w.ptg[slot]
+            self.btb.update(pc, target, correct)
+            self.on_branch_resolved(slot, not correct)
             mispredicted = not correct
-            if mispredicted and di.ghr_at_fetch is not None:
+            ghr = w.ghr[slot]
+            if mispredicted and ghr is not None:
                 # Wipe squashed younger branches' speculative history
                 # (an indirect jump shifts no direction history itself).
-                self.predictor.set_history(di.ghr_at_fetch)
+                self.predictor.set_history(ghr)
         if mispredicted:
-            di.mispredicted = True
+            w.st[slot] |= MISPRED
             self.stats.recoveries += 1
-            self.recover_from_branch(di, now)
+            self.recover_from_branch(seq, slot, now)
 
     # ------------------------------------------------------------------ #
     # Issue / execute.
@@ -483,33 +572,39 @@ class OutOfOrderCore(ABC):
         heap, re-pushing the ones that cannot issue this cycle."""
         self.fus.new_cycle()
         self.begin_issue_cycle()
-        deferred: List[DynInst] = []
+        deferred: List[int] = []
         scanned = 0
+        w = self.w
+        mask = w.mask
+        w_sq, w_st, w_eic, w_pc = w.sq, w.st, w.eic, w.pc
+        dec = self._dec
         while (self._ready and self.fus.slots_left > 0
                and scanned < self.config.max_issue_scan):
-            _, di = heappop(self._ready)
+            s = heappop(self._ready)
             scanned += 1
-            if di.squashed or di.issued:
+            slot = s & mask
+            if w_sq[slot] != s or w_st[slot] & (SQUASHED | ISSUED):
                 continue
-            if di.earliest_issue_cycle > now:
-                deferred.append(di)
+            if w_eic[slot] > now:
+                deferred.append(s)
                 continue
-            inst = di.inst
-            if inst.is_load:
+            pc = w_pc[slot]
+            kind = dec.kind[pc]
+            if kind == 4:                # load
                 addr = effective_address(
-                    self.peek_operand(di.src_handles[0]), inst.imm)
-                if self.sq.load_blocked(addr, di.seq):
-                    deferred.append(di)   # unresolved/conflicting store
+                    self.peek_operand(w.h0[slot]), dec.imm[pc])
+                if self.sq.load_blocked(addr, s):
+                    deferred.append(s)   # unresolved/conflicting store
                     continue
-            if not self.fus.can_issue(inst.fu_type):
-                deferred.append(di)
+            if not self.fus.can_issue_code(dec.fu[pc]):
+                deferred.append(s)
                 continue
-            if not self.acquire_read_ports(di):
-                deferred.append(di)       # MSP bank read-port conflict
+            if not self.acquire_read_ports(slot, pc):
+                deferred.append(s)       # MSP bank read-port conflict
                 continue
-            self._issue(di, now)
-        for di in deferred:
-            heappush(self._ready, (di.seq, di))
+            self._issue(s, slot, pc, kind, now)
+        for s in deferred:
+            heappush(self._ready, s)
 
     def _issue_stage_event(self, now: int) -> None:
         """Event-scheduler issue walk: examine the front of the sorted
@@ -529,52 +624,102 @@ class OutOfOrderCore(ABC):
         check_ports = self._has_read_ports
         values = self._value_table
         issue = self._issue
-        load_blocked = self.sq.load_blocked
+        sq = self.sq
+        sq_pending = sq._pending_data
+        # The SQ only changes between walks; unresolved-address seqs
+        # iterate in ascending order, so the "any older store with an
+        # unknown address" half of load_blocked is one compare.
+        sq_oldest_unknown = -1
+        for _q in sq._unknown_addr:
+            sq_oldest_unknown = _q
+            break
         fu_used = fus._used
         fu_limits = fus._limits
         budget = self.config.max_issue_scan
         slots = fus.issue_width
         next_timed: Optional[int] = None
+        w = self.w
+        mask = w.mask
+        w_sq, w_st, w_eic, w_pc, w_h0 = w.sq, w.st, w.eic, w.pc, w.h0
+        w_ma = w.ma
+        dec = self._dec
+        kinds, imms, fu_codes = dec.kind, dec.imm, dec.fu
+        exec_fns = self._exec_fns
+        tracer = self.tracer
+        stats = self.stats
         read = 0
         write = 0
         n = len(window)
         if budget < n:
             n = budget                         # scan-budget cap
         while read < n:
-            di = window[read]
+            s = window[read]
             read += 1
-            if di.squashed or di.issued:
+            slot = s & mask
+            st = w_st[slot]
+            if w_sq[slot] != s or st & 5:      # stale, squashed or issued
                 self._ready_dropped = True
                 continue                       # compacted out
-            eic = di.earliest_issue_cycle
+            eic = w_eic[slot]
             if eic > now:
                 if next_timed is None or eic < next_timed:
                     next_timed = eic
-                window[write] = di
+                window[write] = s
                 write += 1
                 continue
-            inst = di.inst
-            if inst.is_load:
-                base = (values[di.src_handles[0]] if values is not None
-                        else self.peek_operand(di.src_handles[0]))
-                if type(base) is int:
-                    addr = (base + inst.imm) & _ADDR_MASK
-                else:
-                    addr = effective_address(base, inst.imm)
-                if load_blocked(addr, di.seq):
-                    window[write] = di         # unresolved/conflicting store
+            pc = w_pc[slot]
+            kind = kinds[pc]
+            if kind == 4:                      # load
+                # The base register cannot be freed or rewritten while
+                # the load is in flight (commit is in order), so the
+                # effective address is computed once and memoised in the
+                # ``ma`` column across blocked re-visits.
+                addr = w_ma[slot]
+                if addr < 0:
+                    base = (values[w_h0[slot]] if values is not None
+                            else self.peek_operand(w_h0[slot]))
+                    if type(base) is int:
+                        addr = (base + imms[pc]) & _ADDR_MASK
+                    else:
+                        addr = effective_address(base, imms[pc])
+                    w_ma[slot] = addr
+                # StoreQueue.load_blocked, inline.
+                if -1 < sq_oldest_unknown < s:
+                    window[write] = s          # unresolved older store
                     write += 1
                     continue
-            code = inst.fu_code
+                if sq_pending:
+                    pend = sq_pending.get(addr)
+                    if pend is not None:
+                        blocked = False
+                        for _e in pend:
+                            if _e.seq < s:
+                                blocked = True
+                                break
+                        if blocked:            # conflicting older store
+                            window[write] = s
+                            write += 1
+                            continue
+            code = fu_codes[pc]
             if fu_used[code] >= fu_limits[code]:
-                window[write] = di
+                window[write] = s
                 write += 1
                 continue
-            if check_ports and not self.acquire_read_ports(di):
-                window[write] = di             # MSP bank read-port conflict
+            if check_ports and not self.acquire_read_ports(slot, pc):
+                window[write] = s              # MSP bank read-port conflict
                 write += 1
                 continue
-            issue(di, now)                     # compacted out
+            if exec_fns is not None:           # per-static codegen path
+                w_st[slot] = st | 1
+                if tracer is not None:
+                    tracer.issue(s, now)
+                stats.issued += 1
+                fu_used[code] += 1
+                fus._issued_total += 1
+                self.iq_count -= 1
+                exec_fns[pc](s, slot, now)
+            else:
+                issue(s, slot, pc, kind, now)  # compacted out
             slots -= 1
             if slots <= 0:
                 break
@@ -582,72 +727,85 @@ class OutOfOrderCore(ABC):
             del window[write:read]
         self._next_timed = next_timed
 
-    def _issue(self, di: DynInst, now: int) -> None:
-        di.issued = True
+    def _issue(self, seq: int, slot: int, pc: int, kind: int,
+               now: int) -> None:
+        w = self.w
+        w.st[slot] |= ISSUED
         if self.tracer is not None:
-            self.tracer.issue(di.seq, now)
+            self.tracer.issue(seq, now)
+        dec = self._dec
         self.stats.issued += 1
-        self.fus.issue_code(di.inst.fu_code)
+        self.fus.issue_code(dec.fu[pc])
         self.iq_count -= 1
-        if self._read_direct:
-            values = self._value_table
-            di.src_values = [values[handle] for handle in di.src_handles]
-        else:
-            read_operand = self.read_operand
-            di.src_values = [read_operand(handle)
-                             for handle in di.src_handles]
-        latency = self._execute(di)
+        nsrc = dec.nsrc[pc]
+        v0 = v1 = None
+        if nsrc:
+            if self._read_direct:
+                values = self._value_table
+                v0 = values[w.h0[slot]]
+                if nsrc > 1:
+                    v1 = values[w.h1[slot]]
+            else:
+                v0 = self.read_operand(w.h0[slot])
+                if nsrc > 1:
+                    v1 = self.read_operand(w.h1[slot])
+        latency = self._execute(seq, slot, pc, kind, v0, v1)
         completions = self._completions
         finish = now + latency
+        w.fin[slot] = finish
         bucket = completions.get(finish)
         if bucket is None:
-            completions[finish] = [di]
+            completions[finish] = [seq]
         else:
-            bucket.append(di)
+            bucket.append(seq)
 
-    def _execute(self, di: DynInst) -> int:
+    def _execute(self, seq: int, slot: int, pc: int, kind: int,
+                 v0, v1) -> int:
         """Functional execution; returns result latency in cycles."""
-        inst = di.inst
-        values = di.src_values
-        kind = inst.kind
+        w = self.w
+        dec = self._dec
         if kind == 0:                        # plain register-writing op
-            di.result = inst.eval_fn(values, inst.imm)
-            return inst.latency
+            srcs = (v0, v1) if dec.nsrc[pc] > 1 \
+                else ((v0,) if dec.nsrc[pc] else ())
+            w.res[slot] = dec.evalf[pc](srcs, dec.imm[pc])
+            return dec.lat[pc]
         if kind == 1:                        # conditional branch
-            di.actual_taken = taken = inst.branch_fn(values)
-            di.actual_target = inst.target if taken else di.pc + 1
-            return inst.latency
+            srcs = (v0, v1) if dec.nsrc[pc] > 1 else (v0,)
+            w.atk[slot] = taken = dec.branchf[pc](srcs)
+            w.atg[slot] = dec.target[pc] if taken else pc + 1
+            return dec.lat[pc]
         if kind == 4:                        # load
-            base = values[0]
-            if type(base) is int:
-                addr = (base + inst.imm) & _ADDR_MASK
+            imm = dec.imm[pc]
+            if type(v0) is int:
+                addr = (v0 + imm) & _ADDR_MASK
             else:
-                addr = effective_address(base, inst.imm)
-            di.mem_addr = addr
-            forwarded, penalty = self.sq.forward(addr, di.seq)
+                addr = effective_address(v0, imm)
+            w.ma[slot] = addr
+            forwarded, penalty = self.sq.forward(addr, seq)
+            is_fld = dec.code[pc] == _FLD
             if forwarded is not None:
-                di.result = (float(forwarded) if inst.op is Op.FLD
-                             else forwarded)
+                w.res[slot] = float(forwarded) if is_fld else forwarded
                 return 1 + penalty
             value = self.memory.get(addr, 0)
-            di.result = float(value) if inst.op is Op.FLD else value
+            w.res[slot] = float(value) if is_fld else value
             return self.hierarchy.load_latency(addr)
         if kind == 5:                        # store
-            base = values[1]
-            if type(base) is int:
-                di.mem_addr = (base + inst.imm) & _ADDR_MASK
+            imm = dec.imm[pc]
+            w.sval[slot] = v0
+            if type(v1) is int:
+                w.ma[slot] = (v1 + imm) & _ADDR_MASK
             else:
-                di.mem_addr = effective_address(base, inst.imm)
+                w.ma[slot] = effective_address(v1, imm)
             return 1
         if kind == 2:                        # direct jump
-            di.actual_taken = True
-            di.actual_target = inst.target
-            return inst.latency
+            w.atk[slot] = True
+            w.atg[slot] = dec.target[pc]
+            return dec.lat[pc]
         if kind == 3:                        # indirect jump
-            di.actual_taken = True
-            di.actual_target = int(values[0])
-            return inst.latency
-        raise AssertionError(f"{inst.op.name} reached execute")
+            w.atk[slot] = True
+            w.atg[slot] = int(v0)
+            return dec.lat[pc]
+        raise AssertionError(f"kind {kind} reached execute")
 
     # ------------------------------------------------------------------ #
     # Dispatch (rename + allocate).
@@ -661,96 +819,106 @@ class OutOfOrderCore(ABC):
             self.begin_dispatch_cycle()
         rename_width = self.config.rename_width
         iq_size = self.config.iq_size
+        w = self.w
+        mask = w.mask
+        dec = self._dec
         moved = 0
         stall_reason: Optional[str] = None
         while moved < rename_width and buffer:
-            di = buffer[0]
-            inst = di.inst
-            if inst.kind == 6:               # NOP/HALT
+            s = buffer[0]
+            slot = s & mask
+            pc = w.pc[slot]
+            kind = dec.kind[pc]
+            if kind == 6:                # NOP/HALT
                 buffer.pop(0)
-                di.completed = True
-                self.assign_state_tag(di)
-                self.in_flight.append(di)
+                w.st[slot] |= COMPLETED
+                self.assign_state_tag(slot)
+                self.in_flight.append(s)
                 self.stats.dispatched += 1
                 if self.tracer is not None:
-                    self.tracer.dispatch(di.seq, now)
+                    self.tracer.dispatch(s, now)
                 moved += 1
                 continue
 
             if self.iq_count >= iq_size:
                 stall_reason = "iq_full"
                 break
-            if inst.is_load and self.load_buffer.is_full():
+            if kind == 4 and self.load_buffer.is_full():
                 stall_reason = "load_buffer_full"
                 break
-            if inst.is_store and self.sq.is_full():
+            if kind == 5 and self.sq.is_full():
                 stall_reason = "store_queue_full"
                 break
-            stall_reason = self.dispatch_blocked(di, moved)
+            stall_reason = self.dispatch_blocked(s, slot, pc, moved)
             if stall_reason is not None:
                 break
 
             buffer.pop(0)
-            self.rename(di)
-            self._wire_dependencies(di, now)
+            self.rename(s, slot, pc)
+            self._wire_dependencies(s, slot, pc, kind, now)
             if self.tracer is not None:
-                self.tracer.dispatch(di.seq, now)
+                self.tracer.dispatch(s, now)
             moved += 1
 
         if moved == 0 and stall_reason is not None:
             self._last_stall_reason = stall_reason
             self.stats.dispatch_stall_cycles[stall_reason] += 1
             if self.tracer is not None:
-                self.tracer.stall(buffer[0].seq, now, stall_reason)
+                self.tracer.stall(buffer[0], now, stall_reason)
             self.on_dispatch_stall(stall_reason)
 
-    def _wire_dependencies(self, di: DynInst, now: int) -> None:
+    def _wire_dependencies(self, seq: int, slot: int, pc: int, kind: int,
+                           now: int) -> None:
         waiting = self._waiting
         ready_table = self._ready_table
+        w = self.w
+        dec = self._dec
+        nsrc = dec.nsrc[pc]
         wait_count = 0
-        for handle in di.src_handles:
+        for i in range(nsrc):
+            handle = w.h0[slot] if i == 0 else w.h1[slot]
             ready = (ready_table[handle] if ready_table is not None
                      else self.handle_ready(handle))
             if not ready:
                 wait_count += 1
                 lst = waiting.get(handle)
                 if lst is None:
-                    waiting[handle] = [di]
+                    waiting[handle] = [seq]
                 else:
-                    lst.append(di)
-        di.wait_count = wait_count
-        di.dispatch_cycle = now
-        di.earliest_issue_cycle = now + 1 + self.extra_dispatch_delay
-        inst = di.inst
-        if inst.is_store:
-            di.store_entry = self.sq.allocate(di.seq)
+                    lst.append(seq)
+        w.wc[slot] = wait_count
+        w.eic[slot] = now + 1 + self.extra_dispatch_delay
+        if kind == 5:                    # store
+            w.se[slot] = self.sq.allocate(seq)
             # Early AGU: resolve the address as soon as the base operand
             # is available, possibly long before the store issues.
-            base = di.src_handles[1]
+            base = w.h1[slot]
             if (ready_table[base] if ready_table is not None
                     else self.handle_ready(base)):
-                addr = effective_address(self.peek_operand(base), inst.imm)
-                self.sq.set_address(di.store_entry, addr)
+                addr = effective_address(self.peek_operand(base),
+                                         dec.imm[pc])
+                self.sq.set_address(w.se[slot], addr)
             else:
-                self._addr_watch.setdefault(base, []).append(di)
-        elif inst.is_load:
+                self._addr_watch.setdefault(base, []).append(seq)
+        elif kind == 4:                  # load
+            w.ma[slot] = -1              # address memo for the issue walk
             self.load_buffer.allocate()
-        self.in_flight.append(di)
+        self.in_flight.append(seq)
         self.iq_count += 1
         self.stats.dispatched += 1
         if wait_count == 0:
             # A freshly dispatched instruction is the youngest in the
             # machine, so the event window admits it with an append.
             if self._sched_event:
-                self._ready_list.append(di)
+                self._ready_list.append(seq)
             else:
-                heappush(self._ready, (di.seq, di))
+                heappush(self._ready, seq)
 
     # ------------------------------------------------------------------ #
     # Commit helpers.
     # ------------------------------------------------------------------ #
 
-    def commit_one(self, di: DynInst, now: int) -> bool:
+    def commit_one(self, seq: int, slot: int, now: int) -> bool:
         """Commit the in-flight head; False if an exception interrupted."""
         ordinal = self.commit_ordinal
         if (ordinal in self.exception_plan
@@ -758,22 +926,23 @@ class OutOfOrderCore(ABC):
             self._exceptions_taken.add(ordinal)
             self.stats.exceptions_taken += 1
             self.stats.recoveries += 1
-            self.take_exception(di, now)
+            self.take_exception(seq, slot, now)
             return False
         self.commit_ordinal += 1
-        di.committed = True
         self.stats.committed += 1
         if self.tracer is not None:
-            self.tracer.commit(di.seq, now, ordinal)
+            self.tracer.commit(seq, now, ordinal)
         metrics = self._metrics
         if metrics is not None \
                 and self.stats.committed % metrics.interval == 0:
             metrics.sample(self)
+        pc = self.w.pc[slot]
         if self.commit_trace is not None:
-            self.commit_trace.append(di.pc)
-        if di.inst.is_load:
+            self.commit_trace.append(pc)
+        code = self._dec.code[pc]
+        if self._dec.kind[pc] == 4:
             self.load_buffer.release()
-        if di.inst.op is Op.HALT:
+        elif code == _HALT:
             self.done = True
         return True
 
@@ -794,18 +963,19 @@ class OutOfOrderCore(ABC):
         self.memory[addr] = value
         self.hierarchy.store_commit(addr)
 
-    def repair_history_at(self, di: DynInst) -> None:
-        """Restore predictor history to the point just before ``di`` was
-        fetched (exception recovery re-fetches from ``di.pc``)."""
-        if di.ghr_at_fetch is not None:
-            self.predictor.set_history(di.ghr_at_fetch)
+    def repair_history_at(self, slot: int) -> None:
+        """Restore predictor history to the point just before this
+        instruction was fetched (exception recovery re-fetches its PC)."""
+        ghr = self.w.ghr[slot]
+        if ghr is not None:
+            self.predictor.set_history(ghr)
 
     # ------------------------------------------------------------------ #
     # Squash.
     # ------------------------------------------------------------------ #
 
     def squash_after(self, boundary_seq: int,
-                     fault_seq: int) -> List[DynInst]:
+                     fault_seq: int) -> List[int]:
         """Remove every in-flight instruction with ``seq > boundary_seq``.
 
         ``fault_seq`` classifies the Fig. 9 accounting: squashed *issued*
@@ -813,8 +983,9 @@ class OutOfOrderCore(ABC):
         were correct-path work that will be re-executed (CPR rollback past
         a checkpoint, or an exception replay).
 
-        Returns the squashed instructions, youngest first, so the
-        architecture can undo its own state for them.
+        Returns the squashed seqs, youngest first, so the architecture
+        can undo its own state for them (their window slots stay owned
+        until fetch recycles them, so columns remain readable).
 
         The event scheduler additionally unlinks each squashed waiter
         from the per-operand wakeup map and purges the squashed
@@ -827,67 +998,91 @@ class OutOfOrderCore(ABC):
         and discard them, so the shared ``max_issue_scan`` budget
         accounting stays bit-identical.
         """
-        squashed: List[DynInst] = []
+        squashed: List[int] = []
         purge = self._sched_event
         waiting = self._waiting
         addr_watch = self._addr_watch
         tracer = self.tracer
-        while self.in_flight and self.in_flight[-1].seq > boundary_seq:
-            di = self.in_flight.pop()
-            di.squashed = True
-            squashed.append(di)
+        in_flight = self.in_flight
+        w = self.w
+        mask = w.mask
+        w_st = w.st
+        dec = self._dec
+        stats = self.stats
+        while in_flight and in_flight[-1] > boundary_seq:
+            s = in_flight.pop()
+            slot = s & mask
+            st = w_st[slot]
+            w_st[slot] = st | SQUASHED
+            squashed.append(s)
             if tracer is not None:
-                tracer.squash(di.seq, self.now)
-            self.stats.squashed += 1
-            if di.issued:
-                if di.seq > fault_seq:
-                    self.stats.wrong_path_executed += 1
+                tracer.squash(s, self.now)
+            stats.squashed += 1
+            pc = w.pc[slot]
+            kind = dec.kind[pc]
+            if st & ISSUED:
+                if s > fault_seq:
+                    stats.wrong_path_executed += 1
                 else:
-                    self.stats.correct_path_reexecuted += 1
-                if not di.completed and di.inst.is_load:
-                    pass  # completion event will be dropped via flag
-            elif not di.completed:
+                    stats.correct_path_reexecuted += 1
+            elif not st & COMPLETED:
                 self.iq_count -= 1
                 if purge:
-                    if di.wait_count:
-                        for handle in di.src_handles:
+                    if w.wc[slot]:
+                        for i in range(dec.nsrc[pc]):
+                            handle = w.h0[slot] if i == 0 else w.h1[slot]
                             lst = waiting.get(handle)
                             if lst is not None:
                                 try:
-                                    lst.remove(di)
+                                    lst.remove(s)
                                 except ValueError:
                                     pass
-                    if di.inst.is_store and di.store_entry is not None:
-                        lst = addr_watch.get(di.src_handles[1])
+                    if kind == 5:
+                        lst = addr_watch.get(w.h1[slot])
                         if lst is not None:
                             try:
-                                lst.remove(di)
+                                lst.remove(s)
                             except ValueError:
                                 pass
-            if di.inst.is_load:
+            if kind == 4:
                 self.load_buffer.release()
         if purge and squashed:
+            # Targeted purge: an issued-but-incomplete instruction has
+            # exactly one pending completion event, at the cycle the
+            # ``fin`` column recorded at issue.  (A bucket already
+            # popped by this cycle's writeback is simply absent — its
+            # in-loop ownership recheck drops the squashed entry.)
             completions = self._completions
-            for finish in list(completions):
-                bucket = completions[finish]
-                live = [di for di in bucket if not di.squashed]
-                if not live:
-                    del completions[finish]
-                elif len(live) != len(bucket):
-                    completions[finish] = live
+            w_fin = w.fin
+            for s in squashed:
+                slot = s & mask
+                st = w_st[slot]
+                if st & ISSUED and not st & COMPLETED:
+                    finish = w_fin[slot]
+                    bucket = completions.get(finish)
+                    if bucket is not None:
+                        try:
+                            bucket.remove(s)
+                        except ValueError:
+                            pass
+                        if not bucket:
+                            del completions[finish]
         self.sq.squash_after(boundary_seq)
         if tracer is not None:
             # Buffered (fetched, never dispatched) younger instructions
             # are dropped by the fetch engine below; trace them too so
             # the viewer closes their fetch stage.
-            for di in self.fetch.buffer:
-                if di.seq > boundary_seq:
-                    tracer.squash(di.seq, self.now)
+            for s in self.fetch.buffer:
+                if s > boundary_seq:
+                    tracer.squash(s, self.now)
         self.fetch.squash_after(boundary_seq)
         return squashed
 
     # ------------------------------------------------------------------ #
-    # Architecture hooks.
+    # Architecture hooks.  Instructions are identified by (seq, slot);
+    # ``slot`` is ``seq & window.mask`` at call time (growth can only
+    # happen at a fetch-group boundary, never between the computation of
+    # a slot and the hook call that consumes it).
     # ------------------------------------------------------------------ #
 
     @abstractmethod
@@ -895,20 +1090,21 @@ class OutOfOrderCore(ABC):
         """Retire completed instructions per the machine's commit rules."""
 
     @abstractmethod
-    def dispatch_blocked(self, di: DynInst, moved: int) -> Optional[str]:
-        """Stall reason preventing ``di`` from dispatching, or None."""
+    def dispatch_blocked(self, seq: int, slot: int, pc: int,
+                         moved: int) -> Optional[str]:
+        """Stall reason preventing this instruction from dispatching."""
 
     @abstractmethod
-    def rename(self, di: DynInst) -> None:
-        """Rename sources, allocate the destination, tag ``di``."""
+    def rename(self, seq: int, slot: int, pc: int) -> None:
+        """Rename sources, allocate the destination, fill h0/h1/dest."""
 
     @abstractmethod
-    def recover_from_branch(self, di: DynInst, now: int) -> None:
-        """Squash and restore state for the mispredicted ``di``."""
+    def recover_from_branch(self, seq: int, slot: int, now: int) -> None:
+        """Squash and restore state for the mispredicted instruction."""
 
     @abstractmethod
-    def take_exception(self, di: DynInst, now: int) -> None:
-        """Recover for an exception raised by committable ``di``."""
+    def take_exception(self, seq: int, slot: int, now: int) -> None:
+        """Recover for an exception raised by a committable instruction."""
 
     @abstractmethod
     def handle_ready(self, handle: Any) -> bool:
@@ -925,10 +1121,10 @@ class OutOfOrderCore(ABC):
         load disambiguation check."""
 
     @abstractmethod
-    def write_result(self, di: DynInst) -> None:
-        """Write ``di.result`` to its destination register, mark ready."""
+    def write_result(self, slot: int) -> None:
+        """Write ``w.res[slot]`` to its destination register, mark ready."""
 
-    def assign_state_tag(self, di: DynInst) -> None:
+    def assign_state_tag(self, slot: int) -> None:
         """Tag NOP/HALT with the current state (MSP overrides)."""
 
     def begin_dispatch_cycle(self) -> None:
@@ -937,18 +1133,18 @@ class OutOfOrderCore(ABC):
     def begin_issue_cycle(self) -> None:
         """Per-cycle issue-port state reset (MSP read-port arbitration)."""
 
-    def acquire_read_ports(self, di: DynInst) -> bool:
-        """Try to claim register-file read ports for ``di`` (MSP)."""
+    def acquire_read_ports(self, slot: int, pc: int) -> bool:
+        """Try to claim register-file read ports (MSP)."""
         return True
 
-    def filter_writebacks(self, completed: List[DynInst], now: int):
+    def filter_writebacks(self, completed: List[int], now: int):
         """Split completions into (accepted, deferred) per write ports."""
         return completed, []
 
-    def on_complete(self, di: DynInst) -> None:
-        """Architecture bookkeeping when ``di`` finishes execution."""
+    def on_complete(self, seq: int, slot: int) -> None:
+        """Architecture bookkeeping when an instruction finishes."""
 
-    def on_branch_resolved(self, di: DynInst, mispredicted: bool) -> None:
+    def on_branch_resolved(self, slot: int, mispredicted: bool) -> None:
         """CPR trains its confidence estimator here."""
 
     def on_dispatch_stall(self, reason: str) -> None:

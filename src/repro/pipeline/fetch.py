@@ -7,21 +7,25 @@ predicting conditional branches (direction predictor) and indirect jumps
 Fetched instructions wait in a small decoupling buffer until the dispatch
 stage pulls them.
 
-On an I-cache miss the front end stalls for the miss latency. On a
-misprediction the core calls :meth:`redirect`, which also discards the
-buffer (those are wrong-path instructions by definition).
+Fetched state lives in the core's :class:`~repro.pipeline.window.
+InflightWindow` columns; the buffer itself is a plain list of sequence
+numbers.  On an I-cache miss the front end stalls for the miss latency.
+On a misprediction the core calls :meth:`redirect`, which also discards
+the buffer (those are wrong-path instructions by definition).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.branch.base import BranchPredictor
 from repro.branch.btb import BranchTargetBuffer
-from repro.isa.opcodes import Op
+from repro.isa.opcodes import KIND_BRANCH, KIND_JMP, KIND_JR, Op
 from repro.isa.program import Program
 from repro.memory.cache import MemoryHierarchy
-from repro.pipeline.dyninst import DynInst
+from repro.pipeline.window import InflightWindow
+
+_HALT = Op.HALT.value
 
 
 class FetchEngine:
@@ -35,20 +39,28 @@ class FetchEngine:
         btb: Optional[BranchTargetBuffer] = None,
         width: int = 3,
         buffer_capacity: int = 16,
+        window: Optional[InflightWindow] = None,
     ) -> None:
         self.program = program
+        self.decoded = program.decoded
         self.hierarchy = hierarchy
         self.predictor = predictor
         self.btb = btb or BranchTargetBuffer()
         self.width = width
         self.buffer_capacity = buffer_capacity
+        self.window = window if window is not None else InflightWindow(64)
 
         #: Observability hook slot (armed by ``core.attach_tracer``);
         #: None-checked at every emission site, zero-overhead when off.
         self.tracer = None
 
+        #: Oldest live seq supplier for the window growth check; the
+        #: core overrides this with one that also consults its ROB.
+        self.oldest_live: Callable[[], int] = (
+            lambda: self.buffer[0] if self.buffer else self.next_seq)
+
         self.pc = program.entry
-        self.buffer: List[DynInst] = []
+        self.buffer: List[int] = []
         self.next_seq = 0
         self.halted = False          # saw HALT; wait for redirect
         self.stalled_until = 0       # I-cache miss in progress
@@ -63,8 +75,8 @@ class FetchEngine:
             # Normally the core's squash_after has already traced (and
             # dropped) buffered wrong-path instructions; anything still
             # here is discarded by the redirect itself.
-            for di in self.buffer:
-                self.tracer.squash(di.seq, now)
+            for seq in self.buffer:
+                self.tracer.squash(seq, now)
         self.buffer.clear()
         self.pc = target
         self.halted = False
@@ -73,7 +85,7 @@ class FetchEngine:
 
     def squash_after(self, seq: int) -> None:
         """Drop buffered instructions younger than ``seq``."""
-        self.buffer[:] = [di for di in self.buffer if di.seq <= seq]
+        self.buffer[:] = [s for s in self.buffer if s <= seq]
 
     # ------------------------------------------------------------------ #
 
@@ -96,56 +108,73 @@ class FetchEngine:
             self.icache_stall_cycles += 1
             return
 
-        program_fetch = self.program.fetch
+        w = self.window
+        next_seq = self.next_seq
+        if next_seq + self.width > w.grow_barrier:
+            w.ensure_room(self.oldest_live(), next_seq + self.width)
+        mask = w.mask
+        w_sq, w_pc, w_st = w.sq, w.pc, w.st
+        w_tag, w_ghr = w.tag, w.ghr
+        dec = self.decoded
+        size = dec.size
+        kinds, codes, targets = dec.kind, dec.code, dec.target
         predictor = self.predictor
         tracer = self.tracer
-        next_seq = self.next_seq
         fetched = 0
         for _ in range(self.width):
             if len(buffer) >= capacity:
                 break
-            inst = program_fetch(pc)
-            if inst is None:
+            if pc < 0 or pc >= size:
                 # Wrong-path PC fell off the program: nothing to fetch
                 # until a recovery redirects us.
                 self.halted = True
                 break
 
-            di = DynInst(next_seq, pc, inst)
-            di.ghr_at_fetch = predictor.get_history()
+            slot = next_seq & mask
+            w_sq[slot] = next_seq
+            w_pc[slot] = pc
+            w_st[slot] = 0
+            w_tag[slot] = None
+            w_ghr[slot] = predictor.get_history()
+            seq = next_seq
             next_seq += 1
             fetched += 1
-            buffer.append(di)
+            buffer.append(seq)
             if tracer is not None:
-                tracer.fetch(di, now)
+                tracer.fetch(seq, pc, dec.insts[pc], now)
 
-            if inst.op is Op.HALT:
-                self.halted = True
-                break
+            kind = kinds[pc]
+            if kind >= 6:            # KIND_NONE: NOP or HALT
+                if codes[pc] == _HALT:
+                    self.halted = True
+                    break
+                pc += 1
+                continue
 
             next_pc = pc + 1
             stop_group = False
-            if inst.is_branch:
+            if kind == KIND_BRANCH:
                 prediction = predictor.predict(pc)
-                di.prediction = prediction
-                di.predicted_taken = prediction.taken
-                di.predicted_target = (inst.target if prediction.taken
-                                       else pc + 1)
-                if prediction.taken:
-                    next_pc = inst.target
+                w.pred[slot] = prediction
+                taken = prediction.taken
+                w.ptk[slot] = taken
+                if taken:
+                    next_pc = targets[pc]
+                    w.ptg[slot] = next_pc
                     stop_group = True
-            elif inst.op is Op.JMP:
-                di.predicted_taken = True
-                di.predicted_target = inst.target
-                next_pc = inst.target
+                else:
+                    w.ptg[slot] = pc + 1
+            elif kind == KIND_JMP:
+                w.ptk[slot] = True
+                next_pc = targets[pc]
+                w.ptg[slot] = next_pc
                 stop_group = True
-            elif inst.op is Op.JR:
-                di.predicted_taken = True
+            elif kind == KIND_JR:
+                w.ptk[slot] = True
                 predicted = self.btb.predict(pc)
                 # On a BTB miss, fall through (will mispredict and recover).
-                di.predicted_target = (predicted if predicted is not None
-                                       else pc + 1)
-                next_pc = di.predicted_target
+                next_pc = predicted if predicted is not None else pc + 1
+                w.ptg[slot] = next_pc
                 stop_group = True
 
             pc = next_pc
@@ -166,4 +195,3 @@ class FetchEngine:
         stalled = self.stalled_until - start
         if stalled > 0:
             self.icache_stall_cycles += stalled if stalled < count else count
-

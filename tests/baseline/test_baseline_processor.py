@@ -38,9 +38,10 @@ def test_rob_bounds_window(fp_chain_program):
 
 def test_free_list_conservation(sum_loop_program):
     core, _ = run_baseline(sum_loop_program)
+    w, dec, mask = core.w, core._dec, core.w.mask
     referenced = set(core.rat) | set(core.arch_rat)
-    referenced.update(di.dest_handle for di in core.in_flight
-                      if di.inst.writes_reg)
+    referenced.update(w.dest[s & mask] for s in core.in_flight
+                      if dec.wreg[w.pc[s & mask]])
     free = set(core.int_free) | set(core.fp_free)
     total = core.config.phys_int + core.config.phys_fp
     # Free and referenced partition the physical register file.

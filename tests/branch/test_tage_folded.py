@@ -100,6 +100,36 @@ def test_train_bit_identical_to_reference_flow(table_bits, tag_bits,
     assert _state(reference) == _state(fast)
 
 
+@pytest.mark.parametrize("table_bits,tag_bits",
+                         [(12, 10),               # default geometry
+                          (7, 6),                 # odd widths
+                          (6, 4)])                # tiny tables
+def test_predict_bit_identical_to_reference(table_bits, tag_bits):
+    """The geometry-specialised ``predict`` (bound on instances) must
+    match the class-level reference bit for bit: same taken bit, same
+    meta tuple (snapshot, provider/alt, indices, tags, component
+    predictions) and same fold/ghr side effects, across updates,
+    allocations and mispredict restores."""
+    reference = TagePredictor(table_bits=table_bits, tag_bits=tag_bits)
+    fast = TagePredictor(table_bits=table_bits, tag_bits=tag_bits)
+    rng = random.Random(table_bits * 17 + tag_bits)
+    for step in range(4000):
+        pc = rng.randrange(4096)
+        ref_pred = TagePredictor.predict(reference, pc)  # class reference
+        fast_pred = fast.predict(pc)                     # bound specialised
+        assert fast_pred.taken == ref_pred.taken, f"taken @ {step}"
+        assert fast_pred.meta == ref_pred.meta, f"meta @ {step}"
+        taken = rng.random() < 0.55
+        reference.update(ref_pred, taken)
+        fast.update(fast_pred, taken)
+        if ref_pred.taken != taken:
+            ref_pred.taken = taken
+            reference.restore(ref_pred)
+            fast_pred.taken = taken
+            fast.restore(fast_pred)
+    assert _state(reference) == _state(fast)
+
+
 def test_train_interleaves_with_predict_update():
     """A predictor must survive mixing the two disciplines (the warm
     predictor is cloned into windows that run predict/update)."""

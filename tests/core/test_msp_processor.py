@@ -80,7 +80,8 @@ def test_sc_resets_on_recovery(branchy_program):
     core, stats = run_msp(branchy_program, budget=400)
     assert stats.recoveries > 0
     # StateIds stay consistent: in-flight stateids are monotone in seq.
-    ids = [di.stateid for di in core.in_flight]
+    w, mask = core.w, core.w.mask
+    ids = [w.sid[s & mask] for s in core.in_flight]
     assert ids == sorted(ids)
 
 

@@ -50,12 +50,19 @@ def test_refcounts_consistent_after_run(sum_loop_program):
     for checkpoint in core.checkpoints:
         for handle in checkpoint.rat_snapshot:
             counts[handle] += 1
-    for di in core.in_flight:
-        if not di.issued:
-            for handle in di.src_handles:
-                counts[handle] += 1
-        if di.inst.writes_reg and not di.completed:
-            counts[di.dest_handle] += 1
+    w, dec, mask = core.w, core._dec, core.w.mask
+    for s in core.in_flight:
+        slot = s & mask
+        st = w.st[slot]
+        pc = w.pc[slot]
+        if not st & 1:                      # not yet issued: reader holds
+            nsrc = dec.nsrc[pc]
+            if nsrc:
+                counts[w.h0[slot]] += 1
+                if nsrc > 1:
+                    counts[w.h1[slot]] += 1
+        if dec.wreg[pc] and not st & 2:     # writer hold until complete
+            counts[w.dest[slot]] += 1
     assert counts == core.refcount
 
 
@@ -80,7 +87,7 @@ def test_bulk_commit_is_interval_grained(branchy_program):
     assert stats.committed >= 500
     # Oldest checkpoint always covers the in-flight window.
     if core.in_flight:
-        assert core.checkpoints[0].seq < core.in_flight[0].seq
+        assert core.checkpoints[0].seq < core.in_flight[0]
 
 
 def test_halting_program_drains(halting_program):

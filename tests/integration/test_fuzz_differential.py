@@ -11,6 +11,7 @@ option in-tree.
 import pytest
 
 from repro.workloads.fuzz import (
+    BACKENDS,
     SCHEDULERS,
     Divergence,
     check_one,
@@ -26,13 +27,30 @@ def test_clean_sweep_finds_no_divergence(seed):
     assert run_differential(seed, budget=400) == []
 
 
-def test_sweep_covers_every_core_and_scheduler():
+def test_sweep_covers_every_core_scheduler_and_backend():
     labels = {config.label for config in fuzz_configs()}
     assert len(labels) == 3
     assert set(SCHEDULERS) == {"event", "scan"}
+    assert set(BACKENDS) == {"codegen", "ladder"}
     for config in fuzz_configs():
         for scheduler in SCHEDULERS:
-            assert check_one(5, config, scheduler, budget=300) is None
+            for backend in BACKENDS:
+                assert check_one(5, config, scheduler, budget=300,
+                                 backend=backend) is None
+
+
+def test_sweep_exercises_window_growth(monkeypatch):
+    """With a forced tiny ring, fuzz programs must cross the growth
+    path (mask rebake + codegen regeneration) and still match the
+    oracle on every cell."""
+    monkeypatch.setenv("REPRO_WINDOW_CAP", "4")
+    from repro.sim import build_core
+    from repro.workloads.fuzz import random_program
+    assert run_differential(1, budget=300) == []
+    core = build_core(random_program(1),
+                      fuzz_configs()[0].with_(record_commits=True))
+    core.run(max_instructions=300)
+    assert core.w.grows > 0          # the tiny ring actually doubled
 
 
 def test_compare_detects_commit_trace_mismatch():

@@ -37,7 +37,9 @@ def _warm_state(warm):
     predictor = {key: value
                  for key, value in warm.predictor.__dict__.items()
                  if not key.startswith("_scratch")
-                 and key not in ("train",)}
+                 # Instance-bound specialised closures: distinct (but
+                 # behaviourally identical) objects per instance.
+                 and key not in ("train", "predict")}
     if "ghr" in predictor and hasattr(warm.predictor, "history_mask"):
         predictor["ghr"] = predictor["ghr"] & warm.predictor.history_mask
     confidence = warm.confidence

@@ -1,0 +1,100 @@
+"""Codegen staleness guard.
+
+The per-static-instruction exec closures inline the semantics tables'
+stock templates, so the compile cache must be keyed by a fingerprint of
+the *live* tables: monkeypatching an eval fn has to (a) change the
+fingerprint, (b) force a fresh compilation instead of replaying the
+stale inlined build, and (c) make the regenerated source call out to
+the replaced fn exactly like the generic ladder would.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.opcodes import Op
+from repro.isa.program import ProgramBuilder
+from repro.isa.semantics import EVAL_FNS
+from repro.pipeline import codegen
+from repro.sim import SimConfig, build_core
+
+
+def _add_program():
+    builder = ProgramBuilder("staleness")
+    builder.li(1, 5)
+    builder.li(2, 9)
+    builder.add(3, 1, 2)
+    builder.halt()
+    return builder.build()
+
+
+@pytest.fixture
+def patched_add(monkeypatch):
+    """Replace ADD's semantics with a distinguishable fn (via the table,
+    exactly how an experiment would monkeypatch it)."""
+    monkeypatch.setitem(EVAL_FNS, Op.ADD, lambda s, imm: 777)
+    yield
+
+
+def test_fingerprint_tracks_table_mutation(monkeypatch):
+    stock = codegen.semantics_fingerprint()
+    assert stock == codegen.semantics_fingerprint()  # deterministic
+    with monkeypatch.context() as patch:
+        patch.setitem(EVAL_FNS, Op.ADD, lambda s, imm: 777)
+        assert codegen.semantics_fingerprint() != stock
+    # Restoring the original restores the fingerprint (cache reusable).
+    assert codegen.semantics_fingerprint() == stock
+
+
+def test_stock_semantics_inline_the_template():
+    program = _add_program()
+    core = build_core(program, SimConfig.baseline())
+    core._maybe_build_codegen()
+    ((_flavor, fp),) = program.decoded._codegen_cache
+    assert fp == codegen.semantics_fingerprint()
+    build = program.decoded._codegen_cache[(_flavor, fp)]
+    # Unmodified tables compile to the inlined expression, with no
+    # out-of-line semantics call.
+    assert "_ef" not in build.__codegen_source__
+
+
+def test_mutation_invalidates_compiled_build(monkeypatch):
+    with monkeypatch.context() as patch:
+        patch.setitem(EVAL_FNS, Op.ADD, lambda s, imm: 777)
+        # Program constructed *after* the patch: decode snapshots the
+        # table entries (Instruction.eval_fn) and both the generic
+        # ladder and codegen read that snapshot, staying in lockstep.
+        program = _add_program()
+        dec = program.decoded
+        core = build_core(program, SimConfig.baseline())
+        core._maybe_build_codegen()
+        assert core._exec_fns is not None
+        (patched_key,) = dec._codegen_cache
+        patched_build = dec._codegen_cache[patched_key]
+        # The replaced entry compiles to an out-of-line call, not the
+        # stale inlined `v0 + v1` template.
+        assert "_ef" in patched_build.__codegen_source__
+        # Same flavor, same live tables: the compilation is reused.
+        assert codegen._compiled_build(dec, "direct") is patched_build
+    # Tables restored: the fingerprint moves, so the same decoded
+    # program recompiles instead of replaying the stale build.
+    fresh_build = codegen._compiled_build(dec, "direct")
+    assert fresh_build is not patched_build
+    assert len(dec._codegen_cache) == 2
+
+
+def test_patched_semantics_agree_with_generic_ladder(patched_add):
+    program = _add_program()
+    on = build_core(program, SimConfig.baseline().with_(
+        record_commits=True))
+    off = build_core(program, SimConfig.baseline().with_(
+        record_commits=True, codegen=False))
+    stats_on = on.run(max_instructions=100).to_dict()
+    stats_off = off.run(max_instructions=100).to_dict()
+    assert off._exec_fns is None           # toggle honored
+    assert stats_on == stats_off
+    # Both executed the *patched* semantics, not the stale template.
+    dest = on.arch_rat[3]
+    assert on.phys_value[dest] == 777
+    dest_off = off.arch_rat[3]
+    assert off.phys_value[dest_off] == 777

@@ -127,10 +127,13 @@ def test_squash_purges_waiter_and_completion_maps():
     wakeup map and completion wheel must hold no squashed zombies."""
     core = build_core(get_program("gzip"), SimConfig.baseline())
     core.run(max_instructions=3000)
+    w, mask = core.w, core.w.mask
     for waiters in core._waiting.values():
-        assert all(not di.squashed for di in waiters)
+        assert all(w.sq[s & mask] == s and not w.st[s & mask] & 4
+                   for s in waiters)
     for bucket in core._completions.values():
-        assert all(not di.squashed for di in bucket)
+        assert all(w.sq[s & mask] == s and not w.st[s & mask] & 4
+                   for s in bucket)
 
 
 def test_direct_operand_tables_alias_register_file():

@@ -62,7 +62,8 @@ def test_fetch_stops_group_at_taken_control():
 
     fetch = _fetch_engine(program)
     fetch.cycle(0)
-    pcs = [di.pc for di in fetch.buffer]
+    w = fetch.window
+    pcs = [w.pc[s & w.mask] for s in fetch.buffer]
     assert pcs == [0, 1]
     assert fetch.pc == program.labels["target"]
 
@@ -83,7 +84,9 @@ def test_fetch_halts_at_halt_until_redirect():
     fetch = _fetch_engine(b.build())
     fetch.cycle(0)
     assert fetch.halted
-    assert fetch.buffer[0].inst.op is Op.HALT
+    w = fetch.window
+    halt_pc = w.pc[fetch.buffer[0] & w.mask]
+    assert fetch.program.instructions[halt_pc].op is Op.HALT
     fetch.redirect(0, 0)
     assert not fetch.halted
     assert not fetch.buffer          # redirect discards the buffer
@@ -97,7 +100,8 @@ def test_fetch_records_ghr_snapshot():
     b.jmp(0)
     fetch = _fetch_engine(b.build())
     fetch.cycle(0)
-    assert all(di.ghr_at_fetch is not None for di in fetch.buffer)
+    w = fetch.window
+    assert all(w.ghr[s & w.mask] is not None for s in fetch.buffer)
 
 
 def test_fetch_squash_after_drops_young():
@@ -107,9 +111,9 @@ def test_fetch_squash_after_drops_young():
     b.jmp(0)
     fetch = _fetch_engine(b.build(), width=3)
     fetch.cycle(0)
-    boundary = fetch.buffer[0].seq
+    boundary = fetch.buffer[0]
     fetch.squash_after(boundary)
-    assert [di.seq for di in fetch.buffer] == [boundary]
+    assert fetch.buffer == [boundary]
 
 
 def test_stats_summary_and_breakdown():

@@ -11,6 +11,10 @@ history and re-squashing state.  A branch in an older mispredict's
 squash shadow must never resolve: the writeback stage now sorts each
 bucket by sequence number, so the older recovery lands first and the
 squashed younger completion is dropped.
+
+With structure-of-arrays in-flight state the bucket holds sequence
+numbers; per-instruction fields live in the window columns, and the
+squashed/mispredicted/completed facts are bits in the status column.
 """
 
 from __future__ import annotations
@@ -45,15 +49,29 @@ def _two_branch_program():
 
 def _run_until_shared_bucket(core, max_cycles=200):
     """Advance until a completion bucket holds both branches; return
-    (bucket_cycle, older, younger)."""
+    (bucket_cycle, older_seq, younger_seq)."""
+    w, dec, mask = core.w, core._dec, core.w.mask
     for _ in range(max_cycles):
         for finish, bucket in core._completions.items():
-            branches = [di for di in bucket if di.inst.is_branch]
+            branches = [s for s in bucket
+                        if dec.kind[w.pc[s & mask]] == 1]
             if len(branches) == 2:
-                older, younger = sorted(branches, key=lambda d: d.seq)
+                older, younger = sorted(branches)
                 return finish, older, younger
         core.cycle()
     raise AssertionError("branches never shared a completion bucket")
+
+
+def _force_mispredict(core, seq):
+    """Flip the branch's already-computed outcome so writeback sees a
+    mispredict (outcomes live in the atk/atg columns since issue)."""
+    w, dec = core.w, core._dec
+    slot = seq & w.mask
+    pc = w.pc[slot]
+    taken = not w.ptk[slot]
+    w.atk[slot] = taken
+    w.atg[slot] = dec.target[pc] if taken else pc + 1
+    return w.atg[slot]
 
 
 @pytest.mark.parametrize("scheduler", ["event", "scan"])
@@ -63,37 +81,37 @@ def test_older_squash_suppresses_younger_same_cycle_resolution(scheduler):
                                          scheduler=scheduler))
     finish, older, younger = _run_until_shared_bucket(core)
     bucket = core._completions[finish]
+    w, mask = core.w, core.w.mask
+    o_slot, y_slot = older & mask, younger & mask
 
     # Force the interleave the bug needed: the younger branch ahead of
     # the older one in the bucket, and both mispredicted.
-    bucket.sort(key=lambda d: -d.seq)
+    bucket.sort(reverse=True)
     assert bucket.index(younger) < bucket.index(older)
-    for di in (older, younger):
-        di.actual_taken = not di.predicted_taken
-        di.actual_target = (di.inst.target if di.actual_taken
-                            else di.pc + 1)
+    older_target = _force_mispredict(core, older)
+    _force_mispredict(core, younger)
 
     branches_before = core.stats.branches
     recoveries_before = core.stats.recoveries
     while core.now < finish:
         core.cycle()
-    assert not older.squashed and not younger.squashed
+    assert not w.st[o_slot] & 4 and not w.st[y_slot] & 4
     core.cycle()                      # the shared writeback cycle
 
     # Exactly one branch resolved: the older one.  The younger was
     # squashed by the older's recovery before it could train the
     # predictor, repair history or fire a second recovery.
-    assert older.mispredicted
-    assert younger.squashed
-    assert not younger.completed
+    assert w.st[o_slot] & 8           # older mispredicted
+    assert w.st[y_slot] & 4           # younger squashed
+    assert not w.st[y_slot] & 2       # ... and never completed
     assert core.stats.branches == branches_before + 1
     assert core.stats.recoveries == recoveries_before + 1
     assert core.stats.branch_mispredictions == 1
 
     # Recovery state belongs to the *older* branch: fetch restarts at
     # its resolved target and the RAT snapshot restored is its tag.
-    assert core.fetch.pc == older.actual_target
-    assert core.rat == older.tag
+    assert core.fetch.pc == older_target
+    assert core.rat == w.tag[o_slot]
 
     # No double-free: every free physical register appears exactly once
     # across the free lists, and no live mapping is marked free.
@@ -112,13 +130,13 @@ def test_bucket_is_resolved_in_seq_order_even_when_appended_reversed(
                       SimConfig.baseline(predictor="static",
                                          scheduler=scheduler))
     finish, older, younger = _run_until_shared_bucket(core)
-    core._completions[finish].sort(key=lambda d: -d.seq)
+    core._completions[finish].sort(reverse=True)
+    w, mask = core.w, core.w.mask
+    o_slot, y_slot = older & mask, younger & mask
     # Only the older branch mispredicts.
-    older.actual_taken = not older.predicted_taken
-    older.actual_target = (older.inst.target if older.actual_taken
-                           else older.pc + 1)
+    _force_mispredict(core, older)
     while core.now <= finish:
         core.cycle()
-    assert older.mispredicted
-    assert younger.squashed            # wrong path of the older branch
-    assert not younger.completed
+    assert w.st[o_slot] & 8           # older mispredicted
+    assert w.st[y_slot] & 4           # younger: wrong path, squashed
+    assert not w.st[y_slot] & 2       # ... and never completed

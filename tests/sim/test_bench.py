@@ -153,6 +153,38 @@ def test_simpoint_reduction_floor():
     assert len(failures) == 1 and "floor" in failures[0]
 
 
+def test_detailed_slowdown_ceiling():
+    """The detailed core's cost relative to the emulator in the same
+    record is regression-guarded (SoA-window/codegen PR): the seed's
+    ~43x slowdown must fail, the post-PR ~36x must pass."""
+
+    def record(emulator, detailed):
+        return {"workload": "gzip", "modes": {
+            "emulator": {"instructions_per_second": emulator},
+            "detailed": {"instructions_per_second": detailed}}}
+
+    ceiling = bench.MAX_DETAILED_SLOWDOWN_VS_EMULATOR
+    assert ceiling < 43.0            # the seed-era ratio must not pass
+    assert bench.check_detailed_slowdown(
+        record(2_580_000.0, 72_000.0)) is None          # ~36x
+    failure = bench.check_detailed_slowdown(
+        record(2_580_000.0, 60_000.0))                  # ~43x (seed)
+    assert failure is not None and "ceiling" in failure
+    # Smoke budgets can't amortize core-build + codegen compile: the
+    # ceiling stands down rather than flagging fixed cost.
+    smoke = record(2_580_000.0, 20_000.0)
+    smoke["budgets"] = {"detail": 1000}
+    assert bench.check_detailed_slowdown(smoke) is None
+    # Partial records (either leg missing) are not a regression.
+    assert bench.check_detailed_slowdown({"modes": {}}) is None
+    assert bench.check_detailed_slowdown(
+        {"modes": {"detailed": {"instructions_per_second": 1.0}}}) is None
+    # The ceiling feeds the aggregate gate.
+    failures = bench.check_regressions(
+        record(2_580_000.0, 60_000.0), {"modes": {}})
+    assert len(failures) == 1 and "ceiling" in failures[0]
+
+
 def test_measure_annotates_simpoint_reduction():
     from repro.sim.bench import _annotate_simpoint_reduction
     record = {"budgets": {"sampled": 100_000}, "modes": {
