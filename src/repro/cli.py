@@ -13,8 +13,15 @@ Commands
     (``--no-cache`` / ``--cache-dir`` to control).
 ``campaign``
     Batch engine: ``campaign run`` simulates an ad-hoc workload x
-    machine grid; ``campaign status`` / ``campaign clear`` inspect and
-    drop the persistent result cache.
+    machine grid; ``campaign status`` (``--json`` for the
+    machine-readable snapshot) / ``campaign clear`` inspect and drop
+    the persistent result cache.
+``serve``
+    Long-running campaign daemon: an HTTP JSON API (``POST
+    /campaigns``, ``GET /campaigns/<id>[/results]``, ``/healthz``,
+    ``/readyz``) over the same result cache, with a crash-safe job
+    spool, leased workers and per-client admission quotas — see
+    :mod:`repro.sim.service`.
 ``bench``
     Measure simulator throughput (inst/s per mode), write the
     ``BENCH_throughput.json`` trajectory artifact, and optionally
@@ -314,24 +321,14 @@ _SUITES = {"specint": SPECINT, "specfp": SPECFP}
 
 
 def _machine_from_token(token: str, predictor: str) -> SimConfig:
-    """Parse a --machines token: baseline | cpr[:regs] | msp:n | ideal."""
+    """Parse a --machines token: baseline | cpr[:regs] | msp:n | ideal.
+    Shares :meth:`SimConfig.from_token` with the service API so both
+    surfaces speak (and reject) the same grammar."""
     try:
-        if token == "baseline":
-            return SimConfig.baseline(predictor=predictor)
-        if token == "cpr":
-            return SimConfig.cpr(predictor=predictor)
-        if token.startswith("cpr:"):
-            return SimConfig.cpr(predictor=predictor,
-                                 registers=int(token[4:]))
-        if token == "ideal":
-            return SimConfig.msp_ideal(predictor=predictor)
-        if token.startswith("msp:"):
-            return SimConfig.msp(int(token[4:]), predictor=predictor)
-    except ValueError:
-        pass
-    log(f"unknown machine {token!r}; choose from "
-        f"baseline cpr cpr:<registers> msp:<banks> ideal", "error")
-    raise SystemExit(2)
+        return SimConfig.from_token(token, predictor=predictor)
+    except ValueError as exc:
+        log(str(exc), "error")
+        raise SystemExit(2)
 
 
 def _interrupted_exit(exc: CampaignInterrupted) -> int:
@@ -460,6 +457,11 @@ def cmd_bench(args) -> int:
 
 def cmd_campaign_status(args) -> int:
     from repro.sim.artifacts import ArtifactStore
+    if getattr(args, "json", False):
+        from repro.sim.campaign.status import status_snapshot
+        print(json.dumps(status_snapshot(args.cache_dir),
+                         sort_keys=True, indent=2))
+        return 0
     status = ResultStore(args.cache_dir).status()
     print(f"cache   {status['path']}")
     print(f"entries {status['entries']}")
@@ -537,6 +539,48 @@ def cmd_campaign_clear(args) -> int:
         from repro.sim.artifacts import ArtifactStore
         blobs = ArtifactStore(args.cache_dir).clear()
         print(f"cleared {blobs} checkpoint blob(s)")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the campaign daemon until SIGTERM/SIGINT (or --ttl)."""
+    import signal as _signal
+    import threading as _threading
+    from repro.sim.service import CampaignService, make_server
+
+    service = CampaignService(
+        cache_dir=args.cache_dir, workers=args.jobs,
+        lease_ttl=args.lease_ttl, queue_cap=args.queue_cap,
+        timeout=args.timeout, retries=args.retries)
+    try:
+        server = make_server(service, host=args.host, port=args.port)
+    except OSError as exc:
+        log(f"serve: cannot bind {args.host or ''}:"
+            f"{args.port if args.port is not None else ''}: {exc}",
+            "error")
+        return 2
+    service.start()
+    host, port = server.server_address[:2]
+    print(f"repro serve: listening on http://{host}:{port} "
+          f"(cache {service.cache_dir}, "
+          f"{service.workers_wanted} worker(s), "
+          f"lease TTL {service.leases.ttl:g}s)", flush=True)
+
+    def _shutdown(signum, frame) -> None:
+        # serve_forever() can't be stopped from its own thread's
+        # signal frame; hand the shutdown to a helper thread.
+        _threading.Thread(target=server.shutdown, daemon=True).start()
+
+    _signal.signal(_signal.SIGINT, _shutdown)
+    _signal.signal(_signal.SIGTERM, _shutdown)
+    if args.ttl:
+        _threading.Timer(args.ttl, server.shutdown).start()
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        server.server_close()
+        service.stop()
+        log("serve: stopped")
     return 0
 
 
@@ -681,6 +725,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_cstat.add_argument("--profile", action="store_true",
                          help="also show the accumulated phase profile "
                               "(profile.json) for this cache")
+    p_cstat.add_argument("--json", action="store_true",
+                         help="machine-readable snapshot (cache, "
+                              "artifacts, journal, phases) on stdout")
     p_cstat.set_defaults(func=cmd_campaign_status)
 
     p_cclear = camp_sub.add_parser("clear", help="drop cached results")
@@ -736,6 +783,37 @@ def build_parser() -> argparse.ArgumentParser:
                          help="max recorded trace events (default: "
                               "REPRO_TRACE_LIMIT or 2000000)")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the campaign service daemon",
+        description="Long-running campaign daemon: JSON API over a "
+                    "crash-safe job spool with leased workers. "
+                    "kill -9 safe: restart on the same --cache-dir "
+                    "and accepted campaigns complete bit-identical.")
+    p_serve.add_argument("--host", default=None,
+                         help="bind address (REPRO_SERVICE_HOST, "
+                              "default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=None,
+                         help="bind port (REPRO_SERVICE_PORT, default "
+                              "8023; 0 = ephemeral)")
+    p_serve.add_argument("--cache-dir", default=None)
+    p_serve.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (REPRO_JOBS)")
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         help="per-job wall-clock timeout in seconds")
+    p_serve.add_argument("--retries", type=int, default=None,
+                         help="transient-failure retries per job "
+                              "(REPRO_RETRIES)")
+    p_serve.add_argument("--lease-ttl", type=float, default=None,
+                         help="seconds without a heartbeat before a "
+                              "job lease expires (REPRO_LEASE_TTL)")
+    p_serve.add_argument("--queue-cap", type=int, default=None,
+                         help="max undone jobs before 429 "
+                              "backpressure (REPRO_QUEUE_CAP)")
+    p_serve.add_argument("--ttl", type=float, default=None,
+                         help="exit after this many seconds "
+                              "(smoke-test convenience)")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_list = sub.add_parser("list", help="list workloads and experiments")
     p_list.set_defaults(func=cmd_list)

@@ -29,6 +29,7 @@ from repro.sim.campaign.executor import (
 from repro.sim.campaign.job import CACHE_VERSION, Job
 from repro.sim.campaign.journal import CampaignJournal, JobReceipt
 from repro.sim.campaign.spec import CampaignSpec
+from repro.sim.campaign.status import status_snapshot
 from repro.sim.campaign.store import ResultStore, default_cache_dir
 
 __all__ = [
@@ -48,4 +49,5 @@ __all__ = [
     "default_workers",
     "profile_path",
     "run_jobs",
+    "status_snapshot",
 ]

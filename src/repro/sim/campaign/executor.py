@@ -724,6 +724,17 @@ def run_jobs(jobs: Sequence[Job], *,
 
     if report.phase is not None and report.phase.seconds:
         _persist_profile(store, report.phase)
+    if journal is not None and not drain.triggered \
+            and not report.failures:
+        # Successful completion: superseded begin/receipt pairs (from
+        # retries, resumes and earlier campaigns in this cache dir) are
+        # dead provenance — compact them away so journal.jsonl stops
+        # growing unboundedly.  Interrupted or failing runs keep the
+        # full history for post-mortems.
+        dropped = journal.compact()
+        if dropped:
+            log(f"repro: compacted campaign journal "
+                f"({dropped} superseded line(s) dropped)", "debug")
     if report.failures and raise_on_error:
         detail = "; ".join(f"{label}: {err}"
                            for label, err in report.failures.items())

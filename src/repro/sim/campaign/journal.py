@@ -18,15 +18,32 @@ All writes are best-effort: a journal that cannot be written (full or
 read-only disk) degrades to a one-line warning — provenance must never
 sink a campaign whose simulations are succeeding.  Reads tolerate torn
 tail lines the same way the result store does.
+
+The journal grows by one ``begin`` plus one receipt per executed cell
+per run, across every retry and resume — unboundedly, for a cache
+directory that hosts many campaigns.  :meth:`CampaignJournal.compact`
+rewrites it down to the latest ``begin`` and the latest receipt per
+job key (temp-file + atomic rename, the store idiom); the executor
+calls it after every *successful* run, so superseded begin/receipt
+pairs never outlive the campaign that superseded them.  Appends and
+compaction both take the store's inter-process ``flock`` so two
+campaigns sharing one cache directory cannot tear each other's
+receipts or lose an append racing a compaction.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
+
+try:
+    import fcntl
+except ImportError:                       # non-Unix: best-effort, no lock
+    fcntl = None
 
 from repro.obs import log
 from repro.sim import faults
@@ -79,6 +96,22 @@ class CampaignJournal:
         self.path = self.cache_dir / "journal.jsonl"
         self._degraded = False
 
+    @contextmanager
+    def _locked(self):
+        """The store's exclusive inter-process lock (same ``.lock``
+        sidecar, so journal and result-store writers in different
+        processes serialize against each other too)."""
+        if fcntl is None:
+            yield
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        with (self.cache_dir / ".lock").open("w") as fh:
+            fcntl.flock(fh, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh, fcntl.LOCK_UN)
+
     # ------------------------------------------------------------------ #
     # Writes (best-effort, never raise).
     # ------------------------------------------------------------------ #
@@ -89,8 +122,9 @@ class CampaignJournal:
         try:
             faults.fire("journal")
             self.cache_dir.mkdir(parents=True, exist_ok=True)
-            with self.path.open("a", encoding="utf-8") as fh:
-                fh.write(json.dumps(record, sort_keys=True) + "\n")
+            with self._locked():
+                with self.path.open("a", encoding="utf-8") as fh:
+                    fh.write(json.dumps(record, sort_keys=True) + "\n")
         except OSError as exc:
             # Warn once, then stop trying: a full disk would otherwise
             # produce one warning per cell.
@@ -149,6 +183,46 @@ class CampaignJournal:
             if receipt.outcome in counts:
                 counts[receipt.outcome] += 1
         return counts
+
+    def compact(self) -> int:
+        """Rewrite the journal down to the latest ``begin`` event plus
+        the latest receipt per job key; returns how many superseded
+        lines were dropped (0 = nothing to do, file untouched).
+
+        Best-effort like every other journal write, and safe against
+        concurrent campaigns: the file is re-read under the store lock
+        and replaced with a temp-file + atomic rename, so a reader
+        never sees a half-written journal (torn-tail tolerance covers
+        a crash mid-append; rename covers a crash mid-compaction).
+        """
+        try:
+            with self._locked():
+                events = self._events()
+                last_begin: Optional[dict] = None
+                receipts: Dict[str, dict] = {}
+                for event in events:
+                    kind = event.get("event")
+                    if kind == "begin":
+                        last_begin = event
+                    elif kind == "receipt" and "key" in event:
+                        receipts[event["key"]] = event
+                live = ([last_begin] if last_begin else []) \
+                    + list(receipts.values())
+                raw_lines = sum(
+                    1 for line in self.path.read_text(
+                        encoding="utf-8").splitlines() if line.strip()) \
+                    if self.path.exists() else 0
+                dropped = raw_lines - len(live)
+                if dropped <= 0:
+                    return 0
+                tmp = self.path.with_suffix(".jsonl.tmp")
+                with tmp.open("w", encoding="utf-8") as fh:
+                    for event in live:
+                        fh.write(json.dumps(event, sort_keys=True) + "\n")
+                tmp.replace(self.path)
+                return dropped
+        except OSError:
+            return 0
 
     def clear(self) -> None:
         try:

@@ -1,0 +1,55 @@
+"""Machine-readable campaign status (one snapshot dict per cache dir).
+
+``campaign status --json`` and the service ``/readyz`` handler both
+need the same facts — result-cache size, artifact-store counters,
+journal receipt outcomes, quarantined cells, the accumulated phase
+profile — so they share this one builder instead of one of them
+scraping the other's human-formatted table.  Everything in the
+snapshot is JSON-serializable as returned.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from repro.sim.campaign.journal import CampaignJournal
+from repro.sim.campaign.store import ResultStore
+
+
+def status_snapshot(cache_dir: Optional[os.PathLike] = None) -> dict:
+    """Everything ``campaign status`` knows, as one plain dict.
+
+    Keys: ``cache`` (path/entries/bytes), ``artifacts`` (path/blobs/
+    bytes/hits/misses/kinds), ``journal`` (path/receipts/outcomes/
+    quarantined details), and ``phases`` (the merged ``profile.json``
+    contents, or ``None`` when no profile was ever recorded).
+    """
+    from repro.sim.artifacts import ArtifactStore
+    from repro.sim.campaign.executor import profile_path
+
+    store = ResultStore(cache_dir)
+    journal = CampaignJournal(cache_dir)
+    receipts = journal.receipts()
+    quarantined = [receipt.to_dict() for receipt in receipts.values()
+                   if receipt.outcome == "quarantined"]
+    phases = None
+    try:
+        phases = json.loads(profile_path(cache_dir).read_text())
+    except (OSError, ValueError):
+        pass
+    return {
+        "cache": store.status(),
+        "artifacts": ArtifactStore(cache_dir).status(),
+        "journal": {
+            "path": str(journal.path),
+            "receipts": len(receipts),
+            "outcomes": journal.summary(),
+            "quarantined": quarantined,
+        },
+        "phases": phases,
+    }
+
+
+__all__ = ["status_snapshot"]

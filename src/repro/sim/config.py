@@ -214,6 +214,32 @@ class SimConfig:
                    bank_size=None, arbitration=False, lcs_delay=0,
                    sq_l1=None, sq_l2=0, **kwargs)
 
+    @classmethod
+    def from_token(cls, token: str,
+                   predictor: str = "tage") -> "SimConfig":
+        """Parse a machine token (the ``--machines`` / service-payload
+        grammar): ``baseline`` | ``cpr`` | ``cpr:<registers>`` |
+        ``msp:<banks>`` | ``ideal``.  Raises ``ValueError`` naming the
+        grammar on anything else, so the CLI and the service API report
+        the same one-line error."""
+        try:
+            if token == "baseline":
+                return cls.baseline(predictor=predictor)
+            if token == "cpr":
+                return cls.cpr(predictor=predictor)
+            if token.startswith("cpr:"):
+                return cls.cpr(predictor=predictor,
+                               registers=int(token[4:]))
+            if token == "ideal":
+                return cls.msp_ideal(predictor=predictor)
+            if token.startswith("msp:"):
+                return cls.msp(int(token[4:]), predictor=predictor)
+        except ValueError:
+            pass
+        raise ValueError(
+            f"unknown machine {token!r}; choose from "
+            f"baseline cpr cpr:<registers> msp:<banks> ideal")
+
     # Optional explicit label (ablation grids with same arch).
     label_override: Optional[str] = None
 

@@ -29,11 +29,27 @@ Two token shapes:
   with probability P%, drawn from the ``REPRO_FAULT_SEED``-seeded
   generator so a given seed replays the identical fault sequence).
   Kinds ``enospc`` / ``erofs`` / ``eio``; sites threaded through the
-  stores:
+  stores and the campaign service:
 
   - ``put`` — :meth:`repro.sim.campaign.store.ResultStore.put`
   - ``artifact-put`` — :meth:`repro.sim.artifacts.ArtifactStore.put`
   - ``journal`` — the campaign journal append
+  - ``enqueue`` — the service spool append
+    (:meth:`repro.sim.service.queue.SpoolQueue.submit`): a faulted
+    append rejects the submission (a job the daemon cannot persist is
+    a job it must not accept).
+  - ``lease-renew`` — the daemon-side lease renewal when a worker
+    heartbeat arrives (:class:`repro.sim.service.lease.LeaseTable`):
+    a faulted renewal is skipped, so the lease ages toward
+    ``REPRO_LEASE_TTL`` expiry even while heartbeats flow —
+    deterministic lease-expiry/re-dispatch testing from one process.
+  - ``heartbeat`` — the worker-side heartbeat sender: a faulted beat
+    is never sent (a worker that "stops heartbeating").
+
+  Site faults fire in the process that owns the site: ``enqueue`` and
+  ``lease-renew`` in the daemon, ``heartbeat``/``put`` in whichever
+  process performs them (service workers re-arm the environment plan
+  at startup, each with its own firing state).
 
 Zero overhead when off (the PR 7 idiom): every fault point is one
 module-global ``None`` check (:func:`fire`), no fault point sits on a
@@ -67,6 +83,12 @@ SITE_ERRNOS = {
     "erofs": errno.EROFS,
     "eio": errno.EIO,
 }
+
+#: Named fault points threaded through the stores and the campaign
+#: service.  Parse-time validated so a typo'd site fails the run at
+#: startup instead of silently never firing.
+SITES = ("put", "artifact-put", "journal",
+         "enqueue", "lease-renew", "heartbeat")
 
 
 @dataclass
@@ -141,6 +163,11 @@ class FaultPlan:
                         f"REPRO_FAULT_INJECT token {token!r}: site "
                         f"fault kind must be one of "
                         f"{', '.join(sorted(SITE_ERRNOS))}")
+                if where not in SITES:
+                    raise EnvConfigError(
+                        f"REPRO_FAULT_INJECT token {token!r}: unknown "
+                        f"fault site {where!r}; choose from "
+                        f"{', '.join(SITES)}")
                 plan.site_faults.append(_SiteFault(
                     kind, where, remaining=count,
                     probability=probability))
@@ -222,5 +249,5 @@ def active(plan: Optional[FaultPlan]):
         _PLAN = previous
 
 
-__all__ = ["FaultPlan", "JOB_KINDS", "SITE_ERRNOS", "active", "armed",
-           "current", "fire"]
+__all__ = ["FaultPlan", "JOB_KINDS", "SITES", "SITE_ERRNOS", "active",
+           "armed", "current", "fire"]

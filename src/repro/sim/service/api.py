@@ -1,0 +1,858 @@
+"""The campaign daemon: API → durable queue → leased workers → receipts.
+
+:class:`CampaignService` composes the PR-8 fault-tolerance primitives
+into a long-running service (the SNIPPETS Snippet-3 shape):
+
+* **Submit** (``POST /campaigns``) — a JSON campaign spec (workloads ×
+  machine tokens × budget) is admitted through the per-client token
+  quota (429 + ``Retry-After`` when exhausted) and the bounded spool
+  (429 when full), its cells content-hashed into jobs; cells already
+  in the result store settle instantly as ``cached``.  Campaign ids
+  are content-derived, so resubmitting the same spec is idempotent —
+  the client can crash and retry forever without duplicating work.
+* **Dispatch** — a dispatcher thread leases pending jobs to worker
+  processes under :class:`~repro.sim.service.lease.LeaseTable`
+  coverage.  Workers heartbeat while busy; a worker that stops
+  heartbeating past ``REPRO_LEASE_TTL`` has its lease expired and the
+  job re-queued (a transient failure under the usual
+  ``REPRO_RETRIES`` policy).  The zombie is left alone: results are
+  idempotent by cache key, so its late ``store.put`` is a no-op
+  duplicate and its late completion event is ignored.
+* **Settle** — every executed job ends durably ``done`` in the spool
+  and as a typed :class:`~repro.sim.campaign.journal.JobReceipt` in
+  the campaign journal (outcome ``ok``/``retried``/``quarantined``),
+  the same provenance records ``campaign status`` reads.
+* **Recover** — the daemon holds no state that matters outside
+  ``<cache-dir>``: ``kill -9`` it, restart it, and the spool replays
+  accepted-but-undone jobs, cells finished before (or *during*, by an
+  orphaned worker) the crash are recognized in the result store, and
+  the campaign completes bit-identical to a serial oracle run.
+
+The HTTP layer (``repro serve``) is a stdlib ``ThreadingHTTPServer``;
+``/healthz`` answers liveness, ``/readyz`` readiness (queue depth
+under cap + live workers) with the machine-readable
+:func:`~repro.sim.campaign.status.status_snapshot` attached.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import queue as queue_mod
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+import multiprocessing
+import sys
+
+from repro.defaults import (default_instructions,
+                            default_sample_instructions, env_int)
+from repro.obs import log
+from repro.pipeline.stats import SimStats
+from repro.sim import faults
+from repro.sim.campaign.executor import (_execute_job, _format_error,
+                                         classify_error, default_retries,
+                                         default_workers)
+from repro.sim.campaign.job import Job
+from repro.sim.campaign.journal import CampaignJournal, JobReceipt
+from repro.sim.campaign.spec import CampaignSpec
+from repro.sim.campaign.status import status_snapshot
+from repro.sim.campaign.store import ResultStore
+from repro.sim.config import SimConfig
+from repro.sim.service.lease import LeaseTable, default_lease_ttl
+from repro.sim.service.queue import QueueFull, SpoolQueue
+from repro.sim.service.quota import QuotaTable
+from repro.workloads import DEFAULT_SEED, all_workloads
+
+
+def default_service_host() -> str:
+    return os.environ.get("REPRO_SERVICE_HOST", "127.0.0.1")
+
+
+def default_service_port() -> int:
+    return env_int("REPRO_SERVICE_PORT", 8023)
+
+
+class ApiError(Exception):
+    """A client-visible request failure with an HTTP status."""
+
+    def __init__(self, status: int, message: str,
+                 retry_after: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+
+
+# --------------------------------------------------------------------- #
+# Worker process body.
+# --------------------------------------------------------------------- #
+
+def _worker_main(worker_id: str, tasks, events, cache_dir: str,
+                 checkpoints: bool, timeout: Optional[float],
+                 beat_interval: float, parent_pid: int) -> None:
+    """Service worker: execute leased jobs, heartbeat while busy, put
+    results into the shared store, report completion events.
+
+    The worker re-arms the environment fault plan with its *own*
+    firing state (``heartbeat`` and ``put`` sites fire worker-side);
+    job faults still ride in the task payload, consumed daemon-side at
+    dispatch ordinals exactly like the pool executor.
+
+    An orphan check on the task-queue idle path makes a SIGKILLed
+    daemon's workers exit on their own: they finish their current job
+    (its ``store.put`` survives the crash and is recognized on
+    restart) and notice the reparenting within a second.
+    """
+    try:
+        faults._PLAN = faults.FaultPlan.from_env()
+    except Exception:                       # noqa: BLE001 — never wedge
+        faults._PLAN = None
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        if hasattr(signal, "SIGTERM"):
+            signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):
+        pass
+    store = ResultStore(cache_dir)
+    busy = threading.Event()
+
+    def _beats() -> None:
+        while True:
+            time.sleep(beat_interval)
+            if not busy.is_set():
+                continue                    # idle: liveness via is_alive
+            try:
+                faults.fire("heartbeat")
+                events.put(("beat", worker_id, None, None))
+            except OSError:
+                pass                        # suppressed beat: stay silent
+
+    threading.Thread(target=_beats, daemon=True).start()
+
+    while True:
+        try:
+            task = tasks.get(timeout=1.0)
+        except queue_mod.Empty:
+            if os.getppid() != parent_pid:
+                return                      # daemon died: drain out
+            continue
+        if task is None:
+            return
+        key, job_dict, inject = task
+        busy.set()
+        try:
+            job = Job.from_dict(job_dict)
+            stats_dict, _ = _execute_job(job, timeout, cache_dir,
+                                         checkpoints, False, inject)
+        except Exception as exc:            # noqa: BLE001
+            busy.clear()
+            events.put(("fail", worker_id, key, {
+                "error_class": type(exc).__name__,
+                "message": _format_error(exc),
+                "transient": classify_error(exc) == "transient"}))
+            continue
+        busy.clear()
+        store_error = None
+        try:
+            store.put(key, SimStats.from_dict(stats_dict),
+                      meta=job.to_dict())
+        except OSError as exc:
+            store_error = str(exc)
+        events.put(("done", worker_id, key,
+                    {"stats": stats_dict, "store_error": store_error}))
+
+
+class _WorkerHandle:
+    """Daemon-side view of one worker process."""
+
+    def __init__(self, worker_id: str, process, tasks) -> None:
+        self.id = worker_id
+        self.process = process
+        self.tasks = tasks
+        self.busy: Optional[str] = None     # key in flight, if any
+        self.last_beat: float = 0.0
+
+    def send(self, task) -> None:
+        self.tasks.put(task)
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def stop(self) -> None:
+        try:
+            self.tasks.put(None)
+        except (OSError, ValueError):
+            pass
+
+    def join(self, timeout: float) -> None:
+        self.process.join(timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+
+
+@dataclass
+class _JobState:
+    """Daemon-side attempt bookkeeping for one undone job."""
+
+    label: str = ""
+    attempts: int = 0
+    errors: List[str] = field(default_factory=list)
+    error_class: Optional[str] = None
+    started: float = 0.0
+    wall: float = 0.0
+
+
+# --------------------------------------------------------------------- #
+# The daemon.
+# --------------------------------------------------------------------- #
+
+class CampaignService:
+    """Queue/worker campaign daemon over one cache directory."""
+
+    def __init__(self, cache_dir: Optional[os.PathLike] = None,
+                 workers: Optional[int] = None,
+                 lease_ttl: Optional[float] = None,
+                 queue_cap: Optional[int] = None,
+                 quota_burst: Optional[int] = None,
+                 quota_refill: Optional[float] = None,
+                 timeout: Optional[float] = None,
+                 retries: Optional[int] = None,
+                 checkpoints: Optional[bool] = None,
+                 clock=time.monotonic) -> None:
+        from repro.sim.artifacts import checkpoints_enabled
+        self.store = ResultStore(cache_dir)
+        self.cache_dir = self.store.cache_dir
+        self.queue = SpoolQueue(self.cache_dir, cap=queue_cap)
+        self.leases = LeaseTable(lease_ttl, clock=clock)
+        self.quota = QuotaTable(quota_burst, quota_refill, clock=clock)
+        self.journal = CampaignJournal(self.cache_dir)
+        self.workers_wanted = (workers if workers is not None
+                               else default_workers())
+        self.retries = (retries if retries is not None
+                        else default_retries())
+        self.timeout = timeout
+        self.checkpoints = (checkpoints if checkpoints is not None
+                            else checkpoints_enabled())
+        self.clock = clock
+        self.respawns = 0
+        self.plan = faults.FaultPlan.from_env()
+        self._dispatches = 0
+        self._states: Dict[str, _JobState] = {}
+        self._results: Dict[str, dict] = {}  # stats seen this process
+        self._workers: Dict[str, _WorkerHandle] = {}
+        self._worker_seq = 0
+        self._events = None                 # created at start()
+        self._lock = threading.RLock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._started_at = clock()
+        # Dispatcher cadence: several ticks per lease TTL so expiry is
+        # detected promptly, floored so tiny test TTLs cannot busy-spin.
+        self.tick_interval = min(0.25, max(0.01, self.leases.ttl / 8))
+        self.beat_interval = max(0.01, self.leases.ttl / 4)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle.
+    # ------------------------------------------------------------------ #
+
+    def start(self, dispatch_thread: bool = True) -> None:
+        """Arm faults, recover the spool, spawn workers and (unless a
+        test drives :meth:`_tick` by hand) the dispatcher thread."""
+        faults._PLAN = self.plan
+        context = (multiprocessing.get_context("fork")
+                   if sys.platform == "linux"
+                   else multiprocessing.get_context())
+        self._context = context
+        if self._events is None:
+            self._events = context.Queue()
+        self._recover()
+        for _ in range(max(1, self.workers_wanted)):
+            self._spawn_worker()
+        if dispatch_thread:
+            self._thread = threading.Thread(target=self._loop,
+                                            name="repro-dispatch",
+                                            daemon=True)
+            self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        for worker in self._workers.values():
+            worker.stop()
+        for worker in self._workers.values():
+            worker.join(timeout=2.0)
+        faults._PLAN = None
+
+    def _recover(self) -> None:
+        """Replay recovery: settle every spooled-but-undone job whose
+        result already sits in the store (finished before — or by an
+        orphaned worker during — the previous daemon's death)."""
+        recovered = 0
+        while True:
+            item = self.queue.claim()
+            if item is None:
+                break
+            key, _payload = item
+            if self.store.get(key) is not None:
+                self.queue.mark_done(key, "cached", attempts=0)
+                recovered += 1
+            else:
+                self.queue.requeue(key)
+                break                   # claim() cycles; stop at first miss
+        # One claim/requeue pass is not a full scan (requeue fronts the
+        # queue); walk the remaining pending keys explicitly.
+        undone = [key for key, _ in self._drain_claims()]
+        for key in undone:
+            if self.store.get(key) is not None:
+                self.queue.mark_done(key, "cached", attempts=0)
+                recovered += 1
+            else:
+                self.queue.requeue(key)
+        if recovered:
+            log(f"repro: serve: recovery settled {recovered} job(s) "
+                f"already in the result store")
+        depth = self.queue.depth()
+        if depth:
+            log(f"repro: serve: {depth} job(s) pending from the spool "
+                f"will be re-dispatched")
+
+    def _drain_claims(self) -> List[Tuple[str, dict]]:
+        out = []
+        while True:
+            item = self.queue.claim()
+            if item is None:
+                return out
+            out.append(item)
+
+    def _spawn_worker(self) -> _WorkerHandle:
+        self._worker_seq += 1
+        worker_id = f"w{self._worker_seq}"
+        tasks = self._context.Queue()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(worker_id, tasks, self._events, str(self.cache_dir),
+                  self.checkpoints, self.timeout, self.beat_interval,
+                  os.getpid()),
+            daemon=True)
+        process.start()
+        handle = _WorkerHandle(worker_id, process, tasks)
+        handle.last_beat = self.clock()
+        self._workers[worker_id] = handle
+        return handle
+
+    # ------------------------------------------------------------------ #
+    # Dispatcher.
+    # ------------------------------------------------------------------ #
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self._tick()
+            except Exception as exc:        # noqa: BLE001 — keep serving
+                log(f"repro: serve: dispatcher error: "
+                    f"{type(exc).__name__}: {exc}", "error")
+            self._stop.wait(self.tick_interval)
+
+    def _tick(self) -> None:
+        """One dispatcher round: drain worker events, expire leases,
+        replace dead workers, dispatch pending jobs to idle workers."""
+        with self._lock:
+            self._drain_events()
+            self._expire_leases()
+            self._reap_workers()
+            self._dispatch()
+
+    def _drain_events(self) -> None:
+        while True:
+            try:
+                kind, worker_id, key, payload = self._events.get_nowait()
+            except queue_mod.Empty:
+                return
+            worker = self._workers.get(worker_id)
+            if kind == "beat":
+                if worker is not None:
+                    worker.last_beat = self.clock()
+                self.leases.renew(worker_id)
+            elif kind == "done":
+                if worker is not None and worker.busy == key:
+                    worker.busy = None
+                self._job_done(key, payload)
+            elif kind == "fail":
+                if worker is not None and worker.busy == key:
+                    worker.busy = None
+                self._job_failed(key, payload)
+
+    def _job_done(self, key: str, payload: dict) -> None:
+        if self.queue.outcome(key) is not None:
+            # A zombie finished after its lease expired and the job was
+            # settled by the re-dispatch: idempotent by key, ignore.
+            log(f"repro: serve: late result for settled job "
+                f"{key[:12]} ignored (idempotent duplicate)", "debug")
+            return
+        state = self._states.setdefault(key, _JobState())
+        if state.started:
+            state.wall += self.clock() - state.started
+            state.started = 0.0
+        self._results[key] = payload.get("stats", {})
+        if payload.get("store_error"):
+            log(f"repro: serve: result store write failed for "
+                f"{state.label or key[:12]} "
+                f"({payload['store_error']}); result held in daemon "
+                f"memory only", "warn")
+        self.leases.release(key)
+        outcome = "retried" if state.attempts > 1 else "ok"
+        self.queue.mark_done(key, outcome, attempts=state.attempts)
+        self.journal.record(JobReceipt(
+            key=key, label=state.label, outcome=outcome,
+            attempts=state.attempts, error_class=state.error_class,
+            errors=list(state.errors), wall_seconds=state.wall))
+
+    def _job_failed(self, key: str, payload: dict) -> None:
+        if self.queue.outcome(key) is not None:
+            return                          # late failure of a zombie
+        state = self._states.setdefault(key, _JobState())
+        if state.started:
+            state.wall += self.clock() - state.started
+            state.started = 0.0
+        state.errors.append(payload.get("message", "unknown failure"))
+        state.error_class = payload.get("error_class", "Exception")
+        self.leases.release(key)
+        if payload.get("transient") and state.attempts <= self.retries:
+            log(f"repro: serve: retrying {state.label or key[:12]} "
+                f"(attempt {state.attempts} failed: "
+                f"{state.error_class})", "warn")
+            self.queue.requeue(key)
+        else:
+            self._quarantine(key, state)
+
+    def _quarantine(self, key: str, state: _JobState) -> None:
+        self.queue.mark_done(key, "quarantined",
+                             attempts=state.attempts)
+        self.journal.record(JobReceipt(
+            key=key, label=state.label, outcome="quarantined",
+            attempts=state.attempts, error_class=state.error_class,
+            errors=list(state.errors), wall_seconds=state.wall))
+        log(f"repro: serve: quarantined {state.label or key[:12]} "
+            f"after {state.attempts} attempt(s): "
+            f"{state.errors[-1] if state.errors else '?'}", "warn")
+
+    def _expire_leases(self) -> None:
+        for lease in self.leases.expired():
+            state = self._states.setdefault(lease.key, _JobState())
+            if state.started:
+                state.wall += self.clock() - state.started
+                state.started = 0.0
+            state.errors.append(
+                f"LeaseExpired: no heartbeat from {lease.worker} for "
+                f"{self.leases.ttl:g}s ({lease.renewals} renewal(s))")
+            state.error_class = "LeaseExpired"
+            # The zombie worker keeps its busy slot until its own late
+            # event arrives; the JOB is re-dispatchable immediately.
+            if state.attempts <= self.retries:
+                log(f"repro: serve: lease expired for "
+                    f"{state.label or lease.key[:12]} (worker "
+                    f"{lease.worker}); re-dispatching", "warn")
+                self.queue.requeue(lease.key)
+            else:
+                self._quarantine(lease.key, state)
+
+    def _reap_workers(self) -> None:
+        for worker_id, worker in list(self._workers.items()):
+            if worker.alive():
+                continue
+            del self._workers[worker_id]
+            worker.busy = None
+            for lease in self.leases.expire_worker(worker_id):
+                state = self._states.setdefault(lease.key, _JobState())
+                if state.started:
+                    state.wall += self.clock() - state.started
+                    state.started = 0.0
+                state.errors.append(
+                    f"WorkerLost: {worker_id} died with job in flight")
+                state.error_class = "WorkerLost"
+                if state.attempts <= self.retries:
+                    self.queue.requeue(lease.key)
+                else:
+                    self._quarantine(lease.key, state)
+            self.respawns += 1
+            log(f"repro: serve: worker {worker_id} died; respawning "
+                f"(respawn {self.respawns})", "warn")
+            self._spawn_worker()
+
+    def _dispatch(self) -> None:
+        for worker in self._workers.values():
+            if worker.busy is not None or not worker.alive():
+                continue
+            while True:
+                item = self.queue.claim()
+                if item is None:
+                    return
+                key, payload = item
+                # Idempotence check at dispatch: the result may have
+                # landed since enqueue (recovery race, a zombie, or a
+                # plain `campaign run` sharing this cache dir).
+                if key in self._results \
+                        or ResultStore(self.cache_dir).get(key) \
+                        is not None:
+                    self.queue.mark_done(
+                        key, "cached",
+                        attempts=self._states.get(
+                            key, _JobState()).attempts)
+                    continue
+                state = self._states.setdefault(key, _JobState())
+                if not state.label:
+                    try:
+                        state.label = Job.from_dict(payload).label
+                    except Exception:       # noqa: BLE001
+                        state.label = key[:12]
+                self._dispatches += 1
+                state.attempts += 1
+                state.started = self.clock()
+                inject = (self.plan.job_fault(self._dispatches)
+                          if self.plan else None)
+                self.leases.grant(key, worker.id)
+                worker.busy = key
+                worker.send((key, payload, inject))
+                break
+
+    # ------------------------------------------------------------------ #
+    # API surface (shared by the HTTP layer and in-process callers).
+    # ------------------------------------------------------------------ #
+
+    def submit(self, payload: dict, client: str = "anon") -> dict:
+        """Admit one campaign spec; returns the acknowledgement dict.
+        Raises :class:`ApiError` on malformed specs (400), quota or
+        queue backpressure (429 + retry-after), grids that can never
+        fit the quota burst (413), or a spool that cannot be written
+        (503 — unpersistable work is unacceptable work)."""
+        spec, cells = self._parse_spec(payload)
+        keys = sorted({key for row in cells.values()
+                       for key in row.values()})
+        digest = hashlib.sha256(json.dumps(
+            [client, spec.name, keys], sort_keys=True,
+            separators=(",", ":")).encode("utf-8")).hexdigest()[:12]
+        campaign_id = f"c{digest}"
+        with self._lock:
+            existing = self.queue.campaign(campaign_id)
+            if existing is not None:
+                ack = self._ack(existing)
+                ack["resubmitted"] = True
+                return ack
+            jobs = {job.cache_key(): job for job in spec.jobs()}
+            cached = [key for key in keys
+                      if self.store.get(key) is not None]
+            fresh = [key for key in keys if key not in cached
+                     and self.queue.outcome(key) is None]
+            admitted, retry_after = self.quota.admit(client,
+                                                     cost=len(fresh))
+            if not admitted:
+                if retry_after == float("inf"):
+                    raise ApiError(
+                        413, f"campaign needs {len(fresh)} job tokens "
+                        f"but the per-client burst is "
+                        f"{self.quota.burst}; split the grid")
+                raise ApiError(
+                    429, f"quota exhausted for client {client!r} "
+                    f"({len(fresh)} job(s) requested)",
+                    retry_after=retry_after)
+            record = {
+                "id": campaign_id, "name": spec.name, "client": client,
+                "benchmarks": list(spec.benchmarks),
+                "machines": [c.label for c in spec.configs],
+                "instructions": spec.instructions,
+                "keys": keys, "cells": cells,
+            }
+            try:
+                self.queue.submit(
+                    record,
+                    [(key, jobs[key].to_dict()) for key in fresh])
+            except QueueFull as exc:
+                raise ApiError(429, str(exc),
+                               retry_after=exc.retry_after)
+            except OSError as exc:
+                raise ApiError(503, f"spool write failed: {exc}")
+            for key in cached:
+                self.queue.mark_done(key, "cached", attempts=0)
+            return self._ack(record)
+
+    def _ack(self, record: dict) -> dict:
+        keys = record.get("keys", [])
+        settled = sum(1 for key in keys
+                      if self.queue.outcome(key) is not None)
+        return {"campaign": record["id"],
+                "location": f"/campaigns/{record['id']}",
+                "jobs": len(keys),
+                "settled": settled,
+                "cached": sum(1 for key in keys
+                              if self.queue.outcome(key) == "cached")}
+
+    def _parse_spec(self, payload: dict
+                    ) -> Tuple[CampaignSpec, Dict[str, Dict[str, str]]]:
+        if not isinstance(payload, dict):
+            raise ApiError(400, "campaign spec must be a JSON object")
+        workloads = payload.get("workloads")
+        if isinstance(workloads, str):
+            workloads = [w for w in workloads.split(",") if w]
+        if not workloads or not isinstance(workloads, list):
+            raise ApiError(400, "spec needs a non-empty 'workloads' "
+                                "list")
+        known = set(all_workloads())
+        for name in workloads:
+            if name not in known:
+                raise ApiError(400, f"unknown workload {name!r}")
+        machines = payload.get("machines")
+        if isinstance(machines, str):
+            machines = [m for m in machines.split(",") if m]
+        if not machines or not isinstance(machines, list):
+            raise ApiError(400, "spec needs a non-empty 'machines' "
+                                "list (tokens like baseline, cpr, "
+                                "msp:16, or config dicts)")
+        predictor = payload.get("predictor", "tage")
+        configs = []
+        for token in machines:
+            try:
+                if isinstance(token, dict):
+                    configs.append(SimConfig.from_dict(token))
+                else:
+                    configs.append(SimConfig.from_token(
+                        str(token), predictor=predictor))
+            except (ValueError, KeyError, TypeError) as exc:
+                raise ApiError(400, f"bad machine {token!r}: {exc}")
+        sampling = payload.get("sampling")
+        params = None
+        if sampling:
+            from repro.sim.sampling import SamplingError, SamplingParams
+            try:
+                params = SamplingParams.coerce(sampling)
+            except (SamplingError, ValueError, TypeError) as exc:
+                raise ApiError(400, f"bad sampling spec: {exc}")
+            configs = [params.apply(config) for config in configs]
+        instructions = payload.get("instructions")
+        if instructions is None:
+            instructions = (default_sample_instructions() if params
+                            else default_instructions())
+        try:
+            instructions = int(instructions)
+        except (TypeError, ValueError):
+            raise ApiError(400, f"bad instruction budget "
+                                f"{instructions!r}")
+        if instructions <= 0:
+            raise ApiError(400, "instruction budget must be positive")
+        seed = payload.get("seed", DEFAULT_SEED)
+        name = str(payload.get("name") or "campaign")
+        spec = CampaignSpec(name, workloads, configs, instructions,
+                            seed=seed)
+        labels = [config.label for config in configs]
+        if len(set(labels)) != len(labels):
+            raise ApiError(400, f"duplicate machine labels {labels}")
+        cells = {bench: {config.label: spec.cell_key(bench, config)
+                         for config in configs}
+                 for bench in workloads}
+        return spec, cells
+
+    def campaign_status(self, campaign_id: str) -> dict:
+        with self._lock:
+            record = self.queue.campaign(campaign_id)
+            if record is None:
+                raise ApiError(404, f"unknown campaign {campaign_id!r}")
+            keys = record.get("keys", [])
+            outcomes = {key: self.queue.outcome(key) for key in keys}
+            done = sum(1 for o in outcomes.values()
+                       if o in ("ok", "retried", "cached"))
+            quarantined = sum(1 for o in outcomes.values()
+                              if o == "quarantined")
+            leased = sum(1 for key in keys
+                         if self.leases.holder(key) is not None)
+            pending = len(keys) - done - quarantined
+            if quarantined and pending == 0:
+                state = "partial"
+            elif done == len(keys):
+                state = "done"
+            elif leased or pending < len(keys):
+                state = "running"
+            else:
+                state = "queued"
+            return {"campaign": campaign_id,
+                    "name": record.get("name"),
+                    "client": record.get("client"),
+                    "state": state,
+                    "jobs": len(keys), "done": done,
+                    "pending": pending, "leased": leased,
+                    "quarantined": quarantined,
+                    "retried": sum(1 for o in outcomes.values()
+                                   if o == "retried"),
+                    "attempts": {key[:12]: self.queue.attempts(key)
+                                 for key in keys
+                                 if self.queue.attempts(key) > 1}}
+
+    def campaign_results(self, campaign_id: str) -> dict:
+        from repro.sim.experiments import ExperimentResult
+        with self._lock:
+            status = self.campaign_status(campaign_id)
+            record = self.queue.campaign(campaign_id)
+            if status["state"] in ("queued", "running"):
+                raise ApiError(
+                    409, f"campaign {campaign_id} is {status['state']} "
+                    f"({status['done']}/{status['jobs']} done); poll "
+                    f"/campaigns/{campaign_id} until it settles")
+            store = ResultStore(self.cache_dir)   # fresh: see worker puts
+            grid: Dict[str, Dict[str, SimStats]] = {}
+            missing = []
+            for bench, row in record.get("cells", {}).items():
+                grid[bench] = {}
+                for label, key in row.items():
+                    stats = store.get(key)
+                    if stats is None and key in self._results:
+                        stats = SimStats.from_dict(self._results[key])
+                    if stats is None:
+                        missing.append(f"{bench}/{label}")
+                    else:
+                        grid[bench][label] = stats
+            body = dict(status)
+            body["cells"] = {
+                bench: {label: stats.to_dict()
+                        for label, stats in row.items()}
+                for bench, row in grid.items()}
+            if missing:
+                body["missing"] = missing
+            else:
+                result = ExperimentResult(
+                    record.get("name", campaign_id),
+                    record.get("machines", []))
+                result.stats = grid
+                body["table"] = result.to_table()
+            return body
+
+    def campaign_list(self) -> dict:
+        with self._lock:
+            return {"campaigns": [
+                self.campaign_status(campaign_id)
+                for campaign_id in sorted(self.queue.campaigns())]}
+
+    def healthz(self) -> dict:
+        with self._lock:
+            return {"ok": True,
+                    "uptime_seconds": round(
+                        self.clock() - self._started_at, 3),
+                    "workers": {"configured": self.workers_wanted,
+                                "alive": sum(
+                                    1 for w in self._workers.values()
+                                    if w.alive()),
+                                "respawns": self.respawns},
+                    "dispatches": self._dispatches}
+
+    def readyz(self) -> Tuple[bool, dict]:
+        with self._lock:
+            depth = self.queue.depth()
+            alive = sum(1 for w in self._workers.values() if w.alive())
+            ready = alive > 0 and depth < self.queue.cap
+            body = {"ready": ready,
+                    "queue": {"depth": depth, "cap": self.queue.cap,
+                              "leased": len(self.leases)},
+                    "workers": {"configured": self.workers_wanted,
+                                "alive": alive},
+                    "lease_ttl": self.leases.ttl,
+                    "status": status_snapshot(self.cache_dir)}
+            return ready, body
+
+
+# --------------------------------------------------------------------- #
+# HTTP layer.
+# --------------------------------------------------------------------- #
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Thin JSON shim over :class:`CampaignService`."""
+
+    server_version = "repro-serve"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> CampaignService:
+        return self.server.service           # type: ignore[attr-defined]
+
+    def log_message(self, fmt, *args) -> None:
+        log(f"repro: serve: {self.address_string()} "
+            f"{fmt % args}", "debug")
+
+    def _reply(self, status: int, body: dict,
+               retry_after: Optional[float] = None) -> None:
+        blob = (json.dumps(body, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        if retry_after is not None and retry_after != float("inf"):
+            self.send_header("Retry-After",
+                             str(max(1, int(retry_after + 0.999))))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def _guard(self, fn) -> None:
+        try:
+            fn()
+        except ApiError as exc:
+            self._reply(exc.status, {"error": str(exc)},
+                        retry_after=exc.retry_after)
+        except Exception as exc:            # noqa: BLE001
+            log(f"repro: serve: internal error: "
+                f"{type(exc).__name__}: {exc}", "error")
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def do_GET(self) -> None:               # noqa: N802 (stdlib API)
+        def handle() -> None:
+            path = self.path.rstrip("/") or "/"
+            if path == "/healthz":
+                self._reply(200, self.service.healthz())
+            elif path == "/readyz":
+                ready, body = self.service.readyz()
+                self._reply(200 if ready else 503, body)
+            elif path == "/campaigns":
+                self._reply(200, self.service.campaign_list())
+            elif path.startswith("/campaigns/"):
+                rest = path[len("/campaigns/"):]
+                if rest.endswith("/results"):
+                    self._reply(200, self.service.campaign_results(
+                        rest[:-len("/results")]))
+                else:
+                    self._reply(200,
+                                self.service.campaign_status(rest))
+            else:
+                raise ApiError(404, f"no route for {self.path!r}")
+        self._guard(handle)
+
+    def do_POST(self) -> None:              # noqa: N802 (stdlib API)
+        def handle() -> None:
+            if self.path.rstrip("/") != "/campaigns":
+                raise ApiError(404, f"no route for {self.path!r}")
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b""
+            try:
+                payload = json.loads(raw.decode("utf-8") or "{}")
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise ApiError(400, f"request body is not JSON: {exc}")
+            client = self.headers.get("X-Repro-Client", "anon")
+            self._reply(200, self.service.submit(payload,
+                                                 client=client))
+        self._guard(handle)
+
+
+def make_server(service: CampaignService,
+                host: Optional[str] = None,
+                port: Optional[int] = None) -> ThreadingHTTPServer:
+    """Bind the JSON API for an (already started) service.  ``port=0``
+    picks an ephemeral port — read it back from
+    ``server.server_address``."""
+    host = host if host is not None else default_service_host()
+    port = port if port is not None else default_service_port()
+    server = ThreadingHTTPServer((host, port), _ServiceHandler)
+    server.service = service                # type: ignore[attr-defined]
+    return server
+
+
+__all__ = ["ApiError", "CampaignService", "default_service_host",
+           "default_service_port", "make_server"]

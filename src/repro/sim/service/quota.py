@@ -1,0 +1,80 @@
+"""Per-client admission quotas (token buckets over job submissions).
+
+"Heavy traffic from many users degrades gracefully" means no single
+client may monopolize the workers: each client (the ``X-Repro-Client``
+header, ``anon`` by default) owns a token bucket holding at most
+``REPRO_SERVICE_TOKENS`` tokens that refills at
+``REPRO_SERVICE_REFILL`` tokens/second.  Submitting a campaign costs
+one token per cell that actually needs executing — cells already in
+the result store are free, so repeat queries are always served
+instantly regardless of quota state.
+
+A denied submission is not an error, it is backpressure: the API maps
+it to HTTP 429 with a ``Retry-After`` computed from the refill rate,
+so a well-behaved client can simply wait and resubmit (idempotent
+campaign ids make the retry safe).  A grid larger than the whole burst
+can never be admitted and is rejected outright (413) rather than
+stringing the client along.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Dict, Tuple
+
+from repro.defaults import env_float, env_int
+
+
+def default_quota_burst() -> int:
+    """Token-bucket capacity per client (``REPRO_SERVICE_TOKENS``,
+    default 64 — one token per job cell)."""
+    return max(1, env_int("REPRO_SERVICE_TOKENS", 64))
+
+
+def default_quota_refill() -> float:
+    """Tokens refilled per second per client
+    (``REPRO_SERVICE_REFILL``, default 1.0)."""
+    return max(0.001, env_float("REPRO_SERVICE_REFILL", 1.0))
+
+
+class QuotaTable:
+    """Lazy token buckets: state is (tokens, last-refill) per client,
+    refilled on access — no background thread."""
+
+    def __init__(self, burst: int = None, refill: float = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.burst = burst if burst is not None else default_quota_burst()
+        self.refill = (refill if refill is not None
+                       else default_quota_refill())
+        self.clock = clock
+        self._buckets: Dict[str, Tuple[float, float]] = {}
+
+    def tokens(self, client: str) -> float:
+        """Current token balance (after lazy refill)."""
+        tokens, stamp = self._buckets.get(client, (float(self.burst),
+                                                   self.clock()))
+        now = self.clock()
+        tokens = min(float(self.burst),
+                     tokens + (now - stamp) * self.refill)
+        self._buckets[client] = (tokens, now)
+        return tokens
+
+    def admit(self, client: str, cost: int) -> Tuple[bool, float]:
+        """Try to spend ``cost`` tokens; returns ``(admitted,
+        retry_after_seconds)``.  ``cost`` larger than the burst returns
+        ``(False, inf)`` — it can *never* be admitted (the caller
+        rejects permanently instead of telling the client to wait).
+        ``cost <= 0`` is always admitted (nothing to execute)."""
+        if cost <= 0:
+            return True, 0.0
+        if cost > self.burst:
+            return False, math.inf
+        tokens = self.tokens(client)
+        if tokens >= cost:
+            self._buckets[client] = (tokens - cost, self.clock())
+            return True, 0.0
+        return False, (cost - tokens) / self.refill
+
+
+__all__ = ["QuotaTable", "default_quota_burst", "default_quota_refill"]

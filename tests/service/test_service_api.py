@@ -1,0 +1,264 @@
+"""HTTP JSON API over an in-process daemon (repro.sim.service.api).
+
+Real workers, real HTTP on an ephemeral loopback port; tiny
+instruction budgets keep each grid cell sub-second.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.sim import faults
+from repro.sim.config import SimConfig
+from repro.sim.experiments import run_grid
+from repro.sim.service import CampaignService, make_server
+
+BUDGET = 3000
+SPEC = {"workloads": ["gzip"], "machines": "baseline,msp:16",
+        "instructions": BUDGET, "name": "api-test"}
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    service = CampaignService(cache_dir=tmp_path / "cache", workers=2,
+                              lease_ttl=10.0)
+    server = make_server(service, host="127.0.0.1", port=0)
+    service.start()
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+    try:
+        yield service, f"http://{host}:{port}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()
+
+
+def call(base, path, payload=None, headers=None):
+    req = urllib.request.Request(
+        base + path,
+        data=(json.dumps(payload).encode("utf-8")
+              if payload is not None else None),
+        headers=headers or {})
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, dict(resp.headers), \
+                json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), json.loads(exc.read())
+
+
+def wait_done(base, campaign_id, timeout=120.0):
+    import time
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, _, body = call(base, f"/campaigns/{campaign_id}")
+        if body["state"] in ("done", "partial"):
+            return body
+        time.sleep(0.1)
+    raise AssertionError(f"campaign {campaign_id} never settled")
+
+
+# --------------------------------------------------------------------- #
+# The happy path, against the serial oracle.
+# --------------------------------------------------------------------- #
+
+def test_submit_run_results_matches_serial_oracle(daemon, tmp_path):
+    service, base = daemon
+    status, _, ack = call(base, "/campaigns", SPEC)
+    assert status == 200
+    assert ack["jobs"] == 2 and ack["settled"] == 0
+    body = wait_done(base, ack["campaign"])
+    assert body == dict(body, state="done", done=2, quarantined=0)
+
+    status, _, results = call(base,
+                              f"/campaigns/{ack['campaign']}/results")
+    assert status == 200
+    oracle = run_grid(
+        "api-test", ["gzip"],
+        [SimConfig.from_token("baseline"),
+         SimConfig.from_token("msp:16")],
+        BUDGET, jobs=1, cache_dir=tmp_path / "oracle")
+    assert results["table"] == oracle.to_table()
+    # Bit-identical statistics, not just the rendered table (JSON
+    # round-trip normalizes tuples to lists on both sides).
+    assert results["cells"]["gzip"]["Baseline"] == json.loads(
+        json.dumps(oracle.stats["gzip"]["Baseline"].to_dict()))
+
+
+def test_resubmission_is_idempotent_and_cached(daemon):
+    service, base = daemon
+    _, _, first = call(base, "/campaigns", SPEC)
+    wait_done(base, first["campaign"])
+    status, _, again = call(base, "/campaigns", SPEC)
+    assert status == 200
+    assert again["campaign"] == first["campaign"]
+    assert again["resubmitted"] is True
+    assert again["settled"] == 2
+
+
+def test_cached_cells_cost_no_quota_and_settle_instantly(daemon):
+    service, base = daemon
+    _, _, ack = call(base, "/campaigns", SPEC)
+    wait_done(base, ack["campaign"])
+    # Same cells under a different campaign name: new id, but every
+    # cell is already settled at submit time — nothing to execute,
+    # nothing charged against the quota.
+    spec = dict(SPEC, name="api-test-2")
+    _, _, ack2 = call(base, "/campaigns", spec)
+    assert ack2["campaign"] != ack["campaign"]
+    assert ack2["settled"] == 2
+    body = wait_done(base, ack2["campaign"], timeout=5.0)
+    assert body["state"] == "done"
+
+
+# --------------------------------------------------------------------- #
+# Input validation and error mapping.
+# --------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("payload,fragment", [
+    ({}, "workloads"),
+    ({"workloads": ["gzip"]}, "machines"),
+    ({"workloads": ["no-such"], "machines": ["baseline"]},
+     "unknown workload"),
+    ({"workloads": ["gzip"], "machines": ["warp9"]}, "unknown machine"),
+    ({"workloads": ["gzip"], "machines": ["baseline"],
+      "instructions": -5}, "positive"),
+    ({"workloads": ["gzip"], "machines": ["baseline"],
+      "instructions": "lots"}, "bad instruction budget"),
+    ({"workloads": ["gzip"], "machines": ["baseline"],
+      "sampling": {"mode": "warpdrive"}}, "bad sampling"),
+])
+def test_bad_specs_are_400(daemon, payload, fragment):
+    _, base = daemon
+    status, _, body = call(base, "/campaigns", payload)
+    assert status == 400
+    assert fragment in body["error"]
+
+
+def test_unknown_campaign_and_route_are_404(daemon):
+    _, base = daemon
+    assert call(base, "/campaigns/nope")[0] == 404
+    assert call(base, "/frobnicate")[0] == 404
+
+
+def test_results_while_running_are_409(daemon):
+    service, base = daemon
+    _, _, ack = call(base, "/campaigns",
+                     dict(SPEC, instructions=60_000))
+    status, _, body = call(base,
+                           f"/campaigns/{ack['campaign']}/results")
+    assert status == 409
+    assert "poll" in body["error"]
+    wait_done(base, ack["campaign"])        # drain before teardown
+
+
+def test_non_json_body_is_400(daemon):
+    _, base = daemon
+    req = urllib.request.Request(
+        base + "/campaigns", data=b"not json{",
+        headers={"Content-Length": "9"})
+    with pytest.raises(urllib.error.HTTPError) as exc:
+        urllib.request.urlopen(req, timeout=10)
+    assert exc.value.code == 400
+
+
+# --------------------------------------------------------------------- #
+# Admission control.
+# --------------------------------------------------------------------- #
+
+def test_quota_backpressure_is_429_with_retry_after(tmp_path):
+    service = CampaignService(cache_dir=tmp_path, workers=1,
+                              quota_burst=2, quota_refill=0.01)
+    server = make_server(service, host="127.0.0.1", port=0)
+    # No start(): admission happens before any dispatch.
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    try:
+        status, _, _ = call(base, "/campaigns", SPEC,
+                            headers={"X-Repro-Client": "alice"})
+        assert status == 200                # 2 cells == whole burst
+        status, headers, body = call(
+            base, "/campaigns", dict(SPEC, name="second"),
+            headers={"X-Repro-Client": "alice"})
+        assert status == 429
+        assert int(headers["Retry-After"]) >= 1
+        # An independent client is not starved by alice's burst.
+        status, _, _ = call(base, "/campaigns", dict(SPEC, name="bob"),
+                            headers={"X-Repro-Client": "bob"})
+        assert status == 200
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_grid_larger_than_burst_is_413(tmp_path):
+    service = CampaignService(cache_dir=tmp_path, quota_burst=1)
+    with pytest.raises(Exception) as exc:
+        service.submit(SPEC, client="alice")
+    assert getattr(exc.value, "status", None) == 413
+
+
+def test_queue_cap_backpressure_is_429(tmp_path):
+    service = CampaignService(cache_dir=tmp_path, queue_cap=1)
+    from repro.sim.service import ApiError
+    with pytest.raises(ApiError) as exc:
+        service.submit(SPEC, client="alice")
+    assert exc.value.status == 429
+    assert exc.value.retry_after is not None
+    # Nothing was accepted: the campaign is unknown.
+    with pytest.raises(ApiError) as exc:
+        service.campaign_status("c" + "0" * 12)
+    assert exc.value.status == 404
+
+
+def test_enqueue_fault_site_maps_to_503(tmp_path):
+    """A spool that cannot be appended must reject the submission
+    (unpersistable work is unacceptable work), not half-accept it."""
+    from repro.sim.service import ApiError
+    service = CampaignService(cache_dir=tmp_path)
+    with faults.active(faults.FaultPlan.parse("enospc@enqueue")):
+        with pytest.raises(ApiError) as exc:
+            service.submit(SPEC, client="alice")
+        assert exc.value.status == 503
+        # The fault consumed; the retry is durably accepted.
+        ack = service.submit(SPEC, client="alice")
+    assert ack["jobs"] == 2
+    assert service.queue.depth() == 2
+
+
+# --------------------------------------------------------------------- #
+# Health and readiness.
+# --------------------------------------------------------------------- #
+
+def test_healthz_and_readyz(daemon):
+    service, base = daemon
+    status, _, health = call(base, "/healthz")
+    assert status == 200
+    assert health["ok"] and health["workers"]["alive"] == 2
+
+    status, _, ready = call(base, "/readyz")
+    assert status == 200
+    assert ready["ready"] is True
+    assert ready["queue"]["cap"] == service.queue.cap
+    # The machine-readable snapshot rides along (CI smoke reads it).
+    assert "journal" in ready["status"]
+    assert "cache" in ready["status"]
+
+
+def test_readyz_not_ready_without_workers(tmp_path):
+    service = CampaignService(cache_dir=tmp_path)
+    server = make_server(service, host="127.0.0.1", port=0)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+    try:
+        status, _, body = call(f"http://{host}:{port}", "/readyz")
+        assert status == 503
+        assert body["ready"] is False
+    finally:
+        server.shutdown()
+        server.server_close()

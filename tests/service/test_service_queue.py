@@ -1,0 +1,178 @@
+"""Crash-safe service spool (repro.sim.service.queue)."""
+
+import json
+
+import pytest
+
+from repro.sim.service.queue import QueueFull, SpoolQueue
+
+
+def _submit(queue, cid="c1", keys=("k1", "k2")):
+    queue.submit({"id": cid, "keys": list(keys)},
+                 [(key, {"benchmark": key}) for key in keys])
+
+
+# --------------------------------------------------------------------- #
+# Round trip and replay.
+# --------------------------------------------------------------------- #
+
+def test_submit_claim_done_roundtrip(tmp_path):
+    queue = SpoolQueue(tmp_path)
+    _submit(queue)
+    assert queue.depth() == 2
+    key, payload = queue.claim()
+    assert key == "k1" and payload == {"benchmark": "k1"}
+    queue.mark_done("k1", "ok", attempts=1)
+    assert queue.outcome("k1") == "ok"
+    assert queue.depth() == 1
+
+
+def test_replay_restores_pending_and_done(tmp_path):
+    queue = SpoolQueue(tmp_path)
+    _submit(queue)
+    queue.claim()
+    queue.mark_done("k1", "retried", attempts=2)
+
+    fresh = SpoolQueue(tmp_path)
+    assert fresh.outcome("k1") == "retried"
+    assert fresh.attempts("k1") == 2
+    # k2 was pending (claims are memory-only: a crash un-claims).
+    key, _ = fresh.claim()
+    assert key == "k2"
+    assert fresh.campaign("c1")["keys"] == ["k1", "k2"]
+
+
+def test_claim_is_fifo_and_requeue_fronts(tmp_path):
+    queue = SpoolQueue(tmp_path)
+    _submit(queue, keys=("a", "b", "c"))
+    assert queue.claim()[0] == "a"
+    assert queue.claim()[0] == "b"
+    queue.requeue("b")              # lease expired: back to the front
+    assert queue.claim()[0] == "b"
+    assert queue.claim()[0] == "c"
+    assert queue.claim() is None
+
+
+def test_mark_done_is_idempotent(tmp_path):
+    """A zombie worker's late duplicate settlement is a no-op."""
+    queue = SpoolQueue(tmp_path)
+    _submit(queue, keys=("k1",))
+    queue.claim()
+    queue.mark_done("k1", "retried", attempts=2)
+    queue.mark_done("k1", "ok", attempts=1)      # the zombie's view
+    assert queue.outcome("k1") == "retried"
+    assert queue.attempts("k1") == 2
+
+
+def test_unknown_outcome_rejected(tmp_path):
+    queue = SpoolQueue(tmp_path)
+    with pytest.raises(ValueError):
+        queue.mark_done("k1", "exploded")
+
+
+# --------------------------------------------------------------------- #
+# Torn writes.
+# --------------------------------------------------------------------- #
+
+def test_torn_tail_line_is_dropped(tmp_path):
+    queue = SpoolQueue(tmp_path)
+    _submit(queue)
+    with queue.path.open("a", encoding="utf-8") as fh:
+        fh.write('{"event": "done", "key": "k1", "outc')   # torn write
+
+    fresh = SpoolQueue(tmp_path)
+    assert fresh.outcome("k1") is None          # torn settle never happened
+    assert fresh.depth() == 2
+
+
+def test_orphan_jobs_from_torn_submit_are_dropped(tmp_path):
+    """Job lines whose campaign line never landed were never
+    acknowledged: replay must not resurrect them."""
+    queue = SpoolQueue(tmp_path)
+    _submit(queue, cid="c1", keys=("k1",))
+    with queue.path.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps({"event": "job", "key": "orphan",
+                             "job": {}}) + "\n")
+        # crash before the campaign line
+
+    fresh = SpoolQueue(tmp_path)
+    keys = []
+    while True:
+        item = fresh.claim()
+        if item is None:
+            break
+        keys.append(item[0])
+    assert keys == ["k1"]
+
+
+# --------------------------------------------------------------------- #
+# Backpressure.
+# --------------------------------------------------------------------- #
+
+def test_queue_full_rejects_whole_submission(tmp_path):
+    queue = SpoolQueue(tmp_path, cap=2)
+    _submit(queue, cid="c1", keys=("k1", "k2"))
+    with pytest.raises(QueueFull) as exc:
+        _submit(queue, cid="c2", keys=("k3",))
+    assert exc.value.retry_after > 0
+    # Nothing of the rejected campaign was accepted.
+    assert queue.campaign("c2") is None
+    assert queue.depth() == 2
+
+
+def test_settlement_frees_capacity(tmp_path):
+    queue = SpoolQueue(tmp_path, cap=2)
+    _submit(queue, cid="c1", keys=("k1", "k2"))
+    queue.claim()
+    queue.mark_done("k1", "ok")
+    _submit(queue, cid="c2", keys=("k3",))      # now fits
+    assert queue.depth() == 2
+
+
+def test_duplicate_keys_across_campaigns_enqueue_once(tmp_path):
+    queue = SpoolQueue(tmp_path)
+    _submit(queue, cid="c1", keys=("k1", "k2"))
+    _submit(queue, cid="c2", keys=("k2", "k3"))
+    assert queue.depth() == 3                   # k2 shared, not doubled
+
+
+# --------------------------------------------------------------------- #
+# Compaction.
+# --------------------------------------------------------------------- #
+
+def test_compact_drops_settled_payloads(tmp_path):
+    queue = SpoolQueue(tmp_path)
+    _submit(queue, keys=("k1", "k2"))
+    queue.claim()
+    queue.mark_done("k1", "ok")
+    raw_before = queue.path.read_text().count("\n")
+    dropped = queue.compact()
+    assert dropped >= 1                         # k1's payload line gone
+    assert queue.path.read_text().count("\n") == raw_before - dropped
+
+    fresh = SpoolQueue(tmp_path)
+    assert fresh.outcome("k1") == "ok"
+    assert fresh.claim()[0] == "k2"             # undone payload survived
+    assert fresh.campaign("c1") is not None
+
+
+def test_compact_noop_when_everything_live(tmp_path):
+    queue = SpoolQueue(tmp_path)
+    _submit(queue)
+    assert queue.compact() == 0
+
+
+def test_auto_compaction_bounds_spool_growth(tmp_path):
+    queue = SpoolQueue(tmp_path, cap=10_000)
+    for i in range(SpoolQueue._COMPACT_SLACK + 50):
+        key = f"k{i}"
+        queue.submit({"id": f"c{i}", "keys": [key]}, [(key, {})])
+        queue.claim()
+        queue.mark_done(key, "ok")
+    jobs = SpoolQueue._COMPACT_SLACK + 50
+    lines = queue.path.read_text().count("\n")
+    # Live records (campaign + done per job) plus at most one slack's
+    # worth of dead payload lines; without compaction this would be 3
+    # lines per job.
+    assert lines <= 2 * jobs + SpoolQueue._COMPACT_SLACK
+    assert lines < 3 * jobs

@@ -1,0 +1,82 @@
+"""Per-client admission quotas (repro.sim.service.quota)."""
+
+import math
+
+import pytest
+
+from repro.sim.service.quota import (QuotaTable, default_quota_burst,
+                                     default_quota_refill)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def test_fresh_client_starts_with_full_burst(clock):
+    quota = QuotaTable(burst=10, refill=1.0, clock=clock)
+    assert quota.tokens("alice") == pytest.approx(10.0)
+
+
+def test_admit_deducts_and_denies(clock):
+    quota = QuotaTable(burst=10, refill=1.0, clock=clock)
+    admitted, wait = quota.admit("alice", cost=8)
+    assert admitted and wait == 0.0
+    admitted, wait = quota.admit("alice", cost=8)
+    assert not admitted
+    assert wait == pytest.approx(6.0)       # needs 6 more tokens at 1/s
+
+
+def test_refill_restores_admission(clock):
+    quota = QuotaTable(burst=10, refill=2.0, clock=clock)
+    quota.admit("alice", cost=10)
+    assert not quota.admit("alice", cost=4)[0]
+    clock.now += 2.0                        # +4 tokens
+    assert quota.admit("alice", cost=4)[0]
+
+
+def test_refill_caps_at_burst(clock):
+    quota = QuotaTable(burst=5, refill=100.0, clock=clock)
+    quota.admit("alice", cost=5)
+    clock.now += 1000.0
+    assert quota.tokens("alice") == pytest.approx(5.0)
+
+
+def test_clients_are_independent(clock):
+    quota = QuotaTable(burst=5, refill=1.0, clock=clock)
+    quota.admit("alice", cost=5)
+    assert quota.admit("bob", cost=5)[0]
+
+
+def test_zero_cost_always_admitted(clock):
+    """Fully-cached campaigns cost nothing: repeat queries are served
+    regardless of quota state."""
+    quota = QuotaTable(burst=5, refill=1.0, clock=clock)
+    quota.admit("alice", cost=5)
+    assert quota.admit("alice", cost=0) == (True, 0.0)
+
+
+def test_cost_over_burst_is_permanent_rejection(clock):
+    quota = QuotaTable(burst=5, refill=1.0, clock=clock)
+    admitted, wait = quota.admit("alice", cost=6)
+    assert not admitted and math.isinf(wait)
+    assert quota.tokens("alice") == pytest.approx(5.0)  # nothing spent
+
+
+def test_env_knobs(monkeypatch):
+    monkeypatch.delenv("REPRO_SERVICE_TOKENS", raising=False)
+    monkeypatch.delenv("REPRO_SERVICE_REFILL", raising=False)
+    assert default_quota_burst() == 64
+    assert default_quota_refill() == 1.0
+    monkeypatch.setenv("REPRO_SERVICE_TOKENS", "8")
+    monkeypatch.setenv("REPRO_SERVICE_REFILL", "0.25")
+    assert default_quota_burst() == 8
+    assert default_quota_refill() == 0.25

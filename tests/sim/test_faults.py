@@ -32,6 +32,24 @@ def test_parse_tolerates_blank_tokens():
     assert plan.job_faults == {1: "worker-kill"}
 
 
+@pytest.mark.parametrize("site", faults.SITES)
+def test_every_advertised_site_parses_and_fires(site):
+    plan = FaultPlan.parse(f"eio@{site}*2")
+    with pytest.raises(OSError):
+        plan.fire(site)
+    plan.fire("some-other-site")           # no cross-site firing
+    with pytest.raises(OSError):
+        plan.fire(site)
+    plan.fire(site)                        # *2 exhausted: silent
+
+
+def test_service_sites_are_advertised():
+    """The service grammar extension: submission (enqueue), daemon-side
+    renewal (lease-renew) and worker-side beats (heartbeat)."""
+    for site in ("enqueue", "lease-renew", "heartbeat"):
+        assert site in faults.SITES
+
+
 @pytest.mark.parametrize("spec", [
     "worker-kill",                 # no @
     "@put",                        # no kind
@@ -42,6 +60,8 @@ def test_parse_tolerates_blank_tokens():
     "worker-kill@put",             # job kind at a site
     "enospc@put*x",                # bad repeat count
     "enospc@put%x",                # bad probability
+    "eio@spool",                   # unknown site name
+    "eio@Heartbeat",               # sites are case-sensitive
 ])
 def test_parse_rejects_malformed_tokens(spec):
     with pytest.raises(EnvConfigError):

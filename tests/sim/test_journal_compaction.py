@@ -1,0 +1,93 @@
+"""Journal compaction: superseded begin/receipt pairs are dropped on
+successful run completion; torn-tail tolerance and the flock are kept.
+"""
+
+import json
+
+from repro.sim import SimConfig
+from repro.sim.campaign import CampaignJournal, CampaignSpec, \
+    JobReceipt, run_jobs
+
+
+def _receipt(key, outcome="ok", attempts=1):
+    return JobReceipt(key=key, label=f"cell/{key}", outcome=outcome,
+                      attempts=attempts)
+
+
+def _lines(journal):
+    return [json.loads(line) for line
+            in journal.path.read_text().splitlines() if line.strip()]
+
+
+# --------------------------------------------------------------------- #
+# compact() semantics.
+# --------------------------------------------------------------------- #
+
+def test_compact_keeps_latest_receipt_per_key(tmp_path):
+    journal = CampaignJournal(tmp_path)
+    journal.begin(total=2, pending=2, resume=False)
+    journal.record(_receipt("k1", "quarantined", attempts=3))
+    journal.record(_receipt("k2"))
+    journal.begin(total=2, pending=1, resume=True)   # the resume run
+    journal.record(_receipt("k1", "retried", attempts=2))
+
+    dropped = journal.compact()
+    assert dropped == 2                  # stale begin + superseded k1
+    events = _lines(journal)
+    assert [e["event"] for e in events].count("begin") == 1
+    assert [e for e in events if e["event"] == "begin"][0]["resume"] \
+        is True                          # the *latest* begin survived
+    receipts = journal.receipts()
+    assert receipts["k1"].outcome == "retried"
+    assert receipts["k2"].outcome == "ok"
+
+
+def test_compact_drops_interrupted_markers(tmp_path):
+    journal = CampaignJournal(tmp_path)
+    journal.begin(total=1, pending=1, resume=False)
+    journal.interrupted("SIGINT", ["gzip/Baseline@250"])
+    journal.begin(total=1, pending=1, resume=True)
+    journal.record(_receipt("k1"))
+    assert journal.compact() == 2
+    assert all(e["event"] != "interrupted" for e in _lines(journal))
+
+
+def test_compact_noop_leaves_file_untouched(tmp_path):
+    journal = CampaignJournal(tmp_path)
+    journal.begin(total=1, pending=1, resume=False)
+    journal.record(_receipt("k1"))
+    before = journal.path.read_text()
+    assert journal.compact() == 0
+    assert journal.path.read_text() == before
+
+
+def test_compact_on_missing_journal_is_harmless(tmp_path):
+    assert CampaignJournal(tmp_path).compact() == 0
+
+
+def test_compact_drops_torn_tail(tmp_path):
+    journal = CampaignJournal(tmp_path)
+    journal.begin(total=1, pending=1, resume=False)
+    journal.record(_receipt("k1"))
+    with journal.path.open("a", encoding="utf-8") as fh:
+        fh.write('{"event": "receipt", "key')        # torn write
+    assert journal.compact() == 1                    # the torn line
+    receipts = CampaignJournal(tmp_path).receipts()
+    assert set(receipts) == {"k1"}
+
+
+# --------------------------------------------------------------------- #
+# The executor compacts after every successful run.
+# --------------------------------------------------------------------- #
+
+def test_successful_run_compacts_superseded_lines(tmp_path):
+    spec = CampaignSpec("c", ["gzip"],
+                        [SimConfig.baseline(), SimConfig.msp(8)], 250)
+    run_jobs(spec.jobs(), workers=1, cache_dir=tmp_path)
+    run_jobs(spec.jobs(), workers=1, cache_dir=tmp_path)  # warm rerun
+    journal = CampaignJournal(tmp_path)
+    events = _lines(journal)
+    # Two runs appended two begins; post-run compaction keeps one.
+    assert [e["event"] for e in events].count("begin") == 1
+    assert len(journal.receipts()) == 2
+    assert len(events) == 3              # 1 begin + 2 receipts, no slack

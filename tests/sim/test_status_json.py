@@ -1,0 +1,58 @@
+"""Machine-readable campaign status (``campaign status --json``)."""
+
+import json
+
+from repro.cli import main
+from repro.sim.campaign.journal import CampaignJournal, JobReceipt
+from repro.sim.campaign.status import status_snapshot
+
+
+def _run_small_grid(tmp_path, capsys):
+    assert main(["campaign", "run", "--workloads", "gzip",
+                 "--machines", "baseline,msp:8", "-n", "300",
+                 "--cache-dir", str(tmp_path)]) == 0
+    capsys.readouterr()
+
+
+def test_status_json_snapshot_shape(tmp_path, capsys):
+    _run_small_grid(tmp_path, capsys)
+    assert main(["campaign", "status", "--json",
+                 "--cache-dir", str(tmp_path)]) == 0
+    snapshot = json.loads(capsys.readouterr().out)
+    assert snapshot["cache"]["entries"] == 2
+    assert snapshot["cache"]["path"] == str(tmp_path / "results.jsonl")
+    assert snapshot["artifacts"]["blobs"] >= 0
+    journal = snapshot["journal"]
+    assert journal["receipts"] == 2
+    assert journal["outcomes"] == {"ok": 2, "retried": 0,
+                                   "quarantined": 0}
+    assert journal["quarantined"] == []
+    assert snapshot["phases"] is None          # profiling was off
+
+
+def test_status_json_surfaces_quarantined_receipts(tmp_path, capsys):
+    journal = CampaignJournal(tmp_path)
+    journal.record(JobReceipt(
+        key="k1", label="gzip/Baseline@300", outcome="quarantined",
+        attempts=3, error_class="JobTimeout", errors=["t1", "t2", "t3"]))
+    snapshot = status_snapshot(tmp_path)
+    assert snapshot["journal"]["outcomes"]["quarantined"] == 1
+    [bad] = snapshot["journal"]["quarantined"]
+    assert bad["label"] == "gzip/Baseline@300"
+    assert bad["error_class"] == "JobTimeout"
+
+
+def test_status_json_on_empty_cache(tmp_path, capsys):
+    assert main(["campaign", "status", "--json",
+                 "--cache-dir", str(tmp_path)]) == 0
+    snapshot = json.loads(capsys.readouterr().out)
+    assert snapshot["cache"]["entries"] == 0
+    assert snapshot["journal"]["receipts"] == 0
+
+
+def test_human_output_unchanged_without_flag(tmp_path, capsys):
+    _run_small_grid(tmp_path, capsys)
+    assert main(["campaign", "status",
+                 "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "entries 2" in out              # still the prose format
